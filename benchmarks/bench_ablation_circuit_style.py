@@ -1,0 +1,84 @@
+"""Ablation: circuit-style choice inside the gate-level compilers.
+
+The Section 4 compilers can instantiate their per-vertex min/max circuits
+in either Table-2 design.  Wired-OR keeps neuron counts near
+O(m log k) (the paper's default, "neuron-saving type"); brute force
+buys constant node depth — shorter rounds / smaller edge scale — at
+O(indeg^2) neurons per vertex.  Both must compute identical distances.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.algorithms import (
+    compile_khop_poly_gate_level,
+    compile_khop_pseudo_gate_level,
+)
+from repro.algorithms.khop_poly import run_khop_poly_gate_level
+from repro.algorithms.khop_pseudo import run_khop_gate_level
+from repro.workloads import gnp_graph
+
+
+def test_ablation_ttl_compiler_styles(benchmark):
+    g = gnp_graph(6, 0.5, max_length=3, seed=77, ensure_source_reaches=True)
+    k = 3
+    compiled = {
+        style: compile_khop_pseudo_gate_level(g, 0, k, style=style)
+        for style in ("wired", "brute")
+    }
+    results = {style: run_khop_gate_level(c) for style, c in compiled.items()}
+    assert np.array_equal(results["wired"].dist, results["brute"].dist)
+
+    print_header("Ablation: Section 4.1 compiler, wired-OR vs brute-force max")
+    print_rows(
+        ["style", "neurons", "synapses", "edge scale", "spikes"],
+        [
+            (
+                s,
+                compiled[s].net.n_neurons,
+                compiled[s].net.n_synapses,
+                compiled[s].scale,
+                results[s].cost.spike_count,
+            )
+            for s in ("wired", "brute")
+        ],
+    )
+    # brute force shortens the node circuit (edge scale) at a neuron cost
+    assert compiled["brute"].scale < compiled["wired"].scale
+
+    benchmark(lambda: run_khop_gate_level(compiled["wired"]))
+
+
+@whole_run
+def test_ablation_poly_compiler_styles():
+    g = gnp_graph(5, 0.5, max_length=3, seed=88, ensure_source_reaches=True)
+    k = 2
+    rows = []
+    dists = {}
+    for style in ("wired", "brute"):
+        compiled = compile_khop_poly_gate_level(g, 0, k, style=style)
+        r = run_khop_poly_gate_level(compiled)
+        dists[style] = r.dist
+        rows.append((style, compiled.net.n_neurons, compiled.x, r.cost.spike_count))
+    print_header("Ablation: Section 4.2 compiler, min-circuit style")
+    print_rows(["style", "neurons", "round length x", "spikes"], rows)
+    assert np.array_equal(dists["wired"], dists["brute"])
+    # brute force shortens the round
+    assert rows[1][2] < rows[0][2]
+
+
+@whole_run
+def test_ablation_style_scaling_with_degree():
+    """The tradeoff direction: raising density must grow the brute-force
+    compiler's neuron count faster than wired-OR's."""
+    k = 2
+    ratios = []
+    for p in (0.3, 0.9):
+        g = gnp_graph(7, p, max_length=2, seed=int(10 * p), ensure_source_reaches=True)
+        wired = compile_khop_pseudo_gate_level(g, 0, k, style="wired")
+        brute = compile_khop_pseudo_gate_level(g, 0, k, style="brute")
+        ratios.append(brute.net.n_neurons / wired.net.n_neurons)
+    print_header("Ablation: brute/wired neuron ratio vs density")
+    print_rows(["density", "ratio"], list(zip((0.3, 0.9), ratios)))
+    assert ratios[1] > ratios[0]

@@ -1,0 +1,66 @@
+"""Ablation: how much of the with-data-movement cost is the embedding?
+
+Runs the same SSSP instance three ways — arbitrary-topology SNN (the
+O(1)-data-movement assumption), crossbar-embedded SNN (simulated), and
+analytically charged embedding — separating the algorithm's intrinsic
+cost from the topology penalty that divides Table 1 into its two halves.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.algorithms import spiking_sssp_pseudo
+from repro.embedding import embedded_sssp
+from repro.embedding.embed import embedding_scale
+from repro.workloads import gnp_graph
+
+
+def test_ablation_embedding_decomposition(benchmark):
+    print_header("Ablation: native vs charged vs simulated crossbar")
+    rows = []
+    for n in (8, 14, 20):
+        g = gnp_graph(n, 0.4, max_length=4, seed=n, ensure_source_reaches=True)
+        native = spiking_sssp_pseudo(g, 0)
+        charged = native.cost.with_embedding(g.n)
+        simulated = embedded_sssp(g, 0)
+        assert np.array_equal(native.dist, simulated.dist)
+        rows.append(
+            (
+                n,
+                native.cost.simulated_ticks,
+                charged.embedding_factor * charged.simulated_ticks,
+                simulated.cost.simulated_ticks,
+                embedding_scale(g),
+            )
+        )
+    print_rows(
+        ["n", "native ticks", "charged ticks (xn)", "simulated crossbar ticks",
+         "scale used"],
+        rows,
+    )
+    for _n, native_t, charged_t, simulated_t, _s in rows:
+        # the analytic O(n) charge brackets the simulated crossbar cost
+        assert native_t <= simulated_t
+        assert simulated_t <= 4 * charged_t
+
+    g = gnp_graph(12, 0.4, max_length=4, seed=3, ensure_source_reaches=True)
+    benchmark(lambda: embedded_sssp(g, 0))
+
+
+@whole_run
+def test_ablation_embedding_spike_overhead():
+    """The crossbar also multiplies spike traffic (relay vertices fire)."""
+    g = gnp_graph(12, 0.4, max_length=4, seed=5, ensure_source_reaches=True)
+    native = spiking_sssp_pseudo(g, 0)
+    simulated = embedded_sssp(g, 0)
+    print_header("Ablation: spike counts, native vs crossbar")
+    print_rows(
+        ["variant", "neurons", "spikes"],
+        [
+            ("native", native.cost.neuron_count, native.cost.spike_count),
+            ("crossbar", simulated.cost.neuron_count, simulated.cost.spike_count),
+        ],
+    )
+    assert simulated.cost.spike_count > native.cost.spike_count
+    assert simulated.cost.neuron_count == 2 * g.n * g.n

@@ -1,0 +1,51 @@
+"""Ablation: dense vs event-driven engine on delay-encoded workloads.
+
+The pseudopolynomial algorithms simulate a horizon of T = O(L) ticks with
+only O(n) spikes; the event engine's wall-clock should therefore be
+roughly independent of edge lengths while the dense engine's grows
+linearly with them.  Both must agree bit-exactly.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.algorithms import spiking_sssp_pseudo
+from repro.workloads import gnp_graph
+
+
+@pytest.mark.parametrize("engine", ["event", "dense"])
+def test_ablation_engine_wall_clock(benchmark, engine):
+    g = gnp_graph(40, 0.2, max_length=200, seed=55, ensure_source_reaches=True)
+    result = benchmark(lambda: spiking_sssp_pseudo(g, 0, engine=engine))
+    assert (result.dist >= 0).all()
+
+
+@whole_run
+def test_ablation_engines_agree_and_scale():
+    import time
+
+    print_header("Ablation: engine wall-clock vs edge-length scale (same graph)")
+    g = gnp_graph(40, 0.2, max_length=10, seed=56, ensure_source_reaches=True)
+    rows = []
+    times = {"dense": [], "event": []}
+    for scale in (1, 20, 400):
+        gs = g.scaled(scale)
+        row = [scale]
+        dists = {}
+        for engine in ("dense", "event"):
+            t0 = time.perf_counter()
+            r = spiking_sssp_pseudo(gs, 0, engine=engine)
+            elapsed = time.perf_counter() - t0
+            times[engine].append(elapsed)
+            dists[engine] = r.dist
+            row.append(f"{elapsed * 1e3:.1f}ms")
+        rows.append(tuple(row))
+        assert np.array_equal(dists["dense"], dists["event"])
+    print_rows(["length scale", "dense", "event"], rows)
+    # dense pays per simulated tick; event pays per spike.  At 400x lengths
+    # the dense engine must have slowed much more than the event engine.
+    dense_growth = times["dense"][-1] / times["dense"][0]
+    event_growth = times["event"][-1] / times["event"][0]
+    print(f"dense slowed {dense_growth:.1f}x, event {event_growth:.1f}x")
+    assert dense_growth > 4 * event_growth

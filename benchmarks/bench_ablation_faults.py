@@ -1,0 +1,89 @@
+"""Ablation: algorithm robustness under hardware faults.
+
+Injects dead neurons and synapse dropout into the Section-3 SSSP network
+and measures coverage (vertices still reached) and correctness (reached
+distances never shorten — timing information degrades monotonically).
+Also verifies the delay-encoded design's weight-noise immunity: answers
+live in spike *timing*, so small weight jitter changes nothing.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.core import Network, simulate
+from repro.core.faults import with_dead_neurons, with_synapse_dropout, with_weight_noise
+from repro.workloads import gnp_graph
+
+
+def sssp_network(graph):
+    net = Network()
+    ids = [net.add_neuron(one_shot=True) for _ in range(graph.n)]
+    for u, v, w in graph.edges():
+        if u != v:
+            net.add_synapse(ids[u], ids[v], delay=int(w))
+    return net, ids
+
+
+@whole_run
+def test_ablation_dropout_coverage_curve():
+    g = gnp_graph(40, 0.15, max_length=5, seed=61, ensure_source_reaches=True)
+    net, ids = sssp_network(g)
+    base = simulate(net, [ids[0]], engine="event", max_steps=1000)
+    base_reached = int((base.first_spike >= 0).sum())
+    print_header("Ablation: SSSP coverage under synapse dropout")
+    rows = []
+    coverages = []
+    for p in (0.0, 0.1, 0.3, 0.6, 0.9):
+        reached_counts = []
+        for seed in range(5):
+            faulty = with_synapse_dropout(net, p, seed=seed)
+            r = simulate(faulty, [ids[0]], engine="event", max_steps=1000)
+            reached_counts.append(int((r.first_spike >= 0).sum()))
+            # degraded distances never undercut the fault-free ones
+            for v in range(g.n):
+                if r.first_spike[ids[v]] >= 0:
+                    assert r.first_spike[ids[v]] >= base.first_spike[ids[v]]
+        mean = float(np.mean(reached_counts))
+        coverages.append(mean)
+        rows.append((p, round(mean, 1), base_reached))
+    print_rows(["dropout p", "mean reached", "fault-free"], rows)
+    assert coverages[0] == base_reached
+    assert coverages[-1] < coverages[0]
+
+
+@whole_run
+def test_ablation_dead_neuron_impact():
+    g = gnp_graph(30, 0.2, max_length=4, seed=62, ensure_source_reaches=True)
+    net, ids = sssp_network(g)
+    base = simulate(net, [ids[0]], engine="event", max_steps=1000)
+    print_header("Ablation: impact of killing each of 5 random vertices")
+    rng = np.random.default_rng(0)
+    rows = []
+    for dead in rng.choice(np.arange(1, g.n), size=5, replace=False).tolist():
+        faulty = with_dead_neurons(net, [ids[dead]])
+        r = simulate(faulty, [ids[0]], engine="event", max_steps=1000)
+        lost = int((base.first_spike >= 0).sum() - (r.first_spike >= 0).sum())
+        rows.append((dead, lost))
+        assert r.first_spike[ids[dead]] == -1
+        assert lost >= 1  # at least the dead vertex itself
+    print_rows(["dead vertex", "vertices lost"], rows)
+
+
+@whole_run
+def test_ablation_weight_noise_immunity():
+    """Delay coding: +-5% weight jitter leaves every answer bit-identical."""
+    g = gnp_graph(30, 0.2, max_length=4, seed=63, ensure_source_reaches=True)
+    net, ids = sssp_network(g)
+    base = simulate(net, [ids[0]], engine="event", max_steps=1000)
+    rows = []
+    for sigma in (0.01, 0.05):
+        identical = 0
+        for seed in range(5):
+            noisy = with_weight_noise(net, sigma, seed=seed)
+            r = simulate(noisy, [ids[0]], engine="event", max_steps=1000)
+            identical += int(np.array_equal(r.first_spike, base.first_spike))
+        rows.append((sigma, f"{identical}/5"))
+        assert identical == 5
+    print_header("Ablation: weight-noise immunity of delay-encoded SSSP")
+    print_rows(["sigma", "runs bit-identical"], rows)

@@ -1,0 +1,74 @@
+"""Definition 4's worked example: semiring matrix powers as an NGA.
+
+Section 2.2: "we let each edge ij compute A_ij * m_i and each node j
+compute the sum ... such an NGA computes A^r m_0"; with (min, +) this is
+k-hop shortest paths, and the round accounting is R * (T_edge + T_node).
+This bench runs the same graph through four semirings, checks each against
+an independent reference, and verifies the timing law.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.nga import BOOLEAN, MAX_PLUS, MIN_PLUS, PLUS_TIMES, matrix_power_nga
+from repro.workloads import gnp_graph, layered_dag
+
+
+@whole_run
+def test_def4_semiring_sweep():
+    g = gnp_graph(14, 0.25, max_length=5, seed=41, ensure_source_reaches=True)
+    rounds = 4
+    print_header(f"Definition 4 NGA: A^{rounds} m_0 over four semirings "
+                 f"[n={g.n} m={g.m}]")
+    rows = []
+    # min-plus: k-hop distances (prefix-min over history)
+    res_min = matrix_power_nga(g, MIN_PLUS, {0: 0}, rounds)
+    reached = {v for h in res_min.history for v in h}
+    rows.append(("min-plus", "k-hop distances", len(reached), res_min.rounds))
+    # boolean: reachability within `rounds` hops
+    res_bool = matrix_power_nga(g, BOOLEAN, {0: True}, rounds, edge_value="unit")
+    reach_bool = {v for h in res_bool.history for v in h}
+    rows.append(("boolean", "k-hop reachability", len(reach_bool), res_bool.rounds))
+    assert reach_bool == reached  # both models agree on who is reachable
+    # plus-times: walk counting
+    res_count = matrix_power_nga(g, PLUS_TIMES, {0: 1}, rounds, edge_value="unit")
+    walks = sum(res_count.history[rounds].values()) if len(res_count.history) > rounds else 0
+    rows.append(("plus-times", f"walks of length {rounds}", walks, res_count.rounds))
+    # verify against dense matrix power
+    A = np.zeros((g.n, g.n))
+    for u, v, _w in g.edges():
+        A[v, u] += 1
+    e0 = np.zeros(g.n)
+    e0[0] = 1
+    expected = np.linalg.matrix_power(A, rounds) @ e0
+    assert walks == int(expected.sum())
+    # max-plus on a DAG: critical path
+    dag = layered_dag(4, 3, max_length=6, seed=2, density=1.0)
+    res_max = matrix_power_nga(dag, MAX_PLUS, {0: 0}, 5)
+    import networkx as nx
+
+    want = nx.dag_longest_path_length(dag.to_networkx(), weight="weight")
+    got = max(max(h.values()) for h in res_max.history if h)
+    rows.append(("max-plus", "critical path (DAG)", got, res_max.rounds))
+    assert got == want
+    print_rows(["semiring", "computes", "result", "rounds"], rows)
+
+
+@whole_run
+def test_def4_timing_law():
+    """Total execution time is R * (T_edge + T_node), Definition 4."""
+    g = gnp_graph(12, 0.3, max_length=4, seed=42, ensure_source_reaches=True)
+    print_header("Definition 4 timing: R * (T_edge + T_node)")
+    rows = []
+    for t_edge, t_node in ((1, 1), (3, 5), (10, 2)):
+        res = matrix_power_nga(
+            g, MIN_PLUS, {0: 0}, 3, t_edge=t_edge, t_node=t_node
+        )
+        rows.append(
+            (t_edge, t_node, res.rounds, res.cost.simulated_ticks)
+        )
+        assert res.cost.simulated_ticks == res.rounds * (t_edge + t_node)
+    print_rows(["T_edge", "T_node", "rounds R", "total ticks"], rows)

@@ -1,0 +1,85 @@
+"""Figure 1: the delay-simulation gadget (A) and neuron memory latch (B).
+
+Verifies and times the two primitives on the LIF engine: the gadget
+realizes any delay d with 2 neurons (for architectures without native
+programmable delays), and the latch stores/recalls a bit indefinitely.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.circuits import build_delay_gadget, build_latch
+from repro.core import Network, simulate
+
+
+def test_fig1a_delay_gadget_sweep(benchmark):
+    print_header("Figure 1A: simulated synaptic delay with two neurons")
+    rows = []
+    for d in (2, 8, 32, 128):
+        net = Network()
+        g = build_delay_gadget(net, d)
+        r = simulate(net, [g.entry], engine="dense", max_steps=3 * d + 5)
+        rows.append((d, int(r.first_spike[g.exit]), net.n_neurons, r.total_spikes))
+        assert r.first_spike[g.exit] == d
+    print_rows(["programmed d", "exit spike tick", "neurons", "total spikes"], rows)
+
+    net = Network()
+    g = build_delay_gadget(net, 64)
+    benchmark(
+        lambda: simulate(net, [g.entry], engine="dense", max_steps=200)
+    )
+
+
+@whole_run
+def test_fig1a_spike_cost_linear_in_d():
+    """The gadget trades spikes for delay: O(d) spikes per use."""
+    spikes = {}
+    for d in (10, 20, 40):
+        net = Network()
+        g = build_delay_gadget(net, d)
+        r = simulate(net, [g.entry], engine="dense", max_steps=3 * d + 5)
+        spikes[d] = r.total_spikes
+    # exactly d+2 spikes per use: the generator fires d+1 times, the counter once
+    assert spikes == {10: 12, 20: 22, 40: 42}
+
+
+def test_fig1b_latch_store_and_recall(benchmark):
+    print_header("Figure 1B: neuron memory latch")
+    rows = []
+    for recall_at in (5, 50, 500):
+        net = Network()
+        latch = build_latch(net)
+        r = simulate(
+            net,
+            {0: [latch.set_input], recall_at: [latch.recall]},
+            engine="dense",
+            max_steps=recall_at + 5,
+            stop_when_quiescent=False,
+        )
+        rows.append((recall_at, int(r.first_spike[latch.output]), r.total_spikes))
+        assert r.first_spike[latch.output] == recall_at + 1
+    print_rows(["recall tick", "output tick", "total spikes"], rows)
+
+    net = Network()
+    latch = build_latch(net)
+    benchmark(
+        lambda: simulate(
+            net,
+            {0: [latch.set_input], 100: [latch.recall]},
+            engine="dense",
+            max_steps=105,
+            stop_when_quiescent=False,
+        )
+    )
+
+
+@whole_run
+def test_fig1b_latch_energy_cost():
+    """The latch's price: its self-loop spikes every tick while holding the
+    bit — the static power of neuromorphic memory."""
+    net = Network()
+    latch = build_latch(net)
+    horizon = 200
+    r = simulate(net, [latch.set_input], engine="dense", max_steps=horizon,
+                 stop_when_quiescent=False)
+    assert r.spike_counts[latch.memory] == horizon

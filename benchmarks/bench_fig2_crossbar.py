@@ -1,0 +1,85 @@
+"""Figure 2 / Section 4.4: the crossbar H_n and the embedding cost.
+
+Regenerates the structural facts of the figure (vertex/edge counts of
+H_n), verifies the embedding's delay identity on real runs, and measures
+the embedding cost: the spiking portion slows down by Theta(n) — the
+multiplicative factor separating the two halves of Table 1.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.algorithms import spiking_sssp_pseudo
+from repro.embedding import Crossbar, EmbeddingSession, embed_graph, embedded_sssp
+from repro.workloads import gnp_graph
+
+
+@whole_run
+def test_fig2_structure():
+    print_header("Figure 2: crossbar H_n structure")
+    rows = []
+    for n in (3, 8, 16, 32):
+        xbar = Crossbar(n)
+        edges = sum(1 for _ in xbar.structural_edges())
+        rows.append((n, xbar.num_vertices, edges, n * (n - 1)))
+    print_rows(["n", "vertices (2n^2)", "structural edges", "type-2 slots"], rows)
+    for n, verts, edges, slots in rows:
+        assert verts == 2 * n * n
+        assert edges == n + 2 * n * (n - 1)
+
+
+def test_fig2_embedding_cost_theta_n(benchmark):
+    """Native vs crossbar simulated time: the gap grows linearly in n."""
+    print_header("Embedding cost: native vs crossbar SSSP (unit-ish lengths)")
+    ns, factors = [], []
+    rows = []
+    for n in (6, 10, 16, 24):
+        g = gnp_graph(n, 0.5, max_length=3, seed=n, ensure_source_reaches=True)
+        native = spiking_sssp_pseudo(g, 0)
+        crossbar = embedded_sssp(g, 0)
+        assert np.array_equal(native.dist, crossbar.dist)
+        factor = crossbar.cost.simulated_ticks / max(1, native.cost.simulated_ticks)
+        rows.append(
+            (n, native.cost.simulated_ticks, crossbar.cost.simulated_ticks,
+             round(factor, 1), crossbar.cost.neuron_count)
+        )
+        ns.append(n)
+        factors.append(factor)
+    print_rows(
+        ["n", "native ticks", "crossbar ticks", "slowdown", "crossbar neurons"],
+        rows,
+    )
+    exponent = fit_exponent(ns, factors)
+    print(f"fitted slowdown ~ n^{exponent:.2f} (paper: Theta(n))")
+    assert 0.6 <= exponent <= 1.4
+
+    g = gnp_graph(12, 0.5, max_length=3, seed=99, ensure_source_reaches=True)
+    benchmark(lambda: embedded_sssp(g, 0))
+
+
+@whole_run
+def test_fig2_reembedding_sequence_cost():
+    """Section 4.4: embedding p graphs one after another costs O(sum m_i)
+    delay reprogrammings — a constant-factor slowdown, not O(n^2) each."""
+    session = EmbeddingSession(n=12)
+    total_m = 0
+    for seed in range(5):
+        g = gnp_graph(12, 0.3, max_length=3, seed=seed)
+        session.embed(g)
+        total_m += session.current.programmed_edges
+    print_header("Re-embedding 5 graphs: charged reprogramming operations")
+    print_rows(
+        ["sum of m_i", "charged ops", "crossbar slots (n^2)"],
+        [(total_m, session.reprogram_ops, 12 * 12)],
+    )
+    assert session.reprogram_ops <= 2 * total_m
+
+
+@whole_run
+def test_fig2_embedding_is_m_not_n_squared():
+    """Programming a sparse graph touches m Type-2 delays, not Theta(n^2)."""
+    g = gnp_graph(40, 0.02, max_length=3, seed=4)
+    emb = embed_graph(g)
+    assert emb.programmed_edges <= g.m
+    assert emb.programmed_edges < 40 * 39 // 4

@@ -1,0 +1,62 @@
+"""Figure 3 / Theorem 5.1: the bit-by-bit (wired-OR) max circuit.
+
+Measures size ``O(d * lambda)`` and depth ``O(lambda)`` over sweeps of
+both parameters, exercises the knock-out semantics the figure describes
+(including ties), and times execution on the LIF engine.
+"""
+
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.circuits import CircuitBuilder, run_circuit, wired_or_max
+
+
+def build(d, lam):
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", lam) for i in range(d)]
+    res = wired_or_max(b, ins)
+    b.output_bits("out", res.out_bits)
+    return b
+
+
+@whole_run
+def test_fig3_size_depth_sweep():
+    print_header("Figure 3: wired-OR max size/depth")
+    rows = []
+    for d in (2, 4, 8):
+        for lam in (2, 4, 8):
+            b = build(d, lam)
+            rows.append((d, lam, b.size, b.depth))
+    print_rows(["d", "lambda", "neurons", "depth"], rows)
+    # depth depends only on lambda
+    by_lam = {}
+    for d, lam, _s, dep in rows:
+        by_lam.setdefault(lam, set()).add(dep)
+    assert all(len(v) == 1 for v in by_lam.values())
+    # size ~ d * lambda
+    sizes_in_d = [build(d, 4).size for d in (4, 8, 16, 32)]
+    assert fit_exponent([4, 8, 16, 32], sizes_in_d) < 1.2
+    sizes_in_lam = [build(4, lam).size for lam in (4, 8, 16, 32)]
+    assert fit_exponent([4, 8, 16, 32], sizes_in_lam) < 1.2
+
+
+@whole_run
+def test_fig3_knockout_semantics():
+    """Most-significant-bit-first elimination, the figure's walk-through."""
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", 3) for i in range(4)]
+    res = wired_or_max(b, ins)
+    b.output_bits("out", res.out_bits)
+    for i, w in enumerate(res.winners):
+        b.output_bits(f"a{i}", [w], aligned=False)
+    # values 5,3,5,1: inputs 0 and 2 survive (tied maxima), 1 and 3 knocked out
+    r = run_circuit(b, {"x0": 5, "x1": 3, "x2": 5, "x3": 1})
+    assert r["out"] == 5
+    assert (r["a0"], r["a1"], r["a2"], r["a3"]) == (1, 0, 1, 0)
+
+
+def test_fig3_execution(benchmark):
+    b = build(8, 8)
+    vals = {f"x{i}": (37 * i) % 256 for i in range(8)}
+    out = benchmark(lambda: run_circuit(b, vals))
+    assert out["out"] == max(vals.values())

@@ -1,0 +1,80 @@
+"""Figure 4 / "Sum Circuits": the adder designs.
+
+Three points of the size/depth/weight tradeoff, all measured here: the
+Ramos–Bohorquez-style carry-lookahead adder (depth 2, O(lambda) neurons,
+exponential weights), the Siu et al. style generate/propagate adder
+(constant depth, O(lambda^2) neurons, unit weights), and the ripple adder
+(depth O(lambda), O(lambda) neurons, unit weights).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.circuits import (
+    CircuitBuilder,
+    carry_lookahead_adder,
+    ripple_adder,
+    run_circuit,
+    siu_adder,
+)
+
+ADDERS = {
+    "carry-lookahead": carry_lookahead_adder,
+    "siu": siu_adder,
+    "ripple": ripple_adder,
+}
+
+
+def build(kind, width):
+    b = CircuitBuilder()
+    xa = b.input_bits("a", width)
+    xb = b.input_bits("b", width)
+    b.output_bits("out", ADDERS[kind](b, xa, xb))
+    return b
+
+
+def max_weight(builder):
+    net = builder.net.compile()
+    return float(abs(net.syn_weight).max())
+
+
+@whole_run
+def test_fig4_tradeoff_table():
+    print_header("Figure 4: adder size/depth/weight tradeoff")
+    rows = []
+    for width in (4, 8, 16):
+        for kind in ADDERS:
+            b = build(kind, width)
+            rows.append((kind, width, b.size, b.depth, max_weight(b)))
+    print_rows(["design", "lambda", "neurons", "depth", "max |weight|"], rows)
+
+    cla_depths = {b.depth for b in (build("carry-lookahead", w) for w in (4, 8, 16))}
+    assert len(cla_depths) == 1  # constant depth
+    siu_depths = {b.depth for b in (build("siu", w) for w in (4, 8, 16))}
+    assert len(siu_depths) == 1  # constant depth as well
+    rip_depths = [build("ripple", w).depth for w in (4, 8, 16)]
+    assert rip_depths[2] > rip_depths[1] > rip_depths[0]  # linear depth
+    # the three-way weight/size tradeoff
+    assert max_weight(build("carry-lookahead", 16)) >= 2**15  # exponential
+    assert max_weight(build("siu", 16)) <= 2  # unit weights ...
+    assert build("siu", 16).size > 2 * build("carry-lookahead", 16).size  # ... at O(l^2) size
+    assert max_weight(build("ripple", 16)) <= 2
+
+
+@pytest.mark.parametrize("kind", list(ADDERS))
+def test_fig4_execution(benchmark, kind):
+    b = build(kind, 10)
+    out = benchmark(lambda: run_circuit(b, {"a": 777, "b": 333}))
+    assert out["out"] == 1110
+
+
+@whole_run
+def test_fig4_pipelined_throughput():
+    """Depth-2 lookahead sustains one addition per tick when pipelined."""
+    from repro.circuits.runner import run_circuit_waves
+
+    b = build("carry-lookahead", 6)
+    waves = [{"a": i * 3 % 64, "b": i * 5 % 64} for i in range(10)]
+    outs = run_circuit_waves(b, waves)
+    for wave, out in zip(waves, outs):
+        assert out["out"] == wave["a"] + wave["b"]

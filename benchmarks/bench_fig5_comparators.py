@@ -1,0 +1,78 @@
+"""Figure 5 / Theorem 5.2: single-gate comparators and the brute-force max.
+
+One threshold gate with place-value weights decides ``x >= y`` (the ``Eq``
+bias realized by the run line); ``M_x`` gates conjoin a row of
+comparisons, breaking ties toward the smallest index.  The bench
+regenerates the size/depth profile and the tie-break behavior, and times
+the constant-depth max against the O(lambda)-depth wired-OR design.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.circuits import (
+    CircuitBuilder,
+    brute_force_max,
+    comparator_geq,
+    run_circuit,
+    wired_or_max,
+)
+
+
+@whole_run
+def test_fig5_comparator_is_one_gate():
+    print_header("Figure 5A: comparator resource profile")
+    rows = []
+    for lam in (2, 8, 32):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", lam)
+        ys = b.input_bits("y", lam)
+        b.run_line()  # the Eq bias wire is shared, not per-comparator
+        before = b.size
+        sig = comparator_geq(b, xs, ys)
+        rows.append((lam, b.size - before, sig.offset, 2.0 ** (lam - 1)))
+        assert b.size - before == 1
+        assert sig.offset == 1
+    print_rows(["lambda", "gates", "depth", "max weight"], rows)
+
+
+@whole_run
+def test_fig5_tie_break_smallest_index():
+    """M_x fires for the smallest index among tied maxima (Figure 5B)."""
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", 4) for i in range(4)]
+    res = brute_force_max(b, ins)
+    b.output_bits("out", res.out_bits)
+    for i, w in enumerate(res.winners):
+        b.output_bits(f"m{i}", [w], aligned=False)
+    r = run_circuit(b, {"x0": 3, "x1": 9, "x2": 9, "x3": 9})
+    assert r["out"] == 9
+    assert (r["m0"], r["m1"], r["m2"], r["m3"]) == (0, 1, 0, 0)
+
+
+def test_fig5_depth_advantage_vs_wired_or(benchmark):
+    """The Table-2 tradeoff from the circuit side: at large lambda, the
+    brute-force circuit answers in constant ticks where wired-OR takes
+    O(lambda)."""
+    lam, d = 12, 4
+
+    def build(fn):
+        b = CircuitBuilder()
+        ins = [b.input_bits(f"x{i}", lam) for i in range(d)]
+        res = fn(b, ins)
+        b.output_bits("out", res.out_bits)
+        return b
+
+    brute = build(brute_force_max)
+    wired = build(wired_or_max)
+    print_header("Figure 5: constant-depth vs bit-serial max (lambda = 12)")
+    print_rows(
+        ["design", "neurons", "depth (ticks)"],
+        [("brute force", brute.size, brute.depth), ("wired-OR", wired.size, wired.depth)],
+    )
+    assert brute.depth < wired.depth / 3
+    assert wired.size < brute.size or d < lam  # size tradeoff reverses with d
+
+    vals = {f"x{i}": (997 * i) % 4096 for i in range(d)}
+    out = benchmark(lambda: run_circuit(brute, vals))
+    assert out["out"] == max(vals.values())

@@ -1,0 +1,83 @@
+"""Figure 7 / Appendix A: aggregating many-core chips into systems.
+
+"Current neuromorphic architectures aggregate many-core chips into
+boards."  This bench maps growing crossbar networks onto Loihi-style
+cores and chips and measures how spike traffic splits across the routing
+tiers (on-core / cross-core / cross-chip) under a locality-aware placement
+versus a locality-oblivious one — the placement question that determines
+whether the cheap on-core routing the platforms are built around actually
+gets used.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.core import simulate
+from repro.embedding import embed_graph
+from repro.hardware import PlatformSpec
+from repro.hardware.mapping import (
+    greedy_locality_mapping,
+    mapping_traffic,
+    round_robin_mapping,
+)
+from repro.workloads import gnp_graph
+
+# a scaled-down Loihi so small test networks span several cores/chips
+MINI = PlatformSpec(
+    name="mini-loihi",
+    organization="bench",
+    design="ASIC",
+    process_nm=14,
+    clock_hz=None,
+    neurons_per_core=64,
+    cores_per_chip=4,
+)
+
+
+@whole_run
+def test_fig7_traffic_tiers_vs_size():
+    print_header("Figure 7: crossbar spike traffic by routing tier (mini chips)")
+    rows = []
+    for n in (8, 12, 16):
+        g = gnp_graph(n, 0.4, max_length=3, seed=n, ensure_source_reaches=True)
+        emb = embed_graph(g)
+        result = simulate(
+            emb.net,
+            [emb.diagonal_neuron(0)],
+            engine="event",
+            max_steps=emb.scale * (n - 1) * 3 + 1,
+            watch=[emb.diagonal_neuron(v) for v in range(n)],
+        )
+        greedy = mapping_traffic(emb.net, greedy_locality_mapping(emb.net, MINI), result)
+        naive = mapping_traffic(emb.net, round_robin_mapping(emb.net, MINI), result)
+        rows.append(
+            (
+                n,
+                2 * n * n,
+                f"{greedy.intra_core}/{greedy.inter_core}/{greedy.inter_chip}",
+                f"{naive.intra_core}/{naive.inter_core}/{naive.inter_chip}",
+            )
+        )
+        assert greedy.total == naive.total  # same spikes, different routing
+        # locality keeps at least as much traffic on-core
+        assert greedy.intra_core >= naive.intra_core
+    print_rows(
+        ["n", "crossbar neurons", "greedy intra/inter/chip", "round-robin"],
+        rows,
+    )
+
+
+@whole_run
+def test_fig7_chip_counts_grow_with_network():
+    print_header("Figure 7: chips needed as the crossbar grows (mini chips)")
+    rows = []
+    prev_chips = 0
+    for n in (8, 16, 24):
+        g = gnp_graph(n, 0.4, max_length=3, seed=n + 1, ensure_source_reaches=True)
+        emb = embed_graph(g)
+        mapping = greedy_locality_mapping(emb.net, MINI)
+        rows.append((n, emb.net.n_neurons, mapping.num_cores, mapping.num_chips))
+        assert mapping.num_chips >= prev_chips
+        prev_chips = mapping.num_chips
+    print_rows(["n", "neurons", "cores", "chips"], rows)
+    assert prev_chips > 1  # the largest instance spans several chips

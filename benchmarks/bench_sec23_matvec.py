@@ -1,0 +1,72 @@
+"""Section 2.3's motivating example: matrix-vector products.
+
+"The standard O(n^2) algorithm for computing a matrix-vector product with
+an n x n matrix becomes O(n^3) if data-movement is taken into account in a
+fashion similar to DISTANCE, while a neuromorphic implementation remains
+an O(n^2) algorithm."
+
+Conventional side: the row-major accumulation on the DISTANCE machine.
+Neuromorphic side: the Definition-4 NGA (one round of ``A x`` over the
+plus-times semiring on the complete bipartite message graph), whose cost
+is dominated by the ``O(n^2)`` synapse loading.  The bench fits both
+scaling exponents.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.distance_model import matvec_distance
+from repro.nga import PLUS_TIMES, matrix_power_nga
+from repro.workloads import WeightedDigraph
+
+
+def nga_matvec_cost(n: int, seed: int) -> int:
+    """Model cost of one neuromorphic A x round: loading + one round."""
+    rng = np.random.default_rng(seed)
+    A = rng.integers(1, 5, size=(n, n))
+    # message graph: edge u -> v carries A[v][u]
+    tails = np.repeat(np.arange(n), n)
+    heads = np.tile(np.arange(n), n)
+    g = WeightedDigraph.from_arrays(n, tails, heads, A.T.reshape(-1))
+    res = matrix_power_nga(
+        g, PLUS_TIMES, {i: int(v) for i, v in enumerate(rng.integers(1, 5, n))}, 1
+    )
+    # verify against numpy before charging anything
+    x = np.array([res.history[0].get(i, 0) for i in range(n)], dtype=np.int64)
+    got = np.array([res.history[1].get(i, 0) for i in range(n)], dtype=np.int64)
+    assert np.array_equal(got, A @ x)
+    return res.cost.total_time
+
+
+@whole_run
+def test_sec23_matvec_exponents():
+    print_header("Section 2.3: mat-vec, DISTANCE vs neuromorphic")
+    ns = [8, 16, 32]
+    rows, conv_costs, neuro_costs = [], [], []
+    rng = np.random.default_rng(0)
+    for n in ns:
+        A = rng.integers(1, 5, size=(n, n))
+        x = rng.integers(1, 5, size=n)
+        y, cost = matvec_distance(A, x, num_registers=4)
+        assert np.array_equal(y, A @ x)
+        neuro = nga_matvec_cost(n, seed=n)
+        rows.append((n, cost, neuro))
+        conv_costs.append(cost)
+        neuro_costs.append(neuro)
+    e_conv = fit_exponent(ns, conv_costs)
+    e_neuro = fit_exponent(ns, neuro_costs)
+    print_rows(["n", "DISTANCE movement", "neuromorphic cost"], rows)
+    print(f"fitted: DISTANCE ~ n^{e_conv:.2f} (paper: 3), "
+          f"neuromorphic ~ n^{e_neuro:.2f} (paper: 2)")
+    assert e_conv > 2.5
+    assert e_neuro < 2.5
+
+
+def test_sec23_matvec_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    n = 16
+    A = rng.integers(1, 5, size=(n, n))
+    x = rng.integers(1, 5, size=n)
+    y, _cost = benchmark(lambda: matvec_distance(A, x))
+    assert np.array_equal(y, A @ x)

@@ -1,0 +1,110 @@
+"""Table 1 (top half): complexities with data-movement costs.
+
+Conventional side: Manhattan movement cost measured on the DISTANCE
+machine (Definition 5), checked against the conservative Theorem 6.1/6.2
+lower bounds.  Neuromorphic side: simulated ticks charged with the
+Section 4.4 crossbar-embedding factor (``O(n)`` on the spiking portion).
+
+The headline claim — a polynomial-factor advantage once data movement is
+priced in (e.g. ``Omega(m^{1/2}/log n)`` for k-hop SSSP) — appears here as
+the conventional/neuromorphic ratio growing with problem size.
+"""
+
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.algorithms import spiking_khop_pseudo, spiking_sssp_pseudo
+from repro.analysis import ComparisonRow, render_table
+from repro.distance_model import (
+    bellman_ford_khop_distance,
+    bellman_ford_lower_bound,
+    dijkstra_distance,
+    read_lower_bound_2d,
+)
+from repro.embedding import embedded_sssp
+from repro.workloads import gnp_graph
+
+REGISTERS = 4
+
+
+def test_table1_top_rows(benchmark):
+    g = gnp_graph(30, 0.25, max_length=6, seed=11, ensure_source_reaches=True)
+    k = 4
+
+    _, conv_sssp_cost = dijkstra_distance(g, 0, num_registers=REGISTERS)
+    _, conv_khop_cost = bellman_ford_khop_distance(g, 0, k, num_registers=REGISTERS)
+    neuro_sssp = spiking_sssp_pseudo(g, 0)
+    neuro_khop = spiking_khop_pseudo(g, 0, k)
+    # charge the crossbar embedding factor on the spiking portion
+    neuro_sssp_charged = neuro_sssp.cost.with_embedding(g.n)
+    neuro_khop_charged = neuro_khop.cost.with_embedding(g.n)
+
+    lb_sssp = read_lower_bound_2d(g.m, REGISTERS)
+    lb_khop = bellman_ford_lower_bound(g.m, k, REGISTERS)
+
+    rows = [
+        ComparisonRow(
+            "SSSP (pseudopoly, DISTANCE)",
+            conv_sssp_cost,
+            neuro_sssp_charged.total_time,
+            lower_bound=lb_sssp,
+            note="neuro = O(nL + m)",
+        ),
+        ComparisonRow(
+            "k-hop SSSP (pseudopoly, DISTANCE)",
+            conv_khop_cost,
+            neuro_khop_charged.total_time,
+            lower_bound=lb_khop,
+            note="neuro = O((nL + m) log k)",
+        ),
+    ]
+    print_header(
+        "Table 1 (top): with data-movement costs  "
+        f"[n={g.n} m={g.m} U={g.max_length()} k={k} c={REGISTERS}]"
+    )
+    print(render_table(rows))
+
+    # measured conventional movement respects its lower bound
+    assert conv_sssp_cost >= lb_sssp
+    assert conv_khop_cost >= lb_khop
+    # on this short-path workload the neuromorphic side wins both rows
+    for row in rows:
+        assert row.neuromorphic < row.conventional
+
+    benchmark(lambda: dijkstra_distance(g, 0, num_registers=REGISTERS))
+
+
+@whole_run
+def test_table1_top_advantage_grows_with_m():
+    """The polynomial-factor gap: conventional/neuromorphic ratio must grow
+    with edge count (the paper's Omega(m^{1/2}/polylog) advantage)."""
+    k = 3
+    ratios = []
+    sizes = []
+    for n in (12, 20, 32, 48):
+        g = gnp_graph(n, 0.5, max_length=3, seed=n, ensure_source_reaches=True)
+        _, conv = bellman_ford_khop_distance(g, 0, k, num_registers=REGISTERS)
+        neuro = spiking_khop_pseudo(g, 0, k).cost.with_embedding(g.n).total_time
+        ratios.append(conv / neuro)
+        sizes.append(g.m)
+    print_header("Table 1 (top): advantage ratio vs m (k-hop pseudopoly)")
+    print_rows(["m", "ratio conv/neuro"], list(zip(sizes, ratios)))
+    assert ratios[-1] > ratios[0]  # the advantage widens
+    exponent = fit_exponent(sizes, ratios)
+    print(f"fitted ratio ~ m^{exponent:.2f} (paper predicts ~ m^0.5/polylog)")
+    assert exponent > 0.2
+
+
+@whole_run
+def test_table1_top_crossbar_vs_distance_model():
+    """Same fair-comparison story with the embedding actually *simulated*
+    (not just charged): crossbar ticks vs DISTANCE movement cost."""
+    g = gnp_graph(14, 0.4, max_length=4, seed=5, ensure_source_reaches=True)
+    crossbar = embedded_sssp(g, 0)
+    _, conv = dijkstra_distance(g, 0, num_registers=REGISTERS)
+    print_header("Crossbar-simulated SSSP vs DISTANCE Dijkstra")
+    print_rows(
+        ["metric", "crossbar (simulated ticks)", "DISTANCE (movement)"],
+        [("cost", crossbar.cost.total_time, conv)],
+    )
+    assert crossbar.cost.total_time < conv

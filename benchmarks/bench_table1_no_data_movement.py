@@ -1,0 +1,142 @@
+"""Table 1 (bottom half): complexities ignoring data-movement costs.
+
+Regenerates the four problem rows by measuring, on one workload family:
+
+* conventional cost — instrumented RAM operation counts (Dijkstra /
+  k-hop Bellman–Ford);
+* neuromorphic cost — ``CostReport.total_time`` in simulated ticks
+  (spiking time + loading), per Theorems 4.1–4.4;
+
+and checks the table's verdicts: SSSP-polynomial "never" wins; k-hop
+polynomial wins exactly when ``log(nU) = o(k)`` (crossover located on a
+``k`` sweep); the pseudopolynomial rows win when ``L`` is small relative
+to the table's conditions.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.algorithms import (
+    spiking_khop_poly,
+    spiking_khop_pseudo,
+    spiking_sssp_poly,
+    spiking_sssp_pseudo,
+)
+from repro.analysis import ComparisonRow, find_crossover, render_table
+from repro.analysis.complexity import conventional_khop_time, neuro_khop_poly_time
+from repro.baselines import bellman_ford_khop, dijkstra
+from repro.workloads import gnp_graph, path_graph
+
+
+def test_table1_bottom_rows(benchmark):
+    g = gnp_graph(60, 0.15, max_length=8, seed=42, ensure_source_reaches=True)
+    k = 6
+    target = g.n - 1
+
+    conv_sssp_dist, conv_sssp_ops = dijkstra(g, 0)
+    conv_khop_dist, conv_khop_ops = bellman_ford_khop(g, 0, k)
+    neuro_sssp_poly = spiking_sssp_poly(g, 0, target=target)
+    neuro_khop_poly_res = spiking_khop_poly(g, 0, k)
+    neuro_sssp_pseudo = spiking_sssp_pseudo(g, 0)
+    neuro_khop_pseudo_res = spiking_khop_pseudo(g, 0, k)
+
+    rows = [
+        ComparisonRow(
+            "SSSP (polynomial)",
+            conv_sssp_ops.total,
+            neuro_sssp_poly.cost.total_time,
+            note="paper: never better",
+        ),
+        ComparisonRow(
+            "k-hop SSSP (polynomial)",
+            conv_khop_ops.total,
+            neuro_khop_poly_res.cost.total_time,
+            note="better when log(nU)=o(k)",
+        ),
+        ComparisonRow(
+            "SSSP (pseudopoly)",
+            conv_sssp_ops.total,
+            neuro_sssp_pseudo.cost.total_time,
+            note="better when m,L=o(n log n), L=o(m)",
+        ),
+        ComparisonRow(
+            "k-hop SSSP (pseudopoly)",
+            conv_khop_ops.total,
+            neuro_khop_pseudo_res.cost.total_time,
+            note="better when L=o(km/log k)",
+        ),
+    ]
+    print_header("Table 1 (bottom): ignoring data-movement costs  "
+                 f"[n={g.n} m={g.m} U={g.max_length()} k={k}]")
+    print(render_table(rows))
+
+    # Paper verdict: polynomial SSSP never beats Dijkstra in this regime
+    # (the m log(nU) circuit loading dominates m + n log n).
+    assert rows[0].neuromorphic >= rows[0].conventional
+
+    # Pseudopolynomial SSSP wins on short-path workloads: L ~ max dist is
+    # small next to Dijkstra's ops here.
+    assert rows[2].neuromorphic < rows[2].conventional
+
+    benchmark(lambda: spiking_khop_pseudo(g, 0, k))
+
+
+@whole_run
+def test_table1_bottom_khop_crossover_in_k():
+    """The k-hop polynomial row's advantage condition log(nU) = o(k):
+    sweeping k must reveal a crossover where neuromorphic starts winning.
+
+    Wide edge lengths (large U) make the message width log(nU) — and with
+    it the neuromorphic loading term — expensive at small k, handing the
+    small-k regime to Bellman–Ford exactly as the side condition predicts.
+    """
+    g = gnp_graph(40, 0.4, max_length=2**25, seed=7, ensure_source_reaches=True)
+    ks = list(range(1, 61))
+
+    def conv(k):
+        _, ops = bellman_ford_khop(g, 0, k)
+        return ops.total
+
+    def neuro(k):
+        return spiking_khop_poly(g, 0, k).cost.total_time
+
+    cross = find_crossover(conv, neuro, ks)
+    print_header("Table 1 crossover sweep: k-hop polynomial, varying k")
+    rows = [(k, conv(k), neuro(k)) for k in (1, 2, 4, 8, 16, 32)]
+    print_rows(["k", "conventional ops", "neuromorphic ticks"], rows)
+    print(f"measured crossover at k = {cross}")
+    assert cross is not None and cross > 1  # conventional wins at k = 1
+    # the unit-constant formulas place the crossover within an order of
+    # magnitude of the measured one
+    predicted = find_crossover(
+        lambda k: conventional_khop_time(k, g.m),
+        lambda k: neuro_khop_poly_time(g.n, g.m, g.max_length(), k, data_movement=False),
+        range(1, 1000),
+    )
+    assert predicted is not None
+    assert 0.1 <= predicted / cross <= 10.0
+
+
+@whole_run
+def test_table1_bottom_pseudo_L_dependence():
+    """Pseudopolynomial rows lose when L blows up (long weighted paths)."""
+    short = gnp_graph(50, 0.2, max_length=2, seed=3, ensure_source_reaches=True)
+    long = path_graph(50, max_length=10**4, seed=3)
+
+    r_short = spiking_sssp_pseudo(short, 0)
+    c_short, ops_short = dijkstra(short, 0)
+    r_long = spiking_sssp_pseudo(long, 0)
+    c_long, ops_long = dijkstra(long, 0)
+
+    print_header("Table 1 (bottom): pseudopolynomial L-dependence")
+    print_rows(
+        ["workload", "L", "conventional ops", "neuromorphic ticks"],
+        [
+            ("sparse short-path", int(r_short.dist.max()), ops_short.total,
+             r_short.cost.total_time),
+            ("heavy path (L huge)", int(r_long.dist.max()), ops_long.total,
+             r_long.cost.total_time),
+        ],
+    )
+    assert r_short.cost.total_time < ops_short.total
+    assert r_long.cost.total_time > ops_long.total

@@ -1,0 +1,80 @@
+"""Table 2: the max-circuit tradeoff.
+
+| name        | size (neurons) | runtime (depth) |
+| brute force | O(d^2)         | 3 (constant)    |
+| wired-OR    | O(d*lambda)    | O(lambda)       |
+
+Measures actual neuron counts and depths over a (d, lambda) grid, fits the
+scaling exponents, and times the LIF-engine execution of each circuit.
+"""
+
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.circuits import (
+    CircuitBuilder,
+    brute_force_max,
+    run_circuit,
+    wired_or_max,
+)
+
+
+def build(kind, d, lam):
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", lam) for i in range(d)]
+    res = (brute_force_max if kind == "brute" else wired_or_max)(b, ins)
+    b.output_bits("out", res.out_bits)
+    return b
+
+
+@whole_run
+def test_table2_size_and_depth_grid():
+    print_header("Table 2: max-circuit size/depth over (d, lambda)")
+    rows = []
+    for d in (2, 4, 8, 16):
+        for lam in (2, 4, 8):
+            bb = build("brute", d, lam)
+            wb = build("wired", d, lam)
+            rows.append((d, lam, bb.size, bb.depth, wb.size, wb.depth))
+    print_rows(
+        ["d", "lambda", "brute size", "brute depth", "wired size", "wired depth"],
+        rows,
+    )
+    # brute force: constant depth, regardless of d and lambda
+    brute_depths = {r[3] for r in rows}
+    assert len(brute_depths) == 1
+    # wired-OR: depth independent of d, linear in lambda
+    by_lam = {}
+    for d, lam, _, _, _, wd in rows:
+        by_lam.setdefault(lam, set()).add(wd)
+    assert all(len(v) == 1 for v in by_lam.values())
+    depths = sorted((lam, v.pop()) for lam, v in by_lam.items())
+    assert depths[2][1] - depths[1][1] == 2 * (depths[1][1] - depths[0][1])
+
+
+@whole_run
+def test_table2_scaling_exponents():
+    lam = 4
+    ds = [8, 16, 32, 64]  # asymptotic regime: the d^2 comparator layer dominates
+    brute_sizes = [build("brute", d, lam).size for d in ds]
+    wired_sizes = [build("wired", d, lam).size for d in ds]
+    e_brute = fit_exponent(ds, brute_sizes)
+    e_wired = fit_exponent(ds, wired_sizes)
+    print_header("Table 2: size scaling in d (lambda = 4)")
+    print_rows(
+        ["circuit", "sizes", "fitted exponent", "paper"],
+        [
+            ("brute force", brute_sizes, round(e_brute, 2), "O(d^2)"),
+            ("wired-OR", wired_sizes, round(e_wired, 2), "O(d lambda)"),
+        ],
+    )
+    assert e_brute > 1.5  # quadratic-ish
+    assert e_wired < 1.3  # linear-ish
+
+
+@pytest.mark.parametrize("kind", ["brute", "wired"])
+def test_table2_execution_wall_clock(benchmark, kind):
+    b = build(kind, 8, 6)
+    inputs = {f"x{i}": (i * 11) % 64 for i in range(8)}
+    result = benchmark(lambda: run_circuit(b, inputs))
+    assert result["out"] == max(inputs.values())

@@ -1,0 +1,82 @@
+"""Table 3 / Appendix A: platform statistics and the energy comparison.
+
+Prints the registry (the paper's table) and converts one SSSP run into
+per-platform energy: spike count x pJ/spike for the neuromorphic systems
+versus RAM-operation count charged against the CPU's clock and TDP.
+Asserts the appendix's qualitative verdicts: neuromorphic platforms land
+orders of magnitude below the CPU, and the ASIC platforms below SpiNNaker's
+ARM-based design.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.algorithms import spiking_sssp_pseudo
+from repro.baselines import dijkstra
+from repro.hardware import PLATFORMS, chips_required, energy_comparison
+from repro.workloads import gnp_graph
+
+
+@whole_run
+def test_table3_registry():
+    print_header("Table 3: platform registry")
+    rows = []
+    for name, p in PLATFORMS.items():
+        rows.append(
+            (
+                name,
+                p.organization,
+                p.design,
+                f"{p.process_nm}nm",
+                p.neurons_per_chip if p.neurons_per_chip else "N/A",
+                p.pj_per_spike_mid if p.pj_per_spike_mid else "N/A",
+                p.power_watts_mid,
+            )
+        )
+    print_rows(
+        ["platform", "org", "design", "process", "neurons/chip", "pJ/spike", "W"],
+        rows,
+    )
+    neuromorphic = [p for p in PLATFORMS.values() if not p.is_cpu]
+    cpu = PLATFORMS["Core i7-9700T"]
+    # "Power consumption is considerably less for the neuromorphic platforms"
+    for p in neuromorphic:
+        assert p.power_watts_mid < cpu.power_watts_mid / 10
+
+
+def test_table3_energy_per_run(benchmark):
+    g = gnp_graph(200, 0.05, max_length=10, seed=17, ensure_source_reaches=True)
+    neuro = benchmark(lambda: spiking_sssp_pseudo(g, 0))
+    _, ops = dijkstra(g, 0)
+    table = energy_comparison(neuro.cost, ops)
+    print_header(
+        f"Energy per SSSP run  [n={g.n} m={g.m} spikes={neuro.cost.spike_count} "
+        f"conventional ops={ops.total}]"
+    )
+    rows = [
+        (name, vals["joules"] if vals["joules"] is not None else "N/A", vals["chips"])
+        for name, vals in table.items()
+    ]
+    print_rows(["platform", "joules", "chips"], rows)
+
+    cpu_j = table["Core i7-9700T"]["joules"]
+    assert table["Loihi"]["joules"] < cpu_j / 100
+    assert table["TrueNorth"]["joules"] < cpu_j / 100
+    # the ARM-based SpiNNaker 1 pays ~300x more per spike than the ASICs
+    assert table["SpiNNaker 1"]["joules"] > 100 * table["Loihi"]["joules"]
+
+
+@whole_run
+def test_table3_chip_capacity():
+    """Neuron footprints of growing crossbars vs chip capacities."""
+    print_header("Crossbar neuron footprint vs chips required")
+    rows = []
+    for n in (50, 200, 800):
+        neurons = 2 * n * n  # crossbar H_n
+        row = [f"H_{n} ({neurons:,} neurons)"]
+        for pname in ("TrueNorth", "Loihi", "SpiNNaker 2"):
+            row.append(chips_required(neurons, PLATFORMS[pname]))
+        rows.append(tuple(row))
+    print_rows(["network", "TrueNorth", "Loihi", "SpiNNaker 2"], rows)
+    assert chips_required(2 * 800 * 800, PLATFORMS["Loihi"]) > 1
+    assert chips_required(2 * 50 * 50, PLATFORMS["TrueNorth"]) == 1

@@ -1,0 +1,74 @@
+"""Theorem 6.1: any conventional algorithm reading an m-word input incurs
+Omega(m^{3/2} / sqrt c) movement cost in the DISTANCE model.
+
+Measures the movement cost of a straight input scan on the DISTANCE
+machine across m and c sweeps, checks every measurement against the
+proof's explicit constant, and fits the scaling exponent (~1.5 in m,
+~-0.5 in c).
+"""
+
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.distance_model import read_input_distance, read_lower_bound_2d, read_lower_bound_3d
+from repro.workloads import gnp_graph
+
+
+def words_of(g):
+    return 2 * g.m + g.n + 1  # heads + lengths + indptr
+
+
+def test_thm61_measured_vs_bound(benchmark):
+    print_header("Theorem 6.1: input-read movement cost vs lower bound (c=4)")
+    rows, ms, costs = [], [], []
+    for n in (15, 25, 40, 60):
+        g = gnp_graph(n, 0.3, max_length=5, seed=n, ensure_source_reaches=True)
+        measured = read_input_distance(g, num_registers=4)
+        bound = read_lower_bound_2d(words_of(g), 4)
+        rows.append((words_of(g), measured, round(bound, 1),
+                     round(measured / bound, 2)))
+        ms.append(words_of(g))
+        costs.append(measured)
+        assert measured >= bound
+    print_rows(["input words", "measured movement", "Thm 6.1 bound", "ratio"], rows)
+    exponent = fit_exponent(ms, costs)
+    print(f"fitted movement ~ m^{exponent:.2f} (theory: 1.5)")
+    assert 1.3 <= exponent <= 1.7
+
+    g = gnp_graph(30, 0.3, max_length=5, seed=1, ensure_source_reaches=True)
+    benchmark(lambda: read_input_distance(g, num_registers=4))
+
+
+@whole_run
+def test_thm61_register_count_dependence():
+    """The 1/sqrt(c) factor: more registers help, but sublinearly."""
+    g = gnp_graph(50, 0.3, max_length=5, seed=2, ensure_source_reaches=True)
+    print_header("Theorem 6.1: movement vs register count")
+    rows, cs, costs = [], [], []
+    for c in (1, 4, 16, 64):
+        measured = read_input_distance(g, num_registers=c, layout="scattered")
+        bound = read_lower_bound_2d(words_of(g), c)
+        rows.append((c, measured, round(bound, 1)))
+        cs.append(c)
+        costs.append(measured)
+        assert measured >= bound
+    print_rows(["registers c", "measured movement", "bound"], rows)
+    exponent = fit_exponent(cs, costs)
+    print(f"fitted movement ~ c^{exponent:.2f} (theory: -0.5)")
+    assert -0.8 <= exponent <= -0.2
+
+
+@whole_run
+def test_thm61_3d_variant():
+    """Three dimensions weaken the bound to Omega(m^{4/3}): measured 3D
+    costs sit between the 3D bound and the 2D costs."""
+    print_header("Theorem 6.1 (3D): m^{4/3} regime")
+    rows = []
+    for n in (20, 35, 50):
+        g = gnp_graph(n, 0.3, max_length=5, seed=n + 7, ensure_source_reaches=True)
+        d2 = read_input_distance(g, num_registers=4, dims=2)
+        d3 = read_input_distance(g, num_registers=4, dims=3)
+        b3 = read_lower_bound_3d(words_of(g), 4)
+        rows.append((words_of(g), d2, d3, round(b3, 1)))
+        assert b3 <= d3 <= d2
+    print_rows(["input words", "2D measured", "3D measured", "3D bound"], rows)

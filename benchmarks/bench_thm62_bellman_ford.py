@@ -1,0 +1,53 @@
+"""Theorem 6.2: the k-hop Bellman–Ford schedule incurs
+Omega(k * m^{3/2} / sqrt c) movement cost in the DISTANCE model.
+
+Measures the instrumented Bellman–Ford's movement over k and m sweeps,
+checks the proof's constant, and verifies the linear-in-k and
+superlinear-in-m shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
+from repro.distance_model import bellman_ford_khop_distance, bellman_ford_lower_bound
+from repro.workloads import gnp_graph
+
+REGISTERS = 4
+
+
+def test_thm62_k_sweep(benchmark):
+    g = gnp_graph(25, 0.3, max_length=5, seed=9, ensure_source_reaches=True)
+    print_header(f"Theorem 6.2: Bellman-Ford movement vs k  [m={g.m} c={REGISTERS}]")
+    rows, ks, costs = [], [], []
+    for k in (1, 2, 4, 8):
+        _, cost = bellman_ford_khop_distance(g, 0, k, num_registers=REGISTERS)
+        bound = bellman_ford_lower_bound(g.m, k, REGISTERS)
+        rows.append((k, cost, round(bound, 1)))
+        ks.append(k)
+        costs.append(cost)
+        assert cost >= bound
+    print_rows(["k", "measured movement", "Thm 6.2 bound"], rows)
+    exponent = fit_exponent(ks, costs)
+    print(f"fitted movement ~ k^{exponent:.2f} (theory: 1.0)")
+    assert 0.85 <= exponent <= 1.15
+
+    benchmark(lambda: bellman_ford_khop_distance(g, 0, 2, num_registers=REGISTERS))
+
+
+@whole_run
+def test_thm62_m_sweep():
+    k = 3
+    print_header(f"Theorem 6.2: Bellman-Ford movement vs m  [k={k}]")
+    rows, ms, costs = [], [], []
+    for n in (15, 25, 40):
+        g = gnp_graph(n, 0.35, max_length=4, seed=n + 3, ensure_source_reaches=True)
+        _, cost = bellman_ford_khop_distance(g, 0, k, num_registers=REGISTERS)
+        bound = bellman_ford_lower_bound(g.m, k, REGISTERS)
+        rows.append((g.m, cost, round(bound, 1)))
+        ms.append(g.m)
+        costs.append(cost)
+        assert cost >= bound
+    print_rows(["m", "measured movement", "bound"], rows)
+    exponent = fit_exponent(ms, costs)
+    print(f"fitted movement ~ m^{exponent:.2f} (theory: 1.5)")
+    assert exponent >= 1.25

@@ -1,0 +1,79 @@
+"""Theorem 7.2: the (1 + o(1))-approximate k-hop SSSP.
+
+Regenerates the section's three claims on real runs: the approximation
+quality (within 1 + eps of the exact k-hop distances), the running-time
+profile within polylog factors of the exact polynomial algorithm, and —
+the main payoff — the neuron-count advantage:
+``O(n log(k U log n))`` versus the exact ``O(m log(nU))``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.algorithms import spiking_khop_approx, spiking_khop_poly, spiking_khop_pseudo
+from repro.baselines import bellman_ford_khop
+from repro.workloads import gnp_graph
+
+
+def test_thm72_quality(benchmark):
+    g = gnp_graph(60, 0.15, max_length=10, seed=23, ensure_source_reaches=True)
+    k = 6
+    exact, _ = bellman_ford_khop(g, 0, k)
+    approx = benchmark(lambda: spiking_khop_approx(g, 0, k))
+    eps = approx.cost.extras["epsilon"]
+    errors = []
+    for v in range(g.n):
+        if exact[v] > 0 and approx.dist[v] >= 0:
+            errors.append(approx.dist[v] / exact[v])
+    print_header(
+        f"Theorem 7.2: approximation quality  [eps={eps:.3f}, "
+        f"{approx.cost.extras['scales']:.0f} scales]"
+    )
+    print_rows(
+        ["vertices", "max ratio", "mean ratio", "guarantee"],
+        [(len(errors), round(max(errors), 4), round(float(np.mean(errors)), 4),
+          round(1 + eps, 4))],
+    )
+    assert max(errors) <= 1 + eps + 1e-9
+
+
+@whole_run
+def test_thm72_neuron_advantage():
+    """Neurons: approx O(n log(kU log n)) vs exact O(m log(nU)) — the gap
+    widens with density."""
+    k = 5
+    print_header("Theorem 7.2: neuron counts, approximate vs exact")
+    rows = []
+    for p in (0.1, 0.3, 0.6):
+        g = gnp_graph(50, p, max_length=9, seed=int(p * 100),
+                      ensure_source_reaches=True)
+        approx = spiking_khop_approx(g, 0, k)
+        exact = spiking_khop_pseudo(g, 0, k)
+        rows.append(
+            (g.m, approx.cost.neuron_count, exact.cost.neuron_count,
+             round(exact.cost.neuron_count / approx.cost.neuron_count, 2))
+        )
+    print_rows(["m", "approx neurons", "exact neurons", "exact/approx"], rows)
+    # advantage grows with m (approx is m-independent)
+    assert rows[-1][3] > rows[0][3]
+    assert rows[-1][3] > 1.0
+
+
+@whole_run
+def test_thm72_time_within_polylog_of_exact():
+    g = gnp_graph(40, 0.25, max_length=8, seed=31, ensure_source_reaches=True)
+    k = 5
+    approx = spiking_khop_approx(g, 0, k)
+    exact_poly = spiking_khop_poly(g, 0, k)
+    ratio = approx.cost.total_time / max(1, exact_poly.cost.total_time)
+    print_header("Theorem 7.2: time vs the exact polynomial algorithm")
+    print_rows(
+        ["approx total", "exact-poly total", "ratio"],
+        [(approx.cost.total_time, exact_poly.cost.total_time, round(ratio, 2))],
+    )
+    # within polylog factors: generous envelope log^2(n k U)
+    import math
+
+    envelope = math.log2(g.n * k * g.max_length()) ** 2
+    assert ratio <= envelope

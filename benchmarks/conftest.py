@@ -1,0 +1,73 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it measures the
+model quantities (simulated ticks, neurons, spikes, movement cost, RAM
+ops), prints rows in the paper's layout, and asserts the *shape* of the
+claim — who wins, roughly by what factor, where the crossover falls.
+pytest-benchmark additionally records simulator wall-clock for the kernel
+of each experiment.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+
+def whole_run(fn):
+    """Time an entire zero-argument experiment body with pytest-benchmark.
+
+    Shape-checking benches measure model quantities (ticks, neurons,
+    movement cost) rather than wall-clock, but wrapping them keeps every
+    experiment visible under ``--benchmark-only`` and records how long the
+    regeneration itself takes.
+    """
+
+    def wrapper(benchmark):
+        benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__module__ = fn.__module__
+    return wrapper
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_rows(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    for idx, row in enumerate(cells):
+        print("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if idx == 0:
+            print("  ".join("-" * w for w in widths))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):,}"
+    return str(value)
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (the scaling exponent)."""
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Deploying graphs onto crossbar hardware (Section 4.4 end to end).
+
+Real spiking architectures expose a grid-like topology, not an arbitrary
+one.  This script embeds a sequence of social-network-ish graphs into the
+crossbar H_n, runs SSSP natively on the embedded network, shows the
+O(n)-factor embedding cost the paper charges, and estimates per-platform
+energy for each run (Appendix A).
+
+Run:  python examples/crossbar_deployment.py
+"""
+
+import numpy as np
+
+from repro.algorithms import spiking_sssp_pseudo
+from repro.baselines import dijkstra
+from repro.embedding import EmbeddingSession, embedded_sssp
+from repro.hardware import PLATFORMS, chips_required, energy_comparison
+from repro.workloads import power_law_graph
+
+
+def main() -> None:
+    n = 16
+    session = EmbeddingSession(n=n)
+    print(f"crossbar H_{n}: {2 * n * n} neurons "
+          f"({chips_required(2 * n * n, PLATFORMS['TrueNorth'])} TrueNorth chip(s))\n")
+
+    for seed in (1, 2, 3):
+        g = power_law_graph(n, attach=2, max_length=6, seed=seed)
+        emb = session.embed(g)  # unembeds the previous graph first
+        native = spiking_sssp_pseudo(g, 0)
+        onchip = embedded_sssp(g, 0, embedded=emb)
+        assert np.array_equal(native.dist, onchip.dist)
+
+        slowdown = onchip.cost.simulated_ticks / max(1, native.cost.simulated_ticks)
+        print(f"graph #{seed}: n={g.n} m={g.m}")
+        print(f"  embedded by reprogramming {emb.programmed_edges} Type-2 delays "
+              f"(cumulative session ops: {session.reprogram_ops})")
+        print(f"  native SNN time:   {native.cost.simulated_ticks} ticks")
+        print(f"  crossbar time:     {onchip.cost.simulated_ticks} ticks "
+              f"({slowdown:.0f}x — the Theta(n) embedding cost)")
+
+        _, ops = dijkstra(g, 0)
+        energy = energy_comparison(onchip.cost, ops)
+        loihi = energy["Loihi"]["joules"]
+        cpu = energy["Core i7-9700T"]["joules"]
+        print(f"  energy: Loihi {loihi:.2e} J vs CPU {cpu:.2e} J "
+              f"({cpu / loihi:.0f}x)\n")
+
+    print("The same crossbar served all three graphs; each switch cost only")
+    print("O(m) delay updates (Section 4.4's unembed/re-embed argument).")
+
+
+if __name__ == "__main__":
+    main()

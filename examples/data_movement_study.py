@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""When does the neuromorphic advantage appear?  A data-movement study.
+
+Reproduces the paper's central argument interactively: on a RAM that
+ignores data movement, Dijkstra is untouchable — but price the Manhattan
+distance every word travels (the DISTANCE model, Definition 5) and the
+spiking algorithms win by a polynomial factor that grows with graph size.
+
+Run:  python examples/data_movement_study.py
+"""
+
+from repro.algorithms import spiking_khop_pseudo, spiking_sssp_pseudo
+from repro.baselines import bellman_ford_khop, dijkstra
+from repro.distance_model import (
+    bellman_ford_khop_distance,
+    bellman_ford_lower_bound,
+    dijkstra_distance,
+)
+from repro.workloads import gnp_graph
+
+REGISTERS = 4
+
+
+def main() -> None:
+    k = 3
+    print("cost of k-hop SSSP (k=3), conventional vs neuromorphic")
+    print("(neuromorphic charged with the Theta(n) crossbar embedding)\n")
+    header = (
+        f"{'n':>4} {'m':>5} | {'RAM ops':>9} {'neuro ticks':>11} | "
+        f"{'DISTANCE':>10} {'Thm6.2 LB':>10} {'neuro ticks':>11} {'ratio':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in (12, 20, 32, 48):
+        g = gnp_graph(n, 0.5, max_length=3, seed=n, ensure_source_reaches=True)
+        neuro = spiking_khop_pseudo(g, 0, k)
+        _, ram_ops = bellman_ford_khop(g, 0, k)
+        _, movement = bellman_ford_khop_distance(g, 0, k, num_registers=REGISTERS)
+        bound = bellman_ford_lower_bound(g.m, k, REGISTERS)
+        charged = neuro.cost.with_embedding(g.n).total_time
+        print(
+            f"{g.n:>4} {g.m:>5} | {ram_ops.total:>9} {neuro.cost.total_time:>11} | "
+            f"{movement:>10} {bound:>10.0f} {charged:>11} "
+            f"{movement / charged:>6.1f}"
+        )
+
+    print(
+        "\nLeft block (no data movement): the sides trade wins depending on"
+        "\nthe workload.  Right block (DISTANCE model): the conventional"
+        "\nmovement cost grows like k*m^1.5 while the embedded spiking cost"
+        "\ngrows like n*L + m — the ratio column is the paper's provable"
+        "\npolynomial advantage, widening with size."
+    )
+
+    print("\nSame story for plain SSSP on one graph:")
+    g = gnp_graph(30, 0.25, max_length=6, seed=11, ensure_source_reaches=True)
+    neuro = spiking_sssp_pseudo(g, 0)
+    _, ops = dijkstra(g, 0)
+    _, movement = dijkstra_distance(g, 0, num_registers=REGISTERS)
+    print(f"  Dijkstra RAM ops:          {ops.total}")
+    print(f"  Dijkstra DISTANCE cost:    {movement}")
+    print(f"  spiking (native):          {neuro.cost.total_time} ticks")
+    print(f"  spiking (crossbar charge): {neuro.cost.with_embedding(g.n).total_time} ticks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The complete gate-level construction, end to end (Sections 4.1 + 5).
+
+Compiles a small graph — together with every per-vertex wired-OR max
+circuit and depth-2 TTL decrementer — into ONE recurrent network of LIF
+threshold gates, runs it spike by spike on the dense engine, and decodes
+the k-hop distances from arrival-detector spike times.  Also demonstrates
+the Section-5 circuits standalone.
+
+Run:  python examples/gate_level_showcase.py
+"""
+
+from repro.algorithms import compile_khop_pseudo_gate_level
+from repro.algorithms.khop_pseudo import run_khop_gate_level
+from repro.baselines import bellman_ford_khop
+from repro.circuits import (
+    CircuitBuilder,
+    carry_lookahead_adder,
+    run_circuit,
+    wired_or_max,
+)
+from repro.workloads import WeightedDigraph
+
+
+def showcase_circuits() -> None:
+    print("--- Section 5 circuits, standalone ---")
+    b = CircuitBuilder()
+    inputs = [b.input_bits(f"x{i}", 4) for i in range(3)]
+    res = wired_or_max(b, inputs)
+    b.output_bits("max", res.out_bits)
+    out = run_circuit(b, {"x0": 11, "x1": 6, "x2": 9})
+    print(f"wired-OR max(11, 6, 9) = {out['max']}   "
+          f"[{b.size} neurons, depth {b.depth}]")
+
+    b2 = CircuitBuilder()
+    a_bits = b2.input_bits("a", 5)
+    c_bits = b2.input_bits("b", 5)
+    b2.output_bits("sum", carry_lookahead_adder(b2, a_bits, c_bits))
+    out2 = run_circuit(b2, {"a": 19, "b": 24})
+    print(f"depth-2 adder 19 + 24 = {out2['sum']}   "
+          f"[{b2.size} neurons, depth {b2.depth}]")
+
+
+def showcase_compiled_algorithm() -> None:
+    print("\n--- Section 4.1 compiled to gates ---")
+    # 0 -> 1 -> 2 is short but 2 hops; 0 -> 2 is long but 1 hop.
+    g = WeightedDigraph(4, [(0, 1, 1), (1, 2, 1), (0, 2, 3), (2, 3, 2)])
+    for k in (1, 2, 3):
+        compiled = compile_khop_pseudo_gate_level(g, 0, k)
+        result = run_khop_gate_level(compiled)
+        reference, _ = bellman_ford_khop(g, 0, k)
+        assert (result.dist == reference).all()
+        print(
+            f"k={k}: distances {result.dist.tolist()}   "
+            f"[{compiled.net.n_neurons} gate neurons, "
+            f"edge scale {compiled.scale}, "
+            f"{result.cost.spike_count} spikes]"
+        )
+    print("\nEvery number above was computed by threshold gates exchanging")
+    print("spikes — max circuits, decrementers, and delay-encoded edges —")
+    print("and matches conventional Bellman-Ford exactly.")
+
+
+def main() -> None:
+    showcase_circuits()
+    showcase_compiled_algorithm()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Bounded-hop routing on a road-like network (the k-hop SSSP use case).
+
+A delivery planner wants the shortest route from a depot that uses at most
+``k`` road segments — every stop at an intersection costs fixed handling
+time, so fewer, longer segments can beat many short ones.  This is exactly
+the k-hop shortest path problem of Section 4.
+
+The script compares, as the hop budget k grows:
+
+* the exact Section 4.1 TTL algorithm (event level),
+* the exact Section 4.2 polynomial algorithm (round level),
+* the Section 7 (1 + eps)-approximation,
+* and conventional Bellman–Ford,
+
+reporting route quality and every cost model the paper uses.
+
+Run:  python examples/road_navigation.py
+"""
+
+import numpy as np
+
+from repro.algorithms import (
+    reconstruct_khop_path,
+    spiking_khop_approx,
+    spiking_khop_poly,
+    spiking_khop_pseudo,
+)
+from repro.baselines import bellman_ford_khop
+from repro.workloads import road_like_graph
+
+
+def main() -> None:
+    rows, cols = 8, 10
+    g = road_like_graph(rows, cols, max_length=9, highway_fraction=0.08, seed=3)
+    depot = 0
+    customer = rows * cols - 1
+    print(f"road network: {g.n} intersections, {g.m} directed segments")
+    print(f"routing {depot} -> {customer}\n")
+
+    header = (
+        f"{'k':>3}  {'exact len':>9}  {'approx len':>10}  "
+        f"{'TTL ticks':>10}  {'poly ticks':>10}  {'BF ops':>9}  {'hops used':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for k in (2, 3, 4, 6, 9, 14):
+        ttl = spiking_khop_pseudo(g, depot, k)
+        poly = spiking_khop_poly(g, depot, k)
+        approx = spiking_khop_approx(g, depot, k)
+        conv, ops = bellman_ford_khop(g, depot, k)
+        assert np.array_equal(ttl.dist, conv)
+        assert np.array_equal(poly.dist, conv)
+
+        exact_len = ttl.distance_to(customer)
+        approx_len = approx.dist[customer]
+        hops = "-"
+        if exact_len is not None:
+            path = reconstruct_khop_path(g, depot, customer, k, ttl.dist)
+            hops = len(path) - 1
+        print(
+            f"{k:>3}  {str(exact_len):>9}  "
+            f"{('%.1f' % approx_len) if approx_len >= 0 else '-':>10}  "
+            f"{ttl.cost.total_time:>10}  {poly.cost.total_time:>10}  "
+            f"{ops.total:>9}  {str(hops):>9}"
+        )
+
+    print(
+        "\nReading the table: tighter hop budgets give longer (or no) routes;"
+        "\nonce k covers the best route, the length stops improving.  The"
+        "\nspiking costs grow slowly with k while Bellman-Ford pays k full"
+        "\nedge sweeps — the Table-1 k-hop advantage."
+    )
+
+
+if __name__ == "__main__":
+    main()

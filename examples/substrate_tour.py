@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A tour of the SNN substrate: rasters, engines, CONGEST, chip mapping.
+
+Runs one small Section-3 shortest-path network and inspects it from every
+angle the library offers: an ASCII spike raster (watch the wavefront), the
+dense/event engine equivalence, the CONGEST-model reduction of Section 2.2
+(rounds + one-bit messages), and placement onto Loihi-style cores with
+spike-traffic accounting (Appendix A).
+
+Run:  python examples/substrate_tour.py
+"""
+
+from repro.core import Network, simulate
+from repro.core.raster import firing_rates, spike_raster
+from repro.hardware import LOIHI
+from repro.hardware.mapping import (
+    greedy_locality_mapping,
+    mapping_traffic,
+    round_robin_mapping,
+)
+from repro.nga.congest import simulate_snn_in_congest
+from repro.workloads import grid_graph
+
+
+def main() -> None:
+    g = grid_graph(3, 4, max_length=3, seed=5)
+    net = Network()
+    ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(g.n)]
+    for u, v, w in g.edges():
+        net.add_synapse(ids[u], ids[v], delay=int(w))
+
+    print("1) The spike wavefront (one row per vertex, '|' = spike):\n")
+    dense = simulate(net, [ids[0]], engine="dense", max_steps=60,
+                     record_spikes=True)
+    print(spike_raster(dense, ids, names=[f"v{v}" for v in range(g.n)]))
+    print(f"\n   first-spike times are the distances: "
+          f"{dense.first_spike[:g.n].tolist()}")
+
+    print("\n2) Engine equivalence (dense tick-stepping vs event-driven):")
+    event = simulate(net, [ids[0]], engine="event", max_steps=60)
+    assert (dense.first_spike == event.first_spike).all()
+    print("   identical spike times ✓")
+    rates = firing_rates(dense)
+    print(f"   busiest neuron rate: {rates.max():.3f} spikes/tick "
+          "(event-driven pays only for spikes)")
+
+    print("\n3) The CONGEST reduction (Section 2.2): one round per tick,")
+    print("   one bit per link:")
+    trace = simulate_snn_in_congest(net, [ids[0]], rounds=dense.final_tick)
+    assert (trace.first_spike == dense.first_spike).all()
+    print(f"   {trace.rounds} rounds, {trace.messages} one-bit messages, "
+          f"max link congestion {trace.max_link_bits} bit ✓")
+
+    print("\n4) Placing the network on Loihi-style cores (Appendix A):")
+    for label, mapping in (
+        ("greedy locality", greedy_locality_mapping(net, LOIHI)),
+        ("round robin", round_robin_mapping(net, LOIHI)),
+    ):
+        t = mapping_traffic(net, mapping, dense)
+        print(
+            f"   {label:16s}: {mapping.num_cores} core(s), "
+            f"traffic intra/inter-core/inter-chip = "
+            f"{t.intra_core}/{t.inter_core}/{t.inter_chip}"
+        )
+    print("\n   (tiny network -> one core; scale n up and the greedy mapper")
+    print("   keeps the wavefront's traffic on-core where round robin leaks)")
+
+
+if __name__ == "__main__":
+    main()

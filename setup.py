@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks PEP 660
+editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

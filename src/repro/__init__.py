@@ -1,0 +1,67 @@
+"""repro — a reproduction of *Provable Advantages for Graph Algorithms in
+Spiking Neural Networks* (Aimone et al., SPAA 2021).
+
+The package builds, from scratch, every system the paper describes:
+
+* :mod:`repro.core` — the discrete leaky-integrate-and-fire SNN substrate
+  (Definitions 1–3) with dense and event-driven engines;
+* :mod:`repro.circuits` — the threshold-gate circuit library of Section 5
+  and the Figure-1 gadgets;
+* :mod:`repro.nga` — the round-based neuromorphic graph algorithm model
+  (Definition 4) and semiring matrix powers;
+* :mod:`repro.algorithms` — the spiking shortest-path algorithms of
+  Sections 3, 4, and 7, at event level and fully compiled gate level;
+* :mod:`repro.embedding` — the crossbar ``H_n`` and the Section 4.4 graph
+  embedding;
+* :mod:`repro.baselines` — instrumented conventional Dijkstra and k-hop
+  Bellman–Ford;
+* :mod:`repro.distance_model` — the DISTANCE data-movement machine of
+  Definition 5 / Section 6, with measured algorithms and the lower-bound
+  formulas of Theorems 6.1 and 6.2;
+* :mod:`repro.analysis` — Table-1 complexity formulas, advantage
+  predicates, crossover location, table rendering;
+* :mod:`repro.hardware` — the Table-3 platform registry and energy model;
+* :mod:`repro.workloads` — graph type, generators, and I/O.
+
+Quickstart::
+
+    from repro.workloads import gnp_graph
+    from repro.algorithms import spiking_sssp_pseudo
+
+    g = gnp_graph(100, 0.05, max_length=10, seed=0, ensure_source_reaches=True)
+    result = spiking_sssp_pseudo(g, source=0)
+    print(result.dist, result.cost.total_time)
+"""
+
+from repro.workloads import WeightedDigraph
+from repro.core import Network, simulate
+from repro.core.cost import CostReport
+from repro.algorithms import (
+    ShortestPathResult,
+    spiking_khop_approx,
+    spiking_khop_poly,
+    spiking_khop_pseudo,
+    spiking_sssp_poly,
+    spiking_sssp_pseudo,
+)
+from repro.embedding import embedded_sssp
+from repro.baselines import bellman_ford_khop, dijkstra
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WeightedDigraph",
+    "Network",
+    "simulate",
+    "CostReport",
+    "ShortestPathResult",
+    "spiking_sssp_pseudo",
+    "spiking_khop_pseudo",
+    "spiking_khop_poly",
+    "spiking_sssp_poly",
+    "spiking_khop_approx",
+    "embedded_sssp",
+    "dijkstra",
+    "bellman_ford_khop",
+    "__version__",
+]

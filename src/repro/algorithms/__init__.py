@@ -1,0 +1,54 @@
+"""Neuromorphic shortest-path algorithms (paper Sections 3, 4, and 7).
+
+Every algorithm is provided at up to two fidelity levels:
+
+* **SNN / event level** — the graph itself is the network (one neuron or
+  one small neuron group per graph node, one synapse per edge whose delay
+  encodes length); runs on the event-driven LIF engine and scales to the
+  benchmark sweeps.  Time is reported in simulated ticks together with the
+  circuit-depth scale factors the paper charges.
+* **Gate level** — the graph *and* the per-node/per-edge arithmetic
+  circuits of Section 5 are compiled into one recurrent SNN of threshold
+  gates, demonstrating the complete construction end to end (used on small
+  graphs; integration tests prove exact agreement with the references).
+
+Contents:
+
+* :mod:`~repro.algorithms.sssp_pseudo` — Section 3 pseudopolynomial SSSP
+  (delay-encoded Dijkstra, ``O(L + m)``).
+* :mod:`~repro.algorithms.khop_pseudo` — Section 4.1 pseudopolynomial
+  k-hop SSSP with TTL messages (``O((L + m) log k)``).
+* :mod:`~repro.algorithms.khop_poly` — Section 4.2 polynomial k-hop SSSP
+  with distance messages (``O(k log(nU) + m)``), plus the SSSP variant of
+  Theorem 4.4.
+* :mod:`~repro.algorithms.approx` — Section 7 ``(1 + o(1))``-approximate
+  k-hop SSSP adapted from Nanongkai's CONGEST algorithm.
+* :mod:`~repro.algorithms.paths` — Section 4.3 path construction.
+"""
+
+from repro.algorithms.results import ShortestPathResult
+from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo
+from repro.algorithms.khop_pseudo import (
+    compile_khop_pseudo_gate_level,
+    spiking_khop_pseudo,
+)
+from repro.algorithms.khop_poly import (
+    compile_khop_poly_gate_level,
+    spiking_khop_poly,
+    spiking_sssp_poly,
+)
+from repro.algorithms.approx import spiking_khop_approx
+from repro.algorithms.paths import reconstruct_path, reconstruct_khop_path
+
+__all__ = [
+    "ShortestPathResult",
+    "spiking_sssp_pseudo",
+    "spiking_khop_pseudo",
+    "compile_khop_pseudo_gate_level",
+    "spiking_khop_poly",
+    "spiking_sssp_poly",
+    "compile_khop_poly_gate_level",
+    "spiking_khop_approx",
+    "reconstruct_path",
+    "reconstruct_khop_path",
+]

@@ -1,0 +1,381 @@
+"""Polynomial-time k-hop SSSP with distance-valued spike messages
+(paper Section 4.2) and its SSSP specialization (Theorems 4.3 / 4.4).
+
+All synapses share one delay ``x`` (the round length), so computation
+proceeds in synchronous rounds.  Every message is a
+``ceil(log2(n U))``-spike binary number: the length of some source path.
+An edge ``uv`` adds ``l(uv)`` in transit (depth-``O(log nU)`` adder);
+a node takes the minimum over simultaneously arriving messages
+(depth-``O(log nU)`` min circuit); round ``r`` therefore delivers, at each
+vertex, the minimum length over *exactly-r-edge* paths, and the prefix
+minimum over rounds ``<= k`` is the k-hop distance.  The run terminates
+after ``k`` rounds or when the destination first receives a message.
+
+* :func:`spiking_khop_poly` — round-level executor (scales to benchmark
+  sweeps); charges time ``R * x`` with ``x = Theta(log nU)`` and neurons
+  ``O(m log nU)`` exactly as Theorem 4.3 accounts.
+* :func:`spiking_sssp_poly` — SSSP variant: rounds until convergence
+  (``R = alpha``, the hop count of the shortest-path tree's deepest
+  terminal path; Theorem 4.4).
+* :func:`compile_khop_poly_gate_level` — full construction: per-edge
+  depth-2 add-constant circuits and per-vertex valid-gated min circuits
+  compiled into one recurrent SNN, executed on the LIF engine, with
+  distances decoded from the per-round output spikes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.results import ShortestPathResult
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.circuits.encoding import bit_width_for, int_from_bits
+from repro.core.cost import CostReport
+from repro.core.network import Network
+from repro.core.run import simulate
+from repro.errors import ValidationError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = [
+    "spiking_khop_poly",
+    "spiking_sssp_poly",
+    "compile_khop_poly_gate_level",
+    "CompiledKhopPolyNetwork",
+    "run_khop_poly_gate_level",
+    "poly_round_length",
+]
+
+
+def poly_round_length(n: int, U: int) -> int:
+    """The paper's round length ``x = c * log(nU)`` (we take ``c = 1``)."""
+    return max(1, math.ceil(math.log2(max(2, n * max(1, U)))))
+
+
+def _message_bits(graph: WeightedDigraph, k: int) -> int:
+    """Width ``lambda = ceil(log2)`` of the largest representable length.
+
+    Values during rounds ``<= k`` are lengths of ``<= k``-edge paths,
+    bounded by ``k * U < n * U`` — the paper's ``ceil(log (nU))``.
+    """
+    return bit_width_for(max(1, k) * max(1, graph.max_length()))
+
+
+def spiking_khop_poly(
+    graph: WeightedDigraph,
+    source: int,
+    k: int,
+    *,
+    target: Optional[int] = None,
+    stop_at_target: bool = False,
+) -> ShortestPathResult:
+    """Round-level Section 4.2 executor.
+
+    Returns the exact ``<= k``-hop distances (prefix minimum over rounds).
+    With ``stop_at_target`` the run ends the first round the target
+    receives any message (the paper's termination rule for the
+    single-destination problem) — the reported target distance is then its
+    hop-minimal path length, as in the Theorem 4.4 SSSP usage.
+    """
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    if k < 0:
+        raise ValidationError(f"k must be >= 0, got {k}")
+    if stop_at_target and target is None:
+        raise ValidationError("stop_at_target requires a target")
+    n = graph.n
+    INF = np.iinfo(np.int64).max
+    best = np.full(n, INF, dtype=np.int64)
+    best[source] = 0
+    current: Dict[int, int] = {source: 0}
+    rounds = 0
+    spikes = 0
+    bits = _message_bits(graph, k)
+    for r in range(1, k + 1):
+        nxt: Dict[int, int] = {}
+        for u, d in current.items():
+            heads, lengths = graph.out_edges(u)
+            for v, w in zip(heads.tolist(), lengths.tolist()):
+                if v == u:
+                    continue
+                cand = d + int(w)
+                if cand < nxt.get(v, INF):
+                    nxt[v] = cand
+                spikes += bits
+        rounds = r
+        for v, d in nxt.items():
+            if d < best[v]:
+                best[v] = d
+        current = nxt
+        if not current:
+            break
+        if stop_at_target and target is not None and target in nxt:
+            break
+    dist = np.where(best == INF, -1, best)
+    x = poly_round_length(n, graph.max_length())
+    cost = CostReport(
+        algorithm="khop_poly",
+        simulated_ticks=rounds * x,
+        loading_ticks=graph.m * bits,
+        neuron_count=graph.n * bits + graph.m * bits,
+        synapse_count=graph.m * bits,
+        spike_count=spikes,
+        rounds=rounds,
+        round_length=x,
+        message_bits=bits,
+    )
+    return ShortestPathResult(dist=dist, source=source, cost=cost, k=k)
+
+
+def spiking_sssp_poly(
+    graph: WeightedDigraph,
+    source: int,
+    *,
+    target: Optional[int] = None,
+) -> ShortestPathResult:
+    """SSSP via the polynomial algorithm (Theorem 4.4): ``k = alpha``.
+
+    Runs rounds until no message improves any distance (at most ``n - 1``
+    rounds); the executed round count is exactly the largest hop count of a
+    shortest path, the paper's ``alpha`` when a single target is given.
+    """
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    n = graph.n
+    INF = np.iinfo(np.int64).max
+    best = np.full(n, INF, dtype=np.int64)
+    best[source] = 0
+    hops = np.zeros(n, dtype=np.int64)  # round at which each best was set
+    current: Dict[int, int] = {source: 0}
+    rounds = 0
+    spikes = 0
+    bits = _message_bits(graph, max(1, n - 1))
+    for r in range(1, n):
+        nxt: Dict[int, int] = {}
+        for u, d in current.items():
+            heads, lengths = graph.out_edges(u)
+            for v, w in zip(heads.tolist(), lengths.tolist()):
+                if v == u:
+                    continue
+                cand = d + int(w)
+                if cand < nxt.get(v, INF):
+                    nxt[v] = cand
+                spikes += bits
+        rounds = r
+        # only forward messages that improve: non-improving values cannot
+        # lie on any shortest path, and stopping when none improve bounds
+        # the executed rounds by alpha (the deepest shortest-path hop count)
+        current = {}
+        for v, d in nxt.items():
+            if d < best[v]:
+                best[v] = d
+                hops[v] = r
+                current[v] = d
+        if not current:
+            break
+    dist = np.where(best == INF, -1, best)
+    # alpha: hop count of the (single-target) shortest path when a target is
+    # given, else the deepest shortest-path hop count over all vertices
+    alpha = int(hops[target]) if target is not None else rounds
+    x = poly_round_length(n, graph.max_length())
+    cost = CostReport(
+        algorithm="sssp_poly",
+        simulated_ticks=rounds * x,
+        loading_ticks=graph.m * bits,
+        neuron_count=graph.n * bits + graph.m * bits,
+        synapse_count=graph.m * bits,
+        spike_count=spikes,
+        rounds=rounds,
+        round_length=x,
+        message_bits=bits,
+        extras={"alpha": float(alpha)},
+    )
+    return ShortestPathResult(dist=dist, source=source, cost=cost, k=None)
+
+
+# --------------------------------------------------------------------------- #
+# Gate-level compilation
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class CompiledKhopPolyNetwork:
+    """A Section 4.2 network compiled to threshold gates.
+
+    Vertex ``v``'s output wires fire at ticks ``r * x`` (round boundaries);
+    the decoded value at round ``r`` is the minimum length over
+    exactly-``r``-edge source paths to ``v``.
+    """
+
+    net: Network
+    graph: WeightedDigraph
+    source: int
+    k: int
+    x: int
+    bits: int
+    out_bits: Dict[int, List[Signal]]
+    out_valid: Dict[int, Signal]
+    stimulus: Dict[int, List[int]]
+    max_steps: int
+
+    def decode_distances(self, spike_events: Dict[int, np.ndarray]) -> np.ndarray:
+        """Prefix-minimum readout over the ``k`` round boundaries."""
+        n = self.graph.n
+        INF = np.iinfo(np.int64).max
+        best = np.full(n, INF, dtype=np.int64)
+        best[self.source] = 0
+        for r in range(1, self.k + 1):
+            tick = r * self.x
+            fired = spike_events.get(tick)
+            fired_set = set(fired.tolist()) if fired is not None else set()
+            for v, valid in self.out_valid.items():
+                if valid.nid not in fired_set:
+                    continue
+                bits = [sig.nid in fired_set for sig in self.out_bits[v]]
+                val = int_from_bits(bits)
+                if val < best[v]:
+                    best[v] = val
+        return np.where(best == INF, -1, best)
+
+
+def compile_khop_poly_gate_level(
+    graph: WeightedDigraph,
+    source: int,
+    k: int,
+    *,
+    style: str = "wired",
+) -> CompiledKhopPolyNetwork:
+    """Compile the Section 4.2 construction into one recurrent SNN.
+
+    Each vertex's circuit contains, per in-edge, a depth-2 add-constant
+    (the edge length, Figure 4 style) followed by a valid-gated min over
+    all in-edges (Section 5 with complemented bits).  All vertex outputs
+    fire on common round boundaries ``r * x``, with ``x`` one tick more
+    than the deepest vertex circuit — the uniform synaptic delay the paper
+    prescribes, realized as ``x - depth(v)`` padding on each incoming wire.
+    """
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    if k < 1:
+        raise ValidationError(f"gate-level compilation requires k >= 1, got {k}")
+    n = graph.n
+    bits = _message_bits(graph, k)
+    net = Network()
+    clock = net.add_neuron("clock", v_threshold=0.5, tau=1.0)
+    net.add_synapse(clock, clock, weight=1.0, delay=1)
+
+    in_edges: Dict[int, List[Tuple[int, int]]] = {v: [] for v in range(n)}
+    for u, v, w in graph.edges():
+        if u != v:
+            in_edges[v].append((u, int(w)))
+
+    out_bits: Dict[int, List[Signal]] = {}
+    out_valid: Dict[int, Signal] = {}
+    # Source initial message: value 0 -> only the valid wire spikes at t=0.
+    src_bit_ids = [
+        net.add_neuron(f"src.b{j}", v_threshold=0.5, tau=1.0) for j in range(bits)
+    ]
+    src_valid_id = net.add_neuron("src.valid", v_threshold=0.5, tau=1.0)
+
+    from repro.circuits.adders import add_constant
+    from repro.circuits.max_circuits import masked_min
+
+    builders: Dict[int, CircuitBuilder] = {}
+    ports: Dict[int, List[Tuple[List[Signal], Signal]]] = {}
+    node_depth: Dict[int, int] = {}
+    for v in range(n):
+        if not in_edges[v]:
+            continue
+        b = CircuitBuilder(net, prefix=f"v{v}.")
+        b._run = Signal(clock, 0)
+        vports: List[Tuple[List[Signal], Signal]] = []
+        summed: List[List[Signal]] = []
+        valids: List[Signal] = []
+        for e_idx, (u, w) in enumerate(in_edges[v]):
+            pbits = b.input_bits(f"e{e_idx}.bits", bits)
+            pvalid = b.input_bits(f"e{e_idx}.valid", 1)[0]
+            vports.append((pbits, pvalid))
+            sbits, svalid = add_constant(
+                b, pbits, w, pvalid, name=f"e{e_idx}.add", out_width=bits
+            )
+            summed.append(sbits)
+            valids.append(svalid)
+        res = masked_min(b, summed, valids, style=style)
+        outs = b.align(list(res.out_bits) + [res.valid])
+        out_bits[v] = outs[:bits]
+        out_valid[v] = outs[bits]
+        node_depth[v] = outs[bits].offset
+        builders[v] = b
+        ports[v] = vports
+
+    depth_max = max(node_depth.values(), default=0)
+    x = depth_max + 1
+
+    # Vertex v's outputs fire at ticks r*x; pad each incoming wire so the
+    # next outputs fire at (r+1)*x: pad = x - node_depth[v].
+    for v, edges in in_edges.items():
+        if not edges:
+            continue
+        pad = x - node_depth[v]
+        assert pad >= 1
+        for e_idx, (u, w) in enumerate(edges):
+            sources: List[Tuple[List[Signal], Signal]] = []
+            if u == source:
+                # the initial (round 0) message rides the dedicated wires
+                sources.append(
+                    ([Signal(nid, 0) for nid in src_bit_ids], Signal(src_valid_id, 0))
+                )
+            if u in out_bits:
+                # later rounds relay through u's vertex circuit (this also
+                # covers the source itself when it has in-edges)
+                sources.append((out_bits[u], out_valid[u]))
+            pbits, pvalid = ports[v][e_idx]
+            for ubits, uvalid in sources:
+                for j in range(bits):
+                    net.add_synapse(ubits[j].nid, pbits[j].nid, weight=1.0, delay=pad)
+                net.add_synapse(uvalid.nid, pvalid.nid, weight=1.0, delay=pad)
+    stim = {0: [clock, src_valid_id]}
+    max_steps = k * x + 1
+    return CompiledKhopPolyNetwork(
+        net=net,
+        graph=graph,
+        source=source,
+        k=k,
+        x=x,
+        bits=bits,
+        out_bits=out_bits,
+        out_valid=out_valid,
+        stimulus=stim,
+        max_steps=max_steps,
+    )
+
+
+def run_khop_poly_gate_level(compiled: CompiledKhopPolyNetwork) -> ShortestPathResult:
+    """Execute a compiled Section-4.2 network and decode distances."""
+    result = simulate(
+        compiled.net,
+        compiled.stimulus,
+        engine="dense",
+        max_steps=compiled.max_steps,
+        stop_when_quiescent=False,
+        record_spikes=True,
+    )
+    assert result.spike_events is not None
+    dist = compiled.decode_distances(result.spike_events)
+    cost = CostReport(
+        algorithm="khop_poly+gates",
+        simulated_ticks=compiled.k * compiled.x,
+        loading_ticks=compiled.net.n_synapses,
+        neuron_count=compiled.net.n_neurons,
+        synapse_count=compiled.net.n_synapses,
+        spike_count=result.total_spikes,
+        rounds=compiled.k,
+        round_length=compiled.x,
+        message_bits=compiled.bits,
+    )
+    return ShortestPathResult(
+        dist=dist, source=compiled.source, cost=cost, k=compiled.k, sim=result
+    )

@@ -1,0 +1,137 @@
+"""Path construction (paper Sections 3 and 4.3).
+
+The spiking algorithms compute path *lengths*; recovering the paths
+themselves requires remembering, at each vertex, a neighbor that delivered
+the first (or round-optimal) spike — the paper latches the sender's
+``log n``-bit ID (Section 3) at an ``O(k)``-factor neuron overhead for the
+k-hop variants (Section 4.3).
+
+Here the latched information is recovered equivalently from the computed
+distances: ``u`` precedes ``v`` on a shortest path iff
+``dist(u) + l(uv) == dist(v)`` (and, for k-hop paths, iff the hop budget
+also decreases), which is exactly the predicate the latch gadget of Figure
+1B captures in spiking form.  :func:`neuron_overhead_for_paths` reports the
+extra-resource accounting the paper states.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["reconstruct_path", "reconstruct_khop_path", "neuron_overhead_for_paths"]
+
+
+def reconstruct_path(
+    graph: WeightedDigraph,
+    dist: np.ndarray,
+    source: int,
+    target: int,
+) -> Optional[List[int]]:
+    """Recover one shortest path from exact SSSP distances.
+
+    Walks backward from ``target`` choosing any in-neighbor ``u`` with
+    ``dist[u] + l(uv) == dist[v]``.  Returns ``None`` if the target is
+    unreachable.  Raises if ``dist`` is not consistent with ``graph``.
+    """
+    if dist.shape != (graph.n,):
+        raise ValidationError("dist length must equal graph.n")
+    if dist[target] < 0:
+        return None
+    rev = graph.reverse()
+    path = [target]
+    v = target
+    guard = 0
+    while v != source:
+        heads, lengths = rev.out_edges(v)  # in-edges of v in the original
+        found = None
+        for u, w in zip(heads.tolist(), lengths.tolist()):
+            if dist[u] >= 0 and dist[u] + w == dist[v]:
+                found = u
+                break
+        if found is None:
+            raise ValidationError(
+                f"distances inconsistent with graph at vertex {v}"
+            )
+        path.append(found)
+        v = found
+        guard += 1
+        if guard > graph.n:
+            raise ValidationError("cycle encountered; distances are not shortest")
+    path.reverse()
+    return path
+
+
+def reconstruct_khop_path(
+    graph: WeightedDigraph,
+    source: int,
+    target: int,
+    k: int,
+    dist_k: np.ndarray,
+) -> Optional[List[int]]:
+    """Recover one shortest ``<= k``-hop path.
+
+    Uses a hop-indexed dynamic program seeded by the algorithm's reported
+    target distance: finds hop counts ``h <= k`` and predecessors achieving
+    ``dist_k[target]`` within ``h`` edges.  Returns ``None`` if the target
+    is k-hop unreachable.
+    """
+    if dist_k[target] < 0:
+        return None
+    n = graph.n
+    INF = np.iinfo(np.int64).max
+    # d[h][v]: min length over paths with exactly <= h edges (standard DP)
+    d = np.full((k + 1, n), INF, dtype=np.int64)
+    d[:, source] = 0
+    for h in range(1, k + 1):
+        d[h] = d[h - 1]
+        for i in range(graph.m):
+            u, v, w = int(graph.tails[i]), int(graph.heads[i]), int(graph.lengths[i])
+            if u == v or d[h - 1][u] == INF:
+                continue
+            cand = d[h - 1][u] + w
+            if cand < d[h][v]:
+                d[h][v] = cand
+    if d[k][target] != dist_k[target]:
+        raise ValidationError("dist_k inconsistent with graph")
+    # walk back through the DP table
+    path = [target]
+    v, h = target, k
+    rev = graph.reverse()
+    while v != source:
+        heads, lengths = rev.out_edges(v)
+        step = None
+        for u, w in zip(heads.tolist(), lengths.tolist()):
+            if h >= 1 and d[h - 1][u] != INF and d[h - 1][u] + w == d[h][v]:
+                step = u
+                break
+        if step is None:
+            # the optimum at v uses fewer than h hops; shrink the budget
+            h -= 1
+            if h < 0:
+                raise ValidationError("failed to trace k-hop path")
+            continue
+        path.append(step)
+        v = step
+        h -= 1
+    path.reverse()
+    return path
+
+
+def neuron_overhead_for_paths(n: int, m: int, k: Optional[int] = None) -> int:
+    """Extra neurons to *construct* paths rather than only lengths.
+
+    Section 3: each vertex latches a ``ceil(log n)``-bit sender ID —
+    ``O(n log n)`` extra neurons.  Section 4.3: the k-hop algorithms store
+    per-hop information, a multiplicative ``O(k)`` factor on top.
+    """
+    bits = max(1, math.ceil(math.log2(max(2, n))))
+    per_vertex = bits
+    if k is not None:
+        per_vertex *= max(1, k)
+    return n * per_vertex

@@ -1,0 +1,55 @@
+"""Common result type for the shortest-path algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import CostReport
+from repro.core.result import SimulationResult
+
+__all__ = ["ShortestPathResult", "UNREACHABLE"]
+
+#: Distance value reported for vertices no admissible path reaches.
+UNREACHABLE: int = -1
+
+
+@dataclass
+class ShortestPathResult:
+    """Distances (and cost accounting) from one algorithm execution.
+
+    Attributes
+    ----------
+    dist:
+        ``int64[n]``; ``dist[v]`` is the computed shortest-path length from
+        the source (restricted to ``<= k`` hops for the k-hop algorithms),
+        or ``UNREACHABLE`` (-1).  For the approximation algorithm the values
+        are the ``(1 + eps)``-approximate lengths.
+    source:
+        Source vertex.
+    k:
+        Hop bound, when the algorithm enforces one.
+    cost:
+        Neuromorphic model cost of the run.
+    sim:
+        The raw engine result, when the algorithm ran an actual SNN
+        (event/gate level); ``None`` for round-level executions.
+    """
+
+    dist: np.ndarray
+    source: int
+    cost: CostReport
+    k: Optional[int] = None
+    sim: Optional[SimulationResult] = None
+
+    def distance_to(self, v: int) -> Optional[int]:
+        """Distance to ``v`` or ``None`` if unreachable."""
+        d = int(self.dist[v])
+        return None if d == UNREACHABLE else d
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Boolean mask of vertices with a finite computed distance."""
+        return self.dist != UNREACHABLE

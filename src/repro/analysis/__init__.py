@@ -1,0 +1,51 @@
+"""Complexity formulas, advantage predicates, and table rendering.
+
+:mod:`~repro.analysis.complexity` encodes every cell of Table 1 as an
+explicit function of the problem parameters (``n, m, k, U, L, alpha, c``),
+with the theorem each formula comes from; :mod:`~repro.analysis.advantage`
+encodes the "neuromorphic is better when" side conditions and locates
+empirical crossovers; :mod:`~repro.analysis.tables` renders measured
+comparisons in the layout of Table 1.
+"""
+
+from repro.analysis.complexity import (
+    conventional_khop_time,
+    conventional_sssp_time,
+    distance_lower_bound_khop,
+    distance_lower_bound_sssp,
+    neuro_approx_khop_time,
+    neuro_khop_poly_time,
+    neuro_khop_pseudo_time,
+    neuro_sssp_poly_time,
+    neuro_sssp_pseudo_time,
+)
+from repro.analysis.advantage import (
+    advantage_conditions_table1,
+    advantage_ratio,
+    find_crossover,
+)
+from repro.analysis.tables import ComparisonRow, render_table
+from repro.analysis.sweeps import Series, crossover_between, render_series, sweep
+from repro.analysis.report import generate_instance_report
+
+__all__ = [
+    "conventional_sssp_time",
+    "conventional_khop_time",
+    "distance_lower_bound_sssp",
+    "distance_lower_bound_khop",
+    "neuro_sssp_pseudo_time",
+    "neuro_khop_pseudo_time",
+    "neuro_sssp_poly_time",
+    "neuro_khop_poly_time",
+    "neuro_approx_khop_time",
+    "advantage_ratio",
+    "advantage_conditions_table1",
+    "find_crossover",
+    "ComparisonRow",
+    "render_table",
+    "Series",
+    "sweep",
+    "crossover_between",
+    "render_series",
+    "generate_instance_report",
+]

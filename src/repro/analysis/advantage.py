@@ -1,0 +1,95 @@
+"""Advantage predicates and empirical crossover location (Table 1's
+"neuromorphic is better when" column).
+
+Asymptotic little-o conditions are interpreted at concrete sizes as strict
+inequalities between the two sides (with unit constants), which is the
+standard way to *visualize* an asymptotic claim on a finite sweep: the
+benches plot both cost curves and check that the predicted winner is the
+measured winner away from the crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.complexity import log2c
+
+__all__ = ["advantage_ratio", "advantage_conditions_table1", "find_crossover"]
+
+
+def advantage_ratio(conventional_cost: float, neuromorphic_cost: float) -> float:
+    """``conventional / neuromorphic`` — above 1 means neuromorphic wins."""
+    if neuromorphic_cost <= 0:
+        return math.inf
+    return conventional_cost / neuromorphic_cost
+
+
+def advantage_conditions_table1(
+    *,
+    n: int,
+    m: int,
+    U: int,
+    c: int,
+    k: Optional[int] = None,
+    L: Optional[int] = None,
+    alpha: Optional[int] = None,
+) -> Dict[str, bool]:
+    """Evaluate every Table-1 side condition at concrete parameters.
+
+    Returns a map from condition name (one per table row) to whether it
+    holds.  Keys:
+
+    * ``sssp_poly_dm`` — ``log U = O(log n)``, ``c = o(m / log^2 n)``, and
+      ``alpha = o(m^{3/2} / (n log n sqrt c))``;
+    * ``khop_poly_dm`` — ``log U = O(log n)``, ``c = o(m^3/(n^2 log^2 n))``,
+      and ``c = o(k^2 m / log^2 n)``;
+    * ``sssp_pseudo_dm`` — ``L = o(m^{3/2} / (n sqrt c))``;
+    * ``khop_pseudo_dm`` — ``L = o(k m^{3/2} / (n sqrt c log k))``;
+    * ``sssp_poly_nodm`` — never;
+    * ``khop_poly_nodm`` — ``log(nU) = o(k)``;
+    * ``sssp_pseudo_nodm`` — ``m, L = o(n log n)`` and ``L = o(m)``;
+    * ``khop_pseudo_nodm`` — ``L = o(km / log k)`` and ``k = omega(1)``.
+    """
+    lg_n = log2c(n)
+    out: Dict[str, bool] = {}
+    log_u_ok = log2c(max(1, U)) <= 2 * lg_n  # log U = O(log n), constant 2
+    if alpha is not None:
+        out["sssp_poly_dm"] = (
+            log_u_ok
+            and c < m / lg_n**2
+            and alpha < m**1.5 / (n * lg_n * math.sqrt(c))
+        )
+    if k is not None:
+        out["khop_poly_dm"] = (
+            log_u_ok
+            and c < m**3 / (n**2 * lg_n**2)
+            and c < k**2 * m / lg_n**2
+        )
+        out["khop_poly_nodm"] = log2c(n * max(1, U)) < k
+    if L is not None:
+        out["sssp_pseudo_dm"] = L < m**1.5 / (n * math.sqrt(c))
+        out["sssp_pseudo_nodm"] = m < n * lg_n and L < n * lg_n and L < m
+    if L is not None and k is not None:
+        lg_k = log2c(k)
+        out["khop_pseudo_dm"] = L < k * m**1.5 / (n * math.sqrt(c) * lg_k)
+        out["khop_pseudo_nodm"] = L < k * m / lg_k and k > 1
+    out["sssp_poly_nodm"] = False
+    return out
+
+
+def find_crossover(
+    conventional: Callable[[int], float],
+    neuromorphic: Callable[[int], float],
+    parameter_values: Sequence[int],
+) -> Optional[int]:
+    """First parameter value at which the neuromorphic cost drops below the
+    conventional cost (``None`` if it never does on the sweep).
+
+    Used by the Table-1 benches to report where the advantage kicks in —
+    e.g. sweeping ``k`` for fixed ``(n, m, U)`` in the k-hop rows.
+    """
+    for p in parameter_values:
+        if neuromorphic(p) < conventional(p):
+            return p
+    return None

@@ -1,0 +1,157 @@
+"""One-call Markdown report for a problem instance.
+
+Bundles everything the library can say about one graph into a single
+document: instance statistics, both halves of the Table-1 comparison
+measured on the instance, the advantage side conditions evaluated at its
+parameters, and the Appendix-A energy estimate.  Used by the CLI's
+``report`` command and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+from repro.algorithms import spiking_khop_pseudo, spiking_sssp_pseudo
+from repro.analysis.advantage import advantage_conditions_table1
+from repro.analysis.tables import ComparisonRow
+from repro.baselines import bellman_ford_khop, dijkstra
+from repro.distance_model import (
+    bellman_ford_khop_distance,
+    bellman_ford_lower_bound,
+    dijkstra_distance,
+    read_lower_bound_2d,
+)
+from repro.errors import ValidationError
+from repro.hardware import energy_comparison
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["generate_instance_report"]
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def _fmt(x: float) -> str:
+    return f"{x:,.0f}" if abs(x) >= 1 else f"{x:.3g}"
+
+
+def generate_instance_report(
+    graph: WeightedDigraph,
+    source: int = 0,
+    *,
+    k: int = 4,
+    registers: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render the full Markdown report for one instance."""
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    g = graph
+    n, m, U = g.n, g.m, g.max_length()
+
+    # measurements
+    neuro_sssp = spiking_sssp_pseudo(g, source)
+    neuro_khop = spiking_khop_pseudo(g, source, k)
+    _, ram_sssp = dijkstra(g, source)
+    _, ram_khop = bellman_ford_khop(g, source, k)
+    _, mv_sssp = dijkstra_distance(g, source, num_registers=registers)
+    _, mv_khop = bellman_ford_khop_distance(g, source, k, num_registers=registers)
+
+    L = int(neuro_sssp.dist.max()) if (neuro_sssp.dist >= 0).any() else 0
+    Lk = int(neuro_khop.dist.max()) if (neuro_khop.dist >= 0).any() else 0
+    reached = int((neuro_sssp.dist >= 0).sum())
+
+    rows_nodm = [
+        ComparisonRow("SSSP", ram_sssp.total, neuro_sssp.cost.total_time),
+        ComparisonRow(f"{k}-hop SSSP", ram_khop.total, neuro_khop.cost.total_time),
+    ]
+    rows_dm = [
+        ComparisonRow(
+            "SSSP",
+            mv_sssp,
+            neuro_sssp.cost.with_embedding(n).total_time,
+            lower_bound=read_lower_bound_2d(m, registers),
+        ),
+        ComparisonRow(
+            f"{k}-hop SSSP",
+            mv_khop,
+            neuro_khop.cost.with_embedding(n).total_time,
+            lower_bound=bellman_ford_lower_bound(m, k, registers),
+        ),
+    ]
+    conds = advantage_conditions_table1(n=n, m=m, U=U, c=registers, k=k, L=L)
+    energy = energy_comparison(neuro_sssp.cost, ram_sssp)
+
+    doc: List[str] = []
+    doc.append(f"# {title or 'Neuromorphic advantage report'}")
+    doc.append("")
+    doc.append("## Instance")
+    doc.append("")
+    doc.append(
+        _md_table(
+            ["n", "m", "U", "source", "reached", "L (max dist)", f"L_k (k={k})"],
+            [[n, m, U, source, reached, L, Lk]],
+        )
+    )
+    doc.append("")
+    doc.append("## Ignoring data movement (RAM operation counts)")
+    doc.append("")
+    doc.append(
+        _md_table(
+            ["problem", "conventional", "neuromorphic (ticks)", "ratio", "winner"],
+            [
+                [r.problem, _fmt(r.conventional), _fmt(r.neuromorphic),
+                 f"{r.ratio:.2f}", r.measured_winner]
+                for r in rows_nodm
+            ],
+        )
+    )
+    doc.append("")
+    doc.append(f"## With data movement (DISTANCE model, c = {registers})")
+    doc.append("")
+    doc.append(
+        _md_table(
+            ["problem", "movement cost", "lower bound", "neuromorphic (xn charge)",
+             "ratio", "winner"],
+            [
+                [r.problem, _fmt(r.conventional), _fmt(r.lower_bound),
+                 _fmt(r.neuromorphic), f"{r.ratio:.2f}", r.measured_winner]
+                for r in rows_dm
+            ],
+        )
+    )
+    doc.append("")
+    doc.append("## Table-1 side conditions at these parameters")
+    doc.append("")
+    doc.append(
+        _md_table(
+            ["condition", "holds"],
+            [[name, "yes" if ok else "no"] for name, ok in sorted(conds.items())],
+        )
+    )
+    doc.append("")
+    doc.append("## Energy estimate (Appendix A constants)")
+    doc.append("")
+    energy_rows = []
+    for platform, vals in energy.items():
+        j = vals["joules"]
+        energy_rows.append(
+            [platform, "n/a" if j is None else f"{j:.3e} J", vals["chips"]]
+        )
+    doc.append(_md_table(["platform", "energy per SSSP run", "chips"], energy_rows))
+    doc.append("")
+    doc.append(
+        f"_Neuromorphic run: {neuro_sssp.cost.spike_count} spikes, "
+        f"{neuro_sssp.cost.neuron_count} neurons; conventional baseline: "
+        f"{ram_sssp.total} RAM operations._"
+    )
+    doc.append("")
+    return "\n".join(doc)

@@ -1,0 +1,94 @@
+"""Parameter-sweep utilities shared by benches and examples.
+
+A :class:`Series` is a measured cost curve over one swept parameter; the
+helpers fit scaling exponents (log-log least squares), locate crossovers
+between two curves, and render several series side by side — the mechanics
+behind every "who wins, and from where?" question in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Series", "sweep", "crossover_between", "render_series"]
+
+
+@dataclass
+class Series:
+    """One measured curve: ``ys[i]`` is the cost at parameter ``xs[i]``."""
+
+    xs: List[float]
+    ys: List[float]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValidationError("xs and ys must have equal lengths")
+
+    def fit_exponent(self) -> float:
+        """Least-squares slope of log y vs log x — the scaling exponent."""
+        if len(self.xs) < 2:
+            raise ValidationError("need at least two points to fit")
+        if min(self.xs) <= 0 or min(self.ys) <= 0:
+            raise ValidationError("log-log fit requires positive data")
+        slope, _ = np.polyfit(np.log(self.xs), np.log(self.ys), 1)
+        return float(slope)
+
+    def ratio_to(self, other: "Series") -> "Series":
+        """Pointwise ``self / other`` (the advantage-ratio curve)."""
+        if self.xs != other.xs:
+            raise ValidationError("series must share the same sweep points")
+        ys = [a / b if b else float("inf") for a, b in zip(self.ys, other.ys)]
+        return Series(list(self.xs), ys, label=f"{self.label}/{other.label}")
+
+
+def sweep(
+    values: Sequence[float],
+    fn: Callable[[float], float],
+    label: str = "",
+) -> Series:
+    """Evaluate ``fn`` over ``values`` into a :class:`Series`."""
+    return Series(list(values), [float(fn(v)) for v in values], label=label)
+
+
+def crossover_between(a: Series, b: Series) -> Optional[float]:
+    """First sweep point where ``b`` drops strictly below ``a``."""
+    if a.xs != b.xs:
+        raise ValidationError("series must share the same sweep points")
+    for x, ya, yb in zip(a.xs, a.ys, b.ys):
+        if yb < ya:
+            return x
+    return None
+
+
+def render_series(series_list: Sequence[Series], x_label: str = "x") -> str:
+    """Columnar text rendering of several series over a shared sweep."""
+    if not series_list:
+        return ""
+    xs = series_list[0].xs
+    for s in series_list[1:]:
+        if s.xs != xs:
+            raise ValidationError("series must share the same sweep points")
+    headers = [x_label] + [s.label or f"series{i}" for i, s in enumerate(series_list)]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([_fmt(x)] + [_fmt(s.ys[i]) for s in series_list])
+    widths = [
+        max(len(headers[c]), max(len(r[c]) for r in rows)) for c in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    if float(v).is_integer():
+        return f"{int(v):,}"
+    return f"{v:.3g}"

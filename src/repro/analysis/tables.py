@@ -1,0 +1,71 @@
+"""Rendering measured comparisons in the layout of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["ComparisonRow", "render_table"]
+
+
+@dataclass
+class ComparisonRow:
+    """One problem row of a Table-1-style comparison.
+
+    All costs are in the respective model's unit: conventional entries in
+    RAM operations or DISTANCE movement cost, neuromorphic entries in
+    simulated ticks (:attr:`CostReport.total_time`).
+    """
+
+    problem: str
+    conventional: float
+    neuromorphic: float
+    lower_bound: Optional[float] = None
+    predicted_winner: Optional[str] = None
+    note: str = ""
+
+    @property
+    def measured_winner(self) -> str:
+        return "neuromorphic" if self.neuromorphic < self.conventional else "conventional"
+
+    @property
+    def ratio(self) -> float:
+        return self.conventional / self.neuromorphic if self.neuromorphic else float("inf")
+
+
+def render_table(rows: Sequence[ComparisonRow], title: str = "") -> str:
+    """ASCII layout mirroring Table 1's columns."""
+    headers = [
+        "problem",
+        "conventional",
+        "neuromorphic",
+        "lower bound",
+        "ratio(conv/neuro)",
+        "winner",
+        "note",
+    ]
+    body: List[List[str]] = []
+    for r in rows:
+        body.append(
+            [
+                r.problem,
+                f"{r.conventional:,.0f}",
+                f"{r.neuromorphic:,.0f}",
+                "-" if r.lower_bound is None else f"{r.lower_bound:,.0f}",
+                f"{r.ratio:.2f}",
+                r.measured_winner,
+                r.note,
+            ]
+        )
+    widths = [
+        max(len(headers[i]), max((len(row[i]) for row in body), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

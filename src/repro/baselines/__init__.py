@@ -1,0 +1,15 @@
+"""Conventional (RAM-model) baseline algorithms with operation counting.
+
+The "ignoring data movement" half of Table 1 compares the neuromorphic
+algorithms against the best-known conventional serial algorithms:
+Dijkstra's algorithm (``O(m + n log n)``) for SSSP and ``k`` rounds of
+Bellman–Ford (``O(km)``) for k-hop SSSP.  Instrumented operation counters
+make the comparison empirical; the DISTANCE-model variants that also charge
+data movement live in :mod:`repro.distance_model`.
+"""
+
+from repro.baselines.counting import OpCounter
+from repro.baselines.dijkstra import dijkstra
+from repro.baselines.bellman_ford import bellman_ford_khop
+
+__all__ = ["OpCounter", "dijkstra", "bellman_ford_khop"]

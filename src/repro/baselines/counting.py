@@ -1,0 +1,34 @@
+"""Operation counters for the conventional baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OpCounter"]
+
+
+@dataclass
+class OpCounter:
+    """Unit-cost RAM operation counts of one baseline execution.
+
+    ``total`` is the quantity compared against the neuromorphic
+    ``CostReport.total_time`` in the no-data-movement half of Table 1.
+    """
+
+    comparisons: int = 0
+    relaxations: int = 0
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    array_reads: int = 0
+    array_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.comparisons
+            + self.relaxations
+            + self.heap_pushes
+            + self.heap_pops
+            + self.array_reads
+            + self.array_writes
+        )

@@ -1,0 +1,63 @@
+"""Instrumented Dijkstra (binary heap), the paper's conventional SSSP
+baseline (``O(m + n log n)`` with a Fibonacci heap; ``O((n + m) log n)``
+with the binary heap used here — the log factor is irrelevant to the
+polynomial-gap comparisons of Table 1 and noted in the analysis module).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.counting import OpCounter
+from repro.errors import ValidationError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["dijkstra"]
+
+
+def dijkstra(
+    graph: WeightedDigraph,
+    source: int,
+    *,
+    target: Optional[int] = None,
+) -> Tuple[np.ndarray, OpCounter]:
+    """Exact SSSP distances (``-1`` if unreachable) plus operation counts.
+
+    Stops early once ``target`` (if given) is settled.
+    """
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    n = graph.n
+    INF = np.iinfo(np.int64).max
+    dist = np.full(n, INF, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    ops = OpCounter()
+    dist[source] = 0
+    ops.array_writes += 1
+    heap = [(0, source)]
+    ops.heap_pushes += 1
+    while heap:
+        d, u = heapq.heappop(heap)
+        ops.heap_pops += 1
+        if done[u]:
+            ops.array_reads += 1
+            continue
+        done[u] = True
+        ops.array_writes += 1
+        if target is not None and u == target:
+            break
+        heads, lengths = graph.out_edges(u)
+        for v, w in zip(heads.tolist(), lengths.tolist()):
+            ops.array_reads += 2  # edge head + length
+            cand = d + int(w)
+            ops.relaxations += 1
+            ops.comparisons += 1
+            if cand < dist[v]:
+                dist[v] = cand
+                ops.array_writes += 1
+                heapq.heappush(heap, (cand, v))
+                ops.heap_pushes += 1
+    return np.where(dist == INF, -1, dist), ops

@@ -1,0 +1,78 @@
+"""Neuromorphic circuit library (paper Section 5 and Figure 1).
+
+Circuits are feed-forward networks of memoryless threshold gates — LIF
+neurons with decay ``tau = 1`` — assembled with :class:`CircuitBuilder`,
+which tracks at which tick-offset each signal is available and programs
+synaptic delays so that all inputs of a gate arrive simultaneously (the
+paper's "using delays and dummy neurons, feed-forward circuits of threshold
+gates run in time proportional to depth").
+
+Because every gate resets each tick, circuits are *pipelined*: independent
+input waves presented on consecutive ticks flow through without interfering,
+which is exactly the property the k-hop algorithms rely on when spike
+messages arrive at a node at many different times.
+
+Contents:
+
+* :mod:`~repro.circuits.gates` — Figure 1 gadgets: simulated synaptic delay,
+  latch memory, one-shot relay.
+* :mod:`~repro.circuits.comparators` — Figure 5A threshold comparators.
+* :mod:`~repro.circuits.max_circuits` — Theorem 5.1 wired-OR max
+  (``O(d*lambda)`` neurons, ``O(lambda)`` depth) and Theorem 5.2 brute-force
+  max (``O(d^2)`` neurons, constant depth), min variants, and the
+  valid-gated variants used by the Section 4 algorithms.
+* :mod:`~repro.circuits.adders` — Figure 4 carry-lookahead depth-2 adder
+  (Ramos–Bohórquez style), ripple adder, add-constant, subtract-one.
+* :mod:`~repro.circuits.encoding` — integer <-> spike-pattern codecs.
+* :mod:`~repro.circuits.runner` — drive a built circuit through the LIF
+  engine and decode its outputs.
+"""
+
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.circuits.encoding import bits_from_int, int_from_bits
+from repro.circuits.runner import run_circuit
+from repro.circuits.gates import (
+    build_delay_gadget,
+    build_latch,
+    build_one_shot_gadget,
+)
+from repro.circuits.comparators import comparator_geq, comparator_gt
+from repro.circuits.max_circuits import (
+    brute_force_max,
+    brute_force_min,
+    masked_min,
+    masked_max,
+    wired_or_max,
+    wired_or_min,
+)
+from repro.circuits.adders import (
+    add_constant,
+    carry_lookahead_adder,
+    ripple_adder,
+    siu_adder,
+    subtract_one,
+)
+
+__all__ = [
+    "CircuitBuilder",
+    "Signal",
+    "bits_from_int",
+    "int_from_bits",
+    "run_circuit",
+    "build_delay_gadget",
+    "build_latch",
+    "build_one_shot_gadget",
+    "comparator_geq",
+    "comparator_gt",
+    "brute_force_max",
+    "brute_force_min",
+    "wired_or_max",
+    "wired_or_min",
+    "masked_min",
+    "masked_max",
+    "add_constant",
+    "carry_lookahead_adder",
+    "siu_adder",
+    "ripple_adder",
+    "subtract_one",
+]

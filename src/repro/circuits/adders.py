@@ -1,0 +1,241 @@
+"""Threshold-gate adders (Section 5 "Sum Circuits", Figure 4).
+
+* :func:`carry_lookahead_adder` — the Ramos–Bohórquez-style depth-2 design:
+  every carry is a *single* threshold gate with place-value (exponential)
+  weights — ``c_j`` fires iff the low ``j`` bits of ``a + b`` reach ``2^j``
+  — and each sum bit is recovered arithmetically as
+  ``s_j = a_j + b_j + c_j - 2*c_{j+1}``.  ``O(lambda)`` neurons, depth 2.
+* :func:`siu_adder` — the Siu et al. style design the section cites: all
+  carries computed simultaneously from generate/propagate terms with
+  *small* weights — ``O(lambda^2)`` neurons, constant depth.  Together the
+  three span the size/depth/weight tradeoff: lookahead (small+shallow,
+  exponential weights), Siu (quadratic+shallow, unit weights), ripple
+  (small+deep, unit weights).
+* :func:`ripple_adder` — textbook full-adder chain with unit/small weights:
+  ``O(lambda)`` neurons, ``O(lambda)`` depth.  This is the "chained parity
+  circuits" alternative Section 4.1 mentions.
+* :func:`add_constant` — carry-lookahead specialization with one operand
+  hardwired, gated by a *valid* wire so an absent message produces an
+  absent (all-silent) result.  This is the per-edge "add the edge length"
+  circuit of the Section 4.2 algorithm.
+* :func:`subtract_one` — decrement via adding the two's complement of 1
+  (all-ones constant, Section 4.1) and dropping the carry out.  This is the
+  per-node TTL decrementer of the Section 4.1 algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.errors import CircuitError
+
+__all__ = [
+    "carry_lookahead_adder",
+    "siu_adder",
+    "ripple_adder",
+    "add_constant",
+    "subtract_one",
+]
+
+
+def carry_lookahead_adder(
+    builder: CircuitBuilder,
+    a_bits: Sequence[Signal],
+    b_bits: Sequence[Signal],
+    name: str = "cla",
+) -> List[Signal]:
+    """Depth-2 adder of two ``lambda``-bit numbers; returns ``lambda + 1`` bits.
+
+    Layer 1 computes every carry ``c_j`` (one exponential-weight gate
+    each); layer 2 computes ``s_j = a_j + b_j + c_j - 2 c_{j+1}``, which is
+    0/1 by the definition of binary addition.
+    """
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise CircuitError("adder operands must share one positive width")
+    width = len(a_bits)
+    a = builder.align(list(a_bits) + list(b_bits), name=f"{name}.in")
+    a_bits, b_bits = a[:width], a[width:]
+    # c[j] for j = 1..width ; c[0] = 0 conceptually.
+    carries: List[Optional[Signal]] = [None] * (width + 1)
+    for j in range(1, width + 1):
+        inputs = [(a_bits[i], float(1 << i)) for i in range(j)] + [
+            (b_bits[i], float(1 << i)) for i in range(j)
+        ]
+        carries[j] = builder.gate(inputs, (1 << j) - 0.5, name=f"{name}.c{j}")
+    sums: List[Signal] = []
+    for j in range(width):
+        inputs: List[Tuple[Signal, float]] = [(a_bits[j], 1.0), (b_bits[j], 1.0)]
+        if j >= 1:
+            inputs.append((carries[j], 1.0))
+        inputs.append((carries[j + 1], -2.0))
+        sums.append(
+            builder.gate(
+                inputs, 0.5, name=f"{name}.s{j}", at_offset=carries[j + 1].offset + 1
+            )
+        )
+    top = builder.buffer(carries[width], name=f"{name}.s{width}")
+    return builder.align(sums + [top], name=f"{name}.out")
+
+
+def siu_adder(
+    builder: CircuitBuilder,
+    a_bits: Sequence[Signal],
+    b_bits: Sequence[Signal],
+    name: str = "siu",
+) -> List[Signal]:
+    """Constant-depth adder with unit weights and ``O(lambda^2)`` neurons.
+
+    Carries via generate/propagate: position ``i`` *generates* a carry when
+    ``a_i AND b_i`` and *propagates* one when ``a_i OR b_i``; then
+    ``c_j = OR_{i < j} (g_i AND p_{i+1} AND ... AND p_{j-1})`` — each term a
+    single unit-weight AND gate, ``O(lambda^2)`` of them in all.  Sum bits
+    are recovered arithmetically as in the lookahead design.
+    """
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise CircuitError("adder operands must share one positive width")
+    width = len(a_bits)
+    aligned = builder.align(list(a_bits) + list(b_bits), name=f"{name}.in")
+    a_bits, b_bits = aligned[:width], aligned[width:]
+    gen = [builder.and_gate([a_bits[i], b_bits[i]], name=f"{name}.g{i}") for i in range(width)]
+    prop = [builder.or_gate([a_bits[i], b_bits[i]], name=f"{name}.p{i}") for i in range(width)]
+    carries: List[Optional[Signal]] = [None] * (width + 1)
+    for j in range(1, width + 1):
+        terms = []
+        for i in range(j):
+            chain = [gen[i]] + [prop[x] for x in range(i + 1, j)]
+            terms.append(builder.and_gate(chain, name=f"{name}.t{i},{j}"))
+        carries[j] = builder.or_gate(terms, name=f"{name}.c{j}")
+    sums: List[Signal] = []
+    for j in range(width):
+        inputs: List[Tuple[Signal, float]] = [(a_bits[j], 1.0), (b_bits[j], 1.0)]
+        if j >= 1:
+            inputs.append((carries[j], 1.0))
+        inputs.append((carries[j + 1], -2.0))
+        sums.append(
+            builder.gate(
+                inputs, 0.5, name=f"{name}.s{j}", at_offset=carries[j + 1].offset + 1
+            )
+        )
+    top = builder.buffer(carries[width], name=f"{name}.s{width}")
+    return builder.align(sums + [top], name=f"{name}.out")
+
+
+def ripple_adder(
+    builder: CircuitBuilder,
+    a_bits: Sequence[Signal],
+    b_bits: Sequence[Signal],
+    name: str = "rip",
+) -> List[Signal]:
+    """``O(lambda)``-depth full-adder chain with weights in ``{-2, 1}``.
+
+    Per position: ``carry_out = [a + b + c_in >= 2]`` (one gate) and
+    ``sum = a + b + c_in - 2*carry_out`` (one gate).
+    """
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise CircuitError("adder operands must share one positive width")
+    width = len(a_bits)
+    carry: Optional[Signal] = None
+    sums: List[Signal] = []
+    for j in range(width):
+        operands = [(a_bits[j], 1.0), (b_bits[j], 1.0)]
+        if carry is not None:
+            operands.append((carry, 1.0))
+        carry_out = builder.gate(operands, 1.5, name=f"{name}.co{j}")
+        sum_inputs = [
+            (sig, w)
+            for sig, w in operands
+        ] + [(carry_out, -2.0)]
+        sums.append(
+            builder.gate(
+                sum_inputs, 0.5, name=f"{name}.s{j}", at_offset=carry_out.offset + 1
+            )
+        )
+        carry = carry_out
+    sums.append(builder.buffer(carry, name=f"{name}.s{width}"))
+    return builder.align(sums, name=f"{name}.out")
+
+
+def add_constant(
+    builder: CircuitBuilder,
+    bits: Sequence[Signal],
+    constant: int,
+    valid: Signal,
+    name: str = "addk",
+    *,
+    out_width: Optional[int] = None,
+) -> Tuple[List[Signal], Signal]:
+    """Depth-2 ``value + constant`` gated by ``valid``; returns (bits, valid).
+
+    When ``valid`` is silent, every output bit is silent — both the carry
+    gates and the sum gates take ``valid`` as a weighted bias against a
+    raised threshold, so even stray data spikes cannot leak through.
+    Output width defaults to the carry-out width of ``value + constant``.
+    """
+    if constant < 0:
+        raise CircuitError(f"constant must be >= 0, got {constant}")
+    width = len(bits)
+    if width == 0:
+        raise CircuitError("add_constant requires a positive input width")
+    full_width = max(width, (constant + (1 << width) - 1).bit_length())
+    if out_width is None:
+        out_width = full_width
+    aligned = builder.align(list(bits) + [valid], name=f"{name}.in")
+    bits, valid = aligned[:width], aligned[width]
+    # carries: c_j fires iff (low-j bits of value) + (constant mod 2^j) >= 2^j,
+    # with the valid wire supplying the constant part.
+    carries: List[Optional[Signal]] = [None] * (full_width + 1)
+    for j in range(1, full_width + 1):
+        k_j = constant & ((1 << j) - 1)
+        inputs = [(bits[i], float(1 << i)) for i in range(min(j, width))]
+        bias = float(1 << j)
+        inputs.append((valid, bias + float(k_j)))
+        # fires iff valid*(2^j + k_j) + sum >= 2^{j+1}  <=>  sum + k_j >= 2^j
+        carries[j] = builder.gate(inputs, (1 << (j + 1)) - 0.5, name=f"{name}.c{j}")
+    outs: List[Signal] = []
+    for j in range(out_width):
+        k_bit = (constant >> j) & 1 if j < full_width else 0
+        # s_j = (x_j + k_j + c_j - 2 c_{j+1}) AND valid: the valid wire
+        # carries weight 2 + k_j against a threshold of 2.5, so a silent
+        # valid mutes the output even if stray data bits spike.
+        inputs: List[Tuple[Signal, float]] = [(valid, 2.0 + float(k_bit))]
+        if j < width:
+            inputs.append((bits[j], 1.0))
+        if 1 <= j <= full_width and carries[j] is not None:
+            inputs.append((carries[j], 1.0))
+        if j + 1 <= full_width and carries[j + 1] is not None:
+            inputs.append((carries[j + 1], -2.0))
+        if j >= full_width:
+            # bit is identically zero; never fires (valid alone scores 2)
+            inputs = [(valid, 2.0)]
+        outs.append(
+            builder.gate(
+                inputs,
+                2.5,
+                name=f"{name}.s{j}",
+                at_offset=carries[full_width].offset + 1,
+            )
+        )
+    out_valid = builder.buffer(valid, to_offset=outs[0].offset, name=f"{name}.valid")
+    return outs, out_valid
+
+
+def subtract_one(
+    builder: CircuitBuilder,
+    bits: Sequence[Signal],
+    valid: Signal,
+    name: str = "dec",
+) -> Tuple[List[Signal], Signal]:
+    """Depth-2 decrement modulo ``2^lambda`` gated by ``valid``.
+
+    Adds the two's complement of 1 (the all-ones constant, as Section 4.1
+    describes) and discards the carry out.  A valid zero input wraps to
+    all-ones; the TTL algorithm never forwards such a result because it
+    gates propagation on ``k' >= 1``.
+    """
+    width = len(bits)
+    ones = (1 << width) - 1
+    outs, out_valid = add_constant(
+        builder, bits, ones, valid, name=name, out_width=width
+    )
+    return outs, out_valid

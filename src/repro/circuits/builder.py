@@ -1,0 +1,209 @@
+"""Time-aligned construction of feed-forward threshold circuits.
+
+A *signal* is a neuron together with the tick offset (relative to input
+presentation) at which its spike — if the signal is logically 1 — occurs.
+Gates placed by :class:`CircuitBuilder` compute their own offset as one plus
+the latest input offset and program each incoming synapse's delay so all
+inputs land on the same tick.  Programmable delays substitute for the dummy
+neurons the paper mentions for the same purpose.
+
+All gate neurons use decay ``tau = 1`` (memoryless threshold gates), so a
+circuit is a pipeline: waves of inputs presented on different ticks pass
+through independently.  Gates that must fire when some input is *absent*
+(NOT, the comparator's tie bias, constant injection) take the *run line* —
+an input neuron the driver stimulates alongside each input wave — as a
+positive bias, mirroring the always-1 ``Eq``/``S`` inputs of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.network import Network
+from repro.errors import CircuitError
+
+__all__ = ["Signal", "CircuitBuilder"]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A boolean wire: neuron ``nid`` spiking at tick ``offset`` means 1."""
+
+    nid: int
+    offset: int
+
+
+class CircuitBuilder:
+    """Builds a feed-forward threshold circuit inside a :class:`Network`.
+
+    The builder may target a fresh network (default) or extend an existing
+    one (used when algorithm compilers splice node/edge circuits into a
+    graph-structured SNN).
+
+    Notes
+    -----
+    *Depth/time*: :attr:`depth` is the largest offset among registered
+    outputs — the circuit's execution time in ticks, matching the paper's
+    definition ("the maximum-length path from any input to any output").
+
+    *Size*: :attr:`size` counts gate neurons placed by this builder
+    (inputs and the run line included, matching the paper's neuron counts).
+    """
+
+    def __init__(self, network: Optional[Network] = None, prefix: str = ""):
+        self.net = network if network is not None else Network()
+        self.prefix = prefix
+        self._run: Optional[Signal] = None
+        self.input_groups: Dict[str, List[Signal]] = {}
+        self.output_groups: Dict[str, List[Signal]] = {}
+        self._n_placed = 0
+        self._uid = 0
+
+    # ------------------------------------------------------------------ #
+    # naming / bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _name(self, base: Optional[str]) -> Optional[str]:
+        if base is None:
+            return None
+        self._uid += 1
+        return f"{self.prefix}{base}#{self._uid}"
+
+    @property
+    def size(self) -> int:
+        """Neurons placed by this builder."""
+        return self._n_placed
+
+    @property
+    def depth(self) -> int:
+        """Largest output offset (execution time in ticks)."""
+        offsets = [s.offset for grp in self.output_groups.values() for s in grp]
+        return max(offsets, default=0)
+
+    # ------------------------------------------------------------------ #
+    # inputs
+    # ------------------------------------------------------------------ #
+
+    def _new_neuron(self, name: Optional[str], threshold: float) -> int:
+        self._n_placed += 1
+        return self.net.add_neuron(
+            self._name(name), v_threshold=threshold, tau=1.0
+        )
+
+    def input_bits(self, group: str, width: int, offset: int = 0) -> List[Signal]:
+        """Declare ``width`` input wires (LSB first) stimulated externally."""
+        if group in self.input_groups:
+            raise CircuitError(f"duplicate input group {group!r}")
+        sigs = [
+            Signal(self._new_neuron(f"in:{group}[{j}]", 0.5), offset)
+            for j in range(width)
+        ]
+        self.input_groups[group] = sigs
+        for s in sigs:
+            self.net.mark_input(s.nid)
+        return sigs
+
+    def run_line(self) -> Signal:
+        """The constant-1 bias wire, created on first use.
+
+        The circuit driver must stimulate it at the same tick as each input
+        wave.  It is registered as input group ``"__run__"``.
+        """
+        if self._run is None:
+            nid = self._new_neuron("in:__run__", 0.5)
+            self._run = Signal(nid, 0)
+            self.input_groups["__run__"] = [self._run]
+            self.net.mark_input(nid)
+        return self._run
+
+    def adopt_signal(self, nid: int, offset: int) -> Signal:
+        """Wrap an existing neuron of the target network as a signal."""
+        return Signal(nid, offset)
+
+    # ------------------------------------------------------------------ #
+    # gates
+    # ------------------------------------------------------------------ #
+
+    def gate(
+        self,
+        inputs: Sequence[Tuple[Signal, float]],
+        threshold: float,
+        name: Optional[str] = None,
+        *,
+        at_offset: Optional[int] = None,
+    ) -> Signal:
+        """Place one threshold gate.
+
+        Fires iff the weighted sum of inputs (all delayed to arrive
+        together) strictly exceeds ``threshold``.  The gate's offset is one
+        past the latest input offset, or ``at_offset`` if given (which must
+        leave every synapse a delay of at least 1).
+        """
+        if not inputs:
+            raise CircuitError("gate requires at least one input")
+        latest = max(sig.offset for sig, _ in inputs)
+        offset = latest + 1 if at_offset is None else at_offset
+        if offset <= latest:
+            raise CircuitError(
+                f"gate offset {offset} leaves no delay after input offset {latest}"
+            )
+        nid = self._new_neuron(name or "gate", threshold)
+        for sig, weight in inputs:
+            self.net.add_synapse(sig.nid, nid, weight=weight, delay=offset - sig.offset)
+        return Signal(nid, offset)
+
+    def or_gate(self, signals: Sequence[Signal], name: str = "or") -> Signal:
+        """Fires iff any input fires."""
+        return self.gate([(s, 1.0) for s in signals], 0.5, name)
+
+    def and_gate(self, signals: Sequence[Signal], name: str = "and") -> Signal:
+        """Fires iff all inputs fire."""
+        return self.gate([(s, 1.0) for s in signals], len(signals) - 0.5, name)
+
+    def not_gate(self, signal: Signal, name: str = "not") -> Signal:
+        """Fires iff the input does not fire (uses the run-line bias)."""
+        run = self.run_line()
+        return self.gate([(run, 1.0), (signal, -1.0)], 0.5, name)
+
+    def and_not_gate(self, keep: Signal, inhibit: Signal, name: str = "andnot") -> Signal:
+        """Fires iff ``keep`` fires and ``inhibit`` does not."""
+        return self.gate([(keep, 1.0), (inhibit, -1.0)], 0.5, name)
+
+    def xor_gate(self, a: Signal, b: Signal, name: str = "xor") -> Signal:
+        """Two-input parity via ``a + b - 2*(a AND b)`` (2 gates, depth 2)."""
+        both = self.and_gate([a, b], name=f"{name}.and")
+        return self.gate([(a, 1.0), (b, 1.0), (both, -2.0)], 0.5, name, at_offset=both.offset + 1)
+
+    def buffer(self, signal: Signal, to_offset: Optional[int] = None, name: str = "buf") -> Signal:
+        """Identity gate, optionally re-timed to a later offset."""
+        return self.gate([(signal, 1.0)], 0.5, name, at_offset=to_offset)
+
+    def align(self, signals: Sequence[Signal], name: str = "align") -> List[Signal]:
+        """Re-time signals to a common offset by buffering the early ones.
+
+        Signals already at the common (latest) offset pass through
+        unchanged; earlier ones gain one identity gate whose input synapse
+        carries the needed delay.
+        """
+        if not signals:
+            return []
+        target = max(s.offset for s in signals)
+        return [
+            s if s.offset == target else self.buffer(s, to_offset=target, name=name)
+            for s in signals
+        ]
+
+    # ------------------------------------------------------------------ #
+    # outputs
+    # ------------------------------------------------------------------ #
+
+    def output_bits(self, group: str, signals: Sequence[Signal], *, aligned: bool = True) -> List[Signal]:
+        """Register an output group (LSB first), aligning offsets by default."""
+        if group in self.output_groups:
+            raise CircuitError(f"duplicate output group {group!r}")
+        sigs = self.align(list(signals)) if aligned else list(signals)
+        self.output_groups[group] = sigs
+        for s in sigs:
+            self.net.mark_output(s.nid)
+        return sigs

@@ -1,0 +1,53 @@
+"""Single-gate magnitude comparators (Figure 5A).
+
+A comparison of two ``lambda``-bit numbers is one threshold gate whose
+synaptic weights are the bits' place values: the gate sums
+``sum_j 2^(j-1) * (x_j - y_j) = x - y`` and thresholds it.  The
+greater-or-equal variant must also fire on ties (``x - y = 0``), which the
+paper arranges with an always-1 ``Eq`` input; here the circuit run line
+plays that role, keeping Eq. (2)'s strict comparison intact.
+
+These gates use exponentially large weights (in ``lambda``), the tradeoff
+Table 2 notes for the brute-force max circuit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.errors import CircuitError
+
+__all__ = ["comparator_geq", "comparator_gt"]
+
+
+def _weighted(bits: Sequence[Signal], sign: float) -> List[Tuple[Signal, float]]:
+    return [(b, sign * float(1 << j)) for j, b in enumerate(bits)]
+
+
+def comparator_geq(
+    builder: CircuitBuilder,
+    x_bits: Sequence[Signal],
+    y_bits: Sequence[Signal],
+    name: str = "geq",
+) -> Signal:
+    """One gate firing iff ``x >= y`` (LSB-first bit signals, equal widths)."""
+    if len(x_bits) != len(y_bits):
+        raise CircuitError("comparator operands must have equal widths")
+    run = builder.run_line()
+    inputs = _weighted(x_bits, +1.0) + _weighted(y_bits, -1.0) + [(run, 1.0)]
+    # fires iff (x - y) + 1 > 0.5, i.e. x - y >= 0 for integers
+    return builder.gate(inputs, 0.5, name)
+
+
+def comparator_gt(
+    builder: CircuitBuilder,
+    x_bits: Sequence[Signal],
+    y_bits: Sequence[Signal],
+    name: str = "gt",
+) -> Signal:
+    """One gate firing iff ``x > y`` (no bias needed: x - y >= 1)."""
+    if len(x_bits) != len(y_bits):
+        raise CircuitError("comparator operands must have equal widths")
+    inputs = _weighted(x_bits, +1.0) + _weighted(y_bits, -1.0)
+    return builder.gate(inputs, 0.5, name)

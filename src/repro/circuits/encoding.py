@@ -1,0 +1,44 @@
+"""Integer <-> bit-pattern codecs for spike messages.
+
+Messages in the paper are ``lambda``-bit binary numbers carried by
+``lambda`` parallel synapses (one spike per 1-bit).  We fix LSB-first order
+throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import CircuitError
+
+__all__ = ["bits_from_int", "int_from_bits", "bit_width_for"]
+
+
+def bit_width_for(max_value: int) -> int:
+    """Minimum ``lambda`` such that values ``0..max_value`` fit in ``lambda`` bits.
+
+    Matches the paper's widths: ``ceil(log2 k)`` for TTLs up to ``k - 1``
+    (at least 1 bit).
+    """
+    if max_value < 0:
+        raise CircuitError(f"max_value must be >= 0, got {max_value}")
+    return max(1, int(max_value).bit_length())
+
+
+def bits_from_int(value: int, width: int) -> List[int]:
+    """LSB-first bit list of ``value`` in ``width`` bits."""
+    if value < 0:
+        raise CircuitError(f"only nonnegative values encodable, got {value}")
+    if value >= (1 << width):
+        raise CircuitError(f"value {value} does not fit in {width} bits")
+    return [(value >> j) & 1 for j in range(width)]
+
+
+def int_from_bits(bits: Sequence[int]) -> int:
+    """Integer from an LSB-first bit sequence (accepts bools/0-1 ints)."""
+    out = 0
+    for j, b in enumerate(bits):
+        if b not in (0, 1, False, True):
+            raise CircuitError(f"bit {j} is not boolean: {b!r}")
+        out |= int(bool(b)) << j
+    return out

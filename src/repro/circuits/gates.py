@@ -1,0 +1,132 @@
+"""Figure 1 gadgets: simulated synaptic delay, latch memory, one-shot relay.
+
+These are *recurrent* mini-networks (they use self-loops and integrator
+neurons, unlike the ``tau = 1`` feed-forward gates of the rest of the
+circuit library), built directly on a :class:`~repro.core.network.Network`.
+
+* :func:`build_delay_gadget` — Figure 1A: architectures without native
+  programmable delays can simulate an ``O(d)`` delay with two neurons and a
+  feedback loop.
+* :func:`build_latch` — Figure 1B: a self-looping neuron ``M`` fires
+  indefinitely once set; a recall input ``C`` propagates its value to the
+  output; an inhibitory ``C -> M`` link optionally clears it.
+* :func:`build_one_shot_gadget` — relay + inhibiting latch realizing the
+  "propagate only the first incoming spike" behavior of the Section 3
+  algorithm; the engines' ``one_shot`` neuron flag is the abstracted form of
+  this gadget (tested equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lif import threshold_for_count
+from repro.core.network import Network
+from repro.errors import ValidationError
+
+__all__ = [
+    "DelayGadget",
+    "Latch",
+    "OneShotGadget",
+    "build_delay_gadget",
+    "build_latch",
+    "build_one_shot_gadget",
+]
+
+
+@dataclass(frozen=True)
+class DelayGadget:
+    """Handles of a Figure-1A delay gadget: feed ``entry``, read ``exit``."""
+
+    entry: int
+    exit: int
+    delay: int
+
+
+def build_delay_gadget(net: Network, d: int, name: str = "delay") -> DelayGadget:
+    """Simulate a synaptic delay of ``d`` ticks using two neurons (Fig. 1A).
+
+    The entry neuron firing at tick ``t`` produces exactly one spike at
+    ``exit`` at tick ``t + d``.  The entry neuron's unit-delay self-loop
+    makes it fire repeatedly; the second neuron integrates (no decay) and
+    fires on the ``d``-th of those spikes (the figure's count of ``d - 1``
+    reflects the paper's one-tick-later integration convention; see
+    :mod:`repro.core.lif`), then shuts the generator down with a strong
+    inhibitory link and absorbs the final in-flight spike with a
+    self-inhibition.
+
+    Requires ``d >= 2`` (a delay of 1 is the native minimum and needs no
+    gadget).  The gadget is single-use per assertion of its input: internal
+    residual voltage means a second wave should only be sent after a reset
+    or through a fresh gadget — the paper uses it to realize the static edge
+    delays of Section 3, which fire once.
+    """
+    if d < 2:
+        raise ValidationError(f"delay gadget requires d >= 2, got {d}")
+    big = float(d + 2)
+    a = net.add_neuron(f"{name}.gen", v_threshold=0.5, tau=1.0)
+    b = net.add_neuron(f"{name}.cnt", v_threshold=threshold_for_count(d), tau=0.0)
+    net.add_synapse(a, a, weight=1.0, delay=1)  # feedback: keep firing
+    net.add_synapse(a, b, weight=1.0, delay=1)  # counted spikes
+    net.add_synapse(b, a, weight=-big, delay=1)  # stop the generator
+    net.add_synapse(b, b, weight=-big, delay=1)  # absorb the final in-flight spike
+    return DelayGadget(entry=a, exit=b, delay=d)
+
+
+@dataclass(frozen=True)
+class Latch:
+    """Handles of a Figure-1B memory latch."""
+
+    set_input: int
+    memory: int
+    recall: int
+    output: int
+
+
+def build_latch(net: Network, name: str = "latch", *, reset_on_recall: bool = False) -> Latch:
+    """One-bit neuromorphic memory (Fig. 1B).
+
+    Spiking ``set_input`` stores a 1: the memory neuron ``M`` latches via a
+    unit self-loop and fires every tick thereafter.  Spiking ``recall``
+    reads the bit: the output neuron fires (two ticks after the recall
+    spike) iff ``M`` holds a 1.  With ``reset_on_recall`` the recall pulse
+    also clears ``M`` through an inhibitory link, as the figure caption
+    describes.
+    """
+    s = net.add_neuron(f"{name}.set", v_threshold=0.5, tau=1.0)
+    m = net.add_neuron(f"{name}.M", v_threshold=0.5, tau=1.0)
+    c = net.add_neuron(f"{name}.C", v_threshold=0.5, tau=1.0)
+    o = net.add_neuron(f"{name}.out", v_threshold=threshold_for_count(2), tau=1.0)
+    net.add_synapse(s, m, weight=1.0, delay=1)
+    net.add_synapse(m, m, weight=1.0, delay=1)  # the latch
+    net.add_synapse(m, o, weight=1.0, delay=1)
+    net.add_synapse(c, o, weight=1.0, delay=1)
+    if reset_on_recall:
+        net.add_synapse(c, m, weight=-2.0, delay=1)
+    return Latch(set_input=s, memory=m, recall=c, output=o)
+
+
+@dataclass(frozen=True)
+class OneShotGadget:
+    """Handles of a one-shot relay: feed arbitrary spikes, relays the first."""
+
+    relay: int
+    latch: int
+
+
+def build_one_shot_gadget(net: Network, name: str = "oneshot", *, inhibition: float = 1e6) -> OneShotGadget:
+    """Relay that propagates (approximately) only its first input spike.
+
+    The relay fires on any suprathreshold input; its first spike sets a
+    latch which, from two ticks later, permanently inhibits the relay.
+    Inputs arriving within that two-tick window may still be relayed — for
+    the Section 3 algorithm this is harmless (later arrivals encode longer
+    paths; first-spike times are unaffected), and the engines' ``one_shot``
+    flag provides the idealized semantics when exactness is wanted.
+    """
+    r = net.add_neuron(f"{name}.relay", v_threshold=0.5, tau=1.0)
+    latch = net.add_neuron(f"{name}.latch", v_threshold=0.5, tau=1.0)
+    net.add_synapse(r, latch, weight=1.0, delay=1)
+    net.add_synapse(latch, latch, weight=1.0, delay=1)
+    net.add_synapse(latch, r, weight=-float(inhibition), delay=1)
+    return OneShotGadget(relay=r, latch=latch)

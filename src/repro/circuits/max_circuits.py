@@ -1,0 +1,286 @@
+"""Max/min circuits over ``d`` ``lambda``-bit numbers (Section 5, Theorems 5.1–5.2).
+
+Two designs, reproducing Table 2's tradeoff:
+
+* **Brute force** (Theorem 5.2, Figure 5): all pairwise single-gate
+  comparisons, a per-input "wins all comparisons" conjunction ``M_x`` with
+  ties broken toward the smallest index, then value selection.  Constant
+  depth, ``O(d^2 + d*lambda)`` neurons, exponential weights.
+* **Wired-OR / bit-by-bit** (Theorem 5.1, Figure 3): numbers are
+  deactivated most-significant-bit first whenever some still-active number
+  has a 1 where they have a 0 — the Connection Machine global-OR method.
+  Depth ``O(lambda)``, ``O(d*lambda)`` neurons, unit weights.
+
+Min variants run the same circuits on bitwise-complemented values
+(the paper: "negate each input bit ... to compute the minimum").
+
+The ``masked_*`` variants take a per-input *valid* wire and ignore invalid
+inputs; they are what the Section 4 algorithm compilers instantiate at graph
+nodes, where "no message on this in-edge" must not influence the min/max
+(an SNN's all-zeros message is the absence of spikes, Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.circuits.comparators import comparator_geq, comparator_gt
+from repro.errors import CircuitError
+
+__all__ = [
+    "MaxResult",
+    "brute_force_max",
+    "brute_force_min",
+    "wired_or_max",
+    "wired_or_min",
+    "masked_max",
+    "masked_min",
+]
+
+
+@dataclass(frozen=True)
+class MaxResult:
+    """Output of a max/min circuit.
+
+    ``out_bits`` carry the extreme value (LSB first, common offset).
+    ``winners`` (when provided by the design) has one signal per input that
+    fires iff that input attains the extreme value — the brute-force design
+    marks exactly one winner (smallest index), the wired-OR design marks
+    every tied input, matching the two figures.  ``valid`` is set by the
+    masked variants: it fires iff at least one input was valid.
+    """
+
+    out_bits: List[Signal]
+    winners: Optional[List[Signal]] = None
+    valid: Optional[Signal] = None
+
+
+def _check_inputs(inputs: Sequence[Sequence[Signal]]) -> int:
+    if not inputs:
+        raise CircuitError("max circuit requires at least one input number")
+    width = len(inputs[0])
+    if width == 0 or any(len(b) != width for b in inputs):
+        raise CircuitError("all inputs must share one positive bit width")
+    return width
+
+
+def brute_force_max(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    name: str = "bfmax",
+    *,
+    largest: bool = True,
+) -> MaxResult:
+    """Constant-depth max (Theorem 5.2).  ``largest=False`` computes min.
+
+    Input ``x`` beats ``y`` iff ``x >= y`` when ``x`` has the smaller index
+    and strictly otherwise, so exactly one winner fires even under ties.
+    """
+    width = _check_inputs(inputs)
+    d = len(inputs)
+    aligned = [builder.align(list(bits), name=f"{name}.in") for bits in inputs]
+    if d == 1:
+        # a single input always wins; its winner flag is the run line
+        outs = [builder.buffer(b, name=f"{name}.out") for b in aligned[0]]
+        run = builder.run_line()
+        winners = [builder.buffer(run, to_offset=outs[0].offset, name=f"{name}.win")]
+        return MaxResult(out_bits=outs, winners=winners)
+    # Layer 1: all ordered pairwise comparisons.
+    comp = {}
+    for x in range(d):
+        for y in range(d):
+            if x == y:
+                continue
+            if largest:
+                a, b = aligned[x], aligned[y]
+            else:
+                a, b = aligned[y], aligned[x]
+            if x < y:
+                comp[(x, y)] = comparator_geq(builder, a, b, name=f"{name}.C{x},{y}")
+            else:
+                comp[(x, y)] = comparator_gt(builder, a, b, name=f"{name}.C{x},{y}")
+    # Layer 2: M_x fires iff input x wins all its d-1 comparisons.
+    winners = [
+        builder.and_gate([comp[(x, y)] for y in range(d) if y != x], name=f"{name}.M{x}")
+        for x in range(d)
+    ]
+    # Layers 3-4: select the winner's bits onto the output.
+    selected = [
+        [builder.and_gate([winners[x], bit], name=f"{name}.sel{x}") for bit in aligned[x]]
+        for x in range(d)
+    ]
+    out_bits = [
+        builder.or_gate([selected[x][j] for x in range(d)], name=f"{name}.out{j}")
+        for j in range(width)
+    ]
+    return MaxResult(out_bits=out_bits, winners=winners)
+
+
+def brute_force_min(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    name: str = "bfmin",
+) -> MaxResult:
+    """Constant-depth min: brute force with reversed comparisons."""
+    return brute_force_max(builder, inputs, name=name, largest=False)
+
+
+def wired_or_max(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    name: str = "womax",
+) -> MaxResult:
+    """Bit-by-bit max (Theorem 5.1, Figure 3).
+
+    Processes bits most-significant first.  At each bit ``j`` a number is
+    *guaranteed active* (``V``) if it is still active and has a 1 there; if
+    any number is guaranteed active (global ``OR``), every active number
+    with a 0 is knocked out (``I``).  After the last bit, the surviving
+    ``a`` flags mark (possibly tied) maxima, whose bits are merged onto the
+    output.
+    """
+    width = _check_inputs(inputs)
+    d = len(inputs)
+    aligned = [builder.align(list(bits), name=f"{name}.in") for bits in inputs]
+    run = builder.run_line()
+    # active[i] = a_{i, j+1}; initially everything is active (run line).
+    active: List[Signal] = [run for _ in range(d)]
+    for j in reversed(range(width)):  # MSB (width-1) down to LSB (0)
+        guaranteed = [
+            builder.and_gate([active[i], aligned[i][j]], name=f"{name}.V{i},{j}")
+            for i in range(d)
+        ]
+        any_active = builder.or_gate(guaranteed, name=f"{name}.OR{j}")
+        knocked = [
+            builder.gate(
+                [(any_active, 1.0), (guaranteed[i], -1.0)],
+                0.5,
+                name=f"{name}.I{i},{j}",
+            )
+            for i in range(d)
+        ]
+        active = [
+            builder.gate(
+                [(active[i], 1.0), (knocked[i], -1.0)],
+                0.5,
+                name=f"{name}.a{i},{j}",
+                at_offset=knocked[i].offset + 1,
+            )
+            for i in range(d)
+        ]
+    # Filter (Figure 3C) and merge (Figure 3D).
+    selected = [
+        [builder.and_gate([active[i], aligned[i][j]], name=f"{name}.c{i},{j}") for j in range(width)]
+        for i in range(d)
+    ]
+    out_bits = [
+        builder.or_gate([selected[i][j] for i in range(d)], name=f"{name}.out{j}")
+        for j in range(width)
+    ]
+    return MaxResult(out_bits=out_bits, winners=active)
+
+
+def wired_or_min(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    name: str = "womin",
+) -> MaxResult:
+    """Bit-by-bit min: wired-OR max over complemented bits (Theorem 5.1)."""
+    width = _check_inputs(inputs)
+    complemented = [
+        [builder.not_gate(b, name=f"{name}.nb") for b in bits] for bits in inputs
+    ]
+    inner = wired_or_max(builder, complemented, name=f"{name}.max")
+    out_bits = [builder.not_gate(b, name=f"{name}.out") for b in inner.out_bits]
+    return MaxResult(out_bits=out_bits, winners=inner.winners)
+
+
+def masked_max(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    valids: Sequence[Signal],
+    name: str = "mmax",
+    *,
+    style: str = "wired",
+) -> MaxResult:
+    """Max over the *valid* inputs; invalid inputs are forced to zero.
+
+    The output ``valid`` wire fires iff any input was valid.  An all-zero
+    valid value and "no valid inputs" both produce all-zero output bits —
+    callers distinguish them via the valid wire, which is how the TTL
+    algorithm of Section 4.1 detects whether any message arrived at all.
+    """
+    width = _check_inputs(inputs)
+    if len(valids) != len(inputs):
+        raise CircuitError("one valid wire per input required")
+    gated = [
+        [builder.and_gate([valids[i], b], name=f"{name}.g{i}") for b in bits]
+        for i, bits in enumerate(inputs)
+    ]
+    inner = _dispatch(builder, gated, style, name)
+    out_valid = builder.or_gate(list(valids), name=f"{name}.valid")
+    out_bits, (out_valid,) = _coalign(builder, inner.out_bits, [out_valid], name)
+    return MaxResult(out_bits=out_bits, winners=inner.winners, valid=out_valid)
+
+
+def masked_min(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    valids: Sequence[Signal],
+    name: str = "mmin",
+    *,
+    style: str = "wired",
+) -> MaxResult:
+    """Min over the *valid* inputs.
+
+    Works on valid-gated complements: an invalid input complements to zero
+    and therefore never wins unless every valid value is the all-ones
+    maximum — in which case the resulting output (all ones) is that correct
+    minimum anyway.  Output bits are re-complemented gated by the output
+    valid wire, so "no valid inputs" yields all-zero (silent) outputs.
+    """
+    width = _check_inputs(inputs)
+    if len(valids) != len(inputs):
+        raise CircuitError("one valid wire per input required")
+    complemented = [
+        [
+            builder.gate([(valids[i], 1.0), (b, -1.0)], 0.5, name=f"{name}.cb{i}")
+            for b in bits
+        ]
+        for i, bits in enumerate(inputs)
+    ]
+    inner = _dispatch(builder, complemented, style, name)
+    out_valid = builder.or_gate(list(valids), name=f"{name}.valid")
+    inner_bits, (out_valid,) = _coalign(builder, inner.out_bits, [out_valid], name)
+    out_bits = [
+        builder.gate([(out_valid, 1.0), (b, -1.0)], 0.5, name=f"{name}.out{j}")
+        for j, b in enumerate(inner_bits)
+    ]
+    out_valid = builder.buffer(out_valid, to_offset=out_bits[0].offset, name=f"{name}.validout")
+    return MaxResult(out_bits=out_bits, winners=inner.winners, valid=out_valid)
+
+
+def _dispatch(
+    builder: CircuitBuilder,
+    inputs: Sequence[Sequence[Signal]],
+    style: str,
+    name: str,
+) -> MaxResult:
+    if style == "wired":
+        return wired_or_max(builder, inputs, name=f"{name}.inner")
+    if style == "brute":
+        return brute_force_max(builder, inputs, name=f"{name}.inner")
+    raise CircuitError(f"unknown max-circuit style {style!r}; use 'wired' or 'brute'")
+
+
+def _coalign(
+    builder: CircuitBuilder,
+    bits: Sequence[Signal],
+    extra: Sequence[Signal],
+    name: str,
+):
+    """Align a bit vector and auxiliary wires to one common offset."""
+    allsigs = builder.align(list(bits) + list(extra), name=f"{name}.co")
+    return allsigs[: len(bits)], allsigs[len(bits) :]

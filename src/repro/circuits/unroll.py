@@ -1,0 +1,134 @@
+"""Unrolling recurrent SNNs into feed-forward threshold circuits.
+
+Section 1: "SNNs where spike times are discretized may be simulated, with
+polynomial overhead, in TC by using layers of a threshold gate circuit to
+simulate discrete time steps."  This module performs that construction for
+*memoryless* networks (every neuron ``tau = 1``): gate ``(i, t)`` of the
+unrolled circuit fires iff neuron ``i`` of the recurrent network fires at
+tick ``t``, with synapses of delay ``d`` becoming wires from layer
+``t - d``.
+
+The paper's caveat — "some care needs to be taken to ensure that LIF
+dynamics are properly simulated" — is exactly the ``tau < 1`` case, where
+a neuron's real-valued voltage would have to be carried between layers;
+networks with integrator neurons are rejected with a pointer to this note.
+One-shot neurons are likewise stateful and rejected.
+
+Size of the unrolled circuit: ``n * (T + 1)`` gates for horizon ``T`` — the
+polynomial overhead the paper mentions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.core.network import Network
+from repro.errors import CircuitError
+
+__all__ = ["UnrolledCircuit", "unroll_to_feedforward"]
+
+
+class UnrolledCircuit:
+    """A feed-forward circuit computing ``T`` ticks of a recurrent SNN.
+
+    ``signal_of(i, t)`` returns the gate standing for "neuron ``i`` fires
+    at tick ``t``" (``None`` when that event is structurally impossible —
+    no stimulus and no in-wires reach it).
+    """
+
+    def __init__(self, builder: CircuitBuilder, signals, horizon: int, n: int):
+        self.builder = builder
+        self._signals: Dict[Tuple[int, int], Signal] = signals
+        self.horizon = horizon
+        self.n = n
+
+    def signal_of(self, neuron: int, tick: int) -> Optional[Signal]:
+        return self._signals.get((neuron, tick))
+
+    @property
+    def gate_count(self) -> int:
+        return self.builder.size
+
+    def run(self, stimulated: Sequence[int]) -> Dict[Tuple[int, int], bool]:
+        """Execute the unrolled circuit; returns the fired map.
+
+        ``stimulated`` selects which of the recurrent network's stimulus
+        neurons actually receive the tick-0 spike (a subset of the
+        ``stimulus`` the circuit was unrolled for).
+        """
+        from repro.circuits.runner import run_circuit
+
+        stim_set = set(int(s) for s in stimulated)
+        unknown = stim_set - {
+            i for (i, t) in self._signals if t == 0
+        }
+        if unknown:
+            raise CircuitError(f"neurons {sorted(unknown)} were not unrolled as inputs")
+        inputs = {}
+        for (i, t), sig in self._signals.items():
+            if t == 0:
+                inputs[f"stim{i}"] = 1 if i in stim_set else 0
+        outs = run_circuit(self.builder, inputs)
+        fired: Dict[Tuple[int, int], bool] = {}
+        for (i, t), _sig in self._signals.items():
+            fired[(i, t)] = bool(outs[f"n{i}@{t}"])
+        return fired
+
+
+def unroll_to_feedforward(
+    network: Network,
+    stimulus: Sequence[int],
+    horizon: int,
+) -> UnrolledCircuit:
+    """Build the layered threshold circuit simulating ``horizon`` ticks.
+
+    ``stimulus`` lists the neurons that may be induced at tick 0 (they
+    become circuit inputs; :meth:`UnrolledCircuit.run` chooses which fire).
+    """
+    net = network.compile()
+    if bool(np.any(net.tau != 1.0)):
+        raise CircuitError(
+            "unrolling requires tau = 1 everywhere: integrator neurons carry "
+            "real-valued voltage between ticks (the paper's 'care needs to "
+            "be taken' case) and are out of scope for this construction"
+        )
+    if bool(net.one_shot.any()):
+        raise CircuitError("one-shot neurons are stateful; unroll their gadget form")
+    if horizon < 0:
+        raise CircuitError(f"horizon must be >= 0, got {horizon}")
+
+    builder = CircuitBuilder()
+    signals: Dict[Tuple[int, int], Signal] = {}
+    # layer 0: stimulus inputs
+    for i in sorted(set(int(s) for s in stimulus)):
+        (sig,) = builder.input_bits(f"stim{i}", 1)
+        signals[(i, 0)] = sig
+    # reverse wiring: for each neuron, its incoming synapses
+    incoming: List[List[Tuple[int, float, int]]] = [[] for _ in range(net.n)]
+    for u in range(net.n):
+        sl = net.out_synapses(u)
+        for s in range(sl.start, sl.stop):
+            incoming[int(net.syn_dst[s])].append(
+                (u, float(net.syn_weight[s]), int(net.syn_delay[s]))
+            )
+    for t in range(1, horizon + 1):
+        for j in range(net.n):
+            inputs = []
+            for (u, w, d) in incoming[j]:
+                src = signals.get((u, t - d))
+                if src is not None:
+                    inputs.append((src, w))
+            if not inputs:
+                continue  # structurally silent at tick t
+            signals[(j, t)] = builder.gate(
+                inputs,
+                float(net.v_threshold[j]),
+                name=f"n{j}@{t}",
+                at_offset=t,
+            )
+    for (i, t), sig in signals.items():
+        builder.output_bits(f"n{i}@{t}", [sig], aligned=False)
+    return UnrolledCircuit(builder, signals, horizon, net.n)

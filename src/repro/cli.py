@@ -1,0 +1,268 @@
+"""Command-line interface: run the paper's algorithms on edge-list files.
+
+Examples::
+
+    python -m repro generate --kind gnp --n 100 --p 0.05 --max-length 10 \
+        --seed 7 --out graph.edges
+    python -m repro sssp graph.edges --source 0 --algorithm pseudo
+    python -m repro khop graph.edges --source 0 --k 4 --algorithm ttl
+    python -m repro approx graph.edges --source 0 --k 4
+    python -m repro compare graph.edges --source 0 --k 4 --registers 4
+
+``compare`` prints a Table-1-style report for the given instance: both
+halves (RAM ops and DISTANCE movement vs neuromorphic ticks, native and
+embedding-charged).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms import (
+    spiking_khop_approx,
+    spiking_khop_poly,
+    spiking_khop_pseudo,
+    spiking_sssp_poly,
+    spiking_sssp_pseudo,
+)
+from repro.analysis import ComparisonRow, render_table
+from repro.baselines import bellman_ford_khop, dijkstra
+from repro.core.cost import CostReport
+from repro.distance_model import (
+    bellman_ford_khop_distance,
+    dijkstra_distance,
+)
+from repro.embedding import embedded_sssp
+from repro.workloads import (
+    complete_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    read_edge_list,
+    road_like_graph,
+    write_edge_list,
+)
+from repro.workloads.io import read_dimacs, write_dimacs
+
+
+def _read_graph(path: str):
+    """Edge-list by default; 9th-DIMACS format for ``.gr`` files."""
+    if str(path).endswith(".gr"):
+        return read_dimacs(path)
+    return read_edge_list(path)
+
+
+def _write_graph(graph, path: str) -> None:
+    if str(path).endswith(".gr"):
+        write_dimacs(graph, path)
+    else:
+        write_edge_list(graph, path)
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "gnp": lambda a: gnp_graph(
+        a.n, a.p, max_length=a.max_length, seed=a.seed, ensure_source_reaches=True
+    ),
+    "grid": lambda a: grid_graph(a.rows, a.cols, max_length=a.max_length, seed=a.seed),
+    "road": lambda a: road_like_graph(
+        a.rows, a.cols, max_length=a.max_length, seed=a.seed
+    ),
+    "path": lambda a: path_graph(a.n, max_length=a.max_length, seed=a.seed),
+    "complete": lambda a: complete_graph(a.n, max_length=a.max_length, seed=a.seed),
+    "powerlaw": lambda a: power_law_graph(a.n, max_length=a.max_length, seed=a.seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neuromorphic graph algorithms (SPAA 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a random graph to an edge list")
+    gen.add_argument("--kind", choices=sorted(_GENERATORS), default="gnp")
+    gen.add_argument("--n", type=int, default=50)
+    gen.add_argument("--p", type=float, default=0.1)
+    gen.add_argument("--rows", type=int, default=8)
+    gen.add_argument("--cols", type=int, default=8)
+    gen.add_argument("--max-length", type=int, default=10)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+
+    def graph_cmd(name: str, help_: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("graph", help="edge-list file")
+        p.add_argument("--source", type=int, default=0)
+        p.add_argument("--target", type=int, default=None)
+        return p
+
+    sssp = graph_cmd("sssp", "single-source shortest paths")
+    sssp.add_argument(
+        "--algorithm",
+        choices=("pseudo", "poly", "crossbar"),
+        default="pseudo",
+    )
+
+    khop = graph_cmd("khop", "k-hop shortest paths")
+    khop.add_argument("--k", type=int, required=True)
+    khop.add_argument("--algorithm", choices=("ttl", "poly"), default="ttl")
+
+    approx = graph_cmd("approx", "(1+eps)-approximate k-hop shortest paths")
+    approx.add_argument("--k", type=int, required=True)
+    approx.add_argument("--epsilon", type=float, default=None)
+
+    compare = graph_cmd("compare", "Table-1-style comparison on an instance")
+    compare.add_argument("--k", type=int, default=4)
+    compare.add_argument("--registers", type=int, default=4)
+
+    info = sub.add_parser(
+        "info", help="graph and compiled-network statistics + chip fit"
+    )
+    info.add_argument("graph", help="edge-list file")
+
+    report = sub.add_parser(
+        "report", help="write a full Markdown advantage report for an instance"
+    )
+    report.add_argument("graph", help="edge-list file")
+    report.add_argument("--source", type=int, default=0)
+    report.add_argument("--k", type=int, default=4)
+    report.add_argument("--registers", type=int, default=4)
+    report.add_argument("--out", default=None, help="output file (default: stdout)")
+
+    return parser
+
+
+def _print_cost(cost: CostReport) -> None:
+    print(f"algorithm:        {cost.algorithm}")
+    print(f"simulated ticks:  {cost.simulated_ticks}")
+    print(f"loading ticks:    {cost.loading_ticks}")
+    print(f"total time:       {cost.total_time}")
+    print(f"neurons:          {cost.neuron_count}")
+    print(f"synapses:         {cost.synapse_count}")
+    print(f"spikes:           {cost.spike_count}")
+    if cost.rounds is not None:
+        print(f"rounds x length:  {cost.rounds} x {cost.round_length}")
+
+
+def _print_distances(dist: np.ndarray, target: Optional[int]) -> None:
+    if target is not None:
+        d = dist[target]
+        print(f"distance to {target}: {d if d >= 0 else 'unreachable'}")
+    else:
+        print(f"distances: {dist.tolist()}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        g = _GENERATORS[args.kind](args)
+        _write_graph(g, args.out)
+        print(f"wrote {g.n} vertices / {g.m} edges to {args.out}")
+        return 0
+
+    g = _read_graph(args.graph)
+    print(f"graph: n={g.n} m={g.m} U={g.max_length()}")
+
+    if args.command == "info":
+        from repro.core import Network
+        from repro.core.stats import network_stats
+        from repro.hardware import PLATFORMS, chips_required
+
+        net = Network()
+        ids = [net.add_neuron(one_shot=True) for _ in range(g.n)]
+        for u, v, w in g.edges():
+            if u != v:
+                net.add_synapse(ids[u], ids[v], delay=int(w))
+        stats = network_stats(net)
+        print("\nSection-3 SSSP network for this graph:")
+        print(stats.summary())
+        print("\nchips required (crossbar embedding, 2n^2 neurons):")
+        crossbar_neurons = 2 * g.n * g.n
+        for name, spec in PLATFORMS.items():
+            chips = chips_required(crossbar_neurons, spec)
+            if chips is not None:
+                print(f"  {name}: {chips}")
+        return 0
+
+    if args.command == "report":
+        from repro.analysis.report import generate_instance_report
+
+        doc = generate_instance_report(
+            g, args.source, k=args.k, registers=args.registers
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(doc)
+            print(f"wrote report to {args.out}")
+        else:
+            print(doc)
+        return 0
+
+    if args.command == "sssp":
+        if args.algorithm == "pseudo":
+            res = spiking_sssp_pseudo(g, args.source, target=args.target)
+        elif args.algorithm == "poly":
+            res = spiking_sssp_poly(g, args.source, target=args.target)
+        else:
+            res = embedded_sssp(g, args.source, target=args.target)
+        _print_distances(res.dist, args.target)
+        _print_cost(res.cost)
+        return 0
+
+    if args.command == "khop":
+        if args.algorithm == "ttl":
+            res = spiking_khop_pseudo(g, args.source, args.k, target=args.target)
+        else:
+            res = spiking_khop_poly(g, args.source, args.k, target=args.target)
+        _print_distances(res.dist, args.target)
+        _print_cost(res.cost)
+        return 0
+
+    if args.command == "approx":
+        res = spiking_khop_approx(g, args.source, args.k, epsilon=args.epsilon)
+        eps = res.cost.extras["epsilon"]
+        print(f"epsilon: {eps:.4f} ({res.cost.extras['scales']:.0f} scales)")
+        _print_distances(res.dist, args.target)
+        _print_cost(res.cost)
+        return 0
+
+    if args.command == "compare":
+        k = args.k
+        c = args.registers
+        _, ram_sssp = dijkstra(g, args.source)
+        _, ram_khop = bellman_ford_khop(g, args.source, k)
+        _, mv_sssp = dijkstra_distance(g, args.source, num_registers=c)
+        _, mv_khop = bellman_ford_khop_distance(g, args.source, k, num_registers=c)
+        neuro_sssp = spiking_sssp_pseudo(g, args.source)
+        neuro_khop = spiking_khop_pseudo(g, args.source, k)
+        print()
+        print(
+            render_table(
+                [
+                    ComparisonRow("SSSP (RAM)", ram_sssp.total,
+                                  neuro_sssp.cost.total_time),
+                    ComparisonRow(f"{k}-hop (RAM)", ram_khop.total,
+                                  neuro_khop.cost.total_time),
+                    ComparisonRow("SSSP (DISTANCE)", mv_sssp,
+                                  neuro_sssp.cost.with_embedding(g.n).total_time),
+                    ComparisonRow(f"{k}-hop (DISTANCE)", mv_khop,
+                                  neuro_khop.cost.with_embedding(g.n).total_time),
+                ],
+                title=f"instance comparison (k={k}, c={c})",
+            )
+        )
+        return 0
+
+    raise AssertionError("unhandled command")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

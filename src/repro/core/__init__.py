@@ -1,0 +1,46 @@
+"""Discrete leaky-integrate-and-fire (LIF) spiking neural network substrate.
+
+Implements Definitions 1–3 of the paper: discrete time, per-neuron
+``(v_reset, v_threshold, tau)``, synapses with programmable weight and
+integer delay at least the hardware minimum ``delta = 1``, computation
+initiated by stimulating input neurons at ``t = 0`` and terminated when a
+designated terminal neuron first spikes.
+
+Two engines share identical semantics:
+
+* :func:`~repro.core.engine.simulate_dense` — advances every neuron every
+  tick with vectorized NumPy state; right for circuit-heavy networks where
+  most ticks carry activity.
+* :func:`~repro.core.event_engine.simulate_event_driven` — processes spike
+  deliveries from a priority queue and closes voltage decay lazily; right for
+  the delay-encoded algorithms of Sections 3–4 where the simulated horizon
+  ``T = O(L)`` far exceeds the number of spikes.
+
+``simulate`` picks an engine automatically.
+"""
+
+from repro.core.lif import (
+    DEFAULT_DELTA,
+    NeuronParams,
+    threshold_for_count,
+)
+from repro.core.network import CompiledNetwork, Network
+from repro.core.result import SimulationResult, StopReason
+from repro.core.cost import CostReport
+from repro.core.engine import simulate_dense
+from repro.core.event_engine import simulate_event_driven
+from repro.core.run import simulate
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "NeuronParams",
+    "threshold_for_count",
+    "Network",
+    "CompiledNetwork",
+    "SimulationResult",
+    "StopReason",
+    "CostReport",
+    "simulate",
+    "simulate_dense",
+    "simulate_event_driven",
+]

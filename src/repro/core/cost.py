@@ -1,0 +1,95 @@
+"""Neuromorphic cost accounting.
+
+The paper measures algorithms in model quantities, not wall-clock: simulated
+execution time ``T`` (ticks, i.e. multiples of the minimum delay ``delta``),
+neuron count, synapse count, spike count (the energy proxy), and the
+``O(m)`` loading term for programming the graph/circuits into the SNA
+(Sections 4.1, 4.2, 4.5 all state loading explicitly).  :class:`CostReport`
+carries those quantities from every algorithm runner so the Table-1 benches
+can compare models on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Model-level cost of one neuromorphic algorithm execution.
+
+    Attributes
+    ----------
+    algorithm:
+        Short identifier (e.g. ``"sssp_pseudo"``).
+    simulated_ticks:
+        Spiking execution time ``T`` in ticks, excluding loading.
+    loading_ticks:
+        Time to program the SNA; ``O(m)`` for the graph itself plus the
+        per-node/per-edge circuit sizes where applicable.
+    neuron_count, synapse_count:
+        Hardware resources occupied.
+    spike_count:
+        Total spike events during the run (energy proxy; Table 3's pJ/spike
+        converts this to Joules).
+    rounds:
+        For round-synchronized algorithms (Section 4.2), the number of
+        message rounds ``R``; ``simulated_ticks = R * x`` with round length
+        ``x``.
+    round_length:
+        Ticks per round (``x = Theta(log nU)`` in Section 4.2), when
+        applicable.
+    message_bits:
+        Message width ``lambda`` in bits, when applicable.
+    embedding_factor:
+        Multiplicative slowdown applied to the spiking portion when the run
+        is charged for crossbar embedding (Section 4.4: ``O(n)``); 1 when
+        data movement is assumed O(1).
+    extras:
+        Free-form auxiliary measurements (e.g. per-phase tick counts).
+    """
+
+    algorithm: str
+    simulated_ticks: int
+    loading_ticks: int
+    neuron_count: int
+    synapse_count: int
+    spike_count: int
+    rounds: Optional[int] = None
+    round_length: Optional[int] = None
+    message_bits: Optional[int] = None
+    embedding_factor: int = 1
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> int:
+        """Loading plus (embedding-charged) spiking time.
+
+        This is the quantity Table 1 reports: e.g. ``O(nL + m)`` for the
+        pseudopolynomial SSSP is ``embedding_factor * simulated_ticks +
+        loading_ticks``.
+        """
+        return self.embedding_factor * self.simulated_ticks + self.loading_ticks
+
+    def with_embedding(self, n: int) -> "CostReport":
+        """Return a copy charged for the crossbar embedding cost ``O(n)``.
+
+        Section 4.4: after embedding into the crossbar, "all other steps now
+        require more time by a factor O(n)" while loading remains ``O(m)``.
+        """
+        return CostReport(
+            algorithm=self.algorithm + "+crossbar",
+            simulated_ticks=self.simulated_ticks,
+            loading_ticks=self.loading_ticks,
+            neuron_count=self.neuron_count,
+            synapse_count=self.synapse_count,
+            spike_count=self.spike_count,
+            rounds=self.rounds,
+            round_length=self.round_length,
+            message_bits=self.message_bits,
+            embedding_factor=self.embedding_factor * max(1, n),
+            extras=dict(self.extras),
+        )

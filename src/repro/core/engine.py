@@ -1,0 +1,202 @@
+"""Dense (per-tick, vectorized) LIF simulation engine.
+
+Advances every neuron every tick.  All per-tick state is held in flat NumPy
+arrays: a voltage vector, a circular ``(max_delay + 1, n)`` delivery buffer,
+and CSR synapse arrays; spike scatter uses ``np.add.at`` on the flattened
+buffer.  No Python-level per-neuron work happens inside the loop except the
+final bookkeeping of fired ids.
+
+Use this engine for circuit-style networks where most ticks carry activity.
+For delay-encoded graph algorithms whose simulated horizon vastly exceeds
+the number of spikes, prefer
+:func:`repro.core.event_engine.simulate_event_driven`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.network import CompiledNetwork, Network
+from repro.core.result import SimulationResult, StopReason
+from repro.errors import ValidationError
+
+__all__ = ["simulate_dense"]
+
+StimulusSpec = Union[Sequence[int], Mapping[int, Sequence[int]]]
+
+
+def _normalize_stimulus(stimulus: Optional[StimulusSpec]) -> Dict[int, np.ndarray]:
+    """Normalize to ``{tick: array-of-neuron-ids}`` with tick-0 default."""
+    if stimulus is None:
+        return {}
+    if isinstance(stimulus, Mapping):
+        out = {}
+        for tick, ids in stimulus.items():
+            if tick < 0:
+                raise ValidationError(f"stimulus tick must be >= 0, got {tick}")
+            out[int(tick)] = np.asarray(sorted(set(int(i) for i in ids)), dtype=np.int64)
+        return out
+    return {0: np.asarray(sorted(set(int(i) for i in stimulus)), dtype=np.int64)}
+
+
+def simulate_dense(
+    network: Union[Network, CompiledNetwork],
+    stimulus: Optional[StimulusSpec] = None,
+    *,
+    max_steps: int,
+    terminal: Optional[int] = None,
+    watch: Optional[Iterable[int]] = None,
+    stop_when_quiescent: bool = True,
+    record_spikes: bool = False,
+    probe_voltages: Optional[Iterable[int]] = None,
+) -> SimulationResult:
+    """Simulate a network tick by tick.
+
+    Parameters
+    ----------
+    network:
+        A :class:`Network` (compiled on the fly) or :class:`CompiledNetwork`.
+    stimulus:
+        Neuron ids induced to spike at tick 0, or a mapping
+        ``{tick: ids}`` for multi-wave inputs (circuit pipelining tests).
+    max_steps:
+        Hard tick budget; the run stops with :attr:`StopReason.MAX_STEPS`
+        when exhausted.
+    terminal:
+        Neuron whose first spike terminates the run (defaults to the
+        network's designated terminal, if any).
+    watch:
+        Stop once every neuron in this set has fired.
+    stop_when_quiescent:
+        Stop early when no deliveries remain scheduled and nothing fired in
+        the current tick (never triggers while pacemaker neurons exist).
+    record_spikes:
+        Keep the full tick -> fired-ids record (memory proportional to total
+        spikes).
+    probe_voltages:
+        Neuron ids whose voltage trace to record each tick.
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    if max_steps < 0:
+        raise ValidationError(f"max_steps must be >= 0, got {max_steps}")
+    n = net.n
+    term = terminal if terminal is not None else net.terminal
+    watch_set = None
+    watch_remaining = 0
+    watch_mask = None
+    if watch is not None:
+        watch_mask = np.zeros(n, dtype=bool)
+        watch_mask[np.asarray(list(watch), dtype=np.int64)] = True
+        watch_remaining = int(watch_mask.sum())
+
+    stim = _normalize_stimulus(stimulus)
+    for ids in stim.values():
+        if ids.size and (ids.min() < 0 or ids.max() >= n):
+            raise ValidationError("stimulus neuron id out of range")
+    pending_stim_ticks = sorted(stim)
+
+    D = net.max_delay
+    n_slots = D + 1
+    buf = np.zeros((n_slots, n), dtype=np.float64)
+    slot_counts = np.zeros(n_slots, dtype=np.int64)
+    v = net.v_reset.copy()
+    fired_ever = np.zeros(n, dtype=bool)
+    first_spike = np.full(n, -1, dtype=np.int64)
+    spike_counts = np.zeros(n, dtype=np.int64)
+    any_one_shot = bool(net.one_shot.any())
+    has_pacemakers = net.has_pacemakers
+
+    probes = list(probe_voltages) if probe_voltages is not None else []
+    voltage_traces: Optional[Dict[int, list]] = (
+        {int(p): [float(v[p])] for p in probes} if probes else None
+    )
+    spike_events: Optional[Dict[int, np.ndarray]] = {} if record_spikes else None
+
+    def scatter(ids: np.ndarray, t: int) -> None:
+        syn_idx = net.gather_out_synapses(ids)
+        if syn_idx.size == 0:
+            return
+        slots = (t + net.syn_delay[syn_idx]) % n_slots
+        flat = slots * n + net.syn_dst[syn_idx]
+        np.add.at(buf.reshape(-1), flat, net.syn_weight[syn_idx])
+        np.add.at(slot_counts, slots, 1)
+
+    def register_spikes(ids: np.ndarray, t: int) -> None:
+        nonlocal watch_remaining
+        newly = ids[~fired_ever[ids]]
+        first_spike[newly] = t
+        if watch_mask is not None and newly.size:
+            watch_remaining -= int(watch_mask[newly].sum())
+        fired_ever[ids] = True
+        spike_counts[ids] += 1
+        if spike_events is not None and ids.size:
+            spike_events[t] = ids.copy()
+
+    # ---- tick 0: induced input spikes ---------------------------------- #
+    t = 0
+    ids0 = stim.get(0, np.empty(0, dtype=np.int64))
+    if ids0.size:
+        register_spikes(ids0, 0)
+        scatter(ids0, 0)
+    stop_reason = None
+    if term is not None and ids0.size and fired_ever[term]:
+        stop_reason = StopReason.TERMINAL
+    elif watch_mask is not None and watch_remaining == 0:
+        stop_reason = StopReason.WATCH_SET
+
+    # ---- main loop ------------------------------------------------------ #
+    while stop_reason is None:
+        if t >= max_steps:
+            stop_reason = StopReason.MAX_STEPS
+            break
+        t += 1
+        slot = t % n_slots
+        syn = buf[slot]
+        slot_counts[slot] = 0
+        # Eq. (1): decay toward reset, then integrate synaptic input.
+        vhat = v + (net.v_reset - v) * net.tau + syn
+        syn[:] = 0.0
+        fire = vhat > net.v_threshold  # Eq. (2), strict
+        if any_one_shot:
+            fire &= ~(net.one_shot & fired_ever)
+        # induced spikes this tick fire unconditionally
+        ids_stim = stim.get(t)
+        if ids_stim is not None and ids_stim.size:
+            fire[ids_stim] = True
+        v = np.where(fire, net.v_reset, vhat)  # Eq. (3)
+        ids = np.nonzero(fire)[0]
+        if ids.size:
+            register_spikes(ids, t)
+            scatter(ids, t)
+        if voltage_traces is not None:
+            for p in voltage_traces:
+                voltage_traces[p].append(float(v[p]))
+        # stop checks
+        if term is not None and fired_ever[term]:
+            stop_reason = StopReason.TERMINAL
+        elif watch_mask is not None and watch_remaining == 0:
+            stop_reason = StopReason.WATCH_SET
+        elif (
+            stop_when_quiescent
+            and not has_pacemakers
+            and ids.size == 0
+            and slot_counts.sum() == 0
+            and all(ts <= t for ts in pending_stim_ticks)
+        ):
+            stop_reason = StopReason.QUIESCENT
+
+    voltages = (
+        {p: np.asarray(trace, dtype=np.float64) for p, trace in voltage_traces.items()}
+        if voltage_traces is not None
+        else None
+    )
+    return SimulationResult(
+        first_spike=first_spike,
+        spike_counts=spike_counts,
+        final_tick=t,
+        stop_reason=stop_reason,
+        spike_events=spike_events,
+        voltages=voltages,
+    )

@@ -1,0 +1,170 @@
+"""Event-driven LIF simulation engine.
+
+Processes spike *deliveries* from a priority queue instead of advancing
+every neuron every tick.  Voltage decay between deliveries is closed
+analytically: after ``dt`` quiet ticks the excess over ``v_reset`` shrinks by
+``(1 - tau) ** dt``, which equals the tick-by-tick Eq. (1) update exactly
+(up to floating-point associativity for fractional ``tau``).
+
+This engine is what makes the pseudopolynomial algorithms of Sections 3–4
+practical to simulate: their simulated horizon is ``T = O(L)`` (path length)
+while only ``O(n + m)`` spikes ever occur, so stepping each tick would waste
+``Omega(L * n)`` work.  The engine's wall-clock is ``O(S log S)`` in the
+number of deliveries ``S``; the *reported* execution time is still the
+simulated tick count, which is what the paper's theorems bound.
+
+Restrictions (validated up front):
+
+* no pacemaker neurons (``v_reset > v_threshold``) — they fire with no
+  incoming events, defeating laziness; use the dense engine;
+* semantics otherwise identical to :func:`repro.core.engine.simulate_dense`,
+  which the test suite checks on randomized networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.engine import StimulusSpec, _normalize_stimulus
+from repro.core.network import CompiledNetwork, Network
+from repro.core.result import SimulationResult, StopReason
+from repro.errors import UnsupportedNetworkError, ValidationError
+
+__all__ = ["simulate_event_driven"]
+
+
+def simulate_event_driven(
+    network: Union[Network, CompiledNetwork],
+    stimulus: Optional[StimulusSpec] = None,
+    *,
+    max_steps: int,
+    terminal: Optional[int] = None,
+    watch: Optional[Iterable[int]] = None,
+    record_spikes: bool = False,
+) -> SimulationResult:
+    """Simulate a network by processing spike deliveries in time order.
+
+    Same parameters and result semantics as
+    :func:`repro.core.engine.simulate_dense` (without voltage probes, which
+    are only meaningful per tick).
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    if max_steps < 0:
+        raise ValidationError(f"max_steps must be >= 0, got {max_steps}")
+    if net.has_pacemakers:
+        raise UnsupportedNetworkError(
+            "network contains pacemaker neurons (v_reset > v_threshold); "
+            "use the dense engine"
+        )
+    n = net.n
+    term = terminal if terminal is not None else net.terminal
+    watch_mask = None
+    watch_remaining = 0
+    if watch is not None:
+        watch_mask = np.zeros(n, dtype=bool)
+        watch_mask[np.asarray(list(watch), dtype=np.int64)] = True
+        watch_remaining = int(watch_mask.sum())
+
+    stim = _normalize_stimulus(stimulus)
+    for ids in stim.values():
+        if ids.size and (ids.min() < 0 or ids.max() >= n):
+            raise ValidationError("stimulus neuron id out of range")
+
+    v = net.v_reset.copy()
+    last_update = np.zeros(n, dtype=np.int64)
+    fired_ever = np.zeros(n, dtype=bool)
+    first_spike = np.full(n, -1, dtype=np.int64)
+    spike_counts = np.zeros(n, dtype=np.int64)
+    spike_events: Optional[Dict[int, List[int]]] = {} if record_spikes else None
+
+    # Heap of (tick, kind, neuron, weight); kind 0 = induced spike,
+    # kind 1 = synaptic delivery.  Induced spikes sort first at equal ticks
+    # (they fire unconditionally so ordering only affects bookkeeping).
+    heap: List[Tuple[int, int, int, float]] = []
+    for tick, ids in stim.items():
+        for nid in ids:
+            heap.append((tick, 0, int(nid), 0.0))
+    heapq.heapify(heap)
+
+    decay_keep = 1.0 - net.tau  # per-tick retention of excess voltage
+
+    def fire(nid: int, t: int) -> None:
+        nonlocal watch_remaining
+        if not fired_ever[nid]:
+            first_spike[nid] = t
+            fired_ever[nid] = True
+            if watch_mask is not None and watch_mask[nid]:
+                watch_remaining -= 1
+        spike_counts[nid] += 1
+        if spike_events is not None:
+            spike_events.setdefault(t, []).append(nid)
+        v[nid] = net.v_reset[nid]
+        last_update[nid] = t
+        lo, hi = net.indptr[nid], net.indptr[nid + 1]
+        for s in range(lo, hi):
+            heapq.heappush(
+                heap,
+                (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(net.syn_weight[s])),
+            )
+
+    final_tick = 0
+    stop_reason: Optional[StopReason] = None
+    while stop_reason is None:
+        if not heap:
+            stop_reason = StopReason.QUIESCENT
+            break
+        t = heap[0][0]
+        if t > max_steps:
+            stop_reason = StopReason.MAX_STEPS
+            final_tick = max_steps
+            break
+        final_tick = t
+        # Drain the whole batch at tick t: deliveries to one neuron sum
+        # before the threshold comparison, matching v_syn of Eq. (4).
+        induced: List[int] = []
+        delivered: Dict[int, float] = {}
+        while heap and heap[0][0] == t:
+            _, kind, nid, w = heapq.heappop(heap)
+            if kind == 0:
+                induced.append(nid)
+            else:
+                delivered[nid] = delivered.get(nid, 0.0) + w
+        fired_now: List[int] = []
+        for nid, syn in delivered.items():
+            dt = t - last_update[nid]
+            keep = decay_keep[nid]
+            if dt > 0 and keep != 1.0:
+                excess = v[nid] - net.v_reset[nid]
+                v[nid] = net.v_reset[nid] + excess * (keep**dt)
+            vhat = v[nid] + syn
+            last_update[nid] = t
+            if vhat > net.v_threshold[nid] and not (net.one_shot[nid] and fired_ever[nid]):
+                fired_now.append(nid)
+            else:
+                v[nid] = vhat
+        for nid in set(induced):
+            if nid not in fired_now:
+                fired_now.append(nid)
+        for nid in fired_now:
+            fire(nid, t)
+        # stop checks after the full batch at tick t
+        if term is not None and fired_ever[term]:
+            stop_reason = StopReason.TERMINAL
+        elif watch_mask is not None and watch_remaining == 0:
+            stop_reason = StopReason.WATCH_SET
+
+    events = None
+    if spike_events is not None:
+        events = {
+            t: np.asarray(sorted(ids), dtype=np.int64) for t, ids in spike_events.items()
+        }
+    return SimulationResult(
+        first_spike=first_spike,
+        spike_counts=spike_counts,
+        final_tick=int(final_tick),
+        stop_reason=stop_reason,
+        spike_events=events,
+    )

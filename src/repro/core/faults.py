@@ -1,0 +1,86 @@
+"""Fault injection: perturbed copies of networks for robustness studies.
+
+Physical neuromorphic hardware has dead neurons, dropped synapses, and
+analog weight drift (Appendix A calls the platforms "research-grade ...
+still in development").  These helpers build perturbed copies of a
+network so tests and benches can measure how the algorithms degrade:
+
+* :func:`with_dead_neurons` — listed neurons never fire (all their
+  synapses, in and out, are removed; ids are preserved);
+* :func:`with_synapse_dropout` — each synapse is deleted independently
+  with probability ``p`` (seeded);
+* :func:`with_weight_noise` — multiplicative Gaussian jitter on weights
+  (topology and delays intact).
+
+All functions return a *new* :class:`Network`; the original is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.errors import ValidationError
+
+__all__ = ["with_dead_neurons", "with_synapse_dropout", "with_weight_noise"]
+
+
+def _clone_neurons(net: Network) -> Network:
+    out = Network()
+    for nid in range(net.n_neurons):
+        out.add_neuron(net.name_of(nid), params=net.params_of(nid))
+    out.inputs = list(net.inputs)
+    out.outputs = list(net.outputs)
+    out.terminal = net.terminal
+    return out
+
+
+def _synapses(net: Network):
+    c = net.compile()
+    for u in range(c.n):
+        sl = c.out_synapses(u)
+        for s in range(sl.start, sl.stop):
+            yield u, int(c.syn_dst[s]), float(c.syn_weight[s]), int(c.syn_delay[s])
+
+
+def with_dead_neurons(net: Network, dead: Iterable[int]) -> Network:
+    """Copy of ``net`` where the listed neurons are electrically dead."""
+    dead_set: Set[int] = set(int(d) for d in dead)
+    for d in dead_set:
+        if not (0 <= d < net.n_neurons):
+            raise ValidationError(f"neuron {d} out of range")
+    out = _clone_neurons(net)
+    for u, v, w, d in _synapses(net):
+        if u in dead_set or v in dead_set:
+            continue
+        out.add_synapse(u, v, weight=w, delay=d)
+    return out
+
+
+def with_synapse_dropout(
+    net: Network, p: float, *, seed: Optional[int] = None
+) -> Network:
+    """Copy of ``net`` with each synapse dropped independently w.p. ``p``."""
+    if not (0.0 <= p <= 1.0):
+        raise ValidationError(f"dropout probability must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    out = _clone_neurons(net)
+    for u, v, w, d in _synapses(net):
+        if rng.random() >= p:
+            out.add_synapse(u, v, weight=w, delay=d)
+    return out
+
+
+def with_weight_noise(
+    net: Network, sigma: float, *, seed: Optional[int] = None
+) -> Network:
+    """Copy of ``net`` with weights scaled by ``1 + N(0, sigma)`` jitter."""
+    if sigma < 0:
+        raise ValidationError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    out = _clone_neurons(net)
+    for u, v, w, d in _synapses(net):
+        out.add_synapse(u, v, weight=w * (1.0 + rng.normal(0.0, sigma)), delay=d)
+    return out

@@ -1,0 +1,97 @@
+"""LIF neuron parameterization (paper Definitions 1 and 2).
+
+Dynamics simulated by the engines, for neuron ``j`` at tick ``t >= 1``::
+
+    v_hat(t) = v(t-1) - (v(t-1) - v_reset) * tau + v_syn(t)
+    f(t)     = 1  iff  v_hat(t) > v_threshold          (strict, Eq. 2)
+    v(t)     = v_reset if f(t) = 1 else v_hat(t)
+    v_syn(t) = sum_i f_i(t - d_ij) * w_ij
+
+Timing convention
+-----------------
+The paper's Eq. (1)/(4) pair assigns the synaptic input of tick ``t`` to the
+voltage update of tick ``t + 1``, which would make the end-to-end latency of
+a synapse ``d + 1`` ticks.  The algorithms of Sections 3–4, however, assume
+that a synapse whose delay equals a graph-edge length delivers a spike whose
+*firing* time equals the path length ("a spike that arrives at a node v at
+time t corresponds to a path ... of length t").  We therefore fold the extra
+integration tick into the programmed delay: a spike emitted at time ``s``
+across a synapse with delay ``d`` can cause the target to fire at exactly
+``s + d``.  Delays remain integers ``>= DEFAULT_DELTA = 1`` (zero delays are
+prohibited, Section 2.2).
+
+Threshold convention
+--------------------
+Eq. (2) fires on the *strict* inequality ``v_hat > v_threshold``.  The
+paper's circuit figures nevertheless use unit thresholds with unit weights
+(e.g. "neurons have threshold 1" while an OR gate fires on a single weight-1
+input), implicitly reading the comparison as ``>=``.  We keep the strict
+semantics of Eq. (2) and place gate thresholds at half-integers:
+:func:`threshold_for_count` maps "fires when at least k unit inputs are
+active" to a threshold of ``k - 1/2``.  For integer synaptic weights the two
+conventions coincide exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["NeuronParams", "threshold_for_count", "DEFAULT_DELTA"]
+
+#: Hardware minimum synaptic delay ``delta`` (Section 2.2): all synapse
+#: delays are integer multiples ``l * delta`` with ``l >= 1``; we take the
+#: tick unit to be ``delta`` itself.
+DEFAULT_DELTA: int = 1
+
+
+def threshold_for_count(k: int) -> float:
+    """Threshold so a neuron fires iff at least ``k`` unit-weight inputs fire.
+
+    With the strict comparison of Eq. (2), ``k - 0.5`` fires exactly on
+    integer input sums ``>= k``.
+    """
+    if k < 1:
+        raise ValidationError(f"input count must be >= 1, got {k}")
+    return k - 0.5
+
+
+@dataclass(frozen=True)
+class NeuronParams:
+    """Programmable parameters of one LIF neuron (Definition 1).
+
+    Attributes
+    ----------
+    v_reset:
+        Voltage after a spike and the initial voltage ``v(0)``.
+    v_threshold:
+        Firing threshold; a neuron spikes when ``v_hat > v_threshold``.
+    tau:
+        Decay rate in ``[0, 1]``; the voltage excess over ``v_reset``
+        shrinks by a factor ``(1 - tau)`` each tick.  ``tau = 1`` recovers a
+        memoryless threshold gate, ``tau = 0`` a perfect integrator.
+    one_shot:
+        Convenience flag: once the neuron has fired it never fires again.
+        Equivalent to (and validated against) the latch-inhibition gadget of
+        Figure 1B; used by the Section 3 algorithm where each node
+        "propagates only the first incoming spike it receives".
+    """
+
+    v_reset: float = 0.0
+    v_threshold: float = 0.5
+    tau: float = 0.0
+    one_shot: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.tau <= 1.0):
+            raise ValidationError(f"tau must lie in [0, 1], got {self.tau}")
+
+    @property
+    def is_pacemaker(self) -> bool:
+        """True if the neuron fires spontaneously (``v_reset > v_threshold``).
+
+        Such neurons fire every tick with no input; the event-driven engine
+        rejects networks containing them.
+        """
+        return self.v_reset > self.v_threshold

@@ -1,0 +1,94 @@
+"""Spike-raster rendering and rate statistics for simulation results.
+
+Event-driven debugging aids: an ASCII raster of which neuron fired when
+(the standard visualization of SNN activity), per-neuron firing rates, and
+inter-spike-interval summaries.  All functions consume a
+:class:`~repro.core.result.SimulationResult` recorded with
+``record_spikes=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.result import SimulationResult
+from repro.errors import ValidationError
+
+__all__ = ["spike_raster", "firing_rates", "interspike_intervals"]
+
+
+def _events_required(result: SimulationResult) -> Dict[int, np.ndarray]:
+    if result.spike_events is None:
+        raise ValidationError(
+            "raster utilities need record_spikes=True on the simulation"
+        )
+    return result.spike_events
+
+
+def spike_raster(
+    result: SimulationResult,
+    neuron_ids: Sequence[int],
+    *,
+    t_start: int = 0,
+    t_end: Optional[int] = None,
+    names: Optional[Sequence[str]] = None,
+    mark: str = "|",
+    empty: str = ".",
+) -> str:
+    """Render an ASCII raster: one row per neuron, one column per tick.
+
+    >>> print(spike_raster(result, [0, 1, 2]))          # doctest: +SKIP
+    v0 |....|.....
+    v1 .|....|....
+    v2 ..|....|...
+    """
+    events = _events_required(result)
+    t_end = result.final_tick if t_end is None else t_end
+    if t_end < t_start:
+        raise ValidationError("t_end must be >= t_start")
+    fired_at: Dict[int, set] = {int(nid): set() for nid in neuron_ids}
+    for t, ids in events.items():
+        if t_start <= t <= t_end:
+            for nid in ids.tolist():
+                if nid in fired_at:
+                    fired_at[nid].add(t)
+    labels = (
+        [str(x) for x in names]
+        if names is not None
+        else [f"n{nid}" for nid in neuron_ids]
+    )
+    if len(labels) != len(neuron_ids):
+        raise ValidationError("one name per neuron id required")
+    width = max(len(s) for s in labels) if labels else 0
+    lines: List[str] = []
+    for nid, label in zip(neuron_ids, labels):
+        row = "".join(
+            mark if t in fired_at[int(nid)] else empty
+            for t in range(t_start, t_end + 1)
+        )
+        lines.append(f"{label.rjust(width)} {row}")
+    return "\n".join(lines)
+
+
+def firing_rates(
+    result: SimulationResult, *, horizon: Optional[int] = None
+) -> np.ndarray:
+    """Spikes per tick for every neuron over the (given or run) horizon."""
+    ticks = (result.final_tick if horizon is None else horizon) + 1
+    if ticks <= 0:
+        raise ValidationError("horizon must cover at least one tick")
+    return result.spike_counts / float(ticks)
+
+
+def interspike_intervals(result: SimulationResult, neuron_id: int) -> np.ndarray:
+    """Gaps between consecutive spikes of one neuron (empty if < 2 spikes)."""
+    events = _events_required(result)
+    times = sorted(
+        t for t, ids in events.items() if neuron_id in set(ids.tolist())
+    )
+    if len(times) < 2:
+        return np.empty(0, dtype=np.int64)
+    return np.diff(np.asarray(times, dtype=np.int64))

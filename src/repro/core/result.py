@@ -1,0 +1,85 @@
+"""Simulation outcomes: spike records and stop reasons."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["StopReason", "SimulationResult"]
+
+
+class StopReason(enum.Enum):
+    """Why a simulation run ended."""
+
+    #: The designated terminal neuron fired (Definition 3 termination).
+    TERMINAL = "terminal"
+    #: Every neuron in the caller-supplied watch set has fired at least once.
+    WATCH_SET = "watch_set"
+    #: No spike deliveries remain scheduled and no neuron can fire again.
+    QUIESCENT = "quiescent"
+    #: The tick budget ``max_steps`` was exhausted.
+    MAX_STEPS = "max_steps"
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one SNN simulation.
+
+    Attributes
+    ----------
+    first_spike:
+        ``int64[n]``; tick of each neuron's first spike, ``-1`` if it never
+        fired.  Input-stimulus spikes occur at tick 0.
+    spike_counts:
+        ``int64[n]``; how many times each neuron fired.
+    total_spikes:
+        Sum of ``spike_counts`` — the energy proxy used by the hardware
+        energy model (spike events dominate neuromorphic energy).
+    final_tick:
+        Last simulated tick ``T`` (the paper's execution time when stopping
+        at the terminal neuron).
+    stop_reason:
+        Which condition ended the run.
+    spike_events:
+        Optional full record (only when ``record_spikes=True``): map from
+        tick to the array of neuron ids that fired then.
+    voltages:
+        Optional voltage traces for probed neurons (dense engine only):
+        map neuron id -> float array indexed by tick.
+    """
+
+    first_spike: np.ndarray
+    spike_counts: np.ndarray
+    final_tick: int
+    stop_reason: StopReason
+    spike_events: Optional[Dict[int, np.ndarray]] = None
+    voltages: Optional[Dict[int, np.ndarray]] = None
+
+    @property
+    def total_spikes(self) -> int:
+        return int(self.spike_counts.sum())
+
+    def fired(self, nid: int) -> bool:
+        """Whether neuron ``nid`` fired at least once."""
+        return bool(self.first_spike[nid] >= 0)
+
+    def spike_times(self, nid: int) -> List[int]:
+        """All spike times of one neuron (requires ``record_spikes=True``)."""
+        if self.spike_events is None:
+            raise ValueError("run with record_spikes=True to retrieve spike trains")
+        return [t for t, ids in sorted(self.spike_events.items()) if nid in set(ids.tolist())]
+
+    def output_pattern(self, output_ids: np.ndarray, at_tick: Optional[int] = None) -> np.ndarray:
+        """Boolean firing pattern of the output neurons at ``at_tick``.
+
+        Definition 3 reads the output neurons at the terminal tick ``T``;
+        that is the default.  Requires ``record_spikes=True``.
+        """
+        if self.spike_events is None:
+            raise ValueError("run with record_spikes=True to read output patterns")
+        t = self.final_tick if at_tick is None else at_tick
+        fired_now = set(self.spike_events.get(t, np.empty(0, dtype=np.int64)).tolist())
+        return np.asarray([nid in fired_now for nid in output_ids], dtype=bool)

@@ -1,0 +1,74 @@
+"""Engine-dispatching front end for SNN simulation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.core.engine import StimulusSpec, simulate_dense
+from repro.core.event_engine import simulate_event_driven
+from repro.core.network import CompiledNetwork, Network
+from repro.core.result import SimulationResult
+from repro.errors import ValidationError
+
+__all__ = ["simulate", "DEFAULT_MAX_STEPS"]
+
+#: Default tick budget; generous enough for every test/bench workload while
+#: still bounding accidental runaway networks.
+DEFAULT_MAX_STEPS: int = 1_000_000
+
+#: Above this maximum synaptic delay the auto-dispatcher assumes the network
+#: is delay-encoded (Sections 3–4 algorithms) and picks the event engine.
+_EVENT_DELAY_CUTOFF: int = 64
+
+
+def simulate(
+    network: Union[Network, CompiledNetwork],
+    stimulus: Optional[StimulusSpec] = None,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    terminal: Optional[int] = None,
+    watch: Optional[Iterable[int]] = None,
+    stop_when_quiescent: bool = True,
+    record_spikes: bool = False,
+    probe_voltages: Optional[Iterable[int]] = None,
+    engine: str = "auto",
+) -> SimulationResult:
+    """Simulate an SNN, dispatching to the dense or event-driven engine.
+
+    ``engine`` may be ``"auto"`` (default), ``"dense"``, or ``"event"``.
+    Auto picks dense for networks with pacemaker neurons or voltage probes
+    (the event engine supports neither) and otherwise chooses by maximum
+    synaptic delay: long programmed delays signal a delay-encoded algorithm
+    whose quiet ticks the event engine skips.
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    if engine == "auto":
+        if net.has_pacemakers or probe_voltages is not None:
+            engine = "dense"
+        elif net.max_delay > _EVENT_DELAY_CUTOFF:
+            engine = "event"
+        else:
+            engine = "dense"
+    if engine == "dense":
+        return simulate_dense(
+            net,
+            stimulus,
+            max_steps=max_steps,
+            terminal=terminal,
+            watch=watch,
+            stop_when_quiescent=stop_when_quiescent,
+            record_spikes=record_spikes,
+            probe_voltages=probe_voltages,
+        )
+    if engine == "event":
+        if probe_voltages is not None:
+            raise ValidationError("voltage probes require the dense engine")
+        return simulate_event_driven(
+            net,
+            stimulus,
+            max_steps=max_steps,
+            terminal=terminal,
+            watch=watch,
+            record_spikes=record_spikes,
+        )
+    raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")

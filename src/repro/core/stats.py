@@ -1,0 +1,87 @@
+"""Structural statistics of spiking networks.
+
+Summaries for debugging, the CLI ``info`` command, and capacity planning
+against the Table-3 platform limits: neuron/synapse counts, fan-in/out
+distributions, weight and delay ranges, and flags for the features that
+constrain engine choice (pacemakers, decay, one-shot neurons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.network import CompiledNetwork, Network
+
+__all__ = ["NetworkStats", "network_stats"]
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Read-only summary of one network's structure."""
+
+    neurons: int
+    synapses: int
+    max_fan_out: int
+    max_fan_in: int
+    mean_fan_out: float
+    min_weight: float
+    max_weight: float
+    min_delay: int
+    max_delay: int
+    excitatory_synapses: int
+    inhibitory_synapses: int
+    self_loops: int
+    one_shot_neurons: int
+    integrator_neurons: int  #: tau < 1 (voltage persists across ticks)
+    pacemaker_neurons: int
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"neurons:            {self.neurons}",
+            f"synapses:           {self.synapses}"
+            f" ({self.excitatory_synapses} excitatory,"
+            f" {self.inhibitory_synapses} inhibitory,"
+            f" {self.self_loops} self-loops)",
+            f"fan-out:            max {self.max_fan_out}, mean {self.mean_fan_out:.2f}",
+            f"fan-in:             max {self.max_fan_in}",
+            f"weights:            [{self.min_weight:g}, {self.max_weight:g}]",
+            f"delays:             [{self.min_delay}, {self.max_delay}]",
+            f"one-shot neurons:   {self.one_shot_neurons}",
+            f"integrator neurons: {self.integrator_neurons}",
+            f"pacemaker neurons:  {self.pacemaker_neurons}",
+        ]
+        return "\n".join(lines)
+
+
+def network_stats(network: Network) -> NetworkStats:
+    """Compute :class:`NetworkStats` for a (builder or compiled) network."""
+    net: CompiledNetwork = (
+        network.compile() if isinstance(network, Network) else network
+    )
+    n, m = net.n, net.m
+    fan_out = np.diff(net.indptr)
+    fan_in = (
+        np.bincount(net.syn_dst, minlength=n) if m else np.zeros(n, dtype=np.int64)
+    )
+    src_of = np.repeat(np.arange(n), fan_out) if m else np.empty(0, dtype=np.int64)
+    return NetworkStats(
+        neurons=n,
+        synapses=m,
+        max_fan_out=int(fan_out.max()) if n else 0,
+        max_fan_in=int(fan_in.max()) if n else 0,
+        mean_fan_out=float(fan_out.mean()) if n else 0.0,
+        min_weight=float(net.syn_weight.min()) if m else 0.0,
+        max_weight=float(net.syn_weight.max()) if m else 0.0,
+        min_delay=int(net.syn_delay.min()) if m else 0,
+        max_delay=int(net.syn_delay.max()) if m else 0,
+        excitatory_synapses=int((net.syn_weight > 0).sum()),
+        inhibitory_synapses=int((net.syn_weight < 0).sum()),
+        self_loops=int((src_of == net.syn_dst).sum()) if m else 0,
+        one_shot_neurons=int(net.one_shot.sum()),
+        integrator_neurons=int((net.tau < 1.0).sum()),
+        pacemaker_neurons=int((net.v_reset > net.v_threshold).sum()),
+    )

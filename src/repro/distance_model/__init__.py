@@ -1,0 +1,49 @@
+"""The DISTANCE data-movement model for conventional algorithms
+(paper Definition 5 and Section 6).
+
+Memory is a 2D (optionally 3D) integer lattice; each lattice point holds
+one word; ``c`` of the points are *registers*, chosen up front and fixed.
+Every operation happens at a register and pays the Manhattan (``l1``)
+distances its operands and result travel (Definition of *movement cost*,
+Section 6.1).
+
+Contents:
+
+* :mod:`~repro.distance_model.memory` — lattice geometry, register
+  layouts, word placement.
+* :mod:`~repro.distance_model.machine` — the instrumented machine: reads,
+  writes, and binary operations with an LRU register file, accumulating
+  movement cost.
+* :mod:`~repro.distance_model.algorithms` — Dijkstra, k-hop Bellman–Ford,
+  and whole-input reads implemented against the machine.
+* :mod:`~repro.distance_model.bounds` — the lower-bound formulas of
+  Theorems 6.1 and 6.2 (and the 3D variant), with the proofs' explicit
+  constants so measured costs can be checked against them.
+"""
+
+from repro.distance_model.memory import GridMemory, spiral_positions
+from repro.distance_model.machine import DistanceMachine
+from repro.distance_model.algorithms import (
+    bellman_ford_khop_distance,
+    matvec_distance,
+    dijkstra_distance,
+    read_input_distance,
+)
+from repro.distance_model.bounds import (
+    read_lower_bound_2d,
+    read_lower_bound_3d,
+    bellman_ford_lower_bound,
+)
+
+__all__ = [
+    "GridMemory",
+    "spiral_positions",
+    "DistanceMachine",
+    "dijkstra_distance",
+    "bellman_ford_khop_distance",
+    "matvec_distance",
+    "read_input_distance",
+    "read_lower_bound_2d",
+    "read_lower_bound_3d",
+    "bellman_ford_lower_bound",
+]

@@ -1,0 +1,231 @@
+"""Conventional shortest-path algorithms on the DISTANCE machine (Section 6).
+
+These are the *same* algorithms as :mod:`repro.baselines`, rewritten so
+every word access goes through :class:`DistanceMachine` and accumulates
+Manhattan movement cost.  They are the measured counterparts of the
+Theorem 6.1 / 6.2 lower bounds:
+
+* :func:`read_input_distance` — just touch all ``m`` input words once
+  (the Theorem 6.1 scenario: any algorithm that reads its input pays this);
+* :func:`dijkstra_distance` — heap Dijkstra;
+* :func:`bellman_ford_khop_distance` — ``k`` full relaxation rounds
+  (the Theorem 6.2 object).
+
+The graph is stored as the standard CSR arrays (``indptr``, ``heads``,
+``lengths``) plus working arrays, laid out contiguously on the lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.distance_model.machine import DistanceMachine
+from repro.errors import ValidationError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = [
+    "read_input_distance",
+    "matvec_distance",
+    "dijkstra_distance",
+    "bellman_ford_khop_distance",
+]
+
+INF = np.iinfo(np.int64).max
+
+
+def _load_graph(mc: DistanceMachine, graph: WeightedDigraph) -> None:
+    mc.alloc_from("indptr", graph.indptr.tolist())
+    mc.alloc_from("heads", graph.heads.tolist())
+    mc.alloc_from("lengths", graph.lengths.tolist())
+
+
+def read_input_distance(
+    graph: WeightedDigraph,
+    *,
+    num_registers: int = 4,
+    layout: str = "block",
+    dims: int = 2,
+) -> int:
+    """Movement cost of touching every input word exactly once.
+
+    This is the floor below any conventional algorithm (Theorem 6.1); the
+    bench compares it against ``read_lower_bound_2d``.
+    """
+    mc = DistanceMachine(num_registers, layout=layout, dims=dims)
+    _load_graph(mc, graph)
+    mc.finalize()
+    for i in range(graph.m):
+        mc.read("heads", i)
+        mc.read("lengths", i)
+    for i in range(graph.n + 1):
+        mc.read("indptr", i)
+    return mc.movement_cost
+
+
+def dijkstra_distance(
+    graph: WeightedDigraph,
+    source: int,
+    *,
+    target: Optional[int] = None,
+    num_registers: int = 4,
+    layout: str = "block",
+    dims: int = 2,
+) -> Tuple[np.ndarray, int]:
+    """Heap Dijkstra on the DISTANCE machine; returns (dist, movement cost).
+
+    The binary heap lives in machine memory (one (key, vertex) word per
+    entry), so sift operations pay movement like everything else.
+    """
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    n = graph.n
+    mc = DistanceMachine(num_registers, layout=layout, dims=dims)
+    _load_graph(mc, graph)
+    mc.alloc("dist", n, fill=INF)
+    mc.alloc("done", n, fill=0)
+    heap_cap = max(1, graph.m + 1)
+    mc.alloc("heap", heap_cap, fill=None)
+    mc.finalize()
+
+    heap_size = 0
+
+    def heap_push(key: int, vertex: int) -> None:
+        nonlocal heap_size
+        i = heap_size
+        mc.write("heap", i, (key, vertex))
+        heap_size += 1
+        while i > 0:
+            parent = (i - 1) // 2
+            if mc.read("heap", parent) <= mc.read("heap", i):
+                break
+            a = mc.read("heap", parent)
+            b = mc.read("heap", i)
+            mc.write("heap", parent, b)
+            mc.write("heap", i, a)
+            i = parent
+
+    def heap_pop() -> Tuple[int, int]:
+        nonlocal heap_size
+        top = mc.read("heap", 0)
+        heap_size -= 1
+        if heap_size > 0:
+            mc.write("heap", 0, mc.read("heap", heap_size))
+            i = 0
+            while True:
+                left, right = 2 * i + 1, 2 * i + 2
+                smallest = i
+                if left < heap_size and mc.read("heap", left) < mc.read("heap", smallest):
+                    smallest = left
+                if right < heap_size and mc.read("heap", right) < mc.read("heap", smallest):
+                    smallest = right
+                if smallest == i:
+                    break
+                a = mc.read("heap", i)
+                mc.write("heap", i, mc.read("heap", smallest))
+                mc.write("heap", smallest, a)
+                i = smallest
+        return top
+
+    mc.write("dist", source, 0)
+    heap_push(0, source)
+    while heap_size > 0:
+        d, u = heap_pop()
+        if mc.read("done", u):
+            continue
+        mc.write("done", u, 1)
+        if target is not None and u == target:
+            break
+        lo = mc.read("indptr", u)
+        hi = mc.read("indptr", u + 1)
+        for e in range(lo, hi):
+            v = mc.read("heads", e)
+            w = mc.read("lengths", e)
+            cand = d + w
+            if cand < mc.read("dist", v):
+                mc.write("dist", v, cand)
+                heap_push(cand, v)
+    dist = np.asarray(mc.snapshot("dist"), dtype=np.int64)
+    return np.where(dist == INF, -1, dist), mc.movement_cost
+
+
+def bellman_ford_khop_distance(
+    graph: WeightedDigraph,
+    source: int,
+    k: int,
+    *,
+    num_registers: int = 4,
+    layout: str = "block",
+    dims: int = 2,
+) -> Tuple[np.ndarray, int]:
+    """``k`` full Bellman–Ford rounds on the DISTANCE machine.
+
+    Every round reads all ``m`` edges (the schedule Theorem 6.2 charges);
+    returns (k-hop distances, movement cost).
+    """
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range")
+    if k < 0:
+        raise ValidationError(f"k must be >= 0, got {k}")
+    n = graph.n
+    mc = DistanceMachine(num_registers, layout=layout, dims=dims)
+    mc.alloc_from("tails", graph.tails.tolist())
+    mc.alloc_from("heads", graph.heads.tolist())
+    mc.alloc_from("lengths", graph.lengths.tolist())
+    mc.alloc("prev", n, fill=INF)
+    mc.alloc("cur", n, fill=INF)
+    mc.finalize()
+    mc.write("prev", source, 0)
+    for _round in range(k):
+        for v in range(n):
+            mc.write("cur", v, mc.read("prev", v))
+        for e in range(graph.m):
+            u = mc.read("tails", e)
+            v = mc.read("heads", e)
+            w = mc.read("lengths", e)
+            du = mc.read("prev", u)
+            if du != INF and du + w < mc.read("cur", v):
+                mc.write("cur", v, du + w)
+        for v in range(n):
+            mc.write("prev", v, mc.read("cur", v))
+    dist = np.asarray(mc.snapshot("prev"), dtype=np.int64)
+    return np.where(dist == INF, -1, dist), mc.movement_cost
+
+
+def matvec_distance(
+    A: np.ndarray,
+    x: np.ndarray,
+    *,
+    num_registers: int = 4,
+    layout: str = "block",
+    dims: int = 2,
+):
+    """Dense matrix-vector product on the DISTANCE machine.
+
+    Section 2.3: "the standard O(n^2) algorithm for computing a
+    matrix-vector product with an n x n matrix becomes O(n^3) if
+    data-movement is taken into account ... while a neuromorphic
+    implementation remains an O(n^2) algorithm."  This is the conventional
+    side: the textbook row-major accumulation, every word access paying
+    Manhattan movement.  Returns ``(y, movement_cost)``.
+    """
+    A = np.asarray(A)
+    x = np.asarray(x)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValidationError("A must be a square matrix")
+    n = A.shape[0]
+    if x.shape != (n,):
+        raise ValidationError("x must have length n")
+    mc = DistanceMachine(num_registers, layout=layout, dims=dims)
+    mc.alloc_from("A", A.reshape(-1).tolist())
+    mc.alloc_from("x", x.tolist())
+    mc.alloc("y", n, fill=0)
+    mc.finalize()
+    for i in range(n):
+        acc = 0
+        for j in range(n):
+            acc += mc.read("A", i * n + j) * mc.read("x", j)
+        mc.write("y", i, acc)
+    y = np.asarray(mc.snapshot("y"))
+    return y, mc.movement_cost

@@ -1,0 +1,161 @@
+"""Lattice geometry and register layouts for the DISTANCE model.
+
+Words occupy integer lattice points enumerated in concentric square rings
+around the origin (so ``N`` words occupy an ``O(sqrt N)``-radius patch —
+the densest packing up to constants, which is what the lower-bound argument
+assumes).  Register placement is a pluggable layout:
+
+* ``"block"`` — the ``c`` register cells closest to the origin (a compact
+  register file beside which data is stacked; resembles a CPU die).
+* ``"scattered"`` — registers spread evenly through the data extent
+  (processing-in-memory flavor; the Conclusions discuss PIM as the model's
+  escape hatch, and the ablation bench shows scattering only improves
+  constants, not the ``m^{3/2}`` exponent, while the *number* of registers
+  stays fixed).
+
+3D variants stack ``z``-layers of the 2D spiral.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import MachineError
+
+__all__ = ["spiral_positions", "GridMemory"]
+
+Position = Tuple[int, ...]
+
+
+def spiral_positions(count: int, dims: int = 2) -> List[Position]:
+    """First ``count`` lattice points in concentric-ring order.
+
+    2D: square rings by Chebyshev radius, deterministic order within a
+    ring.  3D: the 2D enumeration replicated across ``z`` layers
+    ``0, 1, -1, 2, -2, ...`` such that a prefix of ``N`` points spans
+    ``O(N^{1/3})`` extent per axis.
+    """
+    if dims == 2:
+        return list(itertools.islice(_spiral_2d(), count))
+    if dims == 3:
+        return _spiral_3d(count)
+    raise MachineError(f"dims must be 2 or 3, got {dims}")
+
+
+def _spiral_2d() -> Iterator[Tuple[int, int]]:
+    yield (0, 0)
+    r = 1
+    while True:
+        # ring of Chebyshev radius r, clockwise from the top-left corner
+        for x in range(-r, r + 1):
+            yield (x, r)
+        for y in range(r - 1, -r - 1, -1):
+            yield (r, y)
+        for x in range(r - 1, -r - 1, -1):
+            yield (x, -r)
+        for y in range(-r + 1, r):
+            yield (-r, y)
+        r += 1
+
+
+def _spiral_3d(count: int) -> List[Position]:
+    # cube side ~ count^(1/3); fill z-layers with 2D spiral prefixes
+    side = max(1, math.ceil(count ** (1 / 3)))
+    per_layer = side * side
+    layer_cells = list(itertools.islice(_spiral_2d(), per_layer))
+    out: List[Position] = []
+    z_order = [0]
+    z = 1
+    while len(z_order) * per_layer < count + per_layer:
+        z_order.extend([z, -z])
+        z += 1
+    for z in z_order:
+        for (x, y) in layer_cells:
+            out.append((x, y, z))
+            if len(out) == count:
+                return out
+    return out
+
+
+def l1_distance(a: Position, b: Position) -> int:
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+class GridMemory:
+    """Placement of registers and data words on the lattice.
+
+    Allocate arrays first, then :meth:`finalize` to fix every coordinate
+    (Definition 5: register locations are fixed for the computation).
+    """
+
+    def __init__(self, num_registers: int, *, layout: str = "block", dims: int = 2):
+        if num_registers < 1:
+            raise MachineError(f"need at least 1 register, got {num_registers}")
+        if layout not in ("block", "scattered"):
+            raise MachineError(f"unknown layout {layout!r}; use 'block' or 'scattered'")
+        self.c = int(num_registers)
+        self.layout = layout
+        self.dims = dims
+        self._arrays: Dict[str, int] = {}
+        self._order: List[str] = []
+        self._finalized = False
+        self.register_positions: List[Position] = []
+        self._word_positions: Dict[str, List[Position]] = {}
+
+    def alloc(self, name: str, size: int) -> str:
+        if self._finalized:
+            raise MachineError("cannot allocate after finalize()")
+        if name in self._arrays:
+            raise MachineError(f"duplicate array {name!r}")
+        if size < 0:
+            raise MachineError(f"array size must be >= 0, got {size}")
+        self._arrays[name] = int(size)
+        self._order.append(name)
+        return name
+
+    def finalize(self) -> None:
+        if self._finalized:
+            return
+        total_words = sum(self._arrays.values())
+        cells = spiral_positions(self.c + total_words, dims=self.dims)
+        if self.layout == "block":
+            self.register_positions = cells[: self.c]
+            data_cells = cells[self.c :]
+        else:  # scattered: every (total/c)-th cell is a register
+            total = len(cells)
+            stride = max(1, total // self.c)
+            reg_idx = set()
+            i = 0
+            while len(reg_idx) < self.c and i < total:
+                reg_idx.add(i)
+                i += stride
+            # top up in case of rounding
+            j = 0
+            while len(reg_idx) < self.c:
+                if j not in reg_idx:
+                    reg_idx.add(j)
+                j += 1
+            self.register_positions = [cells[i] for i in sorted(reg_idx)]
+            data_cells = [cells[i] for i in range(total) if i not in reg_idx]
+        pos = 0
+        for name in self._order:
+            size = self._arrays[name]
+            self._word_positions[name] = data_cells[pos : pos + size]
+            pos += size
+        self._finalized = True
+
+    def position_of(self, array: str, index: int) -> Position:
+        if not self._finalized:
+            raise MachineError("finalize() before querying positions")
+        words = self._word_positions[array]
+        if not (0 <= index < len(words)):
+            raise MachineError(f"index {index} out of bounds for {array!r}")
+        return words[index]
+
+    def size_of(self, array: str) -> int:
+        return self._arrays[array]
+
+    def distance(self, a: Position, b: Position) -> int:
+        return l1_distance(a, b)

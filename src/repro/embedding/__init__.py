@@ -1,0 +1,43 @@
+"""Crossbar topology and graph embedding (paper Section 4.4, Figure 2).
+
+The *stacked grid* or *crossbar* ``H_n`` is the grid-like network the paper
+assumes every neuromorphic architecture reasonably contains.  Any ``n``-
+vertex graph embeds into ``H_n`` by programming delays: all within-vertex
+edges get the minimum delay, and the dedicated Type-2 edge of graph edge
+``ij`` gets delay ``l(ij) - 2|i - j| - 1`` after scaling all lengths so the
+minimum is ``2n``.  Shortest paths between diagonal vertices of ``H_n``
+then equal (scaled) shortest paths in the input graph, at the cost of an
+``O(n)`` slowdown of the spiking portion — the *embedding cost* charged in
+the with-data-movement half of Table 1.
+"""
+
+from repro.embedding.crossbar import Crossbar, CrossbarEdgeType
+from repro.embedding.embed import (
+    EmbeddedGraph,
+    EmbeddingSession,
+    embed_graph,
+    embedded_sssp,
+)
+from repro.embedding.poly_crossbar import (
+    compile_poly_sssp_on_crossbar,
+    run_poly_crossbar,
+)
+from repro.embedding.ttl_crossbar import (
+    compile_khop_ttl_on_crossbar,
+    run_ttl_crossbar,
+)
+from repro.embedding.render import type2_delay_map
+
+__all__ = [
+    "Crossbar",
+    "CrossbarEdgeType",
+    "EmbeddedGraph",
+    "EmbeddingSession",
+    "embed_graph",
+    "embedded_sssp",
+    "compile_poly_sssp_on_crossbar",
+    "run_poly_crossbar",
+    "compile_khop_ttl_on_crossbar",
+    "run_ttl_crossbar",
+    "type2_delay_map",
+]

@@ -1,0 +1,114 @@
+"""The crossbar (stacked grid) ``H_n`` of paper Section 4.4 / Figure 2.
+
+Vertices come in two layers indexed by ``(i, j)`` pairs: the *minus* layer
+``v-_{ij}`` (one column per target vertex) and the *plus* layer ``v+_{ij}``
+(one row per source vertex).  The six edge types (paper numbering, indices
+1-based there, 0-based here):
+
+1. ``v-_{ii} -> v+_{ii}`` — hop from a vertex's in-column to its out-row;
+2. ``v+_{ij} -> v-_{ij}`` (``i != j``) — the dedicated edge of graph edge
+   ``ij``, the only type whose delay is programmed per graph;
+3. ``v+_{ij} -> v+_{i(j+1)}`` for ``i <= j`` — rightward along the out-row,
+   right of the diagonal;
+4. ``v+_{i(j+1)} -> v+_{ij}`` for ``i > j`` — leftward along the out-row,
+   left of the diagonal;
+5. ``v-_{ij} -> v-_{(i+1)j}`` for ``i < j`` — downward along the in-column,
+   above the diagonal;
+6. ``v-_{(i+1)j} -> v-_{ij}`` for ``i >= j`` — upward along the in-column,
+   below the diagonal.
+
+Out-rows only lead *away* from their diagonal and in-columns only lead
+*toward* theirs, so every path between diagonal vertices decomposes into
+graph-edge traversals — the structural fact the embedding's correctness
+rests on (and that the tests verify).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import EmbeddingError
+
+__all__ = ["Crossbar", "CrossbarEdgeType"]
+
+
+class CrossbarEdgeType(enum.IntEnum):
+    """Paper's six edge types (values match its numbering)."""
+
+    DIAGONAL = 1
+    GRAPH_EDGE = 2
+    ROW_RIGHT = 3
+    ROW_LEFT = 4
+    COLUMN_DOWN = 5
+    COLUMN_UP = 6
+
+
+@dataclass(frozen=True)
+class Crossbar:
+    """Structure of ``H_n`` (no delays; those belong to an embedding).
+
+    Vertex ids: ``minus(i, j) = i * n + j`` and
+    ``plus(i, j) = n^2 + i * n + j`` for ``0 <= i, j < n``.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise EmbeddingError(f"crossbar order must be >= 1, got {self.n}")
+
+    @property
+    def num_vertices(self) -> int:
+        return 2 * self.n * self.n
+
+    def minus(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return i * self.n + j
+
+    def plus(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return self.n * self.n + i * self.n + j
+
+    def diagonal(self, i: int) -> int:
+        """The minus-layer diagonal vertex representing graph vertex ``i``."""
+        return self.minus(i, i)
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            raise EmbeddingError(f"crossbar index ({i}, {j}) out of range for n={self.n}")
+
+    def structural_edges(self) -> Iterator[Tuple[int, int, CrossbarEdgeType]]:
+        """All edges of types 1, 3, 4, 5, 6 (unit delay in any embedding)."""
+        n = self.n
+        for i in range(n):
+            yield self.minus(i, i), self.plus(i, i), CrossbarEdgeType.DIAGONAL
+        for i in range(n):
+            for j in range(n - 1):
+                if i <= j:
+                    yield self.plus(i, j), self.plus(i, j + 1), CrossbarEdgeType.ROW_RIGHT
+                else:
+                    yield self.plus(i, j + 1), self.plus(i, j), CrossbarEdgeType.ROW_LEFT
+        for j in range(n):
+            for i in range(n - 1):
+                if i < j:
+                    yield self.minus(i, j), self.minus(i + 1, j), CrossbarEdgeType.COLUMN_DOWN
+                else:
+                    yield self.minus(i + 1, j), self.minus(i, j), CrossbarEdgeType.COLUMN_UP
+
+    def graph_edge_endpoints(self, i: int, j: int) -> Tuple[int, int]:
+        """Endpoints of the Type-2 edge carrying graph edge ``i -> j``."""
+        if i == j:
+            raise EmbeddingError("Type-2 edges exist only for i != j")
+        return self.plus(i, j), self.minus(i, j)
+
+    def type2_path_detour(self, i: int, j: int) -> int:
+        """Unit-delay hops surrounding the Type-2 edge on the ``i -> j`` path.
+
+        The canonical path ``v-_{ii} .. v-_{jj}`` spends ``1`` hop on the
+        diagonal edge and ``|i - j|`` on each of the row and column runs, so
+        a graph edge of (scaled) length ``l`` programs its Type-2 delay to
+        ``l - (2 |i - j| + 1)``.
+        """
+        return 2 * abs(i - j) + 1

@@ -1,0 +1,60 @@
+"""Text rendering of crossbar embeddings (the Figure-2 view, in ASCII).
+
+A programmed crossbar differs from an empty one only in its Type-2 delays
+— the matrix of per-graph-edge values.  :func:`type2_delay_map` renders
+that matrix (rows = source vertex, columns = target; ``.`` marks an absent
+edge and the diagonal is ``-``), which is the at-a-glance signature of
+"what graph is loaded on this chip right now".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.embedding.crossbar import Crossbar
+from repro.embedding.embed import EmbeddedGraph
+
+__all__ = ["type2_delay_map"]
+
+
+def type2_delay_map(embedded: EmbeddedGraph) -> str:
+    """Render the programmed Type-2 delays as an n x n text matrix."""
+    xbar = embedded.crossbar
+    n = xbar.n
+    # recover the programmed delays from the compiled network
+    net = embedded.net.compile()
+    plus_neuron: Dict[int, Tuple[int, int]] = {}
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                plus_neuron[embedded.neuron_of[xbar.plus(i, j)]] = (i, j)
+    delays: Dict[Tuple[int, int], int] = {}
+    for u in range(net.n):
+        if u not in plus_neuron:
+            continue
+        i, j = plus_neuron[u]
+        target = embedded.neuron_of[xbar.minus(i, j)]
+        sl = net.out_synapses(u)
+        for s in range(sl.start, sl.stop):
+            if int(net.syn_dst[s]) == target:
+                delays[(i, j)] = int(net.syn_delay[s])
+    cells: List[List[str]] = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            if i == j:
+                row.append("-")
+            elif (i, j) in delays:
+                row.append(str(delays[(i, j)]))
+            else:
+                row.append(".")
+        cells.append(row)
+    width = max(len(c) for row in cells for c in row)
+    width = max(width, len(str(n - 1)))
+    header = " " * (width + 2) + " ".join(str(j).rjust(width) for j in range(n))
+    lines = [f"Type-2 delays of H_{n} (scale {embedded.scale}):", header]
+    for i, row in enumerate(cells):
+        lines.append(
+            str(i).rjust(width) + "  " + " ".join(c.rjust(width) for c in row)
+        )
+    return "\n".join(lines)

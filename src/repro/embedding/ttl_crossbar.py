@@ -1,0 +1,248 @@
+"""The Section 4.1 TTL algorithm deployed on the crossbar.
+
+Companion to :mod:`repro.embedding.poly_crossbar`: where that module puts
+the *value-carrying* (Section 4.2) messages on ``H_n``, this one puts the
+*TTL-carrying* (Section 4.1) k-hop algorithm there.
+
+Layout: every crossbar vertex carries ``ceil(log k) + 1`` wires (TTL bits
+plus valid).  Plus-layer vertices and Type-2 ports are plain relays/wires
+— the TTL rides unchanged along the row, through the graph edge, and down
+the column.  Minus-layer vertices merge converging flows with a
+valid-gated **max** (larger TTLs can travel further); the **diagonal**
+vertex additionally decrements the winning TTL and gates its onward
+broadcast on ``TTL >= 1``, exactly the per-vertex computation of the flat
+Section 4.1 compiler.  First arrival at a diagonal (in scaled ticks) is
+the vertex's ``<= k``-hop distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.results import ShortestPathResult
+from repro.circuits.adders import subtract_one
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.circuits.encoding import bit_width_for, bits_from_int
+from repro.core.cost import CostReport
+from repro.core.network import Network
+from repro.core.run import simulate
+from repro.embedding.crossbar import Crossbar, CrossbarEdgeType
+from repro.embedding.embed import embedding_scale
+from repro.errors import EmbeddingError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["CompiledTtlCrossbar", "compile_khop_ttl_on_crossbar", "run_ttl_crossbar"]
+
+Wires = Tuple[List[Signal], Signal]
+
+
+@dataclass
+class CompiledTtlCrossbar:
+    """The Section 4.1 network laid out on the crossbar."""
+
+    net: Network
+    graph: WeightedDigraph
+    crossbar: Crossbar
+    source: int
+    k: int
+    bits: int
+    x: int  #: ticks per crossbar hop
+    scale: int  #: graph-length scale
+    arrival: Dict[int, int]  #: diagonal vertex -> arrival-detector neuron
+    diag_depth: Dict[int, int]
+    stimulus: Dict[int, List[int]]
+    max_steps: int
+
+    def decode(self, first_spike: np.ndarray) -> np.ndarray:
+        n = self.graph.n
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[self.source] = 0
+        unit = self.scale * self.x
+        for v, det in self.arrival.items():
+            t = int(first_spike[det])
+            if t >= 0:
+                dist[v] = (t - 1 + self.diag_depth[v]) // unit
+        return dist
+
+
+def compile_khop_ttl_on_crossbar(
+    graph: WeightedDigraph,
+    source: int,
+    k: int,
+) -> CompiledTtlCrossbar:
+    """Compile the TTL k-hop algorithm onto ``H_n``."""
+    if not (0 <= source < graph.n):
+        raise EmbeddingError(f"source {source} out of range")
+    if k < 1:
+        raise EmbeddingError(f"crossbar TTL compilation requires k >= 1, got {k}")
+    n = graph.n
+    xbar = Crossbar(n)
+    scale = embedding_scale(graph)
+    bits = bit_width_for(k - 1)
+    net = Network()
+    clock = net.add_neuron("clock", v_threshold=0.5, tau=1.0)
+    net.add_synapse(clock, clock, weight=1.0, delay=1)
+
+    edge_exists: Dict[Tuple[int, int], int] = {}
+    for u, v, w in graph.edges():
+        if u == v:
+            continue
+        key = (u, v)
+        if key not in edge_exists or w < edge_exists[key]:
+            edge_exists[key] = int(w)
+
+    from repro.circuits.max_circuits import masked_max
+
+    out_of_vertex: Dict[int, Wires] = {}
+    minus_ports: Dict[int, List[Wires]] = {}
+    depth_of: Dict[int, int] = {}
+    arrival: Dict[int, int] = {}
+    diag_depth: Dict[int, int] = {}
+
+    def new_ports(b: CircuitBuilder, label: str) -> Wires:
+        pbits = b.input_bits(f"{label}.bits", bits)
+        pvalid = b.input_bits(f"{label}.valid", 1)[0]
+        return pbits, pvalid
+
+    # plus-layer relays
+    for i in range(n):
+        for j in range(n):
+            plus_id = xbar.plus(i, j)
+            b = CircuitBuilder(net, prefix=f"p{i},{j}.")
+            pb, pv = new_ports(b, "in")
+            outs = b.align([b.buffer(s, name="rly") for s in pb + [pv]])
+            minus_ports[plus_id] = [(pb, pv)]
+            out_of_vertex[plus_id] = (outs[:bits], outs[bits])
+            depth_of[plus_id] = outs[bits].offset
+
+    # minus-layer merge circuits; diagonals add decrement + gate
+    for i in range(n):
+        for j in range(n):
+            minus_id = xbar.minus(i, j)
+            if i == j and j == source:
+                continue
+            b = CircuitBuilder(net, prefix=f"m{i},{j}.")
+            b._run = Signal(clock, 0)
+            ports: List[Wires] = []
+            # column inflow(s): one off-diagonal, up to two at the diagonal
+            n_col = 2 if i == j else 1
+            for c in range(n_col):
+                ports.append(new_ports(b, f"col{c}"))
+            if i != j and (i, j) in edge_exists:
+                ports.append(new_ports(b, "edge"))
+            res = masked_max(
+                b, [pb for pb, _ in ports], [pv for _, pv in ports], style="wired"
+            )
+            if i == j:
+                det = b.or_gate([pv for _, pv in ports], name="arrival")
+                arrival[j] = det.nid
+                ge1 = b.or_gate(res.out_bits, name="ge1")
+                dec_bits, dec_valid = subtract_one(b, res.out_bits, ge1)
+                outs = b.align(dec_bits + [dec_valid])
+                diag_depth[j] = outs[bits].offset
+            else:
+                outs = b.align(list(res.out_bits) + [res.valid])
+            minus_ports[minus_id] = ports
+            out_of_vertex[minus_id] = (outs[:bits], outs[bits])
+            depth_of[minus_id] = outs[bits].offset
+
+    x = max(depth_of.values()) + 1
+
+    src_bits = [
+        net.add_neuron(f"src.b{b_}", v_threshold=0.5, tau=1.0) for b_ in range(bits)
+    ]
+    src_valid = net.add_neuron("src.valid", v_threshold=0.5, tau=1.0)
+    out_of_vertex[xbar.minus(source, source)] = (
+        [Signal(nid, 0) for nid in src_bits],
+        Signal(src_valid, 0),
+    )
+
+    def connect(src: Wires, dst: Wires, delay: int) -> None:
+        sb, sv = src
+        db, dv = dst
+        for a, b_ in zip(sb, db):
+            net.add_synapse(a.nid, b_.nid, weight=1.0, delay=delay)
+        net.add_synapse(sv.nid, dv.nid, weight=1.0, delay=delay)
+
+    col_port_used: Dict[int, int] = {}
+    for a, b_, etype in xbar.structural_edges():
+        src = out_of_vertex.get(a)
+        if src is None:
+            continue
+        if b_ not in minus_ports and b_ not in out_of_vertex:
+            continue
+        if etype in (
+            CrossbarEdgeType.DIAGONAL,
+            CrossbarEdgeType.ROW_RIGHT,
+            CrossbarEdgeType.ROW_LEFT,
+        ):
+            # targets are plus-layer relays
+            dst = minus_ports[b_][0]
+        else:
+            # column moves target minus-layer merge circuits
+            if b_ not in minus_ports:
+                continue  # the source diagonal consumes nothing
+            idx = col_port_used.get(b_, 0)
+            col_port_used[b_] = idx + 1
+            dst = minus_ports[b_][idx]
+        connect(src, dst, x - depth_of[b_])
+    for (i, j), w in edge_exists.items():
+        minus_id = xbar.minus(i, j)
+        if minus_id not in minus_ports:
+            continue
+        # the edge port is the last one created for this vertex
+        dst = minus_ports[minus_id][-1]
+        hops = scale * w - xbar.type2_path_detour(i, j)
+        if hops < 1:
+            raise EmbeddingError("scaled edge too short for its detour")
+        connect(out_of_vertex[xbar.plus(i, j)], dst, hops * x - depth_of[minus_id])
+
+    stim_ids = [clock, src_valid] + [
+        nid for nid, bit in zip(src_bits, bits_from_int(k - 1, bits)) if bit
+    ]
+    horizon = k * max(1, graph.max_length()) * scale * x + x + 2
+    return CompiledTtlCrossbar(
+        net=net,
+        graph=graph,
+        crossbar=xbar,
+        source=source,
+        k=k,
+        bits=bits,
+        x=x,
+        scale=scale,
+        arrival=arrival,
+        diag_depth=diag_depth,
+        stimulus={0: stim_ids},
+        max_steps=int(horizon),
+    )
+
+
+def run_ttl_crossbar(compiled: CompiledTtlCrossbar) -> ShortestPathResult:
+    """Execute the compiled crossbar TTL network and decode k-hop distances."""
+    result = simulate(
+        compiled.net,
+        compiled.stimulus,
+        engine="dense",
+        max_steps=compiled.max_steps,
+        stop_when_quiescent=False,
+    )
+    dist = compiled.decode(result.first_spike)
+    reached = dist[dist >= 0]
+    cost = CostReport(
+        algorithm="khop_pseudo+crossbar_gates",
+        simulated_ticks=int(reached.max()) * compiled.scale * compiled.x
+        if reached.size
+        else 0,
+        loading_ticks=compiled.net.n_synapses,
+        neuron_count=compiled.net.n_neurons,
+        synapse_count=compiled.net.n_synapses,
+        spike_count=result.total_spikes,
+        message_bits=compiled.bits,
+        extras={"hop_ticks": float(compiled.x), "scale": float(compiled.scale)},
+    )
+    return ShortestPathResult(
+        dist=dist, source=compiled.source, cost=cost, k=compiled.k, sim=result
+    )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or model parameter failed validation.
+
+    Raised eagerly at construction time (e.g. a synapse delay below the
+    hardware minimum ``delta``, a decay outside ``[0, 1]``) so that invalid
+    networks never reach a simulation engine.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation could not be run or did not terminate as requested."""
+
+
+class UnsupportedNetworkError(SimulationError):
+    """The selected engine cannot simulate this network.
+
+    The event-driven engine is lazy between spike deliveries and therefore
+    rejects *pacemaker* neurons (``v_reset > v_threshold``) that would fire
+    spontaneously with no incoming events; use the dense engine for those.
+    """
+
+
+class CircuitError(ReproError, ValueError):
+    """A circuit construction received inconsistent wiring or widths."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph input is malformed (bad endpoints, negative lengths, ...)."""
+
+
+class EmbeddingError(ReproError, ValueError):
+    """A crossbar embedding request cannot be satisfied."""
+
+
+class MachineError(ReproError, RuntimeError):
+    """An invalid operation was issued to the DISTANCE machine."""

@@ -1,0 +1,41 @@
+"""Neuromorphic platform registry and energy model (paper Appendix A,
+Table 3).
+
+The registry carries the published per-platform constants (neurons per
+core, cores per chip, pJ per spike event, running power); the energy model
+converts a simulation's spike count into Joules per platform and compares
+against a CPU executing the conventional baseline — the energy story the
+appendix tells quantitatively.
+"""
+
+from repro.hardware.platforms import (
+    CORE_I7_9700T,
+    LOIHI,
+    PLATFORMS,
+    SPINNAKER1,
+    SPINNAKER2,
+    TRUENORTH,
+    PlatformSpec,
+)
+from repro.hardware.energy import (
+    chips_required,
+    wall_time_estimate,
+    cpu_energy_joules,
+    energy_comparison,
+    spike_energy_joules,
+)
+
+__all__ = [
+    "PlatformSpec",
+    "PLATFORMS",
+    "TRUENORTH",
+    "LOIHI",
+    "SPINNAKER1",
+    "SPINNAKER2",
+    "CORE_I7_9700T",
+    "spike_energy_joules",
+    "cpu_energy_joules",
+    "chips_required",
+    "wall_time_estimate",
+    "energy_comparison",
+]

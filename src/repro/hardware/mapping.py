@@ -1,0 +1,169 @@
+"""Mapping SNNs onto many-core neuromorphic chips (paper Appendix A).
+
+Every platform in Table 3 is organized as local cores of up to ~1000
+densely connected neurons, many cores per chip, and boards of chips
+(Figure 7).  Spikes between neurons on the same core are nearly free;
+crossing a core (and worse, a chip) costs routing energy and latency.
+
+This module provides:
+
+* :func:`greedy_locality_mapping` — assigns neurons to fixed-capacity
+  cores in a BFS order over the synapse graph, keeping tightly coupled
+  neurons together;
+* :func:`round_robin_mapping` — the locality-oblivious strawman;
+* :func:`mapping_traffic` — given a mapping and a simulation result,
+  counts intra-core, inter-core, and inter-chip *spike-hops* (each spike
+  crosses each of its synapses once), the quantity routing energy scales
+  with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.result import SimulationResult
+from repro.errors import ValidationError
+from repro.hardware.platforms import PlatformSpec
+
+__all__ = [
+    "CoreMapping",
+    "greedy_locality_mapping",
+    "round_robin_mapping",
+    "mapping_traffic",
+    "TrafficReport",
+]
+
+
+@dataclass
+class CoreMapping:
+    """Assignment of neurons to cores and cores to chips."""
+
+    core_of: np.ndarray  #: int64[n], core index per neuron
+    chip_of_core: np.ndarray  #: int64[num_cores]
+    neurons_per_core: int
+    cores_per_chip: int
+
+    @property
+    def num_cores(self) -> int:
+        return int(self.chip_of_core.size)
+
+    @property
+    def num_chips(self) -> int:
+        return int(self.chip_of_core.max()) + 1 if self.chip_of_core.size else 0
+
+    def chip_of(self, neuron: int) -> int:
+        return int(self.chip_of_core[self.core_of[neuron]])
+
+    def core_loads(self) -> np.ndarray:
+        return np.bincount(self.core_of, minlength=self.num_cores)
+
+
+def _capacities(platform: PlatformSpec) -> (int, int):
+    npc = platform.neurons_per_core or 1024
+    cpc = platform.cores_per_chip or 128
+    return int(npc), int(cpc)
+
+
+def round_robin_mapping(
+    network: Network, platform: PlatformSpec
+) -> CoreMapping:
+    """Locality-oblivious mapping: neuron i goes to core i // capacity."""
+    net = network.compile()
+    npc, cpc = _capacities(platform)
+    core_of = np.arange(net.n, dtype=np.int64) // npc
+    num_cores = int(core_of.max()) + 1 if net.n else 0
+    chip_of_core = np.arange(num_cores, dtype=np.int64) // cpc
+    return CoreMapping(core_of, chip_of_core, npc, cpc)
+
+
+def greedy_locality_mapping(
+    network: Network, platform: PlatformSpec
+) -> CoreMapping:
+    """Fill cores in BFS order over the (undirected) synapse graph.
+
+    Neighboring neurons land on the same core until it fills, so local
+    circuit motifs (a vertex's max circuit, a latch pair) stay on-core —
+    the placement objective neuromorphic toolchains optimize for.
+    """
+    net = network.compile()
+    npc, cpc = _capacities(platform)
+    n = net.n
+    # undirected adjacency from synapses
+    neighbors: List[List[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        sl = net.out_synapses(u)
+        for s in range(sl.start, sl.stop):
+            v = int(net.syn_dst[s])
+            if v != u:
+                neighbors[u].append(v)
+                neighbors[v].append(u)
+    core_of = np.full(n, -1, dtype=np.int64)
+    order: List[int] = []
+    seen = np.zeros(n, dtype=bool)
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in neighbors[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+    for idx, u in enumerate(order):
+        core_of[u] = idx // npc
+    num_cores = int(core_of.max()) + 1 if n else 0
+    chip_of_core = np.arange(num_cores, dtype=np.int64) // cpc
+    return CoreMapping(core_of, chip_of_core, npc, cpc)
+
+
+@dataclass
+class TrafficReport:
+    """Spike-hop traffic split by routing tier."""
+
+    intra_core: int
+    inter_core: int
+    inter_chip: int
+
+    @property
+    def total(self) -> int:
+        return self.intra_core + self.inter_core + self.inter_chip
+
+
+def mapping_traffic(
+    network: Network,
+    mapping: CoreMapping,
+    result: SimulationResult,
+) -> TrafficReport:
+    """Count spike-hops per routing tier for a finished simulation.
+
+    Each spike of neuron ``u`` traverses every outgoing synapse once; the
+    tier is decided by where the target neuron lives.  ``inter_chip`` hops
+    also count as leaving their core, but are reported in the costlier
+    tier only.
+    """
+    net = network.compile()
+    if mapping.core_of.size != net.n:
+        raise ValidationError("mapping does not match network size")
+    intra = inter = chips = 0
+    for u in range(net.n):
+        count = int(result.spike_counts[u])
+        if count == 0:
+            continue
+        sl = net.out_synapses(u)
+        for s in range(sl.start, sl.stop):
+            v = int(net.syn_dst[s])
+            if mapping.core_of[u] == mapping.core_of[v]:
+                intra += count
+            elif mapping.chip_of(u) == mapping.chip_of(v):
+                inter += count
+            else:
+                chips += count
+    return TrafficReport(intra_core=intra, inter_core=inter, inter_chip=chips)

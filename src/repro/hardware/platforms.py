@@ -1,0 +1,129 @@
+"""Platform constants from Table 3 ("Selection of Current Scalable
+Neuromorphic Platforms"), plus the reference CPU column.
+
+Several entries are published as ranges or estimates (the appendix notes a
+memory tradespace); we store the ranges and expose midpoints for the
+energy model.  ``None`` marks quantities the table leaves unreported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "PlatformSpec",
+    "TRUENORTH",
+    "LOIHI",
+    "SPINNAKER1",
+    "SPINNAKER2",
+    "CORE_I7_9700T",
+    "PLATFORMS",
+]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One column of Table 3."""
+
+    name: str
+    organization: str
+    design: str
+    process_nm: int
+    clock_hz: Optional[float]  #: None for asynchronous designs
+    neurons_per_core: Optional[int]
+    cores_per_chip: Optional[int]
+    #: per-chip neuron count when the source reports it chip-wise
+    neurons_per_chip_override: Optional[int] = None
+    pj_per_spike: Optional[Tuple[float, float]] = None  #: (low, high) range
+    power_watts: Optional[Tuple[float, float]] = None  #: (low, high) range
+
+    @property
+    def neurons_per_chip(self) -> Optional[int]:
+        if self.neurons_per_chip_override is not None:
+            return self.neurons_per_chip_override
+        if self.neurons_per_core is None or self.cores_per_chip is None:
+            return None
+        return self.neurons_per_core * self.cores_per_chip
+
+    @property
+    def pj_per_spike_mid(self) -> Optional[float]:
+        if self.pj_per_spike is None:
+            return None
+        return 0.5 * (self.pj_per_spike[0] + self.pj_per_spike[1])
+
+    @property
+    def power_watts_mid(self) -> Optional[float]:
+        if self.power_watts is None:
+            return None
+        return 0.5 * (self.power_watts[0] + self.power_watts[1])
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.design == "CPU"
+
+
+TRUENORTH = PlatformSpec(
+    name="TrueNorth",
+    organization="IBM",
+    design="ASIC",
+    process_nm=28,
+    clock_hz=1e3,
+    neurons_per_core=256,
+    cores_per_chip=4096,
+    pj_per_spike=(26.0, 26.0),
+    power_watts=(0.070, 0.150),
+)
+
+LOIHI = PlatformSpec(
+    name="Loihi",
+    organization="Intel",
+    design="ASIC",
+    process_nm=14,
+    clock_hz=None,  # asynchronous; within-tile spike latency 2.1 ns
+    neurons_per_core=1024,
+    cores_per_chip=128,
+    pj_per_spike=(23.6, 23.6),
+    power_watts=(0.45, 0.45),
+)
+
+SPINNAKER1 = PlatformSpec(
+    name="SpiNNaker 1",
+    organization="U. Manchester",
+    design="ARM",
+    process_nm=130,
+    clock_hz=None,
+    neurons_per_core=1000,
+    cores_per_chip=16,
+    pj_per_spike=(6e3, 8e3),
+    power_watts=(1.0, 1.0),
+)
+
+SPINNAKER2 = PlatformSpec(
+    name="SpiNNaker 2",
+    organization="U. Manchester",
+    design="ARM",
+    process_nm=22,
+    clock_hz=350e6,  # 100-600 MHz range midpoint
+    neurons_per_core=None,
+    cores_per_chip=None,
+    neurons_per_chip_override=800_000,
+    pj_per_spike=None,  # unreported in Table 3
+    power_watts=(0.72, 0.72),
+)
+
+CORE_I7_9700T = PlatformSpec(
+    name="Core i7-9700T",
+    organization="Intel",
+    design="CPU",
+    process_nm=14,
+    clock_hz=4.3e9,  # max turbo
+    neurons_per_core=None,
+    cores_per_chip=None,
+    pj_per_spike=None,
+    power_watts=(35.0, 35.0),  # TDP
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    p.name: p for p in (TRUENORTH, LOIHI, SPINNAKER1, SPINNAKER2, CORE_I7_9700T)
+}

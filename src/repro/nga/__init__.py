@@ -1,0 +1,31 @@
+"""Neuromorphic graph algorithm (NGA) model — paper Definition 4.
+
+An NGA executes on a directed graph in rounds: each node broadcasts a
+``lambda``-bit message on all out-edges, each edge transforms the message in
+transit, and each node combines its incoming messages into next round's
+message.  Edge and node functions are computed by small SNNs of depth
+``T_edge`` and ``T_node``; an ``R``-round NGA therefore takes
+``R * (T_edge + T_node)`` time.
+
+:mod:`~repro.nga.model` provides the generic round executor;
+:mod:`~repro.nga.semiring` and :mod:`~repro.nga.matvec` instantiate the
+paper's worked example — computing ``A^r m_0`` over a semiring, of which
+min-plus matrix powers (k-hop shortest paths) are the special case the rest
+of the paper develops.
+"""
+
+from repro.nga.semiring import BOOLEAN, MAX_PLUS, MIN_PLUS, PLUS_TIMES, Semiring
+from repro.nga.model import NGAResult, NeuromorphicGraphAlgorithm
+from repro.nga.matvec import matrix_power_nga, semiring_matvec
+
+__all__ = [
+    "Semiring",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "PLUS_TIMES",
+    "BOOLEAN",
+    "NeuromorphicGraphAlgorithm",
+    "NGAResult",
+    "matrix_power_nga",
+    "semiring_matvec",
+]

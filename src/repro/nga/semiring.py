@@ -1,0 +1,45 @@
+"""Semirings for NGA message combination.
+
+The paper's NGA example computes ``m_{r+1} = A m_r`` where edges multiply
+and nodes sum; "by summing entries of A with message values on the edges and
+taking the minimum of message values at the nodes, we obtain a well-known
+approach for computing k-hop shortest paths".  Both are instances of a
+matrix–vector product over a semiring ``(add, mul, zero, one)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Semiring", "MIN_PLUS", "MAX_PLUS", "PLUS_TIMES", "BOOLEAN"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring: node aggregation ``add`` and edge combination ``mul``.
+
+    ``zero`` is the ``add`` identity and the ``mul`` annihilator (it plays
+    the role of "no message": an edge carrying ``zero`` contributes
+    nothing); ``one`` is the ``mul`` identity.
+    """
+
+    name: str
+    add: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+    zero: Any
+    one: Any
+
+
+#: Shortest paths: nodes take minima, edges add lengths.
+MIN_PLUS = Semiring("min_plus", min, lambda a, b: a + b, math.inf, 0)
+
+#: Longest paths / critical paths (on DAGs).
+MAX_PLUS = Semiring("max_plus", max, lambda a, b: a + b, -math.inf, 0)
+
+#: Ordinary linear algebra.
+PLUS_TIMES = Semiring("plus_times", lambda a, b: a + b, lambda a, b: a * b, 0, 1)
+
+#: Reachability.
+BOOLEAN = Semiring("boolean", lambda a, b: a or b, lambda a, b: a and b, False, True)

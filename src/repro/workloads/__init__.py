@@ -1,0 +1,39 @@
+"""Workload substrate: weighted digraphs, generators, and edge-list I/O.
+
+Everything in the evaluation runs on :class:`~repro.workloads.graph.WeightedDigraph`,
+a compact CSR-backed directed graph with positive integer edge lengths (the
+paper's setting: positive lengths, longest edge ``U``).
+"""
+
+from repro.workloads.graph import WeightedDigraph
+from repro.workloads.generators import (
+    bottleneck_flow_network,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    layered_dag,
+    path_graph,
+    power_law_graph,
+    road_like_graph,
+    small_world_graph,
+    star_graph,
+)
+from repro.workloads.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "WeightedDigraph",
+    "bottleneck_flow_network",
+    "complete_graph",
+    "cycle_graph",
+    "gnp_graph",
+    "grid_graph",
+    "layered_dag",
+    "path_graph",
+    "power_law_graph",
+    "road_like_graph",
+    "small_world_graph",
+    "star_graph",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,353 @@
+"""Seeded workload generators.
+
+Each generator returns a :class:`~repro.workloads.graph.WeightedDigraph` with
+positive integer edge lengths drawn uniformly from ``[1, max_length]``
+(``max_length`` is the paper's ``U``).  All generators take a ``seed`` so that
+tests and benchmarks are reproducible.
+
+The families cover the scenarios the paper's introduction motivates:
+
+* sparse random digraphs (``gnp_graph``) — generic graph analytics;
+* grid / road-like graphs — navigation with bounded-hop constraints;
+* power-law graphs — social/contact networks;
+* layered DAGs — pipeline/scheduling graphs where the ``k``-hop structure is
+  explicit;
+* paths, cycles, stars, complete graphs — adversarial/extremal cases used in
+  the complexity discussion (e.g. ``L`` large vs ``m`` small).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = [
+    "gnp_graph",
+    "grid_graph",
+    "road_like_graph",
+    "power_law_graph",
+    "small_world_graph",
+    "layered_dag",
+    "bottleneck_flow_network",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _lengths(rng: np.random.Generator, m: int, max_length: int) -> np.ndarray:
+    if max_length < 1:
+        raise GraphError(f"max_length must be >= 1, got {max_length}")
+    return rng.integers(1, max_length + 1, size=m, dtype=np.int64)
+
+
+def gnp_graph(
+    n: int,
+    p: float,
+    *,
+    max_length: int = 1,
+    seed: Optional[int] = None,
+    ensure_source_reaches: bool = False,
+    source: int = 0,
+) -> WeightedDigraph:
+    """Directed Erdős–Rényi ``G(n, p)`` with uniform integer lengths.
+
+    With ``ensure_source_reaches`` a Hamiltonian-ish random out-tree from
+    ``source`` is added so that every vertex is reachable (useful for SSSP
+    sweeps where unreachable vertices would make ``L`` undefined).
+    """
+    rng = _rng(seed)
+    if not (0.0 <= p <= 1.0):
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    # Vectorized pair sampling: draw the full adjacency mask only for small n;
+    # otherwise sample the binomial count of edges and draw endpoints.
+    if n <= 2048:
+        mask = rng.random((n, n)) < p
+        np.fill_diagonal(mask, False)
+        tails, heads = np.nonzero(mask)
+    else:
+        m_expected = rng.binomial(n * (n - 1), p)
+        tails = rng.integers(0, n, size=m_expected, dtype=np.int64)
+        heads = rng.integers(0, n, size=m_expected, dtype=np.int64)
+        keep = tails != heads
+        tails, heads = tails[keep], heads[keep]
+    if ensure_source_reaches and n > 1:
+        order = rng.permutation(n)
+        order = order[order != source]
+        chain_tails = np.concatenate(([source], order[:-1]))
+        chain_heads = order
+        tails = np.concatenate((tails, chain_tails))
+        heads = np.concatenate((heads, chain_heads))
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    *,
+    max_length: int = 1,
+    seed: Optional[int] = None,
+    bidirectional: bool = True,
+) -> WeightedDigraph:
+    """``rows x cols`` lattice; vertex ``(r, c)`` is ``r * cols + c``."""
+    rng = _rng(seed)
+    tails, heads = [], []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                tails.append(u)
+                heads.append(u + 1)
+            if r + 1 < rows:
+                tails.append(u)
+                heads.append(u + cols)
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    if bidirectional:
+        tails, heads = (
+            np.concatenate((tails, heads)),
+            np.concatenate((heads, tails)),
+        )
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(rows * cols, tails, heads, lengths)
+
+
+def road_like_graph(
+    rows: int,
+    cols: int,
+    *,
+    max_length: int = 10,
+    highway_fraction: float = 0.05,
+    seed: Optional[int] = None,
+) -> WeightedDigraph:
+    """Grid plus a sprinkling of long-range 'highway' shortcuts.
+
+    Models road networks: mostly planar lattice with a few fast long edges.
+    Highways get length ``max_length`` but skip many grid cells, so bounded-hop
+    (``k``-hop) routing on this family exhibits the hop/length tradeoff the
+    k-hop problem is about.
+    """
+    rng = _rng(seed)
+    base = grid_graph(rows, cols, max_length=max_length, seed=seed)
+    n = rows * cols
+    n_highways = max(1, int(highway_fraction * n))
+    h_tails = rng.integers(0, n, size=n_highways, dtype=np.int64)
+    h_heads = rng.integers(0, n, size=n_highways, dtype=np.int64)
+    keep = h_tails != h_heads
+    h_tails, h_heads = h_tails[keep], h_heads[keep]
+    tails = np.concatenate((base.tails, h_tails, h_heads))
+    heads = np.concatenate((base.heads, h_heads, h_tails))
+    lengths = np.concatenate(
+        (
+            base.lengths,
+            np.full(h_tails.size, max_length, dtype=np.int64),
+            np.full(h_tails.size, max_length, dtype=np.int64),
+        )
+    )
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def power_law_graph(
+    n: int,
+    attach: int = 2,
+    *,
+    max_length: int = 1,
+    seed: Optional[int] = None,
+) -> WeightedDigraph:
+    """Barabási–Albert preferential attachment, both edge orientations."""
+    import networkx as nx
+
+    if n <= attach:
+        raise GraphError("power_law_graph requires n > attach")
+    rng = _rng(seed)
+    nxg = nx.barabasi_albert_graph(n, attach, seed=int(rng.integers(0, 2**31)))
+    tails, heads = [], []
+    for u, v in nxg.edges():
+        tails.extend((u, v))
+        heads.extend((v, u))
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def small_world_graph(
+    n: int,
+    nearest: int = 4,
+    rewire: float = 0.1,
+    *,
+    max_length: int = 1,
+    seed: Optional[int] = None,
+) -> WeightedDigraph:
+    """Watts–Strogatz small world, both edge orientations.
+
+    High clustering with a few long-range shortcuts: hop-diameter collapses
+    to O(log n), so the k-hop problems saturate at small k — a useful
+    contrast to grids in the k-sweep benches.
+    """
+    import networkx as nx
+
+    if nearest >= n:
+        raise GraphError("small_world_graph requires nearest < n")
+    rng = _rng(seed)
+    nxg = nx.watts_strogatz_graph(n, nearest, rewire, seed=int(rng.integers(0, 2**31)))
+    tails, heads = [], []
+    for u, v in nxg.edges():
+        tails.extend((u, v))
+        heads.extend((v, u))
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def bottleneck_flow_network(
+    stages: int,
+    width: int,
+    *,
+    max_capacity: int = 10,
+    bottleneck: int = 2,
+    seed: Optional[int] = None,
+) -> WeightedDigraph:
+    """A flow network with a known max-flow value.
+
+    Vertex 0 (source) fans out to ``width`` parallel pipelines of
+    ``stages`` stages that reconverge on the sink (last vertex).  One stage
+    is a deliberate bottleneck of total capacity ``width * bottleneck``,
+    which is therefore the max-flow value (every other stage has strictly
+    larger capacity).  Edge lengths carry the capacities.
+    """
+    if stages < 1 or width < 1:
+        raise GraphError("need at least one stage and one pipeline")
+    if bottleneck >= max_capacity:
+        raise GraphError("bottleneck must be below max_capacity")
+    rng = _rng(seed)
+    n = 2 + stages * width
+    sink = n - 1
+    choke_stage = int(rng.integers(0, stages))
+    tails, heads, caps = [], [], []
+
+    def vid(stage: int, lane: int) -> int:
+        return 1 + stage * width + lane
+
+    for lane in range(width):
+        tails.append(0)
+        heads.append(vid(0, lane))
+        caps.append(max_capacity)
+        for stage in range(stages - 1):
+            cap = bottleneck if stage + 1 == choke_stage else int(
+                rng.integers(bottleneck + 1, max_capacity + 1)
+            )
+            tails.append(vid(stage, lane))
+            heads.append(vid(stage + 1, lane))
+            caps.append(cap)
+        tails.append(vid(stages - 1, lane))
+        heads.append(sink)
+        caps.append(max_capacity)
+    # entry edges form the bottleneck if the choke stage is stage 0
+    if choke_stage == 0:
+        for i in range(width):
+            caps[i * (stages + 1)] = bottleneck
+    return WeightedDigraph.from_arrays(
+        n,
+        np.asarray(tails, dtype=np.int64),
+        np.asarray(heads, dtype=np.int64),
+        np.asarray(caps, dtype=np.int64),
+    )
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    *,
+    max_length: int = 1,
+    density: float = 0.5,
+    seed: Optional[int] = None,
+) -> WeightedDigraph:
+    """DAG of ``layers`` layers of ``width`` vertices, plus a source vertex.
+
+    Vertex 0 is a source connected to every first-layer vertex; each layer is
+    randomly wired to the next with the given density (at least one out-edge
+    per vertex so the sink layer is reachable).  Shortest paths from the
+    source use exactly one edge per layer, making hop counts deterministic —
+    handy for ``k``-hop tests.
+    """
+    rng = _rng(seed)
+    n = 1 + layers * width
+    tails, heads = [], []
+
+    def vid(layer: int, i: int) -> int:
+        return 1 + layer * width + i
+
+    for i in range(width):
+        tails.append(0)
+        heads.append(vid(0, i))
+    for layer in range(layers - 1):
+        for i in range(width):
+            targets = np.nonzero(rng.random(width) < density)[0]
+            if targets.size == 0:
+                targets = rng.integers(0, width, size=1)
+            for j in targets:
+                tails.append(vid(layer, i))
+                heads.append(vid(layer + 1, int(j)))
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def path_graph(
+    n: int, *, max_length: int = 1, seed: Optional[int] = None
+) -> WeightedDigraph:
+    """Directed path ``0 -> 1 -> ... -> n-1`` (extremal: L large, m = n-1)."""
+    rng = _rng(seed)
+    tails = np.arange(n - 1, dtype=np.int64)
+    heads = tails + 1
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def cycle_graph(
+    n: int, *, max_length: int = 1, seed: Optional[int] = None
+) -> WeightedDigraph:
+    """Directed cycle on ``n`` vertices."""
+    rng = _rng(seed)
+    tails = np.arange(n, dtype=np.int64)
+    heads = (tails + 1) % n
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def star_graph(
+    n: int, *, max_length: int = 1, seed: Optional[int] = None
+) -> WeightedDigraph:
+    """Vertex 0 with an out-edge to each of ``1..n-1`` (L small, degree high)."""
+    rng = _rng(seed)
+    tails = np.zeros(n - 1, dtype=np.int64)
+    heads = np.arange(1, n, dtype=np.int64)
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)
+
+
+def complete_graph(
+    n: int, *, max_length: int = 1, seed: Optional[int] = None
+) -> WeightedDigraph:
+    """Complete digraph ``K_n`` (the worst case assumed by the embedding)."""
+    rng = _rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    tails = np.repeat(idx, n)
+    heads = np.tile(idx, n)
+    keep = tails != heads
+    tails, heads = tails[keep], heads[keep]
+    lengths = _lengths(rng, tails.size, max_length)
+    return WeightedDigraph.from_arrays(n, tails, heads, lengths)

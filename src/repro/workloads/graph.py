@@ -1,0 +1,226 @@
+"""A compact weighted directed graph used throughout the reproduction.
+
+The paper's algorithms operate on directed graphs with *positive integer*
+edge lengths (Section 3: "graphs with positive edge weights"; Section 4 uses
+``U`` for the longest edge).  :class:`WeightedDigraph` stores the graph in
+CSR (compressed sparse row) form — contiguous NumPy arrays — so that the
+simulation engines and baselines can iterate adjacency without per-edge
+Python object overhead, following the vectorization guidance of the
+scientific-Python optimization notes.
+
+Vertices are ``0 .. n-1``.  Parallel edges are allowed (the algorithms are
+insensitive to them); self-loops are allowed but rejected by the shortest-path
+drivers that cannot use them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["WeightedDigraph"]
+
+
+class WeightedDigraph:
+    """Directed graph with positive integer edge lengths, CSR-backed.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v, length)`` triples.  Lengths must be positive
+        integers (``numpy`` integer types accepted).
+
+    Attributes
+    ----------
+    n : int
+        Vertex count.
+    m : int
+        Edge count.
+    indptr, heads, lengths : numpy.ndarray
+        CSR adjacency: out-edges of ``u`` are
+        ``heads[indptr[u]:indptr[u+1]]`` with lengths
+        ``lengths[indptr[u]:indptr[u+1]]``.
+    """
+
+    __slots__ = ("n", "m", "indptr", "heads", "lengths", "tails", "_rev")
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int, int]]):
+        if n < 0:
+            raise GraphError(f"vertex count must be nonnegative, got {n}")
+        self.n = int(n)
+        edge_list = list(edges)
+        self.m = len(edge_list)
+        tails = np.empty(self.m, dtype=np.int64)
+        heads = np.empty(self.m, dtype=np.int64)
+        lengths = np.empty(self.m, dtype=np.int64)
+        for i, (u, v, w) in enumerate(edge_list):
+            tails[i] = u
+            heads[i] = v
+            lengths[i] = w
+        if self.m:
+            if tails.min() < 0 or tails.max() >= n or heads.min() < 0 or heads.max() >= n:
+                raise GraphError("edge endpoint out of range")
+            if lengths.min() <= 0:
+                bad = int(lengths.min())
+                raise GraphError(f"edge lengths must be positive integers, got {bad}")
+        # Sort by tail to build CSR; stable sort keeps insertion order per tail.
+        order = np.argsort(tails, kind="stable")
+        self.tails = tails[order]
+        self.heads = heads[order]
+        self.lengths = lengths[order]
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(self.indptr, self.tails + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        self._rev: Optional[WeightedDigraph] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        tails: Sequence[int],
+        heads: Sequence[int],
+        lengths: Sequence[int],
+    ) -> "WeightedDigraph":
+        """Build from parallel arrays (no per-edge tuple allocation)."""
+        tails = np.asarray(tails, dtype=np.int64)
+        heads = np.asarray(heads, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if not (tails.shape == heads.shape == lengths.shape):
+            raise GraphError("tails/heads/lengths must have equal shapes")
+        g = cls.__new__(cls)
+        g.n = int(n)
+        g.m = int(tails.size)
+        if g.n < 0:
+            raise GraphError(f"vertex count must be nonnegative, got {n}")
+        if g.m:
+            if tails.min() < 0 or tails.max() >= n or heads.min() < 0 or heads.max() >= n:
+                raise GraphError("edge endpoint out of range")
+            if lengths.min() <= 0:
+                raise GraphError("edge lengths must be positive integers")
+        order = np.argsort(tails, kind="stable")
+        g.tails = tails[order]
+        g.heads = heads[order]
+        g.lengths = lengths[order]
+        g.indptr = np.zeros(g.n + 1, dtype=np.int64)
+        np.add.at(g.indptr, g.tails + 1, 1)
+        np.cumsum(g.indptr, out=g.indptr)
+        g._rev = None
+        return g
+
+    @classmethod
+    def from_networkx(cls, nxg) -> "WeightedDigraph":
+        """Convert a ``networkx`` (Di)Graph with integer ``weight`` attributes.
+
+        Node labels must be ``0..n-1`` integers.  Undirected graphs are
+        converted by adding both edge orientations.
+        """
+        import networkx as nx
+
+        n = nxg.number_of_nodes()
+        if set(nxg.nodes()) != set(range(n)):
+            raise GraphError("networkx nodes must be labeled 0..n-1")
+        edges: List[Tuple[int, int, int]] = []
+        directed = nxg.is_directed()
+        for u, v, data in nxg.edges(data=True):
+            w = int(data.get("weight", 1))
+            edges.append((u, v, w))
+            if not directed:
+                edges.append((v, u, w))
+        return cls(n, edges)
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(self.n))
+        for u, v, w in self.edges():
+            # parallel edges collapse to the minimum length, which preserves
+            # all shortest-path quantities used in this reproduction
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] = min(nxg[u][v]["weight"], int(w))
+            else:
+                nxg.add_edge(u, v, weight=int(w))
+        return nxg
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(tail, head, length)`` triples in CSR order."""
+        for i in range(self.m):
+            yield int(self.tails[i]), int(self.heads[i]), int(self.lengths[i])
+
+    def out_edges(self, u: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(heads, lengths)`` views of the out-edges of ``u``."""
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        return self.heads[lo:hi], self.lengths[lo:hi]
+
+    def out_degree(self, u: int) -> int:
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees (vectorized bincount over edge heads)."""
+        return np.bincount(self.heads, minlength=self.n).astype(np.int64)
+
+    def reverse(self) -> "WeightedDigraph":
+        """Graph with all edges reversed (cached)."""
+        if self._rev is None:
+            self._rev = WeightedDigraph.from_arrays(
+                self.n, self.heads, self.tails, self.lengths
+            )
+        return self._rev
+
+    def max_length(self) -> int:
+        """The paper's ``U``: length of the longest edge (0 if no edges)."""
+        return int(self.lengths.max()) if self.m else 0
+
+    def min_length(self) -> int:
+        """Length of the shortest edge (0 if no edges)."""
+        return int(self.lengths.min()) if self.m else 0
+
+    def max_out_degree(self) -> int:
+        if self.n == 0:
+            return 0
+        return int(np.max(np.diff(self.indptr)))
+
+    def has_self_loops(self) -> bool:
+        return bool(np.any(self.tails == self.heads))
+
+    def scaled(self, factor: int) -> "WeightedDigraph":
+        """Return a copy with every edge length multiplied by ``factor``.
+
+        Scaling preserves shortest-path structure exactly while making the
+        minimum edge length large enough to hide circuit latencies (Sections
+        4.1 and 4.4 both use this device).
+        """
+        if factor < 1:
+            raise GraphError(f"scale factor must be >= 1, got {factor}")
+        return WeightedDigraph.from_arrays(
+            self.n, self.tails, self.heads, self.lengths * int(factor)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedDigraph):
+            return NotImplemented
+        if self.n != other.n or self.m != other.m:
+            return False
+        a = sorted(zip(self.tails.tolist(), self.heads.tolist(), self.lengths.tolist()))
+        b = sorted(zip(other.tails.tolist(), other.heads.tolist(), other.lengths.tolist()))
+        return a == b
+
+    def __hash__(self) -> int:  # graphs are mutable-free but large; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"WeightedDigraph(n={self.n}, m={self.m}, U={self.max_length()})"

@@ -1,0 +1,87 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import WeightedDigraph, gnp_graph
+
+
+def ref_sssp(graph: WeightedDigraph, source: int) -> np.ndarray:
+    """Reference SSSP via networkx Dijkstra (−1 for unreachable)."""
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    lengths = nx.single_source_dijkstra_path_length(nxg, source, weight="weight")
+    out = np.full(graph.n, -1, dtype=np.int64)
+    for v, d in lengths.items():
+        out[v] = d
+    return out
+
+
+def ref_khop(graph: WeightedDigraph, source: int, k: int) -> np.ndarray:
+    """Reference k-hop distances via textbook Bellman–Ford rounds."""
+    INF = float("inf")
+    d = [INF] * graph.n
+    d[source] = 0
+    for _ in range(k):
+        nd = list(d)
+        for u, v, w in graph.edges():
+            if u != v and d[u] + w < nd[v]:
+                nd[v] = d[u] + w
+        d = nd
+    return np.asarray([x if x < INF else -1 for x in d], dtype=np.int64)
+
+
+def ref_alpha(graph: WeightedDigraph, source: int, target: int) -> int:
+    """Hop count of a shortest path (minimum hops among optimal paths)."""
+    dist = ref_sssp(graph, source)
+    if dist[target] < 0:
+        return -1
+    # BFS-like DP on the shortest-path DAG
+    INF = 10**18
+    hops = [INF] * graph.n
+    hops[source] = 0
+    order = sorted(range(graph.n), key=lambda v: (dist[v] < 0, dist[v]))
+    for u in order:
+        if dist[u] < 0 or hops[u] == INF:
+            continue
+        heads, lengths = graph.out_edges(u)
+        for v, w in zip(heads.tolist(), lengths.tolist()):
+            if dist[v] == dist[u] + w and hops[u] + 1 < hops[v]:
+                hops[v] = hops[u] + 1
+    return hops[target] if hops[target] < INF else -1
+
+
+@pytest.fixture
+def small_graph() -> WeightedDigraph:
+    """A fixed 6-vertex graph with known distances from vertex 0.
+
+    Edges: 0->1 (2), 0->2 (7), 1->2 (3), 1->3 (6), 2->3 (1), 3->4 (2),
+    2->4 (9), 5 isolated.  Distances from 0: [0, 2, 5, 6, 8, -1].
+    """
+    return WeightedDigraph(
+        6,
+        [
+            (0, 1, 2),
+            (0, 2, 7),
+            (1, 2, 3),
+            (1, 3, 6),
+            (2, 3, 1),
+            (3, 4, 2),
+            (2, 4, 9),
+        ],
+    )
+
+
+SMALL_GRAPH_DIST = np.asarray([0, 2, 5, 6, 8, -1], dtype=np.int64)
+
+
+@pytest.fixture
+def random_graphs():
+    """A family of seeded random graphs (reachable from vertex 0)."""
+    return [
+        gnp_graph(12, 0.25, max_length=5, seed=s, ensure_source_reaches=True)
+        for s in range(4)
+    ]

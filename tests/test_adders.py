@@ -1,0 +1,191 @@
+"""Tests of the Figure-4 adders, add-constant, and subtract-one circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    add_constant,
+    carry_lookahead_adder,
+    ripple_adder,
+    run_circuit,
+    siu_adder,
+    subtract_one,
+)
+from repro.errors import CircuitError
+
+ADDERS = {"cla": carry_lookahead_adder, "ripple": ripple_adder, "siu": siu_adder}
+
+
+def build_adder(kind, width):
+    b = CircuitBuilder()
+    xa = b.input_bits("a", width)
+    xb = b.input_bits("b", width)
+    b.output_bits("out", ADDERS[kind](b, xa, xb))
+    return b
+
+
+class TestTwoOperandAdders:
+    @pytest.mark.parametrize("kind", list(ADDERS))
+    def test_exhaustive_3bit(self, kind):
+        b = build_adder(kind, 3)
+        for x in range(8):
+            for y in range(8):
+                assert run_circuit(b, {"a": x, "b": y})["out"] == x + y, (kind, x, y)
+
+    @pytest.mark.parametrize("kind", list(ADDERS))
+    def test_carry_out_width(self, kind):
+        b = build_adder(kind, 4)
+        assert run_circuit(b, {"a": 15, "b": 15})["out"] == 30  # needs 5 bits
+
+    @given(
+        kind=st.sampled_from(sorted(ADDERS)),
+        width=st.integers(min_value=1, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random(self, kind, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        y = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        b = build_adder(kind, width)
+        assert run_circuit(b, {"a": x, "b": y})["out"] == x + y
+
+    def test_cla_constant_depth(self):
+        depths = set()
+        for width in (2, 6, 12):
+            b = build_adder("cla", width)
+            depths.add(b.depth)
+        assert len(depths) == 1
+        assert depths.pop() <= 3  # two layers + output alignment
+
+    def test_ripple_depth_linear(self):
+        d = {}
+        for width in (2, 4, 6):  # arithmetic spacing: equal depth increments
+            d[width] = build_adder("ripple", width).depth
+        assert d[6] - d[4] == d[4] - d[2]
+        assert d[6] > d[4] > d[2]
+
+    def test_cla_size_linear(self):
+        def size(width):
+            b = CircuitBuilder()
+            xa = b.input_bits("a", width)
+            xb = b.input_bits("b", width)
+            carry_lookahead_adder(b, xa, xb)
+            return b.size
+
+        assert size(16) < 2.5 * size(8)
+
+    def test_siu_constant_depth_unit_weights(self):
+        import numpy as np
+
+        depths = set()
+        for width in (2, 6, 12):
+            b = CircuitBuilder()
+            xa = b.input_bits("a", width)
+            xb = b.input_bits("b", width)
+            b.output_bits("out", siu_adder(b, xa, xb))
+            depths.add(b.depth)
+            weights = b.net.compile().syn_weight
+            assert float(np.abs(weights).max()) <= 2.0  # small weights
+        assert len(depths) == 1  # constant depth
+
+    def test_siu_size_quadratic(self):
+        def size(width):
+            b = CircuitBuilder()
+            xa = b.input_bits("a", width)
+            xb = b.input_bits("b", width)
+            siu_adder(b, xa, xb)
+            return b.size
+
+        # O(lambda^2): doubling width should more than double the size
+        assert size(16) > 2.5 * size(8)
+
+    @pytest.mark.parametrize("kind", list(ADDERS))
+    def test_width_mismatch_rejected(self, kind):
+        b = CircuitBuilder()
+        xa = b.input_bits("a", 3)
+        xb = b.input_bits("b", 2)
+        with pytest.raises(CircuitError):
+            ADDERS[kind](b, xa, xb)
+
+
+class TestAddConstant:
+    def build(self, width, constant, out_width=None):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", width)
+        (v,) = b.input_bits("v", 1)
+        outs, ov = add_constant(b, xs, constant, v, out_width=out_width)
+        b.output_bits("out", outs)
+        b.output_bits("valid", [ov], aligned=False)
+        return b
+
+    @pytest.mark.parametrize("constant", [0, 1, 3, 7, 12, 100])
+    def test_exhaustive_4bit(self, constant):
+        b = self.build(4, constant)
+        for x in range(16):
+            r = run_circuit(b, {"x": x, "v": 1})
+            assert r["out"] == x + constant, (constant, x)
+            assert r["valid"] == 1
+
+    def test_invalid_input_produces_silence(self):
+        b = self.build(4, 9)
+        for x in (0, 7, 15):
+            r = run_circuit(b, {"x": x, "v": 0})
+            assert r["out"] == 0 and r["valid"] == 0
+
+    def test_truncated_out_width_wraps(self):
+        b = self.build(3, 7, out_width=3)
+        r = run_circuit(b, {"x": 5, "v": 1})
+        assert r["out"] == (5 + 7) % 8
+
+    def test_negative_constant_rejected(self):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", 3)
+        (v,) = b.input_bits("v", 1)
+        with pytest.raises(CircuitError):
+            add_constant(b, xs, -1, v)
+
+    def test_constant_depth(self):
+        depths = set()
+        for width, k in [(3, 5), (8, 77), (12, 1000)]:
+            b = self.build(width, k)
+            depths.add(max(s.offset for s in b.output_groups["out"]))
+        assert len(depths) == 1
+
+    @given(
+        width=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random(self, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        k = data.draw(st.integers(min_value=0, max_value=2**width))
+        b = self.build(width, k)
+        assert run_circuit(b, {"x": x, "v": 1})["out"] == x + k
+
+
+class TestSubtractOne:
+    def build(self, width):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", width)
+        (v,) = b.input_bits("v", 1)
+        outs, ov = subtract_one(b, xs, v)
+        b.output_bits("out", outs)
+        b.output_bits("valid", [ov], aligned=False)
+        return b
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 6])
+    def test_decrement_all_values(self, width):
+        b = self.build(width)
+        for x in range(1, 2**width):
+            r = run_circuit(b, {"x": x, "v": 1})
+            assert r["out"] == x - 1, (width, x)
+
+    def test_zero_wraps_to_all_ones(self):
+        b = self.build(4)
+        assert run_circuit(b, {"x": 0, "v": 1})["out"] == 15
+
+    def test_invalid_is_silent(self):
+        b = self.build(4)
+        r = run_circuit(b, {"x": 9, "v": 0})
+        assert r["out"] == 0 and r["valid"] == 0

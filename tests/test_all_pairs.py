@@ -1,0 +1,63 @@
+"""Tests of the multi-source drivers (all-pairs, crossbar reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.all_pairs import all_pairs_on_crossbar, all_pairs_shortest_paths
+from repro.errors import ValidationError
+from repro.workloads import gnp_graph
+from tests.conftest import ref_sssp
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(9, 0.35, max_length=5, seed=19)
+
+
+def reference_matrix(g):
+    return np.stack([ref_sssp(g, s) for s in range(g.n)])
+
+
+class TestAllPairs:
+    def test_matrix_matches_reference(self, graph):
+        matrix, cost = all_pairs_shortest_paths(graph)
+        assert np.array_equal(matrix, reference_matrix(graph))
+        assert cost.extras["sources"] == graph.n
+
+    def test_diagonal_zero(self, graph):
+        matrix, _ = all_pairs_shortest_paths(graph)
+        assert (np.diag(matrix) == 0).all()
+
+    def test_subset_of_sources(self, graph):
+        matrix, cost = all_pairs_shortest_paths(graph, sources=np.asarray([2, 5]))
+        assert matrix.shape == (2, graph.n)
+        assert np.array_equal(matrix[0], ref_sssp(graph, 2))
+        assert np.array_equal(matrix[1], ref_sssp(graph, 5))
+
+    def test_loading_charged_once(self, graph):
+        _, cost = all_pairs_shortest_paths(graph)
+        assert cost.loading_ticks == graph.m
+
+    def test_source_validation(self, graph):
+        with pytest.raises(ValidationError):
+            all_pairs_shortest_paths(graph, sources=np.asarray([99]))
+
+
+class TestAllPairsCrossbar:
+    def test_matrix_matches_reference(self, graph):
+        matrix, cost = all_pairs_on_crossbar(graph)
+        assert np.array_equal(matrix, reference_matrix(graph))
+        assert cost.neuron_count == 2 * graph.n**2
+
+    def test_single_embedding_reused(self, graph):
+        _, cost = all_pairs_on_crossbar(graph)
+        assert cost.loading_ticks == graph.m  # programmed once
+
+    def test_crossbar_ticks_exceed_native(self, graph):
+        _, native = all_pairs_shortest_paths(graph)
+        _, onchip = all_pairs_on_crossbar(graph)
+        assert onchip.simulated_ticks > native.simulated_ticks
+
+    def test_source_validation(self, graph):
+        with pytest.raises(ValidationError):
+            all_pairs_on_crossbar(graph, sources=np.asarray([-1]))

@@ -1,0 +1,50 @@
+"""Tests that the generated API reference stays generable and current."""
+
+import pathlib
+import runpy
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "api_reference.md"
+TOOL = ROOT / "tools" / "gen_api_docs.py"
+
+
+def test_generator_runs_and_doc_is_current(tmp_path, monkeypatch, capsys):
+    fresh = tmp_path / "api.md"
+    monkeypatch.setattr("sys.argv", [str(TOOL), str(fresh)])
+    with pytest.raises(SystemExit) as exc:
+        runpy.run_path(str(TOOL), run_name="__main__")
+    assert exc.value.code == 0
+    assert fresh.read_text() == DOC.read_text(), (
+        "docs/api_reference.md is stale; rerun tools/gen_api_docs.py"
+    )
+
+
+def test_reference_covers_all_packages():
+    text = DOC.read_text()
+    for module in (
+        "repro.core",
+        "repro.circuits",
+        "repro.algorithms",
+        "repro.embedding",
+        "repro.baselines",
+        "repro.distance_model",
+        "repro.analysis",
+        "repro.hardware",
+        "repro.workloads",
+        "repro.nga",
+    ):
+        assert f"## `{module}`" in text, module
+
+
+def test_reference_mentions_headline_api():
+    text = DOC.read_text()
+    for name in (
+        "spiking_sssp_pseudo",
+        "wired_or_max",
+        "DistanceMachine",
+        "embed_graph",
+        "tidal_flow",
+    ):
+        assert name in text, name

@@ -1,0 +1,110 @@
+"""Tests of the Section 7 approximation algorithm (Theorems 7.1/7.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import spiking_khop_approx, spiking_khop_pseudo
+from repro.algorithms.approx import approx_epsilon
+from repro.errors import ValidationError
+from repro.workloads import gnp_graph, path_graph
+from tests.conftest import ref_khop, ref_sssp
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_sandwich(self, seed, k):
+        """dist(v) <= estimate <= (1 + eps) dist_k(v) for reachable v."""
+        g = gnp_graph(18, 0.2, max_length=8, seed=seed, ensure_source_reaches=True)
+        r = spiking_khop_approx(g, 0, k)
+        eps = r.cost.extras["epsilon"]
+        exact_k = ref_khop(g, 0, k)
+        exact = ref_sssp(g, 0)
+        for v in range(g.n):
+            if exact_k[v] >= 0:
+                assert r.dist[v] >= 0
+                assert exact[v] - 1e-9 <= r.dist[v] <= (1 + eps) * exact_k[v] + 1e-9
+
+    def test_exact_on_path_graph(self):
+        g = path_graph(8, max_length=4, seed=2)
+        k = 7
+        r = spiking_khop_approx(g, 0, k)
+        exact = ref_khop(g, 0, k)
+        eps = r.cost.extras["epsilon"]
+        for v in range(g.n):
+            assert exact[v] <= r.dist[v] <= (1 + eps) * exact[v] + 1e-9
+
+    def test_hop_unreachable_vertices(self):
+        g = path_graph(10, max_length=1, seed=0)
+        r = spiking_khop_approx(g, 0, 2)
+        # vertices within 2 hops estimated; far vertices beyond every
+        # horizon report -1 or an estimate >= their true distance
+        assert r.dist[1] >= 1 - 1e-9 and r.dist[2] >= 2 - 1e-9
+        for v in range(3, 10):
+            assert r.dist[v] == -1 or r.dist[v] >= v - 1e-9
+
+    def test_tighter_epsilon_tightens_answers(self):
+        g = gnp_graph(16, 0.25, max_length=9, seed=12, ensure_source_reaches=True)
+        k = 3
+        loose = spiking_khop_approx(g, 0, k, epsilon=0.9)
+        tight = spiking_khop_approx(g, 0, k, epsilon=0.05)
+        exact_k = ref_khop(g, 0, k)
+        for v in range(g.n):
+            if exact_k[v] >= 0:
+                assert tight.dist[v] <= 1.05 * exact_k[v] + 1e-9
+                assert loose.dist[v] <= 1.9 * exact_k[v] + 1e-9
+
+    def test_epsilon_default_one_over_log_n(self):
+        assert math.isclose(approx_epsilon(1024), 0.1)
+        assert approx_epsilon(2) == 1.0
+
+
+class TestResourceModel:
+    def test_scale_count_logarithmic(self):
+        g = gnp_graph(16, 0.25, max_length=9, seed=1, ensure_source_reaches=True)
+        r = spiking_khop_approx(g, 0, 4)
+        scales = r.cost.extras["scales"]
+        assert scales <= math.ceil(math.log2(2 * 4 * 9 / r.cost.extras["epsilon"])) + 1
+
+    def test_neuron_advantage_over_exact(self):
+        """Theorem 7.2: n neurons per scale vs the exact m log(nU)."""
+        g = gnp_graph(30, 0.4, max_length=9, seed=3, ensure_source_reaches=True)
+        k = 4
+        approx = spiking_khop_approx(g, 0, k)
+        exact = spiking_khop_pseudo(g, 0, k)
+        assert approx.cost.neuron_count == g.n * approx.cost.extras["scales"]
+        # dense graph: m log k exceeds n * #scales
+        assert approx.cost.neuron_count < exact.cost.neuron_count
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_khop_approx(small_graph, 0, 0)
+        with pytest.raises(ValidationError):
+            spiking_khop_approx(small_graph, -1, 2)
+        with pytest.raises(ValidationError):
+            spiking_khop_approx(small_graph, 0, 2, epsilon=-0.5)
+
+
+class TestCrossbarDeployment:
+    def test_crossbar_matches_native_estimates(self):
+        g = gnp_graph(10, 0.35, max_length=6, seed=17, ensure_source_reaches=True)
+        k = 3
+        native = spiking_khop_approx(g, 0, k)
+        onchip = spiking_khop_approx(g, 0, k, on_crossbar=True)
+        assert np.allclose(native.dist, onchip.dist)
+
+    def test_reprogram_accounting(self):
+        g = gnp_graph(8, 0.4, max_length=5, seed=18, ensure_source_reaches=True)
+        r = spiking_khop_approx(g, 0, 3, on_crossbar=True)
+        scales = r.cost.extras["scales"]
+        # each scale programs one Type-2 delay per distinct (u, v) pair;
+        # every scale but the last also unembeds
+        slots = len({(u, v) for u, v, _w in g.edges() if u != v})
+        assert r.cost.extras["reprogram_ops"] == slots * (2 * scales - 1)
+
+    def test_crossbar_neuron_footprint(self):
+        g = gnp_graph(8, 0.4, max_length=5, seed=19, ensure_source_reaches=True)
+        r = spiking_khop_approx(g, 0, 3, on_crossbar=True)
+        assert r.cost.neuron_count == 2 * g.n * g.n  # one crossbar, reused

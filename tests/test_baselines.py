@@ -1,0 +1,86 @@
+"""Tests of the conventional baselines and their operation counters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OpCounter, bellman_ford_khop, dijkstra
+from repro.errors import ValidationError
+from repro.workloads import gnp_graph, path_graph, star_graph
+from tests.conftest import SMALL_GRAPH_DIST, ref_khop, ref_sssp
+
+
+class TestDijkstra:
+    def test_small_graph(self, small_graph):
+        dist, _ = dijkstra(small_graph, 0)
+        assert np.array_equal(dist, SMALL_GRAPH_DIST)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(20, 0.2, max_length=7, seed=seed)
+        dist, _ = dijkstra(g, 0)
+        assert np.array_equal(dist, ref_sssp(g, 0))
+
+    def test_early_exit_at_target(self, small_graph):
+        dist, ops_t = dijkstra(small_graph, 0, target=1)
+        assert dist[1] == 2
+        _, ops_full = dijkstra(small_graph, 0)
+        assert ops_t.total < ops_full.total
+
+    def test_op_counts_scale_with_edges(self):
+        small = gnp_graph(20, 0.1, max_length=4, seed=1)
+        big = gnp_graph(20, 0.6, max_length=4, seed=1)
+        _, ops_s = dijkstra(small, 0)
+        _, ops_b = dijkstra(big, 0)
+        assert ops_b.relaxations > ops_s.relaxations
+        assert ops_b.relaxations >= big.m // 2  # most edges touched
+
+    def test_heap_ops_balanced(self, small_graph):
+        _, ops = dijkstra(small_graph, 0)
+        assert ops.heap_pops == ops.heap_pushes  # heap fully drained
+
+    def test_source_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            dijkstra(small_graph, 9)
+
+
+class TestBellmanFord:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [0, 1, 3, 6])
+    def test_matches_reference(self, seed, k):
+        g = gnp_graph(15, 0.25, max_length=5, seed=seed)
+        dist, _ = bellman_ford_khop(g, 0, k)
+        assert np.array_equal(dist, ref_khop(g, 0, k))
+
+    def test_relaxations_exactly_k_times_m(self):
+        g = gnp_graph(12, 0.4, max_length=4, seed=3)
+        k = 5
+        _, ops = bellman_ford_khop(g, 0, k)
+        assert ops.relaxations == k * g.m  # the O(km) schedule
+
+    def test_early_exit_reduces_rounds(self):
+        g = path_graph(4, max_length=2, seed=0)
+        _, strict = bellman_ford_khop(g, 0, 50)
+        _, early = bellman_ford_khop(g, 0, 50, early_exit=True)
+        assert early.relaxations < strict.relaxations
+        assert early.relaxations == 4 * g.m  # 3 improving rounds + 1 empty
+
+    def test_star_one_round_suffices(self):
+        g = star_graph(8, max_length=3, seed=1)
+        dist, _ = bellman_ford_khop(g, 0, 1)
+        assert (dist[1:] >= 1).all()
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            bellman_ford_khop(small_graph, 0, -1)
+        with pytest.raises(ValidationError):
+            bellman_ford_khop(small_graph, -5, 1)
+
+
+class TestOpCounter:
+    def test_total_sums_fields(self):
+        ops = OpCounter(comparisons=1, relaxations=2, heap_pushes=3,
+                        heap_pops=4, array_reads=5, array_writes=6)
+        assert ops.total == 21
+
+    def test_default_zero(self):
+        assert OpCounter().total == 0

@@ -1,0 +1,136 @@
+"""Tests of the circuit builder: gates, alignment, pipelining."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, run_circuit
+from repro.circuits.runner import run_circuit_waves
+from repro.errors import CircuitError
+
+
+def single_gate_circuit(gate_name, width):
+    b = CircuitBuilder()
+    ins = b.input_bits("x", width)
+    gate = getattr(b, gate_name)
+    out = gate(ins)
+    b.output_bits("out", [out])
+    return b
+
+
+class TestGates:
+    @pytest.mark.parametrize("bits,expect", [(0b000, 0), (0b010, 1), (0b111, 1)])
+    def test_or_gate(self, bits, expect):
+        b = single_gate_circuit("or_gate", 3)
+        assert run_circuit(b, {"x": bits})["out"] == expect
+
+    @pytest.mark.parametrize("bits,expect", [(0b111, 1), (0b110, 0), (0b000, 0)])
+    def test_and_gate(self, bits, expect):
+        b = single_gate_circuit("and_gate", 3)
+        assert run_circuit(b, {"x": bits})["out"] == expect
+
+    @pytest.mark.parametrize("bit,expect", [(0, 1), (1, 0)])
+    def test_not_gate(self, bit, expect):
+        b = CircuitBuilder()
+        (x,) = b.input_bits("x", 1)
+        b.output_bits("out", [b.not_gate(x)])
+        assert run_circuit(b, {"x": bit})["out"] == expect
+
+    @pytest.mark.parametrize("a,c,expect", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_xor_gate(self, a, c, expect):
+        b = CircuitBuilder()
+        (xa,) = b.input_bits("a", 1)
+        (xb,) = b.input_bits("b", 1)
+        b.output_bits("out", [b.xor_gate(xa, xb)])
+        assert run_circuit(b, {"a": a, "b": c})["out"] == expect
+
+    @pytest.mark.parametrize("k,i,expect", [(0, 0, 0), (1, 0, 1), (1, 1, 0), (0, 1, 0)])
+    def test_and_not_gate(self, k, i, expect):
+        b = CircuitBuilder()
+        (keep,) = b.input_bits("k", 1)
+        (inh,) = b.input_bits("i", 1)
+        b.output_bits("out", [b.and_not_gate(keep, inh)])
+        assert run_circuit(b, {"k": k, "i": i})["out"] == expect
+
+    def test_gate_requires_inputs(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            b.gate([], 0.5)
+
+    def test_gate_offset_must_leave_delay(self):
+        b = CircuitBuilder()
+        (x,) = b.input_bits("x", 1)
+        g = b.buffer(x)  # offset 1
+        with pytest.raises(CircuitError):
+            b.gate([(g, 1.0)], 0.5, at_offset=1)
+
+
+class TestAlignment:
+    def test_mixed_depth_inputs_align_automatically(self):
+        # AND of a raw input and a double-buffered input still works
+        b = CircuitBuilder()
+        (x,) = b.input_bits("x", 1)
+        (y,) = b.input_bits("y", 1)
+        deep = b.buffer(b.buffer(y))
+        out = b.and_gate([x, deep])
+        b.output_bits("out", [out])
+        assert run_circuit(b, {"x": 1, "y": 1})["out"] == 1
+        assert run_circuit(b, {"x": 1, "y": 0})["out"] == 0
+
+    def test_align_buffers_only_early_signals(self):
+        b = CircuitBuilder()
+        (x,) = b.input_bits("x", 1)
+        deep = b.buffer(b.buffer(x))
+        shallow = b.buffer(x)
+        aligned = b.align([deep, shallow])
+        assert aligned[0] is deep  # already at the target offset
+        assert aligned[0].offset == aligned[1].offset
+
+    def test_depth_reflects_output_offsets(self):
+        b = CircuitBuilder()
+        (x,) = b.input_bits("x", 1)
+        out = b.buffer(b.buffer(b.buffer(x)))
+        b.output_bits("out", [out])
+        assert b.depth == 3
+
+    def test_duplicate_groups_rejected(self):
+        b = CircuitBuilder()
+        b.input_bits("x", 1)
+        with pytest.raises(CircuitError):
+            b.input_bits("x", 2)
+        out = b.buffer(b.input_groups["x"][0])
+        b.output_bits("o", [out])
+        with pytest.raises(CircuitError):
+            b.output_bits("o", [out])
+
+    def test_size_counts_placed_neurons(self):
+        b = CircuitBuilder()
+        ins = b.input_bits("x", 3)
+        b.or_gate(ins)
+        assert b.size == 4
+
+
+class TestPipelining:
+    def test_consecutive_waves_do_not_interfere(self):
+        # 3-bit OR pipeline fed three different waves on consecutive ticks
+        b = single_gate_circuit("or_gate", 3)
+        waves = [{"x": 0b000}, {"x": 0b010}, {"x": 0b000}, {"x": 0b101}]
+        outs = run_circuit_waves(b, waves)
+        assert [o["out"] for o in outs] == [0, 1, 0, 1]
+
+    def test_pipelined_xor(self):
+        b = CircuitBuilder()
+        (xa,) = b.input_bits("a", 1)
+        (xb,) = b.input_bits("b", 1)
+        b.output_bits("out", [b.xor_gate(xa, xb)])
+        waves = [{"a": 1, "b": 1}, {"a": 1, "b": 0}, {"a": 0, "b": 0}, {"a": 0, "b": 1}]
+        outs = run_circuit_waves(b, waves)
+        assert [o["out"] for o in outs] == [0, 1, 0, 1]
+
+    def test_unknown_input_group_rejected(self):
+        b = single_gate_circuit("or_gate", 2)
+        with pytest.raises(CircuitError):
+            run_circuit(b, {"nope": 1})
+
+    def test_wrong_bit_width_rejected(self):
+        b = single_gate_circuit("or_gate", 2)
+        with pytest.raises(CircuitError):
+            run_circuit(b, {"x": [1, 0, 1]})

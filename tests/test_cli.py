@@ -1,0 +1,109 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import read_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.edges"
+    rc = main(
+        [
+            "generate",
+            "--kind",
+            "gnp",
+            "--n",
+            "20",
+            "--p",
+            "0.25",
+            "--max-length",
+            "6",
+            "--seed",
+            "4",
+            "--out",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_readable_graph(self, graph_file):
+        g = read_edge_list(graph_file)
+        assert g.n == 20
+        assert g.max_length() <= 6
+
+    @pytest.mark.parametrize("kind", ["grid", "road", "path", "complete", "powerlaw"])
+    def test_all_kinds(self, tmp_path, kind):
+        out = tmp_path / f"{kind}.edges"
+        rc = main(["generate", "--kind", kind, "--n", "10", "--rows", "4",
+                   "--cols", "4", "--out", str(out)])
+        assert rc == 0
+        assert read_edge_list(out).n > 0
+
+
+class TestAlgorithms:
+    def test_sssp_pseudo(self, graph_file, capsys):
+        assert main(["sssp", str(graph_file), "--source", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "distances:" in out and "sssp_pseudo" in out
+
+    def test_sssp_poly(self, graph_file, capsys):
+        assert main(["sssp", str(graph_file), "--algorithm", "poly"]) == 0
+        assert "sssp_poly" in capsys.readouterr().out
+
+    def test_sssp_crossbar(self, graph_file, capsys):
+        assert main(["sssp", str(graph_file), "--algorithm", "crossbar"]) == 0
+        assert "crossbar" in capsys.readouterr().out
+
+    def test_sssp_with_target(self, graph_file, capsys):
+        assert main(["sssp", str(graph_file), "--target", "7"]) == 0
+        assert "distance to 7:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["ttl", "poly"])
+    def test_khop(self, graph_file, capsys, algo):
+        assert main(["khop", str(graph_file), "--k", "3",
+                     "--algorithm", algo]) == 0
+        out = capsys.readouterr().out
+        assert "khop" in out
+
+    def test_approx(self, graph_file, capsys):
+        assert main(["approx", str(graph_file), "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon:" in out
+
+    def test_compare(self, graph_file, capsys):
+        assert main(["compare", str(graph_file), "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "SSSP (RAM)" in out and "DISTANCE" in out and "winner" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required_args(self):
+        with pytest.raises(SystemExit):
+            main(["khop", "nofile"])  # --k required
+
+
+class TestInfo:
+    def test_info_prints_stats_and_chips(self, graph_file, capsys):
+        assert main(["info", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "neurons:" in out
+        assert "chips required" in out
+        assert "TrueNorth" in out
+
+
+class TestDimacsFormat:
+    def test_generate_and_solve_dimacs(self, tmp_path, capsys):
+        out = tmp_path / "g.gr"
+        assert main(["generate", "--kind", "gnp", "--n", "15", "--p", "0.3",
+                     "--seed", "2", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.splitlines()[1].startswith("p sp 15")
+        assert main(["sssp", str(out), "--source", "0"]) == 0
+        assert "sssp_pseudo" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Exhaustive tests of the Figure-5A single-gate comparators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import CircuitBuilder, comparator_geq, comparator_gt, run_circuit
+from repro.errors import CircuitError
+
+
+def build(kind, width):
+    b = CircuitBuilder()
+    xs = b.input_bits("x", width)
+    ys = b.input_bits("y", width)
+    fn = comparator_geq if kind == "geq" else comparator_gt
+    b.output_bits("out", [fn(b, xs, ys)])
+    return b
+
+
+class TestExhaustiveWidth3:
+    @pytest.fixture(scope="class")
+    def circuits(self):
+        return {"geq": build("geq", 3), "gt": build("gt", 3)}
+
+    def test_geq_all_pairs(self, circuits):
+        for x in range(8):
+            for y in range(8):
+                got = run_circuit(circuits["geq"], {"x": x, "y": y})["out"]
+                assert got == int(x >= y), (x, y)
+
+    def test_gt_all_pairs(self, circuits):
+        for x in range(8):
+            for y in range(8):
+                got = run_circuit(circuits["gt"], {"x": x, "y": y})["out"]
+                assert got == int(x > y), (x, y)
+
+
+class TestProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_widths(self, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        y = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        assert run_circuit(build("geq", width), {"x": x, "y": y})["out"] == int(x >= y)
+
+    def test_single_gate_per_comparison(self):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", 4)
+        ys = b.input_bits("y", 4)
+        before = b.size
+        comparator_gt(b, xs, ys)
+        assert b.size - before == 1  # depth-1, one neuron
+
+    def test_geq_uses_run_line_bias(self):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", 2)
+        ys = b.input_bits("y", 2)
+        comparator_geq(b, xs, ys)
+        assert "__run__" in b.input_groups
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        xs = b.input_bits("x", 3)
+        ys = b.input_bits("y", 2)
+        with pytest.raises(CircuitError):
+            comparator_geq(b, xs, ys)
+        with pytest.raises(CircuitError):
+            comparator_gt(b, xs, ys)

@@ -1,0 +1,159 @@
+"""Tests of the analysis layer: Table-1 formulas, advantage predicates,
+crossover location, table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ComparisonRow,
+    advantage_conditions_table1,
+    advantage_ratio,
+    conventional_khop_time,
+    conventional_sssp_time,
+    distance_lower_bound_khop,
+    distance_lower_bound_sssp,
+    find_crossover,
+    neuro_approx_khop_time,
+    neuro_khop_poly_time,
+    neuro_khop_pseudo_time,
+    neuro_sssp_poly_time,
+    neuro_sssp_pseudo_time,
+    render_table,
+)
+from repro.analysis.complexity import log2c
+
+
+class TestFormulas:
+    def test_log_clamped(self):
+        assert log2c(0.5) == 1.0
+        assert log2c(8) == 3.0
+
+    def test_conventional(self):
+        assert conventional_sssp_time(8, 100) == 100 + 8 * 3
+        assert conventional_khop_time(5, 100) == 500
+
+    def test_lower_bounds(self):
+        assert distance_lower_bound_sssp(100, 4) == pytest.approx(1000 / 2)
+        assert distance_lower_bound_khop(100, 3, 4) == pytest.approx(1500)
+
+    def test_pseudo_sssp_both_regimes(self):
+        no_dm = neuro_sssp_pseudo_time(50, 200, 20, data_movement=False)
+        dm = neuro_sssp_pseudo_time(50, 200, 20, data_movement=True)
+        assert no_dm == 250
+        assert dm == 20 * 50 + 200
+
+    def test_pseudo_khop_log_factor(self):
+        base = neuro_sssp_pseudo_time(50, 200, 20, data_movement=False)
+        with_k = neuro_khop_pseudo_time(50, 200, 20, 8, data_movement=False)
+        assert with_k == base * 3  # log2(8)
+
+    def test_poly_sssp(self):
+        v = neuro_sssp_poly_time(16, 100, 4, 5, data_movement=False)
+        assert v == (5 + 100) * 6  # log2(64)
+        v_dm = neuro_sssp_poly_time(16, 100, 4, 5, data_movement=True)
+        assert v_dm == (16 * 5 + 100) * 6
+
+    def test_poly_khop(self):
+        v = neuro_khop_poly_time(16, 100, 4, 7, data_movement=False)
+        assert v == (7 + 100) * 6
+
+    def test_approx_formula_monotone_in_k(self):
+        a = neuro_approx_khop_time(64, 500, 8, 4, data_movement=False)
+        b = neuro_approx_khop_time(64, 500, 8, 16, data_movement=False)
+        assert b > a
+
+
+class TestAdvantage:
+    def test_ratio(self):
+        assert advantage_ratio(100, 50) == 2.0
+        assert advantage_ratio(100, 0) == math.inf
+
+    def test_khop_nodm_condition_flips_with_k(self):
+        """log(nU) = o(k): holds for large k, fails for small k."""
+        base = dict(n=1024, m=10**5, U=1, c=1)
+        small_k = advantage_conditions_table1(**base, k=3, L=10)
+        large_k = advantage_conditions_table1(**base, k=64, L=10)
+        assert not small_k["khop_poly_nodm"]
+        assert large_k["khop_poly_nodm"]
+
+    def test_sssp_poly_never_wins_without_dm(self):
+        conds = advantage_conditions_table1(n=100, m=1000, U=10, c=1, alpha=5)
+        assert conds["sssp_poly_nodm"] is False
+
+    def test_pseudo_dm_condition_depends_on_L(self):
+        base = dict(n=100, m=5000, U=4, c=1)
+        short = advantage_conditions_table1(**base, L=10)
+        long = advantage_conditions_table1(**base, L=10**7)
+        assert short["sssp_pseudo_dm"]
+        assert not long["sssp_pseudo_dm"]
+
+    def test_pseudo_nodm_needs_sparse_graph(self):
+        sparse = advantage_conditions_table1(n=10**4, m=2 * 10**4, U=1, c=1, L=100)
+        dense = advantage_conditions_table1(n=100, m=9000, U=1, c=1, L=100)
+        assert sparse["sssp_pseudo_nodm"]
+        assert not dense["sssp_pseudo_nodm"]
+
+    def test_crossover_found(self):
+        conv = lambda k: float(k) * 1000  # km
+        neuro = lambda k: 14_000.0  # m log(nU), constant in k
+        assert find_crossover(conv, neuro, range(1, 100)) == 15
+
+    def test_crossover_absent(self):
+        assert find_crossover(lambda k: 10.0, lambda k: 100.0, range(1, 50)) is None
+
+
+class TestRendering:
+    def test_render_includes_all_rows(self):
+        rows = [
+            ComparisonRow("SSSP", 1000, 500, lower_bound=100,
+                          predicted_winner="neuromorphic"),
+            ComparisonRow("k-hop", 100, 800),
+        ]
+        text = render_table(rows, title="Table 1")
+        assert "Table 1" in text
+        assert "SSSP" in text and "k-hop" in text
+        assert "neuromorphic" in text and "conventional" in text
+
+    def test_measured_winner(self):
+        assert ComparisonRow("x", 10, 5).measured_winner == "neuromorphic"
+        assert ComparisonRow("x", 5, 10).measured_winner == "conventional"
+
+    def test_ratio_field(self):
+        assert ComparisonRow("x", 10, 5).ratio == 2.0
+
+
+class TestNeuronFormulas:
+    def test_pseudo_sssp_neurons(self):
+        from repro.analysis.complexity import neuro_sssp_pseudo_neurons
+
+        assert neuro_sssp_pseudo_neurons(16, 100) == 16
+        assert neuro_sssp_pseudo_neurons(16, 100, with_paths=True) == 16 + 16 * 4
+
+    def test_khop_pseudo_neurons_match_measured_scaling(self):
+        from repro.algorithms import spiking_khop_pseudo
+        from repro.analysis.complexity import neuro_khop_pseudo_neurons
+        from repro.workloads import gnp_graph
+
+        g = gnp_graph(20, 0.3, max_length=4, seed=1)
+        k = 8
+        measured = spiking_khop_pseudo(g, 0, k).cost.neuron_count
+        predicted = neuro_khop_pseudo_neurons(g.m, k)
+        assert 0.5 * predicted <= measured <= 3 * predicted
+
+    def test_poly_neurons(self):
+        from repro.analysis.complexity import neuro_khop_poly_neurons
+
+        assert neuro_khop_poly_neurons(16, 100, 4) == 100 * 6  # log2(64)
+
+    def test_approx_neurons_independent_of_m(self):
+        from repro.analysis.complexity import neuro_approx_khop_neurons
+
+        a = neuro_approx_khop_neurons(64, 4, 8)
+        assert a == neuro_approx_khop_neurons(64, 4, 8)
+        assert a < 64 * 20  # n * polylog
+
+    def test_crossbar_neurons(self):
+        from repro.analysis.complexity import crossbar_neurons
+
+        assert crossbar_neurons(10) == 200

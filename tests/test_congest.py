@@ -1,0 +1,90 @@
+"""Tests of the SNN -> CONGEST reduction (Section 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Network, simulate_dense
+from repro.errors import UnsupportedNetworkError, ValidationError
+from repro.nga.congest import simulate_snn_in_congest
+
+
+def chain(delays, **kw):
+    net = Network()
+    ids = [net.add_neuron(**kw) for _ in range(len(delays) + 1)]
+    for i, d in enumerate(delays):
+        net.add_synapse(ids[i], ids[i + 1], delay=d)
+    return net, ids
+
+
+class TestReduction:
+    def test_one_round_per_tick(self):
+        net, ids = chain([1, 1, 1])
+        trace = simulate_snn_in_congest(net, [ids[0]], rounds=5)
+        assert trace.first_spike.tolist() == [0, 1, 2, 3]
+        assert trace.rounds == 5
+
+    def test_delays_handled_by_receiver_timestamping(self):
+        net, ids = chain([4, 7])
+        trace = simulate_snn_in_congest(net, [ids[0]], rounds=15)
+        assert trace.first_spike.tolist() == [0, 4, 11]
+
+    def test_message_count_is_spikes_times_degree(self):
+        net = Network()
+        hub = net.add_neuron(tau=1.0)
+        leaves = [net.add_neuron() for _ in range(5)]
+        for leaf in leaves:
+            net.add_synapse(hub, leaf, delay=1)
+        trace = simulate_snn_in_congest(net, [hub], rounds=3)
+        assert trace.messages == 5  # one bit per out-link per spike
+
+    def test_single_bit_congestion(self):
+        net, ids = chain([1])
+        trace = simulate_snn_in_congest(net, [ids[0]], rounds=3)
+        assert trace.max_link_bits == 1
+
+    def test_pacemaker_rejected(self):
+        net = Network()
+        net.add_neuron(v_reset=5.0, v_threshold=0.5)
+        with pytest.raises(UnsupportedNetworkError):
+            simulate_snn_in_congest(net, [], rounds=3)
+
+    def test_validation(self):
+        net, ids = chain([1])
+        with pytest.raises(ValidationError):
+            simulate_snn_in_congest(net, [ids[0]], rounds=-1)
+        with pytest.raises(ValidationError):
+            simulate_snn_in_congest(net, [99], rounds=3)
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    net = Network()
+    for _ in range(n):
+        net.add_neuron(
+            v_threshold=draw(st.sampled_from([0.5, 1.5])),
+            tau=draw(st.sampled_from([0.0, 1.0])),
+            one_shot=draw(st.booleans()),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * n))):
+        net.add_synapse(
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            weight=draw(st.sampled_from([-1.0, 1.0])),
+            delay=draw(st.integers(min_value=1, max_value=4)),
+        )
+    stim = [draw(st.integers(min_value=0, max_value=n - 1))]
+    return net, stim
+
+
+@given(random_networks())
+@settings(max_examples=50, deadline=None)
+def test_congest_matches_native_engine(case):
+    """The reduction is exact: same spike trains as the dense engine."""
+    net, stim = case
+    rounds = 25
+    trace = simulate_snn_in_congest(net, stim, rounds=rounds)
+    native = simulate_dense(net, stim, max_steps=rounds, stop_when_quiescent=False)
+    assert trace.first_spike.tolist() == native.first_spike.tolist()
+    assert trace.spike_counts.tolist() == native.spike_counts.tolist()

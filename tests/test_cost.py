@@ -1,0 +1,66 @@
+"""Unit tests of the CostReport accounting type."""
+
+import pytest
+
+from repro.core.cost import CostReport
+
+
+def make(**overrides) -> CostReport:
+    base = dict(
+        algorithm="x",
+        simulated_ticks=100,
+        loading_ticks=40,
+        neuron_count=10,
+        synapse_count=20,
+        spike_count=5,
+    )
+    base.update(overrides)
+    return CostReport(**base)
+
+
+class TestTotalTime:
+    def test_sum_of_parts(self):
+        assert make().total_time == 140
+
+    def test_embedding_factor_multiplies_spiking_only(self):
+        c = make(embedding_factor=7)
+        assert c.total_time == 7 * 100 + 40  # loading stays O(m)
+
+    def test_zero_ticks(self):
+        assert make(simulated_ticks=0).total_time == 40
+
+
+class TestWithEmbedding:
+    def test_charges_n(self):
+        charged = make().with_embedding(16)
+        assert charged.embedding_factor == 16
+        assert charged.total_time == 16 * 100 + 40
+        assert charged.algorithm.endswith("+crossbar")
+
+    def test_composes_multiplicatively(self):
+        twice = make().with_embedding(4).with_embedding(3)
+        assert twice.embedding_factor == 12
+
+    def test_nonpositive_n_clamped(self):
+        assert make().with_embedding(0).embedding_factor == 1
+
+    def test_original_untouched(self):
+        c = make()
+        c.with_embedding(9)
+        assert c.embedding_factor == 1
+
+    def test_extras_copied_not_shared(self):
+        c = make(extras={"a": 1.0})
+        d = c.with_embedding(2)
+        d.extras["a"] = 2.0
+        assert c.extras["a"] == 1.0
+
+
+class TestOptionalFields:
+    def test_round_fields(self):
+        c = make(rounds=5, round_length=7)
+        assert c.rounds == 5 and c.round_length == 7
+
+    def test_message_bits_carried_through_embedding(self):
+        c = make(message_bits=9).with_embedding(3)
+        assert c.message_bits == 9

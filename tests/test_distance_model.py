@@ -1,0 +1,285 @@
+"""Tests of the DISTANCE machine: geometry, register file, algorithms,
+and the Theorem 6.1/6.2 lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.distance_model import (
+    DistanceMachine,
+    GridMemory,
+    bellman_ford_khop_distance,
+    dijkstra_distance,
+    read_input_distance,
+    read_lower_bound_2d,
+    read_lower_bound_3d,
+    bellman_ford_lower_bound,
+    spiral_positions,
+)
+from repro.errors import MachineError, ValidationError
+from repro.workloads import gnp_graph
+from tests.conftest import ref_khop, ref_sssp
+
+
+class TestSpiral:
+    def test_positions_unique(self):
+        pts = spiral_positions(500)
+        assert len(set(pts)) == 500
+
+    def test_starts_at_origin(self):
+        assert spiral_positions(1) == [(0, 0)]
+
+    def test_dense_packing(self):
+        """N points span O(sqrt N) extent — the density the bound assumes."""
+        pts = spiral_positions(441)  # 21x21
+        max_coord = max(max(abs(x), abs(y)) for x, y in pts)
+        assert max_coord <= 11
+
+    def test_3d_positions_unique_and_dense(self):
+        pts = spiral_positions(343, dims=3)  # 7x7x7
+        assert len(set(pts)) == 343
+        max_coord = max(max(abs(c) for c in p) for p in pts)
+        assert max_coord <= 5
+
+    def test_bad_dims(self):
+        with pytest.raises(MachineError):
+            spiral_positions(10, dims=4)
+
+
+class TestGridMemory:
+    def test_block_layout_registers_near_origin(self):
+        mem = GridMemory(4)
+        mem.alloc("a", 100)
+        mem.finalize()
+        for r in mem.register_positions:
+            assert abs(r[0]) + abs(r[1]) <= 2
+
+    def test_scattered_layout_spreads_registers(self):
+        mem = GridMemory(4, layout="scattered")
+        mem.alloc("a", 400)
+        mem.finalize()
+        spread = max(abs(r[0]) + abs(r[1]) for r in mem.register_positions)
+        assert spread > 5
+
+    def test_word_positions_disjoint_from_registers(self):
+        mem = GridMemory(3)
+        mem.alloc("a", 50)
+        mem.finalize()
+        regs = set(mem.register_positions)
+        words = {mem.position_of("a", i) for i in range(50)}
+        assert not regs & words
+
+    def test_alloc_after_finalize_rejected(self):
+        mem = GridMemory(2)
+        mem.finalize()
+        with pytest.raises(MachineError):
+            mem.alloc("late", 5)
+
+    def test_duplicate_alloc_rejected(self):
+        mem = GridMemory(2)
+        mem.alloc("a", 5)
+        with pytest.raises(MachineError):
+            mem.alloc("a", 5)
+
+    def test_bounds_checked(self):
+        mem = GridMemory(2)
+        mem.alloc("a", 5)
+        mem.finalize()
+        with pytest.raises(MachineError):
+            mem.position_of("a", 5)
+
+    def test_bad_layout(self):
+        with pytest.raises(MachineError):
+            GridMemory(2, layout="ring")
+
+    def test_needs_registers(self):
+        with pytest.raises(MachineError):
+            GridMemory(0)
+
+
+class TestMachine:
+    def test_register_hit_is_free(self):
+        mc = DistanceMachine(2)
+        mc.alloc("a", 10)
+        mc.finalize()
+        mc.read("a", 7)
+        cost1 = mc.movement_cost
+        mc.read("a", 7)  # resident: no extra movement
+        assert mc.movement_cost == cost1
+
+    def test_lru_eviction_recharges(self):
+        mc = DistanceMachine(1)  # single register: every new word evicts
+        mc.alloc("a", 10)
+        mc.finalize()
+        mc.read("a", 7)
+        c1 = mc.movement_cost
+        mc.read("a", 3)
+        c2 = mc.movement_cost
+        mc.read("a", 7)  # evicted; pays again
+        assert mc.movement_cost > c2 > c1
+
+    def test_write_charges_register_to_destination(self):
+        mc = DistanceMachine(2)
+        mc.alloc("a", 50)
+        mc.finalize()
+        before = mc.movement_cost
+        mc.write("a", 49, 123)
+        assert mc.movement_cost > before
+        assert mc.read("a", 49) == 123
+
+    def test_binop_computes_and_stores(self):
+        mc = DistanceMachine(4)
+        mc.alloc_from("a", [5])
+        mc.alloc_from("b", [7])
+        mc.alloc("out", 1)
+        mc.finalize()
+        result = mc.binop(lambda x, y: x + y, ("a", 0), ("b", 0), ("out", 0))
+        assert result == 12
+        assert mc.snapshot("out") == [12]
+
+    def test_operate_before_finalize_rejected(self):
+        mc = DistanceMachine(2)
+        mc.alloc("a", 5)
+        with pytest.raises(MachineError):
+            mc.read("a", 0)
+
+    def test_movement_cost_farther_words_cost_more(self):
+        mc = DistanceMachine(1)
+        mc.alloc("a", 1000)
+        mc.finalize()
+        mc.read("a", 0)
+        near = mc.movement_cost
+        mc2 = DistanceMachine(1)
+        mc2.alloc("a", 1000)
+        mc2.finalize()
+        mc2.read("a", 999)
+        far = mc2.movement_cost
+        assert far > near
+
+
+class TestDistanceAlgorithms:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dijkstra_correct(self, seed):
+        g = gnp_graph(15, 0.25, max_length=5, seed=seed)
+        dist, cost = dijkstra_distance(g, 0)
+        assert np.array_equal(dist, ref_sssp(g, 0))
+        assert cost > 0
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_bellman_ford_correct(self, k):
+        g = gnp_graph(12, 0.3, max_length=4, seed=5)
+        dist, cost = bellman_ford_khop_distance(g, 0, k)
+        assert np.array_equal(dist, ref_khop(g, 0, k))
+        assert cost > 0
+
+    def test_dijkstra_target_mode(self, small_graph):
+        dist, _ = dijkstra_distance(small_graph, 0, target=1)
+        assert dist[1] == 2
+
+    def test_measured_read_respects_thm61(self):
+        g = gnp_graph(40, 0.2, max_length=5, seed=2)
+        for c in (1, 4, 9):
+            measured = read_input_distance(g, num_registers=c)
+            words = 2 * g.m + g.n + 1
+            assert measured >= read_lower_bound_2d(words, c)
+
+    def test_measured_bf_respects_thm62(self):
+        g = gnp_graph(25, 0.25, max_length=4, seed=3)
+        for k in (1, 4):
+            _, cost = bellman_ford_khop_distance(g, 0, k, num_registers=4)
+            assert cost >= bellman_ford_lower_bound(g.m, k, 4)
+
+    def test_movement_grows_superlinearly_with_m(self):
+        """The m^{3/2} shape: quadrupling edges should much more than
+        quadruple movement."""
+        costs = {}
+        for n, p in [(20, 0.2), (40, 0.2)]:
+            g = gnp_graph(n, p, max_length=4, seed=7)
+            costs[g.m] = read_input_distance(g, num_registers=2)
+        (m1, c1), (m2, c2) = sorted(costs.items())
+        assert c2 / c1 > (m2 / m1) ** 1.2  # strictly superlinear
+
+    def test_scattered_layout_cheaper_than_block(self):
+        g = gnp_graph(30, 0.3, max_length=4, seed=8)
+        block = read_input_distance(g, num_registers=9, layout="block")
+        scattered = read_input_distance(g, num_registers=9, layout="scattered")
+        assert scattered < block
+
+    def test_3d_cheaper_than_2d(self):
+        g = gnp_graph(30, 0.3, max_length=4, seed=9)
+        d2 = read_input_distance(g, num_registers=4, dims=2)
+        d3 = read_input_distance(g, num_registers=4, dims=3)
+        assert d3 < d2
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            dijkstra_distance(small_graph, 99)
+        with pytest.raises(ValidationError):
+            bellman_ford_khop_distance(small_graph, 0, -1)
+
+
+class TestBoundFormulas:
+    def test_thm61_value(self):
+        assert read_lower_bound_2d(100, 1) == pytest.approx(100 / 2 * 10 / 4)
+
+    def test_thm62_is_k_times_thm61(self):
+        assert bellman_ford_lower_bound(64, 5, 4) == 5 * read_lower_bound_2d(64, 4)
+
+    def test_more_registers_weaken_bound(self):
+        assert read_lower_bound_2d(1000, 16) < read_lower_bound_2d(1000, 1)
+
+    def test_3d_weaker_than_2d(self):
+        assert read_lower_bound_3d(10**6, 1) < read_lower_bound_2d(10**6, 1)
+
+    def test_monotone_in_m(self):
+        values = [read_lower_bound_2d(m, 2) for m in (10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_zero_input(self):
+        assert read_lower_bound_2d(0, 1) == 0
+        assert read_lower_bound_3d(0, 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            read_lower_bound_2d(-1, 1)
+        with pytest.raises(ValidationError):
+            read_lower_bound_2d(10, 0)
+        with pytest.raises(ValidationError):
+            bellman_ford_lower_bound(10, -1, 1)
+
+
+class TestMatvecDistance:
+    def test_correct_product(self):
+        import numpy as np
+
+        from repro.distance_model import matvec_distance
+
+        rng = np.random.default_rng(3)
+        A = rng.integers(-4, 5, size=(7, 7))
+        x = rng.integers(-4, 5, size=7)
+        y, cost = matvec_distance(A, x)
+        assert np.array_equal(y, A @ x)
+        assert cost > 0
+
+    def test_cubic_scaling(self):
+        import numpy as np
+
+        from repro.distance_model import matvec_distance
+
+        rng = np.random.default_rng(4)
+        costs = {}
+        for n in (8, 16):
+            A = rng.integers(1, 5, size=(n, n))
+            x = rng.integers(1, 5, size=n)
+            _, costs[n] = matvec_distance(A, x)
+        # doubling n must cost much more than 4x (the O(n^3) effect)
+        assert costs[16] > 6 * costs[8]
+
+    def test_validation(self):
+        import numpy as np
+
+        from repro.distance_model import matvec_distance
+
+        with pytest.raises(ValidationError):
+            matvec_distance(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValidationError):
+            matvec_distance(np.zeros((3, 3)), np.zeros(2))

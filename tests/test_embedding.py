@@ -1,0 +1,201 @@
+"""Tests of the crossbar H_n and the Section 4.4 embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embedding import Crossbar, CrossbarEdgeType, EmbeddingSession, embed_graph, embedded_sssp
+from repro.embedding.embed import embedding_scale
+from repro.errors import EmbeddingError
+from repro.workloads import WeightedDigraph, complete_graph, gnp_graph
+from tests.conftest import ref_sssp
+
+
+class TestCrossbarStructure:
+    def test_vertex_count(self):
+        assert Crossbar(3).num_vertices == 18  # the Figure-2 H_3
+
+    def test_h3_edge_type_counts(self):
+        xbar = Crossbar(3)
+        counts = {}
+        for _a, _b, t in xbar.structural_edges():
+            counts[t] = counts.get(t, 0) + 1
+        assert counts[CrossbarEdgeType.DIAGONAL] == 3
+        # row edges: n(n-1) total split by side of the diagonal
+        assert counts[CrossbarEdgeType.ROW_RIGHT] + counts[CrossbarEdgeType.ROW_LEFT] == 6
+        assert counts[CrossbarEdgeType.COLUMN_DOWN] + counts[CrossbarEdgeType.COLUMN_UP] == 6
+
+    def test_structural_edge_total_theta_n_squared(self):
+        n = 7
+        xbar = Crossbar(n)
+        total = sum(1 for _ in xbar.structural_edges())
+        assert total == n + 2 * n * (n - 1)
+
+    def test_rows_lead_away_from_diagonal(self):
+        xbar = Crossbar(4)
+        for a, b, t in xbar.structural_edges():
+            if t == CrossbarEdgeType.ROW_RIGHT:
+                i, j = divmod(a - 16, 4)
+                assert j >= i  # moving right happens at/right of the diagonal
+            if t == CrossbarEdgeType.ROW_LEFT:
+                i, j = divmod(a - 16, 4)
+                assert j <= i
+
+    def test_columns_lead_toward_diagonal(self):
+        xbar = Crossbar(4)
+        for a, b, t in xbar.structural_edges():
+            if t == CrossbarEdgeType.COLUMN_DOWN:
+                i, j = divmod(b, 4)
+                assert i <= j  # moving down only above the diagonal
+            if t == CrossbarEdgeType.COLUMN_UP:
+                i, j = divmod(b, 4)
+                assert i >= j
+
+    def test_index_validation(self):
+        xbar = Crossbar(3)
+        with pytest.raises(EmbeddingError):
+            xbar.minus(3, 0)
+        with pytest.raises(EmbeddingError):
+            xbar.plus(0, -1)
+
+    def test_type2_requires_off_diagonal(self):
+        with pytest.raises(EmbeddingError):
+            Crossbar(3).graph_edge_endpoints(1, 1)
+
+    def test_order_validation(self):
+        with pytest.raises(EmbeddingError):
+            Crossbar(0)
+
+
+class TestEmbedding:
+    def test_scale_reaches_2n(self):
+        g = WeightedDigraph(5, [(0, 1, 3)])
+        s = embedding_scale(g)
+        assert 3 * s >= 2 * 5
+
+    def test_detour_identity(self):
+        """1 + |j-i| + (l - 2|i-j| - 1) + |j-i| == l (the paper's check)."""
+        xbar = Crossbar(6)
+        for i in range(6):
+            for j in range(6):
+                if i == j:
+                    continue
+                l = 2 * 6 + 3  # any scaled length >= 2n
+                type2 = l - xbar.type2_path_detour(i, j)
+                assert 1 + abs(j - i) + type2 + abs(j - i) == l
+
+    def test_embeds_only_existing_edges(self):
+        g = WeightedDigraph(4, [(0, 1, 5), (2, 3, 5)])
+        emb = embed_graph(g)
+        assert emb.programmed_edges == 2
+
+    def test_parallel_edges_collapse_to_min(self):
+        g = WeightedDigraph(3, [(0, 1, 9), (0, 1, 4)])
+        emb = embed_graph(g)
+        assert emb.programmed_edges == 1
+        r = embedded_sssp(g, 0, embedded=emb)
+        assert r.dist[1] == 4
+
+    def test_self_loops_skipped(self):
+        g = WeightedDigraph(2, [(0, 0, 3), (0, 1, 3)])
+        emb = embed_graph(g)
+        assert emb.programmed_edges == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sssp_equivalence_random(self, seed):
+        g = gnp_graph(7, 0.35, max_length=5, seed=seed)
+        r = embedded_sssp(g, 0)
+        assert np.array_equal(r.dist, ref_sssp(g, 0))
+
+    def test_sssp_equivalence_complete_graph(self):
+        g = complete_graph(5, max_length=7, seed=9)
+        r = embedded_sssp(g, 1)
+        assert np.array_equal(r.dist, ref_sssp(g, 1))
+
+    def test_target_mode(self, small_graph):
+        r = embedded_sssp(small_graph, 0, target=3)
+        assert r.dist[3] == 6
+
+    def test_embedding_cost_theta_n(self, small_graph):
+        """Crossbar simulated time ~ scale * L with scale >= 2n / wmin."""
+        native = embedded_sssp(small_graph, 0)
+        assert native.cost.extras["embedding_scale"] == embedding_scale(small_graph)
+        L = 8
+        assert native.cost.simulated_ticks == L * embedding_scale(small_graph)
+
+    def test_crossbar_neuron_footprint(self, small_graph):
+        r = embedded_sssp(small_graph, 0)
+        assert r.cost.neuron_count == 2 * small_graph.n**2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmbeddingError):
+            embed_graph(WeightedDigraph(0, []))
+
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10**6),
+        p=st.floats(min_value=0.2, max_value=0.9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_embedding_preserves_sssp_property(self, n, seed, p):
+        g = gnp_graph(n, p, max_length=4, seed=seed)
+        assert np.array_equal(embedded_sssp(g, 0).dist, ref_sssp(g, 0))
+
+
+class TestEmbeddingSession:
+    def test_reprogram_cost_m_per_switch(self):
+        session = EmbeddingSession(n=6)
+        g1 = gnp_graph(6, 0.4, max_length=3, seed=1)
+        g2 = gnp_graph(6, 0.4, max_length=3, seed=2)
+        session.embed(g1)
+        m1 = session.current.programmed_edges
+        assert session.reprogram_ops == m1
+        session.embed(g2)
+        m2 = session.current.programmed_edges
+        # embed g1 (m1) + unembed g1 (m1) + embed g2 (m2)
+        assert session.reprogram_ops == 2 * m1 + m2
+        assert session.history == [m1, m2]
+
+    def test_graph_too_large_rejected(self):
+        session = EmbeddingSession(n=3)
+        with pytest.raises(EmbeddingError):
+            session.embed(gnp_graph(5, 0.5, seed=0))
+
+    def test_unembed_idempotent(self):
+        session = EmbeddingSession(n=4)
+        session.unembed()
+        assert session.reprogram_ops == 0
+
+
+class TestRendering:
+    def test_delay_map_marks_edges_and_diagonal(self):
+        from repro.embedding import embed_graph
+        from repro.embedding.render import type2_delay_map
+
+        g = WeightedDigraph(3, [(0, 1, 6), (2, 0, 6)])
+        emb = embed_graph(g)
+        text = type2_delay_map(emb)
+        lines = text.splitlines()
+        assert "Type-2 delays of H_3" in lines[0]
+        # diagonal dashes, programmed cells numeric, absent cells dots
+        assert lines[2].split()[1] == "-"
+        body = "\n".join(lines[2:])
+        assert "." in body
+        # the programmed delay for (0,1): scale*6 - (2*1+1)
+        expected = emb.scale * 6 - 3
+        assert str(expected) in body
+
+    def test_delay_map_matches_edge_count(self):
+        from repro.embedding import embed_graph
+        from repro.embedding.render import type2_delay_map
+
+        g = gnp_graph(5, 0.5, max_length=4, seed=6)
+        emb = embed_graph(g)
+        text = type2_delay_map(emb)
+        numeric_cells = sum(
+            1
+            for line in text.splitlines()[2:]
+            for cell in line.split()[1:]
+            if cell not in ("-", ".")
+        )
+        assert numeric_cells == emb.programmed_edges

@@ -1,0 +1,52 @@
+"""Codec tests for spike-message encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import bits_from_int, int_from_bits
+from repro.circuits.encoding import bit_width_for
+from repro.errors import CircuitError
+
+
+class TestBits:
+    def test_lsb_first(self):
+        assert bits_from_int(6, 4) == [0, 1, 1, 0]
+
+    def test_zero(self):
+        assert bits_from_int(0, 3) == [0, 0, 0]
+
+    def test_too_wide_value(self):
+        with pytest.raises(CircuitError):
+            bits_from_int(8, 3)
+
+    def test_negative_value(self):
+        with pytest.raises(CircuitError):
+            bits_from_int(-1, 3)
+
+    def test_int_from_bits_accepts_bools(self):
+        assert int_from_bits([True, False, True]) == 5
+
+    def test_int_from_bits_rejects_nonbits(self):
+        with pytest.raises(CircuitError):
+            int_from_bits([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, v):
+        assert int_from_bits(bits_from_int(v, 16)) == v
+
+
+class TestBitWidth:
+    @pytest.mark.parametrize(
+        "value,width", [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)]
+    )
+    def test_widths(self, value, width):
+        assert bit_width_for(value) == width
+
+    def test_negative_rejected(self):
+        with pytest.raises(CircuitError):
+            bit_width_for(-1)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_value_fits_in_width(self, v):
+        w = bit_width_for(v)
+        assert v < (1 << w)

@@ -1,0 +1,265 @@
+"""Behavioral tests of the dense engine against Definitions 1-2."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, StopReason, simulate_dense
+from repro.errors import ValidationError
+
+
+def chain(delays, **neuron_kwargs):
+    """Linear chain of neurons with the given synapse delays."""
+    net = Network()
+    ids = [net.add_neuron(**neuron_kwargs) for _ in range(len(delays) + 1)]
+    for i, d in enumerate(delays):
+        net.add_synapse(ids[i], ids[i + 1], delay=d)
+    return net, ids
+
+
+class TestPropagation:
+    def test_single_hop_delay(self):
+        net, ids = chain([4])
+        r = simulate_dense(net, [ids[0]], max_steps=10)
+        assert r.first_spike.tolist() == [0, 4]
+
+    def test_chain_delays_accumulate(self):
+        net, ids = chain([2, 3, 5])
+        r = simulate_dense(net, [ids[0]], max_steps=20)
+        assert r.first_spike.tolist() == [0, 2, 5, 10]
+
+    def test_subthreshold_input_accumulates_with_no_decay(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=1.5, tau=0.0)
+        net.add_synapse(a, b, weight=1.0, delay=1)
+        net.add_synapse(a, b, weight=1.0, delay=3)
+        # two unit inputs at ticks 1 and 3 integrate to 2 > 1.5
+        r = simulate_dense(net, [a], max_steps=10)
+        assert r.first_spike[b] == 3
+
+    def test_decay_tau_one_forgets_between_ticks(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=1.5, tau=1.0)
+        net.add_synapse(a, b, weight=1.0, delay=1)
+        net.add_synapse(a, b, weight=1.0, delay=3)
+        r = simulate_dense(net, [a], max_steps=10)
+        assert r.first_spike[b] == -1  # threshold gate never sees both
+
+    def test_fractional_decay(self):
+        # v after input 1.0 decays by half each tick; a second input of 1.0
+        # arriving 1 tick later reaches 1.5, crossing a 1.4 threshold
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=1.4, tau=0.5)
+        net.add_synapse(a, b, weight=1.0, delay=1)
+        net.add_synapse(a, b, weight=1.0, delay=2)
+        r = simulate_dense(net, [a], max_steps=10)
+        assert r.first_spike[b] == 2
+
+    def test_threshold_strictly_greater(self):
+        net = Network()
+        a = net.add_neuron()
+        b = net.add_neuron(v_threshold=1.0)  # weight-1 input == threshold
+        net.add_synapse(a, b, weight=1.0, delay=1)
+        r = simulate_dense(net, [a], max_steps=5)
+        assert r.first_spike[b] == -1
+
+    def test_voltage_resets_after_fire(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=0.5, tau=0.0)
+        net.add_synapse(a, b, weight=10.0, delay=1)
+        r = simulate_dense(net, [a], max_steps=5, probe_voltages=[b])
+        assert r.first_spike[b] == 1
+        assert r.voltages[b][1] == 0.0  # reset, not 10
+
+    def test_inhibition_blocks_firing(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=0.5)
+        net.add_synapse(a, b, weight=1.0, delay=2)
+        net.add_synapse(a, b, weight=-1.0, delay=2)
+        r = simulate_dense(net, [a], max_steps=6)
+        assert r.first_spike[b] == -1
+
+    def test_simultaneous_deliveries_sum(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(tau=1.0)
+        c = net.add_neuron(v_threshold=1.5)
+        net.add_synapse(a, c, weight=1.0, delay=2)
+        net.add_synapse(b, c, weight=1.0, delay=2)
+        r = simulate_dense(net, [a, b], max_steps=5)
+        assert r.first_spike[c] == 2
+
+    def test_self_loop_latch_fires_forever(self):
+        net = Network()
+        m = net.add_neuron(tau=1.0)
+        net.add_synapse(m, m, weight=1.0, delay=1)
+        r = simulate_dense(net, [m], max_steps=10, stop_when_quiescent=False)
+        assert r.spike_counts[m] == 11  # ticks 0..10
+
+    def test_one_shot_suppresses_refires(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(one_shot=True)
+        net.add_synapse(a, b, weight=1.0, delay=1)
+        net.add_synapse(a, b, weight=1.0, delay=4)
+        r = simulate_dense(net, [a], max_steps=10)
+        assert r.spike_counts[b] == 1
+        assert r.first_spike[b] == 1
+
+    def test_pacemaker_fires_every_tick(self):
+        net = Network()
+        p = net.add_neuron(v_reset=1.0, v_threshold=0.5, tau=1.0)
+        r = simulate_dense(net, None, max_steps=5, stop_when_quiescent=False)
+        assert r.spike_counts[p] == 5  # fires ticks 1..5 (v(0) not compared)
+
+
+class TestStimulus:
+    def test_multi_wave_stimulus(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(tau=1.0)
+        net.add_synapse(a, b, delay=1)
+        r = simulate_dense(net, {0: [a], 5: [a]}, max_steps=10, record_spikes=True)
+        assert r.spike_counts[a] == 2
+        assert sorted(t for t, ids in r.spike_events.items() if b in ids.tolist()) == [1, 6]
+
+    def test_stimulus_out_of_range(self):
+        net = Network()
+        net.add_neuron()
+        with pytest.raises(ValidationError):
+            simulate_dense(net, [5], max_steps=3)
+
+    def test_negative_stimulus_tick(self):
+        net = Network()
+        net.add_neuron()
+        with pytest.raises(ValidationError):
+            simulate_dense(net, {-1: [0]}, max_steps=3)
+
+    def test_induced_spike_overrides_one_shot(self):
+        # induced (external) spikes fire unconditionally, even re-fires
+        net = Network()
+        a = net.add_neuron(one_shot=True, tau=1.0)
+        r = simulate_dense(net, {0: [a], 3: [a]}, max_steps=6)
+        assert r.spike_counts[a] == 2
+
+
+class TestStops:
+    def test_terminal_stop(self):
+        net, ids = chain([3, 3, 3])
+        net.set_terminal(ids[2])
+        r = simulate_dense(net, [ids[0]], max_steps=50)
+        assert r.stop_reason is StopReason.TERMINAL
+        assert r.final_tick == 6
+        assert r.first_spike[ids[3]] == -1  # never reached
+
+    def test_terminal_override_param(self):
+        net, ids = chain([3, 3, 3])
+        r = simulate_dense(net, [ids[0]], max_steps=50, terminal=ids[1])
+        assert r.stop_reason is StopReason.TERMINAL
+        assert r.final_tick == 3
+
+    def test_terminal_in_stimulus(self):
+        net, ids = chain([2])
+        r = simulate_dense(net, [ids[0]], max_steps=10, terminal=ids[0])
+        assert r.stop_reason is StopReason.TERMINAL
+        assert r.final_tick == 0
+
+    def test_watch_set_stop(self):
+        net, ids = chain([2, 2, 2])
+        r = simulate_dense(net, [ids[0]], max_steps=50, watch=ids[:3])
+        assert r.stop_reason is StopReason.WATCH_SET
+        assert r.final_tick == 4
+
+    def test_quiescent_stop(self):
+        net, ids = chain([2, 2])
+        r = simulate_dense(net, [ids[0]], max_steps=100)
+        assert r.stop_reason is StopReason.QUIESCENT
+        assert r.final_tick <= 6
+
+    def test_max_steps_stop(self):
+        net, ids = chain([10])
+        r = simulate_dense(net, [ids[0]], max_steps=4)
+        assert r.stop_reason is StopReason.MAX_STEPS
+        assert r.first_spike[ids[1]] == -1
+
+    def test_negative_max_steps(self):
+        net = Network()
+        net.add_neuron()
+        with pytest.raises(ValidationError):
+            simulate_dense(net, None, max_steps=-1)
+
+
+class TestRecording:
+    def test_record_spikes_full_history(self):
+        net, ids = chain([1, 2])
+        r = simulate_dense(net, [ids[0]], max_steps=10, record_spikes=True)
+        assert r.spike_events[0].tolist() == [ids[0]]
+        assert r.spike_events[1].tolist() == [ids[1]]
+        assert r.spike_events[3].tolist() == [ids[2]]
+
+    def test_spike_times_requires_recording(self):
+        net, ids = chain([1])
+        r = simulate_dense(net, [ids[0]], max_steps=5)
+        with pytest.raises(ValueError):
+            r.spike_times(ids[0])
+
+    def test_voltage_probe_trace(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=5.0, tau=0.0)
+        net.add_synapse(a, b, weight=2.0, delay=1)
+        r = simulate_dense(net, [a], max_steps=3, probe_voltages=[b],
+                           stop_when_quiescent=False)
+        assert r.voltages[b].tolist() == [0.0, 2.0, 2.0, 2.0]
+
+    def test_total_spikes(self):
+        net, ids = chain([1, 1, 1])
+        r = simulate_dense(net, [ids[0]], max_steps=10)
+        assert r.total_spikes == 4
+
+
+class TestDelayRingBuffer:
+    """Stress the circular delivery buffer around its wrap boundary."""
+
+    def test_max_delay_boundary(self):
+        # delays D and 1 together: slot (t + D) % (D+1) must not alias
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(tau=1.0)
+        c = net.add_neuron(tau=1.0)
+        D = 7
+        net.add_synapse(a, b, delay=D)
+        net.add_synapse(a, c, delay=1)
+        r = simulate_dense(net, [a], max_steps=20)
+        assert r.first_spike[b] == D
+        assert r.first_spike[c] == 1
+
+    def test_repeated_wraps(self):
+        # a latch drives a delay-D synapse every tick: the target must fire
+        # every tick from D on, proving slots are cleared after consumption
+        net = Network()
+        m = net.add_neuron(tau=1.0)
+        t = net.add_neuron(tau=1.0)
+        net.add_synapse(m, m, delay=1)
+        D = 5
+        net.add_synapse(m, t, delay=D)
+        horizon = 4 * D
+        r = simulate_dense(net, [m], max_steps=horizon,
+                           stop_when_quiescent=False)
+        assert r.first_spike[t] == D
+        assert r.spike_counts[t] == horizon - D + 1
+
+    def test_same_tick_deliveries_from_different_delays(self):
+        # spikes at t=0 (delay 6) and t=3 (delay 3) both land at t=6
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(tau=1.0)
+        c = net.add_neuron(v_threshold=1.5, tau=1.0)
+        net.add_synapse(a, c, weight=1.0, delay=6)
+        net.add_synapse(b, c, weight=1.0, delay=3)
+        r = simulate_dense(net, {0: [a], 3: [b]}, max_steps=10)
+        assert r.first_spike[c] == 6

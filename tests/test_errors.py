@@ -1,0 +1,39 @@
+"""Tests of the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in (
+        "ValidationError",
+        "SimulationError",
+        "UnsupportedNetworkError",
+        "CircuitError",
+        "GraphError",
+        "EmbeddingError",
+        "MachineError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError), name
+
+
+def test_value_like_errors_are_value_errors():
+    for name in ("ValidationError", "CircuitError", "GraphError", "EmbeddingError"):
+        assert issubclass(getattr(errors, name), ValueError), name
+
+
+def test_runtime_like_errors_are_runtime_errors():
+    for name in ("SimulationError", "MachineError"):
+        assert issubclass(getattr(errors, name), RuntimeError), name
+
+
+def test_unsupported_network_is_simulation_error():
+    assert issubclass(errors.UnsupportedNetworkError, errors.SimulationError)
+
+
+def test_catching_repro_error_covers_library_failures():
+    from repro.workloads import WeightedDigraph
+
+    with pytest.raises(errors.ReproError):
+        WeightedDigraph(2, [(0, 1, -5)])

@@ -1,0 +1,133 @@
+"""Tests of fault injection and algorithm robustness under faults."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, simulate
+from repro.core.faults import with_dead_neurons, with_synapse_dropout, with_weight_noise
+from repro.errors import ValidationError
+from repro.workloads import gnp_graph
+
+
+def sssp_network(graph):
+    net = Network()
+    ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(graph.n)]
+    for u, v, w in graph.edges():
+        if u != v:
+            net.add_synapse(ids[u], ids[v], delay=int(w))
+    return net, ids
+
+
+class TestDeadNeurons:
+    def test_dead_neuron_never_fires(self):
+        g = gnp_graph(8, 0.5, max_length=3, seed=1, ensure_source_reaches=True)
+        net, ids = sssp_network(g)
+        faulty = with_dead_neurons(net, [ids[3]])
+        r = simulate(faulty, [ids[0]], engine="event", max_steps=200)
+        assert r.first_spike[ids[3]] == -1
+
+    def test_cut_vertex_disconnects(self):
+        # 0 -> 1 -> 2: killing 1 makes 2 unreachable
+        from repro.workloads import path_graph
+
+        g = path_graph(3, max_length=2, seed=0)
+        net, ids = sssp_network(g)
+        faulty = with_dead_neurons(net, [ids[1]])
+        r = simulate(faulty, [ids[0]], engine="event", max_steps=50)
+        assert r.first_spike[ids[2]] == -1
+
+    def test_distances_never_shorten_under_faults(self):
+        g = gnp_graph(10, 0.4, max_length=4, seed=2, ensure_source_reaches=True)
+        net, ids = sssp_network(g)
+        base = simulate(net, [ids[0]], engine="event", max_steps=200)
+        faulty = with_dead_neurons(net, [ids[5]])
+        r = simulate(faulty, [ids[0]], engine="event", max_steps=200)
+        for v in range(g.n):
+            if r.first_spike[ids[v]] >= 0:
+                assert r.first_spike[ids[v]] >= base.first_spike[ids[v]]
+
+    def test_ids_and_names_preserved(self):
+        g = gnp_graph(6, 0.5, max_length=3, seed=3)
+        net, ids = sssp_network(g)
+        faulty = with_dead_neurons(net, [2])
+        assert faulty.n_neurons == net.n_neurons
+        assert faulty.name_of(4) == net.name_of(4)
+
+    def test_out_of_range_rejected(self):
+        net = Network()
+        net.add_neuron()
+        with pytest.raises(ValidationError):
+            with_dead_neurons(net, [7])
+
+
+class TestDropout:
+    def test_p_zero_identity(self):
+        g = gnp_graph(8, 0.4, max_length=3, seed=4)
+        net, _ = sssp_network(g)
+        same = with_synapse_dropout(net, 0.0, seed=1)
+        assert same.n_synapses == net.n_synapses
+
+    def test_p_one_removes_everything(self):
+        g = gnp_graph(8, 0.4, max_length=3, seed=4)
+        net, _ = sssp_network(g)
+        none = with_synapse_dropout(net, 1.0, seed=1)
+        assert none.n_synapses == 0
+
+    def test_seeded_reproducible(self):
+        g = gnp_graph(10, 0.5, max_length=3, seed=5)
+        net, _ = sssp_network(g)
+        a = with_synapse_dropout(net, 0.4, seed=9)
+        b = with_synapse_dropout(net, 0.4, seed=9)
+        assert a.n_synapses == b.n_synapses
+
+    def test_invalid_p(self):
+        net = Network()
+        with pytest.raises(ValidationError):
+            with_synapse_dropout(net, 1.5)
+
+    def test_degradation_monotone_on_average(self):
+        """More dropout -> fewer vertices reached (averaged over seeds)."""
+        g = gnp_graph(15, 0.25, max_length=3, seed=6, ensure_source_reaches=True)
+        net, ids = sssp_network(g)
+
+        def reached(p):
+            total = 0
+            for s in range(5):
+                faulty = with_synapse_dropout(net, p, seed=s)
+                r = simulate(faulty, [ids[0]], engine="event", max_steps=300)
+                total += int((r.first_spike >= 0).sum())
+            return total
+
+        assert reached(0.0) >= reached(0.3) >= reached(0.8)
+
+
+class TestWeightNoise:
+    def test_topology_preserved(self):
+        g = gnp_graph(8, 0.4, max_length=3, seed=7)
+        net, _ = sssp_network(g)
+        noisy = with_weight_noise(net, 0.1, seed=2)
+        assert noisy.n_synapses == net.n_synapses
+
+    def test_zero_sigma_identity_weights(self):
+        g = gnp_graph(6, 0.4, max_length=3, seed=8)
+        net, _ = sssp_network(g)
+        noisy = with_weight_noise(net, 0.0, seed=2)
+        a = net.compile()
+        b = noisy.compile()
+        assert np.allclose(a.syn_weight, b.syn_weight)
+
+    def test_sssp_tolerates_small_excitatory_noise(self):
+        """Unit weights against threshold 0.5 survive +-20% jitter: the
+        spiking SSSP's answers do not change (a robustness property of the
+        delay-encoded design — information lives in timing, not weights)."""
+        g = gnp_graph(10, 0.4, max_length=4, seed=9, ensure_source_reaches=True)
+        net, ids = sssp_network(g)
+        base = simulate(net, [ids[0]], engine="event", max_steps=300)
+        noisy = with_weight_noise(net, 0.05, seed=3)
+        r = simulate(noisy, [ids[0]], engine="event", max_steps=300)
+        assert np.array_equal(base.first_spike, r.first_spike)
+
+    def test_negative_sigma_rejected(self):
+        net = Network()
+        with pytest.raises(ValidationError):
+            with_weight_noise(net, -0.1)

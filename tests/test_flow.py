@@ -1,0 +1,177 @@
+"""Tests of the tidal-flow max-flow module (the Conclusions' future-work
+target) against networkx and the Edmonds–Karp baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.flow import edmonds_karp, tidal_flow
+from repro.errors import GraphError, ValidationError
+from repro.workloads import WeightedDigraph, gnp_graph, layered_dag
+
+
+def nx_max_flow(g, s, t):
+    import networkx as nx
+
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(g.n))
+    for u, v, c in g.edges():
+        if nxg.has_edge(u, v):
+            nxg[u][v]["capacity"] += c
+        else:
+            nxg.add_edge(u, v, capacity=c)
+    value, _ = nx.maximum_flow(nxg, s, t)
+    return value
+
+
+def check_valid_flow(g, result, s, t):
+    """Capacity and conservation checks for the reported edge flows."""
+    flow = result.edge_flow
+    assert (flow >= 0).all()
+    assert (flow <= g.lengths).all()
+    balance = np.zeros(g.n, dtype=np.int64)
+    for i in range(g.m):
+        balance[g.tails[i]] -= flow[i]
+        balance[g.heads[i]] += flow[i]
+    assert balance[s] == -result.flow_value
+    assert balance[t] == result.flow_value
+    inner = np.delete(balance, [s, t])
+    assert (inner == 0).all()
+
+
+DIAMOND = WeightedDigraph(
+    4, [(0, 1, 3), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)]
+)
+
+
+class TestTidalFlow:
+    def test_diamond_value(self):
+        r = tidal_flow(DIAMOND, 0, 3)
+        assert r.flow_value == 5
+        check_valid_flow(DIAMOND, r, 0, 3)
+
+    def test_single_edge(self):
+        g = WeightedDigraph(2, [(0, 1, 7)])
+        assert tidal_flow(g, 0, 1).flow_value == 7
+
+    def test_disconnected_sink(self):
+        g = WeightedDigraph(3, [(0, 1, 5)])
+        r = tidal_flow(g, 0, 2)
+        assert r.flow_value == 0
+        assert r.iterations == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_random(self, seed):
+        g = gnp_graph(12, 0.3, max_length=9, seed=seed)
+        want = nx_max_flow(g, 0, g.n - 1)
+        r = tidal_flow(g, 0, g.n - 1)
+        assert r.flow_value == want, seed
+        check_valid_flow(g, r, 0, g.n - 1)
+
+    def test_matches_edmonds_karp_on_dag(self):
+        g = layered_dag(4, 3, max_length=6, seed=2, density=0.8)
+        sink = g.n - 1
+        assert tidal_flow(g, 0, sink).flow_value == edmonds_karp(g, 0, sink).flow_value
+
+    def test_parallel_edges(self):
+        g = WeightedDigraph(2, [(0, 1, 3), (0, 1, 4)])
+        assert tidal_flow(g, 0, 1).flow_value == 7
+
+    def test_backflow_cancellation_needed(self):
+        # classic case where a naive greedy needs the residual back-arc
+        g = WeightedDigraph(
+            4, [(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]
+        )
+        assert tidal_flow(g, 0, 3).flow_value == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            tidal_flow(DIAMOND, 0, 0)
+        with pytest.raises(ValidationError):
+            tidal_flow(DIAMOND, 0, 9)
+        with pytest.raises(ValidationError):
+            tidal_flow(DIAMOND, 0, 3, levels="psychic")
+        loopy = WeightedDigraph(2, [(0, 0, 1), (0, 1, 1)])
+        with pytest.raises(GraphError):
+            tidal_flow(loopy, 0, 1)
+
+
+class TestSpikingLevels:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_spiking_oracle_same_flow(self, seed):
+        g = gnp_graph(10, 0.35, max_length=5, seed=100 + seed)
+        bfs = tidal_flow(g, 0, g.n - 1, levels="bfs")
+        spk = tidal_flow(g, 0, g.n - 1, levels="spiking")
+        assert bfs.flow_value == spk.flow_value
+        check_valid_flow(g, spk, 0, g.n - 1)
+
+    def test_spiking_cost_accumulates_per_sweep(self):
+        g = gnp_graph(10, 0.4, max_length=5, seed=3)
+        r = tidal_flow(g, 0, g.n - 1, levels="spiking")
+        assert r.spiking_cost is not None
+        # one level sweep per iteration plus the final failed sweep
+        assert r.spiking_cost.extras["level_sweeps"] == r.iterations + 1
+        assert r.spiking_cost.spike_count > 0
+
+    def test_bfs_oracle_reports_no_spiking_cost(self):
+        r = tidal_flow(DIAMOND, 0, 3, levels="bfs")
+        assert r.spiking_cost is None
+
+
+class TestEdmondsKarp:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(11, 0.3, max_length=8, seed=200 + seed)
+        want = nx_max_flow(g, 0, g.n - 1)
+        r = edmonds_karp(g, 0, g.n - 1)
+        assert r.flow_value == want
+        check_valid_flow(g, r, 0, g.n - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            edmonds_karp(DIAMOND, 2, 2)
+
+
+class TestMaxFlowMinCut:
+    """Property test: the value of the computed flow equals the capacity of
+    the cut induced by the final residual reachability — max-flow/min-cut
+    certifies optimality without an external oracle."""
+
+    @pytest.mark.parametrize("algo", ["tidal", "ek"])
+    def test_mincut_certificate(self, algo):
+        from collections import deque
+
+        for seed in range(10):
+            g = gnp_graph(10, 0.35, max_length=7, seed=300 + seed)
+            s, t = 0, g.n - 1
+            r = (tidal_flow if algo == "tidal" else edmonds_karp)(g, s, t)
+            # residual capacities from the reported flow
+            res = {}
+            for i in range(g.m):
+                u, v = int(g.tails[i]), int(g.heads[i])
+                res[(u, v)] = res.get((u, v), 0) + int(g.lengths[i] - r.edge_flow[i])
+                res[(v, u)] = res.get((v, u), 0) + int(r.edge_flow[i])
+            # BFS in the residual graph from s
+            seen = {s}
+            queue = deque([s])
+            while queue:
+                u = queue.popleft()
+                for (a, b), c in res.items():
+                    if a == u and c > 0 and b not in seen:
+                        seen.add(b)
+                        queue.append(b)
+            assert t not in seen  # the flow saturates some s-t cut
+            cut_capacity = sum(
+                int(g.lengths[i])
+                for i in range(g.m)
+                if int(g.tails[i]) in seen and int(g.heads[i]) not in seen
+            )
+            assert cut_capacity == r.flow_value, (algo, seed)
+
+
+class TestBottleneckWorkload:
+    def test_spiking_levels_on_bottleneck_network(self):
+        from repro.workloads import bottleneck_flow_network
+
+        g = bottleneck_flow_network(3, 4, max_capacity=8, bottleneck=3, seed=1)
+        r = tidal_flow(g, 0, g.n - 1, levels="spiking")
+        assert r.flow_value == 4 * 3

@@ -1,0 +1,124 @@
+"""Integration tests: the fully compiled Section 4.1/4.2 gate-level SNNs.
+
+Small graphs only — these networks contain the complete per-vertex max/min
+and adder circuitry and are executed tick by tick on the dense LIF engine.
+Agreement with the reference Bellman–Ford is exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    compile_khop_poly_gate_level,
+    compile_khop_pseudo_gate_level,
+)
+from repro.algorithms.khop_pseudo import run_khop_gate_level
+from repro.algorithms.khop_poly import run_khop_poly_gate_level
+from repro.errors import ValidationError
+from repro.workloads import WeightedDigraph, gnp_graph, path_graph
+from tests.conftest import ref_khop
+
+
+class TestTTLGateLevel:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_random_graphs(self, seed, k):
+        g = gnp_graph(5, 0.4, max_length=3, seed=200 + seed, ensure_source_reaches=True)
+        compiled = compile_khop_pseudo_gate_level(g, 0, k)
+        r = run_khop_gate_level(compiled)
+        assert np.array_equal(r.dist, ref_khop(g, 0, k)), (seed, k)
+
+    @pytest.mark.parametrize("style", ["wired", "brute"])
+    def test_both_max_styles(self, style):
+        g = gnp_graph(4, 0.5, max_length=2, seed=33, ensure_source_reaches=True)
+        compiled = compile_khop_pseudo_gate_level(g, 0, 2, style=style)
+        r = run_khop_gate_level(compiled)
+        assert np.array_equal(r.dist, ref_khop(g, 0, 2))
+
+    def test_path_graph_hop_budget(self):
+        g = path_graph(5, max_length=2, seed=1)
+        compiled = compile_khop_pseudo_gate_level(g, 0, 2)
+        r = run_khop_gate_level(compiled)
+        expect = ref_khop(g, 0, 2)
+        assert np.array_equal(r.dist, expect)
+        assert (r.dist[3:] == -1).all()
+
+    def test_hop_vs_length_tradeoff(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1), (0, 2, 3)])
+        r1 = run_khop_gate_level(compile_khop_pseudo_gate_level(g, 0, 1))
+        r2 = run_khop_gate_level(compile_khop_pseudo_gate_level(g, 0, 2))
+        assert r1.dist[2] == 3
+        assert r2.dist[2] == 2
+
+    def test_edge_delays_hide_circuit_depth(self):
+        g = gnp_graph(4, 0.5, max_length=3, seed=5, ensure_source_reaches=True)
+        compiled = compile_khop_pseudo_gate_level(g, 0, 3)
+        assert compiled.scale > max(compiled.node_depth.values())
+
+    def test_resource_accounting(self):
+        g = gnp_graph(4, 0.5, max_length=2, seed=6, ensure_source_reaches=True)
+        compiled = compile_khop_pseudo_gate_level(g, 0, 3)
+        r = run_khop_gate_level(compiled)
+        assert r.cost.neuron_count == compiled.net.n_neurons
+        assert r.cost.spike_count > 0
+        assert r.cost.message_bits == 2  # TTL values 0..2
+
+    def test_requires_positive_k(self):
+        g = path_graph(3, seed=0)
+        with pytest.raises(ValidationError):
+            compile_khop_pseudo_gate_level(g, 0, 0)
+
+
+class TestPolyGateLevel:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_random_graphs(self, seed, k):
+        g = gnp_graph(5, 0.4, max_length=3, seed=300 + seed, ensure_source_reaches=True)
+        compiled = compile_khop_poly_gate_level(g, 0, k)
+        r = run_khop_poly_gate_level(compiled)
+        assert np.array_equal(r.dist, ref_khop(g, 0, k)), (seed, k)
+
+    @pytest.mark.parametrize("style", ["wired", "brute"])
+    def test_both_min_styles(self, style):
+        g = gnp_graph(4, 0.5, max_length=2, seed=44, ensure_source_reaches=True)
+        compiled = compile_khop_poly_gate_level(g, 0, 2, style=style)
+        r = run_khop_poly_gate_level(compiled)
+        assert np.array_equal(r.dist, ref_khop(g, 0, 2))
+
+    def test_outputs_fire_on_round_boundaries(self):
+        g = path_graph(4, max_length=2, seed=3)
+        compiled = compile_khop_poly_gate_level(g, 0, 3)
+        r = run_khop_poly_gate_level(compiled)
+        assert r.sim is not None and r.sim.spike_events is not None
+        boundary_ticks = {r_ * compiled.x for r_ in range(1, compiled.k + 1)}
+        valid_ids = {sig.nid for sig in compiled.out_valid.values()}
+        for t, ids in r.sim.spike_events.items():
+            fired_valids = valid_ids & set(ids.tolist())
+            if fired_valids:
+                assert t in boundary_ticks, f"valid fired off-boundary at {t}"
+
+    def test_cycle_graph(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        compiled = compile_khop_poly_gate_level(g, 0, 3)
+        r = run_khop_poly_gate_level(compiled)
+        assert np.array_equal(r.dist, ref_khop(g, 0, 3))
+
+    def test_source_with_in_edges_relays(self):
+        # source sits on a cycle; messages may route through it
+        g = WeightedDigraph(3, [(0, 1, 2), (1, 0, 2), (1, 2, 2), (0, 2, 9)])
+        compiled = compile_khop_poly_gate_level(g, 0, 3)
+        r = run_khop_poly_gate_level(compiled)
+        assert np.array_equal(r.dist, ref_khop(g, 0, 3))
+
+    def test_round_cost_accounting(self):
+        g = path_graph(4, max_length=2, seed=7)
+        compiled = compile_khop_poly_gate_level(g, 0, 2)
+        r = run_khop_poly_gate_level(compiled)
+        assert r.cost.rounds == 2
+        assert r.cost.round_length == compiled.x
+        assert r.cost.simulated_ticks == 2 * compiled.x
+
+    def test_requires_positive_k(self):
+        g = path_graph(3, seed=0)
+        with pytest.raises(ValidationError):
+            compile_khop_poly_gate_level(g, 0, 0)

@@ -1,0 +1,128 @@
+"""Tests of the Figure-1 gadgets (delay simulation, latch, one-shot)."""
+
+import pytest
+
+from repro.circuits import build_delay_gadget, build_latch, build_one_shot_gadget
+from repro.core import Network, simulate
+from repro.errors import ValidationError
+
+
+class TestDelayGadget:
+    @pytest.mark.parametrize("d", [2, 3, 5, 10, 31])
+    def test_exit_fires_exactly_at_entry_plus_d(self, d):
+        net = Network()
+        g = build_delay_gadget(net, d)
+        r = simulate(net, [g.entry], engine="dense", max_steps=3 * d + 5,
+                     record_spikes=True)
+        assert r.first_spike[g.exit] == d
+        assert r.spike_counts[g.exit] == 1
+
+    def test_generator_stops_after_inhibition(self, ):
+        net = Network()
+        g = build_delay_gadget(net, 4)
+        r = simulate(net, [g.entry], engine="dense", max_steps=30)
+        # generator fires from the stimulus tick until the stop signal: d+1 spikes
+        assert r.spike_counts[g.entry] == 5
+
+    def test_network_goes_quiescent(self):
+        net = Network()
+        g = build_delay_gadget(net, 6)
+        r = simulate(net, [g.entry], engine="dense", max_steps=100)
+        assert r.final_tick < 100  # quiescent stop, no runaway loop
+
+    def test_d_below_two_rejected(self):
+        net = Network()
+        with pytest.raises(ValidationError):
+            build_delay_gadget(net, 1)
+
+    def test_uses_exactly_two_neurons(self):
+        net = Network()
+        build_delay_gadget(net, 9)
+        assert net.n_neurons == 2  # the Figure-1A promise
+
+
+class TestLatch:
+    def test_recall_after_set(self):
+        net = Network()
+        latch = build_latch(net)
+        r = simulate(net, {0: [latch.set_input], 8: [latch.recall]},
+                     engine="dense", max_steps=20, stop_when_quiescent=False)
+        assert r.first_spike[latch.output] == 9
+
+    def test_recall_without_set_silent(self):
+        net = Network()
+        latch = build_latch(net)
+        r = simulate(net, {8: [latch.recall]}, engine="dense", max_steps=20,
+                     stop_when_quiescent=False)
+        assert r.first_spike[latch.output] == -1
+
+    def test_memory_fires_indefinitely(self):
+        net = Network()
+        latch = build_latch(net)
+        r = simulate(net, [latch.set_input], engine="dense", max_steps=50,
+                     stop_when_quiescent=False)
+        assert r.spike_counts[latch.memory] == 50  # every tick from 1 on
+
+    def test_multiple_recalls_without_reset(self):
+        net = Network()
+        latch = build_latch(net)
+        r = simulate(net, {0: [latch.set_input], 5: [latch.recall], 12: [latch.recall]},
+                     engine="dense", max_steps=20, stop_when_quiescent=False,
+                     record_spikes=True)
+        outs = sorted(t for t, ids in r.spike_events.items()
+                      if latch.output in ids.tolist())
+        assert outs == [6, 13]
+
+    def test_reset_on_recall_clears_memory(self):
+        net = Network()
+        latch = build_latch(net, reset_on_recall=True)
+        r = simulate(net, {0: [latch.set_input], 5: [latch.recall], 12: [latch.recall]},
+                     engine="dense", max_steps=25, stop_when_quiescent=False,
+                     record_spikes=True)
+        outs = sorted(t for t, ids in r.spike_events.items()
+                      if latch.output in ids.tolist())
+        assert outs == [6]  # second recall finds the latch cleared
+
+    def test_set_again_after_reset(self):
+        net = Network()
+        latch = build_latch(net, reset_on_recall=True)
+        r = simulate(net, {0: [latch.set_input], 5: [latch.recall],
+                           10: [latch.set_input], 15: [latch.recall]},
+                     engine="dense", max_steps=25, stop_when_quiescent=False,
+                     record_spikes=True)
+        outs = sorted(t for t, ids in r.spike_events.items()
+                      if latch.output in ids.tolist())
+        assert outs == [6, 16]
+
+
+class TestOneShotGadget:
+    def test_relays_first_input_only(self):
+        net = Network()
+        g = build_one_shot_gadget(net)
+        src = net.add_neuron(tau=1.0)
+        net.add_synapse(src, g.relay, weight=1.0, delay=1)
+        r = simulate(net, {0: [src], 6: [src], 12: [src]}, engine="dense",
+                     max_steps=30, stop_when_quiescent=False, record_spikes=True)
+        relays = sorted(t for t, ids in r.spike_events.items()
+                        if g.relay in ids.tolist())
+        assert relays == [1]
+
+    def test_matches_one_shot_flag_outside_window(self):
+        """Gadget == engine flag when inputs are >= 3 ticks apart."""
+        arrivals = [0, 5, 9, 20]
+        # gadget version
+        net_g = Network()
+        g = build_one_shot_gadget(net_g)
+        src = net_g.add_neuron(tau=1.0)
+        net_g.add_synapse(src, g.relay, weight=1.0, delay=1)
+        rg = simulate(net_g, {t: [src] for t in arrivals}, engine="dense",
+                      max_steps=40, stop_when_quiescent=False)
+        # flag version
+        net_f = Network()
+        relay = net_f.add_neuron(one_shot=True)
+        src_f = net_f.add_neuron(tau=1.0)
+        net_f.add_synapse(src_f, relay, weight=1.0, delay=1)
+        rf = simulate(net_f, {t: [src_f] for t in arrivals}, engine="dense",
+                      max_steps=40, stop_when_quiescent=False)
+        assert rg.first_spike[g.relay] == rf.first_spike[relay]
+        assert rg.spike_counts[g.relay] == rf.spike_counts[relay] == 1

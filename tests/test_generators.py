@@ -1,0 +1,202 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.workloads import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    layered_dag,
+    path_graph,
+    power_law_graph,
+    road_like_graph,
+    star_graph,
+)
+
+
+class TestGnp:
+    def test_seed_reproducible(self):
+        a = gnp_graph(30, 0.2, max_length=9, seed=5)
+        b = gnp_graph(30, 0.2, max_length=9, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gnp_graph(30, 0.2, max_length=9, seed=5)
+        b = gnp_graph(30, 0.2, max_length=9, seed=6)
+        assert a != b
+
+    def test_density_extremes(self):
+        assert gnp_graph(10, 0.0, seed=1).m == 0
+        g = gnp_graph(10, 1.0, seed=1)
+        assert g.m == 90  # complete digraph without self-loops
+
+    def test_no_self_loops(self):
+        g = gnp_graph(25, 0.5, seed=2)
+        assert not g.has_self_loops()
+
+    def test_lengths_in_range(self):
+        g = gnp_graph(20, 0.3, max_length=7, seed=3)
+        assert g.min_length() >= 1 and g.max_length() <= 7
+
+    def test_source_reachability_chain(self):
+        import networkx as nx
+
+        g = gnp_graph(40, 0.01, max_length=3, seed=4, ensure_source_reaches=True)
+        reach = nx.descendants(g.to_networkx(), 0)
+        assert len(reach) == g.n - 1
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            gnp_graph(5, 1.5, seed=0)
+
+    def test_invalid_max_length(self):
+        with pytest.raises(GraphError):
+            gnp_graph(5, 0.5, max_length=0, seed=0)
+
+    def test_large_n_sampling_path(self):
+        g = gnp_graph(3000, 0.0005, max_length=4, seed=9)
+        assert g.n == 3000
+        assert not g.has_self_loops()
+
+
+class TestStructured:
+    def test_grid_edge_count_bidirectional(self):
+        g = grid_graph(3, 4, seed=0)
+        # 3*3 horizontal + 2*4 vertical, both directions
+        assert g.m == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_unidirectional(self):
+        g = grid_graph(3, 4, seed=0, bidirectional=False)
+        assert g.m == 3 * 3 + 2 * 4
+
+    def test_grid_neighbors(self):
+        g = grid_graph(3, 3, seed=0)
+        heads, _ = g.out_edges(4)  # center vertex
+        assert sorted(heads.tolist()) == [1, 3, 5, 7]
+
+    def test_path_graph_structure(self):
+        g = path_graph(5, seed=0)
+        assert g.m == 4
+        assert sorted((u, v) for u, v, _ in g.edges()) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_cycle_graph_structure(self):
+        g = cycle_graph(4, seed=0)
+        assert g.m == 4
+        assert (0, 1) in [(u, v) for u, v, _ in g.edges()]
+        assert (3, 0) in [(u, v) for u, v, _ in g.edges()]
+
+    def test_star_graph_structure(self):
+        g = star_graph(6, seed=0)
+        assert g.m == 5
+        assert g.out_degree(0) == 5
+
+    def test_complete_graph(self):
+        g = complete_graph(5, seed=0)
+        assert g.m == 20
+        assert not g.has_self_loops()
+
+    def test_road_like_contains_grid(self):
+        g = road_like_graph(4, 4, max_length=5, seed=1)
+        base = grid_graph(4, 4, max_length=5, seed=1)
+        assert g.m > base.m  # highways added
+        assert g.n == base.n
+
+    def test_power_law_degree_spread(self):
+        g = power_law_graph(60, attach=2, seed=7)
+        degs = np.diff(g.indptr)
+        assert degs.max() >= 3 * max(1, int(np.median(degs)))
+
+    def test_power_law_requires_enough_nodes(self):
+        with pytest.raises(GraphError):
+            power_law_graph(2, attach=2, seed=0)
+
+
+class TestLayeredDag:
+    def test_shape(self):
+        g = layered_dag(4, 5, seed=0)
+        assert g.n == 1 + 4 * 5
+
+    def test_acyclic(self):
+        import networkx as nx
+
+        g = layered_dag(5, 4, seed=1)
+        assert nx.is_directed_acyclic_graph(g.to_networkx())
+
+    def test_every_layer_vertex_has_out_edge_except_last(self):
+        g = layered_dag(3, 4, seed=2, density=0.1)
+        for layer in range(2):
+            for i in range(4):
+                vid = 1 + layer * 4 + i
+                assert g.out_degree(vid) >= 1
+
+    def test_hop_structure(self):
+        # every vertex in layer l is exactly l+1 hops from the source
+        import networkx as nx
+
+        g = layered_dag(3, 3, seed=3, density=1.0)
+        nxg = g.to_networkx()
+        hops = nx.single_source_shortest_path_length(nxg, 0)
+        for layer in range(3):
+            for i in range(3):
+                assert hops[1 + layer * 3 + i] == layer + 1
+
+
+class TestSmallWorld:
+    def test_structure(self):
+        from repro.workloads import small_world_graph
+
+        g = small_world_graph(30, nearest=4, rewire=0.2, max_length=3, seed=1)
+        assert g.n == 30
+        assert g.m >= 30 * 4  # both orientations of ~n*nearest/2 edges
+        assert not g.has_self_loops()
+
+    def test_seeded(self):
+        from repro.workloads import small_world_graph
+
+        a = small_world_graph(20, seed=3)
+        b = small_world_graph(20, seed=3)
+        assert a == b
+
+    def test_nearest_too_large(self):
+        from repro.workloads import small_world_graph
+
+        with pytest.raises(GraphError):
+            small_world_graph(4, nearest=5, seed=0)
+
+    def test_small_hop_diameter(self):
+        import networkx as nx
+
+        from repro.workloads import small_world_graph
+
+        g = small_world_graph(64, nearest=6, rewire=0.3, seed=5)
+        ecc = nx.eccentricity(g.to_networkx().to_undirected())
+        assert max(ecc.values()) <= 8  # log-ish diameter
+
+
+class TestBottleneckFlowNetwork:
+    def test_known_max_flow(self):
+        from repro.algorithms.flow import tidal_flow
+        from repro.workloads import bottleneck_flow_network
+
+        for seed in range(4):
+            g = bottleneck_flow_network(4, 3, max_capacity=9, bottleneck=2, seed=seed)
+            r = tidal_flow(g, 0, g.n - 1)
+            assert r.flow_value == 3 * 2  # width * bottleneck
+
+    def test_single_stage(self):
+        from repro.algorithms.flow import tidal_flow
+        from repro.workloads import bottleneck_flow_network
+
+        g = bottleneck_flow_network(1, 2, max_capacity=5, bottleneck=1, seed=0)
+        assert tidal_flow(g, 0, g.n - 1).flow_value == 2
+
+    def test_validation(self):
+        from repro.workloads import bottleneck_flow_network
+
+        with pytest.raises(GraphError):
+            bottleneck_flow_network(0, 3, seed=0)
+        with pytest.raises(GraphError):
+            bottleneck_flow_network(2, 2, max_capacity=3, bottleneck=3, seed=0)

@@ -1,0 +1,161 @@
+"""Unit tests for the WeightedDigraph CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.workloads import WeightedDigraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = WeightedDigraph(0, [])
+        assert g.n == 0 and g.m == 0
+        assert g.max_length() == 0 and g.min_length() == 0
+
+    def test_vertices_without_edges(self):
+        g = WeightedDigraph(5, [])
+        assert g.n == 5 and g.m == 0
+        assert g.out_degree(3) == 0
+
+    def test_basic_edges(self):
+        g = WeightedDigraph(3, [(0, 1, 4), (1, 2, 5), (0, 2, 9)])
+        assert g.m == 3
+        heads, lengths = g.out_edges(0)
+        assert sorted(heads.tolist()) == [1, 2]
+        assert sorted(lengths.tolist()) == [4, 9]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph(-1, [])
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph(2, [(0, 2, 1)])
+        with pytest.raises(GraphError):
+            WeightedDigraph(2, [(-1, 0, 1)])
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph(2, [(0, 1, 0)])
+        with pytest.raises(GraphError):
+            WeightedDigraph(2, [(0, 1, -3)])
+
+    def test_parallel_edges_allowed(self):
+        g = WeightedDigraph(2, [(0, 1, 1), (0, 1, 5)])
+        assert g.m == 2
+        assert g.out_degree(0) == 2
+
+    def test_self_loops_allowed_and_detected(self):
+        g = WeightedDigraph(2, [(0, 0, 1), (0, 1, 1)])
+        assert g.has_self_loops()
+        g2 = WeightedDigraph(2, [(0, 1, 1)])
+        assert not g2.has_self_loops()
+
+    def test_from_arrays_matches_tuple_construction(self):
+        edges = [(0, 1, 2), (2, 0, 3), (1, 2, 1)]
+        a = WeightedDigraph(3, edges)
+        b = WeightedDigraph.from_arrays(3, [0, 2, 1], [1, 0, 2], [2, 3, 1])
+        assert a == b
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph.from_arrays(3, [0, 1], [1], [2, 3])
+
+
+class TestCSRInvariants:
+    def test_indptr_monotone_and_complete(self):
+        g = WeightedDigraph(4, [(2, 0, 1), (0, 3, 2), (2, 1, 3), (1, 1, 4)])
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.m
+        assert (np.diff(g.indptr) >= 0).all()
+
+    def test_out_edges_slice_tails_consistent(self):
+        g = WeightedDigraph(4, [(2, 0, 1), (0, 3, 2), (2, 1, 3)])
+        for u in range(4):
+            lo, hi = g.indptr[u], g.indptr[u + 1]
+            assert (g.tails[lo:hi] == u).all()
+
+    def test_in_degrees(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (2, 1, 1), (1, 2, 1)])
+        assert g.in_degrees().tolist() == [0, 2, 1]
+
+    def test_max_out_degree(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (0, 2, 1), (1, 2, 1)])
+        assert g.max_out_degree() == 2
+
+    def test_edge_iteration_covers_all(self):
+        edges = [(0, 1, 2), (2, 0, 3), (1, 2, 1)]
+        g = WeightedDigraph(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+
+class TestTransforms:
+    def test_reverse(self):
+        g = WeightedDigraph(3, [(0, 1, 2), (1, 2, 5)])
+        r = g.reverse()
+        assert sorted(r.edges()) == [(1, 0, 2), (2, 1, 5)]
+
+    def test_reverse_cached(self):
+        g = WeightedDigraph(2, [(0, 1, 1)])
+        assert g.reverse() is g.reverse()
+
+    def test_scaled(self):
+        g = WeightedDigraph(2, [(0, 1, 3)])
+        s = g.scaled(4)
+        assert list(s.edges()) == [(0, 1, 12)]
+
+    def test_scaled_invalid_factor(self):
+        g = WeightedDigraph(2, [(0, 1, 3)])
+        with pytest.raises(GraphError):
+            g.scaled(0)
+
+    def test_max_min_length(self):
+        g = WeightedDigraph(3, [(0, 1, 3), (1, 2, 8)])
+        assert g.max_length() == 8
+        assert g.min_length() == 3
+
+
+class TestNetworkxInterop:
+    def test_roundtrip_directed(self):
+        g = WeightedDigraph(4, [(0, 1, 2), (1, 2, 5), (3, 0, 7)])
+        back = WeightedDigraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_from_undirected_adds_both_orientations(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(3))
+        nxg.add_edge(0, 1, weight=4)
+        g = WeightedDigraph.from_networkx(nxg)
+        assert sorted(g.edges()) == [(0, 1, 4), (1, 0, 4)]
+
+    def test_from_networkx_bad_labels(self):
+        import networkx as nx
+
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b", weight=1)
+        with pytest.raises(GraphError):
+            WeightedDigraph.from_networkx(nxg)
+
+    def test_to_networkx_parallel_edges_take_min(self):
+        g = WeightedDigraph(2, [(0, 1, 5), (0, 1, 2)])
+        nxg = g.to_networkx()
+        assert nxg[0][1]["weight"] == 2
+
+
+class TestEquality:
+    def test_equal_regardless_of_edge_order(self):
+        a = WeightedDigraph(3, [(0, 1, 1), (1, 2, 2)])
+        b = WeightedDigraph(3, [(1, 2, 2), (0, 1, 1)])
+        assert a == b
+
+    def test_unequal_different_weight(self):
+        a = WeightedDigraph(2, [(0, 1, 1)])
+        b = WeightedDigraph(2, [(0, 1, 2)])
+        assert a != b
+
+    def test_repr_mentions_sizes(self):
+        g = WeightedDigraph(3, [(0, 1, 7)])
+        assert "n=3" in repr(g) and "m=1" in repr(g) and "U=7" in repr(g)

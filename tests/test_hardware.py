@@ -1,0 +1,137 @@
+"""Tests of the Table-3 platform registry and the energy model."""
+
+import pytest
+
+from repro.baselines import OpCounter
+from repro.core.cost import CostReport
+from repro.errors import ValidationError
+from repro.hardware import (
+    CORE_I7_9700T,
+    LOIHI,
+    PLATFORMS,
+    SPINNAKER1,
+    SPINNAKER2,
+    TRUENORTH,
+    chips_required,
+    cpu_energy_joules,
+    energy_comparison,
+    spike_energy_joules,
+)
+
+
+class TestRegistry:
+    def test_all_five_platforms_present(self):
+        assert set(PLATFORMS) == {
+            "TrueNorth",
+            "Loihi",
+            "SpiNNaker 1",
+            "SpiNNaker 2",
+            "Core i7-9700T",
+        }
+
+    def test_table3_neuron_counts(self):
+        assert TRUENORTH.neurons_per_chip == 256 * 4096
+        assert LOIHI.neurons_per_chip == 1024 * 128
+        assert SPINNAKER1.neurons_per_chip == 1000 * 16
+        assert SPINNAKER2.neurons_per_chip == 800_000
+
+    def test_table3_energy_constants(self):
+        assert TRUENORTH.pj_per_spike_mid == 26.0
+        assert LOIHI.pj_per_spike_mid == 23.6
+        assert SPINNAKER1.pj_per_spike_mid == 7000.0
+        assert SPINNAKER2.pj_per_spike_mid is None  # unreported
+
+    def test_power_ranges(self):
+        assert TRUENORTH.power_watts_mid == pytest.approx(0.110)
+        assert CORE_I7_9700T.power_watts_mid == 35.0
+
+    def test_cpu_flag(self):
+        assert CORE_I7_9700T.is_cpu
+        assert not LOIHI.is_cpu
+
+
+class TestEnergyMath:
+    def test_spike_energy(self):
+        # 10^9 spikes on Loihi: 1e9 * 23.6e-12 J
+        assert spike_energy_joules(10**9, LOIHI) == pytest.approx(23.6e-3)
+
+    def test_spike_energy_unreported_platform(self):
+        assert spike_energy_joules(100, SPINNAKER2) is None
+
+    def test_cpu_energy(self):
+        # 4.3e9 ops at 4.3 GHz = 1 second at 35 W
+        assert cpu_energy_joules(4_300_000_000, CORE_I7_9700T) == pytest.approx(35.0)
+
+    def test_cpu_energy_ops_per_cycle(self):
+        e1 = cpu_energy_joules(10**9, CORE_I7_9700T, ops_per_cycle=1)
+        e4 = cpu_energy_joules(10**9, CORE_I7_9700T, ops_per_cycle=4)
+        assert e4 == pytest.approx(e1 / 4)
+
+    def test_cpu_energy_needs_clock(self):
+        assert cpu_energy_joules(100, LOIHI) is None  # asynchronous
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            spike_energy_joules(-1, LOIHI)
+        with pytest.raises(ValidationError):
+            cpu_energy_joules(-1, CORE_I7_9700T)
+
+    def test_chips_required(self):
+        assert chips_required(1, LOIHI) == 1
+        assert chips_required(131072, LOIHI) == 1
+        assert chips_required(131073, LOIHI) == 2
+
+    def test_chips_required_cpu_none(self):
+        assert chips_required(100, CORE_I7_9700T) is None
+
+
+class TestComparison:
+    def test_energy_comparison_structure(self):
+        cost = CostReport(
+            algorithm="sssp_pseudo",
+            simulated_ticks=100,
+            loading_ticks=50,
+            neuron_count=1000,
+            synapse_count=5000,
+            spike_count=1000,
+        )
+        ops = OpCounter(relaxations=10**6)
+        table = energy_comparison(cost, ops)
+        assert set(table) == set(PLATFORMS)
+        assert table["Loihi"]["joules"] == pytest.approx(1000 * 23.6e-12)
+        assert table["Core i7-9700T"]["joules"] > 0
+
+    def test_neuromorphic_energy_orders_of_magnitude_below_cpu(self):
+        """The appendix's qualitative claim, at representative scales."""
+        cost = CostReport(
+            algorithm="x",
+            simulated_ticks=10**4,
+            loading_ticks=10**4,
+            neuron_count=10**5,
+            synapse_count=10**6,
+            spike_count=10**6,
+        )
+        ops = OpCounter(relaxations=10**6, comparisons=10**6)
+        table = energy_comparison(cost, ops)
+        assert table["Loihi"]["joules"] * 100 < table["Core i7-9700T"]["joules"]
+
+
+class TestWallTime:
+    def test_truenorth_millisecond_ticks(self):
+        from repro.hardware.energy import wall_time_estimate
+
+        # 1 kHz clock: 1000 ticks = 1 second
+        assert wall_time_estimate(1000, TRUENORTH) == pytest.approx(1.0)
+
+    def test_asynchronous_platform_needs_tick(self):
+        from repro.hardware.energy import wall_time_estimate
+
+        assert wall_time_estimate(100, LOIHI) is None
+        assert wall_time_estimate(100, LOIHI, tick_seconds=1e-6) == pytest.approx(1e-4)
+
+    def test_validation(self):
+        from repro.errors import ValidationError
+        from repro.hardware.energy import wall_time_estimate
+
+        with pytest.raises(ValidationError):
+            wall_time_estimate(-1, TRUENORTH)

@@ -1,0 +1,98 @@
+"""Edge-list serialization tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.workloads import WeightedDigraph, gnp_graph, read_edge_list, write_edge_list
+
+
+def test_roundtrip(tmp_path):
+    g = gnp_graph(15, 0.3, max_length=9, seed=11)
+    p = tmp_path / "g.edges"
+    write_edge_list(g, p)
+    assert read_edge_list(p) == g
+
+
+def test_roundtrip_empty(tmp_path):
+    g = WeightedDigraph(4, [])
+    p = tmp_path / "empty.edges"
+    write_edge_list(g, p)
+    back = read_edge_list(p)
+    assert back.n == 4 and back.m == 0
+
+
+def test_comments_and_blank_lines(tmp_path):
+    p = tmp_path / "c.edges"
+    p.write_text("# header comment\n3 2\n\n0 1 5  # inline\n1 2 7\n")
+    g = read_edge_list(p)
+    assert sorted(g.edges()) == [(0, 1, 5), (1, 2, 7)]
+
+
+def test_bad_header(tmp_path):
+    p = tmp_path / "bad.edges"
+    p.write_text("3\n0 1 5\n")
+    with pytest.raises(GraphError):
+        read_edge_list(p)
+
+
+def test_edge_count_mismatch(tmp_path):
+    p = tmp_path / "mismatch.edges"
+    p.write_text("3 2\n0 1 5\n")
+    with pytest.raises(GraphError):
+        read_edge_list(p)
+
+
+def test_empty_file(tmp_path):
+    p = tmp_path / "none.edges"
+    p.write_text("# nothing\n")
+    with pytest.raises(GraphError):
+        read_edge_list(p)
+
+
+def test_malformed_edge_line(tmp_path):
+    p = tmp_path / "mal.edges"
+    p.write_text("2 1\n0 1\n")
+    with pytest.raises(GraphError):
+        read_edge_list(p)
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path):
+        from repro.workloads.io import read_dimacs, write_dimacs
+
+        g = gnp_graph(12, 0.3, max_length=9, seed=21)
+        p = tmp_path / "g.gr"
+        write_dimacs(g, p)
+        assert read_dimacs(p) == g
+
+    def test_one_indexing(self, tmp_path):
+        from repro.workloads.io import read_dimacs
+
+        p = tmp_path / "tiny.gr"
+        p.write_text("c comment\np sp 2 1\na 1 2 5\n")
+        g = read_dimacs(p)
+        assert list(g.edges()) == [(0, 1, 5)]
+
+    def test_missing_header(self, tmp_path):
+        from repro.workloads.io import read_dimacs
+
+        p = tmp_path / "bad.gr"
+        p.write_text("a 1 2 5\n")
+        with pytest.raises(GraphError):
+            read_dimacs(p)
+
+    def test_arc_count_mismatch(self, tmp_path):
+        from repro.workloads.io import read_dimacs
+
+        p = tmp_path / "bad2.gr"
+        p.write_text("p sp 2 2\na 1 2 5\n")
+        with pytest.raises(GraphError):
+            read_dimacs(p)
+
+    def test_unknown_record(self, tmp_path):
+        from repro.workloads.io import read_dimacs
+
+        p = tmp_path / "bad3.gr"
+        p.write_text("p sp 1 0\nx nope\n")
+        with pytest.raises(GraphError):
+            read_dimacs(p)

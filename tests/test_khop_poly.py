@@ -1,0 +1,102 @@
+"""Tests of the Section 4.2 polynomial algorithm (round level) and the
+Theorem 4.4 SSSP variant."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import spiking_khop_poly, spiking_sssp_poly
+from repro.algorithms.khop_poly import poly_round_length
+from repro.errors import ValidationError
+from repro.workloads import WeightedDigraph, gnp_graph, path_graph
+from tests.conftest import ref_alpha, ref_khop, ref_sssp
+
+
+class TestKhopCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_matches_bellman_ford(self, seed, k):
+        g = gnp_graph(14, 0.25, max_length=5, seed=seed)
+        r = spiking_khop_poly(g, 0, k)
+        assert np.array_equal(r.dist, ref_khop(g, 0, k))
+
+    def test_k_zero(self, small_graph):
+        r = spiking_khop_poly(small_graph, 0, 0)
+        assert r.dist.tolist() == [0, -1, -1, -1, -1, -1]
+
+    def test_prefix_min_over_rounds(self):
+        # distance achieved at round 1 must survive a worse round-2 message
+        g = WeightedDigraph(3, [(0, 1, 1), (0, 2, 9), (1, 2, 1)])
+        r = spiking_khop_poly(g, 0, 2)
+        assert r.dist[2] == 2
+
+    def test_stop_at_target(self):
+        g = path_graph(6, max_length=2, seed=1)
+        r = spiking_khop_poly(g, 0, 5, target=3, stop_at_target=True)
+        assert r.dist[3] >= 0
+        assert r.cost.rounds == 3  # stops the round the target first hears
+
+    def test_stop_at_target_requires_target(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_khop_poly(small_graph, 0, 2, stop_at_target=True)
+
+    def test_invalid_args(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_khop_poly(small_graph, -2, 1)
+        with pytest.raises(ValidationError):
+            spiking_khop_poly(small_graph, 0, -1)
+
+
+class TestKhopCost:
+    def test_round_length_formula(self):
+        assert poly_round_length(8, 4) == 5  # log2(32)
+        assert poly_round_length(2, 1) == 1
+        assert poly_round_length(1024, 1024) == 20
+
+    def test_ticks_are_rounds_times_x(self, small_graph):
+        k = 3
+        r = spiking_khop_poly(small_graph, 0, k)
+        assert r.cost.simulated_ticks == r.cost.rounds * r.cost.round_length
+        assert r.cost.rounds <= k
+
+    def test_rounds_stop_when_wavefront_dies(self):
+        g = path_graph(4, max_length=1, seed=0)
+        r = spiking_khop_poly(g, 0, 50)
+        assert r.cost.rounds == 4  # wave leaves the path after 3 hops + 1 empty
+
+    def test_message_bits_cover_k_hops(self, small_graph):
+        r = spiking_khop_poly(small_graph, 0, 3)
+        assert r.cost.message_bits >= int(np.ceil(np.log2(3 * small_graph.max_length())))
+
+    def test_neurons_m_log_nu(self, small_graph):
+        r = spiking_khop_poly(small_graph, 0, 3)
+        bits = r.cost.message_bits
+        assert r.cost.neuron_count == (small_graph.n + small_graph.m) * bits
+
+
+class TestSsspPoly:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(14, 0.3, max_length=6, seed=seed,
+                      ensure_source_reaches=(seed % 2 == 0))
+        r = spiking_sssp_poly(g, 0)
+        assert np.array_equal(r.dist, ref_sssp(g, 0))
+
+    def test_rounds_equal_deepest_shortest_path(self):
+        g = path_graph(6, max_length=3, seed=2)
+        r = spiking_sssp_poly(g, 0)
+        assert r.cost.rounds == 5
+
+    def test_alpha_extras_single_target(self):
+        g = gnp_graph(12, 0.3, max_length=5, seed=4, ensure_source_reaches=True)
+        target = 7
+        r = spiking_sssp_poly(g, 0, target=target)
+        assert r.cost.extras["alpha"] == ref_alpha(g, 0, target)
+
+    def test_unreachable(self):
+        g = WeightedDigraph(3, [(1, 2, 1)])
+        r = spiking_sssp_poly(g, 0)
+        assert r.dist.tolist() == [0, -1, -1]
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_sssp_poly(small_graph, 100)

@@ -1,0 +1,114 @@
+"""Tests of the Section 4.1 TTL k-hop algorithm (event level)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import spiking_khop_pseudo
+from repro.algorithms.khop_pseudo import ttl_scale_factor
+from repro.errors import ValidationError
+from repro.workloads import WeightedDigraph, cycle_graph, gnp_graph, path_graph
+from tests.conftest import ref_khop, ref_sssp
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 3, 6])
+    def test_matches_bellman_ford(self, seed, k):
+        g = gnp_graph(14, 0.25, max_length=5, seed=seed)
+        r = spiking_khop_pseudo(g, 0, k)
+        assert np.array_equal(r.dist, ref_khop(g, 0, k))
+
+    def test_k_zero_only_source(self, small_graph):
+        r = spiking_khop_pseudo(small_graph, 0, 0)
+        assert r.dist.tolist() == [0, -1, -1, -1, -1, -1]
+
+    def test_k_one_direct_neighbors(self, small_graph):
+        r = spiking_khop_pseudo(small_graph, 0, 1)
+        assert r.dist.tolist() == [0, 2, 7, -1, -1, -1]
+
+    def test_hop_budget_blocks_distant_vertices(self):
+        g = path_graph(6, max_length=1, seed=0)
+        r = spiking_khop_pseudo(g, 0, 3)
+        assert r.dist.tolist() == [0, 1, 2, 3, -1, -1]
+
+    def test_large_k_equals_sssp(self, random_graphs):
+        for g in random_graphs:
+            r = spiking_khop_pseudo(g, 0, g.n - 1)
+            assert np.array_equal(r.dist, ref_sssp(g, 0))
+
+    def test_monotone_in_k(self):
+        g = gnp_graph(12, 0.3, max_length=6, seed=8)
+        prev = spiking_khop_pseudo(g, 0, 1).dist
+        for k in range(2, 6):
+            cur = spiking_khop_pseudo(g, 0, k).dist
+            for v in range(g.n):
+                if prev[v] >= 0:
+                    assert 0 <= cur[v] <= prev[v]
+            prev = cur
+
+    def test_longer_but_fewer_hops_path_chosen(self):
+        # 0->1->2 is length 2 but 2 hops; 0->2 is length 5, 1 hop
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+        assert spiking_khop_pseudo(g, 0, 1).dist[2] == 5
+        assert spiking_khop_pseudo(g, 0, 2).dist[2] == 2
+
+    def test_cycle_does_not_loop_forever(self):
+        g = cycle_graph(5, max_length=2, seed=0)
+        r = spiking_khop_pseudo(g, 0, 50)
+        assert (r.dist >= 0).all()
+
+    def test_ttl_propagation_through_revisit_times(self):
+        """A later arrival with larger TTL must still propagate (the
+        multiple-spike subtlety Section 4.1 highlights)."""
+        # vertex 2 hears first via the long-hop chain (short length), then
+        # via the direct edge (longer length but more TTL left); only the
+        # direct arrival leaves enough TTL to reach 3 within k=2.
+        g = WeightedDigraph(
+            4,
+            [
+                (0, 1, 1),
+                (1, 2, 1),  # 2 hops, length 2
+                (0, 2, 3),  # 1 hop, length 3
+                (2, 3, 1),
+            ],
+        )
+        r = spiking_khop_pseudo(g, 0, 2)
+        assert r.dist[2] == 2  # first arrival
+        assert r.dist[3] == 4  # reached via the 1-hop arrival at 2 (3 + 1)
+
+    def test_target_short_circuits(self, small_graph):
+        r = spiking_khop_pseudo(small_graph, 0, 4, target=1)
+        assert r.dist[1] == 2
+
+    def test_invalid_args(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_khop_pseudo(small_graph, 99, 2)
+        with pytest.raises(ValidationError):
+            spiking_khop_pseudo(small_graph, 0, -1)
+
+
+class TestCostModel:
+    def test_scale_factor_log_k(self):
+        assert ttl_scale_factor(2) == 1
+        assert ttl_scale_factor(8) == 3
+        assert ttl_scale_factor(9) == 4
+        assert ttl_scale_factor(1) >= 1
+
+    def test_ticks_charged_with_log_factor(self, small_graph):
+        k = 4
+        r = spiking_khop_pseudo(small_graph, 0, k)
+        raw = r.cost.extras["raw_ticks"]
+        assert r.cost.simulated_ticks == raw * ttl_scale_factor(k)
+
+    def test_neuron_count_m_log_k(self, small_graph):
+        k = 8
+        r = spiking_khop_pseudo(small_graph, 0, k)
+        bits = r.cost.message_bits
+        assert bits == 3  # TTL values 0..7
+        assert r.cost.neuron_count == small_graph.n + small_graph.m * bits
+
+    def test_spikes_proportional_to_messages(self):
+        g = path_graph(5, max_length=1, seed=0)
+        r = spiking_khop_pseudo(g, 0, 4)
+        # one message per edge traversal, each of `bits` spikes
+        assert r.cost.spike_count == 4 * r.cost.message_bits

@@ -1,0 +1,50 @@
+"""Tests for LIF parameterization (Definitions 1-2 conventions)."""
+
+import pytest
+
+from repro.core import DEFAULT_DELTA, NeuronParams, threshold_for_count
+from repro.errors import ValidationError
+
+
+class TestNeuronParams:
+    def test_defaults(self):
+        p = NeuronParams()
+        assert p.v_reset == 0.0
+        assert p.v_threshold == 0.5
+        assert p.tau == 0.0
+        assert not p.one_shot
+
+    @pytest.mark.parametrize("tau", [-0.1, 1.1, 2.0])
+    def test_tau_out_of_range(self, tau):
+        with pytest.raises(ValidationError):
+            NeuronParams(tau=tau)
+
+    @pytest.mark.parametrize("tau", [0.0, 0.5, 1.0])
+    def test_tau_valid_range(self, tau):
+        assert NeuronParams(tau=tau).tau == tau
+
+    def test_pacemaker_detection(self):
+        assert NeuronParams(v_reset=1.0, v_threshold=0.5).is_pacemaker
+        assert not NeuronParams(v_reset=0.0, v_threshold=0.5).is_pacemaker
+        # boundary: reset == threshold does not spontaneously fire (strict >)
+        assert not NeuronParams(v_reset=0.5, v_threshold=0.5).is_pacemaker
+
+    def test_frozen(self):
+        p = NeuronParams()
+        with pytest.raises(AttributeError):
+            p.tau = 0.5
+
+
+class TestThresholdForCount:
+    @pytest.mark.parametrize("k", [1, 2, 5, 100])
+    def test_halfway_placement(self, k):
+        t = threshold_for_count(k)
+        assert k - 1 < t < k  # k unit inputs fire it, k-1 do not
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            threshold_for_count(0)
+
+
+def test_minimum_delay_is_one_tick():
+    assert DEFAULT_DELTA == 1

@@ -1,0 +1,115 @@
+"""Tests of core/chip mapping and spike-traffic accounting (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, simulate
+from repro.errors import ValidationError
+from repro.hardware import LOIHI, TRUENORTH, PlatformSpec
+from repro.hardware.mapping import (
+    CoreMapping,
+    greedy_locality_mapping,
+    mapping_traffic,
+    round_robin_mapping,
+)
+
+TINY = PlatformSpec(
+    name="tiny",
+    organization="test",
+    design="ASIC",
+    process_nm=1,
+    clock_hz=None,
+    neurons_per_core=4,
+    cores_per_chip=2,
+)
+
+
+def chain_network(n):
+    net = Network()
+    ids = [net.add_neuron(tau=1.0) for _ in range(n)]
+    for i in range(n - 1):
+        net.add_synapse(ids[i], ids[i + 1], delay=1)
+    return net, ids
+
+
+class TestMappings:
+    def test_round_robin_capacity_respected(self):
+        net, _ = chain_network(10)
+        m = round_robin_mapping(net, TINY)
+        assert (m.core_loads() <= TINY.neurons_per_core).all()
+        assert m.num_cores == 3
+        assert m.num_chips == 2  # cores 0,1 on chip 0; core 2 on chip 1
+
+    def test_greedy_capacity_respected(self):
+        net, _ = chain_network(13)
+        m = greedy_locality_mapping(net, TINY)
+        assert (m.core_loads() <= TINY.neurons_per_core).all()
+        assert m.core_of.size == 13
+
+    def test_greedy_keeps_chain_neighbors_together(self):
+        net, _ = chain_network(8)
+        m = greedy_locality_mapping(net, TINY)
+        # BFS order along a chain fills core 0 with vertices 0..3
+        assert len({int(m.core_of[i]) for i in range(4)}) == 1
+
+    def test_greedy_covers_disconnected_components(self):
+        net = Network()
+        net.add_neurons(6)
+        m = greedy_locality_mapping(net, TINY)
+        assert (m.core_of >= 0).all()
+
+    def test_real_platform_capacities(self):
+        net, _ = chain_network(5)
+        m = round_robin_mapping(net, LOIHI)
+        assert m.neurons_per_core == 1024
+        assert m.num_cores == 1
+
+    def test_empty_network(self):
+        net = Network()
+        m = round_robin_mapping(net, TINY)
+        assert m.num_cores == 0 and m.num_chips == 0
+
+
+class TestTraffic:
+    def test_chain_traffic_tiers(self):
+        net, ids = chain_network(10)
+        m = greedy_locality_mapping(net, TINY)
+        r = simulate(net, [ids[0]], engine="dense", max_steps=20)
+        t = mapping_traffic(net, m, r)
+        # 9 synapse crossings, one spike each
+        assert t.total == 9
+        # locality keeps most hops on-core: only the 2 core boundaries and
+        # 1 chip boundary leave
+        assert t.intra_core == 7
+        assert t.inter_core + t.inter_chip == 2
+        assert t.inter_chip == 1
+
+    def test_locality_beats_round_robin_on_shuffled_ids(self):
+        # build a chain whose neuron ids are interleaved so round-robin
+        # splits neighbors across cores
+        rng = np.random.default_rng(1)
+        order = rng.permutation(12)
+        net = Network()
+        ids = [net.add_neuron(tau=1.0) for _ in range(12)]
+        chain_order = [int(x) for x in order]
+        for a, b in zip(chain_order, chain_order[1:]):
+            net.add_synapse(ids[a], ids[b], delay=1)
+        r = simulate(net, [ids[chain_order[0]]], engine="dense", max_steps=30)
+        greedy = mapping_traffic(net, greedy_locality_mapping(net, TINY), r)
+        naive = mapping_traffic(net, round_robin_mapping(net, TINY), r)
+        assert greedy.intra_core > naive.intra_core
+
+    def test_silent_network_no_traffic(self):
+        net, ids = chain_network(5)
+        m = round_robin_mapping(net, TINY)
+        r = simulate(net, [], engine="dense", max_steps=5)
+        t = mapping_traffic(net, m, r)
+        assert t.total == 0
+
+    def test_mismatched_mapping_rejected(self):
+        net, ids = chain_network(5)
+        other, _ = chain_network(7)
+        m = round_robin_mapping(other, TINY)
+        r = simulate(net, [ids[0]], engine="dense", max_steps=10)
+        with pytest.raises(ValidationError):
+            mapping_traffic(net, m, r)

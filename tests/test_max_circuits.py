@@ -1,0 +1,215 @@
+"""Tests of the Section-5 max/min circuits (Theorems 5.1 and 5.2, Table 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    brute_force_max,
+    brute_force_min,
+    masked_max,
+    masked_min,
+    run_circuit,
+    wired_or_max,
+    wired_or_min,
+)
+from repro.errors import CircuitError
+
+BUILDERS = {
+    "brute_max": (brute_force_max, max),
+    "brute_min": (brute_force_min, min),
+    "wired_max": (wired_or_max, max),
+    "wired_min": (wired_or_min, min),
+}
+
+
+def build_plain(kind, d, width, with_winners=False):
+    fn, pyfn = BUILDERS[kind]
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", width) for i in range(d)]
+    res = fn(b, ins)
+    b.output_bits("out", res.out_bits)
+    if with_winners and res.winners is not None:
+        for i, w in enumerate(res.winners):
+            b.output_bits(f"win{i}", [w], aligned=False)
+    return b, pyfn
+
+
+class TestExhaustiveSmall:
+    @pytest.mark.parametrize("kind", list(BUILDERS))
+    def test_two_inputs_two_bits_exhaustive(self, kind):
+        b, pyfn = build_plain(kind, 2, 2)
+        for x in range(4):
+            for y in range(4):
+                got = run_circuit(b, {"x0": x, "x1": y})["out"]
+                assert got == pyfn(x, y), (kind, x, y)
+
+    @pytest.mark.parametrize("kind", list(BUILDERS))
+    def test_three_inputs_ties(self, kind):
+        b, pyfn = build_plain(kind, 3, 3)
+        for vals in [(5, 5, 5), (0, 0, 0), (7, 7, 0), (0, 7, 7), (3, 3, 4)]:
+            got = run_circuit(b, {f"x{i}": v for i, v in enumerate(vals)})["out"]
+            assert got == pyfn(vals), (kind, vals)
+
+    @pytest.mark.parametrize("kind", list(BUILDERS))
+    def test_single_input_identity(self, kind):
+        b, _ = build_plain(kind, 1, 3)
+        for v in range(8):
+            assert run_circuit(b, {"x0": v})["out"] == v
+
+
+class TestRandomized:
+    @given(
+        kind=st.sampled_from(sorted(BUILDERS)),
+        d=st.integers(min_value=2, max_value=5),
+        width=st.integers(min_value=1, max_value=5),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python(self, kind, d, width, data):
+        b, pyfn = build_plain(kind, d, width)
+        vals = [
+            data.draw(st.integers(min_value=0, max_value=2**width - 1))
+            for _ in range(d)
+        ]
+        got = run_circuit(b, {f"x{i}": v for i, v in enumerate(vals)})["out"]
+        assert got == pyfn(vals)
+
+
+class TestWinners:
+    def test_brute_force_unique_winner_smallest_index(self):
+        b = CircuitBuilder()
+        ins = [b.input_bits(f"x{i}", 3) for i in range(3)]
+        res = brute_force_max(b, ins)
+        b.output_bits("out", res.out_bits)
+        for i, w in enumerate(res.winners):
+            b.output_bits(f"w{i}", [w], aligned=False)
+        r = run_circuit(b, {"x0": 4, "x1": 6, "x2": 6})
+        assert r["out"] == 6
+        assert (r["w0"], r["w1"], r["w2"]) == (0, 1, 0)  # tie -> index 1, not 2
+
+    def test_wired_or_marks_all_tied_maxima(self):
+        b = CircuitBuilder()
+        ins = [b.input_bits(f"x{i}", 3) for i in range(3)]
+        res = wired_or_max(b, ins)
+        b.output_bits("out", res.out_bits)
+        for i, w in enumerate(res.winners):
+            b.output_bits(f"w{i}", [w], aligned=False)
+        r = run_circuit(b, {"x0": 6, "x1": 2, "x2": 6})
+        assert r["out"] == 6
+        assert (r["w0"], r["w1"], r["w2"]) == (1, 0, 1)
+
+
+class TestSizesAndDepths:
+    """The Table 2 resource claims."""
+
+    def test_brute_force_constant_depth(self):
+        # depth must not grow with width or input count
+        depths = set()
+        for d, width in [(2, 2), (4, 4), (5, 8)]:
+            b = CircuitBuilder()
+            ins = [b.input_bits(f"x{i}", width) for i in range(d)]
+            res = brute_force_max(b, ins)
+            b.output_bits("out", res.out_bits)
+            depths.add(b.depth)
+        assert len(depths) == 1
+        assert depths.pop() <= 4
+
+    def test_wired_or_depth_linear_in_width(self):
+        measured = {}
+        for width in (2, 4, 6):  # arithmetic spacing: equal depth increments
+            b = CircuitBuilder()
+            ins = [b.input_bits(f"x{i}", width) for i in range(3)]
+            res = wired_or_max(b, ins)
+            b.output_bits("out", res.out_bits)
+            measured[width] = b.depth
+        assert measured[4] - measured[2] == measured[6] - measured[4]
+        assert measured[6] > measured[4] > measured[2]
+
+    def test_brute_force_size_quadratic_in_d(self):
+        sizes = {}
+        for d in (2, 4, 8):
+            b = CircuitBuilder()
+            ins = [b.input_bits(f"x{i}", 3) for i in range(d)]
+            brute_force_max(b, ins)
+            sizes[d] = b.size
+        # comparator count d(d-1) dominates: superlinear growth
+        assert sizes[8] - sizes[4] > 2 * (sizes[4] - sizes[2]) * 0.9
+
+    def test_wired_or_size_linear_in_d_times_width(self):
+        def size(d, width):
+            b = CircuitBuilder()
+            ins = [b.input_bits(f"x{i}", width) for i in range(d)]
+            wired_or_max(b, ins)
+            return b.size
+
+        assert size(8, 4) < 2.5 * size(4, 4)  # linear in d
+        assert size(4, 8) < 2.5 * size(4, 4)  # linear in width
+
+
+class TestMasked:
+    @pytest.mark.parametrize("style", ["wired", "brute"])
+    @pytest.mark.parametrize("agg", ["min", "max"])
+    def test_masked_respects_valid_wires(self, style, agg):
+        fn = masked_min if agg == "min" else masked_max
+        pyfn = min if agg == "min" else max
+        b = CircuitBuilder()
+        ins = [b.input_bits(f"x{i}", 3) for i in range(3)]
+        vs = b.input_bits("valid", 3)
+        res = fn(b, ins, vs, style=style)
+        b.output_bits("out", res.out_bits)
+        b.output_bits("v", [res.valid], aligned=False)
+        rng = random.Random(42)
+        for _ in range(12):
+            vals = [rng.randrange(8) for _ in range(3)]
+            mask = [rng.randrange(2) for _ in range(3)]
+            r = run_circuit(b, {**{f"x{i}": v for i, v in enumerate(vals)},
+                                "valid": mask})
+            chosen = [v for v, m in zip(vals, mask) if m]
+            if chosen:
+                assert r["v"] == 1
+                assert r["out"] == pyfn(chosen), (style, agg, vals, mask)
+            else:
+                assert r["v"] == 0
+                assert r["out"] == 0
+
+    def test_masked_min_all_ones_vs_invalid_tie(self):
+        # the documented corner: every valid value is the all-ones maximum
+        b = CircuitBuilder()
+        ins = [b.input_bits(f"x{i}", 3) for i in range(2)]
+        vs = b.input_bits("valid", 2)
+        res = masked_min(b, ins, vs)
+        b.output_bits("out", res.out_bits)
+        b.output_bits("v", [res.valid], aligned=False)
+        r = run_circuit(b, {"x0": 7, "x1": 0, "valid": [1, 0]})
+        assert r["v"] == 1 and r["out"] == 7
+
+    def test_masked_requires_matching_valids(self):
+        b = CircuitBuilder()
+        ins = [b.input_bits(f"x{i}", 2) for i in range(3)]
+        vs = b.input_bits("valid", 2)
+        with pytest.raises(CircuitError):
+            masked_min(b, ins, vs)
+
+    def test_unknown_style_rejected(self):
+        b = CircuitBuilder()
+        ins = [b.input_bits("x0", 2)]
+        vs = b.input_bits("valid", 1)
+        with pytest.raises(CircuitError):
+            masked_min(b, ins, vs, style="quantum")
+
+
+class TestValidation:
+    def test_empty_inputs_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            brute_force_max(b, [])
+
+    def test_ragged_widths_rejected(self):
+        b = CircuitBuilder()
+        a = b.input_bits("a", 2)
+        c = b.input_bits("c", 3)
+        with pytest.raises(CircuitError):
+            wired_or_max(b, [a, c])

@@ -1,0 +1,135 @@
+"""Tests for the Network builder and CompiledNetwork arrays."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network
+from repro.errors import ValidationError
+
+
+class TestBuilder:
+    def test_ids_sequential(self):
+        net = Network()
+        assert [net.add_neuron() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_named_lookup(self):
+        net = Network()
+        net.add_neuron("a")
+        b = net.add_neuron("b")
+        assert net.resolve("b") == b
+
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add_neuron("x")
+        with pytest.raises(ValidationError):
+            net.add_neuron("x")
+
+    def test_unknown_name(self):
+        net = Network()
+        with pytest.raises(ValidationError):
+            net.resolve("ghost")
+
+    def test_id_out_of_range(self):
+        net = Network()
+        net.add_neuron()
+        with pytest.raises(ValidationError):
+            net.resolve(5)
+
+    def test_synapse_by_name(self):
+        net = Network()
+        net.add_neuron("a")
+        net.add_neuron("b")
+        net.add_synapse("a", "b", weight=2.0, delay=3)
+        assert net.n_synapses == 1
+
+    @pytest.mark.parametrize("delay", [0, -1, 1.5])
+    def test_invalid_delay_rejected(self, delay):
+        net = Network()
+        a, b = net.add_neuron(), net.add_neuron()
+        with pytest.raises(ValidationError):
+            net.add_synapse(a, b, delay=delay)
+
+    def test_add_neurons_bulk(self):
+        net = Network()
+        ids = net.add_neurons(5, v_threshold=1.5)
+        assert len(ids) == 5
+        assert net.params_of(ids[3]).v_threshold == 1.5
+
+    def test_terminal_and_io_marks(self):
+        net = Network()
+        a, b = net.add_neuron(), net.add_neuron()
+        net.mark_input(a)
+        net.mark_output(b)
+        net.set_terminal(b)
+        c = net.compile()
+        assert c.inputs.tolist() == [a]
+        assert c.outputs.tolist() == [b]
+        assert c.terminal == b
+
+
+class TestCompile:
+    def test_csr_layout(self):
+        net = Network()
+        ids = net.add_neurons(3)
+        net.add_synapse(2, 0, weight=1.0, delay=1)
+        net.add_synapse(0, 1, weight=2.0, delay=5)
+        net.add_synapse(2, 1, weight=3.0, delay=2)
+        c = net.compile()
+        assert c.indptr.tolist() == [0, 1, 1, 3]
+        sl = c.out_synapses(2)
+        assert sorted(c.syn_dst[sl].tolist()) == [0, 1]
+
+    def test_compile_cached_and_invalidated(self):
+        net = Network()
+        net.add_neuron()
+        c1 = net.compile()
+        assert net.compile() is c1
+        net.add_neuron()
+        c2 = net.compile()
+        assert c2 is not c1 and c2.n == 2
+
+    def test_max_delay(self):
+        net = Network()
+        a, b = net.add_neuron(), net.add_neuron()
+        net.add_synapse(a, b, delay=7)
+        assert net.compile().max_delay == 7
+
+    def test_max_delay_no_synapses(self):
+        net = Network()
+        net.add_neuron()
+        assert net.compile().max_delay == 1
+
+    def test_pacemaker_flag(self):
+        net = Network()
+        net.add_neuron(v_reset=2.0, v_threshold=1.0)
+        assert net.compile().has_pacemakers
+        net2 = Network()
+        net2.add_neuron()
+        assert not net2.compile().has_pacemakers
+
+    def test_has_decay(self):
+        net = Network()
+        net.add_neuron(tau=0.5)
+        assert net.compile().has_decay
+
+    def test_gather_out_synapses_matches_loop(self):
+        rng = np.random.default_rng(0)
+        net = Network()
+        ids = net.add_neurons(20)
+        for _ in range(100):
+            net.add_synapse(int(rng.integers(20)), int(rng.integers(20)))
+        c = net.compile()
+        for subset in ([0], [3, 7, 7], list(range(20)), []):
+            arr = np.asarray(subset, dtype=np.int64)
+            got = sorted(c.gather_out_synapses(arr).tolist())
+            want = sorted(
+                s for i in subset for s in range(c.indptr[i], c.indptr[i + 1])
+            )
+            assert got == want
+
+    def test_names_preserved(self):
+        net = Network()
+        net.add_neuron("alpha")
+        net.add_neuron()
+        c = net.compile()
+        assert c.names[0] == "alpha" and c.names[1] is None

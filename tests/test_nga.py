@@ -1,0 +1,161 @@
+"""Tests of the NGA model (Definition 4) and semiring matrix powers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.nga import (
+    BOOLEAN,
+    MAX_PLUS,
+    MIN_PLUS,
+    PLUS_TIMES,
+    NeuromorphicGraphAlgorithm,
+    matrix_power_nga,
+    semiring_matvec,
+)
+from repro.workloads import WeightedDigraph, gnp_graph, layered_dag
+from tests.conftest import ref_khop
+
+
+class TestExecutor:
+    def test_identity_edge_passes_messages(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: m, lambda v, msgs: sum(msgs)
+        )
+        res = nga.run({0: 5}, rounds=2)
+        assert res.history[1] == {1: 5}
+        assert res.history[2] == {2: 5}
+
+    def test_silent_nodes_send_nothing(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (2, 1, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: m, lambda v, msgs: sum(msgs)
+        )
+        res = nga.run({0: 1}, rounds=1)
+        # node 2 held no message, so node 1 hears only from node 0
+        assert res.history[1] == {1: 1}
+
+    def test_edge_fn_none_drops_message(self):
+        g = WeightedDigraph(2, [(0, 1, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: None, lambda v, msgs: sum(msgs)
+        )
+        res = nga.run({0: 1}, rounds=1)
+        assert res.history[1] == {}
+
+    def test_stop_when(self):
+        g = WeightedDigraph(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: m, lambda v, msgs: msgs[0]
+        )
+        res = nga.run({0: 1}, rounds=10, stop_when=lambda msgs, r: 2 in msgs)
+        assert res.rounds == 2
+
+    def test_terminates_when_no_messages(self):
+        g = WeightedDigraph(2, [(0, 1, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: m, lambda v, msgs: msgs[0]
+        )
+        res = nga.run({0: 1}, rounds=100)
+        assert res.rounds == 2  # round 2 delivers nothing, then stops
+
+    def test_timing_accounting(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: m, lambda v, msgs: msgs[0], t_edge=3, t_node=4
+        )
+        res = nga.run({0: 1}, rounds=2)
+        assert res.cost.simulated_ticks == res.rounds * 7
+        assert res.cost.round_length == 7
+
+    def test_invalid_rounds(self):
+        g = WeightedDigraph(1, [])
+        nga = NeuromorphicGraphAlgorithm(g, lambda *a: None, lambda *a: None)
+        with pytest.raises(ValidationError):
+            nga.run({0: 1}, rounds=-1)
+
+    def test_invalid_initial_node(self):
+        g = WeightedDigraph(2, [(0, 1, 1)])
+        nga = NeuromorphicGraphAlgorithm(
+            g, lambda u, v, w, m: m, lambda v, msgs: msgs[0]
+        )
+        with pytest.raises(ValidationError):
+            nga.run({5: 1}, rounds=1)
+
+    def test_invalid_depths(self):
+        g = WeightedDigraph(1, [])
+        with pytest.raises(ValidationError):
+            NeuromorphicGraphAlgorithm(g, lambda *a: None, lambda *a: None, t_edge=0)
+
+
+class TestSemiringMatvec:
+    def test_plus_times_matches_numpy(self):
+        g = gnp_graph(8, 0.4, max_length=5, seed=3)
+        A = np.zeros((8, 8))
+        for u, v, w in g.edges():
+            A[v, u] += w  # A[v][u]: message flows u -> v
+        x = np.arange(8, dtype=float)
+        got = semiring_matvec(g, PLUS_TIMES, x.astype(object))
+        want = A @ x
+        assert np.allclose(got.astype(float), want)
+
+    def test_boolean_reachability(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1)])
+        x = np.asarray([True, False, False], dtype=object)
+        got = semiring_matvec(g, BOOLEAN, x, edge_value="unit")
+        assert got.tolist() == [False, True, False]
+
+    def test_min_plus_single_step(self):
+        g = WeightedDigraph(3, [(0, 1, 4), (0, 1, 2), (1, 2, 1)])
+        x = np.asarray([0, math.inf, math.inf], dtype=object)
+        got = semiring_matvec(g, MIN_PLUS, x)
+        assert got.tolist() == [math.inf, 2, math.inf]
+
+    def test_vector_shape_checked(self):
+        g = WeightedDigraph(2, [(0, 1, 1)])
+        with pytest.raises(ValidationError):
+            semiring_matvec(g, MIN_PLUS, np.zeros(5, dtype=object))
+
+
+class TestMatrixPowerNGA:
+    def test_min_plus_power_equals_khop_exact_hops(self):
+        """r rounds of min-plus A^r m0 == min over exactly-r-edge paths."""
+        g = gnp_graph(10, 0.3, max_length=4, seed=6, ensure_source_reaches=True)
+        res = matrix_power_nga(g, MIN_PLUS, {0: 0}, rounds=3)
+        # prefix-min across history == <=k-hop distances
+        best = {0: 0}
+        for hist in res.history:
+            for v, d in hist.items():
+                if d < best.get(v, math.inf):
+                    best[v] = d
+        expect = ref_khop(g, 0, 3)
+        for v in range(g.n):
+            if expect[v] >= 0:
+                assert best.get(v) == expect[v]
+            else:
+                assert v not in best or v == 0
+
+    def test_max_plus_critical_path_on_dag(self):
+        g = layered_dag(3, 2, max_length=5, seed=1, density=1.0)
+        res = matrix_power_nga(g, MAX_PLUS, {0: 0}, rounds=4)
+        # the final layer's message is the longest path length
+        import networkx as nx
+
+        nxg = g.to_networkx()
+        want = nx.dag_longest_path_length(nxg, weight="weight")
+        got = max(max(h.values()) for h in res.history if h)
+        assert got == want
+
+    def test_unit_edge_value_counts_walks(self):
+        g = WeightedDigraph(3, [(0, 1, 9), (0, 2, 9), (1, 2, 9)])
+        res = matrix_power_nga(g, PLUS_TIMES, {0: 1}, rounds=2, edge_value="unit")
+        # walks of length exactly 2 from 0: 0->1->2
+        assert res.history[2] == {2: 1}
+
+    def test_bad_edge_value(self):
+        g = WeightedDigraph(2, [(0, 1, 1)])
+        with pytest.raises(ValidationError):
+            matrix_power_nga(g, MIN_PLUS, {0: 0}, rounds=1, edge_value="bogus")

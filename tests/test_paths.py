@@ -1,0 +1,96 @@
+"""Tests of path reconstruction (Sections 3 / 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    reconstruct_khop_path,
+    reconstruct_path,
+    spiking_khop_pseudo,
+    spiking_sssp_pseudo,
+)
+from repro.algorithms.paths import neuron_overhead_for_paths
+from repro.errors import ValidationError
+from repro.workloads import WeightedDigraph, gnp_graph
+from tests.conftest import ref_khop
+
+
+def path_length(graph, path):
+    total = 0
+    by_pair = {}
+    for u, v, w in graph.edges():
+        key = (u, v)
+        by_pair[key] = min(by_pair.get(key, 10**18), w)
+    for a, b in zip(path, path[1:]):
+        assert (a, b) in by_pair, f"({a},{b}) not an edge"
+        total += by_pair[(a, b)]
+    return total
+
+
+class TestSsspPaths:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reconstructed_path_is_shortest(self, seed):
+        g = gnp_graph(14, 0.3, max_length=6, seed=seed, ensure_source_reaches=True)
+        r = spiking_sssp_pseudo(g, 0)
+        for target in range(1, g.n):
+            path = reconstruct_path(g, r.dist, 0, target)
+            assert path is not None
+            assert path[0] == 0 and path[-1] == target
+            assert path_length(g, path) == r.dist[target]
+
+    def test_unreachable_returns_none(self):
+        g = WeightedDigraph(3, [(0, 1, 2)])
+        r = spiking_sssp_pseudo(g, 0)
+        assert reconstruct_path(g, r.dist, 0, 2) is None
+
+    def test_trivial_source_path(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0)
+        assert reconstruct_path(small_graph, r.dist, 0, 0) == [0]
+
+    def test_inconsistent_distances_rejected(self, small_graph):
+        bogus = np.asarray([0, 1, 1, 1, 1, 1], dtype=np.int64)
+        with pytest.raises(ValidationError):
+            reconstruct_path(small_graph, bogus, 0, 4)
+
+    def test_wrong_shape_rejected(self, small_graph):
+        with pytest.raises(ValidationError):
+            reconstruct_path(small_graph, np.zeros(3, dtype=np.int64), 0, 1)
+
+
+class TestKhopPaths:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_path_respects_hop_budget_and_length(self, seed, k):
+        g = gnp_graph(12, 0.3, max_length=5, seed=seed, ensure_source_reaches=True)
+        r = spiking_khop_pseudo(g, 0, k)
+        for target in range(1, g.n):
+            path = reconstruct_khop_path(g, 0, target, k, r.dist)
+            if r.dist[target] < 0:
+                assert path is None
+                continue
+            assert path[0] == 0 and path[-1] == target
+            assert len(path) - 1 <= k
+            assert path_length(g, path) == r.dist[target]
+
+    def test_hop_budget_forces_direct_edge(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+        r = spiking_khop_pseudo(g, 0, 1)
+        path = reconstruct_khop_path(g, 0, 2, 1, r.dist)
+        assert path == [0, 2]
+
+    def test_inconsistent_dist_rejected(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1)])
+        bogus = np.asarray([0, 1, 7], dtype=np.int64)
+        with pytest.raises(ValidationError):
+            reconstruct_khop_path(g, 0, 2, 2, bogus)
+
+
+class TestOverheadAccounting:
+    def test_sssp_overhead_n_log_n(self):
+        assert neuron_overhead_for_paths(16, 100) == 16 * 4
+
+    def test_khop_overhead_k_factor(self):
+        assert neuron_overhead_for_paths(16, 100, k=5) == 16 * 4 * 5
+
+    def test_minimum_one_bit(self):
+        assert neuron_overhead_for_paths(1, 0) == 1

@@ -1,0 +1,92 @@
+"""Property tests of circuit pipelining: random wave sequences through the
+Section-5 circuits must decode independently per wave (the ``tau = 1``
+memorylessness the graph compilers rely on)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    brute_force_max,
+    carry_lookahead_adder,
+    masked_min,
+    siu_adder,
+    wired_or_max,
+)
+from repro.circuits.runner import run_circuit_waves
+
+
+@given(
+    waves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=0, max_value=31),
+        ),
+        min_size=2,
+        max_size=8,
+    ),
+    kind=st.sampled_from(["cla", "siu"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_adders_pipeline(waves, kind):
+    b = CircuitBuilder()
+    xa = b.input_bits("a", 5)
+    xb = b.input_bits("b", 5)
+    adder = carry_lookahead_adder if kind == "cla" else siu_adder
+    b.output_bits("out", adder(b, xa, xb))
+    outs = run_circuit_waves(b, [{"a": x, "b": y} for x, y in waves])
+    assert [o["out"] for o in outs] == [x + y for x, y in waves]
+
+
+@given(
+    waves=st.lists(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=3, max_size=3),
+        min_size=2,
+        max_size=6,
+    ),
+    kind=st.sampled_from(["wired", "brute"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_max_circuits_pipeline(waves, kind):
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", 4) for i in range(3)]
+    fn = wired_or_max if kind == "wired" else brute_force_max
+    res = fn(b, ins)
+    b.output_bits("out", res.out_bits)
+    outs = run_circuit_waves(
+        b, [{f"x{i}": v for i, v in enumerate(wave)} for wave in waves]
+    )
+    assert [o["out"] for o in outs] == [max(wave) for wave in waves]
+
+
+@given(
+    waves=st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=0, max_value=7), min_size=2, max_size=2),
+            st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=2),
+        ),
+        min_size=2,
+        max_size=6,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_masked_min_pipelines(waves):
+    b = CircuitBuilder()
+    ins = [b.input_bits(f"x{i}", 3) for i in range(2)]
+    vs = b.input_bits("valid", 2)
+    res = masked_min(b, ins, vs)
+    b.output_bits("out", res.out_bits)
+    b.output_bits("v", [res.valid], aligned=False)
+    outs = run_circuit_waves(
+        b,
+        [
+            {**{f"x{i}": v for i, v in enumerate(vals)}, "valid": mask}
+            for vals, mask in waves
+        ],
+    )
+    for (vals, mask), out in zip(waves, outs):
+        chosen = [v for v, m in zip(vals, mask) if m]
+        if chosen:
+            assert out["v"] == 1 and out["out"] == min(chosen)
+        else:
+            assert out["v"] == 0 and out["out"] == 0

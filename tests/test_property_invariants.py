@@ -1,0 +1,110 @@
+"""Cross-cutting property-based tests on the algorithm family.
+
+These encode the paper's structural invariants rather than pointwise
+answers: agreement between independent implementations, monotonicity in the
+hop budget, scale equivariance, and consistency of the cost accounting.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    spiking_khop_poly,
+    spiking_khop_pseudo,
+    spiking_sssp_poly,
+    spiking_sssp_pseudo,
+)
+from repro.baselines import bellman_ford_khop, dijkstra
+from repro.workloads import WeightedDigraph
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v, draw(st.integers(min_value=1, max_value=9))))
+    return WeightedDigraph(n, edges)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_all_sssp_implementations_agree(g):
+    a = spiking_sssp_pseudo(g, 0).dist
+    b = spiking_sssp_poly(g, 0).dist
+    c, _ = dijkstra(g, 0)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, c)
+
+
+@given(graphs(), st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_khop_implementations_agree(g, k):
+    a = spiking_khop_pseudo(g, 0, k).dist
+    b = spiking_khop_poly(g, 0, k).dist
+    c, _ = bellman_ford_khop(g, 0, k)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, c)
+
+
+@given(graphs(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_khop_monotone_in_budget(g, k):
+    lo = spiking_khop_pseudo(g, 0, k).dist
+    hi = spiking_khop_pseudo(g, 0, k + 1).dist
+    for v in range(g.n):
+        if lo[v] >= 0:
+            assert 0 <= hi[v] <= lo[v]
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None)
+def test_khop_with_full_budget_equals_sssp(g):
+    khop = spiking_khop_pseudo(g, 0, g.n - 1).dist
+    sssp = spiking_sssp_pseudo(g, 0).dist
+    assert np.array_equal(khop, sssp)
+
+
+@given(graphs(), st.integers(min_value=2, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_scale_equivariance(g, factor):
+    base = spiking_sssp_pseudo(g, 0).dist
+    scaled = spiking_sssp_pseudo(g.scaled(factor), 0).dist
+    for v in range(g.n):
+        if base[v] >= 0:
+            assert scaled[v] == base[v] * factor
+        else:
+            assert scaled[v] == -1
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None)
+def test_triangle_inequality_over_edges(g):
+    dist = spiking_sssp_pseudo(g, 0).dist
+    for u, v, w in g.edges():
+        if u != v and dist[u] >= 0:
+            assert dist[v] != -1
+            assert dist[v] <= dist[u] + w
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None)
+def test_cost_report_consistency(g):
+    r = spiking_sssp_pseudo(g, 0)
+    assert r.cost.simulated_ticks >= 0
+    assert r.cost.spike_count == int((r.dist >= 0).sum())  # one spike/vertex
+    assert r.cost.total_time == r.cost.simulated_ticks + g.m
+    assert r.cost.with_embedding(g.n).total_time >= r.cost.total_time
+
+
+@given(graphs(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_pseudo_first_spike_time_is_distance(g, k):
+    """The core timing claim: simulated raw ticks == max finite distance."""
+    r = spiking_sssp_pseudo(g, 0)
+    finite = r.dist[r.dist >= 0]
+    assert r.cost.simulated_ticks == int(finite.max())

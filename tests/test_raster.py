@@ -1,0 +1,79 @@
+"""Tests of the spike-raster and rate utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, simulate
+from repro.core.raster import firing_rates, interspike_intervals, spike_raster
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def chain_result():
+    net = Network()
+    ids = [net.add_neuron(tau=1.0) for _ in range(3)]
+    net.add_synapse(ids[0], ids[1], delay=2)
+    net.add_synapse(ids[1], ids[2], delay=3)
+    r = simulate(net, [ids[0]], engine="dense", max_steps=10, record_spikes=True)
+    return ids, r
+
+
+class TestRaster:
+    def test_marks_at_spike_ticks(self, chain_result):
+        ids, r = chain_result
+        text = spike_raster(r, ids, t_end=6)
+        lines = text.splitlines()
+        assert lines[0].endswith("|......")
+        assert lines[1].endswith("..|....")
+        assert lines[2].endswith(".....|.")
+
+    def test_custom_names_and_window(self, chain_result):
+        ids, r = chain_result
+        text = spike_raster(r, ids, t_start=2, t_end=5, names=["a", "b", "c"])
+        assert text.splitlines()[0].startswith("a ")
+        assert len(text.splitlines()[0]) == 2 + 4  # label + 4 ticks
+
+    def test_name_count_checked(self, chain_result):
+        ids, r = chain_result
+        with pytest.raises(ValidationError):
+            spike_raster(r, ids, names=["only-one"])
+
+    def test_window_order_checked(self, chain_result):
+        ids, r = chain_result
+        with pytest.raises(ValidationError):
+            spike_raster(r, ids, t_start=5, t_end=2)
+
+    def test_requires_recording(self):
+        net = Network()
+        a = net.add_neuron()
+        r = simulate(net, [a], engine="dense", max_steps=3)
+        with pytest.raises(ValidationError):
+            spike_raster(r, [a])
+
+
+class TestRates:
+    def test_firing_rates(self, chain_result):
+        ids, r = chain_result
+        rates = firing_rates(r, horizon=9)
+        assert rates[ids[0]] == pytest.approx(1 / 10)
+
+    def test_latch_rate_one(self):
+        net = Network()
+        m = net.add_neuron(tau=1.0)
+        net.add_synapse(m, m, delay=1)
+        r = simulate(net, [m], engine="dense", max_steps=19,
+                     stop_when_quiescent=False, record_spikes=True)
+        assert firing_rates(r)[m] == pytest.approx(1.0)
+
+    def test_interspike_intervals_regular(self):
+        net = Network()
+        m = net.add_neuron(tau=1.0)
+        net.add_synapse(m, m, delay=1)
+        r = simulate(net, [m], engine="dense", max_steps=10,
+                     stop_when_quiescent=False, record_spikes=True)
+        isi = interspike_intervals(r, m)
+        assert (isi == 1).all()
+
+    def test_interspike_intervals_sparse(self, chain_result):
+        ids, r = chain_result
+        assert interspike_intervals(r, ids[0]).size == 0

@@ -1,0 +1,71 @@
+"""Tests of the Markdown instance report."""
+
+import pytest
+
+from repro.analysis.report import generate_instance_report
+from repro.errors import ValidationError
+from repro.workloads import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def doc():
+    g = gnp_graph(15, 0.3, max_length=5, seed=2, ensure_source_reaches=True)
+    return generate_instance_report(g, 0, k=3, registers=4)
+
+
+class TestReport:
+    def test_all_sections_present(self, doc):
+        for heading in (
+            "## Instance",
+            "## Ignoring data movement",
+            "## With data movement",
+            "## Table-1 side conditions",
+            "## Energy estimate",
+        ):
+            assert heading in doc
+
+    def test_markdown_tables_well_formed(self, doc):
+        for line in doc.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_platforms_listed(self, doc):
+        for name in ("TrueNorth", "Loihi", "Core i7-9700T"):
+            assert name in doc
+
+    def test_winners_reported(self, doc):
+        assert "neuromorphic" in doc or "conventional" in doc
+
+    def test_custom_title(self):
+        g = gnp_graph(8, 0.4, max_length=3, seed=1)
+        doc = generate_instance_report(g, 0, k=2, title="My Study")
+        assert doc.startswith("# My Study")
+
+    def test_validation(self):
+        g = gnp_graph(8, 0.4, max_length=3, seed=1)
+        with pytest.raises(ValidationError):
+            generate_instance_report(g, 99)
+        with pytest.raises(ValidationError):
+            generate_instance_report(g, 0, k=0)
+
+
+class TestReportCli:
+    def test_report_to_file(self, tmp_path):
+        from repro.cli import main
+        from repro.workloads import gnp_graph, write_edge_list
+
+        gpath = tmp_path / "g.edges"
+        write_edge_list(gnp_graph(10, 0.3, max_length=4, seed=3), gpath)
+        out = tmp_path / "report.md"
+        assert main(["report", str(gpath), "--k", "2", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# Neuromorphic advantage report" in text
+
+    def test_report_to_stdout(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads import gnp_graph, write_edge_list
+
+        gpath = tmp_path / "g.edges"
+        write_edge_list(gnp_graph(10, 0.3, max_length=4, seed=3), gpath)
+        assert main(["report", str(gpath), "--k", "2"]) == 0
+        assert "## Energy estimate" in capsys.readouterr().out

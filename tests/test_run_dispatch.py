@@ -1,0 +1,59 @@
+"""Tests of the engine auto-dispatcher (repro.core.run)."""
+
+import pytest
+
+from repro.core import Network, simulate
+from repro.core.run import _EVENT_DELAY_CUTOFF
+from repro.errors import ValidationError
+
+
+def make_net(delay=1, pacemaker=False):
+    net = Network()
+    a = net.add_neuron(
+        v_reset=2.0 if pacemaker else 0.0,
+        v_threshold=0.5,
+        tau=1.0,
+    )
+    b = net.add_neuron()
+    net.add_synapse(a, b, delay=delay)
+    return net, a, b
+
+
+class TestAutoDispatch:
+    def test_short_delays_pick_dense(self):
+        net, a, b = make_net(delay=2)
+        r = simulate(net, [a], max_steps=10)
+        assert r.first_spike[b] == 2  # semantics regardless of engine
+
+    def test_long_delays_pick_event(self):
+        net, a, b = make_net(delay=_EVENT_DELAY_CUTOFF + 1)
+        # event engine rejects probes; auto must not have chosen dense here,
+        # so requesting probes forces dense explicitly instead
+        r = simulate(net, [a], max_steps=1000)
+        assert r.first_spike[b] == _EVENT_DELAY_CUTOFF + 1
+
+    def test_pacemaker_forces_dense(self):
+        net, a, b = make_net(pacemaker=True)
+        r = simulate(net, None, max_steps=5, stop_when_quiescent=False)
+        assert r.spike_counts[a] == 5  # only the dense engine supports this
+
+    def test_probes_force_dense_even_with_long_delays(self):
+        net, a, b = make_net(delay=_EVENT_DELAY_CUTOFF + 10)
+        r = simulate(net, [a], max_steps=200, probe_voltages=[b])
+        assert r.voltages is not None and b in r.voltages
+
+    def test_explicit_event_with_probes_rejected(self):
+        net, a, b = make_net()
+        with pytest.raises(ValidationError):
+            simulate(net, [a], max_steps=5, engine="event", probe_voltages=[b])
+
+    def test_unknown_engine_rejected(self):
+        net, a, _ = make_net()
+        with pytest.raises(ValidationError):
+            simulate(net, [a], max_steps=5, engine="warp")
+
+    @pytest.mark.parametrize("engine", ["dense", "event"])
+    def test_explicit_engines_work(self, engine):
+        net, a, b = make_net(delay=3)
+        r = simulate(net, [a], max_steps=10, engine=engine)
+        assert r.first_spike[b] == 3

@@ -1,0 +1,111 @@
+"""Tests of the interactive stepping session."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Network, simulate_dense
+from repro.core.session import DenseSession
+from repro.errors import SimulationError, ValidationError
+
+
+def chain(delays, **kw):
+    net = Network()
+    ids = [net.add_neuron(**kw) for _ in range(len(delays) + 1)]
+    for i, d in enumerate(delays):
+        net.add_synapse(ids[i], ids[i + 1], delay=d)
+    return net, ids
+
+
+class TestStepping:
+    def test_step_by_step_chain(self):
+        net, ids = chain([2, 3])
+        s = DenseSession(net)
+        s.inject([ids[0]])
+        assert s.step().tolist() == [ids[0]]  # tick 0
+        assert s.step().tolist() == []        # tick 1
+        assert s.step().tolist() == [ids[1]]  # tick 2
+        s.step(2)
+        assert s.fired_last.tolist() == []    # tick 4
+        assert s.step().tolist() == [ids[2]]  # tick 5
+        assert s.first_spike[ids[2]] == 5
+
+    def test_mid_run_injection(self):
+        net, ids = chain([4])
+        s = DenseSession(net)
+        s.step(3)  # quiet ticks
+        s.inject([ids[0]])
+        s.step()
+        assert s.first_spike[ids[0]] == 3
+        s.step(4)
+        assert s.first_spike[ids[1]] == 7
+
+    def test_voltage_inspection(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=5.0, tau=0.0)
+        net.add_synapse(a, b, weight=2.0, delay=1)
+        s = DenseSession(net)
+        s.inject([a])
+        s.step(2)
+        assert s.voltages[b] == 2.0
+
+    def test_run_until(self):
+        net, ids = chain([3, 3])
+        s = DenseSession(net)
+        s.inject([ids[0]])
+        t = s.run_until(lambda sess: sess.fired_ever[ids[2]])
+        assert t == 6
+
+    def test_run_until_budget(self):
+        net, ids = chain([3])
+        s = DenseSession(net)
+        with pytest.raises(SimulationError):
+            s.run_until(lambda sess: False, max_ticks=10)
+
+    def test_validation(self):
+        net, ids = chain([1])
+        s = DenseSession(net)
+        with pytest.raises(ValidationError):
+            s.inject([99])
+        with pytest.raises(ValidationError):
+            s.step(0)
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    net = Network()
+    for _ in range(n):
+        net.add_neuron(
+            v_threshold=draw(st.sampled_from([0.5, 1.5])),
+            tau=draw(st.sampled_from([0.0, 1.0])),
+            one_shot=draw(st.booleans()),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * n))):
+        net.add_synapse(
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            weight=draw(st.sampled_from([-1.0, 1.0])),
+            delay=draw(st.integers(min_value=1, max_value=4)),
+        )
+    stim = sorted({draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(2)})
+    return net, stim
+
+
+@given(random_networks())
+@settings(max_examples=40, deadline=None)
+def test_session_matches_batch_engine(case):
+    net, stim = case
+    horizon = 20
+    batch = simulate_dense(
+        net, stim, max_steps=horizon, stop_when_quiescent=False, record_spikes=True
+    )
+    s = DenseSession(net)
+    s.inject(stim)
+    for t in range(horizon + 1):
+        fired = s.step()
+        want = batch.spike_events.get(t, np.empty(0, dtype=np.int64))
+        assert fired.tolist() == sorted(want.tolist()), t
+    assert s.first_spike.tolist() == batch.first_spike.tolist()
+    assert s.spike_counts.tolist() == batch.spike_counts.tolist()

@@ -1,0 +1,91 @@
+"""Tests of gate-level SSSP with predecessor latching (Section 3 paths)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp_paths_gate import sssp_with_predecessor_latching
+from repro.errors import ValidationError
+from repro.workloads import WeightedDigraph, gnp_graph, path_graph
+from tests.conftest import ref_sssp
+
+
+class TestDistances:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distances_match_networkx(self, seed):
+        g = gnp_graph(10, 0.3, max_length=7, seed=seed, ensure_source_reaches=True)
+        r = sssp_with_predecessor_latching(g, 0)
+        assert np.array_equal(r.dist, ref_sssp(g, 0))
+
+    def test_unit_lengths_scaled_internally(self):
+        g = path_graph(5, max_length=1, seed=0)
+        r = sssp_with_predecessor_latching(g, 0)
+        assert r.dist.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestPredecessors:
+    def test_path_graph_predecessors_exact(self):
+        g = path_graph(6, max_length=4, seed=1)
+        r = sssp_with_predecessor_latching(g, 0)
+        assert r.pred.tolist() == [-1, 0, 1, 2, 3, 4]
+
+    def test_source_and_unreached_marked(self):
+        g = WeightedDigraph(4, [(0, 1, 3), (1, 2, 3)])
+        r = sssp_with_predecessor_latching(g, 0)
+        assert r.pred[0] == -1  # source
+        assert r.pred[3] == -1  # unreached
+
+    @pytest.mark.parametrize("seed", [2, 5, 9, 12])
+    def test_latched_predecessors_valid_on_random_graphs(self, seed):
+        # wide weight range keeps shortest paths unique, so latches are clean
+        g = gnp_graph(9, 0.3, max_length=50, seed=seed, ensure_source_reaches=True)
+        r = sssp_with_predecessor_latching(g, 0)
+        for v in range(1, g.n):
+            if r.dist[v] < 0:
+                continue
+            p = int(r.pred[v])
+            assert p >= 0, f"vertex {v} unresolved"
+            heads, lengths = g.out_edges(p)
+            hit = [w for h, w in zip(heads.tolist(), lengths.tolist()) if h == v]
+            assert hit, (v, p)
+            assert r.dist[p] + min(hit) == r.dist[v]
+
+    def test_path_walk_reaches_source(self):
+        g = gnp_graph(9, 0.3, max_length=50, seed=5, ensure_source_reaches=True)
+        r = sssp_with_predecessor_latching(g, 0)
+        for v in range(g.n):
+            if r.dist[v] < 0:
+                continue
+            path = r.path_to(v)
+            assert path[0] == 0 and path[-1] == v
+            total = 0
+            for a, b in zip(path, path[1:]):
+                heads, lengths = g.out_edges(a)
+                ws = [w for h, w in zip(heads.tolist(), lengths.tolist()) if h == b]
+                total += min(ws)
+            assert total == r.dist[v]
+
+    def test_unreachable_path_none(self):
+        g = WeightedDigraph(3, [(0, 1, 2)])
+        r = sssp_with_predecessor_latching(g, 0)
+        assert r.path_to(2) is None
+
+    def test_id_zero_predecessor_latches_cleanly(self):
+        # predecessor 0 broadcasts no bits; the all-zero latch must decode
+        # to vertex 0, not to "nothing"
+        g = WeightedDigraph(3, [(0, 1, 5), (1, 2, 5)])
+        r = sssp_with_predecessor_latching(g, 0)
+        assert r.pred[1] == 0
+
+
+class TestAccounting:
+    def test_neuron_overhead_n_log_n(self):
+        g = gnp_graph(12, 0.3, max_length=9, seed=3)
+        r = sssp_with_predecessor_latching(g, 0)
+        bits = r.cost.message_bits
+        # relays + 3 groups (broadcast, capture, latch) of `bits` per vertex
+        assert r.cost.neuron_count == g.n * (1 + 3 * bits)
+
+    def test_validation(self):
+        g = path_graph(3, seed=0)
+        with pytest.raises(ValidationError):
+            sssp_with_predecessor_latching(g, 9)

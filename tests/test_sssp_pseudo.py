@@ -1,0 +1,125 @@
+"""Tests of the Section 3 pseudopolynomial spiking SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import spiking_sssp_pseudo
+from repro.core.result import StopReason
+from repro.errors import ValidationError
+from repro.workloads import WeightedDigraph, gnp_graph, path_graph, star_graph
+from tests.conftest import SMALL_GRAPH_DIST, ref_sssp
+
+
+class TestCorrectness:
+    def test_small_graph_known_distances(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0)
+        assert np.array_equal(r.dist, SMALL_GRAPH_DIST)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        g = gnp_graph(15, 0.25, max_length=6, seed=seed,
+                      ensure_source_reaches=(seed % 2 == 0))
+        r = spiking_sssp_pseudo(g, 0)
+        assert np.array_equal(r.dist, ref_sssp(g, 0))
+
+    @pytest.mark.parametrize("engine", ["event", "dense"])
+    def test_engines_agree(self, small_graph, engine):
+        r = spiking_sssp_pseudo(small_graph, 0, engine=engine)
+        assert np.array_equal(r.dist, SMALL_GRAPH_DIST)
+
+    def test_gadget_variant_matches(self, random_graphs):
+        for g in random_graphs:
+            plain = spiking_sssp_pseudo(g, 0)
+            gadget = spiking_sssp_pseudo(g, 0, use_gadgets=True, engine="dense")
+            assert np.array_equal(plain.dist, gadget.dist)
+
+    def test_gadget_scaling_restores_distances(self):
+        # min length 1 forces the x3 internal scaling; results must be exact
+        g = path_graph(5, max_length=1, seed=0)
+        r = spiking_sssp_pseudo(g, 0, use_gadgets=True, engine="dense")
+        assert r.dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_self_loops_ignored(self):
+        g = WeightedDigraph(2, [(0, 0, 5), (0, 1, 3)])
+        r = spiking_sssp_pseudo(g, 0)
+        assert r.dist.tolist() == [0, 3]
+
+    def test_unreachable_marked(self):
+        g = WeightedDigraph(3, [(0, 1, 2)])
+        r = spiking_sssp_pseudo(g, 0)
+        assert r.dist.tolist() == [0, 2, -1]
+        assert r.distance_to(2) is None
+        assert r.reached.tolist() == [True, True, False]
+
+    def test_source_distance_zero(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 3)
+        assert r.dist[3] == 0
+
+    def test_parallel_edges_shortest_wins(self):
+        g = WeightedDigraph(2, [(0, 1, 9), (0, 1, 2)])
+        r = spiking_sssp_pseudo(g, 0)
+        assert r.dist[1] == 2
+
+
+class TestTargetMode:
+    def test_terminates_at_target(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0, target=3)
+        assert r.dist[3] == 6
+        assert r.sim.stop_reason is StopReason.TERMINAL
+        # node 4 is farther than the target: never reached before stopping
+        assert r.dist[4] == -1
+
+    def test_unreachable_target_runs_out(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0, target=5)
+        assert r.dist[5] == -1
+
+    def test_target_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_sssp_pseudo(small_graph, 0, target=77)
+
+    def test_source_validation(self, small_graph):
+        with pytest.raises(ValidationError):
+            spiking_sssp_pseudo(small_graph, -1)
+
+
+class TestCostModel:
+    def test_simulated_ticks_equal_L(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0, target=4)
+        assert r.cost.simulated_ticks == 8  # L = dist(4)
+
+    def test_simulated_ticks_max_distance_without_target(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0)
+        assert r.cost.simulated_ticks == 8
+
+    def test_loading_is_m(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0)
+        assert r.cost.loading_ticks == small_graph.m
+
+    def test_neuron_count_n(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0)
+        assert r.cost.neuron_count == small_graph.n
+
+    def test_gadget_neuron_count_2n(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0, use_gadgets=True, engine="dense")
+        assert r.cost.neuron_count == 2 * small_graph.n
+
+    def test_total_time_theorem_41(self, small_graph):
+        """Theorem 4.1 without data movement: T = L + m."""
+        r = spiking_sssp_pseudo(small_graph, 0)
+        assert r.cost.total_time == 8 + small_graph.m
+
+    def test_embedding_charge(self, small_graph):
+        r = spiking_sssp_pseudo(small_graph, 0)
+        charged = r.cost.with_embedding(small_graph.n)
+        assert charged.total_time == small_graph.n * 8 + small_graph.m
+
+    def test_spike_count_at_most_n_for_one_shot(self):
+        g = star_graph(10, max_length=3, seed=0)
+        r = spiking_sssp_pseudo(g, 0)
+        assert r.cost.spike_count == 10  # every vertex fires exactly once
+
+    def test_scale_invariance(self):
+        g = gnp_graph(10, 0.3, max_length=5, seed=9, ensure_source_reaches=True)
+        r1 = spiking_sssp_pseudo(g, 0)
+        r7 = spiking_sssp_pseudo(g.scaled(7), 0)
+        assert np.array_equal(r7.dist, r1.dist * 7)

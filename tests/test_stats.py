@@ -1,0 +1,50 @@
+"""Tests of network statistics."""
+
+import pytest
+
+from repro.core import Network
+from repro.core.stats import network_stats
+
+
+def test_empty_network():
+    stats = network_stats(Network())
+    assert stats.neurons == 0 and stats.synapses == 0
+    assert stats.max_fan_out == 0 and stats.min_delay == 0
+
+
+def test_counts_and_ranges():
+    net = Network()
+    a = net.add_neuron(one_shot=True)
+    b = net.add_neuron(tau=1.0)
+    c = net.add_neuron(v_reset=2.0, v_threshold=1.0)  # pacemaker
+    net.add_synapse(a, b, weight=2.0, delay=3)
+    net.add_synapse(a, c, weight=-1.0, delay=1)
+    net.add_synapse(b, b, weight=1.0, delay=2)  # self-loop
+    stats = network_stats(net)
+    assert stats.neurons == 3
+    assert stats.synapses == 3
+    assert stats.max_fan_out == 2
+    assert stats.max_fan_in == 2  # b receives from a and itself
+    assert stats.min_weight == -1.0 and stats.max_weight == 2.0
+    assert stats.min_delay == 1 and stats.max_delay == 3
+    assert stats.excitatory_synapses == 2
+    assert stats.inhibitory_synapses == 1
+    assert stats.self_loops == 1
+    assert stats.one_shot_neurons == 1
+    assert stats.integrator_neurons == 2  # a (tau=0) and c (tau=0)
+    assert stats.pacemaker_neurons == 1
+
+
+def test_summary_renders_all_sections():
+    net = Network()
+    a, b = net.add_neuron(), net.add_neuron()
+    net.add_synapse(a, b)
+    text = network_stats(net).summary()
+    for key in ("neurons", "synapses", "fan-out", "weights", "delays", "pacemaker"):
+        assert key in text
+
+
+def test_accepts_compiled_network():
+    net = Network()
+    net.add_neuron()
+    assert network_stats(net.compile()).neurons == 1

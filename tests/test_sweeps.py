@@ -1,0 +1,75 @@
+"""Tests of the parameter-sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import Series, crossover_between, render_series, sweep
+from repro.errors import ValidationError
+
+
+class TestSeries:
+    def test_sweep_evaluates(self):
+        s = sweep([1, 2, 3], lambda x: x * x, label="sq")
+        assert s.ys == [1.0, 4.0, 9.0]
+
+    def test_fit_exponent_quadratic(self):
+        s = sweep([2, 4, 8, 16], lambda x: 3 * x**2)
+        assert s.fit_exponent() == pytest.approx(2.0)
+
+    def test_fit_exponent_inverse_sqrt(self):
+        s = sweep([1, 4, 16, 64], lambda x: 10 / x**0.5)
+        assert s.fit_exponent() == pytest.approx(-0.5)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValidationError):
+            Series([1], [1]).fit_exponent()
+
+    def test_fit_needs_positive_data(self):
+        with pytest.raises(ValidationError):
+            Series([1, 2], [0, 1]).fit_exponent()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Series([1, 2], [1])
+
+    def test_ratio_to(self):
+        a = sweep([1, 2], lambda x: 10 * x, label="a")
+        b = sweep([1, 2], lambda x: x, label="b")
+        r = a.ratio_to(b)
+        assert r.ys == [10.0, 10.0]
+        assert r.label == "a/b"
+
+    def test_ratio_requires_same_xs(self):
+        with pytest.raises(ValidationError):
+            sweep([1, 2], float).ratio_to(sweep([1, 3], float))
+
+
+class TestCrossover:
+    def test_found(self):
+        conv = sweep(list(range(1, 10)), lambda k: k * 100.0)
+        neuro = sweep(list(range(1, 10)), lambda k: 450.0)
+        assert crossover_between(conv, neuro) == 5
+
+    def test_not_found(self):
+        a = sweep([1, 2, 3], lambda x: 1.0)
+        b = sweep([1, 2, 3], lambda x: 2.0)
+        assert crossover_between(a, b) is None
+
+    def test_mismatched_sweeps(self):
+        with pytest.raises(ValidationError):
+            crossover_between(sweep([1], float), sweep([2], float))
+
+
+class TestRendering:
+    def test_columns_present(self):
+        a = sweep([1, 2], lambda x: x, label="conv")
+        b = sweep([1, 2], lambda x: 2 * x, label="neuro")
+        text = render_series([a, b], x_label="k")
+        assert "k" in text and "conv" in text and "neuro" in text
+        assert len(text.splitlines()) == 4  # header, rule, 2 rows
+
+    def test_empty(self):
+        assert render_series([]) == ""
+
+    def test_mismatched_sweeps(self):
+        with pytest.raises(ValidationError):
+            render_series([sweep([1], float), sweep([2], float)])

@@ -1,0 +1,67 @@
+"""Tests of the Section 4.1 TTL algorithm deployed on the crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.ttl_crossbar import (
+    compile_khop_ttl_on_crossbar,
+    run_ttl_crossbar,
+)
+from repro.errors import EmbeddingError
+from repro.workloads import WeightedDigraph, gnp_graph, path_graph
+from tests.conftest import ref_khop
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_random_graphs(self, seed, k):
+        g = gnp_graph(4, 0.5, max_length=3, seed=seed, ensure_source_reaches=True)
+        r = run_ttl_crossbar(compile_khop_ttl_on_crossbar(g, 0, k))
+        assert np.array_equal(r.dist, ref_khop(g, 0, k))
+
+    def test_hop_budget_enforced_on_path(self):
+        g = path_graph(4, max_length=2, seed=1)
+        r = run_ttl_crossbar(compile_khop_ttl_on_crossbar(g, 0, 2))
+        expect = ref_khop(g, 0, 2)
+        assert np.array_equal(r.dist, expect)
+        assert r.dist[3] == -1  # 3 hops away, budget 2
+
+    def test_hop_vs_length_tradeoff(self):
+        g = WeightedDigraph(3, [(0, 1, 1), (1, 2, 1), (0, 2, 3)])
+        r1 = run_ttl_crossbar(compile_khop_ttl_on_crossbar(g, 0, 1))
+        r2 = run_ttl_crossbar(compile_khop_ttl_on_crossbar(g, 0, 2))
+        assert r1.dist[2] == 3
+        assert r2.dist[2] == 2
+
+    def test_matches_flat_gate_level(self):
+        """Crossbar deployment == flat Section 4.1 compilation."""
+        from repro.algorithms import compile_khop_pseudo_gate_level
+        from repro.algorithms.khop_pseudo import run_khop_gate_level
+
+        g = gnp_graph(4, 0.6, max_length=2, seed=11, ensure_source_reaches=True)
+        k = 2
+        flat = run_khop_gate_level(compile_khop_pseudo_gate_level(g, 0, k))
+        onchip = run_ttl_crossbar(compile_khop_ttl_on_crossbar(g, 0, k))
+        assert np.array_equal(flat.dist, onchip.dist)
+
+
+class TestStructure:
+    def test_validation(self):
+        g = path_graph(3, seed=0)
+        with pytest.raises(EmbeddingError):
+            compile_khop_ttl_on_crossbar(g, 9, 2)
+        with pytest.raises(EmbeddingError):
+            compile_khop_ttl_on_crossbar(g, 0, 0)
+
+    def test_crossbar_footprint(self):
+        g = gnp_graph(4, 0.5, max_length=3, seed=2)
+        compiled = compile_khop_ttl_on_crossbar(g, 0, 3)
+        # 2n^2 crossbar vertices, each a few neurons per TTL bit
+        assert compiled.net.n_neurons > 2 * 16
+        assert compiled.bits == 2  # TTL values 0..2
+
+    def test_hop_tick_cost_covers_circuit_depth(self):
+        g = gnp_graph(4, 0.5, max_length=3, seed=3)
+        compiled = compile_khop_ttl_on_crossbar(g, 0, 2)
+        assert compiled.x > max(compiled.diag_depth.values())

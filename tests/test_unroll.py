@@ -1,0 +1,110 @@
+"""Tests of the SNN -> feed-forward-TC unrolling (Section 1's simulation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.unroll import unroll_to_feedforward
+from repro.core import Network, simulate_dense
+from repro.errors import CircuitError
+
+
+def gate_chain(delays):
+    net = Network()
+    ids = [net.add_neuron(tau=1.0) for _ in range(len(delays) + 1)]
+    for i, d in enumerate(delays):
+        net.add_synapse(ids[i], ids[i + 1], delay=d)
+    return net, ids
+
+
+class TestConstruction:
+    def test_chain_unrolls_and_matches(self):
+        net, ids = gate_chain([1, 2])
+        unrolled = unroll_to_feedforward(net, [ids[0]], horizon=4)
+        fired = unrolled.run([ids[0]])
+        assert fired[(ids[0], 0)]
+        assert fired[(ids[1], 1)]
+        assert fired[(ids[2], 3)]
+
+    def test_unstimulated_input_stays_silent(self):
+        net, ids = gate_chain([1])
+        unrolled = unroll_to_feedforward(net, [ids[0]], horizon=3)
+        fired = unrolled.run([])
+        assert not any(fired.values())
+
+    def test_gate_count_polynomial(self):
+        net, ids = gate_chain([1, 1, 1])
+        T = 6
+        unrolled = unroll_to_feedforward(net, [ids[0]], horizon=T)
+        # at most one gate per (neuron, tick) pair plus the inputs
+        assert unrolled.gate_count <= net.n_neurons * (T + 1) + len(ids)
+
+    def test_structurally_silent_pairs_skipped(self):
+        net, ids = gate_chain([3])
+        unrolled = unroll_to_feedforward(net, [ids[0]], horizon=5)
+        # neuron 1 can only fire at tick 3 (single delay-3 wire from tick 0)
+        assert unrolled.signal_of(ids[1], 3) is not None
+        assert unrolled.signal_of(ids[1], 2) is None
+        assert unrolled.signal_of(ids[1], 4) is None
+
+    def test_integrator_rejected(self):
+        net = Network()
+        net.add_neuron(tau=0.0)
+        with pytest.raises(CircuitError):
+            unroll_to_feedforward(net, [0], horizon=2)
+
+    def test_one_shot_rejected(self):
+        net = Network()
+        net.add_neuron(tau=1.0, one_shot=True)
+        with pytest.raises(CircuitError):
+            unroll_to_feedforward(net, [0], horizon=2)
+
+    def test_negative_horizon_rejected(self):
+        net, ids = gate_chain([1])
+        with pytest.raises(CircuitError):
+            unroll_to_feedforward(net, [ids[0]], horizon=-1)
+
+    def test_unknown_stimulus_in_run(self):
+        net, ids = gate_chain([1])
+        unrolled = unroll_to_feedforward(net, [ids[0]], horizon=2)
+        with pytest.raises(CircuitError):
+            unrolled.run([ids[1]])
+
+
+@st.composite
+def gate_networks(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    net = Network()
+    for _ in range(n):
+        net.add_neuron(v_threshold=draw(st.sampled_from([0.5, 1.5])), tau=1.0)
+    for _ in range(draw(st.integers(min_value=1, max_value=2 * n))):
+        net.add_synapse(
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            weight=draw(st.sampled_from([-1.0, 1.0])),
+            delay=draw(st.integers(min_value=1, max_value=3)),
+        )
+    stim = sorted(
+        {draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(2)}
+    )
+    return net, stim
+
+
+@given(gate_networks())
+@settings(max_examples=40, deadline=None)
+def test_unrolled_circuit_matches_recurrent_engine(case):
+    """The TC-simulation claim: layer t of the unrolled circuit fires
+    exactly the neurons the recurrent network fires at tick t."""
+    net, stim = case
+    T = 6
+    unrolled = unroll_to_feedforward(net, stim, horizon=T)
+    fired = unrolled.run(stim)
+    native = simulate_dense(
+        net, stim, max_steps=T, stop_when_quiescent=False, record_spikes=True
+    )
+    for t in range(T + 1):
+        native_ids = set(
+            native.spike_events.get(t, np.empty(0, dtype=np.int64)).tolist()
+        )
+        for i in range(net.n_neurons):
+            assert fired.get((i, t), False) == (i in native_ids), (i, t)
