@@ -5,13 +5,20 @@ and measures coverage (vertices still reached) and correctness (reached
 distances never shorten — timing information degrades monotonically).
 Also verifies the delay-encoded design's weight-noise immunity: answers
 live in spike *timing*, so small weight jitter changes nothing.
+
+The final bench swaps the *static* dropout (synapses removed before the
+run) for the *runtime* :class:`~repro.core.transient.SpikeDrop` model:
+deliveries are lost per emission instead of synapses being cut up front.
+On a one-shot SSSP network each synapse carries at most one delivery, so
+the two fault styles should degrade coverage near-identically at equal
+``p`` — which the bench's side-by-side sweep confirms.
 """
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import print_header, print_rows, whole_run
-from repro.core import Network, simulate
+from repro.core import Network, SpikeDrop, simulate
 from repro.core.faults import with_dead_neurons, with_synapse_dropout, with_weight_noise
 from repro.workloads import gnp_graph
 
@@ -68,6 +75,47 @@ def test_ablation_dead_neuron_impact():
         assert r.first_spike[ids[dead]] == -1
         assert lost >= 1  # at least the dead vertex itself
     print_rows(["dead vertex", "vertices lost"], rows)
+
+
+@whole_run
+def test_ablation_transient_spike_drop_curve():
+    """Runtime spike-drop sweep next to the equivalent static dropout."""
+    g = gnp_graph(40, 0.15, max_length=5, seed=61, ensure_source_reaches=True)
+    net, ids = sssp_network(g)
+    base = simulate(net, [ids[0]], engine="event", max_steps=1000)
+    base_reached = int((base.first_spike >= 0).sum())
+    print_header("Ablation: SSSP coverage under runtime spike drop (transient)")
+    rows = []
+    coverages = []
+    for p in (0.0, 0.1, 0.3, 0.6, 0.9):
+        transient_counts = []
+        static_counts = []
+        for seed in range(5):
+            r = simulate(
+                net,
+                [ids[0]],
+                engine="event",
+                max_steps=1000,
+                faults=SpikeDrop(p, seed=seed),
+            )
+            transient_counts.append(int((r.first_spike >= 0).sum()))
+            # a lost delivery can only lengthen paths, never shorten them
+            for v in range(g.n):
+                if r.first_spike[ids[v]] >= 0:
+                    assert r.first_spike[ids[v]] >= base.first_spike[ids[v]]
+            rs = simulate(
+                with_synapse_dropout(net, p, seed=seed),
+                [ids[0]],
+                engine="event",
+                max_steps=1000,
+            )
+            static_counts.append(int((rs.first_spike >= 0).sum()))
+        mean = float(np.mean(transient_counts))
+        coverages.append(mean)
+        rows.append((p, round(mean, 1), round(float(np.mean(static_counts)), 1), base_reached))
+    print_rows(["drop p", "mean reached (runtime)", "mean reached (static)", "fault-free"], rows)
+    assert coverages[0] == base_reached
+    assert coverages[-1] < coverages[0]
 
 
 @whole_run

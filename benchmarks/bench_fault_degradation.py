@@ -1,0 +1,79 @@
+"""Degradation curves and TMR protection under transient faults.
+
+Two experiments around the runtime fault subsystem:
+
+* the :func:`~repro.analysis.degradation.degradation_sweep` table — success
+  probability and coverage over fault rate for the three algorithm
+  families — asserting quality is perfect at rate 0 and falls as the rate
+  grows;
+* the TMR protection curve — at each drop probability, the success rate of
+  an unprotected wired-OR max circuit under *global* delivery drops next to
+  a triple-replicated one whose faults are confined to a single replica.
+  The replica-confined column stays at 1.0 (majority masking is exact),
+  while the unprotected circuit decays — the constant-overhead robustness
+  argument made quantitative.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, print_rows, whole_run
+from repro.analysis.degradation import degradation_sweep
+from repro.circuits import CircuitBuilder, run_circuit, tmr
+from repro.circuits.max_circuits import wired_or_max
+from repro.core import SpikeDrop
+from repro.workloads import gnp_graph
+
+
+@whole_run
+def test_degradation_sweep_table():
+    g = gnp_graph(24, 0.2, max_length=5, seed=17, ensure_source_reaches=True)
+    rates = (0.0, 0.02, 0.05, 0.1, 0.2)
+    cells = degradation_sweep(g, rates=rates, trials=10, seed=1)
+    print_header("Degradation: success probability / coverage vs fault rate")
+    print_rows(
+        ["algorithm", "rate", "P(success)", "coverage"],
+        [(c.algorithm, c.rate, c.success_probability, c.coverage) for c in cells],
+    )
+    for c in cells:
+        if c.rate == 0.0:
+            assert c.success_probability == 1.0 and c.coverage == 1.0
+    # at the highest rate no family keeps perfect success
+    worst = [c for c in cells if c.rate == rates[-1]]
+    assert all(c.success_probability < 1.0 for c in worst)
+
+
+def _build_max(b: CircuitBuilder) -> None:
+    xs = [b.input_bits(f"x{i}", 4) for i in range(3)]
+    res = wired_or_max(b, xs)
+    b.output_bits("max", res.out_bits)
+
+
+@whole_run
+def test_tmr_protection_curve():
+    plain = CircuitBuilder()
+    _build_max(plain)
+    wrapped = tmr(_build_max)
+    inputs = {"x0": 5, "x1": 12, "x2": 7}
+    trials = 20
+    print_header("TMR: unprotected (global drops) vs 3-replica (one replica faulted)")
+    rows = []
+    for p in (0.05, 0.1, 0.2, 0.4):
+        plain_ok = sum(
+            run_circuit(plain, inputs, faults=SpikeDrop(p, seed=s))["max"] == 12
+            for s in range(trials)
+        )
+        tmr_ok = sum(
+            run_circuit(
+                wrapped.builder,
+                inputs,
+                faults=SpikeDrop(p, seed=s, sources=wrapped.replicas[0]),
+            )["max"]
+            == 12
+            for s in range(trials)
+        )
+        rows.append((p, plain_ok / trials, tmr_ok / trials))
+    print_rows(["drop p", "unprotected P(success)", "TMR P(success)"], rows)
+    # faults confined to one replica are masked exactly at every rate
+    assert all(t == 1.0 for _, _, t in rows)
+    # the unprotected circuit measurably fails well before the highest rate
+    assert min(pl for _, pl, _ in rows) < 0.5

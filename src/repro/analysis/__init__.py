@@ -5,7 +5,8 @@ explicit function of the problem parameters (``n, m, k, U, L, alpha, c``),
 with the theorem each formula comes from; :mod:`~repro.analysis.advantage`
 encodes the "neuromorphic is better when" side conditions and locates
 empirical crossovers; :mod:`~repro.analysis.tables` renders measured
-comparisons in the layout of Table 1.
+comparisons in the layout of Table 1; :mod:`~repro.analysis.degradation`
+measures answer quality under transient fault rates.
 """
 
 from repro.analysis.complexity import (
@@ -26,7 +27,13 @@ from repro.analysis.advantage import (
 )
 from repro.analysis.tables import ComparisonRow, render_table
 from repro.analysis.sweeps import Series, crossover_between, render_series, sweep
-from repro.analysis.report import generate_instance_report
+from repro.analysis.report import generate_instance_report, markdown_table
+from repro.analysis.degradation import (
+    DegradationCell,
+    degradation_markdown,
+    degradation_sweep,
+    render_degradation,
+)
 
 __all__ = [
     "conventional_sssp_time",
@@ -48,4 +55,9 @@ __all__ = [
     "crossover_between",
     "render_series",
     "generate_instance_report",
+    "markdown_table",
+    "DegradationCell",
+    "degradation_sweep",
+    "render_degradation",
+    "degradation_markdown",
 ]

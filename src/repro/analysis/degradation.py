@@ -1,0 +1,265 @@
+"""Degradation analysis: answer quality as a function of transient-fault rate.
+
+Sweeps fault rate x algorithm and measures, per cell, how often the faulty
+run still produces the exact fault-free answer (*success probability*) and
+how much of the answer survives on average (*coverage*).  Three
+representative algorithm families cover the paper's three styles of
+computation:
+
+* ``sssp`` — the Section-3 delay-encoded SSSP network under
+  :class:`~repro.core.transient.SpikeDrop`: success means every first-spike
+  time matches the fault-free run; coverage is the fraction of
+  fault-free-reached vertices still reached.
+* ``max`` — the Theorem-5.1 wired-OR max circuit under delivery drops:
+  success means the decoded maximum is exact; coverage is the fraction of
+  correct output bits.
+* ``matvec`` — the Definition-4 min-plus matrix–vector NGA where each edge
+  message is lost with the fault probability: success means the final
+  message assignment is exact; coverage is the fraction of nodes whose
+  final message matches.
+
+Results render as text (:func:`render_degradation`) or Markdown
+(:func:`degradation_markdown`) through the existing report machinery, and
+are exposed on the command line as ``repro faults``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.report import markdown_table
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.max_circuits import wired_or_max
+from repro.circuits.runner import run_circuit
+from repro.core.network import Network
+from repro.core.run import simulate
+from repro.core.transient import SpikeDrop
+from repro.errors import ValidationError
+from repro.nga.matvec import matrix_power_nga
+from repro.nga.model import NeuromorphicGraphAlgorithm
+from repro.nga.semiring import MIN_PLUS
+from repro.workloads.generators import gnp_graph
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = [
+    "DegradationCell",
+    "degradation_sweep",
+    "render_degradation",
+    "degradation_markdown",
+]
+
+ALGORITHMS = ("sssp", "max", "matvec")
+
+
+@dataclass(frozen=True)
+class DegradationCell:
+    """One (algorithm, fault rate) cell of a degradation sweep."""
+
+    algorithm: str
+    rate: float
+    trials: int
+    successes: int
+    coverage: float  # mean fraction of the answer that survived, in [0, 1]
+
+    @property
+    def success_probability(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+def _default_graph(seed: int) -> WeightedDigraph:
+    return gnp_graph(24, 0.2, max_length=5, seed=seed, ensure_source_reaches=True)
+
+
+def _sssp_cells(
+    graph: WeightedDigraph, rates: Sequence[float], trials: int, seed: int
+) -> List[DegradationCell]:
+    net = Network()
+    ids = [net.add_neuron(one_shot=True) for _ in range(graph.n)]
+    for u, v, w in graph.edges():
+        if u != v:
+            net.add_synapse(ids[u], ids[v], delay=int(w))
+    compiled = net.compile()
+    horizon = (graph.n - 1) * max(1, graph.max_length()) + 1
+    base = simulate(compiled, [ids[0]], engine="event", max_steps=horizon)
+    base_reached = int((base.first_spike >= 0).sum())
+    cells = []
+    for rate in rates:
+        successes = 0
+        coverage = 0.0
+        for trial in range(trials):
+            r = simulate(
+                compiled,
+                [ids[0]],
+                engine="event",
+                max_steps=horizon,
+                faults=SpikeDrop(rate, seed=seed * 1_000_003 + trial),
+            )
+            if np.array_equal(r.first_spike, base.first_spike):
+                successes += 1
+            reached = int((r.first_spike >= 0).sum())
+            coverage += reached / base_reached if base_reached else 1.0
+        cells.append(DegradationCell("sssp", float(rate), trials, successes, coverage / trials))
+    return cells
+
+
+def _max_cells(
+    rates: Sequence[float], trials: int, seed: int, *, count: int = 4, width: int = 4
+) -> List[DegradationCell]:
+    builder = CircuitBuilder()
+    groups = [builder.input_bits(f"x{i}", width) for i in range(count)]
+    res = wired_or_max(builder, groups)
+    builder.output_bits("max", res.out_bits)
+    rng = np.random.default_rng(seed)
+    cases = [
+        {f"x{i}": int(v) for i, v in enumerate(rng.integers(0, 2**width, count))}
+        for _ in range(trials)
+    ]
+    cells = []
+    for rate in rates:
+        successes = 0
+        coverage = 0.0
+        for trial, inputs in enumerate(cases):
+            expect = max(inputs.values())
+            got = run_circuit(
+                builder,
+                inputs,
+                faults=SpikeDrop(rate, seed=seed * 1_000_003 + trial),
+            )["max"]
+            if got == expect:
+                successes += 1
+            matching = sum(
+                1 for j in range(width) if (got >> j) & 1 == (expect >> j) & 1
+            )
+            coverage += matching / width
+        cells.append(DegradationCell("max", float(rate), trials, successes, coverage / trials))
+    return cells
+
+
+def _matvec_cells(
+    graph: WeightedDigraph, rates: Sequence[float], trials: int, seed: int, *, rounds: int = 3
+) -> List[DegradationCell]:
+    initial = {0: 0}
+    base = matrix_power_nga(graph, MIN_PLUS, initial, rounds).final()
+    cells = []
+    for rate in rates:
+        successes = 0
+        coverage = 0.0
+        for trial in range(trials):
+            rng = np.random.default_rng(seed * 1_000_003 + trial)
+
+            def edge_fn(u: int, v: int, w: int, msg):
+                # each edge message is lost with the fault probability
+                if rate > 0.0 and rng.random() < rate:
+                    return None
+                out = MIN_PLUS.mul(w, msg)
+                return None if out == MIN_PLUS.zero else out
+
+            def node_fn(v: int, msgs):
+                acc = msgs[0]
+                for m in msgs[1:]:
+                    acc = MIN_PLUS.add(acc, m)
+                return None if acc == MIN_PLUS.zero else acc
+
+            got = NeuromorphicGraphAlgorithm(graph, edge_fn, node_fn).run(
+                initial, rounds
+            ).final()
+            if got == base:
+                successes += 1
+            if base:
+                matching = sum(1 for v, m in base.items() if got.get(v) == m)
+                coverage += matching / len(base)
+            else:
+                coverage += 1.0
+        cells.append(
+            DegradationCell("matvec", float(rate), trials, successes, coverage / trials)
+        )
+    return cells
+
+
+def degradation_sweep(
+    graph: Optional[WeightedDigraph] = None,
+    *,
+    rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2),
+    trials: int = 20,
+    seed: int = 0,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> List[DegradationCell]:
+    """Measure success probability and coverage over fault rate x algorithm.
+
+    ``graph`` drives the ``sssp`` and ``matvec`` families (a seeded G(n, p)
+    instance is generated when omitted); the ``max`` family draws random
+    input tuples for a fixed wired-OR circuit.  Every trial is seeded, so a
+    sweep is reproducible cell by cell.
+    """
+    if trials < 1:
+        raise ValidationError(f"trials must be >= 1, got {trials}")
+    unknown = set(algorithms) - set(ALGORITHMS)
+    if unknown:
+        raise ValidationError(
+            f"unknown algorithms {sorted(unknown)}; choose from {list(ALGORITHMS)}"
+        )
+    for rate in rates:
+        if not (0.0 <= rate <= 1.0):
+            raise ValidationError(f"fault rate must be in [0, 1], got {rate}")
+    g = graph if graph is not None else _default_graph(seed)
+    cells: List[DegradationCell] = []
+    if "sssp" in algorithms:
+        cells.extend(_sssp_cells(g, rates, trials, seed))
+    if "max" in algorithms:
+        cells.extend(_max_cells(rates, trials, seed))
+    if "matvec" in algorithms:
+        cells.extend(_matvec_cells(g, rates, trials, seed))
+    return cells
+
+
+def _grouped(cells: Sequence[DegradationCell]) -> Dict[str, List[DegradationCell]]:
+    by_alg: Dict[str, List[DegradationCell]] = {}
+    for c in cells:
+        by_alg.setdefault(c.algorithm, []).append(c)
+    for group in by_alg.values():
+        group.sort(key=lambda c: c.rate)
+    return by_alg
+
+
+def _rows(cells: Sequence[DegradationCell]) -> List[List[str]]:
+    return [
+        [
+            c.algorithm,
+            f"{c.rate:g}",
+            str(c.trials),
+            f"{c.success_probability:.2f}",
+            f"{c.coverage:.2f}",
+        ]
+        for group in _grouped(cells).values()
+        for c in group
+    ]
+
+
+_HEADERS = ["algorithm", "fault rate", "trials", "P(success)", "coverage"]
+
+
+def render_degradation(cells: Sequence[DegradationCell]) -> str:
+    """Columnar text table of a sweep (CLI default output)."""
+    rows = [_HEADERS] + _rows(cells)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(_HEADERS))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def degradation_markdown(
+    cells: Sequence[DegradationCell], *, title: str = "Transient-fault degradation"
+) -> str:
+    """Markdown document for a sweep (``repro faults --out``)."""
+    doc = [f"# {title}", ""]
+    doc.append(markdown_table(_HEADERS, _rows(cells)))
+    doc.append("")
+    doc.append(
+        "_P(success): fraction of trials whose answer matched the fault-free "
+        "run exactly; coverage: mean fraction of the answer that survived._"
+    )
+    doc.append("")
+    return "\n".join(doc)

@@ -26,15 +26,19 @@ from repro.errors import ValidationError
 from repro.hardware import energy_comparison
 from repro.workloads.graph import WeightedDigraph
 
-__all__ = ["generate_instance_report"]
+__all__ = ["generate_instance_report", "markdown_table"]
 
 
-def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+def markdown_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Render a GitHub-flavored Markdown table (cells are str()-ed)."""
     out = ["| " + " | ".join(headers) + " |"]
     out.append("|" + "|".join("---" for _ in headers) + "|")
     for row in rows:
         out.append("| " + " | ".join(str(c) for c in row) + " |")
     return "\n".join(out)
+
+
+_md_table = markdown_table
 
 
 def _fmt(x: float) -> str:

@@ -26,11 +26,15 @@ Contents:
 * :mod:`~repro.circuits.encoding` — integer <-> spike-pattern codecs.
 * :mod:`~repro.circuits.runner` — drive a built circuit through the LIF
   engine and decode its outputs.
+* :mod:`~repro.circuits.tmr` — triple-modular-redundancy wrapping: replicate
+  a circuit behind per-bit majority votes so faults confined to a minority
+  of replicas are masked.
 """
 
 from repro.circuits.builder import CircuitBuilder, Signal
 from repro.circuits.encoding import bits_from_int, int_from_bits
 from repro.circuits.runner import run_circuit
+from repro.circuits.tmr import TMRCircuit, tmr
 from repro.circuits.gates import (
     build_delay_gadget,
     build_latch,
@@ -59,6 +63,8 @@ __all__ = [
     "bits_from_int",
     "int_from_bits",
     "run_circuit",
+    "tmr",
+    "TMRCircuit",
     "build_delay_gadget",
     "build_latch",
     "build_one_shot_gadget",

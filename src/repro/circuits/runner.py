@@ -11,12 +11,14 @@ values; wave ``w`` is presented at tick ``w`` and read at ``offset + w``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.encoding import bits_from_int, int_from_bits
 from repro.core.engine import simulate_dense
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog
 from repro.errors import CircuitError
 
 __all__ = ["run_circuit", "run_circuit_waves"]
@@ -39,14 +41,24 @@ def _input_bits(builder: CircuitBuilder, group: str, value: InputValue) -> List[
 def run_circuit(
     builder: CircuitBuilder,
     inputs: Mapping[str, InputValue],
+    *,
+    faults: Optional[FaultModel] = None,
+    watchdog: Optional[Watchdog] = None,
 ) -> Dict[str, int]:
-    """Run one input wave; returns ``{output_group: integer value}``."""
-    return run_circuit_waves(builder, [inputs])[0]
+    """Run one input wave; returns ``{output_group: integer value}``.
+
+    ``faults`` / ``watchdog`` are forwarded to the engine — used by the
+    degradation sweeps and the TMR fault-recovery demonstrations.
+    """
+    return run_circuit_waves(builder, [inputs], faults=faults, watchdog=watchdog)[0]
 
 
 def run_circuit_waves(
     builder: CircuitBuilder,
     waves: Sequence[Mapping[str, InputValue]],
+    *,
+    faults: Optional[FaultModel] = None,
+    watchdog: Optional[Watchdog] = None,
 ) -> List[Dict[str, int]]:
     """Run several pipelined waves, one presented per consecutive tick.
 
@@ -78,6 +90,8 @@ def run_circuit_waves(
         max_steps=max_offset + len(waves) + 1,
         stop_when_quiescent=False,
         record_spikes=True,
+        faults=faults,
+        watchdog=watchdog,
     )
     assert result.spike_events is not None
     decoded: List[Dict[str, int]] = []

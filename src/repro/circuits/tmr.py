@@ -1,0 +1,149 @@
+"""Triple-modular-redundancy wrapping of threshold circuits.
+
+Transient faults (:mod:`repro.core.transient`) can silently corrupt a
+circuit's outputs — a dropped delivery inside a comparator flips a bit with
+no other symptom.  The classical remedy is replication: build the circuit
+``r`` times (``r`` odd), feed every replica from the same inputs, and merge
+each output bit through a majority vote.  Any fault process confined to a
+minority of replicas is masked exactly.
+
+:func:`tmr` takes the same *build function* a caller would apply to a plain
+:class:`~repro.circuits.builder.CircuitBuilder` and applies it once per
+replica inside a shared network.  Shared master input neurons fan out to
+per-replica buffer gates, so external stimulus (and
+:func:`~repro.circuits.runner.run_circuit`) drive the master exactly as they
+would the unprotected circuit; the majority vote is a single threshold gate
+per output bit (weights 1, threshold ``r / 2``, strict), so the whole wrap
+costs one tick of depth on each side plus ``r``-times the circuit size —
+the constant-factor overhead classical fault-tolerance theory promises.
+
+The per-replica neuron ids are reported so fault models can target one
+replica (``SpikeDrop(p, sources=wrapped.replicas[0])``) and demonstrate
+recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.circuits.builder import CircuitBuilder, Signal
+from repro.errors import CircuitError
+
+__all__ = ["tmr", "TMRCircuit"]
+
+
+class _ReplicaBuilder(CircuitBuilder):
+    """A CircuitBuilder whose inputs are buffers of a master's inputs.
+
+    The build function runs against this subclass unchanged: input groups it
+    declares resolve to per-replica buffer gates fed by the shared master
+    input neurons (created on first declaration), and the run line buffers
+    the master's run line.  Every neuron placed here is recorded in
+    ``placed`` so fault models can target exactly one replica.
+    """
+
+    def __init__(self, master: CircuitBuilder, index: int):
+        super().__init__(network=master.net, prefix=f"{master.prefix}r{index}.")
+        self._master = master
+        self.placed: List[int] = []
+
+    def _new_neuron(self, name: Optional[str], threshold: float) -> int:
+        nid = super()._new_neuron(name, threshold)
+        self.placed.append(nid)
+        return nid
+
+    def input_bits(self, group: str, width: int, offset: int = 0) -> List[Signal]:
+        if group in self.input_groups:
+            raise CircuitError(f"duplicate input group {group!r}")
+        if group not in self._master.input_groups:
+            self._master.input_bits(group, width, offset)
+        master_sigs = self._master.input_groups[group]
+        if len(master_sigs) != width:
+            raise CircuitError(
+                f"input group {group!r} declared with width {width} but an "
+                f"earlier replica declared width {len(master_sigs)}"
+            )
+        sigs = [
+            self.buffer(m, name=f"in:{group}[{j}]")
+            for j, m in enumerate(master_sigs)
+        ]
+        self.input_groups[group] = sigs
+        return sigs
+
+    def run_line(self) -> Signal:
+        if self._run is None:
+            sig = self.buffer(self._master.run_line(), name="in:__run__")
+            self._run = sig
+            self.input_groups["__run__"] = [sig]
+        return self._run
+
+
+@dataclass
+class TMRCircuit:
+    """A majority-voted replicated circuit.
+
+    Attributes
+    ----------
+    builder:
+        The master builder — drive it with
+        :func:`~repro.circuits.runner.run_circuit` exactly like the
+        unprotected circuit; its output groups are the voted bits.
+    replicas:
+        Per-replica tuples of the neuron ids placed by that replica (buffer
+        gates included) — pass one as ``SpikeDrop(..., sources=...)`` to
+        fault a single replica.
+    voters:
+        Neuron ids of the majority gates, one per output bit.
+    """
+
+    builder: CircuitBuilder
+    replicas: Tuple[Tuple[int, ...], ...]
+    voters: Tuple[int, ...]
+
+
+def tmr(
+    build: Callable[[CircuitBuilder], None],
+    *,
+    name: str = "tmr",
+    replicas: int = 3,
+) -> TMRCircuit:
+    """Replicate a circuit ``replicas`` times behind per-bit majority votes.
+
+    ``build`` receives a :class:`~repro.circuits.builder.CircuitBuilder`
+    and must declare input groups, place gates, and register output groups —
+    the same function that would build the unprotected circuit.  ``replicas``
+    must be odd and at least 3 so every vote is decisive.
+    """
+    if replicas < 3 or replicas % 2 == 0:
+        raise CircuitError(f"replicas must be odd and >= 3, got {replicas}")
+    master = CircuitBuilder(prefix=f"{name}." if name else "")
+    reps = [_ReplicaBuilder(master, r) for r in range(replicas)]
+    for rep in reps:
+        build(rep)
+    first = reps[0]
+    if not first.output_groups:
+        raise CircuitError("build function registered no output groups")
+    shape = {g: len(sigs) for g, sigs in first.output_groups.items()}
+    for rep in reps[1:]:
+        if {g: len(sigs) for g, sigs in rep.output_groups.items()} != shape:
+            raise CircuitError("replicas registered differing output groups")
+    voters: List[int] = []
+    for group, width in shape.items():
+        voted = []
+        for j in range(width):
+            bit_sigs = [rep.output_groups[group][j] for rep in reps]
+            # strict majority: r inputs of weight 1 against threshold r/2
+            vote = master.gate(
+                [(s, 1.0) for s in bit_sigs],
+                replicas / 2.0,
+                name=f"vote:{group}[{j}]",
+            )
+            voters.append(vote.nid)
+            voted.append(vote)
+        master.output_bits(group, voted)
+    return TMRCircuit(
+        builder=master,
+        replicas=tuple(tuple(rep.placed) for rep in reps),
+        voters=tuple(voters),
+    )

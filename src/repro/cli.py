@@ -136,6 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--registers", type=int, default=4)
     report.add_argument("--out", default=None, help="output file (default: stdout)")
 
+    faults = sub.add_parser(
+        "faults", help="degradation sweep: answer quality vs transient-fault rate"
+    )
+    faults.add_argument("graph", help="edge-list file")
+    faults.add_argument(
+        "--rates",
+        default="0,0.01,0.05,0.1,0.2",
+        help="comma-separated fault rates in [0, 1]",
+    )
+    faults.add_argument("--trials", type=int, default=20)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--algorithms",
+        default="sssp,max,matvec",
+        help="comma-separated subset of sssp,max,matvec",
+    )
+    faults.add_argument(
+        "--out", default=None, help="write a Markdown table here (default: text to stdout)"
+    )
+
     return parser
 
 
@@ -204,6 +224,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote report to {args.out}")
         else:
             print(doc)
+        return 0
+
+    if args.command == "faults":
+        from repro.analysis.degradation import (
+            degradation_markdown,
+            degradation_sweep,
+            render_degradation,
+        )
+
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        cells = degradation_sweep(
+            g, rates=rates, trials=args.trials, seed=args.seed, algorithms=algorithms
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(degradation_markdown(cells))
+            print(f"wrote degradation table to {args.out}")
+        else:
+            print()
+            print(render_degradation(cells))
         return 0
 
     if args.command == "sssp":

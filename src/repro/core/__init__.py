@@ -17,6 +17,14 @@ Two engines share identical semantics:
   ``T = O(L)`` far exceeds the number of spikes.
 
 ``simulate`` picks an engine automatically.
+
+Runtime robustness (both engines, identical semantics):
+
+* :class:`~repro.core.transient.FaultModel` implementations inject seeded
+  per-tick transient faults — spike drops, spurious spikes, stuck-at
+  windows, weight drift — composable with ``|``;
+* :class:`~repro.core.watchdog.Watchdog` arms runaway-spike-rate detection
+  and non-quiescence diagnosis.
 """
 
 from repro.core.lif import (
@@ -30,6 +38,16 @@ from repro.core.cost import CostReport
 from repro.core.engine import simulate_dense
 from repro.core.event_engine import simulate_event_driven
 from repro.core.run import simulate
+from repro.core.transient import (
+    FaultModel,
+    SpikeDrop,
+    SpuriousSpikes,
+    StuckAtFiring,
+    StuckAtSilent,
+    WeightDrift,
+    compose,
+)
+from repro.core.watchdog import Watchdog, WatchdogReport
 
 __all__ = [
     "DEFAULT_DELTA",
@@ -43,4 +61,13 @@ __all__ = [
     "simulate",
     "simulate_dense",
     "simulate_event_driven",
+    "FaultModel",
+    "SpikeDrop",
+    "SpuriousSpikes",
+    "StuckAtSilent",
+    "StuckAtFiring",
+    "WeightDrift",
+    "compose",
+    "Watchdog",
+    "WatchdogReport",
 ]

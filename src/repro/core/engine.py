@@ -20,7 +20,9 @@ import numpy as np
 
 from repro.core.network import CompiledNetwork, Network
 from repro.core.result import SimulationResult, StopReason
-from repro.errors import ValidationError
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog, WatchdogState
+from repro.errors import NonQuiescenceError, RunawaySpikesError, ValidationError
 
 __all__ = ["simulate_dense"]
 
@@ -51,6 +53,8 @@ def simulate_dense(
     stop_when_quiescent: bool = True,
     record_spikes: bool = False,
     probe_voltages: Optional[Iterable[int]] = None,
+    faults: Optional[FaultModel] = None,
+    watchdog: Optional[Watchdog] = None,
 ) -> SimulationResult:
     """Simulate a network tick by tick.
 
@@ -77,6 +81,15 @@ def simulate_dense(
         spikes).
     probe_voltages:
         Neuron ids whose voltage trace to record each tick.
+    faults:
+        Optional :class:`~repro.core.transient.FaultModel` injecting
+        per-tick transient faults (delivery drops, spurious/stuck neurons,
+        weight drift).  Semantics are identical in the event engine.
+    watchdog:
+        Optional :class:`~repro.core.watchdog.Watchdog`.  A runaway spike
+        rate stops the run with :attr:`StopReason.RUNAWAY` and a diagnostic
+        report (or raises with ``raise_on_trip``); exhausting ``max_steps``
+        while activity continues attaches a non-quiescence report.
     """
     net = network.compile() if isinstance(network, Network) else network
     if max_steps < 0:
@@ -114,13 +127,27 @@ def simulate_dense(
     )
     spike_events: Optional[Dict[int, np.ndarray]] = {} if record_spikes else None
 
+    rf = faults.bind(net, max_steps) if faults is not None else None
+    next_forced = rf.next_forced_tick(-1) if rf is not None else None
+    wd = WatchdogState(watchdog, n, net.names) if watchdog is not None else None
+    diagnostic = None
+
     def scatter(ids: np.ndarray, t: int) -> None:
         syn_idx = net.gather_out_synapses(ids)
         if syn_idx.size == 0:
             return
+        weights = net.syn_weight[syn_idx]
+        if rf is not None:
+            keep = rf.keep_deliveries(t, syn_idx)
+            if not keep.all():
+                syn_idx = syn_idx[keep]
+                weights = weights[keep]
+                if syn_idx.size == 0:
+                    return
+            weights = rf.deliver_weights(t, syn_idx, weights)
         slots = (t + net.syn_delay[syn_idx]) % n_slots
         flat = slots * n + net.syn_dst[syn_idx]
-        np.add.at(buf.reshape(-1), flat, net.syn_weight[syn_idx])
+        np.add.at(buf.reshape(-1), flat, weights)
         np.add.at(slot_counts, slots, 1)
 
     def register_spikes(ids: np.ndarray, t: int) -> None:
@@ -137,11 +164,25 @@ def simulate_dense(
     # ---- tick 0: induced input spikes ---------------------------------- #
     t = 0
     ids0 = stim.get(0, np.empty(0, dtype=np.int64))
+    if next_forced == 0:
+        ids0 = np.union1d(ids0, rf.forced_at(0))
+        next_forced = rf.next_forced_tick(0)
+    if rf is not None and ids0.size:
+        ids0 = ids0[~rf.suppressed(0, ids0)]
     if ids0.size:
         register_spikes(ids0, 0)
         scatter(ids0, 0)
     stop_reason = None
-    if term is not None and ids0.size and fired_ever[term]:
+    if wd is not None:
+        report = wd.observe(0, ids0)
+        if report is not None:
+            if watchdog.raise_on_trip:
+                raise RunawaySpikesError(report.describe(), report)
+            stop_reason = StopReason.RUNAWAY
+            diagnostic = report
+    if stop_reason is not None:
+        pass
+    elif term is not None and ids0.size and fired_ever[term]:
         stop_reason = StopReason.TERMINAL
     elif watch_mask is not None and watch_remaining == 0:
         stop_reason = StopReason.WATCH_SET
@@ -165,8 +206,15 @@ def simulate_dense(
         ids_stim = stim.get(t)
         if ids_stim is not None and ids_stim.size:
             fire[ids_stim] = True
+        if next_forced == t:
+            fire[rf.forced_at(t)] = True
+            next_forced = rf.next_forced_tick(t)
         v = np.where(fire, net.v_reset, vhat)  # Eq. (3)
         ids = np.nonzero(fire)[0]
+        if rf is not None and ids.size:
+            # suppressed spikes are "fired but lost": the voltage reset above
+            # stands, but nothing is recorded and nothing propagates
+            ids = ids[~rf.suppressed(t, ids)]
         if ids.size:
             register_spikes(ids, t)
             scatter(ids, t)
@@ -174,6 +222,14 @@ def simulate_dense(
             for p in voltage_traces:
                 voltage_traces[p].append(float(v[p]))
         # stop checks
+        if wd is not None:
+            report = wd.observe(t, ids)
+            if report is not None:
+                if watchdog.raise_on_trip:
+                    raise RunawaySpikesError(report.describe(), report)
+                stop_reason = StopReason.RUNAWAY
+                diagnostic = report
+                continue
         if term is not None and fired_ever[term]:
             stop_reason = StopReason.TERMINAL
         elif watch_mask is not None and watch_remaining == 0:
@@ -184,8 +240,16 @@ def simulate_dense(
             and ids.size == 0
             and slot_counts.sum() == 0
             and all(ts <= t for ts in pending_stim_ticks)
+            and next_forced is None
         ):
             stop_reason = StopReason.QUIESCENT
+
+    if wd is not None and stop_reason is StopReason.MAX_STEPS:
+        report = wd.non_quiescence(t)
+        if report is not None:
+            if watchdog.raise_on_trip:
+                raise NonQuiescenceError(report.describe(), report)
+            diagnostic = report
 
     voltages = (
         {p: np.asarray(trace, dtype=np.float64) for p, trace in voltage_traces.items()}
@@ -199,4 +263,5 @@ def simulate_dense(
         stop_reason=stop_reason,
         spike_events=spike_events,
         voltages=voltages,
+        diagnostic=diagnostic,
     )

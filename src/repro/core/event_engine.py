@@ -31,7 +31,14 @@ import numpy as np
 from repro.core.engine import StimulusSpec, _normalize_stimulus
 from repro.core.network import CompiledNetwork, Network
 from repro.core.result import SimulationResult, StopReason
-from repro.errors import UnsupportedNetworkError, ValidationError
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog, WatchdogState
+from repro.errors import (
+    NonQuiescenceError,
+    RunawaySpikesError,
+    UnsupportedNetworkError,
+    ValidationError,
+)
 
 __all__ = ["simulate_event_driven"]
 
@@ -44,12 +51,17 @@ def simulate_event_driven(
     terminal: Optional[int] = None,
     watch: Optional[Iterable[int]] = None,
     record_spikes: bool = False,
+    faults: Optional[FaultModel] = None,
+    watchdog: Optional[Watchdog] = None,
 ) -> SimulationResult:
     """Simulate a network by processing spike deliveries in time order.
 
     Same parameters and result semantics as
     :func:`repro.core.engine.simulate_dense` (without voltage probes, which
-    are only meaningful per tick).
+    are only meaningful per tick).  Transient ``faults`` and the
+    ``watchdog`` guards observe identical semantics to the dense engine;
+    forced fault spikes (spurious / stuck-at-firing) are merged into the
+    event stream in time order, so laziness is preserved between them.
     """
     net = network.compile() if isinstance(network, Network) else network
     if max_steps < 0:
@@ -91,6 +103,11 @@ def simulate_event_driven(
 
     decay_keep = 1.0 - net.tau  # per-tick retention of excess voltage
 
+    rf = faults.bind(net, max_steps) if faults is not None else None
+    next_forced = rf.next_forced_tick(-1) if rf is not None else None
+    wd = WatchdogState(watchdog, n, net.names) if watchdog is not None else None
+    diagnostic = None
+
     def fire(nid: int, t: int) -> None:
         nonlocal watch_remaining
         if not fired_ever[nid]:
@@ -104,19 +121,39 @@ def simulate_event_driven(
         v[nid] = net.v_reset[nid]
         last_update[nid] = t
         lo, hi = net.indptr[nid], net.indptr[nid + 1]
-        for s in range(lo, hi):
-            heapq.heappush(
-                heap,
-                (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(net.syn_weight[s])),
-            )
+        if rf is None:
+            for s in range(lo, hi):
+                heapq.heappush(
+                    heap,
+                    (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(net.syn_weight[s])),
+                )
+        else:
+            # fault decisions hash (seed, emission tick, synapse id), so the
+            # mask here equals the dense engine's scatter mask exactly
+            syn_idx = np.arange(lo, hi, dtype=np.int64)
+            keep = rf.keep_deliveries(t, syn_idx)
+            syn_idx = syn_idx[keep]
+            if syn_idx.size == 0:
+                return
+            weights = rf.deliver_weights(t, syn_idx, net.syn_weight[syn_idx])
+            for s, w in zip(syn_idx, weights):
+                heapq.heappush(
+                    heap,
+                    (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(w)),
+                )
 
     final_tick = 0
     stop_reason: Optional[StopReason] = None
     while stop_reason is None:
-        if not heap:
+        if not heap and next_forced is None:
             stop_reason = StopReason.QUIESCENT
             break
-        t = heap[0][0]
+        # Next tick with activity: earliest of heap events and fault-forced
+        # spikes (spurious / stuck-at-firing), keeping laziness between them.
+        if heap and (next_forced is None or heap[0][0] <= next_forced):
+            t = heap[0][0]
+        else:
+            t = next_forced
         if t > max_steps:
             stop_reason = StopReason.MAX_STEPS
             final_tick = max_steps
@@ -132,6 +169,9 @@ def simulate_event_driven(
                 induced.append(nid)
             else:
                 delivered[nid] = delivered.get(nid, 0.0) + w
+        if next_forced == t:
+            induced.extend(int(i) for i in rf.forced_at(t))
+            next_forced = rf.next_forced_tick(t)
         fired_now: List[int] = []
         for nid, syn in delivered.items():
             dt = t - last_update[nid]
@@ -148,13 +188,39 @@ def simulate_event_driven(
         for nid in set(induced):
             if nid not in fired_now:
                 fired_now.append(nid)
+        if rf is not None and fired_now:
+            arr = np.asarray(fired_now, dtype=np.int64)
+            sup = rf.suppressed(t, arr)
+            if sup.any():
+                # suppressed spikes are "fired but lost": voltage resets as if
+                # fired, but nothing is recorded and nothing propagates
+                for nid, s in zip(fired_now, sup):
+                    if s:
+                        v[nid] = net.v_reset[nid]
+                        last_update[nid] = t
+                fired_now = [nid for nid, s in zip(fired_now, sup) if not s]
         for nid in fired_now:
             fire(nid, t)
         # stop checks after the full batch at tick t
+        if wd is not None:
+            report = wd.observe(t, np.asarray(fired_now, dtype=np.int64))
+            if report is not None:
+                if watchdog.raise_on_trip:
+                    raise RunawaySpikesError(report.describe(), report)
+                stop_reason = StopReason.RUNAWAY
+                diagnostic = report
+                continue
         if term is not None and fired_ever[term]:
             stop_reason = StopReason.TERMINAL
         elif watch_mask is not None and watch_remaining == 0:
             stop_reason = StopReason.WATCH_SET
+
+    if wd is not None and stop_reason is StopReason.MAX_STEPS:
+        report = wd.non_quiescence(final_tick)
+        if report is not None:
+            if watchdog.raise_on_trip:
+                raise NonQuiescenceError(report.describe(), report)
+            diagnostic = report
 
     events = None
     if spike_events is not None:
@@ -167,4 +233,5 @@ def simulate_event_driven(
         final_tick=int(final_tick),
         stop_reason=stop_reason,
         spike_events=events,
+        diagnostic=diagnostic,
     )

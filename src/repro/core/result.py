@@ -22,6 +22,10 @@ class StopReason(enum.Enum):
     QUIESCENT = "quiescent"
     #: The tick budget ``max_steps`` was exhausted.
     MAX_STEPS = "max_steps"
+    #: A watchdog tripped on a runaway spike rate (see
+    #: :class:`~repro.core.watchdog.Watchdog`); the result's ``diagnostic``
+    #: names the offending neurons.
+    RUNAWAY = "runaway"
 
 
 @dataclass
@@ -49,6 +53,10 @@ class SimulationResult:
     voltages:
         Optional voltage traces for probed neurons (dense engine only):
         map neuron id -> float array indexed by tick.
+    diagnostic:
+        Optional :class:`~repro.core.watchdog.WatchdogReport` attached when
+        a watchdog tripped (``stop_reason == RUNAWAY``) or the tick budget
+        ran out with activity still in flight (``MAX_STEPS``).
     """
 
     first_spike: np.ndarray
@@ -57,6 +65,7 @@ class SimulationResult:
     stop_reason: StopReason
     spike_events: Optional[Dict[int, np.ndarray]] = None
     voltages: Optional[Dict[int, np.ndarray]] = None
+    diagnostic: Optional[object] = None
 
     @property
     def total_spikes(self) -> int:

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Optional, Union
 
 from repro.core.engine import StimulusSpec, simulate_dense
 from repro.core.event_engine import simulate_event_driven
 from repro.core.network import CompiledNetwork, Network
 from repro.core.result import SimulationResult
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog
 from repro.errors import ValidationError
 
 __all__ = ["simulate", "DEFAULT_MAX_STEPS"]
@@ -31,22 +34,39 @@ def simulate(
     stop_when_quiescent: bool = True,
     record_spikes: bool = False,
     probe_voltages: Optional[Iterable[int]] = None,
+    faults: Optional[FaultModel] = None,
+    watchdog: Optional[Watchdog] = None,
     engine: str = "auto",
 ) -> SimulationResult:
     """Simulate an SNN, dispatching to the dense or event-driven engine.
 
     ``engine`` may be ``"auto"`` (default), ``"dense"``, or ``"event"``.
-    Auto picks dense for networks with pacemaker neurons or voltage probes
-    (the event engine supports neither) and otherwise chooses by maximum
-    synaptic delay: long programmed delays signal a delay-encoded algorithm
-    whose quiet ticks the event engine skips.
+    Auto picks dense for networks with voltage probes (the event engine does
+    not support them) and otherwise chooses by maximum synaptic delay: long
+    programmed delays signal a delay-encoded algorithm whose quiet ticks the
+    event engine skips.  If the delay heuristic picks the event engine but
+    the network contains pacemaker neurons (which the event engine rejects),
+    auto falls back to the dense engine with a warning instead of raising.
+
+    ``faults`` and ``watchdog`` are forwarded to whichever engine runs; both
+    engines observe identical fault and watchdog semantics.
     """
     net = network.compile() if isinstance(network, Network) else network
     if engine == "auto":
-        if net.has_pacemakers or probe_voltages is not None:
+        if probe_voltages is not None:
             engine = "dense"
         elif net.max_delay > _EVENT_DELAY_CUTOFF:
-            engine = "event"
+            if net.has_pacemakers:
+                warnings.warn(
+                    "network has long delays (event-engine territory) but "
+                    "contains pacemaker neurons, which the event engine does "
+                    "not support; falling back to the dense engine",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                engine = "dense"
+            else:
+                engine = "event"
         else:
             engine = "dense"
     if engine == "dense":
@@ -59,6 +79,8 @@ def simulate(
             stop_when_quiescent=stop_when_quiescent,
             record_spikes=record_spikes,
             probe_voltages=probe_voltages,
+            faults=faults,
+            watchdog=watchdog,
         )
     if engine == "event":
         if probe_voltages is not None:
@@ -70,5 +92,7 @@ def simulate(
             terminal=terminal,
             watch=watch,
             record_spikes=record_spikes,
+            faults=faults,
+            watchdog=watchdog,
         )
     raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")

@@ -13,12 +13,14 @@ same stimulus through both and compares spike trains tick for tick.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.core.network import CompiledNetwork, Network
-from repro.errors import SimulationError, ValidationError
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog, WatchdogState
+from repro.errors import RunawaySpikesError, SimulationError, ValidationError
 
 __all__ = ["DenseSession"]
 
@@ -31,9 +33,22 @@ class DenseSession:
     >>> session.step()                # advance one tick
     >>> session.fired_last            # ids that fired this tick
     >>> session.voltages[3]           # inspect state between ticks
+
+    ``faults`` injects per-tick transient faults with the same semantics as
+    the batch engines (``fault_horizon`` bounds the ticks fault schedules are
+    generated for).  A ``watchdog`` always *raises*
+    :class:`~repro.errors.RunawaySpikesError` on a runaway spike rate —
+    a session has no result object to carry a diagnostic stop reason.
     """
 
-    def __init__(self, network: Union[Network, CompiledNetwork]):
+    def __init__(
+        self,
+        network: Union[Network, CompiledNetwork],
+        *,
+        faults: Optional[FaultModel] = None,
+        watchdog: Optional[Watchdog] = None,
+        fault_horizon: int = 1_000_000,
+    ):
         self.net = network.compile() if isinstance(network, Network) else network
         n = self.net.n
         self._n_slots = self.net.max_delay + 1
@@ -46,6 +61,13 @@ class DenseSession:
         self._pending_inject: List[int] = []
         self._fired_last: np.ndarray = np.empty(0, dtype=np.int64)
         self._any_one_shot = bool(self.net.one_shot.any())
+        self._rf = faults.bind(self.net, fault_horizon) if faults is not None else None
+        self._next_forced = (
+            self._rf.next_forced_tick(-1) if self._rf is not None else None
+        )
+        self._wd = (
+            WatchdogState(watchdog, n, self.net.names) if watchdog is not None else None
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -66,9 +88,18 @@ class DenseSession:
         syn_idx = self.net.gather_out_synapses(ids)
         if syn_idx.size == 0:
             return
+        weights = self.net.syn_weight[syn_idx]
+        if self._rf is not None:
+            keep = self._rf.keep_deliveries(t, syn_idx)
+            if not keep.all():
+                syn_idx = syn_idx[keep]
+                weights = weights[keep]
+                if syn_idx.size == 0:
+                    return
+            weights = self._rf.deliver_weights(t, syn_idx, weights)
         slots = (t + self.net.syn_delay[syn_idx]) % self._n_slots
         flat = slots * self.net.n + self.net.syn_dst[syn_idx]
-        np.add.at(self._buf.reshape(-1), flat, self.net.syn_weight[syn_idx])
+        np.add.at(self._buf.reshape(-1), flat, weights)
 
     def step(self, ticks: int = 1) -> np.ndarray:
         """Advance the simulation; returns the ids fired on the last tick."""
@@ -98,8 +129,15 @@ class DenseSession:
                 if self._any_one_shot:
                     fire &= ~(net.one_shot & self.fired_ever)
                 fire[injected] = True
+            if self._next_forced == t:
+                fire[self._rf.forced_at(t)] = True
+                self._next_forced = self._rf.next_forced_tick(t)
             self.voltages = np.where(fire, net.v_reset, vhat)
             ids = np.nonzero(fire)[0]
+            if self._rf is not None and ids.size:
+                # suppressed spikes are "fired but lost": the voltage reset
+                # above stands, but nothing is recorded and nothing propagates
+                ids = ids[~self._rf.suppressed(t, ids)]
             newly = ids[~self.fired_ever[ids]]
             self.first_spike[newly] = t
             self.fired_ever[ids] = True
@@ -107,6 +145,10 @@ class DenseSession:
             self._fired_last = ids
             if ids.size:
                 self._scatter(ids, t)
+            if self._wd is not None:
+                report = self._wd.observe(t, ids)
+                if report is not None:
+                    raise RunawaySpikesError(report.describe(), report)
         return self._fired_last
 
     def run_until(self, predicate, *, max_ticks: int = 1_000_000) -> int:

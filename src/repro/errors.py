@@ -34,6 +34,36 @@ class UnsupportedNetworkError(SimulationError):
     """
 
 
+class WatchdogError(SimulationError):
+    """A simulation watchdog guard tripped.
+
+    Raised only when the caller opted in with ``Watchdog(raise_on_trip=True)``;
+    otherwise the engines stop gracefully with a diagnostic
+    :class:`~repro.core.watchdog.WatchdogReport` attached to the result.
+    The triggering report is available as :attr:`report`.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report
+
+
+class RunawaySpikesError(WatchdogError):
+    """A neuron group exceeded the watchdog's spike-rate ceiling.
+
+    Typical cause: an unintended excitatory cycle turned the network into an
+    oscillator that would otherwise burn the whole ``max_steps`` budget.
+    """
+
+
+class NonQuiescenceError(WatchdogError):
+    """The tick budget ran out while the network was still active.
+
+    The report names the hottest neurons of the final watchdog window so the
+    non-terminating activity can be located instead of silently timing out.
+    """
+
+
 class CircuitError(ReproError, ValueError):
     """A circuit construction received inconsistent wiring or widths."""
 

@@ -89,6 +89,29 @@ class TestAlgorithms:
             main(["khop", "nofile"])  # --k required
 
 
+class TestFaults:
+    def test_prints_degradation_table(self, graph_file, capsys):
+        rc = main(["faults", str(graph_file), "--rates", "0,0.1",
+                   "--trials", "3", "--algorithms", "sssp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P(success)" in out and "sssp" in out
+
+    def test_writes_markdown_report(self, graph_file, tmp_path):
+        report = tmp_path / "faults.md"
+        rc = main(["faults", str(graph_file), "--rates", "0", "--trials", "2",
+                   "--algorithms", "max", "--out", str(report)])
+        assert rc == 0
+        text = report.read_text()
+        assert text.startswith("# ") and "| max |" in text
+
+    def test_bad_algorithm_rejected(self, graph_file):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["faults", str(graph_file), "--algorithms", "dijkstra"])
+
+
 class TestInfo:
     def test_info_prints_stats_and_chips(self, graph_file, capsys):
         assert main(["info", str(graph_file)]) == 0

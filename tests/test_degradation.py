@@ -1,0 +1,94 @@
+"""Tests of the degradation-analysis layer (repro.analysis.degradation)."""
+
+import pytest
+
+from repro.analysis import (
+    DegradationCell,
+    degradation_markdown,
+    degradation_sweep,
+    markdown_table,
+    render_degradation,
+)
+from repro.errors import ValidationError
+from repro.workloads import gnp_graph
+
+RATES = (0.0, 0.1)
+TRIALS = 4
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(14, 0.3, max_length=4, seed=5, ensure_source_reaches=True)
+
+
+@pytest.fixture(scope="module")
+def cells(graph):
+    return degradation_sweep(graph, rates=RATES, trials=TRIALS, seed=2)
+
+
+class TestSweep:
+    def test_shape(self, cells):
+        assert len(cells) == 3 * len(RATES)  # three algorithm families
+        assert {c.algorithm for c in cells} == {"sssp", "max", "matvec"}
+        assert all(isinstance(c, DegradationCell) for c in cells)
+        assert all(c.trials == TRIALS for c in cells)
+
+    def test_zero_rate_is_perfect(self, cells):
+        for c in cells:
+            if c.rate == 0.0:
+                assert c.success_probability == 1.0
+                assert c.coverage == 1.0
+
+    def test_metrics_bounded(self, cells):
+        for c in cells:
+            assert 0.0 <= c.success_probability <= 1.0
+            assert 0.0 <= c.coverage <= 1.0
+
+    def test_reproducible(self, graph, cells):
+        again = degradation_sweep(graph, rates=RATES, trials=TRIALS, seed=2)
+        assert again == cells
+
+    def test_seed_changes_outcomes(self, graph, cells):
+        other = degradation_sweep(graph, rates=RATES, trials=TRIALS, seed=3)
+        assert other != cells
+
+    def test_algorithm_subset(self, graph):
+        only = degradation_sweep(
+            graph, rates=(0.0,), trials=2, algorithms=("max",)
+        )
+        assert {c.algorithm for c in only} == {"max"}
+
+    def test_default_graph_generated_when_omitted(self):
+        cells = degradation_sweep(rates=(0.0,), trials=1, algorithms=("sssp",))
+        assert cells[0].success_probability == 1.0
+
+    def test_validation(self, graph):
+        with pytest.raises(ValidationError):
+            degradation_sweep(graph, trials=0)
+        with pytest.raises(ValidationError):
+            degradation_sweep(graph, rates=(1.5,))
+        with pytest.raises(ValidationError):
+            degradation_sweep(graph, algorithms=("dijkstra",))
+
+
+class TestRendering:
+    def test_text_table(self, cells):
+        text = render_degradation(cells)
+        lines = text.splitlines()
+        assert "P(success)" in lines[0]
+        assert len(lines) == 2 + len(cells)  # header + rule + one row per cell
+
+    def test_markdown(self, cells):
+        doc = degradation_markdown(cells)
+        assert doc.startswith("# ")
+        assert "| algorithm |" in doc
+        assert "|---|---|---|---|---|" in doc
+
+    def test_markdown_table_helper(self):
+        table = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        assert table.splitlines() == [
+            "| a | b |",
+            "|---|---|",
+            "| 1 | 2 |",
+            "| 3 | 4 |",
+        ]

@@ -9,7 +9,16 @@ stimuli.
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core import Network, simulate_dense, simulate_event_driven
+from repro.core import (
+    Network,
+    SpikeDrop,
+    SpuriousSpikes,
+    StuckAtFiring,
+    StuckAtSilent,
+    compose,
+    simulate_dense,
+    simulate_event_driven,
+)
 
 
 @st.composite
@@ -48,6 +57,53 @@ def test_engines_agree_on_integer_tau_networks(case):
     r_event = simulate_event_driven(net, stim, max_steps=60, record_spikes=True)
     assert r_dense.first_spike.tolist() == r_event.first_spike.tolist()
     # compare full spike trains up to the common horizon
+    horizon = min(r_dense.final_tick, r_event.final_tick)
+    for t in range(horizon + 1):
+        d = r_dense.spike_events.get(t)
+        e = r_event.spike_events.get(t)
+        d_ids = [] if d is None else sorted(d.tolist())
+        e_ids = [] if e is None else sorted(e.tolist())
+        assert d_ids == e_ids, f"tick {t}: dense {d_ids} vs event {e_ids}"
+
+
+@st.composite
+def random_fault_models(draw, n):
+    """A composite of 1-3 transient fault processes valid for ``n`` neurons.
+
+    WeightDrift is excluded: drifted weights are inexact floats whose
+    summation order differs between engines, so its equivalence is asserted
+    separately on single-delivery topologies (test_transient).
+    """
+    parts = []
+    if draw(st.booleans()):
+        parts.append(SpikeDrop(draw(st.sampled_from([0.1, 0.3, 0.6])), seed=draw(st.integers(0, 99))))
+    if draw(st.booleans()):
+        parts.append(
+            SpuriousSpikes(draw(st.sampled_from([0.01, 0.05])), seed=draw(st.integers(0, 99)))
+        )
+    if draw(st.booleans()):
+        nid = draw(st.integers(min_value=0, max_value=n - 1))
+        start = draw(st.integers(min_value=0, max_value=20))
+        length = draw(st.integers(min_value=1, max_value=15))
+        cls = StuckAtSilent if draw(st.booleans()) else StuckAtFiring
+        parts.append(cls([(nid, start, start + length)]))
+    if not parts:
+        parts.append(SpikeDrop(0.2, seed=draw(st.integers(0, 99))))
+    return compose(*parts)
+
+
+@given(random_networks(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_engines_agree_under_transient_faults(case, data):
+    """The tentpole invariant: both engines observe identical fault semantics."""
+    net, stim = case
+    faults = data.draw(random_fault_models(n=net.n_neurons))
+    r_dense = simulate_dense(net, stim, max_steps=60, stop_when_quiescent=True,
+                             record_spikes=True, faults=faults)
+    r_event = simulate_event_driven(net, stim, max_steps=60, record_spikes=True,
+                                    faults=faults)
+    assert r_dense.first_spike.tolist() == r_event.first_spike.tolist()
+    assert r_dense.spike_counts.tolist() == r_event.spike_counts.tolist()
     horizon = min(r_dense.final_tick, r_event.final_tick)
     for t in range(horizon + 1):
         d = r_dense.spike_events.get(t)

@@ -101,6 +101,49 @@ class TestDropout:
         assert reached(0.0) >= reached(0.3) >= reached(0.8)
 
 
+class TestDeterminism:
+    """Same seed -> bit-identical perturbed network; different seed differs."""
+
+    def _graph_net(self):
+        g = gnp_graph(16, 0.35, max_length=4, seed=11)
+        net, _ = sssp_network(g)
+        return net
+
+    def test_dropout_same_seed_identical_compiled_network(self):
+        net = self._graph_net()
+        a = with_synapse_dropout(net, 0.4, seed=7).compile()
+        b = with_synapse_dropout(net, 0.4, seed=7).compile()
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.syn_dst, b.syn_dst)
+        assert np.array_equal(a.syn_weight, b.syn_weight)
+        assert np.array_equal(a.syn_delay, b.syn_delay)
+
+    def test_dropout_different_seed_different_topology(self):
+        net = self._graph_net()
+        compiled = [
+            with_synapse_dropout(net, 0.4, seed=s).compile() for s in range(6)
+        ]
+        topologies = {
+            (tuple(c.indptr.tolist()), tuple(c.syn_dst.tolist())) for c in compiled
+        }
+        assert len(topologies) > 1
+
+    def test_weight_noise_same_seed_identical_weights(self):
+        net = self._graph_net()
+        a = with_weight_noise(net, 0.2, seed=13).compile()
+        b = with_weight_noise(net, 0.2, seed=13).compile()
+        assert np.array_equal(a.syn_weight, b.syn_weight)
+        assert np.array_equal(a.syn_dst, b.syn_dst)
+
+    def test_weight_noise_different_seed_different_weights(self):
+        net = self._graph_net()
+        a = with_weight_noise(net, 0.2, seed=13).compile()
+        b = with_weight_noise(net, 0.2, seed=14).compile()
+        # topology is preserved either way; only the weights move
+        assert np.array_equal(a.syn_dst, b.syn_dst)
+        assert not np.array_equal(a.syn_weight, b.syn_weight)
+
+
 class TestWeightNoise:
     def test_topology_preserved(self):
         g = gnp_graph(8, 0.4, max_length=3, seed=7)

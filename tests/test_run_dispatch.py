@@ -37,6 +37,25 @@ class TestAutoDispatch:
         r = simulate(net, None, max_steps=5, stop_when_quiescent=False)
         assert r.spike_counts[a] == 5  # only the dense engine supports this
 
+    def test_pacemaker_with_long_delays_warns_and_falls_back_to_dense(self):
+        """The heuristic wants the event engine for long delays, but pacemakers
+        require dense: auto now warns and degrades instead of raising."""
+        net, a, b = make_net(delay=_EVENT_DELAY_CUTOFF + 5, pacemaker=True)
+        with pytest.warns(RuntimeWarning, match="pacemaker"):
+            r = simulate(net, None, max_steps=_EVENT_DELAY_CUTOFF + 10,
+                         stop_when_quiescent=False)
+        assert r.spike_counts[a] == _EVENT_DELAY_CUTOFF + 10
+        assert r.first_spike[b] == _EVENT_DELAY_CUTOFF + 6
+
+    def test_short_delay_pacemaker_does_not_warn(self):
+        import warnings
+
+        net, a, _ = make_net(pacemaker=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            r = simulate(net, None, max_steps=5, stop_when_quiescent=False)
+        assert r.spike_counts[a] == 5
+
     def test_probes_force_dense_even_with_long_delays(self):
         net, a, b = make_net(delay=_EVENT_DELAY_CUTOFF + 10)
         r = simulate(net, [a], max_steps=200, probe_voltages=[b])

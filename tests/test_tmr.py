@@ -1,0 +1,104 @@
+"""Tests of triple-modular-redundancy circuit wrapping (repro.circuits.tmr)."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, run_circuit, tmr
+from repro.circuits.adders import ripple_adder
+from repro.circuits.max_circuits import wired_or_max
+from repro.core import SpikeDrop, StuckAtSilent
+from repro.errors import CircuitError
+
+
+def build_max(b: CircuitBuilder) -> None:
+    xs = [b.input_bits(f"x{i}", 4) for i in range(3)]
+    res = wired_or_max(b, xs)
+    b.output_bits("max", res.out_bits)
+
+
+def build_adder(b: CircuitBuilder) -> None:
+    a = b.input_bits("a", 3)
+    c = b.input_bits("b", 3)
+    total = ripple_adder(b, a, c)
+    b.output_bits("sum", total)
+
+
+class TestConstruction:
+    def test_replicas_must_be_odd_and_at_least_three(self):
+        for bad in (0, 1, 2, 4):
+            with pytest.raises(CircuitError):
+                tmr(build_max, replicas=bad)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(CircuitError):
+            tmr(lambda b: None)
+
+    def test_structure(self):
+        w = tmr(build_max)
+        assert len(w.replicas) == 3
+        assert len(w.voters) == 4  # one vote per output bit
+        sizes = {len(r) for r in w.replicas}
+        assert len(sizes) == 1  # identical replicas
+        # replicas are disjoint neuron sets
+        all_ids = [nid for rep in w.replicas for nid in rep]
+        assert len(all_ids) == len(set(all_ids))
+
+    def test_five_replicas(self):
+        w = tmr(build_max, replicas=5)
+        assert len(w.replicas) == 5
+        assert run_circuit(w.builder, {"x0": 3, "x1": 9, "x2": 1})["max"] == 9
+
+
+class TestFaultFreeCorrectness:
+    def test_matches_unprotected_max(self):
+        plain = CircuitBuilder()
+        build_max(plain)
+        w = tmr(build_max)
+        for vals in ({"x0": 5, "x1": 12, "x2": 7}, {"x0": 0, "x1": 0, "x2": 0},
+                     {"x0": 15, "x1": 15, "x2": 15}):
+            assert run_circuit(plain, vals) == run_circuit(w.builder, vals)
+
+    def test_adder_wraps_too(self):
+        w = tmr(build_adder, name="radd")
+        out = run_circuit(w.builder, {"a": 5, "b": 6})
+        assert out["sum"] == 11
+
+
+class TestFaultMasking:
+    """The acceptance criterion: a fault rate that measurably breaks the
+    unprotected circuit is exactly masked when confined to one replica."""
+
+    VALS = {"x0": 5, "x1": 12, "x2": 7}
+    SEEDS = range(20)
+
+    def test_unprotected_circuit_measurably_fails(self):
+        plain = CircuitBuilder()
+        build_max(plain)
+        failures = sum(
+            run_circuit(plain, self.VALS, faults=SpikeDrop(0.3, seed=s))["max"] != 12
+            for s in self.SEEDS
+        )
+        assert failures > 0
+
+    def test_tmr_masks_single_replica_drops(self):
+        w = tmr(build_max)
+        for s in self.SEEDS:
+            out = run_circuit(
+                w.builder,
+                self.VALS,
+                faults=SpikeDrop(0.3, seed=s, sources=w.replicas[0]),
+            )
+            assert out["max"] == 12, f"seed {s}"
+
+    def test_tmr_masks_a_fully_silenced_replica(self):
+        w = tmr(build_max)
+        windows = [(nid, 0, 1000) for nid in w.replicas[1]]
+        out = run_circuit(w.builder, self.VALS, faults=StuckAtSilent(windows))
+        assert out["max"] == 12
+
+    def test_majority_of_faulty_replicas_loses(self):
+        # sanity check of the vote itself: silencing two of three replicas
+        # kills the (all-healthy-bits) answer
+        w = tmr(build_max)
+        windows = [(nid, 0, 1000) for rep in w.replicas[:2] for nid in rep]
+        out = run_circuit(w.builder, self.VALS, faults=StuckAtSilent(windows))
+        assert out["max"] == 0

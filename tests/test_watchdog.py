@@ -1,0 +1,160 @@
+"""Tests of the runtime watchdog guards (repro.core.watchdog)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, StopReason, Watchdog, simulate, simulate_dense, simulate_event_driven
+from repro.core.session import DenseSession
+from repro.errors import NonQuiescenceError, RunawaySpikesError, ValidationError, WatchdogError
+
+
+def oscillator():
+    """Two mutually excited neurons: fires every tick forever once started."""
+    net = Network()
+    a = net.add_neuron("ping", v_threshold=0.5, tau=1.0)
+    b = net.add_neuron("pong", v_threshold=0.5, tau=1.0)
+    net.add_synapse(a, b, weight=1.0, delay=1)
+    net.add_synapse(b, a, weight=1.0, delay=1)
+    return net, a, b
+
+
+def wavefront(k=10):
+    """A one-shot chain: every neuron fires exactly once."""
+    net = Network()
+    for _ in range(k):
+        net.add_neuron(one_shot=True)
+    for i in range(k - 1):
+        net.add_synapse(i, i + 1, delay=1)
+    return net
+
+
+class TestConfigValidation:
+    def test_window_too_small(self):
+        with pytest.raises(ValidationError):
+            Watchdog(window=1)
+
+    def test_limit_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Watchdog(window=8, max_spikes_per_neuron=0)
+        with pytest.raises(ValidationError):
+            Watchdog(window=8, max_spikes_per_neuron=9)
+
+    def test_top_k_positive(self):
+        with pytest.raises(ValidationError):
+            Watchdog(top_k=0)
+
+    def test_default_limit_is_half_window(self):
+        assert Watchdog(window=10).effective_limit == 5
+
+
+class TestRunawayDetection:
+    def test_oscillator_stops_with_runaway(self):
+        net, a, b = oscillator()
+        r = simulate_dense(net, [a], max_steps=10_000, watchdog=Watchdog(window=16))
+        assert r.stop_reason is StopReason.RUNAWAY
+        assert r.final_tick < 100  # tripped early, budget untouched
+
+    def test_report_names_offending_neurons(self):
+        net, a, b = oscillator()
+        r = simulate_dense(net, [a], max_steps=10_000, watchdog=Watchdog(window=16))
+        assert r.diagnostic is not None
+        assert r.diagnostic.kind == "runaway"
+        assert set(r.diagnostic.hot_neurons) == {a, b}
+        text = r.diagnostic.describe()
+        assert "ping" in text and "pong" in text and "runaway" in text
+
+    def test_wavefront_never_trips(self):
+        net = wavefront()
+        r = simulate_dense(net, [0], max_steps=100, watchdog=Watchdog(window=8))
+        assert r.stop_reason is StopReason.QUIESCENT
+        assert r.diagnostic is None
+
+    def test_raise_on_trip(self):
+        net, a, _ = oscillator()
+        with pytest.raises(RunawaySpikesError) as exc:
+            simulate_dense(
+                net, [a], max_steps=10_000,
+                watchdog=Watchdog(window=16, raise_on_trip=True),
+            )
+        assert exc.value.report.kind == "runaway"
+        assert isinstance(exc.value, WatchdogError)
+
+    def test_ignore_exempts_neurons(self):
+        net, a, b = oscillator()
+        r = simulate_dense(
+            net, [a], max_steps=200,
+            watchdog=Watchdog(window=16, ignore=(a, b)),
+        )
+        assert r.stop_reason is StopReason.MAX_STEPS
+
+    def test_event_engine_agrees_with_dense(self):
+        net, a, b = oscillator()
+        wd = Watchdog(window=16)
+        rd = simulate_dense(net, [a], max_steps=10_000, watchdog=wd)
+        re_ = simulate_event_driven(net, [a], max_steps=10_000, watchdog=wd)
+        assert re_.stop_reason is StopReason.RUNAWAY
+        assert re_.final_tick == rd.final_tick
+        assert re_.diagnostic.hot == rd.diagnostic.hot
+
+    def test_dispatcher_forwards_watchdog(self):
+        net, a, _ = oscillator()
+        r = simulate(net, [a], max_steps=10_000, watchdog=Watchdog(window=16))
+        assert r.stop_reason is StopReason.RUNAWAY
+
+
+class TestNonQuiescence:
+    def test_max_steps_with_activity_attaches_report(self):
+        net, a, _ = oscillator()
+        r = simulate_dense(
+            net, [a], max_steps=50,
+            watchdog=Watchdog(window=16, max_spikes_per_neuron=16),  # never trips
+        )
+        assert r.stop_reason is StopReason.MAX_STEPS
+        assert r.diagnostic is not None
+        assert r.diagnostic.kind == "non_quiescent"
+        assert "still active" in r.diagnostic.describe()
+
+    def test_exhausted_but_quiet_budget_has_no_report(self):
+        net = wavefront(k=5)
+        # budget ends long after the wave passed; window has no activity
+        r = simulate_dense(
+            net, [0], max_steps=50, stop_when_quiescent=False,
+            watchdog=Watchdog(window=8),
+        )
+        assert r.stop_reason is StopReason.MAX_STEPS
+        assert r.diagnostic is None
+
+    def test_raise_on_trip_raises_non_quiescence(self):
+        net, a, _ = oscillator()
+        with pytest.raises(NonQuiescenceError):
+            simulate_dense(
+                net, [a], max_steps=50,
+                watchdog=Watchdog(window=16, max_spikes_per_neuron=16, raise_on_trip=True),
+            )
+
+    def test_event_engine_non_quiescence(self):
+        net, a, _ = oscillator()
+        r = simulate_event_driven(
+            net, [a], max_steps=50,
+            watchdog=Watchdog(window=16, max_spikes_per_neuron=16),
+        )
+        assert r.stop_reason is StopReason.MAX_STEPS
+        assert r.diagnostic is not None and r.diagnostic.kind == "non_quiescent"
+
+
+class TestSessionWatchdog:
+    def test_session_raises_on_runaway(self):
+        net, a, _ = oscillator()
+        sess = DenseSession(net, watchdog=Watchdog(window=16))
+        sess.inject([a])
+        with pytest.raises(RunawaySpikesError) as exc:
+            sess.step(1000)
+        assert set(exc.value.report.hot_neurons) == {0, 1}
+
+    def test_session_quiet_run_unaffected(self):
+        net = wavefront(k=6)
+        sess = DenseSession(net, watchdog=Watchdog(window=8))
+        sess.inject([0])
+        for _ in range(20):
+            sess.step()
+        assert sess.spike_counts.sum() == 6
