@@ -1,0 +1,201 @@
+"""Headless benchmark runner emitting machine-readable telemetry.
+
+Runs a fixed suite of representative workloads — the Section-3 SSSP
+network on both engines, the polynomial and approximate k-hop solvers,
+the Definition-4 min-plus matvec NGA, and a wired-OR max circuit — each
+under its own :class:`~repro.telemetry.metrics.MetricsRegistry`, and
+writes one ``BENCH_telemetry.json`` document with run metadata and
+per-bench wall time, model quantities (neurons, synapses, spikes,
+simulated ticks), telemetry counters, and tracemalloc peak memory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit.py --quick --out BENCH_telemetry.json
+
+``--quick`` shrinks every instance for CI smoke runs; omit it for the
+full sizes.  The schema is documented in ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+SCHEMA = "repro.telemetry.bench/v1"
+
+
+def _bench_sssp_dense(quick: bool) -> Dict[str, object]:
+    from repro.algorithms import spiking_sssp_pseudo
+    from repro.workloads import gnp_graph
+
+    n = 300 if quick else 2000
+    g = gnp_graph(n, 6.0 / n, max_length=10, seed=7, ensure_source_reaches=True)
+    res = spiking_sssp_pseudo(g, 0, engine="dense")
+    return _model_quantities(res.cost)
+
+
+def _bench_sssp_event(quick: bool) -> Dict[str, object]:
+    from repro.algorithms import spiking_sssp_pseudo
+    from repro.workloads import gnp_graph
+
+    n = 300 if quick else 2000
+    g = gnp_graph(n, 6.0 / n, max_length=10, seed=7, ensure_source_reaches=True)
+    res = spiking_sssp_pseudo(g, 0, engine="event")
+    return _model_quantities(res.cost)
+
+
+def _bench_khop_ttl(quick: bool) -> Dict[str, object]:
+    from repro.algorithms import spiking_khop_pseudo
+    from repro.workloads import gnp_graph
+
+    n = 150 if quick else 800
+    g = gnp_graph(n, 8.0 / n, max_length=8, seed=11, ensure_source_reaches=True)
+    res = spiking_khop_pseudo(g, 0, 4)
+    return _model_quantities(res.cost)
+
+
+def _bench_sssp_poly(quick: bool) -> Dict[str, object]:
+    from repro.algorithms import spiking_sssp_poly
+    from repro.workloads import gnp_graph
+
+    n = 80 if quick else 300
+    g = gnp_graph(n, 8.0 / n, max_length=20, seed=3, ensure_source_reaches=True)
+    res = spiking_sssp_poly(g, 0)
+    return _model_quantities(res.cost)
+
+
+def _bench_khop_approx(quick: bool) -> Dict[str, object]:
+    from repro.algorithms import spiking_khop_approx
+    from repro.workloads import gnp_graph
+
+    n = 60 if quick else 250
+    g = gnp_graph(n, 8.0 / n, max_length=12, seed=5, ensure_source_reaches=True)
+    res = spiking_khop_approx(g, 0, 3)
+    return _model_quantities(res.cost)
+
+
+def _bench_matvec_nga(quick: bool) -> Dict[str, object]:
+    from repro.nga.matvec import matrix_power_nga
+    from repro.nga.semiring import MIN_PLUS
+    from repro.workloads import gnp_graph
+
+    n = 60 if quick else 250
+    g = gnp_graph(n, 8.0 / n, max_length=10, seed=9, ensure_source_reaches=True)
+    res = matrix_power_nga(g, MIN_PLUS, {0: 0}, 4)
+    return _model_quantities(res.cost)
+
+
+def _bench_circuit_max(quick: bool) -> Dict[str, object]:
+    from repro.circuits.builder import CircuitBuilder
+    from repro.circuits.max_circuits import wired_or_max
+    from repro.circuits.runner import run_circuit
+    from repro.core.stats import network_stats
+
+    count, width = (4, 4) if quick else (8, 8)
+    builder = CircuitBuilder()
+    groups = [builder.input_bits(f"x{i}", width) for i in range(count)]
+    res = wired_or_max(builder, groups)
+    builder.output_bits("max", res.out_bits)
+    rng = np.random.default_rng(0)
+    values = {f"x{i}": int(v) for i, v in enumerate(rng.integers(0, 2**width, count))}
+    out = run_circuit(builder, values)
+    assert out["max"] == max(values.values())
+    stats = network_stats(builder.net)
+    return {"neurons": stats.neurons, "synapses": stats.synapses}
+
+
+BENCHES: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
+    ("sssp_dense", _bench_sssp_dense),
+    ("sssp_event", _bench_sssp_event),
+    ("khop_ttl", _bench_khop_ttl),
+    ("sssp_poly", _bench_sssp_poly),
+    ("khop_approx", _bench_khop_approx),
+    ("matvec_nga", _bench_matvec_nga),
+    ("circuit_max", _bench_circuit_max),
+]
+
+
+def _model_quantities(cost) -> Dict[str, object]:
+    return {
+        "algorithm": cost.algorithm,
+        "neurons": cost.neuron_count,
+        "synapses": cost.synapse_count,
+        "spikes": cost.spike_count,
+        "simulated_ticks": cost.simulated_ticks,
+        "loading_ticks": cost.loading_ticks,
+        "total_time": cost.total_time,
+    }
+
+
+def run_suite(quick: bool, *, names: List[str] | None = None) -> Dict[str, object]:
+    """Run the bench suite; returns the BENCH_telemetry document."""
+    from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+    selected = [(n, f) for n, f in BENCHES if names is None or n in names]
+    records = []
+    for name, fn in selected:
+        registry = MetricsRegistry(name)
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            model = fn(quick)
+        wall = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        snap = registry.snapshot()
+        records.append(
+            {
+                "name": name,
+                "wall_s": round(wall, 6),
+                "peak_mem_bytes": int(peak),
+                "model": model,
+                "counters": snap["counters"],
+            }
+        )
+        print(
+            f"{name:12s}  {wall * 1e3:9.2f} ms  peak {peak / 1e6:7.2f} MB  "
+            f"spikes {model.get('spikes', '-')}",
+            file=sys.stderr,
+        )
+    return {
+        "schema": SCHEMA,
+        "metadata": {
+            "timestamp": time.time(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "quick": quick,
+        },
+        "benches": records,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized instances")
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        choices=[n for n, _ in BENCHES],
+        help="run only this bench (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_suite(args.quick, names=args.bench)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {len(doc['benches'])} bench records to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

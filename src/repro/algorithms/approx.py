@@ -36,6 +36,7 @@ from repro.algorithms.results import ShortestPathResult
 from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo
 from repro.core.cost import CostReport
 from repro.errors import ValidationError
+from repro.telemetry.metrics import counter_inc, observe
 from repro.workloads.graph import WeightedDigraph
 
 __all__ = ["spiking_khop_approx", "approx_epsilon"]
@@ -87,6 +88,7 @@ def spiking_khop_approx(
     total_ticks = 0
     total_spikes = 0
     total_neurons = 0
+    excess_ticks = 0
     runs = 0
     session = None
     if on_crossbar:
@@ -119,7 +121,9 @@ def spiking_khop_approx(
             total_neurons += n
         runs += 1
         total_ticks += min(sub.cost.simulated_ticks, horizon)
+        excess_ticks += max(0, sub.cost.simulated_ticks - horizon)
         total_spikes += sub.cost.spike_count
+        observe("approx.scale_ticks", min(sub.cost.simulated_ticks, horizon))
         reached = (sub_dist >= 0) & (sub_dist <= horizon)
         est = sub_dist * (eps * d_i / (2.0 * k))
         best = np.where(reached & (est < best), est, best)
@@ -142,4 +146,13 @@ def spiking_khop_approx(
             ),
         },
     )
+    # spikes.total / ticks.simulated accumulate through the per-scale
+    # spiking_sssp_pseudo sub-runs; counting here again would double-count.
+    # Sub-runs count their raw simulated ticks, but the approx model only
+    # charges up to the early-termination horizon per scale — take the
+    # clamped excess back out so the counter matches this cost report.
+    if excess_ticks:
+        counter_inc("ticks.simulated", -excess_ticks)
+    counter_inc("runs.khop_approx", 1)
+    counter_inc("approx.scales", runs)
     return ShortestPathResult(dist=dist, source=source, cost=cost, k=k)

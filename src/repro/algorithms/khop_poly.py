@@ -38,6 +38,7 @@ from repro.core.cost import CostReport
 from repro.core.network import Network
 from repro.core.run import simulate
 from repro.errors import ValidationError
+from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.graph import WeightedDigraph
 
 __all__ = [
@@ -94,26 +95,27 @@ def spiking_khop_poly(
     rounds = 0
     spikes = 0
     bits = _message_bits(graph, k)
-    for r in range(1, k + 1):
-        nxt: Dict[int, int] = {}
-        for u, d in current.items():
-            heads, lengths = graph.out_edges(u)
-            for v, w in zip(heads.tolist(), lengths.tolist()):
-                if v == u:
-                    continue
-                cand = d + int(w)
-                if cand < nxt.get(v, INF):
-                    nxt[v] = cand
-                spikes += bits
-        rounds = r
-        for v, d in nxt.items():
-            if d < best[v]:
-                best[v] = d
-        current = nxt
-        if not current:
-            break
-        if stop_at_target and target is not None and target in nxt:
-            break
+    with timer("phase.rounds"):
+        for r in range(1, k + 1):
+            nxt: Dict[int, int] = {}
+            for u, d in current.items():
+                heads, lengths = graph.out_edges(u)
+                for v, w in zip(heads.tolist(), lengths.tolist()):
+                    if v == u:
+                        continue
+                    cand = d + int(w)
+                    if cand < nxt.get(v, INF):
+                        nxt[v] = cand
+                    spikes += bits
+            rounds = r
+            for v, d in nxt.items():
+                if d < best[v]:
+                    best[v] = d
+            current = nxt
+            if not current:
+                break
+            if stop_at_target and target is not None and target in nxt:
+                break
     dist = np.where(best == INF, -1, best)
     x = poly_round_length(n, graph.max_length())
     cost = CostReport(
@@ -127,6 +129,10 @@ def spiking_khop_poly(
         round_length=x,
         message_bits=bits,
     )
+    counter_inc("runs.khop_poly", 1)
+    counter_inc("spikes.total", cost.spike_count)
+    counter_inc("ticks.simulated", cost.simulated_ticks)
+    counter_inc("cost.total_time", cost.total_time)
     return ShortestPathResult(dist=dist, source=source, cost=cost, k=k)
 
 
@@ -153,29 +159,30 @@ def spiking_sssp_poly(
     rounds = 0
     spikes = 0
     bits = _message_bits(graph, max(1, n - 1))
-    for r in range(1, n):
-        nxt: Dict[int, int] = {}
-        for u, d in current.items():
-            heads, lengths = graph.out_edges(u)
-            for v, w in zip(heads.tolist(), lengths.tolist()):
-                if v == u:
-                    continue
-                cand = d + int(w)
-                if cand < nxt.get(v, INF):
-                    nxt[v] = cand
-                spikes += bits
-        rounds = r
-        # only forward messages that improve: non-improving values cannot
-        # lie on any shortest path, and stopping when none improve bounds
-        # the executed rounds by alpha (the deepest shortest-path hop count)
-        current = {}
-        for v, d in nxt.items():
-            if d < best[v]:
-                best[v] = d
-                hops[v] = r
-                current[v] = d
-        if not current:
-            break
+    with timer("phase.rounds"):
+        for r in range(1, n):
+            nxt: Dict[int, int] = {}
+            for u, d in current.items():
+                heads, lengths = graph.out_edges(u)
+                for v, w in zip(heads.tolist(), lengths.tolist()):
+                    if v == u:
+                        continue
+                    cand = d + int(w)
+                    if cand < nxt.get(v, INF):
+                        nxt[v] = cand
+                    spikes += bits
+            rounds = r
+            # only forward messages that improve: non-improving values cannot
+            # lie on any shortest path, and stopping when none improve bounds
+            # the executed rounds by alpha (the deepest shortest-path hop count)
+            current = {}
+            for v, d in nxt.items():
+                if d < best[v]:
+                    best[v] = d
+                    hops[v] = r
+                    current[v] = d
+            if not current:
+                break
     dist = np.where(best == INF, -1, best)
     # alpha: hop count of the (single-target) shortest path when a target is
     # given, else the deepest shortest-path hop count over all vertices
@@ -193,6 +200,10 @@ def spiking_sssp_poly(
         message_bits=bits,
         extras={"alpha": float(alpha)},
     )
+    counter_inc("runs.sssp_poly", 1)
+    counter_inc("spikes.total", cost.spike_count)
+    counter_inc("ticks.simulated", cost.simulated_ticks)
+    counter_inc("cost.total_time", cost.total_time)
     return ShortestPathResult(dist=dist, source=source, cost=cost, k=None)
 
 

@@ -38,6 +38,7 @@ from repro.core.cost import CostReport
 from repro.core.network import Network
 from repro.core.run import simulate
 from repro.errors import ValidationError
+from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.graph import WeightedDigraph
 
 __all__ = [
@@ -91,29 +92,30 @@ def spiking_khop_pseudo(
             if v != source:
                 heapq.heappush(heap, (int(w), v, k - 1))
                 spikes += bits
-    while heap:
-        t = heap[0][0]
-        if target is not None and dist[target] >= 0:
-            break
-        # drain the batch at time t, grouping by vertex: the node circuit
-        # takes the max TTL over simultaneous arrivals
-        batch: Dict[int, int] = {}
-        while heap and heap[0][0] == t:
-            _, v, ttl = heapq.heappop(heap)
-            if ttl > batch.get(v, -1):
-                batch[v] = ttl
-        for v, ttl in batch.items():
-            if dist[v] < 0:
-                dist[v] = t
-            if ttl <= best_ttl[v]:
-                continue  # dominated: an earlier-or-equal arrival had >= TTL
-            best_ttl[v] = ttl
-            if ttl >= 1:
-                heads, lengths = graph.out_edges(v)
-                for w_v, w_len in zip(heads.tolist(), lengths.tolist()):
-                    if w_v != v:
-                        heapq.heappush(heap, (t + int(w_len), w_v, ttl - 1))
-                        spikes += bits
+    with timer("phase.simulate"):
+        while heap:
+            t = heap[0][0]
+            if target is not None and dist[target] >= 0:
+                break
+            # drain the batch at time t, grouping by vertex: the node circuit
+            # takes the max TTL over simultaneous arrivals
+            batch: Dict[int, int] = {}
+            while heap and heap[0][0] == t:
+                _, v, ttl = heapq.heappop(heap)
+                if ttl > batch.get(v, -1):
+                    batch[v] = ttl
+            for v, ttl in batch.items():
+                if dist[v] < 0:
+                    dist[v] = t
+                if ttl <= best_ttl[v]:
+                    continue  # dominated: an earlier-or-equal arrival had >= TTL
+                best_ttl[v] = ttl
+                if ttl >= 1:
+                    heads, lengths = graph.out_edges(v)
+                    for w_v, w_len in zip(heads.tolist(), lengths.tolist()):
+                        if w_v != v:
+                            heapq.heappush(heap, (t + int(w_len), w_v, ttl - 1))
+                            spikes += bits
     if target is not None and dist[target] >= 0:
         simulated = int(dist[target])
     else:
@@ -129,6 +131,10 @@ def spiking_khop_pseudo(
         message_bits=bits,
         extras={"raw_ticks": float(simulated), "ttl_scale": float(scale)},
     )
+    counter_inc("runs.khop_pseudo", 1)
+    counter_inc("spikes.total", cost.spike_count)
+    counter_inc("ticks.simulated", cost.simulated_ticks)
+    counter_inc("cost.total_time", cost.total_time)
     return ShortestPathResult(dist=dist, source=source, cost=cost, k=k)
 
 

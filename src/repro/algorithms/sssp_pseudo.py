@@ -36,6 +36,8 @@ from repro.core.run import simulate
 from repro.algorithms.results import ShortestPathResult
 from repro.circuits.gates import build_one_shot_gadget
 from repro.errors import ValidationError
+from repro.telemetry.hooks import EngineHooks
+from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.graph import WeightedDigraph
 
 __all__ = ["spiking_sssp_pseudo"]
@@ -54,6 +56,7 @@ def spiking_sssp_pseudo(
     use_gadgets: bool = False,
     engine: str = "event",
     max_length_hint: Optional[int] = None,
+    hooks: Optional[EngineHooks] = None,
 ) -> ShortestPathResult:
     """Single-source shortest paths by delay-encoded spike propagation.
 
@@ -63,7 +66,9 @@ def spiking_sssp_pseudo(
     run continues until every reachable vertex has fired.
 
     ``max_length_hint`` optionally caps the simulated horizon; by default
-    the safe bound ``(n - 1) * U`` is used.
+    the safe bound ``(n - 1) * U`` is used.  ``hooks`` (e.g. a
+    :class:`~repro.telemetry.trace.TraceRecorder`) is forwarded to the
+    engine for per-tick event tracing.
     """
     _check_source(graph, source)
     if target is not None and not (0 <= target < graph.n):
@@ -77,19 +82,20 @@ def spiking_sssp_pseudo(
         scale = 3
         g = graph.scaled(scale)
 
-    net = Network()
-    if use_gadgets:
-        relays = []
-        for v in range(n):
-            gadget = build_one_shot_gadget(net, name=f"v{v}")
-            relays.append(gadget.relay)
-        node_ids = relays
-    else:
-        node_ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(n)]
-    for u, v, w in g.edges():
-        if u == v:
-            continue  # self-loops cannot shorten any path
-        net.add_synapse(node_ids[u], node_ids[v], weight=1.0, delay=int(w))
+    with timer("phase.build"):
+        net = Network()
+        if use_gadgets:
+            relays = []
+            for v in range(n):
+                gadget = build_one_shot_gadget(net, name=f"v{v}")
+                relays.append(gadget.relay)
+            node_ids = relays
+        else:
+            node_ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(n)]
+        for u, v, w in g.edges():
+            if u == v:
+                continue  # self-loops cannot shorten any path
+            net.add_synapse(node_ids[u], node_ids[v], weight=1.0, delay=int(w))
 
     horizon = max_length_hint
     if horizon is None:
@@ -97,18 +103,21 @@ def spiking_sssp_pseudo(
     else:
         horizon = horizon * scale + 1
 
-    result = simulate(
-        net,
-        [node_ids[source]],
-        engine=engine,
-        max_steps=int(horizon),
-        terminal=node_ids[target] if target is not None else None,
-        watch=None if target is not None else node_ids,
-    )
-    dist = result.first_spike[np.asarray(node_ids, dtype=np.int64)].copy()
-    if scale != 1:
-        reached = dist >= 0
-        dist[reached] //= scale
+    with timer("phase.simulate"):
+        result = simulate(
+            net,
+            [node_ids[source]],
+            engine=engine,
+            max_steps=int(horizon),
+            terminal=node_ids[target] if target is not None else None,
+            watch=None if target is not None else node_ids,
+            hooks=hooks,
+        )
+    with timer("phase.decode"):
+        dist = result.first_spike[np.asarray(node_ids, dtype=np.int64)].copy()
+        if scale != 1:
+            reached = dist >= 0
+            dist[reached] //= scale
     simulated = int(dist.max()) if (dist >= 0).any() else 0
     if target is not None and dist[target] >= 0:
         simulated = int(dist[target])
@@ -120,4 +129,8 @@ def spiking_sssp_pseudo(
         synapse_count=net.n_synapses,
         spike_count=result.total_spikes,
     )
+    counter_inc("runs.sssp_pseudo", 1)
+    counter_inc("spikes.total", cost.spike_count)
+    counter_inc("ticks.simulated", cost.simulated_ticks)
+    counter_inc("cost.total_time", cost.total_time)
     return ShortestPathResult(dist=dist, source=source, cost=cost, sim=result)

@@ -41,6 +41,7 @@ from repro.errors import ValidationError
 from repro.nga.matvec import matrix_power_nga
 from repro.nga.model import NeuromorphicGraphAlgorithm
 from repro.nga.semiring import MIN_PLUS
+from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.generators import gnp_graph
 from repro.workloads.graph import WeightedDigraph
 
@@ -207,11 +208,16 @@ def degradation_sweep(
     g = graph if graph is not None else _default_graph(seed)
     cells: List[DegradationCell] = []
     if "sssp" in algorithms:
-        cells.extend(_sssp_cells(g, rates, trials, seed))
+        with timer("phase.sweep.sssp"):
+            cells.extend(_sssp_cells(g, rates, trials, seed))
     if "max" in algorithms:
-        cells.extend(_max_cells(rates, trials, seed))
+        with timer("phase.sweep.max"):
+            cells.extend(_max_cells(rates, trials, seed))
     if "matvec" in algorithms:
-        cells.extend(_matvec_cells(g, rates, trials, seed))
+        with timer("phase.sweep.matvec"):
+            cells.extend(_matvec_cells(g, rates, trials, seed))
+    counter_inc("runs.degradation_sweep", 1)
+    counter_inc("degradation.cells", len(cells))
     return cells
 
 

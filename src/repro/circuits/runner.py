@@ -20,6 +20,8 @@ from repro.core.engine import simulate_dense
 from repro.core.transient import FaultModel
 from repro.core.watchdog import Watchdog
 from repro.errors import CircuitError
+from repro.telemetry.hooks import EngineHooks
+from repro.telemetry.metrics import counter_inc, timer
 
 __all__ = ["run_circuit", "run_circuit_waves"]
 
@@ -44,13 +46,17 @@ def run_circuit(
     *,
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
+    hooks: Optional[EngineHooks] = None,
 ) -> Dict[str, int]:
     """Run one input wave; returns ``{output_group: integer value}``.
 
-    ``faults`` / ``watchdog`` are forwarded to the engine — used by the
-    degradation sweeps and the TMR fault-recovery demonstrations.
+    ``faults`` / ``watchdog`` / ``hooks`` are forwarded to the engine — used
+    by the degradation sweeps, the TMR fault-recovery demonstrations, and
+    the telemetry trace recorder.
     """
-    return run_circuit_waves(builder, [inputs], faults=faults, watchdog=watchdog)[0]
+    return run_circuit_waves(
+        builder, [inputs], faults=faults, watchdog=watchdog, hooks=hooks
+    )[0]
 
 
 def run_circuit_waves(
@@ -59,6 +65,7 @@ def run_circuit_waves(
     *,
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
+    hooks: Optional[EngineHooks] = None,
 ) -> List[Dict[str, int]]:
     """Run several pipelined waves, one presented per consecutive tick.
 
@@ -69,41 +76,48 @@ def run_circuit_waves(
     unknown = {g for wave in waves for g in wave} - set(builder.input_groups)
     if unknown:
         raise CircuitError(f"unknown input groups: {sorted(unknown)}")
-    stimulus: Dict[int, List[int]] = {}
-    for w, wave in enumerate(waves):
-        tick_ids = stimulus.setdefault(w, [])
-        if "__run__" in builder.input_groups:
-            tick_ids.append(builder.input_groups["__run__"][0].nid)
-        for group, value in wave.items():
-            sigs = builder.input_groups[group]
-            for sig, bit in zip(sigs, _input_bits(builder, group, value)):
-                if bit:
-                    tick_ids.append(sig.nid)
+    with timer("phase.encode"):
+        stimulus: Dict[int, List[int]] = {}
+        for w, wave in enumerate(waves):
+            tick_ids = stimulus.setdefault(w, [])
+            if "__run__" in builder.input_groups:
+                tick_ids.append(builder.input_groups["__run__"][0].nid)
+            for group, value in wave.items():
+                sigs = builder.input_groups[group]
+                for sig, bit in zip(sigs, _input_bits(builder, group, value)):
+                    if bit:
+                        tick_ids.append(sig.nid)
     depth = builder.depth
     max_offset = max(
         (s.offset for grp in builder.output_groups.values() for s in grp),
         default=depth,
     )
-    result = simulate_dense(
-        builder.net,
-        stimulus,
-        max_steps=max_offset + len(waves) + 1,
-        stop_when_quiescent=False,
-        record_spikes=True,
-        faults=faults,
-        watchdog=watchdog,
-    )
+    with timer("phase.simulate"):
+        result = simulate_dense(
+            builder.net,
+            stimulus,
+            max_steps=max_offset + len(waves) + 1,
+            stop_when_quiescent=False,
+            record_spikes=True,
+            faults=faults,
+            watchdog=watchdog,
+            hooks=hooks,
+        )
     assert result.spike_events is not None
-    decoded: List[Dict[str, int]] = []
-    for w in range(len(waves)):
-        out: Dict[str, int] = {}
-        for group, sigs in builder.output_groups.items():
-            fired_bits = []
-            for s in sigs:
-                fired = result.spike_events.get(s.offset + w)
-                fired_bits.append(
-                    bool(fired is not None and s.nid in set(fired.tolist()))
-                )
-            out[group] = int_from_bits(fired_bits)
-        decoded.append(out)
+    with timer("phase.decode"):
+        decoded: List[Dict[str, int]] = []
+        for w in range(len(waves)):
+            out: Dict[str, int] = {}
+            for group, sigs in builder.output_groups.items():
+                fired_bits = []
+                for s in sigs:
+                    fired = result.spike_events.get(s.offset + w)
+                    fired_bits.append(
+                        bool(fired is not None and s.nid in set(fired.tolist()))
+                    )
+                out[group] = int_from_bits(fired_bits)
+            decoded.append(out)
+    counter_inc("runs.circuit", 1)
+    counter_inc("spikes.total", result.total_spikes)
+    counter_inc("ticks.simulated", result.final_tick)
     return decoded

@@ -156,6 +156,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write a Markdown table here (default: text to stdout)"
     )
 
+    prof = sub.add_parser(
+        "profile",
+        help="profile an algorithm: phase timings, spike counters, DISTANCE costs",
+    )
+    prof.add_argument(
+        "algorithm",
+        choices=("sssp", "sssp_poly", "khop", "khop_poly", "approx", "matvec"),
+    )
+    prof.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="edge-list file (default: a seeded G(n, p) instance)",
+    )
+    prof.add_argument("--source", type=int, default=0)
+    prof.add_argument("--k", type=int, default=4)
+    prof.add_argument("--engine", choices=("event", "dense"), default="event")
+    prof.add_argument("--registers", type=int, default=4)
+    prof.add_argument("--n", type=int, default=200, help="generated-graph size")
+    prof.add_argument("--p", type=float, default=0.05, help="generated-graph density")
+    prof.add_argument("--max-length", type=int, default=10)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--trace", default=None, help="write a Chrome trace_event JSON here"
+    )
+
     return parser
 
 
@@ -179,6 +205,77 @@ def _print_distances(dist: np.ndarray, target: Optional[int]) -> None:
         print(f"distances: {dist.tolist()}")
 
 
+def _cmd_profile(args) -> int:
+    """``repro profile``: run one algorithm under the telemetry profiler."""
+    from repro.nga.matvec import matrix_power_nga
+    from repro.nga.semiring import MIN_PLUS
+    from repro.telemetry import Profiler, TraceRecorder
+
+    if args.graph is not None:
+        g = _read_graph(args.graph)
+    else:
+        g = gnp_graph(
+            args.n,
+            args.p,
+            max_length=args.max_length,
+            seed=args.seed,
+            ensure_source_reaches=True,
+        )
+    print(f"graph: n={g.n} m={g.m} U={g.max_length()}")
+
+    recorder = None
+    if args.trace:
+        if args.algorithm != "sssp":
+            print("note: --trace is only supported for 'sssp'; ignoring")
+        else:
+            recorder = TraceRecorder()
+
+    profiler = Profiler(args.algorithm)
+    if args.algorithm == "sssp":
+        res = profiler.run(
+            spiking_sssp_pseudo, g, args.source, engine=args.engine, hooks=recorder
+        )
+    elif args.algorithm == "sssp_poly":
+        res = profiler.run(spiking_sssp_poly, g, args.source)
+    elif args.algorithm == "khop":
+        res = profiler.run(spiking_khop_pseudo, g, args.source, args.k)
+    elif args.algorithm == "khop_poly":
+        res = profiler.run(spiking_khop_poly, g, args.source, args.k)
+    elif args.algorithm == "approx":
+        res = profiler.run(spiking_khop_approx, g, args.source, args.k)
+    else:  # matvec
+        res = profiler.run(matrix_power_nga, g, MIN_PLUS, {args.source: 0}, args.k)
+    cost = res.cost
+    report = profiler.report(cost=cost)
+    print()
+    print(report.render())
+
+    # DISTANCE-model comparison: data-movement cost of the conventional
+    # baseline vs the neuromorphic totals (native and embedding-charged)
+    if args.algorithm in ("khop", "khop_poly", "approx"):
+        _, mv = bellman_ford_khop_distance(
+            g, args.source, args.k, num_registers=args.registers
+        )
+        label = f"{args.k}-hop Bellman-Ford"
+    else:
+        _, mv = dijkstra_distance(g, args.source, num_registers=args.registers)
+        label = "Dijkstra"
+    print()
+    print(f"DISTANCE cost ({label}, c={args.registers} registers): {mv:,}")
+    print(f"neuromorphic total time (native):            {cost.total_time:,}")
+    print(
+        "neuromorphic total time (embedding-charged): "
+        f"{cost.with_embedding(g.n).total_time:,}"
+    )
+    if recorder is not None:
+        recorder.to_chrome_trace(args.trace)
+        print(f"wrote Chrome trace ({recorder.emitted} events) to {args.trace}")
+    if not report.consistent:
+        print("warning: measured counters disagree with the cost report")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -187,6 +284,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _write_graph(g, args.out)
         print(f"wrote {g.n} vertices / {g.m} edges to {args.out}")
         return 0
+
+    if args.command == "profile":
+        return _cmd_profile(args)
 
     g = _read_graph(args.graph)
     print(f"graph: n={g.n} m={g.m} U={g.max_length()}")

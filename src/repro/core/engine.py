@@ -23,10 +23,30 @@ from repro.core.result import SimulationResult, StopReason
 from repro.core.transient import FaultModel
 from repro.core.watchdog import Watchdog, WatchdogState
 from repro.errors import NonQuiescenceError, RunawaySpikesError, ValidationError
+from repro.telemetry.hooks import EngineHooks
+from repro.telemetry.metrics import counter_inc
 
 __all__ = ["simulate_dense"]
 
 StimulusSpec = Union[Sequence[int], Mapping[int, Sequence[int]]]
+
+
+def _normalize_probes(probe_voltages: Optional[Iterable[int]], n: int) -> list:
+    """Deduplicated, validated probe ids (first occurrence order kept)."""
+    if probe_voltages is None:
+        return []
+    probes = []
+    seen = set()
+    for p in probe_voltages:
+        pid = int(p)
+        if not (0 <= pid < n):
+            raise ValidationError(
+                f"voltage probe id {pid} out of range for network of {n} neurons"
+            )
+        if pid not in seen:
+            seen.add(pid)
+            probes.append(pid)
+    return probes
 
 
 def _normalize_stimulus(stimulus: Optional[StimulusSpec]) -> Dict[int, np.ndarray]:
@@ -55,6 +75,7 @@ def simulate_dense(
     probe_voltages: Optional[Iterable[int]] = None,
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
+    hooks: Optional[EngineHooks] = None,
 ) -> SimulationResult:
     """Simulate a network tick by tick.
 
@@ -90,6 +111,11 @@ def simulate_dense(
         rate stops the run with :attr:`StopReason.RUNAWAY` and a diagnostic
         report (or raises with ``raise_on_trip``); exhausting ``max_steps``
         while activity continues attaches a non-quiescence report.
+    hooks:
+        Optional :class:`~repro.telemetry.hooks.EngineHooks` observer
+        receiving per-tick spikes, synaptic-delivery counts, voltage-probe
+        samples, fault realizations, and the stop reason.  ``None`` (the
+        default) keeps the loop free of telemetry work.
     """
     net = network.compile() if isinstance(network, Network) else network
     if max_steps < 0:
@@ -121,9 +147,10 @@ def simulate_dense(
     any_one_shot = bool(net.one_shot.any())
     has_pacemakers = net.has_pacemakers
 
-    probes = list(probe_voltages) if probe_voltages is not None else []
+    probes = _normalize_probes(probe_voltages, n)
+    probes_arr = np.asarray(probes, dtype=np.int64) if probes else None
     voltage_traces: Optional[Dict[int, list]] = (
-        {int(p): [float(v[p])] for p in probes} if probes else None
+        {p: [float(v[p])] for p in probes} if probes else None
     )
     spike_events: Optional[Dict[int, np.ndarray]] = {} if record_spikes else None
 
@@ -131,20 +158,27 @@ def simulate_dense(
     next_forced = rf.next_forced_tick(-1) if rf is not None else None
     wd = WatchdogState(watchdog, n, net.names) if watchdog is not None else None
     diagnostic = None
+    if hooks is not None:
+        hooks.on_run_start(n, max_steps, "dense")
 
     def scatter(ids: np.ndarray, t: int) -> None:
         syn_idx = net.gather_out_synapses(ids)
         if syn_idx.size == 0:
             return
         weights = net.syn_weight[syn_idx]
+        dropped = 0
         if rf is not None:
             keep = rf.keep_deliveries(t, syn_idx)
             if not keep.all():
+                dropped = int(syn_idx.size - keep.sum())
                 syn_idx = syn_idx[keep]
                 weights = weights[keep]
-                if syn_idx.size == 0:
-                    return
-            weights = rf.deliver_weights(t, syn_idx, weights)
+            if syn_idx.size:
+                weights = rf.deliver_weights(t, syn_idx, weights)
+        if hooks is not None:
+            hooks.on_deliveries(t, int(syn_idx.size), dropped)
+        if syn_idx.size == 0:
+            return
         slots = (t + net.syn_delay[syn_idx]) % n_slots
         flat = slots * n + net.syn_dst[syn_idx]
         np.add.at(buf.reshape(-1), flat, weights)
@@ -160,18 +194,29 @@ def simulate_dense(
         spike_counts[ids] += 1
         if spike_events is not None and ids.size:
             spike_events[t] = ids.copy()
+        if hooks is not None and ids.size:
+            hooks.on_spikes(t, ids)
 
     # ---- tick 0: induced input spikes ---------------------------------- #
     t = 0
     ids0 = stim.get(0, np.empty(0, dtype=np.int64))
     if next_forced == 0:
-        ids0 = np.union1d(ids0, rf.forced_at(0))
+        forced0 = rf.forced_at(0)
+        if hooks is not None and forced0.size:
+            hooks.on_fault_forced(0, forced0)
+        ids0 = np.union1d(ids0, forced0)
         next_forced = rf.next_forced_tick(0)
     if rf is not None and ids0.size:
-        ids0 = ids0[~rf.suppressed(0, ids0)]
+        sup0 = rf.suppressed(0, ids0)
+        if sup0.any():
+            if hooks is not None:
+                hooks.on_fault_suppressed(0, ids0[sup0])
+            ids0 = ids0[~sup0]
     if ids0.size:
         register_spikes(ids0, 0)
         scatter(ids0, 0)
+    if hooks is not None and probes_arr is not None:
+        hooks.on_probe(0, probes, v[probes_arr])
     stop_reason = None
     if wd is not None:
         report = wd.observe(0, ids0)
@@ -207,20 +252,29 @@ def simulate_dense(
         if ids_stim is not None and ids_stim.size:
             fire[ids_stim] = True
         if next_forced == t:
-            fire[rf.forced_at(t)] = True
+            forced = rf.forced_at(t)
+            if hooks is not None and forced.size:
+                hooks.on_fault_forced(t, forced)
+            fire[forced] = True
             next_forced = rf.next_forced_tick(t)
         v = np.where(fire, net.v_reset, vhat)  # Eq. (3)
         ids = np.nonzero(fire)[0]
         if rf is not None and ids.size:
             # suppressed spikes are "fired but lost": the voltage reset above
             # stands, but nothing is recorded and nothing propagates
-            ids = ids[~rf.suppressed(t, ids)]
+            sup = rf.suppressed(t, ids)
+            if sup.any():
+                if hooks is not None:
+                    hooks.on_fault_suppressed(t, ids[sup])
+                ids = ids[~sup]
         if ids.size:
             register_spikes(ids, t)
             scatter(ids, t)
         if voltage_traces is not None:
             for p in voltage_traces:
                 voltage_traces[p].append(float(v[p]))
+            if hooks is not None:
+                hooks.on_probe(t, probes, v[probes_arr])
         # stop checks
         if wd is not None:
             report = wd.observe(t, ids)
@@ -251,6 +305,11 @@ def simulate_dense(
                 raise NonQuiescenceError(report.describe(), report)
             diagnostic = report
 
+    if hooks is not None:
+        hooks.on_stop(t, stop_reason, diagnostic)
+    counter_inc("engine.runs", 1)
+    counter_inc("engine.spikes", int(spike_counts.sum()))
+    counter_inc("engine.ticks", t)
     voltages = (
         {p: np.asarray(trace, dtype=np.float64) for p, trace in voltage_traces.items()}
         if voltage_traces is not None

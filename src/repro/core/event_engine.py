@@ -39,6 +39,8 @@ from repro.errors import (
     UnsupportedNetworkError,
     ValidationError,
 )
+from repro.telemetry.hooks import EngineHooks
+from repro.telemetry.metrics import counter_inc
 
 __all__ = ["simulate_event_driven"]
 
@@ -53,6 +55,7 @@ def simulate_event_driven(
     record_spikes: bool = False,
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
+    hooks: Optional[EngineHooks] = None,
 ) -> SimulationResult:
     """Simulate a network by processing spike deliveries in time order.
 
@@ -62,6 +65,10 @@ def simulate_event_driven(
     ``watchdog`` guards observe identical semantics to the dense engine;
     forced fault spikes (spurious / stuck-at-firing) are merged into the
     event stream in time order, so laziness is preserved between them.
+
+    ``hooks`` observes the same events as in the dense engine; because
+    events are emitted per *active* tick, equivalent runs report identical
+    totals on both engines (asserted by the equivalence tests).
     """
     net = network.compile() if isinstance(network, Network) else network
     if max_steps < 0:
@@ -107,8 +114,11 @@ def simulate_event_driven(
     next_forced = rf.next_forced_tick(-1) if rf is not None else None
     wd = WatchdogState(watchdog, n, net.names) if watchdog is not None else None
     diagnostic = None
+    if hooks is not None:
+        hooks.on_run_start(n, max_steps, "event")
 
-    def fire(nid: int, t: int) -> None:
+    def fire(nid: int, t: int) -> Tuple[int, int]:
+        """Record one spike; returns (deliveries scheduled, dropped)."""
         nonlocal watch_remaining
         if not fired_ever[nid]:
             first_spike[nid] = t
@@ -127,20 +137,22 @@ def simulate_event_driven(
                     heap,
                     (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(net.syn_weight[s])),
                 )
-        else:
-            # fault decisions hash (seed, emission tick, synapse id), so the
-            # mask here equals the dense engine's scatter mask exactly
-            syn_idx = np.arange(lo, hi, dtype=np.int64)
-            keep = rf.keep_deliveries(t, syn_idx)
-            syn_idx = syn_idx[keep]
-            if syn_idx.size == 0:
-                return
-            weights = rf.deliver_weights(t, syn_idx, net.syn_weight[syn_idx])
-            for s, w in zip(syn_idx, weights):
-                heapq.heappush(
-                    heap,
-                    (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(w)),
-                )
+            return int(hi - lo), 0
+        # fault decisions hash (seed, emission tick, synapse id), so the
+        # mask here equals the dense engine's scatter mask exactly
+        syn_idx = np.arange(lo, hi, dtype=np.int64)
+        keep = rf.keep_deliveries(t, syn_idx)
+        syn_idx = syn_idx[keep]
+        dropped = int(hi - lo) - int(syn_idx.size)
+        if syn_idx.size == 0:
+            return 0, dropped
+        weights = rf.deliver_weights(t, syn_idx, net.syn_weight[syn_idx])
+        for s, w in zip(syn_idx, weights):
+            heapq.heappush(
+                heap,
+                (t + int(net.syn_delay[s]), 1, int(net.syn_dst[s]), float(w)),
+            )
+        return int(syn_idx.size), dropped
 
     final_tick = 0
     stop_reason: Optional[StopReason] = None
@@ -170,7 +182,10 @@ def simulate_event_driven(
             else:
                 delivered[nid] = delivered.get(nid, 0.0) + w
         if next_forced == t:
-            induced.extend(int(i) for i in rf.forced_at(t))
+            forced = rf.forced_at(t)
+            if hooks is not None and forced.size:
+                hooks.on_fault_forced(t, forced)
+            induced.extend(int(i) for i in forced)
             next_forced = rf.next_forced_tick(t)
         fired_now: List[int] = []
         for nid, syn in delivered.items():
@@ -194,13 +209,23 @@ def simulate_event_driven(
             if sup.any():
                 # suppressed spikes are "fired but lost": voltage resets as if
                 # fired, but nothing is recorded and nothing propagates
+                if hooks is not None:
+                    hooks.on_fault_suppressed(t, np.sort(arr[sup]))
                 for nid, s in zip(fired_now, sup):
                     if s:
                         v[nid] = net.v_reset[nid]
                         last_update[nid] = t
                 fired_now = [nid for nid, s in zip(fired_now, sup) if not s]
+        scheduled_t = dropped_t = 0
         for nid in fired_now:
-            fire(nid, t)
+            s, d = fire(nid, t)
+            scheduled_t += s
+            dropped_t += d
+        if hooks is not None:
+            if fired_now:
+                hooks.on_spikes(t, np.asarray(sorted(fired_now), dtype=np.int64))
+            if scheduled_t or dropped_t:
+                hooks.on_deliveries(t, scheduled_t, dropped_t)
         # stop checks after the full batch at tick t
         if wd is not None:
             report = wd.observe(t, np.asarray(fired_now, dtype=np.int64))
@@ -222,6 +247,11 @@ def simulate_event_driven(
                 raise NonQuiescenceError(report.describe(), report)
             diagnostic = report
 
+    if hooks is not None:
+        hooks.on_stop(int(final_tick), stop_reason, diagnostic)
+    counter_inc("engine.runs", 1)
+    counter_inc("engine.spikes", int(spike_counts.sum()))
+    counter_inc("engine.ticks", int(final_tick))
     events = None
     if spike_events is not None:
         events = {

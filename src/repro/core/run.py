@@ -12,6 +12,7 @@ from repro.core.result import SimulationResult
 from repro.core.transient import FaultModel
 from repro.core.watchdog import Watchdog
 from repro.errors import ValidationError
+from repro.telemetry.hooks import EngineHooks
 
 __all__ = ["simulate", "DEFAULT_MAX_STEPS"]
 
@@ -36,6 +37,7 @@ def simulate(
     probe_voltages: Optional[Iterable[int]] = None,
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
+    hooks: Optional[EngineHooks] = None,
     engine: str = "auto",
 ) -> SimulationResult:
     """Simulate an SNN, dispatching to the dense or event-driven engine.
@@ -48,8 +50,11 @@ def simulate(
     the network contains pacemaker neurons (which the event engine rejects),
     auto falls back to the dense engine with a warning instead of raising.
 
-    ``faults`` and ``watchdog`` are forwarded to whichever engine runs; both
-    engines observe identical fault and watchdog semantics.
+    ``faults``, ``watchdog``, and telemetry ``hooks`` are forwarded to
+    whichever engine runs; the engines observe identical fault, watchdog,
+    and hook semantics.  Probe ids are deduplicated and validated by the
+    dense engine, which raises
+    :class:`~repro.errors.ValidationError` for out-of-range ids.
     """
     net = network.compile() if isinstance(network, Network) else network
     if engine == "auto":
@@ -81,6 +86,7 @@ def simulate(
             probe_voltages=probe_voltages,
             faults=faults,
             watchdog=watchdog,
+            hooks=hooks,
         )
     if engine == "event":
         if probe_voltages is not None:
@@ -94,5 +100,6 @@ def simulate(
             record_spikes=record_spikes,
             faults=faults,
             watchdog=watchdog,
+            hooks=hooks,
         )
     raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")

@@ -21,6 +21,7 @@ from repro.core.network import CompiledNetwork, Network
 from repro.core.transient import FaultModel
 from repro.core.watchdog import Watchdog, WatchdogState
 from repro.errors import RunawaySpikesError, SimulationError, ValidationError
+from repro.telemetry.hooks import EngineHooks
 
 __all__ = ["DenseSession"]
 
@@ -39,6 +40,8 @@ class DenseSession:
     generated for).  A ``watchdog`` always *raises*
     :class:`~repro.errors.RunawaySpikesError` on a runaway spike rate —
     a session has no result object to carry a diagnostic stop reason.
+    ``hooks`` observes per-tick events with the same semantics as the batch
+    engines (no stop event: a session never stops by itself).
     """
 
     def __init__(
@@ -48,6 +51,7 @@ class DenseSession:
         faults: Optional[FaultModel] = None,
         watchdog: Optional[Watchdog] = None,
         fault_horizon: int = 1_000_000,
+        hooks: Optional[EngineHooks] = None,
     ):
         self.net = network.compile() if isinstance(network, Network) else network
         n = self.net.n
@@ -68,6 +72,9 @@ class DenseSession:
         self._wd = (
             WatchdogState(watchdog, n, self.net.names) if watchdog is not None else None
         )
+        self._hooks = hooks
+        if hooks is not None:
+            hooks.on_run_start(n, fault_horizon, "session")
 
     # ------------------------------------------------------------------ #
 
@@ -89,14 +96,19 @@ class DenseSession:
         if syn_idx.size == 0:
             return
         weights = self.net.syn_weight[syn_idx]
+        dropped = 0
         if self._rf is not None:
             keep = self._rf.keep_deliveries(t, syn_idx)
             if not keep.all():
+                dropped = int(syn_idx.size - keep.sum())
                 syn_idx = syn_idx[keep]
                 weights = weights[keep]
-                if syn_idx.size == 0:
-                    return
-            weights = self._rf.deliver_weights(t, syn_idx, weights)
+            if syn_idx.size:
+                weights = self._rf.deliver_weights(t, syn_idx, weights)
+        if self._hooks is not None:
+            self._hooks.on_deliveries(t, int(syn_idx.size), dropped)
+        if syn_idx.size == 0:
+            return
         slots = (t + self.net.syn_delay[syn_idx]) % self._n_slots
         flat = slots * self.net.n + self.net.syn_dst[syn_idx]
         np.add.at(self._buf.reshape(-1), flat, weights)
@@ -130,19 +142,28 @@ class DenseSession:
                     fire &= ~(net.one_shot & self.fired_ever)
                 fire[injected] = True
             if self._next_forced == t:
-                fire[self._rf.forced_at(t)] = True
+                forced = self._rf.forced_at(t)
+                if self._hooks is not None and forced.size:
+                    self._hooks.on_fault_forced(t, forced)
+                fire[forced] = True
                 self._next_forced = self._rf.next_forced_tick(t)
             self.voltages = np.where(fire, net.v_reset, vhat)
             ids = np.nonzero(fire)[0]
             if self._rf is not None and ids.size:
                 # suppressed spikes are "fired but lost": the voltage reset
                 # above stands, but nothing is recorded and nothing propagates
-                ids = ids[~self._rf.suppressed(t, ids)]
+                sup = self._rf.suppressed(t, ids)
+                if sup.any():
+                    if self._hooks is not None:
+                        self._hooks.on_fault_suppressed(t, ids[sup])
+                    ids = ids[~sup]
             newly = ids[~self.fired_ever[ids]]
             self.first_spike[newly] = t
             self.fired_ever[ids] = True
             self.spike_counts[ids] += 1
             self._fired_last = ids
+            if self._hooks is not None and ids.size:
+                self._hooks.on_spikes(t, ids)
             if ids.size:
                 self._scatter(ids, t)
             if self._wd is not None:

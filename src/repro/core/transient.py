@@ -37,6 +37,7 @@ model against the same compiled network.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -52,6 +53,8 @@ __all__ = [
     "StuckAtSilent",
     "StuckAtFiring",
     "WeightDrift",
+    "CountingFaults",
+    "FaultRealization",
     "compose",
 ]
 
@@ -368,6 +371,89 @@ class _BoundDrift(BoundFaults):
         if self.rate == 0.0 or t == 0 or syn_idx.size == 0:
             return weights
         return weights * (1.0 + self.rate * t * self.directions[syn_idx])
+
+
+# --------------------------------------------------------------------- #
+# Realization counting
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class FaultRealization:
+    """Exact counts of faults an engine actually realized during one run.
+
+    ``dropped_deliveries`` counts synaptic deliveries removed at emission
+    time, ``forced_spikes`` counts fault-forced fires the model handed to
+    the engine, and ``suppressed_spikes`` counts would-be spikes the model
+    marked "fired but lost".  Because fault decisions are counter-hashed
+    (pure functions of what is faulted), equivalent runs realize identical
+    counts on every engine — the telemetry tests compare these against the
+    totals the :class:`~repro.telemetry.trace.TraceRecorder` observes
+    through the hook API.
+    """
+
+    dropped_deliveries: int = 0
+    forced_spikes: int = 0
+    suppressed_spikes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "dropped_deliveries": self.dropped_deliveries,
+            "forced_spikes": self.forced_spikes,
+            "suppressed_spikes": self.suppressed_spikes,
+        }
+
+
+class CountingFaults(FaultModel):
+    """Wrap a fault model and tally the faults engines realize through it.
+
+    The wrapper is transparent: every query delegates to the inner model,
+    so spike trains are unchanged.  ``realization`` accumulates across
+    binds (reuse one wrapper per run for per-run counts).
+    """
+
+    def __init__(self, inner: FaultModel):
+        self.inner = inner
+        self.realization = FaultRealization()
+
+    def bind(self, net: CompiledNetwork, max_steps: int) -> BoundFaults:
+        return _CountingBound(
+            net, max_steps, self.inner.bind(net, max_steps), self.realization
+        )
+
+
+class _CountingBound(BoundFaults):
+    def __init__(
+        self,
+        net: CompiledNetwork,
+        horizon: int,
+        inner: BoundFaults,
+        counters: FaultRealization,
+    ):
+        super().__init__(net, horizon)
+        self.inner = inner
+        self.counters = counters
+
+    def keep_deliveries(self, t: int, syn_idx: np.ndarray) -> np.ndarray:
+        keep = self.inner.keep_deliveries(t, syn_idx)
+        self.counters.dropped_deliveries += int(syn_idx.size - keep.sum())
+        return keep
+
+    def deliver_weights(self, t: int, syn_idx: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return self.inner.deliver_weights(t, syn_idx, weights)
+
+    def forced_at(self, t: int) -> np.ndarray:
+        ids = self.inner.forced_at(t)
+        self.counters.forced_spikes += int(ids.size)
+        return ids
+
+    def next_forced_tick(self, after: int) -> Optional[int]:
+        return self.inner.next_forced_tick(after)
+
+    def suppressed(self, t: int, ids: np.ndarray) -> np.ndarray:
+        mask = self.inner.suppressed(t, ids)
+        self.counters.suppressed_spikes += int(mask.sum())
+        return mask
 
 
 # --------------------------------------------------------------------- #

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.nga.model import NGAResult, NeuromorphicGraphAlgorithm
 from repro.nga.semiring import Semiring
+from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.graph import WeightedDigraph
 
 __all__ = ["matrix_power_nga", "semiring_matvec"]
@@ -63,7 +64,13 @@ def matrix_power_nga(
         message_bits=message_bits,
     )
     start = {v: m for v, m in initial.items() if m != semiring.zero}
-    return nga.run(start, rounds)
+    with timer("phase.rounds"):
+        result = nga.run(start, rounds)
+    counter_inc("runs.matvec_nga", 1)
+    counter_inc("spikes.total", result.cost.spike_count)
+    counter_inc("ticks.simulated", result.cost.simulated_ticks)
+    counter_inc("cost.total_time", result.cost.total_time)
+    return result
 
 
 def semiring_matvec(

@@ -1,0 +1,166 @@
+"""Phase-timer profiling of algorithm entry points.
+
+The algorithm runners (:mod:`repro.algorithms`, the circuit driver, the
+NGA matvec executor) are instrumented with ``timer("phase.<name>")`` and
+``counter_inc("spikes.total", ...)`` calls that report into the active
+:class:`~repro.telemetry.metrics.MetricsRegistry`.  :class:`Profiler`
+activates a fresh registry around a call, captures wall time, and turns
+the result into a :class:`ProfileReport` whose spike-op counters are
+reconciled against the run's :class:`~repro.core.cost.CostReport` — a
+profile whose measured spikes disagree with the model cost accounting is
+flagged rather than silently trusted.
+
+    profiler = Profiler("sssp")
+    result = profiler.run(spiking_sssp_pseudo, g, 0)
+    print(profiler.report(cost=result.cost).render())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cost import CostReport
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+__all__ = ["PhaseStat", "ProfileReport", "Profiler"]
+
+#: Counter-name -> CostReport attribute pairs checked during reconciliation.
+_RECONCILED = (
+    ("spikes.total", "spike_count"),
+    ("ticks.simulated", "simulated_ticks"),
+)
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregated timings of one instrumented phase."""
+
+    name: str
+    seconds: float
+    count: int
+
+
+@dataclass
+class ProfileReport:
+    """Rendered outcome of one profiled call.
+
+    ``reconciliation`` maps counter names to ``(measured, expected, ok)``
+    against the supplied :class:`~repro.core.cost.CostReport`; counters the
+    run never recorded are skipped rather than reported as mismatches.
+    """
+
+    name: str
+    wall_seconds: float
+    phases: List[PhaseStat]
+    counters: Dict[str, float]
+    cost: Optional[CostReport] = None
+    reconciliation: Dict[str, Tuple[float, float, bool]] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """True when every reconciled counter matches the cost report."""
+        return all(ok for _, _, ok in self.reconciliation.values())
+
+    def render(self) -> str:
+        """Multi-line human-readable profile."""
+        lines = [f"profile: {self.name}", f"wall time: {self.wall_seconds * 1e3:.2f} ms"]
+        if self.phases:
+            lines.append("phases:")
+            width = max(len(p.name) for p in self.phases)
+            for p in self.phases:
+                share = (
+                    f" ({100.0 * p.seconds / self.wall_seconds:5.1f}%)"
+                    if self.wall_seconds > 0
+                    else ""
+                )
+                lines.append(
+                    f"  {p.name.ljust(width)}  {p.seconds * 1e3:9.3f} ms"
+                    f"  x{p.count}{share}"
+                )
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(k) for k in self.counters)
+            for k in sorted(self.counters):
+                v = self.counters[k]
+                shown = f"{int(v):,}" if float(v).is_integer() else f"{v:.4g}"
+                lines.append(f"  {k.ljust(width)}  {shown}")
+        if self.cost is not None:
+            c = self.cost
+            lines.append("cost report:")
+            lines.append(f"  algorithm       {c.algorithm}")
+            lines.append(f"  simulated ticks {c.simulated_ticks:,}")
+            lines.append(f"  loading ticks   {c.loading_ticks:,}")
+            lines.append(f"  total time      {c.total_time:,}")
+            lines.append(f"  neurons         {c.neuron_count:,}")
+            lines.append(f"  synapses        {c.synapse_count:,}")
+            lines.append(f"  spikes          {c.spike_count:,}")
+        if self.reconciliation:
+            lines.append("reconciliation (measured vs cost report):")
+            for k, (measured, expected, ok) in sorted(self.reconciliation.items()):
+                status = "ok" if ok else "MISMATCH"
+                lines.append(
+                    f"  {k}: {int(measured):,} vs {int(expected):,} [{status}]"
+                )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Run callables under a fresh registry and summarize what they did."""
+
+    def __init__(self, name: str = "profile"):
+        self.name = name
+        self.registry = MetricsRegistry(name)
+        self.wall_seconds = 0.0
+
+    def phase(self, name: str):
+        """Context manager timing an explicit caller-side phase."""
+        return self.registry.timer(f"phase.{name}")
+
+    def run(self, fn: Callable, *args, **kwargs):
+        """Call ``fn`` with this profiler's registry active; returns its result.
+
+        Wall time accumulates across calls, so a profiler may time several
+        repetitions of the same entry point.
+        """
+        t0 = time.perf_counter()
+        with use_registry(self.registry):
+            out = fn(*args, **kwargs)
+        self.wall_seconds += time.perf_counter() - t0
+        return out
+
+    def report(self, cost: Optional[CostReport] = None) -> ProfileReport:
+        """Summarize everything recorded; reconcile against ``cost`` if given."""
+        snap = self.registry.snapshot()
+        phases = [
+            PhaseStat(
+                name=k[len("phase.") :],
+                seconds=float(v["total"]),
+                count=int(v["count"]),
+            )
+            for k, v in sorted(snap["timers"].items())
+            if k.startswith("phase.")
+        ]
+        phases.sort(key=lambda p: p.seconds, reverse=True)
+        counters = dict(snap["counters"])
+        reconciliation: Dict[str, Tuple[float, float, bool]] = {}
+        if cost is not None:
+            for counter_name, attr in _RECONCILED:
+                if counter_name not in counters:
+                    continue
+                measured = float(counters[counter_name])
+                expected = float(getattr(cost, attr))
+                reconciliation[counter_name] = (
+                    measured,
+                    expected,
+                    measured == expected,
+                )
+        return ProfileReport(
+            name=self.name,
+            wall_seconds=self.wall_seconds,
+            phases=phases,
+            counters=counters,
+            cost=cost,
+            reconciliation=reconciliation,
+        )

@@ -1,0 +1,260 @@
+"""Bounded ring-buffer trace recording and machine-readable exports.
+
+:class:`TraceRecorder` is the canonical :class:`~repro.telemetry.hooks.EngineHooks`
+consumer: it appends one :class:`TraceEvent` per engine callback into a
+ring buffer of fixed ``capacity`` (oldest events are discarded once full,
+so memory stays bounded no matter how long the run) while maintaining
+exact running totals that are *never* dropped.  The totals are what the
+cross-engine equivalence and fault-accounting tests compare; the event
+ring is for inspection and export.
+
+Exports:
+
+* :meth:`TraceRecorder.to_json` — ``{"summary": ..., "events": [...]}``;
+* :meth:`TraceRecorder.to_csv` — one row per event (``tick, kind, count,
+  ids``);
+* :meth:`TraceRecorder.to_chrome_trace` — Chrome ``trace_event`` format
+  (load in ``chrome://tracing`` or Perfetto): counter tracks for spikes
+  and deliveries plus instant events for fault realizations, with one
+  simulated tick mapped to one microsecond.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.hooks import EngineHooks
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded engine event.
+
+    ``kind`` is one of ``"start"``, ``"spikes"``, ``"deliveries"``,
+    ``"probe"``, ``"fault.forced"``, ``"fault.suppressed"``, ``"stop"``.
+    ``count`` is the event's primary magnitude (spikes fired, deliveries
+    scheduled, ...); ``data`` carries kind-specific extras.
+    """
+
+    tick: int
+    kind: str
+    count: int = 0
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_row(self) -> Dict[str, object]:
+        return {"tick": self.tick, "kind": self.kind, "count": self.count, **self.data}
+
+
+class TraceRecorder(EngineHooks):
+    """Record engine activity into a bounded ring buffer with exact totals.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older events fall off the ring.  Totals
+        (:attr:`total_spikes` and friends) keep counting regardless.
+    keep_ids:
+        Store the neuron-id arrays on spike/fault events (lists of ints in
+        the export).  Off by default to keep events small.
+    """
+
+    def __init__(self, capacity: int = 65536, *, keep_ids: bool = False):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.keep_ids = bool(keep_ids)
+        self.events: Deque[TraceEvent] = deque(maxlen=self.capacity)
+        self.emitted = 0  # events seen, including ones the ring discarded
+        self.runs = 0
+        self.engine: Optional[str] = None
+        self.total_spikes = 0
+        self.total_deliveries = 0
+        self.total_dropped_deliveries = 0
+        self.total_forced = 0
+        self.total_suppressed = 0
+        self.total_probe_samples = 0
+        self.stop_reason: Optional[object] = None
+        self.final_tick: Optional[int] = None
+
+    # ------------------------------------------------------------- hooks #
+
+    def _record(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        self.events.append(event)
+
+    def on_run_start(self, n_neurons: int, max_steps: int, engine: str) -> None:
+        self.runs += 1
+        self.engine = engine
+        self._record(
+            TraceEvent(0, "start", n_neurons, {"max_steps": max_steps, "engine": engine})
+        )
+
+    def on_spikes(self, tick: int, ids: np.ndarray) -> None:
+        self.total_spikes += int(ids.size)
+        data = {"ids": [int(i) for i in ids]} if self.keep_ids else {}
+        self._record(TraceEvent(tick, "spikes", int(ids.size), data))
+
+    def on_deliveries(self, tick: int, scheduled: int, dropped: int) -> None:
+        self.total_deliveries += int(scheduled)
+        self.total_dropped_deliveries += int(dropped)
+        self._record(
+            TraceEvent(tick, "deliveries", int(scheduled), {"dropped": int(dropped)})
+        )
+
+    def on_probe(self, tick: int, ids: Sequence[int], values: np.ndarray) -> None:
+        self.total_probe_samples += len(values)
+        self._record(
+            TraceEvent(
+                tick,
+                "probe",
+                len(values),
+                {"ids": [int(i) for i in ids], "values": [float(v) for v in values]},
+            )
+        )
+
+    def on_fault_forced(self, tick: int, ids: np.ndarray) -> None:
+        self.total_forced += int(ids.size)
+        data = {"ids": [int(i) for i in ids]} if self.keep_ids else {}
+        self._record(TraceEvent(tick, "fault.forced", int(ids.size), data))
+
+    def on_fault_suppressed(self, tick: int, ids: np.ndarray) -> None:
+        self.total_suppressed += int(ids.size)
+        data = {"ids": [int(i) for i in ids]} if self.keep_ids else {}
+        self._record(TraceEvent(tick, "fault.suppressed", int(ids.size), data))
+
+    def on_stop(self, tick: int, reason: object, diagnostic: object = None) -> None:
+        self.stop_reason = reason
+        self.final_tick = tick
+        data: Dict[str, object] = {"reason": getattr(reason, "value", str(reason))}
+        if diagnostic is not None:
+            data["diagnostic"] = str(diagnostic)
+        self._record(TraceEvent(tick, "stop", 0, data))
+
+    # ----------------------------------------------------------- queries #
+
+    @property
+    def dropped_events(self) -> int:
+        """Events the ring discarded because ``capacity`` was exceeded."""
+        return self.emitted - len(self.events)
+
+    def fault_totals(self) -> Dict[str, int]:
+        """Realized fault counts, comparable across engines and against
+        :class:`~repro.core.transient.CountingFaults` counters."""
+        return {
+            "dropped_deliveries": self.total_dropped_deliveries,
+            "forced_spikes": self.total_forced,
+            "suppressed_spikes": self.total_suppressed,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Exact run totals (independent of ring-buffer eviction)."""
+        return {
+            "runs": self.runs,
+            "engine": self.engine,
+            "final_tick": self.final_tick,
+            "stop_reason": getattr(self.stop_reason, "value", self.stop_reason),
+            "spikes": self.total_spikes,
+            "deliveries": self.total_deliveries,
+            "dropped_deliveries": self.total_dropped_deliveries,
+            "forced_spikes": self.total_forced,
+            "suppressed_spikes": self.total_suppressed,
+            "probe_samples": self.total_probe_samples,
+            "events_recorded": len(self.events),
+            "events_dropped": self.dropped_events,
+        }
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    # ----------------------------------------------------------- exports #
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        doc = {
+            "schema": "repro.telemetry.trace/v1",
+            "summary": self.summary(),
+            "events": [e.to_row() for e in self.events],
+        }
+        text = json.dumps(doc, indent=2)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["tick", "kind", "count", "extra"])
+        for e in self.events:
+            extra = {k: v for k, v in e.data.items()}
+            writer.writerow([e.tick, e.kind, e.count, json.dumps(extra) if extra else ""])
+        text = buf.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    def to_chrome_trace(self, path: Optional[str] = None) -> str:
+        """Chrome ``trace_event`` JSON: one simulated tick = one microsecond.
+
+        Spikes and deliveries render as counter tracks (``ph: "C"``); fault
+        realizations and the stop render as instant events (``ph: "i"``).
+        """
+        pid = 1
+        rows: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"repro:{self.engine or 'engine'}"},
+            }
+        ]
+        for e in self.events:
+            if e.kind == "spikes":
+                rows.append(
+                    {
+                        "name": "spikes",
+                        "ph": "C",
+                        "ts": e.tick,
+                        "pid": pid,
+                        "args": {"fired": e.count},
+                    }
+                )
+            elif e.kind == "deliveries":
+                rows.append(
+                    {
+                        "name": "deliveries",
+                        "ph": "C",
+                        "ts": e.tick,
+                        "pid": pid,
+                        "args": {
+                            "scheduled": e.count,
+                            "dropped": e.data.get("dropped", 0),
+                        },
+                    }
+                )
+            elif e.kind in ("fault.forced", "fault.suppressed", "stop", "start"):
+                rows.append(
+                    {
+                        "name": e.kind,
+                        "ph": "i",
+                        "s": "g",
+                        "ts": e.tick,
+                        "pid": pid,
+                        "tid": 1,
+                        "args": dict(e.to_row()),
+                    }
+                )
+        text = json.dumps({"traceEvents": rows, "displayTimeUnit": "ms"}, indent=2)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text

@@ -1,0 +1,44 @@
+"""Tests of the headless benchmark emitter (``benchmarks/emit.py``)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks import emit  # noqa: E402
+
+
+def test_run_suite_quick_single_bench():
+    doc = emit.run_suite(True, names=["sssp_event"])
+    assert doc["schema"] == "repro.telemetry.bench/v1"
+    assert doc["metadata"]["quick"] is True
+    (rec,) = doc["benches"]
+    assert rec["name"] == "sssp_event"
+    assert rec["wall_s"] > 0
+    assert rec["peak_mem_bytes"] > 0
+    assert rec["model"]["spikes"] > 0
+    assert rec["counters"]["spikes.total"] == rec["model"]["spikes"]
+
+
+def test_main_writes_valid_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_telemetry.json"
+    rc = emit.main(["--quick", "--bench", "circuit_max", "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.telemetry.bench/v1"
+    assert [r["name"] for r in doc["benches"]] == ["circuit_max"]
+    assert json.dumps(doc)  # round-trippable
+
+
+def test_unknown_bench_rejected():
+    with pytest.raises(SystemExit):
+        emit.main(["--bench", "nope"])
+
+
+def test_every_registered_bench_is_callable():
+    names = [n for n, _ in emit.BENCHES]
+    assert len(names) == len(set(names))
+    assert "sssp_dense" in names and "matvec_nga" in names

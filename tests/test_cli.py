@@ -112,6 +112,52 @@ class TestFaults:
             main(["faults", str(graph_file), "--algorithms", "dijkstra"])
 
 
+class TestProfile:
+    def test_profile_sssp_end_to_end(self, graph_file, capsys):
+        assert main(["profile", "sssp", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "profile: sssp" in out
+        assert "phases:" in out and "simulate" in out
+        assert "spikes" in out
+        assert "reconciliation" in out and "MISMATCH" not in out
+        assert "DISTANCE cost" in out
+        assert "embedding-charged" in out
+
+    def test_profile_generates_graph_when_omitted(self, capsys):
+        assert main(["profile", "sssp", "--n", "30", "--p", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "graph: n=30" in out
+
+    @pytest.mark.parametrize(
+        "algo", ["sssp_poly", "khop", "khop_poly", "approx", "matvec"]
+    )
+    def test_profile_all_algorithms(self, capsys, algo):
+        assert main(["profile", algo, "--n", "25", "--p", "0.2", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"profile: {algo}" in out
+        assert "MISMATCH" not in out
+
+    def test_profile_dense_engine(self, graph_file, capsys):
+        assert main(["profile", "sssp", str(graph_file), "--engine", "dense"]) == 0
+        assert "MISMATCH" not in capsys.readouterr().out
+
+    def test_profile_writes_chrome_trace(self, graph_file, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main(["profile", "sssp", str(graph_file), "--trace", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert any(r["name"] == "spikes" for r in doc["traceEvents"])
+
+    def test_trace_ignored_for_unsupported_algorithm(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        rc = main(["profile", "matvec", "--n", "20", "--trace", str(trace)])
+        assert rc == 0
+        assert not trace.exists()
+        assert "ignoring" in capsys.readouterr().out
+
+
 class TestInfo:
     def test_info_prints_stats_and_chips(self, graph_file, capsys):
         assert main(["info", str(graph_file)]) == 0

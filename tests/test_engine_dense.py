@@ -263,3 +263,35 @@ class TestDelayRingBuffer:
         net.add_synapse(b, c, weight=1.0, delay=3)
         r = simulate_dense(net, {0: [a], 3: [b]}, max_steps=10)
         assert r.first_spike[c] == 6
+
+
+class TestProbeValidation:
+    """Probe ids are deduplicated and range-checked up front."""
+
+    def test_out_of_range_probe_raises_validation_error(self):
+        net, ids = chain([1])
+        with pytest.raises(ValidationError, match="out of range"):
+            simulate_dense(net, [ids[0]], max_steps=5, probe_voltages=[99])
+
+    def test_negative_probe_rejected(self):
+        net, ids = chain([1])
+        with pytest.raises(ValidationError, match="out of range"):
+            simulate_dense(net, [ids[0]], max_steps=5, probe_voltages=[-1])
+
+    def test_duplicate_probes_deduplicated(self):
+        net = Network()
+        a = net.add_neuron(tau=1.0)
+        b = net.add_neuron(v_threshold=5.0, tau=0.0)
+        net.add_synapse(a, b, weight=2.0, delay=1)
+        r = simulate_dense(net, [a], max_steps=3, probe_voltages=[b, b, a, b],
+                           stop_when_quiescent=False)
+        assert sorted(r.voltages) == [a, b]
+        assert r.voltages[b].tolist() == [0.0, 2.0, 2.0, 2.0]
+
+    def test_probe_validation_through_dispatcher(self):
+        from repro.core import simulate
+
+        net, ids = chain([1])
+        with pytest.raises(ValidationError, match="out of range"):
+            simulate(net, [ids[0]], engine="dense", max_steps=5,
+                     probe_voltages=[net.n_neurons])

@@ -19,6 +19,8 @@ from repro.core import (
     simulate_dense,
     simulate_event_driven,
 )
+from repro.core.session import DenseSession
+from repro.telemetry import TraceRecorder
 
 
 @st.composite
@@ -111,6 +113,36 @@ def test_engines_agree_under_transient_faults(case, data):
         d_ids = [] if d is None else sorted(d.tolist())
         e_ids = [] if e is None else sorted(e.tolist())
         assert d_ids == e_ids, f"tick {t}: dense {d_ids} vs event {e_ids}"
+
+
+@given(random_networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_all_three_engines_report_identical_hook_totals(case, data):
+    """Dense, event-driven, and session engines must emit the same spike and
+    fault-event totals through the telemetry hook API."""
+    net, stim = case
+    max_steps = 40
+    seed_model = data.draw(random_fault_models(n=net.n_neurons))
+
+    dense_rec = TraceRecorder()
+    r_dense = simulate_dense(net, stim, max_steps=max_steps,
+                             stop_when_quiescent=True, faults=seed_model,
+                             hooks=dense_rec)
+    event_rec = TraceRecorder()
+    simulate_event_driven(net, stim, max_steps=max_steps, faults=seed_model,
+                          hooks=event_rec)
+    session_rec = TraceRecorder()
+    session = DenseSession(net, faults=seed_model, fault_horizon=max_steps,
+                           hooks=session_rec)
+    session.inject(stim)
+    session.step(r_dense.final_tick + 1)
+
+    assert dense_rec.total_spikes == r_dense.spike_counts.sum()
+    for rec in (event_rec, session_rec):
+        assert rec.total_spikes == dense_rec.total_spikes
+        assert rec.fault_totals() == dense_rec.fault_totals()
+    assert dense_rec.total_deliveries == event_rec.total_deliveries
+    assert dense_rec.total_deliveries == session_rec.total_deliveries
 
 
 @given(

@@ -77,3 +77,52 @@ class TestRates:
     def test_interspike_intervals_sparse(self, chain_result):
         ids, r = chain_result
         assert interspike_intervals(r, ids[0]).size == 0
+
+
+class TestEdgeCases:
+    @pytest.fixture
+    def silent_result(self):
+        """A no-spike execution: the stimulus list is empty."""
+        net = Network()
+        ids = [net.add_neuron(tau=1.0) for _ in range(2)]
+        net.add_synapse(ids[0], ids[1], delay=1)
+        r = simulate(net, [], engine="dense", max_steps=5, record_spikes=True)
+        return ids, r
+
+    def test_raster_of_silent_run_is_all_empty(self, silent_result):
+        ids, r = silent_result
+        text = spike_raster(r, ids, t_end=4)
+        for line in text.splitlines():
+            assert "|" not in line
+            assert line.endswith("." * 5)
+
+    def test_raster_with_no_neurons_is_empty(self, chain_result):
+        _, r = chain_result
+        assert spike_raster(r, []) == ""
+
+    def test_rates_of_silent_run_are_zero(self, silent_result):
+        _, r = silent_result
+        assert (firing_rates(r, horizon=4) == 0.0).all()
+
+    def test_isi_of_silent_neuron_is_empty(self, silent_result):
+        ids, r = silent_result
+        assert interspike_intervals(r, ids[0]).size == 0
+
+    def test_single_neuron_network(self):
+        net = Network()
+        nid = net.add_neuron(tau=1.0)
+        r = simulate(net, [nid], engine="dense", max_steps=3, record_spikes=True)
+        text = spike_raster(r, [nid])
+        assert text.splitlines()[0].split(" ", 1)[1].startswith("|")
+        assert firing_rates(r)[nid] > 0
+        assert interspike_intervals(r, nid).size == 0
+
+    def test_zero_tick_window(self, chain_result):
+        ids, r = chain_result
+        text = spike_raster(r, ids, t_start=0, t_end=0)
+        assert all(len(line.split(" ", 1)[1]) == 1 for line in text.splitlines())
+
+    def test_negative_horizon_rejected(self, silent_result):
+        _, r = silent_result
+        with pytest.raises(ValidationError):
+            firing_rates(r, horizon=-1)

@@ -48,3 +48,31 @@ def test_accepts_compiled_network():
     net = Network()
     net.add_neuron()
     assert network_stats(net.compile()).neurons == 1
+
+
+def test_single_neuron_no_synapses():
+    net = Network()
+    net.add_neuron(one_shot=True)
+    stats = network_stats(net)
+    assert stats.neurons == 1 and stats.synapses == 0
+    assert stats.max_fan_out == 0 and stats.max_fan_in == 0
+    assert stats.min_delay == 0 and stats.max_delay == 0
+    assert stats.excitatory_synapses == 0 and stats.inhibitory_synapses == 0
+    assert stats.self_loops == 0
+    assert stats.one_shot_neurons == 1
+
+
+def test_empty_network_summary_renders():
+    text = network_stats(Network()).summary()
+    assert "neurons" in text and "0" in text
+
+
+def test_all_self_loops():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron()
+    net.add_synapse(a, a, delay=2)
+    net.add_synapse(b, b, delay=2)
+    stats = network_stats(net)
+    assert stats.self_loops == 2
+    assert stats.max_fan_in == 1 and stats.max_fan_out == 1

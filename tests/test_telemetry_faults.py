@@ -1,0 +1,118 @@
+"""Telemetry x faults: recorder totals must match realized fault counts.
+
+The :class:`~repro.core.transient.CountingFaults` wrapper tallies what the
+fault model hands to an engine; the
+:class:`~repro.telemetry.trace.TraceRecorder` tallies what the engine
+reports through the hook API.  The two observe the same run from opposite
+sides, so their counts must agree exactly — on both engines, which must in
+turn agree with each other (counter-hashed fault decisions are engine-order
+independent).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Network,
+    SpikeDrop,
+    SpuriousSpikes,
+    StuckAtFiring,
+    StuckAtSilent,
+    compose,
+    simulate_dense,
+    simulate_event_driven,
+)
+from repro.core.session import DenseSession
+from repro.core.transient import CountingFaults, FaultRealization
+from repro.telemetry import TraceRecorder
+
+
+def dense_mesh(n=12, fanout=4, seed=3):
+    rng = np.random.default_rng(seed)
+    net = Network()
+    ids = [net.add_neuron(tau=1.0) for _ in range(n)]
+    for u in range(n):
+        for v in rng.choice(n, size=fanout, replace=False):
+            if u != int(v):
+                net.add_synapse(ids[u], ids[int(v)], delay=int(rng.integers(1, 4)))
+    return net, ids
+
+
+FAULT_FACTORIES = {
+    "drop": lambda: SpikeDrop(0.4, seed=11),
+    "spurious": lambda: SpuriousSpikes(0.05, seed=7),
+    "stuck_firing": lambda: StuckAtFiring([(2, 1, 8)]),
+    "composite": lambda: compose(
+        SpikeDrop(0.3, seed=5),
+        SpuriousSpikes(0.03, seed=9),
+        StuckAtSilent([(1, 0, 10)]),
+    ),
+}
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULT_FACTORIES))
+@pytest.mark.parametrize("engine", ["dense", "event"])
+def test_recorder_matches_counting_faults(fault_name, engine):
+    net, ids = dense_mesh()
+    counting = CountingFaults(FAULT_FACTORIES[fault_name]())
+    rec = TraceRecorder()
+    run = simulate_dense if engine == "dense" else simulate_event_driven
+    run(net, [ids[0]], max_steps=30, faults=counting, hooks=rec)
+    assert rec.fault_totals() == counting.realization.as_dict()
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULT_FACTORIES))
+def test_fault_totals_agree_across_engines(fault_name):
+    net, ids = dense_mesh()
+    totals = {}
+    for engine, run in (("dense", simulate_dense), ("event", simulate_event_driven)):
+        rec = TraceRecorder()
+        run(net, [ids[0]], max_steps=30, faults=FAULT_FACTORIES[fault_name](),
+            hooks=rec)
+        totals[engine] = (rec.total_spikes, rec.fault_totals())
+    assert totals["dense"] == totals["event"]
+
+
+def test_faults_actually_realized():
+    """Guard against a vacuous pass: the composite model must do something."""
+    net, ids = dense_mesh()
+    counting = CountingFaults(FAULT_FACTORIES["composite"]())
+    simulate_dense(net, [ids[0]], max_steps=30, faults=counting)
+    r = counting.realization
+    assert r.dropped_deliveries > 0
+    assert r.forced_spikes > 0
+
+
+def test_session_matches_batch_recorder():
+    net, ids = dense_mesh()
+    horizon = 30
+    batch_rec = TraceRecorder()
+    r = simulate_dense(net, [ids[0]], max_steps=horizon,
+                       faults=FAULT_FACTORIES["composite"](), hooks=batch_rec)
+    sess_rec = TraceRecorder()
+    session = DenseSession(net, faults=FAULT_FACTORIES["composite"](),
+                           fault_horizon=horizon, hooks=sess_rec)
+    session.inject([ids[0]])
+    session.step(r.final_tick + 1)
+    assert sess_rec.total_spikes == batch_rec.total_spikes
+    assert sess_rec.fault_totals() == batch_rec.fault_totals()
+
+
+def test_counting_wrapper_is_transparent():
+    """Wrapping must not change the spike train itself."""
+    net, ids = dense_mesh()
+    plain = simulate_dense(net, [ids[0]], max_steps=30,
+                           faults=FAULT_FACTORIES["composite"]())
+    wrapped = simulate_dense(net, [ids[0]], max_steps=30,
+                             faults=CountingFaults(FAULT_FACTORIES["composite"]()))
+    assert plain.first_spike.tolist() == wrapped.first_spike.tolist()
+    assert plain.spike_counts.tolist() == wrapped.spike_counts.tolist()
+
+
+def test_realization_as_dict():
+    r = FaultRealization()
+    assert r.as_dict() == {
+        "dropped_deliveries": 0,
+        "forced_spikes": 0,
+        "suppressed_spikes": 0,
+    }

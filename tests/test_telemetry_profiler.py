@@ -1,0 +1,77 @@
+"""Tests of the profiler and its cost-report reconciliation."""
+
+import pytest
+
+from repro.algorithms import spiking_sssp_pseudo
+from repro.telemetry import Profiler
+from repro.workloads import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(30, 0.15, max_length=6, seed=2, ensure_source_reaches=True)
+
+
+class TestProfiler:
+    def test_profiled_sssp_reports_phases_and_reconciles(self, graph):
+        profiler = Profiler("sssp")
+        res = profiler.run(spiking_sssp_pseudo, graph, 0)
+        report = profiler.report(cost=res.cost)
+        assert report.wall_seconds > 0
+        assert {p.name for p in report.phases} >= {"build", "simulate", "decode"}
+        assert report.counters["runs.sssp_pseudo"] == 1
+        assert report.reconciliation["spikes.total"][2] is True
+        assert report.reconciliation["ticks.simulated"][2] is True
+        assert report.consistent
+
+    def test_wall_time_accumulates_across_runs(self, graph):
+        profiler = Profiler("sssp")
+        profiler.run(spiking_sssp_pseudo, graph, 0)
+        first = profiler.wall_seconds
+        profiler.run(spiking_sssp_pseudo, graph, 0)
+        assert profiler.wall_seconds > first
+        assert profiler.registry.counters["runs.sssp_pseudo"] == 2
+
+    def test_mismatch_is_flagged(self, graph):
+        profiler = Profiler("sssp")
+        res = profiler.run(spiking_sssp_pseudo, graph, 0)
+        profiler.registry.counter_inc("spikes.total", 1)  # corrupt
+        report = profiler.report(cost=res.cost)
+        assert not report.consistent
+        measured, expected, ok = report.reconciliation["spikes.total"]
+        assert measured == expected + 1 and not ok
+        assert "MISMATCH" in report.render()
+
+    def test_unrecorded_counters_skip_reconciliation(self):
+        profiler = Profiler("plain")
+        profiler.run(lambda: None)
+        from repro.core.cost import CostReport
+
+        report = profiler.report(
+            cost=CostReport(algorithm="x", simulated_ticks=5, loading_ticks=0,
+                            neuron_count=1, synapse_count=0, spike_count=5)
+        )
+        assert report.reconciliation == {}
+        assert report.consistent  # vacuously
+
+    def test_explicit_phase_context_manager(self):
+        profiler = Profiler("manual")
+        with profiler.phase("setup"):
+            pass
+        report = profiler.report()
+        assert [p.name for p in report.phases] == ["setup"]
+
+    def test_render_contains_all_sections(self, graph):
+        profiler = Profiler("sssp")
+        res = profiler.run(spiking_sssp_pseudo, graph, 0)
+        text = profiler.report(cost=res.cost).render()
+        for fragment in ("profile: sssp", "wall time:", "phases:", "counters:",
+                         "cost report:", "reconciliation"):
+            assert fragment in text
+
+    def test_profiler_registry_not_leaked(self, graph):
+        from repro.telemetry import active_registry
+
+        profiler = Profiler("sssp")
+        profiler.run(spiking_sssp_pseudo, graph, 0)
+        assert active_registry() is None

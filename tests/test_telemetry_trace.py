@@ -1,0 +1,153 @@
+"""Tests of the trace recorder, the hook API, and the trace exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Network, simulate, simulate_dense, simulate_event_driven
+from repro.telemetry import EngineHooks, TraceRecorder, compose_hooks
+
+
+def chain_network(k=4, delay=2):
+    net = Network()
+    ids = [net.add_neuron(tau=1.0) for _ in range(k)]
+    for a, b in zip(ids, ids[1:]):
+        net.add_synapse(a, b, delay=delay)
+    return net, ids
+
+
+class TestRingBuffer:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_eviction_keeps_exact_totals(self):
+        rec = TraceRecorder(capacity=3)
+        for t in range(10):
+            rec.on_spikes(t, np.array([1, 2]))
+        assert len(rec.events) == 3
+        assert rec.emitted == 10
+        assert rec.dropped_events == 7
+        assert rec.total_spikes == 20  # totals never evicted
+        assert [e.tick for e in rec.events] == [7, 8, 9]
+
+    def test_keep_ids(self):
+        with_ids = TraceRecorder(keep_ids=True)
+        without = TraceRecorder()
+        for rec in (with_ids, without):
+            rec.on_spikes(3, np.array([4, 7]))
+        assert with_ids.events[0].data["ids"] == [4, 7]
+        assert "ids" not in without.events[0].data
+
+
+class TestEngineIntegration:
+    def test_dense_run_records_lifecycle(self):
+        net, ids = chain_network()
+        rec = TraceRecorder()
+        r = simulate_dense(net, [ids[0]], max_steps=20, probe_voltages=[ids[1]],
+                           hooks=rec)
+        assert rec.runs == 1 and rec.engine == "dense"
+        assert rec.total_spikes == r.spike_counts.sum() == len(ids)
+        assert rec.total_deliveries == len(ids) - 1
+        assert rec.total_probe_samples > 0
+        assert rec.final_tick == r.final_tick
+        assert rec.stop_reason is r.stop_reason
+        kinds = {e.kind for e in rec.events}
+        assert {"start", "spikes", "deliveries", "probe", "stop"} <= kinds
+
+    def test_event_run_records_same_totals_as_dense(self):
+        net, ids = chain_network()
+        dense, event = TraceRecorder(), TraceRecorder()
+        simulate_dense(net, [ids[0]], max_steps=20, hooks=dense)
+        simulate_event_driven(net, [ids[0]], max_steps=20, hooks=event)
+        assert event.engine == "event"
+        assert dense.total_spikes == event.total_spikes
+        assert dense.total_deliveries == event.total_deliveries
+        assert dense.fault_totals() == event.fault_totals()
+
+    def test_simulate_dispatch_forwards_hooks(self):
+        net, ids = chain_network()
+        rec = TraceRecorder()
+        simulate(net, [ids[0]], engine="event", max_steps=20, hooks=rec)
+        assert rec.total_spikes == len(ids)
+
+    def test_spike_event_ticks_match_result(self):
+        net, ids = chain_network()
+        rec = TraceRecorder(keep_ids=True)
+        r = simulate_dense(net, [ids[0]], max_steps=20, record_spikes=True,
+                           hooks=rec)
+        observed = {e.tick: e.data["ids"] for e in rec.events_of("spikes")}
+        expected = {t: sorted(a.tolist()) for t, a in r.spike_events.items()}
+        assert observed == expected
+
+
+class TestExports:
+    @pytest.fixture
+    def recorded(self):
+        net, ids = chain_network()
+        rec = TraceRecorder(keep_ids=True)
+        simulate_dense(net, [ids[0]], max_steps=20, hooks=rec)
+        return rec
+
+    def test_json_roundtrip(self, recorded, tmp_path):
+        path = tmp_path / "trace.json"
+        text = recorded.to_json(str(path))
+        doc = json.loads(path.read_text())
+        assert json.loads(text) == doc
+        assert doc["schema"] == "repro.telemetry.trace/v1"
+        assert doc["summary"]["spikes"] == recorded.total_spikes
+        assert len(doc["events"]) == len(recorded.events)
+
+    def test_csv_has_header_and_rows(self, recorded):
+        lines = recorded.to_csv().strip().splitlines()
+        assert lines[0] == "tick,kind,count,extra"
+        assert len(lines) == 1 + len(recorded.events)
+
+    def test_chrome_trace_format(self, recorded):
+        doc = json.loads(recorded.to_chrome_trace())
+        names = {row["name"] for row in doc["traceEvents"]}
+        assert "process_name" in names and "spikes" in names and "stop" in names
+        counters = [r for r in doc["traceEvents"] if r.get("ph") == "C"]
+        assert all("ts" in r for r in counters)
+
+    def test_summary_reports_eviction(self):
+        rec = TraceRecorder(capacity=2)
+        for t in range(5):
+            rec.on_spikes(t, np.array([0]))
+        s = rec.summary()
+        assert s["events_recorded"] == 2 and s["events_dropped"] == 3
+
+
+class TestComposeHooks:
+    def test_empty_is_none(self):
+        assert compose_hooks() is None
+        assert compose_hooks(None, None) is None
+
+    def test_single_passthrough(self):
+        rec = TraceRecorder()
+        assert compose_hooks(None, rec) is rec
+
+    def test_multi_dispatches_to_all(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        multi = compose_hooks(a, b)
+        multi.on_spikes(1, np.array([0, 1]))
+        multi.on_stop(5, "quiescent")
+        assert a.total_spikes == b.total_spikes == 2
+        assert a.final_tick == b.final_tick == 5
+
+    def test_multi_works_as_engine_hooks(self):
+        net, ids = chain_network()
+        a, b = TraceRecorder(), TraceRecorder()
+        simulate_dense(net, [ids[0]], max_steps=20, hooks=compose_hooks(a, b))
+        assert a.total_spikes == b.total_spikes == len(ids)
+
+    def test_base_hooks_are_noops(self):
+        hooks = EngineHooks()
+        hooks.on_run_start(1, 1, "dense")
+        hooks.on_spikes(0, np.array([0]))
+        hooks.on_deliveries(0, 1, 0)
+        hooks.on_probe(0, [0], np.array([0.0]))
+        hooks.on_fault_forced(0, np.array([0]))
+        hooks.on_fault_suppressed(0, np.array([0]))
+        hooks.on_stop(0, "quiescent")
