@@ -8,10 +8,15 @@ O((n + m) log n) heap bound), independent of edge lengths.
 
 import time
 
-import pytest
+import numpy as np
 
 from benchmarks.conftest import fit_exponent, print_header, print_rows, whole_run
-from repro.algorithms import spiking_khop_pseudo, spiking_sssp_pseudo
+from repro.algorithms import (
+    all_pairs_shortest_paths,
+    spiking_khop_pseudo,
+    spiking_sssp_pseudo,
+)
+from repro.core import default_build_cache
 from repro.workloads import gnp_graph
 
 
@@ -43,3 +48,29 @@ def test_scalability_sweep():
     exponent = fit_exponent(ms, secs)
     print(f"fitted SSSP wall-clock ~ m^{exponent:.2f} (near-linear expected)")
     assert exponent < 1.6  # no superquadratic blowup
+
+
+@whole_run
+def test_scalability_all_pairs_batched():
+    print_header("All-pairs SSSP: batched dense engine vs per-source loop")
+    rows, speedups = [], []
+    for n in (100, 200, 300):
+        g = gnp_graph(n, 6.0 / n, max_length=10, seed=n,
+                      ensure_source_reaches=True)
+        default_build_cache.clear()  # charge the sequential loop its build too
+        t0 = time.perf_counter()
+        seq_matrix, seq_cost = all_pairs_shortest_paths(g, batched=False)
+        seq_s = time.perf_counter() - t0
+        default_build_cache.clear()
+        t0 = time.perf_counter()
+        bat_matrix, bat_cost = all_pairs_shortest_paths(g)
+        bat_s = time.perf_counter() - t0
+        assert np.array_equal(seq_matrix, bat_matrix)
+        assert seq_cost.simulated_ticks == bat_cost.simulated_ticks
+        assert seq_cost.spike_count == bat_cost.spike_count
+        speedup = seq_s / bat_s if bat_s else float("inf")
+        speedups.append(speedup)
+        rows.append((n, g.m, f"{seq_s * 1e3:.0f}ms", f"{bat_s * 1e3:.0f}ms",
+                     f"{speedup:.1f}x"))
+    print_rows(["n", "m", "sequential", "batched", "speedup"], rows)
+    assert max(speedups) >= 2.0  # the batched engine must pay off

@@ -92,6 +92,40 @@ def _bench_matvec_nga(quick: bool) -> Dict[str, object]:
     return _model_quantities(res.cost)
 
 
+def _bench_all_pairs_batched(quick: bool) -> Dict[str, object]:
+    """All-pairs SSSP: the batched dense engine vs the per-source loop.
+
+    Reports both wall clocks and their ratio — the headline speedup of the
+    batched simulation engine (acceptance target: >= 5x at n >= 200).
+    """
+    from repro.algorithms import all_pairs_shortest_paths
+    from repro.core import default_build_cache
+    from repro.workloads import gnp_graph
+
+    n = 200 if quick else 400
+    g = gnp_graph(n, 6.0 / n, max_length=10, seed=13, ensure_source_reaches=True)
+    default_build_cache.clear()  # both modes pay their own build
+    t0 = time.perf_counter()
+    seq_matrix, seq_cost = all_pairs_shortest_paths(g, batched=False)
+    seq_s = time.perf_counter() - t0
+    default_build_cache.clear()
+    t0 = time.perf_counter()
+    matrix, cost = all_pairs_shortest_paths(g)
+    bat_s = time.perf_counter() - t0
+    assert np.array_equal(matrix, seq_matrix)
+    assert (cost.simulated_ticks, cost.spike_count) == (
+        seq_cost.simulated_ticks,
+        seq_cost.spike_count,
+    )
+    out = _model_quantities(cost)
+    out["sources"] = int(cost.extras["sources"])
+    out["messages"] = int(cost.extras["messages"])
+    out["sequential_wall_s"] = round(seq_s, 6)
+    out["batched_wall_s"] = round(bat_s, 6)
+    out["speedup_vs_sequential"] = round(seq_s / bat_s, 3) if bat_s else float("inf")
+    return out
+
+
 def _bench_circuit_max(quick: bool) -> Dict[str, object]:
     from repro.circuits.builder import CircuitBuilder
     from repro.circuits.max_circuits import wired_or_max
@@ -118,6 +152,7 @@ BENCHES: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
     ("sssp_poly", _bench_sssp_poly),
     ("khop_approx", _bench_khop_approx),
     ("matvec_nga", _bench_matvec_nga),
+    ("all_pairs_batched", _bench_all_pairs_batched),
     ("circuit_max", _bench_circuit_max),
 ]
 

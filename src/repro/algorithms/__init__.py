@@ -27,7 +27,8 @@ Contents:
 """
 
 from repro.algorithms.results import ShortestPathResult
-from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo
+from repro.algorithms.all_pairs import all_pairs_on_crossbar, all_pairs_shortest_paths
+from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo, sssp_network
 from repro.algorithms.khop_pseudo import (
     compile_khop_pseudo_gate_level,
     spiking_khop_pseudo,
@@ -42,7 +43,10 @@ from repro.algorithms.paths import reconstruct_path, reconstruct_khop_path
 
 __all__ = [
     "ShortestPathResult",
+    "all_pairs_shortest_paths",
+    "all_pairs_on_crossbar",
     "spiking_sssp_pseudo",
+    "sssp_network",
     "spiking_khop_pseudo",
     "compile_khop_pseudo_gate_level",
     "spiking_khop_poly",

@@ -30,9 +30,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.cache import default_build_cache
 from repro.core.cost import CostReport
 from repro.core.network import Network
 from repro.core.run import simulate
+from repro.core.transient import FaultModel
 from repro.algorithms.results import ShortestPathResult
 from repro.circuits.gates import build_one_shot_gadget
 from repro.errors import ValidationError
@@ -40,12 +42,45 @@ from repro.telemetry.hooks import EngineHooks
 from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.graph import WeightedDigraph
 
-__all__ = ["spiking_sssp_pseudo"]
+__all__ = ["spiking_sssp_pseudo", "sssp_network"]
 
 
 def _check_source(graph: WeightedDigraph, source: int) -> None:
     if not (0 <= source < graph.n):
         raise ValidationError(f"source {source} out of range for n={graph.n}")
+
+
+def sssp_network(graph: WeightedDigraph, *, use_gadgets: bool = False):
+    """The Section-3 delay-encoded network for ``graph``; returns
+    ``(net, node_ids)``.
+
+    Builds are cached in :data:`~repro.core.cache.default_build_cache`
+    keyed by the graph's structure fingerprint, so repeated queries of one
+    graph (all-pairs drivers, fault sweeps) skip the ``O(m)`` Python
+    construction and compilation entirely — the software analogue of
+    loading the graph into hardware once.  Treat the returned network as
+    frozen: do not add neurons or synapses to it.
+    """
+    key = ("sssp_pseudo", bool(use_gadgets), graph.structure_key())
+
+    def build():
+        net = Network()
+        n = graph.n
+        if use_gadgets:
+            node_ids = []
+            for v in range(n):
+                gadget = build_one_shot_gadget(net, name=f"v{v}")
+                node_ids.append(gadget.relay)
+        else:
+            node_ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(n)]
+        for u, v, w in graph.edges():
+            if u == v:
+                continue  # self-loops cannot shorten any path
+            net.add_synapse(node_ids[u], node_ids[v], weight=1.0, delay=int(w))
+        net.compile()
+        return net, node_ids
+
+    return default_build_cache.get_or_build(key, build)
 
 
 def spiking_sssp_pseudo(
@@ -56,6 +91,7 @@ def spiking_sssp_pseudo(
     use_gadgets: bool = False,
     engine: str = "event",
     max_length_hint: Optional[int] = None,
+    faults: Optional[FaultModel] = None,
     hooks: Optional[EngineHooks] = None,
 ) -> ShortestPathResult:
     """Single-source shortest paths by delay-encoded spike propagation.
@@ -66,9 +102,12 @@ def spiking_sssp_pseudo(
     run continues until every reachable vertex has fired.
 
     ``max_length_hint`` optionally caps the simulated horizon; by default
-    the safe bound ``(n - 1) * U`` is used.  ``hooks`` (e.g. a
+    the safe bound ``(n - 1) * U`` is used.  ``faults`` injects transient
+    faults into the run, and ``hooks`` (e.g. a
     :class:`~repro.telemetry.trace.TraceRecorder`) is forwarded to the
-    engine for per-tick event tracing.
+    engine for per-tick event tracing.  The network build is cached per
+    graph structure (see :func:`sssp_network`), so repeated sources pay
+    only the spiking phase.
     """
     _check_source(graph, source)
     if target is not None and not (0 <= target < graph.n):
@@ -83,19 +122,7 @@ def spiking_sssp_pseudo(
         g = graph.scaled(scale)
 
     with timer("phase.build"):
-        net = Network()
-        if use_gadgets:
-            relays = []
-            for v in range(n):
-                gadget = build_one_shot_gadget(net, name=f"v{v}")
-                relays.append(gadget.relay)
-            node_ids = relays
-        else:
-            node_ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(n)]
-        for u, v, w in g.edges():
-            if u == v:
-                continue  # self-loops cannot shorten any path
-            net.add_synapse(node_ids[u], node_ids[v], weight=1.0, delay=int(w))
+        net, node_ids = sssp_network(g, use_gadgets=use_gadgets)
 
     horizon = max_length_hint
     if horizon is None:
@@ -111,6 +138,7 @@ def spiking_sssp_pseudo(
             max_steps=int(horizon),
             terminal=node_ids[target] if target is not None else None,
             watch=None if target is not None else node_ids,
+            faults=faults,
             hooks=hooks,
         )
     with timer("phase.decode"):

@@ -26,16 +26,16 @@ are exposed on the command line as ``repro faults``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.algorithms.sssp_pseudo import sssp_network
 from repro.analysis.report import markdown_table
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.max_circuits import wired_or_max
 from repro.circuits.runner import run_circuit
-from repro.core.network import Network
-from repro.core.run import simulate
+from repro.core.run import simulate, simulate_batch
 from repro.core.transient import SpikeDrop
 from repro.errors import ValidationError
 from repro.nga.matvec import matrix_power_nga
@@ -77,27 +77,27 @@ def _default_graph(seed: int) -> WeightedDigraph:
 def _sssp_cells(
     graph: WeightedDigraph, rates: Sequence[float], trials: int, seed: int
 ) -> List[DegradationCell]:
-    net = Network()
-    ids = [net.add_neuron(one_shot=True) for _ in range(graph.n)]
-    for u, v, w in graph.edges():
-        if u != v:
-            net.add_synapse(ids[u], ids[v], delay=int(w))
+    net, ids = sssp_network(graph)
     compiled = net.compile()
     horizon = (graph.n - 1) * max(1, graph.max_length()) + 1
     base = simulate(compiled, [ids[0]], engine="event", max_steps=horizon)
     base_reached = int((base.first_spike >= 0).sum())
     cells = []
     for rate in rates:
+        # one batch per rate: every trial is an independent item whose
+        # counter-hashed fault seed matches the historical per-trial runs
+        runs = simulate_batch(
+            compiled,
+            [[ids[0]]] * trials,
+            max_steps=horizon,
+            faults=[
+                SpikeDrop(rate, seed=seed * 1_000_003 + trial)
+                for trial in range(trials)
+            ],
+        )
         successes = 0
         coverage = 0.0
-        for trial in range(trials):
-            r = simulate(
-                compiled,
-                [ids[0]],
-                engine="event",
-                max_steps=horizon,
-                faults=SpikeDrop(rate, seed=seed * 1_000_003 + trial),
-            )
+        for r in runs:
             if np.array_equal(r.first_spike, base.first_spike):
                 successes += 1
             reached = int((r.first_spike >= 0).sum())

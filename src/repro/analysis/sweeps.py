@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 
-__all__ = ["Series", "sweep", "crossover_between", "render_series"]
+__all__ = ["Series", "sweep", "sweep_batched", "crossover_between", "render_series"]
 
 
 @dataclass
@@ -54,6 +54,27 @@ def sweep(
 ) -> Series:
     """Evaluate ``fn`` over ``values`` into a :class:`Series`."""
     return Series(list(values), [float(fn(v)) for v in values], label=label)
+
+
+def sweep_batched(
+    values: Sequence[float],
+    batch_fn: Callable[[Sequence[float]], Sequence[float]],
+    label: str = "",
+) -> Series:
+    """Evaluate all sweep points in one call into a :class:`Series`.
+
+    ``batch_fn`` receives the whole value list and returns one cost per
+    value — the natural shape for measurements backed by
+    :func:`~repro.core.run.simulate_batch`, where every sweep point is one
+    batch item over a shared network and the simulation cost is paid once
+    rather than per point.
+    """
+    ys = list(batch_fn(list(values)))
+    if len(ys) != len(values):
+        raise ValidationError(
+            f"batch_fn returned {len(ys)} values for {len(values)} sweep points"
+        )
+    return Series(list(values), [float(y) for y in ys], label=label)
 
 
 def crossover_between(a: Series, b: Series) -> Optional[float]:

@@ -16,7 +16,12 @@ Two engines share identical semantics:
   the delay-encoded algorithms of Sections 3–4 where the simulated horizon
   ``T = O(L)`` far exceeds the number of spikes.
 
-``simulate`` picks an engine automatically.
+``simulate`` picks an engine automatically.  ``simulate_batch`` runs B
+independent stimuli over one shared network, stepping all items in lockstep
+on the batched dense engine (:func:`~repro.core.batch.simulate_dense_batch`)
+or falling back to per-item dispatch where batching cannot help; the
+:mod:`~repro.core.cache` build cache lets repeated queries of one structure
+skip network construction entirely.
 
 Runtime robustness (both engines, identical semantics):
 
@@ -35,9 +40,11 @@ from repro.core.lif import (
 from repro.core.network import CompiledNetwork, Network
 from repro.core.result import SimulationResult, StopReason
 from repro.core.cost import CostReport
+from repro.core.batch import simulate_dense_batch
+from repro.core.cache import BuildCache, default_build_cache, structure_fingerprint
 from repro.core.engine import simulate_dense
 from repro.core.event_engine import simulate_event_driven
-from repro.core.run import simulate
+from repro.core.run import simulate, simulate_batch
 from repro.core.transient import (
     FaultModel,
     SpikeDrop,
@@ -59,8 +66,13 @@ __all__ = [
     "StopReason",
     "CostReport",
     "simulate",
+    "simulate_batch",
     "simulate_dense",
+    "simulate_dense_batch",
     "simulate_event_driven",
+    "BuildCache",
+    "default_build_cache",
+    "structure_fingerprint",
     "FaultModel",
     "SpikeDrop",
     "SpuriousSpikes",

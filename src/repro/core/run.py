@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import warnings
-from typing import Iterable, Optional, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
+from repro.core.batch import FaultsSpec, HooksSpec, _per_item, simulate_dense_batch
 from repro.core.engine import StimulusSpec, simulate_dense
 from repro.core.event_engine import simulate_event_driven
 from repro.core.network import CompiledNetwork, Network
@@ -14,7 +15,7 @@ from repro.core.watchdog import Watchdog
 from repro.errors import ValidationError
 from repro.telemetry.hooks import EngineHooks
 
-__all__ = ["simulate", "DEFAULT_MAX_STEPS"]
+__all__ = ["simulate", "simulate_batch", "DEFAULT_MAX_STEPS"]
 
 #: Default tick budget; generous enough for every test/bench workload while
 #: still bounding accidental runaway networks.
@@ -102,4 +103,107 @@ def simulate(
             watchdog=watchdog,
             hooks=hooks,
         )
+    raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")
+
+
+def simulate_batch(
+    network: Union[Network, CompiledNetwork],
+    stimuli: Sequence[Optional[StimulusSpec]],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    terminal: Optional[int] = None,
+    watch: Optional[Iterable[int]] = None,
+    stop_when_quiescent: bool = True,
+    record_spikes: bool = False,
+    probe_voltages: Optional[Iterable[int]] = None,
+    faults: FaultsSpec = None,
+    watchdog: Optional[Watchdog] = None,
+    hooks: HooksSpec = None,
+    engine: str = "auto",
+) -> List[SimulationResult]:
+    """Simulate B independent stimuli on one shared network.
+
+    The batched analogue of :func:`simulate`: ``stimuli`` is a sequence of
+    B stimulus specs, and ``faults`` / ``hooks`` may each be one shared
+    value or a length-B sequence of per-item values.  Returns one
+    :class:`~repro.core.result.SimulationResult` per item, in input order,
+    identical to B independent :func:`simulate` calls.
+
+    ``engine`` may be ``"auto"`` (default), ``"dense"`` (the batched dense
+    engine), or ``"event"`` (the event engine, per item).  Auto applies the
+    same heuristic as :func:`simulate`: long programmed delays signal a
+    delay-encoded algorithm whose quiet ticks the event engine skips, so
+    those batches run item by item on the event engine; everything else
+    steps all items in lockstep on the batched dense engine.  Requests the
+    batched dense engine cannot express — voltage probes or a ``watchdog``
+    — fall back to per-item :func:`simulate` dispatch, preserving exact
+    solo semantics at sequential speed.
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    B = len(stimuli)
+    fault_list = _per_item(faults, B, FaultModel, "faults")
+    hook_list = _per_item(hooks, B, EngineHooks, "hooks")
+
+    if watchdog is not None or probe_voltages is not None:
+        # per-item fallback: the batched dense engine carries no watchdog
+        # state or probe traces
+        return [
+            simulate(
+                net,
+                stimuli[b],
+                max_steps=max_steps,
+                terminal=terminal,
+                watch=watch,
+                stop_when_quiescent=stop_when_quiescent,
+                record_spikes=record_spikes,
+                probe_voltages=probe_voltages,
+                faults=fault_list[b],
+                watchdog=watchdog,
+                hooks=hook_list[b],
+                engine=engine,
+            )
+            for b in range(B)
+        ]
+
+    if engine == "auto":
+        if net.max_delay > _EVENT_DELAY_CUTOFF:
+            if net.has_pacemakers:
+                warnings.warn(
+                    "network has long delays (event-engine territory) but "
+                    "contains pacemaker neurons, which the event engine does "
+                    "not support; falling back to the batched dense engine",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                engine = "dense"
+            else:
+                engine = "event"
+        else:
+            engine = "dense"
+    if engine == "dense":
+        return simulate_dense_batch(
+            net,
+            stimuli,
+            max_steps=max_steps,
+            terminal=terminal,
+            watch=watch,
+            stop_when_quiescent=stop_when_quiescent,
+            record_spikes=record_spikes,
+            faults=fault_list,
+            hooks=hook_list,
+        )
+    if engine == "event":
+        return [
+            simulate_event_driven(
+                net,
+                stimuli[b],
+                max_steps=max_steps,
+                terminal=terminal,
+                watch=watch,
+                record_spikes=record_spikes,
+                faults=fault_list[b],
+                hooks=hook_list[b],
+            )
+            for b in range(B)
+        ]
     raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")

@@ -47,7 +47,7 @@ class WeightedDigraph:
         ``lengths[indptr[u]:indptr[u+1]]``.
     """
 
-    __slots__ = ("n", "m", "indptr", "heads", "lengths", "tails", "_rev")
+    __slots__ = ("n", "m", "indptr", "heads", "lengths", "tails", "_rev", "_key")
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int, int]]):
         if n < 0:
@@ -77,6 +77,7 @@ class WeightedDigraph:
         np.add.at(self.indptr, self.tails + 1, 1)
         np.cumsum(self.indptr, out=self.indptr)
         self._rev: Optional[WeightedDigraph] = None
+        self._key: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -114,6 +115,7 @@ class WeightedDigraph:
         np.add.at(g.indptr, g.tails + 1, 1)
         np.cumsum(g.indptr, out=g.indptr)
         g._rev = None
+        g._key = None
         return g
 
     @classmethod
@@ -209,6 +211,21 @@ class WeightedDigraph:
         return WeightedDigraph.from_arrays(
             self.n, self.tails, self.heads, self.lengths * int(factor)
         )
+
+    def structure_key(self) -> str:
+        """Content fingerprint of ``(n, tails, heads, lengths)``, cached.
+
+        Two graphs share a key iff their CSR edge arrays are identical —
+        the invariant the :mod:`repro.core.cache` build cache relies on to
+        reuse compiled networks across queries of the same graph.
+        """
+        if self._key is None:
+            from repro.core.cache import structure_fingerprint
+
+            self._key = structure_fingerprint(
+                self.n, self.tails, self.heads, self.lengths
+            )
+        return self._key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WeightedDigraph):

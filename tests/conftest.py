@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.workloads import WeightedDigraph, gnp_graph
+
+# CI runs the property suites derandomized so failures reproduce exactly;
+# local runs keep Hypothesis's default random exploration.  Select with
+# HYPOTHESIS_PROFILE=ci|dev (default dev).
+settings.register_profile("ci", derandomize=True, deadline=None, print_blob=True)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def ref_sssp(graph: WeightedDigraph, source: int) -> np.ndarray:

@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.algorithms.all_pairs import all_pairs_on_crossbar, all_pairs_shortest_paths
+from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo, sssp_network
+from repro.core.transient import CountingFaults, SpikeDrop
 from repro.errors import ValidationError
+from repro.telemetry import TraceRecorder
 from repro.workloads import gnp_graph
 from tests.conftest import ref_sssp
 
@@ -41,6 +44,70 @@ class TestAllPairs:
     def test_source_validation(self, graph):
         with pytest.raises(ValidationError):
             all_pairs_shortest_paths(graph, sources=np.asarray([99]))
+
+
+class TestBatchedEqualsIndependentRuns:
+    """The batched driver is a pure optimization: every observable —
+    distances, tick accounting, spike counts, message counts, and fault
+    realizations — must equal n independent ``spiking_sssp_pseudo`` runs."""
+
+    def test_distances_ticks_and_spikes_match_solo_runs(self, graph):
+        matrix, cost = all_pairs_shortest_paths(graph)
+        ticks = spikes = 0
+        for s in range(graph.n):
+            r = spiking_sssp_pseudo(graph, s)
+            assert np.array_equal(matrix[s], r.dist)
+            ticks += r.cost.simulated_ticks
+            spikes += r.cost.spike_count
+        assert cost.simulated_ticks == ticks
+        assert cost.spike_count == spikes
+
+    def test_batched_and_sequential_modes_agree(self, graph):
+        m_b, c_b = all_pairs_shortest_paths(graph)
+        m_s, c_s = all_pairs_shortest_paths(graph, batched=False)
+        assert np.array_equal(m_b, m_s)
+        assert c_b.simulated_ticks == c_s.simulated_ticks
+        assert c_b.spike_count == c_s.spike_count
+        assert c_b.extras["messages"] == c_s.extras["messages"]
+        assert (c_b.neuron_count, c_b.synapse_count) == (c_s.neuron_count, c_s.synapse_count)
+
+    def test_message_aggregation_sums_per_run_fanout(self, graph):
+        _, cost = all_pairs_shortest_paths(graph)
+        net, _ = sssp_network(graph)
+        out_degree = np.diff(net.compile().indptr)
+        expected = sum(
+            int(spiking_sssp_pseudo(graph, s).sim.spike_counts @ out_degree)
+            for s in range(graph.n)
+        )
+        assert cost.extras["messages"] == expected
+        assert cost.spike_count > 0 and expected >= cost.spike_count
+
+    def test_fault_realizations_match_solo_runs(self, graph):
+        rate, base_seed = 0.25, 7
+        batch_models = [
+            CountingFaults(SpikeDrop(rate, seed=base_seed + s)) for s in range(graph.n)
+        ]
+        solo_models = [
+            CountingFaults(SpikeDrop(rate, seed=base_seed + s)) for s in range(graph.n)
+        ]
+        matrix, _ = all_pairs_shortest_paths(graph, faults=batch_models)
+        any_faults = False
+        for s in range(graph.n):
+            r = spiking_sssp_pseudo(graph, s, faults=solo_models[s])
+            assert np.array_equal(matrix[s], r.dist), f"source {s}"
+            got = batch_models[s].realization.as_dict()
+            assert got == solo_models[s].realization.as_dict(), f"source {s}"
+            any_faults = any_faults or any(got.values())
+        assert any_faults  # the sweep actually exercised fault realizations
+
+    def test_per_source_hook_totals_match_solo_runs(self, graph):
+        batch_recs = [TraceRecorder() for _ in range(graph.n)]
+        all_pairs_shortest_paths(graph, hooks=batch_recs)
+        for s in range(graph.n):
+            solo = TraceRecorder()
+            spiking_sssp_pseudo(graph, s, hooks=solo)
+            assert batch_recs[s].total_spikes == solo.total_spikes, f"source {s}"
+            assert batch_recs[s].total_deliveries == solo.total_deliveries, f"source {s}"
 
 
 class TestAllPairsCrossbar:
