@@ -24,10 +24,14 @@ Contents:
 * :mod:`~repro.algorithms.approx` — Section 7 ``(1 + o(1))``-approximate
   k-hop SSSP adapted from Nanongkai's CONGEST algorithm.
 * :mod:`~repro.algorithms.paths` — Section 4.3 path construction.
+* :mod:`~repro.algorithms.reach` — k-hop reachability on the unit-delay
+  (hop-metric) network, the second batchable query family served by
+  :mod:`repro.service`.
 """
 
 from repro.algorithms.results import ShortestPathResult
 from repro.algorithms.all_pairs import all_pairs_on_crossbar, all_pairs_shortest_paths
+from repro.algorithms.reach import khop_reach_network, spiking_khop_reach
 from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo, sssp_network
 from repro.algorithms.khop_pseudo import (
     compile_khop_pseudo_gate_level,
@@ -47,6 +51,8 @@ __all__ = [
     "all_pairs_on_crossbar",
     "spiking_sssp_pseudo",
     "sssp_network",
+    "spiking_khop_reach",
+    "khop_reach_network",
     "spiking_khop_pseudo",
     "compile_khop_pseudo_gate_level",
     "spiking_khop_poly",

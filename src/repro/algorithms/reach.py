@@ -1,0 +1,155 @@
+"""k-hop reachability by unit-delay spike wavefront (BFS in spiking time).
+
+A companion query family to the Section-3 SSSP network: ignore edge lengths
+and give **every** synapse delay 1, so a spike wavefront advances exactly
+one hop per tick and a vertex's first-spike time *is* its hop distance from
+the source.  Running the network for ``k`` ticks answers k-hop
+reachability — which vertices are within ``k`` edges of the source, and at
+how many hops — the second query shape (after SSSP) that graph-query
+workloads ask of a resident graph.
+
+Like :mod:`repro.algorithms.sssp_pseudo`, the execution is split into a
+:func:`khop_reach_plan` (network from the structure-keyed build cache,
+stimulus, horizon) and a :func:`khop_reach_decode`, shared verbatim by the
+solo driver :func:`spiking_khop_reach` and the :mod:`repro.service`
+coalescing adapters so served answers are spike-for-spike identical to solo
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.results import ShortestPathResult
+from repro.core.cache import default_build_cache
+from repro.core.cost import CostReport
+from repro.core.network import Network
+from repro.core.result import SimulationResult
+from repro.core.run import simulate
+from repro.core.transient import FaultModel
+from repro.errors import ValidationError
+from repro.telemetry.hooks import EngineHooks
+from repro.telemetry.metrics import counter_inc, timer
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = [
+    "spiking_khop_reach",
+    "khop_reach_network",
+    "khop_reach_plan",
+    "khop_reach_decode",
+    "KhopReachPlan",
+]
+
+
+def khop_reach_network(graph: WeightedDigraph):
+    """The unit-delay (hop-metric) network for ``graph``; ``(net, node_ids)``.
+
+    One one-shot neuron per vertex, one delay-1 synapse per edge — the
+    Section-3 construction with the length encoding stripped, so ticks
+    count hops.  Builds are cached in
+    :data:`~repro.core.cache.default_build_cache` under the graph's
+    structure fingerprint; treat the returned network as frozen.
+    """
+    key = ("khop_reach", graph.structure_key())
+
+    def build():
+        net = Network()
+        node_ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(graph.n)]
+        for u, v, _w in graph.edges():
+            if u == v:
+                continue  # self-loops never extend reach
+            net.add_synapse(node_ids[u], node_ids[v], weight=1.0, delay=1)
+        net.compile()
+        return net, node_ids
+
+    return default_build_cache.get_or_build(key, build)
+
+
+@dataclass(frozen=True)
+class KhopReachPlan:
+    """Simulation plan of one k-hop reachability query (see :class:`~repro.algorithms.sssp_pseudo.SsspPlan`)."""
+
+    graph: WeightedDigraph
+    source: int
+    k: int
+    net: Network
+    node_ids: Tuple[int, ...]
+    stimulus: Tuple[int, ...]
+    max_steps: int
+    terminal: Optional[int]
+    watch: Optional[Tuple[int, ...]]
+
+
+def khop_reach_plan(graph: WeightedDigraph, source: int, k: int) -> KhopReachPlan:
+    """Build (or fetch from cache) the plan for one k-hop reachability query."""
+    if not (0 <= source < graph.n):
+        raise ValidationError(f"source {source} out of range for n={graph.n}")
+    if k < 0:
+        raise ValidationError(f"k must be >= 0, got {k}")
+    with timer("phase.build"):
+        net, node_ids = khop_reach_network(graph)
+    return KhopReachPlan(
+        graph=graph,
+        source=source,
+        k=int(k),
+        net=net,
+        node_ids=tuple(node_ids),
+        stimulus=(node_ids[source],),
+        # the wavefront needs exactly k ticks to cover k hops
+        max_steps=int(k),
+        terminal=None,
+        watch=tuple(node_ids),
+    )
+
+
+def khop_reach_decode(plan: KhopReachPlan, result: SimulationResult) -> ShortestPathResult:
+    """Decode one engine run of ``plan`` into hop distances and cost."""
+    with timer("phase.decode"):
+        dist = result.first_spike[np.asarray(plan.node_ids, dtype=np.int64)].copy()
+    simulated = int(dist.max()) if (dist >= 0).any() else 0
+    cost = CostReport(
+        algorithm="khop_reach",
+        simulated_ticks=simulated,
+        loading_ticks=plan.graph.m,
+        neuron_count=plan.net.n_neurons,
+        synapse_count=plan.net.n_synapses,
+        spike_count=result.total_spikes,
+    )
+    counter_inc("runs.khop_reach", 1)
+    counter_inc("spikes.total", cost.spike_count)
+    counter_inc("ticks.simulated", cost.simulated_ticks)
+    counter_inc("cost.total_time", cost.total_time)
+    return ShortestPathResult(dist=dist, source=plan.source, cost=cost, k=plan.k, sim=result)
+
+
+def spiking_khop_reach(
+    graph: WeightedDigraph,
+    source: int,
+    k: int,
+    *,
+    engine: str = "auto",
+    faults: Optional[FaultModel] = None,
+    hooks: Optional[EngineHooks] = None,
+    record_spikes: bool = False,
+) -> ShortestPathResult:
+    """Hop distances within ``k`` hops of ``source`` (−1 beyond the bound).
+
+    ``dist[v]`` is the minimum number of edges on any source-to-``v`` path
+    when that minimum is at most ``k``, else ``UNREACHABLE``.
+    """
+    plan = khop_reach_plan(graph, source, k)
+    with timer("phase.simulate"):
+        result = simulate(
+            plan.net,
+            list(plan.stimulus),
+            engine=engine,
+            max_steps=plan.max_steps,
+            watch=list(plan.watch),
+            record_spikes=record_spikes,
+            faults=faults,
+            hooks=hooks,
+        )
+    return khop_reach_decode(plan, result)

@@ -26,13 +26,15 @@ Two constructions of "propagate only the first spike":
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.cache import default_build_cache
 from repro.core.cost import CostReport
 from repro.core.network import Network
+from repro.core.result import SimulationResult
 from repro.core.run import simulate
 from repro.core.transient import FaultModel
 from repro.algorithms.results import ShortestPathResult
@@ -42,7 +44,7 @@ from repro.telemetry.hooks import EngineHooks
 from repro.telemetry.metrics import counter_inc, timer
 from repro.workloads.graph import WeightedDigraph
 
-__all__ = ["spiking_sssp_pseudo", "sssp_network"]
+__all__ = ["spiking_sssp_pseudo", "sssp_network", "sssp_plan", "sssp_decode", "SsspPlan"]
 
 
 def _check_source(graph: WeightedDigraph, source: int) -> None:
@@ -83,32 +85,40 @@ def sssp_network(graph: WeightedDigraph, *, use_gadgets: bool = False):
     return default_build_cache.get_or_build(key, build)
 
 
-def spiking_sssp_pseudo(
+@dataclass(frozen=True)
+class SsspPlan:
+    """Everything needed to execute one Section-3 SSSP query on an engine.
+
+    The plan separates *what to simulate* (network, stimulus, termination
+    conditions) from *how* (which engine, solo or coalesced into a batch),
+    so the solo driver :func:`spiking_sssp_pseudo` and the
+    :mod:`repro.service` batch adapters run byte-identical simulations and
+    share one decoder.  ``net`` comes from the structure-keyed build cache
+    and must be treated as frozen.
+    """
+
+    graph: WeightedDigraph
+    source: int
+    target: Optional[int]
+    use_gadgets: bool
+    scale: int
+    net: Network
+    node_ids: Tuple[int, ...]
+    stimulus: Tuple[int, ...]
+    max_steps: int
+    terminal: Optional[int]
+    watch: Optional[Tuple[int, ...]]
+
+
+def sssp_plan(
     graph: WeightedDigraph,
     source: int,
     *,
     target: Optional[int] = None,
     use_gadgets: bool = False,
-    engine: str = "event",
     max_length_hint: Optional[int] = None,
-    faults: Optional[FaultModel] = None,
-    hooks: Optional[EngineHooks] = None,
-) -> ShortestPathResult:
-    """Single-source shortest paths by delay-encoded spike propagation.
-
-    With ``target`` given, the run terminates when the target's neuron
-    first fires (Definition 3's terminal neuron); distances of vertices
-    farther than the target are then left ``UNREACHABLE``.  Otherwise the
-    run continues until every reachable vertex has fired.
-
-    ``max_length_hint`` optionally caps the simulated horizon; by default
-    the safe bound ``(n - 1) * U`` is used.  ``faults`` injects transient
-    faults into the run, and ``hooks`` (e.g. a
-    :class:`~repro.telemetry.trace.TraceRecorder`) is forwarded to the
-    engine for per-tick event tracing.  The network build is cached per
-    graph structure (see :func:`sssp_network`), so repeated sources pay
-    only the spiking phase.
-    """
+) -> SsspPlan:
+    """Build (or fetch from cache) the simulation plan for one SSSP query."""
     _check_source(graph, source)
     if target is not None and not (0 <= target < graph.n):
         raise ValidationError(f"target {target} out of range")
@@ -129,36 +139,93 @@ def spiking_sssp_pseudo(
         horizon = (n - 1) * max(1, g.max_length()) + 1
     else:
         horizon = horizon * scale + 1
+    return SsspPlan(
+        graph=graph,
+        source=source,
+        target=target,
+        use_gadgets=use_gadgets,
+        scale=scale,
+        net=net,
+        node_ids=tuple(node_ids),
+        stimulus=(node_ids[source],),
+        max_steps=int(horizon),
+        terminal=node_ids[target] if target is not None else None,
+        watch=None if target is not None else tuple(node_ids),
+    )
 
-    with timer("phase.simulate"):
-        result = simulate(
-            net,
-            [node_ids[source]],
-            engine=engine,
-            max_steps=int(horizon),
-            terminal=node_ids[target] if target is not None else None,
-            watch=None if target is not None else node_ids,
-            faults=faults,
-            hooks=hooks,
-        )
+
+def sssp_decode(plan: SsspPlan, result: SimulationResult) -> ShortestPathResult:
+    """Decode one engine run of ``plan`` into distances and cost accounting."""
     with timer("phase.decode"):
-        dist = result.first_spike[np.asarray(node_ids, dtype=np.int64)].copy()
-        if scale != 1:
+        dist = result.first_spike[np.asarray(plan.node_ids, dtype=np.int64)].copy()
+        if plan.scale != 1:
             reached = dist >= 0
-            dist[reached] //= scale
+            dist[reached] //= plan.scale
     simulated = int(dist.max()) if (dist >= 0).any() else 0
-    if target is not None and dist[target] >= 0:
-        simulated = int(dist[target])
+    if plan.target is not None and dist[plan.target] >= 0:
+        simulated = int(dist[plan.target])
     cost = CostReport(
-        algorithm="sssp_pseudo" + ("+gadgets" if use_gadgets else ""),
+        algorithm="sssp_pseudo" + ("+gadgets" if plan.use_gadgets else ""),
         simulated_ticks=simulated,
-        loading_ticks=graph.m,
-        neuron_count=net.n_neurons,
-        synapse_count=net.n_synapses,
+        loading_ticks=plan.graph.m,
+        neuron_count=plan.net.n_neurons,
+        synapse_count=plan.net.n_synapses,
         spike_count=result.total_spikes,
     )
     counter_inc("runs.sssp_pseudo", 1)
     counter_inc("spikes.total", cost.spike_count)
     counter_inc("ticks.simulated", cost.simulated_ticks)
     counter_inc("cost.total_time", cost.total_time)
-    return ShortestPathResult(dist=dist, source=source, cost=cost, sim=result)
+    return ShortestPathResult(dist=dist, source=plan.source, cost=cost, sim=result)
+
+
+def spiking_sssp_pseudo(
+    graph: WeightedDigraph,
+    source: int,
+    *,
+    target: Optional[int] = None,
+    use_gadgets: bool = False,
+    engine: str = "event",
+    max_length_hint: Optional[int] = None,
+    faults: Optional[FaultModel] = None,
+    hooks: Optional[EngineHooks] = None,
+    record_spikes: bool = False,
+) -> ShortestPathResult:
+    """Single-source shortest paths by delay-encoded spike propagation.
+
+    With ``target`` given, the run terminates when the target's neuron
+    first fires (Definition 3's terminal neuron); distances of vertices
+    farther than the target are then left ``UNREACHABLE``.  Otherwise the
+    run continues until every reachable vertex has fired.
+
+    ``max_length_hint`` optionally caps the simulated horizon; by default
+    the safe bound ``(n - 1) * U`` is used.  ``faults`` injects transient
+    faults into the run, and ``hooks`` (e.g. a
+    :class:`~repro.telemetry.trace.TraceRecorder`) is forwarded to the
+    engine for per-tick event tracing.  The network build is cached per
+    graph structure (see :func:`sssp_network`), so repeated sources pay
+    only the spiking phase.  The simulation parameters come from
+    :func:`sssp_plan` and the result decoding from :func:`sssp_decode` —
+    the same pair the :mod:`repro.service` coalescing adapters use, which
+    is what makes served results identical to this solo driver.
+    """
+    plan = sssp_plan(
+        graph,
+        source,
+        target=target,
+        use_gadgets=use_gadgets,
+        max_length_hint=max_length_hint,
+    )
+    with timer("phase.simulate"):
+        result = simulate(
+            plan.net,
+            list(plan.stimulus),
+            engine=engine,
+            max_steps=plan.max_steps,
+            terminal=plan.terminal,
+            watch=None if plan.watch is None else list(plan.watch),
+            record_spikes=record_spikes,
+            faults=faults,
+            hooks=hooks,
+        )
+    return sssp_decode(plan, result)

@@ -23,7 +23,7 @@ from repro.errors import CircuitError
 from repro.telemetry.hooks import EngineHooks
 from repro.telemetry.metrics import counter_inc, timer
 
-__all__ = ["run_circuit", "run_circuit_waves"]
+__all__ = ["run_circuit", "run_circuit_waves", "wave_stimulus", "wave_horizon", "decode_waves"]
 
 InputValue = Union[int, Sequence[int]]
 
@@ -73,6 +73,30 @@ def run_circuit_waves(
     wave ``w`` appear exactly ``depth`` ticks after its presentation,
     independent of the other in-flight waves.
     """
+    with timer("phase.simulate"):
+        result = simulate_dense(
+            builder.net,
+            wave_stimulus(builder, waves),
+            max_steps=wave_horizon(builder, len(waves)),
+            stop_when_quiescent=False,
+            record_spikes=True,
+            faults=faults,
+            watchdog=watchdog,
+            hooks=hooks,
+        )
+    return decode_waves(builder, result, len(waves))
+
+
+def wave_stimulus(
+    builder: CircuitBuilder, waves: Sequence[Mapping[str, InputValue]]
+) -> Dict[int, List[int]]:
+    """Encode per-wave input values as an engine stimulus schedule.
+
+    Wave ``w``'s 1-bits (and the run line, if the circuit uses one) are
+    stimulated at tick ``w``.  Shared by :func:`run_circuit_waves` and the
+    :mod:`repro.service` circuit adapter, so a served evaluation presents
+    exactly the solo driver's stimulus.
+    """
     unknown = {g for wave in waves for g in wave} - set(builder.input_groups)
     if unknown:
         raise CircuitError(f"unknown input groups: {sorted(unknown)}")
@@ -87,26 +111,32 @@ def run_circuit_waves(
                 for sig, bit in zip(sigs, _input_bits(builder, group, value)):
                     if bit:
                         tick_ids.append(sig.nid)
-    depth = builder.depth
+    return stimulus
+
+
+def wave_horizon(builder: CircuitBuilder, n_waves: int) -> int:
+    """Tick budget covering every output offset of ``n_waves`` waves."""
     max_offset = max(
         (s.offset for grp in builder.output_groups.values() for s in grp),
-        default=depth,
+        default=builder.depth,
     )
-    with timer("phase.simulate"):
-        result = simulate_dense(
-            builder.net,
-            stimulus,
-            max_steps=max_offset + len(waves) + 1,
-            stop_when_quiescent=False,
-            record_spikes=True,
-            faults=faults,
-            watchdog=watchdog,
-            hooks=hooks,
-        )
-    assert result.spike_events is not None
+    return max_offset + n_waves + 1
+
+
+def decode_waves(
+    builder: CircuitBuilder, result, n_waves: int
+) -> List[Dict[str, int]]:
+    """Read each wave's output groups from a recorded spike raster.
+
+    Requires the run to have recorded spikes.  Counterpart of
+    :func:`wave_stimulus`; also accounts the run's telemetry counters, so
+    solo and served circuit evaluations report identical totals.
+    """
+    if result.spike_events is None:
+        raise CircuitError("decode_waves requires a record_spikes=True run")
     with timer("phase.decode"):
         decoded: List[Dict[str, int]] = []
-        for w in range(len(waves)):
+        for w in range(n_waves):
             out: Dict[str, int] = {}
             for group, sigs in builder.output_groups.items():
                 fired_bits = []

@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("graph", help="edge-list file")
         p.add_argument("--source", type=int, default=0)
         p.add_argument("--target", type=int, default=None)
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit one JSON document instead of the human-readable report",
+        )
         return p
 
     sssp = graph_cmd("sssp", "single-source shortest paths")
@@ -182,6 +187,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="write a Chrome trace_event JSON here"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve JSONL graph queries with micro-batch coalescing",
+    )
+    serve.add_argument(
+        "graphs",
+        nargs="+",
+        help="graphs to make resident, as 'id=path' (or bare paths, id = stem)",
+    )
+    serve.add_argument(
+        "--requests",
+        default="-",
+        help="JSONL request file ('-' = stdin); one QueryRequest document per line",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--max-batch", type=int, default=16)
+    serve.add_argument("--linger-ms", type=float, default=2.0)
+    serve.add_argument("--queue-limit", type=int, default=256)
+    serve.add_argument(
+        "--stats", action="store_true", help="print server stats JSON to stderr on exit"
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="closed-loop serving benchmark: coalesced vs naive loop",
+    )
+    lg.add_argument(
+        "graphs",
+        nargs="*",
+        help="graphs to query, as 'id=path' (default: built-in grid + G(n,p) pair)",
+    )
+    lg.add_argument("--requests", type=int, default=200)
+    lg.add_argument("--clients", type=int, default=8)
+    lg.add_argument("--depth", type=int, default=32, help="in-flight requests per client")
+    lg.add_argument("--workers", type=int, default=1)
+    lg.add_argument("--max-batch", type=int, default=64)
+    lg.add_argument("--linger-ms", type=float, default=20.0)
+    lg.add_argument("--queue-limit", type=int, default=1024)
+    lg.add_argument("--rate", type=float, default=None, help="open-loop arrival rate (req/s)")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument(
+        "--mix",
+        default="sssp=0.7,khop=0.2,apsp=0.1",
+        help="query mix weights, e.g. 'sssp=0.6,khop=0.4'",
+    )
+    lg.add_argument("--drop-p", type=float, default=0.0, help="SpikeDrop fault probability")
+    lg.add_argument("--fault-seed", type=int, default=0)
+    lg.add_argument("--skip-naive", action="store_true", help="skip the naive baseline")
+    lg.add_argument(
+        "--no-verify", action="store_true", help="skip the served-vs-solo equality check"
+    )
+    lg.add_argument("--out", default="BENCH_serving.json")
+
     return parser
 
 
@@ -203,6 +261,26 @@ def _print_distances(dist: np.ndarray, target: Optional[int]) -> None:
         print(f"distance to {target}: {d if d >= 0 else 'unreachable'}")
     else:
         print(f"distances: {dist.tolist()}")
+
+
+def _emit_query_json(command: str, algorithm: str, g, args, res, **extra) -> None:
+    """Machine-readable rendering of one graph-query result (``--json``)."""
+    import json
+
+    doc = {
+        "command": command,
+        "algorithm": algorithm,
+        "graph": {"n": g.n, "m": g.m, "max_length": g.max_length()},
+        "source": args.source,
+        "target": args.target,
+        "dist": res.dist.tolist(),
+        "cost": res.cost.to_dict(),
+    }
+    if args.target is not None:
+        d = res.dist[args.target]
+        doc["distance_to_target"] = None if d < 0 else int(d)
+    doc.update(extra)
+    print(json.dumps(doc))
 
 
 def _cmd_profile(args) -> int:
@@ -250,6 +328,15 @@ def _cmd_profile(args) -> int:
     print()
     print(report.render())
 
+    from repro.core.cache import default_build_cache
+
+    bc = default_build_cache.stats()
+    print()
+    print(
+        f"build cache: {bc['entries']} entries, {bc['hits']} hits, "
+        f"{bc['misses']} misses, {bc['evictions']} evictions"
+    )
+
     # DISTANCE-model comparison: data-movement cost of the conventional
     # baseline vs the neuromorphic totals (native and embedding-charged)
     if args.algorithm in ("khop", "khop_poly", "approx"):
@@ -276,6 +363,143 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _parse_resident_graphs(specs: List[str]) -> dict:
+    """Parse ``id=path`` (or bare path) arguments into ``{id: graph}``."""
+    import os
+
+    graphs = {}
+    for spec in specs:
+        if "=" in spec:
+            gid, path = spec.split("=", 1)
+        else:
+            path = spec
+            gid = os.path.splitext(os.path.basename(path))[0]
+        graphs[gid] = _read_graph(path)
+    return graphs
+
+
+def _parse_mix(text: str) -> dict:
+    mix = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, weight = part.partition("=")
+        mix[kind.strip()] = float(weight) if weight else 1.0
+    return mix
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: answer JSONL queries from a file or stdin."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.service import QueryServer, request_from_dict
+
+    graphs = _parse_resident_graphs(args.graphs)
+    server = QueryServer(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1000.0,
+        queue_limit=args.queue_limit,
+    )
+    for gid, g in graphs.items():
+        server.register_graph(gid, g)
+
+    if args.requests == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.requests, encoding="utf-8") as fh:
+            lines = fh.readlines()
+
+    failures = 0
+    with server:
+        # submit everything first so concurrent requests can coalesce,
+        # then collect in input order
+        pending = []
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                ticket = server.submit(request_from_dict(json.loads(line)))
+            except (ReproError, json.JSONDecodeError) as exc:
+                pending.append((lineno, None, f"{type(exc).__name__}: {exc}"))
+                continue
+            pending.append((lineno, ticket, None))
+        for lineno, ticket, error in pending:
+            if ticket is None:
+                failures += 1
+                print(json.dumps({"line": lineno, "status": "rejected", "error": error}))
+                continue
+            result = ticket.result(timeout=300.0)
+            if not result.ok:
+                failures += 1
+            print(json.dumps(result.to_dict()))
+    if args.stats:
+        print(json.dumps(server.stats()["metrics"], indent=2), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_loadgen(args) -> int:
+    """``repro loadgen``: serving benchmark, writes BENCH_serving.json."""
+    import json
+
+    from repro.service import run_loadgen
+
+    if args.graphs:
+        graphs = _parse_resident_graphs(args.graphs)
+    else:
+        graphs = {
+            "grid": grid_graph(10, 10, max_length=7, seed=2),
+            "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
+        }
+    fault_spec = None
+    if args.drop_p:
+        fault_spec = {"drop_p": args.drop_p, "seed": args.fault_seed}
+    report = run_loadgen(
+        graphs,
+        n_requests=args.requests,
+        clients=args.clients,
+        depth=args.depth,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        rate=args.rate,
+        seed=args.seed,
+        mix=_parse_mix(args.mix),
+        fault_spec=fault_spec,
+        verify=not args.no_verify,
+        skip_naive=args.skip_naive,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    s = report["serving"]
+    print(f"served {args.requests} requests: {s['ok']} ok, {s['errors']} errors")
+    print(
+        f"throughput:  {s['throughput_rps']} req/s "
+        f"(p50 {s['latency_p50_s'] * 1000:.1f} ms, p99 {s['latency_p99_s'] * 1000:.1f} ms)"
+    )
+    print(
+        f"batches:     {s['batches']} ({s['coalesced_batches']} coalesced, "
+        f"mean occupancy {s['mean_batch_occupancy']})"
+    )
+    if report["naive"] is not None:
+        print(
+            f"naive loop:  {report['naive']['throughput_rps']} req/s "
+            f"-> speedup {report['speedup']}x"
+        )
+    if report["equality"]["checked"]:
+        print(f"equality:    {report['equality']['mismatches']} mismatches")
+    print(f"wrote {args.out}")
+    if s["errors"] or report["equality"]["mismatches"]:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -288,8 +512,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "profile":
         return _cmd_profile(args)
 
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+
     g = _read_graph(args.graph)
-    print(f"graph: n={g.n} m={g.m} U={g.max_length()}")
+    if not getattr(args, "json", False):
+        print(f"graph: n={g.n} m={g.m} U={g.max_length()}")
 
     if args.command == "info":
         from repro.core import Network
@@ -354,8 +585,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             res = spiking_sssp_poly(g, args.source, target=args.target)
         else:
             res = embedded_sssp(g, args.source, target=args.target)
-        _print_distances(res.dist, args.target)
-        _print_cost(res.cost)
+        if args.json:
+            _emit_query_json("sssp", args.algorithm, g, args, res)
+        else:
+            _print_distances(res.dist, args.target)
+            _print_cost(res.cost)
         return 0
 
     if args.command == "khop":
@@ -363,16 +597,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             res = spiking_khop_pseudo(g, args.source, args.k, target=args.target)
         else:
             res = spiking_khop_poly(g, args.source, args.k, target=args.target)
-        _print_distances(res.dist, args.target)
-        _print_cost(res.cost)
+        if args.json:
+            _emit_query_json("khop", args.algorithm, g, args, res, k=args.k)
+        else:
+            _print_distances(res.dist, args.target)
+            _print_cost(res.cost)
         return 0
 
     if args.command == "approx":
         res = spiking_khop_approx(g, args.source, args.k, epsilon=args.epsilon)
         eps = res.cost.extras["epsilon"]
-        print(f"epsilon: {eps:.4f} ({res.cost.extras['scales']:.0f} scales)")
-        _print_distances(res.dist, args.target)
-        _print_cost(res.cost)
+        if args.json:
+            _emit_query_json(
+                "approx", "approx", g, args, res, k=args.k, epsilon=eps
+            )
+        else:
+            print(f"epsilon: {eps:.4f} ({res.cost.extras['scales']:.0f} scales)")
+            _print_distances(res.dist, args.target)
+            _print_cost(res.cost)
         return 0
 
     if args.command == "compare":
@@ -384,6 +626,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         _, mv_khop = bellman_ford_khop_distance(g, args.source, k, num_registers=c)
         neuro_sssp = spiking_sssp_pseudo(g, args.source)
         neuro_khop = spiking_khop_pseudo(g, args.source, k)
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "command": "compare",
+                        "graph": {"n": g.n, "m": g.m, "max_length": g.max_length()},
+                        "source": args.source,
+                        "k": k,
+                        "registers": c,
+                        "rows": {
+                            "sssp_ram": ram_sssp.total,
+                            "khop_ram": ram_khop.total,
+                            "sssp_distance": mv_sssp,
+                            "khop_distance": mv_khop,
+                            "sssp_neuro": neuro_sssp.cost.total_time,
+                            "khop_neuro": neuro_khop.cost.total_time,
+                            "sssp_neuro_embedded": neuro_sssp.cost.with_embedding(
+                                g.n
+                            ).total_time,
+                            "khop_neuro_embedded": neuro_khop.cost.with_embedding(
+                                g.n
+                            ).total_time,
+                        },
+                    }
+                )
+            )
+            return 0
         print()
         print(
             render_table(

@@ -1,22 +1,30 @@
 """Structure-keyed build cache for compiled networks and circuits.
 
 The many-query-per-graph workloads (all-pairs SSSP, fault sweeps, repeated
-benchmark trials) re-ask one topology thousands of times; rebuilding the
-:class:`~repro.core.network.Network` per query costs ``O(m)`` Python calls
-each time, dwarfing the spiking phase itself on small horizons.  On
-hardware the graph is loaded once and only the stimulus changes — this
-cache is the software analogue: builds are keyed by a fingerprint of the
-structure that determines them (topology, weights, delays, build options),
-so repeated queries skip network construction and compilation entirely.
+benchmark trials, the :mod:`repro.service` query server) re-ask one topology
+thousands of times; rebuilding the :class:`~repro.core.network.Network` per
+query costs ``O(m)`` Python calls each time, dwarfing the spiking phase
+itself on small horizons.  On hardware the graph is loaded once and only the
+stimulus changes — this cache is the software analogue: builds are keyed by
+a fingerprint of the structure that determines them (topology, weights,
+delays, build options), so repeated queries skip network construction and
+compilation entirely.
 
 Cached values are treated as frozen: callers must not mutate a network
-fetched from the cache.  The cache is a bounded LRU; use
-:data:`default_build_cache` unless a caller needs isolation.
+fetched from the cache.  The cache is a bounded LRU and is **thread-safe**:
+all lookup/insert/evict/clear transitions happen under one reentrant lock,
+so the :mod:`repro.service` worker pool can share
+:data:`default_build_cache` across threads.  A miss builds while holding
+the lock — concurrent misses on the same key therefore build exactly once,
+which is the behavior the serving layer wants (builds are rare and shared,
+and duplicate builds would waste the ``O(m)`` work the cache exists to
+avoid).  Use :data:`default_build_cache` unless a caller needs isolation.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Tuple
 
@@ -49,49 +57,68 @@ def structure_fingerprint(*parts: Any) -> str:
 
 
 class BuildCache:
-    """Bounded LRU mapping structure keys to built (frozen) artifacts."""
+    """Bounded LRU mapping structure keys to built (frozen) artifacts.
+
+    All operations are serialized by an internal reentrant lock, so one
+    instance may be shared by concurrent worker threads.
+    """
 
     def __init__(self, maxsize: int = 64):
         if maxsize < 1:
             raise ValidationError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get_or_build(self, key: Tuple, build: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``key``, building it on a miss.
 
         The key should include every input the build depends on (use
         :func:`structure_fingerprint` to reduce array payloads).  On a hit
-        the entry is refreshed to most-recently-used.
+        the entry is refreshed to most-recently-used.  The lock is held
+        across ``build()``, so concurrent misses on one key build once.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            counter_inc("cache.build.hits", 1)
-            return entry
-        self.misses += 1
-        counter_inc("cache.build.misses", 1)
-        value = build()
-        if value is None:
-            raise ValidationError("build cache cannot store None")
-        self._entries[key] = value
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                counter_inc("cache.build.hits", 1)
+                return entry
+            self.misses += 1
+            counter_inc("cache.build.misses", 1)
+            value = build()
+            if value is None:
+                raise ValidationError("build cache cannot store None")
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                counter_inc("cache.build.evictions", 1)
+            return value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 #: Process-wide cache shared by the algorithm drivers (all-pairs SSSP,
-#: degradation sweeps).  Bounded, so long-running services cannot leak.
+#: degradation sweeps) and the :mod:`repro.service` worker pool.  Bounded,
+#: so long-running services cannot leak.
 default_build_cache = BuildCache()

@@ -74,6 +74,30 @@ class CostReport:
         """
         return self.embedding_factor * self.simulated_ticks + self.loading_ticks
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable rendering (used by ``--json`` CLI output and
+        the :mod:`repro.service` result schema)."""
+        out: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "simulated_ticks": self.simulated_ticks,
+            "loading_ticks": self.loading_ticks,
+            "total_time": self.total_time,
+            "neurons": self.neuron_count,
+            "synapses": self.synapse_count,
+            "spikes": self.spike_count,
+        }
+        if self.rounds is not None:
+            out["rounds"] = self.rounds
+        if self.round_length is not None:
+            out["round_length"] = self.round_length
+        if self.message_bits is not None:
+            out["message_bits"] = self.message_bits
+        if self.embedding_factor != 1:
+            out["embedding_factor"] = self.embedding_factor
+        if self.extras:
+            out["extras"] = dict(self.extras)
+        return out
+
     def with_embedding(self, n: int) -> "CostReport":
         """Return a copy charged for the crossbar embedding cost ``O(n)``.
 

@@ -159,6 +159,18 @@ class FaultModel:
     def bind(self, net: CompiledNetwork, max_steps: int) -> BoundFaults:
         raise NotImplementedError
 
+    def fingerprint(self) -> Optional[Tuple]:
+        """Deterministic content key of this model, or ``None``.
+
+        Two models with equal fingerprints realize identical faults on
+        identical runs, which is what lets the :mod:`repro.service` result
+        cache key entries on ``(structure key, query params, fault
+        fingerprint)``.  Models whose identity is not purely their
+        parameters (e.g. stateful wrappers like :class:`CountingFaults`)
+        return ``None``, marking results computed under them uncacheable.
+        """
+        return None
+
     def __or__(self, other: "FaultModel") -> "FaultModel":
         return compose(self, other)
 
@@ -186,6 +198,9 @@ class SpikeDrop(FaultModel):
 
     def bind(self, net: CompiledNetwork, max_steps: int) -> BoundFaults:
         return _BoundSpikeDrop(net, max_steps, self)
+
+    def fingerprint(self) -> Tuple:
+        return ("spike_drop", self.p, self.seed, self.sources)
 
 
 class _BoundSpikeDrop(BoundFaults):
@@ -228,6 +243,9 @@ class SpuriousSpikes(FaultModel):
 
     def bind(self, net: CompiledNetwork, max_steps: int) -> BoundFaults:
         return _BoundSpurious(net, max_steps, self)
+
+    def fingerprint(self) -> Tuple:
+        return ("spurious", self.rate, self.seed, self.neurons)
 
 
 class _BoundSpurious(BoundFaults):
@@ -286,6 +304,9 @@ class StuckAtSilent(FaultModel):
                 raise ValidationError(f"stuck neuron {nid} out of range for n={net.n}")
         return _BoundStuckSilent(net, max_steps, self.windows)
 
+    def fingerprint(self) -> Tuple:
+        return ("stuck_silent", self.windows)
+
 
 class _BoundStuckSilent(BoundFaults):
     def __init__(self, net: CompiledNetwork, horizon: int, windows: Tuple[Window, ...]):
@@ -315,6 +336,9 @@ class StuckAtFiring(FaultModel):
             if nid >= net.n:
                 raise ValidationError(f"stuck neuron {nid} out of range for n={net.n}")
         return _BoundStuckFiring(net, max_steps, self.windows)
+
+    def fingerprint(self) -> Tuple:
+        return ("stuck_firing", self.windows)
 
 
 class _BoundStuckFiring(BoundFaults):
@@ -359,6 +383,9 @@ class WeightDrift(FaultModel):
 
     def bind(self, net: CompiledNetwork, max_steps: int) -> BoundFaults:
         return _BoundDrift(net, max_steps, self)
+
+    def fingerprint(self) -> Tuple:
+        return ("weight_drift", self.rate, self.seed)
 
 
 class _BoundDrift(BoundFaults):
@@ -475,6 +502,12 @@ class _CompositeFaultModel(FaultModel):
 
     def bind(self, net: CompiledNetwork, max_steps: int) -> BoundFaults:
         return _BoundComposite(net, max_steps, [p.bind(net, max_steps) for p in self.parts])
+
+    def fingerprint(self) -> Optional[Tuple]:
+        parts = tuple(p.fingerprint() for p in self.parts)
+        if any(f is None for f in parts):
+            return None
+        return ("compose", parts)
 
 
 class _BoundComposite(BoundFaults):

@@ -64,6 +64,21 @@ class NonQuiescenceError(WatchdogError):
     """
 
 
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The serving layer's admission queue is full; retry later.
+
+    The backpressure contract of :class:`repro.service.server.QueryServer`:
+    rather than queueing unboundedly, an over-capacity submit is rejected
+    with a suggested :attr:`retry_after_s` (the current expected drain time
+    of one batch) and the observed :attr:`queue_depth`.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.0, queue_depth: int = 0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.queue_depth = int(queue_depth)
+
+
 class CircuitError(ReproError, ValueError):
     """A circuit construction received inconsistent wiring or widths."""
 

@@ -1,0 +1,64 @@
+"""repro.service: concurrent graph-query serving with micro-batch coalescing.
+
+The serving layer turns the repo's one-shot algorithm drivers into a
+long-lived query server over *resident* graphs and circuits.  Concurrent
+requests that are batch-compatible — same graph structure, same engine
+configuration — are coalesced into micro-batches and dispatched through
+:func:`~repro.core.run.simulate_batch`, amortizing per-tick sweep overhead
+across riders while keeping every answer spike-for-spike identical to a
+solo run (the batched dense engine is per-item exact, and the adapters
+reuse the solo drivers' plan/decode code verbatim).
+
+Layers, bottom up:
+
+- :mod:`~repro.service.schema` — :class:`QueryRequest` /
+  :class:`QueryResult`, validation, JSONL parsing.
+- :mod:`~repro.service.adapters` — request → :class:`RequestPlan` (batch
+  key, stimuli, decode), plus the naive :func:`execute_solo` reference.
+- :mod:`~repro.service.queue` — bounded admission with backpressure and
+  linger-based coalescing.
+- :mod:`~repro.service.resultcache` — TTL-LRU cache of served answers.
+- :mod:`~repro.service.server` — :class:`QueryServer`: worker pool,
+  dispatch, telemetry.
+- :mod:`~repro.service.client` — in-process :class:`ServiceClient` facade.
+- :mod:`~repro.service.loadgen` — closed-loop benchmark behind
+  ``repro loadgen`` (the ``BENCH_serving.json`` artifact).
+
+See ``docs/serving.md`` for the architecture and tuning guide.
+"""
+
+from repro.service.adapters import RequestPlan, execute_solo, plan_request
+from repro.service.client import ServiceClient
+from repro.service.loadgen import generate_requests, results_equal, run_loadgen
+from repro.service.queue import Batch, CoalescingQueue
+from repro.service.resultcache import TTLResultCache
+from repro.service.schema import (
+    QUERY_KINDS,
+    QueryRequest,
+    QueryResult,
+    QueryStatus,
+    fault_from_spec,
+    request_from_dict,
+)
+from repro.service.server import QueryServer, QueryTicket
+
+__all__ = [
+    "QUERY_KINDS",
+    "Batch",
+    "CoalescingQueue",
+    "QueryRequest",
+    "QueryResult",
+    "QueryServer",
+    "QueryStatus",
+    "QueryTicket",
+    "RequestPlan",
+    "ServiceClient",
+    "TTLResultCache",
+    "execute_solo",
+    "fault_from_spec",
+    "generate_requests",
+    "plan_request",
+    "request_from_dict",
+    "results_equal",
+    "run_loadgen",
+]

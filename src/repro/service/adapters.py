@@ -1,0 +1,275 @@
+"""Batchable query adapters: request → simulation plan → decoded answer.
+
+Each adapter turns one :class:`~repro.service.schema.QueryRequest` into a
+:class:`RequestPlan`: the resident network to run on, one stimulus (and
+optional fault model) per batch *item*, the engine keyword arguments shared
+by every item, a **batch key** (two plans with equal keys may be coalesced
+into one :func:`~repro.core.run.simulate_batch` call), and a decoder from
+the per-item :class:`~repro.core.result.SimulationResult`\\ s back to the
+query answer.
+
+The adapters deliberately contain no simulation logic of their own: plans
+and decoders are the exact ones the solo drivers use
+(:func:`~repro.algorithms.sssp_pseudo.sssp_plan` /
+:func:`~repro.algorithms.sssp_pseudo.sssp_decode`,
+:func:`~repro.algorithms.reach.khop_reach_plan` /
+:func:`~repro.algorithms.reach.khop_reach_decode`, and the circuit
+runner's :func:`~repro.circuits.runner.wave_stimulus` /
+:func:`~repro.circuits.runner.decode_waves`), and the batched dense engine
+is per-item identical to solo dense runs — so a served answer is
+spike-for-spike the solo answer, which :func:`execute_solo` computes for
+the differential tests and the naive load-generator baseline.
+
+An ``apsp`` slice expands into one item per source on the *same* plan (and
+the same batch key) as plain no-target ``sssp`` queries, so slices and
+single-source queries coalesce together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.reach import khop_reach_decode, khop_reach_plan
+from repro.algorithms.sssp_pseudo import sssp_decode, sssp_plan
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.runner import decode_waves, wave_horizon, wave_stimulus
+from repro.core.cost import CostReport
+from repro.core.result import SimulationResult
+from repro.core.run import simulate
+from repro.core.transient import FaultModel
+from repro.errors import ValidationError
+from repro.service.schema import QueryRequest
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["RequestPlan", "plan_request", "execute_solo"]
+
+
+@dataclass
+class RequestPlan:
+    """One request's executable form, ready for coalescing.
+
+    ``stimuli[i]`` / ``faults[i]`` describe batch item ``i`` of this
+    request; ``sim_kwargs`` are shared by every item and are part of
+    ``batch_key``, so only identically-configured plans coalesce.
+    ``decode`` maps this request's slice of the batch results to
+    ``{"dist" | "matrix" | "outputs": ..., "cost": CostReport}``.
+    """
+
+    batch_key: Tuple
+    network: Any  # Network | CompiledNetwork, frozen (from the build cache)
+    stimuli: List[Any]
+    faults: List[Optional[FaultModel]]
+    sim_kwargs: Dict[str, Any]
+    decode: Callable[[List[SimulationResult]], Dict[str, Any]]
+
+    @property
+    def n_items(self) -> int:
+        return len(self.stimuli)
+
+
+def _watchdog_key(request: QueryRequest) -> Optional[Tuple]:
+    # Watchdog is a frozen dataclass; its field tuple identifies the config.
+    wd = request.watchdog
+    if wd is None:
+        return None
+    return (wd.window, wd.max_spikes_per_neuron, wd.top_k, wd.ignore, wd.raise_on_trip)
+
+
+def _sssp_items(
+    graph: WeightedDigraph, request: QueryRequest, sources: Sequence[int]
+) -> Tuple[Any, List[Any], Dict[str, Any], Tuple, List[Any]]:
+    """Shared plan construction for ``sssp`` and ``apsp`` requests."""
+    plans = [
+        sssp_plan(
+            graph,
+            s,
+            target=request.target,
+            use_gadgets=request.use_gadgets,
+        )
+        for s in sources
+    ]
+    p0 = plans[0]
+    sim_kwargs = dict(
+        max_steps=p0.max_steps,
+        terminal=p0.terminal,
+        watch=None if p0.watch is None else list(p0.watch),
+        stop_when_quiescent=True,
+        record_spikes=request.record_spikes,
+        watchdog=request.watchdog,
+        engine=request.engine,
+    )
+    batch_key = (
+        "sssp",
+        graph.structure_key(),
+        request.use_gadgets,
+        request.target,
+        p0.max_steps,
+        request.engine,
+        request.record_spikes,
+        _watchdog_key(request),
+    )
+    return p0.net, [list(p.stimulus) for p in plans], sim_kwargs, batch_key, plans
+
+
+def plan_request(
+    request: QueryRequest,
+    graphs: Dict[str, WeightedDigraph],
+    circuits: Dict[str, Tuple[CircuitBuilder, str]],
+) -> RequestPlan:
+    """Resolve ``request`` against the resident graphs/circuits.
+
+    ``circuits`` maps id to ``(builder, resident key)``.  Raises
+    :class:`~repro.errors.ValidationError` for unknown residents or
+    graph-incompatible parameters (out-of-range source, unknown input
+    group) — the serving layer surfaces those synchronously at submit.
+    """
+    if request.kind == "circuit":
+        if request.graph_id not in circuits:
+            raise ValidationError(f"unknown circuit {request.graph_id!r}")
+        builder, resident_key = circuits[request.graph_id]
+        stimulus = wave_stimulus(builder, [request.inputs])
+        horizon = wave_horizon(builder, 1)
+        n_synapses = builder.net.n_synapses
+        n_neurons = builder.net.n_neurons
+
+        def decode_circuit(results: List[SimulationResult]) -> Dict[str, Any]:
+            outputs = decode_waves(builder, results[0], 1)[0]
+            cost = CostReport(
+                algorithm="circuit",
+                simulated_ticks=results[0].final_tick,
+                loading_ticks=n_synapses,
+                neuron_count=n_neurons,
+                synapse_count=n_synapses,
+                spike_count=results[0].total_spikes,
+            )
+            return {"outputs": outputs, "cost": cost}
+
+        return RequestPlan(
+            batch_key=(
+                "circuit",
+                resident_key,
+                horizon,
+                _watchdog_key(request),
+            ),
+            network=builder.net,
+            stimuli=[stimulus],
+            faults=[request.faults],
+            sim_kwargs=dict(
+                max_steps=horizon,
+                stop_when_quiescent=False,
+                # circuit decoding reads the raster, so spikes are always on
+                record_spikes=True,
+                watchdog=request.watchdog,
+                engine="dense",
+            ),
+            decode=decode_circuit,
+        )
+
+    if request.graph_id not in graphs:
+        raise ValidationError(f"unknown graph {request.graph_id!r}")
+    graph = graphs[request.graph_id]
+
+    vertices = [request.source] if request.kind in ("sssp", "khop") else list(
+        request.sources
+    )
+    if request.target is not None:
+        vertices.append(request.target)
+    for v in vertices:
+        if not 0 <= v < graph.n:
+            raise ValidationError(
+                f"vertex {v} out of range for graph {request.graph_id!r} (n={graph.n})"
+            )
+
+    if request.kind == "khop":
+        plan = khop_reach_plan(graph, request.source, request.k)
+        sim_kwargs = dict(
+            max_steps=plan.max_steps,
+            watch=list(plan.watch),
+            stop_when_quiescent=True,
+            record_spikes=request.record_spikes,
+            watchdog=request.watchdog,
+            engine=request.engine,
+        )
+        return RequestPlan(
+            batch_key=(
+                "khop",
+                graph.structure_key(),
+                request.k,
+                request.engine,
+                request.record_spikes,
+                _watchdog_key(request),
+            ),
+            network=plan.net,
+            stimuli=[list(plan.stimulus)],
+            faults=[request.faults],
+            sim_kwargs=sim_kwargs,
+            decode=lambda results: {
+                "dist": (r := khop_reach_decode(plan, results[0])).dist,
+                "cost": r.cost,
+            },
+        )
+
+    if request.kind == "sssp":
+        net, stimuli, sim_kwargs, batch_key, plans = _sssp_items(
+            graph, request, [request.source]
+        )
+        return RequestPlan(
+            batch_key=batch_key,
+            network=net,
+            stimuli=stimuli,
+            faults=[request.faults],
+            sim_kwargs=sim_kwargs,
+            decode=lambda results: {
+                "dist": (r := sssp_decode(plans[0], results[0])).dist,
+                "cost": r.cost,
+            },
+        )
+
+    # apsp slice: one item per source, batch-compatible with plain sssp
+    if request.target is not None:
+        raise ValidationError("apsp slices do not take a target")
+    net, stimuli, sim_kwargs, batch_key, plans = _sssp_items(
+        graph, request, list(request.sources)
+    )
+
+    def decode_apsp(results: List[SimulationResult]) -> Dict[str, Any]:
+        rows = [sssp_decode(p, r) for p, r in zip(plans, results)]
+        matrix = np.stack([r.dist for r in rows])
+        cost = CostReport(
+            algorithm="apsp_slice",
+            simulated_ticks=sum(r.cost.simulated_ticks for r in rows),
+            loading_ticks=graph.m,  # the resident graph loads once
+            neuron_count=rows[0].cost.neuron_count,
+            synapse_count=rows[0].cost.synapse_count,
+            spike_count=sum(r.cost.spike_count for r in rows),
+            extras={"sources": float(len(rows))},
+        )
+        return {"matrix": matrix, "cost": cost}
+
+    return RequestPlan(
+        batch_key=batch_key,
+        network=net,
+        stimuli=stimuli,
+        faults=[request.faults] * len(stimuli),
+        sim_kwargs=sim_kwargs,
+        decode=decode_apsp,
+    )
+
+
+def execute_solo(plan: RequestPlan) -> Dict[str, Any]:
+    """Run a plan one simulation per item — the naive, uncoalesced path.
+
+    This is the reference the differential tests and the load generator's
+    baseline use: per-item :func:`~repro.core.run.simulate` calls with the
+    plan's exact arguments, then the plan's own decoder.
+    """
+    results = [
+        simulate(plan.network, stim, faults=f, **plan.sim_kwargs)
+        for stim, f in zip(plan.stimuli, plan.faults)
+    ]
+    decoded = plan.decode(results)
+    decoded["sims"] = results
+    return decoded

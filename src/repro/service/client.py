@@ -1,0 +1,139 @@
+"""In-process client facade over :class:`~repro.service.server.QueryServer`.
+
+The client is a thin convenience layer: each method builds the matching
+:class:`~repro.service.schema.QueryRequest` and either blocks for the
+answer (``sssp``/``khop``/``apsp``/``circuit``) or returns the
+:class:`~repro.service.server.QueryTicket` (the ``submit_*`` variants) so
+callers can fan out many queries and collect results later — the pattern
+that actually exercises coalescing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog
+from repro.service.schema import QueryRequest, QueryResult
+from repro.service.server import QueryServer, QueryTicket
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Typed request builders bound to one server."""
+
+    def __init__(self, server: QueryServer, *, timeout: Optional[float] = None):
+        self.server = server
+        #: default blocking timeout for the synchronous methods
+        self.timeout = timeout
+
+    # -- asynchronous (ticket-returning) ------------------------------- #
+
+    def submit_sssp(
+        self,
+        graph_id: str,
+        source: int,
+        *,
+        target: Optional[int] = None,
+        use_gadgets: bool = False,
+        engine: str = "auto",
+        record_spikes: bool = False,
+        faults: Optional[FaultModel] = None,
+        watchdog: Optional[Watchdog] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryTicket:
+        return self.server.submit(
+            QueryRequest(
+                kind="sssp",
+                graph_id=graph_id,
+                source=source,
+                target=target,
+                use_gadgets=use_gadgets,
+                engine=engine,
+                record_spikes=record_spikes,
+                faults=faults,
+                watchdog=watchdog,
+                deadline_s=deadline_s,
+            )
+        )
+
+    def submit_khop(
+        self,
+        graph_id: str,
+        source: int,
+        k: int,
+        *,
+        engine: str = "auto",
+        record_spikes: bool = False,
+        faults: Optional[FaultModel] = None,
+        watchdog: Optional[Watchdog] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryTicket:
+        return self.server.submit(
+            QueryRequest(
+                kind="khop",
+                graph_id=graph_id,
+                source=source,
+                k=k,
+                engine=engine,
+                record_spikes=record_spikes,
+                faults=faults,
+                watchdog=watchdog,
+                deadline_s=deadline_s,
+            )
+        )
+
+    def submit_apsp(
+        self,
+        graph_id: str,
+        sources: Iterable[int],
+        *,
+        use_gadgets: bool = False,
+        engine: str = "auto",
+        faults: Optional[FaultModel] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryTicket:
+        return self.server.submit(
+            QueryRequest(
+                kind="apsp",
+                graph_id=graph_id,
+                sources=tuple(sources),
+                use_gadgets=use_gadgets,
+                engine=engine,
+                faults=faults,
+                deadline_s=deadline_s,
+            )
+        )
+
+    def submit_circuit(
+        self,
+        circuit_id: str,
+        inputs: Dict[str, int],
+        *,
+        faults: Optional[FaultModel] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryTicket:
+        return self.server.submit(
+            QueryRequest(
+                kind="circuit",
+                graph_id=circuit_id,
+                inputs=dict(inputs),
+                faults=faults,
+                deadline_s=deadline_s,
+            )
+        )
+
+    # -- synchronous --------------------------------------------------- #
+
+    def sssp(self, graph_id: str, source: int, **kw) -> QueryResult:
+        return self.submit_sssp(graph_id, source, **kw).result(self.timeout)
+
+    def khop(self, graph_id: str, source: int, k: int, **kw) -> QueryResult:
+        return self.submit_khop(graph_id, source, k, **kw).result(self.timeout)
+
+    def apsp(self, graph_id: str, sources: Iterable[int], **kw) -> QueryResult:
+        return self.submit_apsp(graph_id, sources, **kw).result(self.timeout)
+
+    def circuit(self, circuit_id: str, inputs: Dict[str, int], **kw) -> QueryResult:
+        return self.submit_circuit(circuit_id, inputs, **kw).result(self.timeout)

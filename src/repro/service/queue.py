@@ -1,0 +1,188 @@
+"""Bounded admission queue with micro-batch coalescing.
+
+:class:`CoalescingQueue` is the heart of the serving layer's scheduling: it
+admits work up to a bounded number of batch *items* (backpressure —
+over-capacity offers raise
+:class:`~repro.errors.ServiceOverloadedError` with a retry hint), groups
+pending tickets by their *batch key* (same graph structure + identical
+engine configuration — the compatibility condition for
+:func:`~repro.core.batch.simulate_dense_batch`), and releases a group to a
+worker when it is **full** (``max_batch`` items) or its oldest ticket has
+**lingered** ``linger_s`` seconds.  The linger bound caps the latency cost
+of coalescing: a lone request waits at most ``linger_s`` before running
+solo.
+
+Tickets whose deadline expires while queued are never dispatched; they are
+handed back in :attr:`Batch.expired` so the worker can answer them with
+``TIMEOUT`` without paying for a simulation.
+
+The queue is a plain condition-variable monitor; workers call
+:meth:`next_batch` directly (no separate scheduler thread), so a ready
+batch is picked up by whichever worker is free first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceOverloadedError, ValidationError
+
+__all__ = ["CoalescingQueue", "Batch"]
+
+
+@dataclass
+class Batch:
+    """One dispatchable unit: compatible tickets plus any expired ones."""
+
+    key: Tuple
+    tickets: List[object] = field(default_factory=list)
+    expired: List[object] = field(default_factory=list)
+
+    @property
+    def n_items(self) -> int:
+        return sum(t.n_items for t in self.tickets)
+
+
+class CoalescingQueue:
+    """Bounded, batch-key-grouped admission queue (thread-safe monitor).
+
+    Parameters
+    ----------
+    limit_items:
+        Admission bound counted in batch items (an apsp slice of 8 sources
+        occupies 8).  Offers that would exceed it are rejected.
+    max_batch:
+        Release a group as soon as it holds at least this many items.  A
+        single ticket larger than ``max_batch`` still dispatches (alone).
+    linger_s:
+        Maximum time the oldest ticket of a group may wait for company.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        limit_items: int = 256,
+        max_batch: int = 16,
+        linger_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if limit_items < 1:
+            raise ValidationError(f"limit_items must be >= 1, got {limit_items}")
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if linger_s < 0:
+            raise ValidationError(f"linger_s must be >= 0, got {linger_s}")
+        self.limit_items = int(limit_items)
+        self.max_batch = int(max_batch)
+        self.linger_s = float(linger_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: batch key -> [(admit time, ticket), ...] in admission order
+        self._groups: Dict[Tuple, List[Tuple[float, object]]] = {}
+        self._depth = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+
+    def depth(self) -> int:
+        """Currently queued batch items."""
+        with self._lock:
+            return self._depth
+
+    def offer(self, key: Tuple, ticket) -> None:
+        """Admit ``ticket`` under ``key`` or reject with backpressure.
+
+        Rejection raises :class:`~repro.errors.ServiceOverloadedError`
+        carrying ``retry_after_s`` — the linger bound, i.e. the longest a
+        present batch can take to start draining — so clients can back off
+        precisely instead of guessing.
+        """
+        n = ticket.n_items
+        with self._cond:
+            if self._closed:
+                raise ServiceOverloadedError("service is shutting down")
+            if self._depth + n > self.limit_items:
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self._depth}/{self.limit_items} items)",
+                    retry_after_s=max(self.linger_s, 0.001),
+                    queue_depth=self._depth,
+                )
+            self._groups.setdefault(key, []).append((self._clock(), ticket))
+            self._depth += n
+            self._cond.notify()
+
+    def close(self) -> None:
+        """Stop admitting; pending groups drain immediately (no linger)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+
+    def _pop_group(self, key: Tuple, now: float) -> Batch:
+        """Extract up to ``max_batch`` items from ``key`` (caller holds lock)."""
+        entries = self._groups[key]
+        batch = Batch(key=key)
+        taken = 0
+        while entries:
+            _admit, ticket = entries[0]
+            if ticket.expired(now):
+                entries.pop(0)
+                self._depth -= ticket.n_items
+                batch.expired.append(ticket)
+                continue
+            if batch.tickets and taken + ticket.n_items > self.max_batch:
+                break  # never split a ticket across batches
+            entries.pop(0)
+            self._depth -= ticket.n_items
+            batch.tickets.append(ticket)
+            taken += ticket.n_items
+            if taken >= self.max_batch:
+                break
+        if not entries:
+            del self._groups[key]
+        return batch
+
+    def next_batch(self) -> Optional[Batch]:
+        """Block until a group is ready; ``None`` once closed and drained.
+
+        A group is ready when it holds ``max_batch`` items, when its oldest
+        ticket has lingered ``linger_s``, when any queued ticket's deadline
+        has expired (so timeouts are answered promptly), or when the queue
+        is closed (drain).  Multiple waiting workers each receive distinct
+        batches.
+        """
+        with self._cond:
+            while True:
+                now = self._clock()
+                ready_key: Optional[Tuple] = None
+                next_wake: Optional[float] = None
+                for key, entries in self._groups.items():
+                    items = sum(t.n_items for _, t in entries)
+                    oldest = entries[0][0]
+                    release_at = oldest + self.linger_s
+                    deadlines = [
+                        t.deadline for _, t in entries if t.deadline is not None
+                    ]
+                    if deadlines:
+                        release_at = min(release_at, min(deadlines))
+                    if items >= self.max_batch or release_at <= now or self._closed:
+                        ready_key = key
+                        break
+                    next_wake = release_at if next_wake is None else min(next_wake, release_at)
+                if ready_key is not None:
+                    batch = self._pop_group(ready_key, now)
+                    if batch.tickets or batch.expired:
+                        return batch
+                    continue  # group was entirely consumed by expiry races
+                if self._closed and not self._groups:
+                    return None
+                self._cond.wait(
+                    timeout=None if next_wake is None else max(0.0, next_wake - now)
+                )

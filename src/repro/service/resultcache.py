@@ -1,0 +1,90 @@
+"""TTL-bounded LRU result cache for served queries.
+
+Keys are ``(resident key, query params, fault fingerprint)`` tuples built
+by the server (see :meth:`repro.service.schema.QueryRequest.cache_params`);
+values are frozen :class:`~repro.service.schema.QueryResult` objects.
+Entries expire ``ttl_s`` seconds after insertion (checked lazily on read)
+and the least-recently-used entry is evicted once ``maxsize`` is exceeded.
+Thread-safe: one lock around every transition, mirroring
+:class:`~repro.core.cache.BuildCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["TTLResultCache"]
+
+
+class TTLResultCache:
+    """Bounded LRU with per-entry time-to-live."""
+
+    def __init__(
+        self,
+        *,
+        maxsize: int = 1024,
+        ttl_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if maxsize < 1:
+            raise ValidationError(f"result cache maxsize must be >= 1, got {maxsize}")
+        if ttl_s <= 0:
+            raise ValidationError(f"result cache ttl_s must be > 0, got {ttl_s}")
+        self.maxsize = int(maxsize)
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (expiry time, value)
+        self._entries: "OrderedDict[Tuple, Tuple[float, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[Any]:
+        """The live entry for ``key`` (refreshed to MRU), else ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires, value = entry
+            if expires <= self._clock():
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl_s, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "expirations": self.expirations,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,263 @@
+"""Request/result schema of the graph-query serving layer.
+
+A :class:`QueryRequest` names a *resident* graph or circuit (registered
+with the server under a ``graph_id``) and one query against it; a
+:class:`QueryResult` carries the decoded answer, the model-level
+:class:`~repro.core.cost.CostReport`, the raw engine result(s), and serving
+metadata (queue/service latency, the occupancy of the micro-batch the
+request rode in, whether the answer came from the result cache).
+
+Four query kinds are served:
+
+``sssp``
+    Section-3 single-source shortest paths (optionally single-target).
+``khop``
+    k-hop reachability on the unit-delay hop-metric network.
+``apsp``
+    An all-pairs *slice*: SSSP rows for an explicit list of sources,
+    expanded into one batch item per source.
+``circuit``
+    One evaluation of a registered threshold-gate circuit.
+
+Validation is structural (field presence, ranges that do not need the
+graph); graph-dependent checks (unknown resident, out-of-range source,
+unknown input group) happen at plan time in :mod:`repro.service.adapters`,
+which runs in the submitter's thread so they still raise synchronously
+from :meth:`~repro.service.server.QueryServer.submit`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostReport
+from repro.core.result import SimulationResult
+from repro.core.transient import FaultModel, SpikeDrop, SpuriousSpikes, WeightDrift, compose
+from repro.core.watchdog import Watchdog
+from repro.errors import ValidationError
+
+__all__ = [
+    "QueryRequest",
+    "QueryResult",
+    "QueryStatus",
+    "QUERY_KINDS",
+    "request_from_dict",
+    "fault_from_spec",
+]
+
+QUERY_KINDS: Tuple[str, ...] = ("sssp", "khop", "apsp", "circuit")
+
+_ids = itertools.count(1)
+
+
+def _next_request_id() -> str:
+    return f"q{next(_ids):06d}"
+
+
+class QueryStatus(enum.Enum):
+    """Terminal state of one served request."""
+
+    #: Executed (or answered from the result cache) successfully.
+    OK = "ok"
+    #: The per-request deadline expired before the query was dispatched.
+    TIMEOUT = "timeout"
+    #: Planning or execution raised; ``error`` carries the message.
+    ERROR = "error"
+
+
+@dataclass
+class QueryRequest:
+    """One graph-algorithm query against a registered graph or circuit.
+
+    ``faults`` and ``watchdog`` are in-process objects (the JSONL front end
+    builds ``faults`` from a plain spec via :func:`fault_from_spec`).  A
+    request carrying a ``watchdog`` is still accepted but cannot ride the
+    batched dense engine — the dispatcher groups it into a batch whose
+    items run through the per-item watchdog fallback, preserving exact
+    watchdog semantics at solo speed.  ``deadline_s`` is a wall-clock
+    budget measured from admission; requests still queued when it expires
+    are answered with :attr:`QueryStatus.TIMEOUT`.
+    """
+
+    kind: str
+    graph_id: str
+    source: Optional[int] = None
+    target: Optional[int] = None
+    k: Optional[int] = None
+    sources: Optional[Tuple[int, ...]] = None
+    inputs: Optional[Dict[str, int]] = None
+    use_gadgets: bool = False
+    engine: str = "auto"
+    record_spikes: bool = False
+    faults: Optional[FaultModel] = None
+    watchdog: Optional[Watchdog] = None
+    deadline_s: Optional[float] = None
+    request_id: str = field(default_factory=_next_request_id)
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ValidationError(
+                f"unknown query kind {self.kind!r}; expected one of {QUERY_KINDS}"
+            )
+        if self.engine not in ("auto", "dense", "event"):
+            raise ValidationError(f"unknown engine {self.engine!r}")
+        if self.kind in ("sssp", "khop"):
+            if self.source is None:
+                raise ValidationError(f"{self.kind} query requires a source")
+            self.source = int(self.source)
+        if self.kind == "khop":
+            if self.k is None or int(self.k) < 0:
+                raise ValidationError("khop query requires k >= 0")
+            self.k = int(self.k)
+        if self.kind == "apsp":
+            if not self.sources:
+                raise ValidationError("apsp query requires a non-empty sources list")
+            self.sources = tuple(int(s) for s in self.sources)
+        if self.kind == "circuit":
+            if self.inputs is None:
+                raise ValidationError("circuit query requires an inputs mapping")
+            self.inputs = {str(g): int(v) for g, v in self.inputs.items()}
+        if self.target is not None:
+            self.target = int(self.target)
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValidationError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+    def cache_params(self) -> Optional[Tuple]:
+        """Query-parameter component of the result-cache key, or ``None``.
+
+        ``None`` marks the request uncacheable: it records spikes (large
+        payloads the cache should not pin), carries a watchdog (stateful
+        runs), or uses a fault model without a deterministic fingerprint.
+        """
+        if self.record_spikes or self.watchdog is not None:
+            return None
+        fault_key: Optional[Tuple] = ()
+        if self.faults is not None:
+            fp = self.faults.fingerprint()
+            if fp is None:
+                return None
+            fault_key = fp
+        if self.kind == "circuit":
+            params: Tuple = tuple(sorted(self.inputs.items()))
+        elif self.kind == "apsp":
+            params = self.sources
+        else:
+            params = (self.source, self.target, self.k, self.use_gadgets)
+        return (self.kind, self.engine, params, fault_key)
+
+
+@dataclass
+class QueryResult:
+    """Answer and serving metadata of one request.
+
+    Exactly one of ``dist`` (sssp/khop), ``matrix`` (apsp), or ``outputs``
+    (circuit) is populated on success.  ``sims`` holds the raw engine
+    result per batch item of this request (one for sssp/khop/circuit, one
+    per source for apsp) — the arrays a differential test compares against
+    solo runs.  ``batch_size`` is the total occupancy of the micro-batch
+    the request was dispatched in (1 when it ran alone); ``queued_s`` and
+    ``service_s`` split the observed latency at dispatch time.  Treat
+    results as frozen — cached entries are shared between callers.
+    """
+
+    request_id: str
+    kind: str
+    status: QueryStatus
+    dist: Optional[np.ndarray] = None
+    matrix: Optional[np.ndarray] = None
+    outputs: Optional[Dict[str, int]] = None
+    cost: Optional[CostReport] = None
+    sims: Optional[List[SimulationResult]] = None
+    batch_size: int = 0
+    queued_s: float = 0.0
+    service_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is QueryStatus.OK
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable rendering (the ``repro serve`` output lines)."""
+        out: Dict[str, object] = {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "status": self.status.value,
+            "batch_size": self.batch_size,
+            "queued_s": round(self.queued_s, 6),
+            "service_s": round(self.service_s, 6),
+            "cached": self.cached,
+        }
+        if self.dist is not None:
+            out["dist"] = self.dist.tolist()
+        if self.matrix is not None:
+            out["matrix"] = self.matrix.tolist()
+        if self.outputs is not None:
+            out["outputs"] = dict(self.outputs)
+        if self.cost is not None:
+            out["cost"] = self.cost.to_dict()
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def fault_from_spec(spec: Mapping[str, object]) -> Optional[FaultModel]:
+    """Build a (composed) fault model from a plain JSON-able spec.
+
+    Recognized keys: ``drop_p``, ``spurious_rate``, ``drift_rate``, and a
+    shared ``seed`` (default 0).  Returns ``None`` for an empty spec.
+    """
+    seed = int(spec.get("seed", 0))
+    parts: List[FaultModel] = []
+    if float(spec.get("drop_p", 0.0)):
+        parts.append(SpikeDrop(float(spec["drop_p"]), seed=seed))
+    if float(spec.get("spurious_rate", 0.0)):
+        parts.append(SpuriousSpikes(float(spec["spurious_rate"]), seed=seed + 1))
+    if float(spec.get("drift_rate", 0.0)):
+        parts.append(WeightDrift(float(spec["drift_rate"]), seed=seed + 2))
+    unknown = set(spec) - {"drop_p", "spurious_rate", "drift_rate", "seed"}
+    if unknown:
+        raise ValidationError(f"unknown fault spec keys: {sorted(unknown)}")
+    if not parts:
+        return None
+    return compose(*parts)
+
+
+def request_from_dict(doc: Mapping[str, object]) -> QueryRequest:
+    """Parse one JSONL request document into a :class:`QueryRequest`."""
+    known = {
+        "kind", "graph_id", "source", "target", "k", "sources", "inputs",
+        "use_gadgets", "engine", "record_spikes", "fault", "deadline_s",
+        "request_id",
+    }
+    unknown = set(doc) - known
+    if unknown:
+        raise ValidationError(f"unknown request fields: {sorted(unknown)}")
+    if "kind" not in doc or "graph_id" not in doc:
+        raise ValidationError("request requires 'kind' and 'graph_id'")
+    faults = None
+    if doc.get("fault"):
+        faults = fault_from_spec(doc["fault"])  # type: ignore[arg-type]
+    kwargs = dict(
+        kind=str(doc["kind"]),
+        graph_id=str(doc["graph_id"]),
+        source=doc.get("source"),
+        target=doc.get("target"),
+        k=doc.get("k"),
+        sources=tuple(doc["sources"]) if doc.get("sources") else None,
+        inputs=dict(doc["inputs"]) if doc.get("inputs") else None,
+        use_gadgets=bool(doc.get("use_gadgets", False)),
+        engine=str(doc.get("engine", "auto")),
+        record_spikes=bool(doc.get("record_spikes", False)),
+        faults=faults,
+        deadline_s=doc.get("deadline_s"),
+    )
+    if doc.get("request_id"):
+        kwargs["request_id"] = str(doc["request_id"])
+    return QueryRequest(**kwargs)

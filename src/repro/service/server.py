@@ -1,0 +1,425 @@
+"""The concurrent query server: admission, coalescing, dispatch, caching.
+
+:class:`QueryServer` owns a :class:`~repro.service.queue.CoalescingQueue`,
+a pool of worker threads, and a :class:`~repro.service.resultcache.TTLResultCache`.
+Callers register graphs/circuits up front (making them *resident*), then
+:meth:`submit` requests; each submit plans the request in the caller's
+thread (so malformed queries fail synchronously), checks the result cache,
+and enqueues a :class:`QueryTicket`.  Workers pull micro-batches of
+compatible tickets and dispatch them through one
+:func:`~repro.core.run.simulate_batch` call, so N coalesced requests pay
+one batched sweep instead of N solo simulations while each item's spikes
+remain exactly those of a solo run.
+
+Telemetry: workers run each batch under a private
+:class:`~repro.telemetry.metrics.MetricsRegistry` (context variables do not
+propagate into threads, and the registry's dict updates are not atomic),
+then merge it into the server registry under a lock together with the
+serving metrics — queue-depth gauge, batch-occupancy histograms, and
+queue/service/total latency timers.  :meth:`stats` snapshots everything,
+including the build-cache and result-cache counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.circuits.builder import CircuitBuilder
+from repro.core.cache import default_build_cache
+from repro.core.run import simulate_batch
+from repro.errors import ReproError, ValidationError
+from repro.service.adapters import RequestPlan, plan_request
+from repro.service.queue import CoalescingQueue
+from repro.service.resultcache import TTLResultCache
+from repro.service.schema import QueryRequest, QueryResult, QueryStatus
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["QueryServer", "QueryTicket"]
+
+
+class QueryTicket:
+    """One in-flight request: plan, deadline, and a completion event.
+
+    The ticket is the queue's unit of admission (``n_items`` batch items —
+    more than one for an apsp slice) and the caller's handle on the answer:
+    :meth:`result` blocks until a worker (or the submitter, on a cache hit)
+    completes it.
+    """
+
+    __slots__ = (
+        "request",
+        "plan",
+        "admitted_at",
+        "deadline",
+        "dispatched_at",
+        "_event",
+        "_result",
+    )
+
+    def __init__(
+        self,
+        request: QueryRequest,
+        plan: Optional[RequestPlan],
+        *,
+        admitted_at: float,
+        deadline: Optional[float] = None,
+    ):
+        self.request = request
+        self.plan = plan
+        self.admitted_at = admitted_at
+        self.deadline = deadline  # absolute monotonic time, or None
+        self.dispatched_at: Optional[float] = None
+        self._event = threading.Event()
+        self._result: Optional[QueryResult] = None
+
+    @property
+    def n_items(self) -> int:
+        return self.plan.n_items if self.plan is not None else 1
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def complete(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block until the ticket completes; raise if ``timeout`` elapses."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} not completed in {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+
+class QueryServer:
+    """Thread-based graph-query server with micro-batch coalescing.
+
+    Parameters
+    ----------
+    workers:
+        Dispatch threads.  Each independently pulls ready batches, so two
+        incompatible request streams do not serialize behind each other.
+    max_batch / linger_s:
+        Coalescing knobs, forwarded to the queue: release a batch at
+        ``max_batch`` items or once its oldest request waited ``linger_s``.
+    queue_limit:
+        Admission bound in batch items; beyond it, submits raise
+        :class:`~repro.errors.ServiceOverloadedError` (backpressure).
+    result_cache_size / result_cache_ttl_s:
+        TTL-LRU result cache dimensions; ``result_cache_size=0`` disables
+        caching entirely (every request simulates).
+    clock:
+        Monotonic time source, injectable for deterministic queue tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_batch: int = 16,
+        linger_s: float = 0.002,
+        queue_limit: int = 256,
+        result_cache_size: int = 1024,
+        result_cache_ttl_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self._clock = clock
+        self._queue = CoalescingQueue(
+            limit_items=queue_limit,
+            max_batch=max_batch,
+            linger_s=linger_s,
+            clock=clock,
+        )
+        self._result_cache: Optional[TTLResultCache] = None
+        if result_cache_size > 0:
+            self._result_cache = TTLResultCache(
+                maxsize=result_cache_size, ttl_s=result_cache_ttl_s, clock=clock
+            )
+        self._graphs: Dict[str, WeightedDigraph] = {}
+        self._circuits: Dict[str, Tuple[CircuitBuilder, str]] = {}
+        self._resident_keys: Dict[str, Tuple] = {}
+        self._epoch = 0
+        self.registry = MetricsRegistry("service")
+        self._reg_lock = threading.Lock()
+        self._n_workers = int(workers)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Residents
+
+    def register_graph(self, graph_id: str, graph: WeightedDigraph) -> str:
+        """Make ``graph`` queryable as ``graph_id``; returns the id."""
+        self._graphs[graph_id] = graph
+        self._resident_keys[graph_id] = ("graph", graph.structure_key())
+        return graph_id
+
+    def register_circuit(self, circuit_id: str, builder: CircuitBuilder) -> str:
+        """Make a built circuit queryable as ``circuit_id``.
+
+        The resident key carries a registration epoch, so re-registering
+        under the same id invalidates previously cached evaluations.
+        """
+        self._epoch += 1
+        key = f"circuit:{circuit_id}:{self._epoch}"
+        self._circuits[circuit_id] = (builder, key)
+        self._resident_keys[circuit_id] = ("circuit", key)
+        return circuit_id
+
+    def graph_ids(self) -> List[str]:
+        return sorted(self._graphs)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def start(self) -> "QueryServer":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self._n_workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-service-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        """Close admission, drain pending batches, join the workers."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        self._queue.close()
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+
+    def _cache_key(self, request: QueryRequest) -> Optional[Tuple]:
+        if self._result_cache is None:
+            return None
+        params = request.cache_params()
+        if params is None:
+            return None
+        return (self._resident_keys[request.graph_id], params)
+
+    def submit(self, request: QueryRequest) -> QueryTicket:
+        """Plan, cache-check, and enqueue ``request``.
+
+        Raises synchronously: :class:`~repro.errors.ValidationError` for a
+        request the resident graph cannot answer and
+        :class:`~repro.errors.ServiceOverloadedError` when the admission
+        queue is full.  Everything downstream (deadline expiry, execution
+        failure) is reported through the returned ticket's
+        :class:`~repro.service.schema.QueryResult` instead.
+        """
+        if not self._started or self._stopped:
+            raise ReproError("QueryServer is not running; use 'with QueryServer(...)'")
+        if request.graph_id not in self._resident_keys:
+            raise ValidationError(f"unknown graph or circuit {request.graph_id!r}")
+
+        now = self._clock()
+        cache_key = self._cache_key(request)
+        if cache_key is not None:
+            hit = self._result_cache.get(cache_key)
+            if hit is not None:
+                with self._reg_lock:
+                    self.registry.counter_inc("service.cache.result.hits")
+                    self.registry.counter_inc("service.requests.accepted")
+                    self.registry.counter_inc("service.requests.completed")
+                ticket = QueryTicket(request, None, admitted_at=now)
+                ticket.complete(
+                    dataclasses.replace(
+                        hit,
+                        request_id=request.request_id,
+                        cached=True,
+                        queued_s=0.0,
+                        service_s=0.0,
+                    )
+                )
+                return ticket
+            with self._reg_lock:
+                self.registry.counter_inc("service.cache.result.misses")
+
+        plan = plan_request(request, self._graphs, self._circuits)
+        deadline = None if request.deadline_s is None else now + request.deadline_s
+        ticket = QueryTicket(request, plan, admitted_at=now, deadline=deadline)
+        try:
+            self._queue.offer(plan.batch_key, ticket)
+        except Exception:
+            with self._reg_lock:
+                self.registry.counter_inc("service.requests.rejected")
+            raise
+        with self._reg_lock:
+            self.registry.counter_inc("service.requests.accepted")
+            self.registry.gauge_set("service.queue.depth", self._queue.depth())
+        return ticket
+
+    def serve(
+        self, request: QueryRequest, timeout: Optional[float] = None
+    ) -> QueryResult:
+        """Submit and block for the answer (the in-process convenience path)."""
+        return self.submit(request).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.next_batch()
+            if batch is None:
+                return
+            now = self._clock()
+            for ticket in batch.expired:
+                self._complete_timeout(ticket, now)
+            if batch.tickets:
+                self._dispatch(batch.tickets)
+
+    def _complete_timeout(self, ticket: QueryTicket, now: float) -> None:
+        ticket.complete(
+            QueryResult(
+                request_id=ticket.request.request_id,
+                kind=ticket.request.kind,
+                status=QueryStatus.TIMEOUT,
+                queued_s=now - ticket.admitted_at,
+                error=f"deadline of {ticket.request.deadline_s}s expired in queue",
+            )
+        )
+        with self._reg_lock:
+            self.registry.counter_inc("service.requests.timeout")
+            self.registry.timer_observe(
+                "service.latency.total", now - ticket.admitted_at
+            )
+
+    def _dispatch(self, tickets: List[QueryTicket]) -> None:
+        dispatch_t = self._clock()
+        plan0 = tickets[0].plan
+        stimuli: List[Any] = []
+        faults: List[Any] = []
+        for t in tickets:
+            t.dispatched_at = dispatch_t
+            stimuli.extend(t.plan.stimuli)
+            faults.extend(t.plan.faults)
+        total_items = len(stimuli)
+
+        batch_reg = MetricsRegistry("service-batch")
+        error: Optional[str] = None
+        results: List[Any] = []
+        try:
+            with use_registry(batch_reg):
+                results = simulate_batch(
+                    plan0.network, stimuli, faults=faults, **plan0.sim_kwargs
+                )
+        except Exception as exc:  # answer every rider, never kill the worker
+            error = f"{type(exc).__name__}: {exc}"
+
+        done_t = self._clock()
+        offset = 0
+        outcomes: List[Tuple[QueryTicket, QueryResult]] = []
+        for t in tickets:
+            n = t.plan.n_items
+            if error is not None:
+                qr = QueryResult(
+                    request_id=t.request.request_id,
+                    kind=t.request.kind,
+                    status=QueryStatus.ERROR,
+                    batch_size=total_items,
+                    queued_s=dispatch_t - t.admitted_at,
+                    service_s=done_t - dispatch_t,
+                    error=error,
+                )
+            else:
+                chunk = results[offset : offset + n]
+                try:
+                    with use_registry(batch_reg):
+                        decoded = t.plan.decode(chunk)
+                    qr = QueryResult(
+                        request_id=t.request.request_id,
+                        kind=t.request.kind,
+                        status=QueryStatus.OK,
+                        dist=decoded.get("dist"),
+                        matrix=decoded.get("matrix"),
+                        outputs=decoded.get("outputs"),
+                        cost=decoded.get("cost"),
+                        sims=chunk,
+                        batch_size=total_items,
+                        queued_s=dispatch_t - t.admitted_at,
+                        service_s=done_t - dispatch_t,
+                    )
+                except Exception as exc:
+                    qr = QueryResult(
+                        request_id=t.request.request_id,
+                        kind=t.request.kind,
+                        status=QueryStatus.ERROR,
+                        batch_size=total_items,
+                        queued_s=dispatch_t - t.admitted_at,
+                        service_s=done_t - dispatch_t,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+            offset += n
+            outcomes.append((t, qr))
+
+        for t, qr in outcomes:
+            if qr.ok:
+                key = self._cache_key(t.request)
+                if key is not None:
+                    self._result_cache.put(key, qr)
+            t.complete(qr)
+
+        with self._reg_lock:
+            self.registry.merge(batch_reg)
+            self.registry.counter_inc("service.batches")
+            if len(tickets) > 1:
+                self.registry.counter_inc("service.batches.coalesced")
+            self.registry.observe("service.batch.items", total_items)
+            self.registry.observe("service.batch.requests", len(tickets))
+            self.registry.gauge_set("service.queue.depth", self._queue.depth())
+            for t, qr in outcomes:
+                self.registry.counter_inc(
+                    "service.requests.completed"
+                    if qr.ok
+                    else "service.requests.errors"
+                )
+                self.registry.timer_observe("service.latency.queue", qr.queued_s)
+                self.registry.timer_observe("service.latency.service", qr.service_s)
+                self.registry.timer_observe(
+                    "service.latency.total", qr.queued_s + qr.service_s
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """Serving metrics, queue depth, and cache counters in one snapshot."""
+        with self._reg_lock:
+            snap = self.registry.snapshot()
+        out: Dict[str, object] = {
+            "metrics": snap,
+            "queue_depth": self._queue.depth(),
+            "workers": self._n_workers,
+            "graphs": self.graph_ids(),
+            "circuits": sorted(self._circuits),
+            "build_cache": default_build_cache.stats(),
+        }
+        if self._result_cache is not None:
+            out["result_cache"] = self._result_cache.stats()
+        return out

@@ -1,0 +1,183 @@
+"""Concurrency tests for the build cache and the serving result cache.
+
+The build cache is shared by every thread of a serving worker pool, so its
+invariants — LRU eviction order, hit/miss/eviction accounting, single
+build per key, and safe ``clear()`` — must hold under concurrent batched
+access, not just in the single-threaded unit tests of
+``test_batch_engine.py``.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core import BuildCache, Network, simulate_batch
+from repro.core.cache import default_build_cache
+from repro.service import QueryServer, ServiceClient, TTLResultCache
+from repro.workloads import gnp_graph
+
+
+def build_chain(k):
+    net = Network()
+    ids = [net.add_neuron(one_shot=True) for _ in range(k)]
+    for a, b in zip(ids, ids[1:]):
+        net.add_synapse(a, b, delay=1)
+    return net
+
+
+class TestBuildCacheConcurrent:
+    def test_single_build_per_key_under_contention(self):
+        cache = BuildCache(maxsize=8)
+        builds = []
+        build_lock = threading.Lock()
+        start = threading.Barrier(8)
+
+        def build():
+            with build_lock:
+                builds.append(1)
+            return build_chain(3)
+
+        def worker():
+            start.wait()
+            for _ in range(50):
+                cache.get_or_build("key", build)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # the lock is held across build(), so exactly one build ever runs
+        assert len(builds) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 8 * 50 - 1
+
+    def test_eviction_order_preserved_under_concurrent_churn(self):
+        cache = BuildCache(maxsize=4)
+        start = threading.Barrier(4)
+        errors = []
+
+        def worker(tid):
+            start.wait()
+            try:
+                for i in range(100):
+                    key = f"k{(tid * 7 + i) % 10}"
+                    net = cache.get_or_build(key, lambda: build_chain(2))
+                    assert net.n_neurons == 2
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["entries"] <= 4
+        assert stats["evictions"] == stats["misses"] - stats["entries"]
+        # LRU invariant still holds serially after the churn: a fresh run of
+        # 4 keys leaves exactly those 4 resident, oldest evicted first
+        for key in ("a", "b", "c", "d"):
+            cache.get_or_build(key, lambda: build_chain(2))
+        hits_before = cache.stats()["hits"]
+        for key in ("a", "b", "c", "d"):
+            cache.get_or_build(key, lambda: build_chain(2))
+        assert cache.stats()["hits"] == hits_before + 4
+        cache.get_or_build("e", lambda: build_chain(2))  # evicts "a"
+        misses_before = cache.stats()["misses"]
+        cache.get_or_build("a", lambda: build_chain(2))
+        assert cache.stats()["misses"] == misses_before + 1
+
+    def test_clear_while_batched_queries_run(self):
+        """clear() racing simulate_batch-driven lookups never corrupts."""
+        g = gnp_graph(12, 0.3, max_length=5, seed=2, ensure_source_reaches=True)
+        srv = QueryServer(workers=2, max_batch=4, linger_s=0.001)
+        srv.register_graph("g", g)
+        stop = threading.Event()
+        errors = []
+
+        def clearer():
+            while not stop.is_set():
+                default_build_cache.clear()
+
+        with srv:
+            cli = ServiceClient(srv)
+            t = threading.Thread(target=clearer)
+            t.start()
+            try:
+                expected = None
+                for round_ in range(10):
+                    tickets = [cli.submit_sssp("g", s) for s in range(6)]
+                    results = [tk.result(30) for tk in tickets]
+                    for r in results:
+                        if not r.ok:
+                            errors.append(r.error)
+                    dists = np.stack([r.dist for r in results])
+                    if expected is None:
+                        expected = dists
+                    elif not np.array_equal(dists, expected):
+                        errors.append(f"round {round_} diverged")
+            finally:
+                stop.set()
+                t.join()
+        assert not errors
+
+    def test_concurrent_simulate_batch_through_default_cache(self):
+        """Raw batched runs from many threads agree and stay consistent."""
+        from repro.algorithms.sssp_pseudo import sssp_plan
+
+        g = gnp_graph(15, 0.3, max_length=6, seed=8, ensure_source_reaches=True)
+        plan = sssp_plan(g, 0)
+        kw = dict(max_steps=plan.max_steps, terminal=plan.terminal,
+                  watch=list(plan.watch) if plan.watch else None)
+        reference = simulate_batch(plan.net, [list(plan.stimulus)] * 3, **kw)
+        errors = []
+        start = threading.Barrier(6)
+
+        def worker():
+            start.wait()
+            for _ in range(5):
+                p = sssp_plan(g, 0)  # build-cache round trip
+                out = simulate_batch(p.net, [list(p.stimulus)] * 3, **kw)
+                for r0, r1 in zip(out, reference):
+                    if not np.array_equal(r0.first_spike, r1.first_spike):
+                        errors.append("diverged")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestTTLResultCacheConcurrent:
+    def test_concurrent_put_get_clear(self):
+        cache = TTLResultCache(maxsize=16, ttl_s=100.0)
+        errors = []
+        start = threading.Barrier(6)
+
+        def worker(tid):
+            start.wait()
+            try:
+                for i in range(200):
+                    key = (tid, i % 20)
+                    cache.put(key, i)
+                    got = cache.get(key)
+                    assert got is None or isinstance(got, int)
+                    if i % 50 == 0:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 6 * 200

@@ -176,3 +176,129 @@ class TestDimacsFormat:
         assert text.splitlines()[1].startswith("p sp 15")
         assert main(["sssp", str(out), "--source", "0"]) == 0
         assert "sssp_pseudo" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_sssp_json(self, graph_file, capsys):
+        import json
+
+        assert main(["sssp", str(graph_file), "--source", "0", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # exactly one JSON document, no banner
+        assert doc["command"] == "sssp"
+        assert doc["graph"]["n"] == 20
+        assert len(doc["dist"]) == 20
+        assert doc["cost"]["algorithm"] == "sssp_pseudo"
+
+    def test_sssp_json_with_target(self, graph_file, capsys):
+        import json
+
+        assert main(
+            ["sssp", str(graph_file), "--source", "0", "--target", "3", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "distance_to_target" in doc
+
+    def test_khop_json(self, graph_file, capsys):
+        import json
+
+        assert main(
+            ["khop", str(graph_file), "--source", "0", "--k", "3", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["k"] == 3 and doc["command"] == "khop"
+
+    def test_approx_json(self, graph_file, capsys):
+        import json
+
+        assert main(
+            ["approx", str(graph_file), "--source", "0", "--k", "3", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["epsilon"] > 0
+
+    def test_compare_json(self, graph_file, capsys):
+        import json
+
+        assert main(["compare", str(graph_file), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["rows"]) >= {"sssp_ram", "sssp_neuro", "khop_distance"}
+
+
+class TestServe:
+    def test_serve_jsonl_round_trip(self, graph_file, tmp_path, capsys):
+        import json
+
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            "\n".join(
+                [
+                    json.dumps({"kind": "sssp", "graph_id": "g", "source": 0}),
+                    json.dumps({"kind": "khop", "graph_id": "g", "source": 1, "k": 2}),
+                    json.dumps({"kind": "apsp", "graph_id": "g", "sources": [0, 1]}),
+                    "# a comment line, skipped",
+                    "",
+                ]
+            )
+        )
+        rc = main([
+            "serve", f"g={graph_file}", "--requests", str(reqs), "--max-batch", "4"
+        ])
+        assert rc == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+        docs = [json.loads(ln) for ln in lines]
+        assert len(docs) == 3
+        assert all(d["status"] == "ok" for d in docs)
+        assert docs[0]["kind"] == "sssp" and len(docs[0]["dist"]) == 20
+        assert docs[2]["kind"] == "apsp" and len(docs[2]["matrix"]) == 2
+
+    def test_serve_rejects_bad_lines_with_exit_1(self, graph_file, tmp_path, capsys):
+        import json
+
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            json.dumps({"kind": "sssp", "graph_id": "g", "source": 0})
+            + "\n"
+            + json.dumps({"kind": "sssp", "graph_id": "missing", "source": 0})
+            + "\n"
+        )
+        rc = main(["serve", f"g={graph_file}", "--requests", str(reqs)])
+        assert rc == 1
+        docs = [json.loads(ln) for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+        assert docs[0]["status"] == "ok"
+        assert docs[1]["status"] == "rejected" and "missing" in docs[1]["error"]
+
+
+class TestLoadgen:
+    def test_loadgen_writes_bench_artifact(self, graph_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_serving.json"
+        rc = main([
+            "loadgen", f"g={graph_file}",
+            "--requests", "16", "--clients", "2", "--depth", "4",
+            "--max-batch", "8", "--linger-ms", "5", "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "speedup" in text and "0 mismatches" in text
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.serving.bench/v1"
+        assert doc["serving"]["ok"] == 16
+        assert doc["serving"]["errors"] == 0
+        assert doc["equality"]["mismatches"] == 0
+        assert doc["naive"]["throughput_rps"] > 0
+
+    def test_loadgen_skip_naive(self, graph_file, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        rc = main([
+            "loadgen", f"g={graph_file}",
+            "--requests", "8", "--clients", "2", "--depth", "2",
+            "--skip-naive", "--no-verify", "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["naive"] is None and doc["speedup"] is None
+        assert doc["equality"]["checked"] is False

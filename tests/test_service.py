@@ -1,0 +1,519 @@
+"""Tests of the serving layer: schema, queue, caches, server, loadgen.
+
+The load-bearing assertions are the differential ones: every answer a
+:class:`~repro.service.server.QueryServer` returns — including under
+composed fault models — must be byte-identical to a direct solo
+``simulate()`` run of the same query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder
+from repro.core.transient import SpikeDrop, SpuriousSpikes, WeightDrift, compose
+from repro.core.watchdog import Watchdog
+from repro.errors import ReproError, ServiceOverloadedError, ValidationError
+from repro.service import (
+    CoalescingQueue,
+    QueryRequest,
+    QueryServer,
+    QueryStatus,
+    ServiceClient,
+    TTLResultCache,
+    execute_solo,
+    fault_from_spec,
+    generate_requests,
+    plan_request,
+    request_from_dict,
+    results_equal,
+    run_loadgen,
+)
+from repro.workloads import gnp_graph, grid_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(20, 0.25, max_length=7, seed=11, ensure_source_reaches=True)
+
+
+def make_server(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("linger_s", 0.005)
+    return QueryServer(**kw)
+
+
+# ----------------------------------------------------------------- schema #
+
+
+class TestSchema:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="mst", graph_id="g")
+
+    def test_sssp_requires_source(self):
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="sssp", graph_id="g")
+
+    def test_khop_requires_nonnegative_k(self):
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="khop", graph_id="g", source=0, k=-1)
+
+    def test_apsp_requires_sources(self):
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="apsp", graph_id="g", sources=())
+
+    def test_circuit_requires_inputs(self):
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="circuit", graph_id="c")
+
+    def test_bad_engine_and_deadline(self):
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="sssp", graph_id="g", source=0, engine="gpu")
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="sssp", graph_id="g", source=0, deadline_s=0)
+
+    def test_request_ids_unique(self):
+        a = QueryRequest(kind="sssp", graph_id="g", source=0)
+        b = QueryRequest(kind="sssp", graph_id="g", source=0)
+        assert a.request_id != b.request_id
+
+    def test_from_dict_round_trip(self):
+        req = request_from_dict(
+            {"kind": "khop", "graph_id": "g", "source": 3, "k": 2, "deadline_s": 1.5}
+        )
+        assert (req.kind, req.source, req.k, req.deadline_s) == ("khop", 3, 2, 1.5)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError):
+            request_from_dict({"kind": "sssp", "graph_id": "g", "source": 0, "bogus": 1})
+
+    def test_fault_from_spec_composes(self):
+        f = fault_from_spec({"drop_p": 0.1, "spurious_rate": 0.01, "seed": 3})
+        assert f is not None and f.fingerprint() is not None
+        assert fault_from_spec({}) is None
+        with pytest.raises(ValidationError):
+            fault_from_spec({"meteor_strike": 1.0})
+
+    def test_cache_params_none_for_uncacheable(self):
+        assert QueryRequest(
+            kind="sssp", graph_id="g", source=0, record_spikes=True
+        ).cache_params() is None
+        assert QueryRequest(
+            kind="sssp", graph_id="g", source=0, watchdog=Watchdog(window=8)
+        ).cache_params() is None
+        cacheable = QueryRequest(
+            kind="sssp", graph_id="g", source=0, faults=SpikeDrop(0.1, seed=1)
+        )
+        assert cacheable.cache_params() is not None
+
+    def test_cache_params_distinguish_queries(self):
+        a = QueryRequest(kind="sssp", graph_id="g", source=0).cache_params()
+        b = QueryRequest(kind="sssp", graph_id="g", source=1).cache_params()
+        c = QueryRequest(kind="sssp", graph_id="g", source=0, target=1).cache_params()
+        assert len({a, b, c}) == 3
+
+
+# ------------------------------------------------------------------ queue #
+
+
+class FakeTicket:
+    def __init__(self, n_items=1, deadline=None):
+        self.n_items = n_items
+        self.deadline = deadline
+
+    def expired(self, now):
+        return self.deadline is not None and now >= self.deadline
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCoalescingQueue:
+    def test_releases_full_batch_immediately(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=3, linger_s=10.0, clock=clock)
+        for _ in range(3):
+            q.offer(("k",), FakeTicket())
+        batch = q.next_batch()
+        assert len(batch.tickets) == 3 and q.depth() == 0
+
+    def test_linger_releases_partial_batch(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=8, linger_s=1.0, clock=clock)
+        q.offer(("k",), FakeTicket())
+        clock.t = 1.5  # oldest has lingered past the bound
+        batch = q.next_batch()
+        assert len(batch.tickets) == 1
+
+    def test_groups_by_key(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=2, linger_s=10.0, clock=clock)
+        q.offer(("a",), FakeTicket())
+        q.offer(("b",), FakeTicket())
+        q.offer(("a",), FakeTicket())
+        batch = q.next_batch()
+        assert batch.key == ("a",) and len(batch.tickets) == 2
+
+    def test_never_splits_a_ticket(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=4, linger_s=0.0, clock=clock)
+        q.offer(("k",), FakeTicket(n_items=3))
+        q.offer(("k",), FakeTicket(n_items=3))
+        first = q.next_batch()
+        assert [t.n_items for t in first.tickets] == [3]
+        second = q.next_batch()
+        assert [t.n_items for t in second.tickets] == [3]
+
+    def test_oversized_ticket_dispatches_alone(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=2, linger_s=0.0, clock=clock)
+        q.offer(("k",), FakeTicket(n_items=5))
+        assert q.next_batch().n_items == 5
+
+    def test_backpressure_rejects_with_retry_hint(self):
+        q = CoalescingQueue(limit_items=2, linger_s=0.5, clock=FakeClock())
+        q.offer(("k",), FakeTicket())
+        q.offer(("k",), FakeTicket())
+        with pytest.raises(ServiceOverloadedError) as exc:
+            q.offer(("k",), FakeTicket())
+        assert exc.value.retry_after_s > 0 and exc.value.queue_depth == 2
+
+    def test_deadline_expired_tickets_are_separated(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=8, linger_s=5.0, clock=clock)
+        q.offer(("k",), FakeTicket(deadline=1.0))
+        q.offer(("k",), FakeTicket(deadline=100.0))
+        clock.t = 2.0  # first deadline passed; also forces release
+        batch = q.next_batch()
+        assert len(batch.expired) == 1 and len(batch.tickets) == 1
+
+    def test_close_drains_and_rejects(self):
+        clock = FakeClock()
+        q = CoalescingQueue(max_batch=8, linger_s=10.0, clock=clock)
+        q.offer(("k",), FakeTicket())
+        q.close()
+        assert len(q.next_batch().tickets) == 1
+        assert q.next_batch() is None
+        with pytest.raises(ServiceOverloadedError):
+            q.offer(("k",), FakeTicket())
+
+
+# ----------------------------------------------------------- result cache #
+
+
+class TestTTLResultCache:
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        c = TTLResultCache(maxsize=4, ttl_s=10.0, clock=clock)
+        c.put(("a",), 1)
+        assert c.get(("a",)) == 1
+        clock.t = 11.0
+        assert c.get(("a",)) is None
+        assert c.stats()["expirations"] == 1
+
+    def test_lru_eviction_order(self):
+        clock = FakeClock()
+        c = TTLResultCache(maxsize=2, ttl_s=100.0, clock=clock)
+        c.put(("a",), 1)
+        c.put(("b",), 2)
+        assert c.get(("a",)) == 1  # refresh a -> b is now LRU
+        c.put(("c",), 3)
+        assert c.get(("b",)) is None and c.get(("a",)) == 1 and c.get(("c",)) == 3
+        assert c.stats()["evictions"] == 1
+
+    def test_clear(self):
+        c = TTLResultCache(maxsize=4, ttl_s=100.0, clock=FakeClock())
+        c.put(("a",), 1)
+        c.clear()
+        assert len(c) == 0 and c.get(("a",)) is None
+
+
+# ------------------------------------------------------------- server e2e #
+
+
+class TestQueryServer:
+    def test_requires_start(self, graph):
+        srv = make_server()
+        srv.register_graph("g", graph)
+        with pytest.raises(ReproError):
+            srv.submit(QueryRequest(kind="sssp", graph_id="g", source=0))
+
+    def test_unknown_graph_raises_synchronously(self, graph):
+        with make_server() as srv:
+            with pytest.raises(ValidationError):
+                srv.submit(QueryRequest(kind="sssp", graph_id="nope", source=0))
+
+    def test_out_of_range_source_raises_synchronously(self, graph):
+        srv = make_server()
+        srv.register_graph("g", graph)
+        with srv:
+            with pytest.raises(ValidationError):
+                srv.submit(QueryRequest(kind="sssp", graph_id="g", source=999))
+
+    def test_coalesced_burst_matches_solo(self, graph):
+        srv = make_server(result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            tickets = [cli.submit_sssp("g", s) for s in range(graph.n)]
+            results = [t.result(60) for t in tickets]
+        assert all(r.ok for r in results)
+        assert any(r.batch_size > 1 for r in results), "nothing coalesced"
+        for s, r in enumerate(results):
+            solo = execute_solo(
+                plan_request(
+                    QueryRequest(kind="sssp", graph_id="g", source=s), {"g": graph}, {}
+                )
+            )
+            assert np.array_equal(r.dist, solo["dist"])
+            assert r.cost.total_time == solo["cost"].total_time
+        stats = srv.stats()
+        counters = stats["metrics"]["counters"]
+        assert counters["service.batches.coalesced"] >= 1
+        assert counters["service.requests.completed"] == graph.n
+
+    def test_khop_and_apsp_match_solo(self, graph):
+        srv = make_server(result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            rk = cli.khop("g", 0, 3)
+            ra = cli.apsp("g", [0, 1, 2])
+        solo_k = execute_solo(
+            plan_request(
+                QueryRequest(kind="khop", graph_id="g", source=0, k=3), {"g": graph}, {}
+            )
+        )
+        solo_a = execute_solo(
+            plan_request(
+                QueryRequest(kind="apsp", graph_id="g", sources=(0, 1, 2)),
+                {"g": graph},
+                {},
+            )
+        )
+        assert np.array_equal(rk.dist, solo_k["dist"])
+        assert np.array_equal(ra.matrix, solo_a["matrix"])
+        assert ra.matrix.shape == (3, graph.n)
+
+    def test_served_identical_under_composed_faults(self, graph):
+        """The differential guarantee: byte-identical results with faults on."""
+
+        def faults():
+            return compose(
+                SpikeDrop(0.08, seed=5),
+                SpuriousSpikes(0.02, seed=6),
+                WeightDrift(0.05, seed=7),
+            )
+
+        srv = make_server(result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            tickets = [
+                cli.submit_sssp("g", s, faults=faults(), record_spikes=True)
+                for s in range(6)
+            ]
+            results = [t.result(60) for t in tickets]
+        for s, r in enumerate(results):
+            solo = execute_solo(
+                plan_request(
+                    QueryRequest(
+                        kind="sssp",
+                        graph_id="g",
+                        source=s,
+                        faults=faults(),
+                        record_spikes=True,
+                    ),
+                    {"g": graph},
+                    {},
+                )
+            )
+            assert np.array_equal(r.dist, solo["dist"])
+            # raster-level identity, tick by tick
+            for r0, r1 in zip(r.sims, solo["sims"]):
+                assert r0.final_tick == r1.final_tick
+                assert np.array_equal(r0.first_spike, r1.first_spike)
+                assert np.array_equal(r0.spike_counts, r1.spike_counts)
+                assert sorted(r0.spike_events) == sorted(r1.spike_events)
+                for t in r0.spike_events:
+                    assert np.array_equal(r0.spike_events[t], r1.spike_events[t])
+
+    def test_circuit_queries(self):
+        b = CircuitBuilder()
+        (x,) = b.input_bits("x", 1)
+        (y,) = b.input_bits("y", 1)
+        b.output_bits("o", [b.and_gate([x, y])])
+        srv = make_server()
+        srv.register_circuit("c", b)
+        with srv:
+            cli = ServiceClient(srv)
+            for xv, yv, want in [(0, 0, 0), (1, 0, 0), (1, 1, 1)]:
+                r = cli.circuit("c", {"x": xv, "y": yv})
+                assert r.ok, r.error
+                assert r.outputs["o"] == want
+
+    def test_deadline_timeout_in_queue(self, graph):
+        # single worker occupied by a long linger window; deadline shorter
+        srv = QueryServer(
+            workers=1, max_batch=64, linger_s=0.5, result_cache_size=0
+        )
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            t = cli.submit_sssp("g", 0, deadline_s=0.02)
+            r = t.result(30)
+        assert r.status is QueryStatus.TIMEOUT
+        assert "deadline" in r.error
+
+    def test_backpressure_surfaces_from_submit(self, graph):
+        srv = QueryServer(
+            workers=1, max_batch=64, linger_s=10.0, queue_limit=2, result_cache_size=0
+        )
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            cli.submit_sssp("g", 0)
+            cli.submit_sssp("g", 1)
+            with pytest.raises(ServiceOverloadedError) as exc:
+                cli.submit_sssp("g", 2)
+            assert exc.value.retry_after_s > 0
+        assert srv.stats()["metrics"]["counters"]["service.requests.rejected"] == 1
+
+    def test_result_cache_hit(self, graph):
+        srv = make_server(result_cache_size=32)
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            first = cli.sssp("g", 4)
+            second = cli.sssp("g", 4)
+        assert not first.cached and second.cached
+        assert np.array_equal(first.dist, second.dist)
+        assert second.request_id != first.request_id
+        stats = srv.stats()
+        assert stats["result_cache"]["hits"] == 1
+
+    def test_record_spikes_bypasses_result_cache(self, graph):
+        srv = make_server(result_cache_size=32)
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(srv)
+            a = cli.sssp("g", 4, record_spikes=True)
+            b = cli.sssp("g", 4, record_spikes=True)
+        assert not a.cached and not b.cached
+        assert a.sims[0].spike_events is not None
+
+    def test_stats_exposes_build_cache_and_queue(self, graph):
+        srv = make_server()
+        srv.register_graph("g", graph)
+        with srv:
+            ServiceClient(srv).sssp("g", 0)
+            stats = srv.stats()
+        assert "entries" in stats["build_cache"]
+        assert stats["queue_depth"] == 0
+        assert stats["graphs"] == ["g"]
+        timers = stats["metrics"]["timers"]
+        assert "service.latency.total" in timers
+        assert "service.latency.queue" in timers
+
+    def test_watchdog_request_served(self, graph):
+        srv = make_server(result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            r = ServiceClient(srv).sssp("g", 0, watchdog=Watchdog(window=64))
+        assert r.ok
+        solo = execute_solo(
+            plan_request(
+                QueryRequest(
+                    kind="sssp", graph_id="g", source=0, watchdog=Watchdog(window=64)
+                ),
+                {"g": graph},
+                {},
+            )
+        )
+        assert np.array_equal(r.dist, solo["dist"])
+
+    def test_submit_after_stop_rejected(self, graph):
+        srv = make_server()
+        srv.register_graph("g", graph)
+        srv.start()
+        srv.stop()
+        with pytest.raises(ReproError):
+            srv.submit(QueryRequest(kind="sssp", graph_id="g", source=0))
+
+    def test_stop_drains_pending_work(self, graph):
+        srv = QueryServer(workers=1, max_batch=64, linger_s=5.0, result_cache_size=0)
+        srv.register_graph("g", graph)
+        srv.start()
+        cli = ServiceClient(srv)
+        tickets = [cli.submit_sssp("g", s) for s in range(4)]
+        srv.stop()  # close() drops the linger; batch must still be served
+        for t in tickets:
+            assert t.result(10).ok
+
+
+# ---------------------------------------------------------------- loadgen #
+
+
+class TestLoadgen:
+    def test_generate_requests_deterministic(self, graph):
+        a = generate_requests({"g": graph}, 30, seed=9)
+        b = generate_requests({"g": graph}, 30, seed=9)
+        assert [(r.kind, r.source, r.k, r.sources) for r in a] == [
+            (r.kind, r.source, r.k, r.sources) for r in b
+        ]
+        assert {r.kind for r in a} <= {"sssp", "khop", "apsp"}
+
+    def test_generate_requests_validates(self, graph):
+        with pytest.raises(ValidationError):
+            generate_requests({}, 5)
+        with pytest.raises(ValidationError):
+            generate_requests({"g": graph}, 5, mix={"mst": 1.0})
+
+    def test_run_loadgen_end_to_end(self, graph):
+        small = grid_graph(4, 4, max_length=5, seed=3)
+        report = run_loadgen(
+            {"g": graph, "grid": small},
+            n_requests=24,
+            clients=3,
+            depth=4,
+            workers=1,
+            max_batch=8,
+            linger_s=0.005,
+            seed=1,
+        )
+        assert report["schema"] == "repro.serving.bench/v1"
+        s = report["serving"]
+        assert s["ok"] == 24 and s["errors"] == 0
+        assert s["batches"] >= 1
+        assert report["equality"]["mismatches"] == 0
+        assert report["naive"]["throughput_rps"] > 0
+        assert report["speedup"] is not None
+
+    def test_results_equal_detects_divergence(self, graph):
+        req = QueryRequest(kind="sssp", graph_id="g", source=0)
+        solo = execute_solo(plan_request(req, {"g": graph}, {}))
+        from repro.service.schema import QueryResult
+
+        ok = QueryResult(
+            request_id="x",
+            kind="sssp",
+            status=QueryStatus.OK,
+            dist=solo["dist"],
+            cost=solo["cost"],
+            sims=solo["sims"],
+        )
+        assert results_equal(ok, solo)
+        bad = QueryResult(
+            request_id="x",
+            kind="sssp",
+            status=QueryStatus.OK,
+            dist=solo["dist"] + 1,
+            cost=solo["cost"],
+        )
+        assert not results_equal(bad, solo)
