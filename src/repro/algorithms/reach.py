@@ -134,13 +134,24 @@ def spiking_khop_reach(
     faults: Optional[FaultModel] = None,
     hooks: Optional[EngineHooks] = None,
     record_spikes: bool = False,
+    verify: bool = False,
 ) -> ShortestPathResult:
     """Hop distances within ``k`` hops of ``source`` (−1 beyond the bound).
 
     ``dist[v]`` is the minimum number of edges on any source-to-``v`` path
     when that minimum is at most ``k``, else ``UNREACHABLE``.
+    ``verify=True`` lints the compiled network first and raises
+    :class:`~repro.errors.StaticCheckError` on structural violations.
     """
     plan = khop_reach_plan(graph, source, k)
+    if verify:
+        from repro.staticcheck.rules import lint_network
+
+        lint_network(
+            plan.net.compile(),
+            subject=f"khop_reach(n={graph.n}, source={source}, k={k})",
+            entries=plan.stimulus,
+        ).raise_if_errors()
     with timer("phase.simulate"):
         result = simulate(
             plan.net,

@@ -190,6 +190,7 @@ def spiking_sssp_pseudo(
     faults: Optional[FaultModel] = None,
     hooks: Optional[EngineHooks] = None,
     record_spikes: bool = False,
+    verify: bool = False,
 ) -> ShortestPathResult:
     """Single-source shortest paths by delay-encoded spike propagation.
 
@@ -208,6 +209,9 @@ def spiking_sssp_pseudo(
     :func:`sssp_plan` and the result decoding from :func:`sssp_decode` —
     the same pair the :mod:`repro.service` coalescing adapters use, which
     is what makes served results identical to this solo driver.
+    ``verify=True`` lints the compiled network first (entry point = the
+    stimulated source neuron) and raises
+    :class:`~repro.errors.StaticCheckError` on structural violations.
     """
     plan = sssp_plan(
         graph,
@@ -216,6 +220,14 @@ def spiking_sssp_pseudo(
         use_gadgets=use_gadgets,
         max_length_hint=max_length_hint,
     )
+    if verify:
+        from repro.staticcheck.rules import lint_network
+
+        lint_network(
+            plan.net.compile(),
+            subject=f"sssp_pseudo(n={graph.n}, source={source})",
+            entries=plan.stimulus,
+        ).raise_if_errors()
     with timer("phase.simulate"):
         result = simulate(
             plan.net,

@@ -81,6 +81,19 @@ class CircuitBuilder:
         offsets = [s.offset for grp in self.output_groups.values() for s in grp]
         return max(offsets, default=0)
 
+    def lint(self, *, subject: Optional[str] = None):
+        """Run the :mod:`repro.staticcheck` linter over this circuit.
+
+        Standalone builder products are feed-forward threshold circuits by
+        construction, so the cycle rule is armed and the declared input
+        groups (including the run line) are the entry points.  Returns a
+        :class:`~repro.staticcheck.diagnostics.LintReport`; chain
+        ``.raise_if_errors()`` to use it as a gate.
+        """
+        from repro.staticcheck.rules import lint_circuit
+
+        return lint_circuit(self, subject=subject or f"circuit({self.prefix or 'anon'})")
+
     # ------------------------------------------------------------------ #
     # inputs
     # ------------------------------------------------------------------ #

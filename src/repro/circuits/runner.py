@@ -47,15 +47,20 @@ def run_circuit(
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
     hooks: Optional[EngineHooks] = None,
+    verify: bool = False,
 ) -> Dict[str, int]:
     """Run one input wave; returns ``{output_group: integer value}``.
 
     ``faults`` / ``watchdog`` / ``hooks`` are forwarded to the engine — used
     by the degradation sweeps, the TMR fault-recovery demonstrations, and
-    the telemetry trace recorder.
+    the telemetry trace recorder.  ``verify=True`` runs the
+    :mod:`repro.staticcheck` linter over the compiled circuit first and
+    raises :class:`~repro.errors.StaticCheckError` on any error-severity
+    finding instead of simulating a structurally broken network.
     """
     return run_circuit_waves(
-        builder, [inputs], faults=faults, watchdog=watchdog, hooks=hooks
+        builder, [inputs], faults=faults, watchdog=watchdog, hooks=hooks,
+        verify=verify,
     )[0]
 
 
@@ -66,13 +71,17 @@ def run_circuit_waves(
     faults: Optional[FaultModel] = None,
     watchdog: Optional[Watchdog] = None,
     hooks: Optional[EngineHooks] = None,
+    verify: bool = False,
 ) -> List[Dict[str, int]]:
     """Run several pipelined waves, one presented per consecutive tick.
 
     Demonstrates the pipelining property of ``tau = 1`` circuits: results of
     wave ``w`` appear exactly ``depth`` ticks after its presentation,
-    independent of the other in-flight waves.
+    independent of the other in-flight waves.  See :func:`run_circuit` for
+    ``verify``.
     """
+    if verify:
+        builder.lint().raise_if_errors()
     with timer("phase.simulate"):
         result = simulate_dense(
             builder.net,

@@ -187,6 +187,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="write a Chrome trace_event JSON here"
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: lint networks and certify theorem budgets",
+    )
+    lint.add_argument(
+        "graphs",
+        nargs="*",
+        help="edge-list files to lint as compiled Section-3 / k-hop networks",
+    )
+    lint.add_argument(
+        "--golden",
+        default=None,
+        help="directory of golden fixtures whose embedded graphs to lint",
+    )
+    lint.add_argument("--k", type=int, default=4, help="k for k-hop certification")
+    lint.add_argument(
+        "--json", action="store_true", help="emit one JSON document (for CI)"
+    )
+    lint.add_argument("--out", default=None, help="also write the JSON report here")
+    lint.add_argument(
+        "--no-circuits",
+        action="store_true",
+        help="skip the circuit-library certification grid",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve JSONL graph queries with micro-batch coalescing",
@@ -337,6 +362,20 @@ def _cmd_profile(args) -> int:
         f"{bc['misses']} misses, {bc['evictions']} evictions"
     )
 
+    # lint the network the profiled algorithm just compiled (a build-cache
+    # hit), so structural health appears next to the cache stats it explains
+    if args.algorithm == "sssp":
+        from repro.algorithms.sssp_pseudo import sssp_network
+        from repro.staticcheck import lint_network
+
+        net, node_ids = sssp_network(g)
+        lint = lint_network(
+            net.compile(),
+            subject="sssp network",
+            entries=[node_ids[args.source]],
+        )
+        print(lint.summary())
+
     # DISTANCE-model comparison: data-movement cost of the conventional
     # baseline vs the neuromorphic totals (native and embedding-charged)
     if args.algorithm in ("khop", "khop_poly", "approx"):
@@ -361,6 +400,86 @@ def _cmd_profile(args) -> int:
         print("warning: measured counters disagree with the cost report")
         return 1
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """``repro lint``: structural lint + theorem-budget certification.
+
+    Certifies the whole circuit library against the paper's resource
+    budgets, then lints and certifies the compiled Section-3 SSSP (both
+    one-shot constructions) and unit-delay k-hop networks of every given
+    graph — edge-list files and/or the graphs embedded in golden
+    fixtures.  Exit status 1 on any error-severity diagnostic or budget
+    violation, which is what makes it a CI gate.
+    """
+    import json
+    import os
+
+    from repro.staticcheck import (
+        CertificationReport,
+        certify_khop,
+        certify_library,
+        certify_sssp,
+    )
+    from repro.workloads.graph import WeightedDigraph
+
+    report = CertificationReport()
+    if not args.no_circuits:
+        lib = certify_library()
+        report.entries.extend(lib.entries)
+        report.lint_reports.extend(lib.lint_reports)
+
+    named_graphs: List = []
+    for path in args.graphs:
+        named_graphs.append((path, _read_graph(path)))
+    if args.golden:
+        for name in sorted(os.listdir(args.golden)):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(args.golden, name), encoding="utf-8") as fh:
+                doc = json.load(fh)
+            gspec = doc.get("graph")
+            if not isinstance(gspec, dict) or "edges" not in gspec:
+                continue
+            g = WeightedDigraph(
+                int(gspec["n"]), [tuple(e) for e in gspec["edges"]]
+            )
+            named_graphs.append((f"{args.golden}/{name}", g))
+
+    for label, g in named_graphs:
+        for use_gadgets in (False, True):
+            entry, lint = certify_sssp(g, use_gadgets=use_gadgets)
+            entry = _relabel_entry(entry, f"{entry.kind}[{label}]")
+            report.entries.append(entry)
+            report.lint_reports.append(lint)
+        entry, lint = certify_khop(g, args.k)
+        entry = _relabel_entry(entry, f"{entry.kind}[{label}]")
+        report.entries.append(entry)
+        report.lint_reports.append(lint)
+
+    doc = report.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(doc))
+    else:
+        print(report.render())
+        bad_lints = [r for r in report.lint_reports if not r.ok]
+        for r in bad_lints:
+            print()
+            print(r.render())
+        if args.out:
+            print(f"wrote certification report to {args.out}")
+    return 0 if report.ok else 1
+
+
+def _relabel_entry(entry, kind: str):
+    """Return ``entry`` with its ``kind`` replaced (frozen dataclass copy)."""
+    import dataclasses
+
+    return dataclasses.replace(entry, kind=kind)
 
 
 def _parse_resident_graphs(specs: List[str]) -> dict:
@@ -511,6 +630,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "profile":
         return _cmd_profile(args)
+
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     if args.command == "serve":
         return _cmd_serve(args)

@@ -34,6 +34,7 @@ conventions coincide exactly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ValidationError
@@ -84,6 +85,12 @@ class NeuronParams:
     one_shot: bool = False
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.v_reset):
+            raise ValidationError(f"v_reset must be finite, got {self.v_reset}")
+        if not math.isfinite(self.v_threshold):
+            raise ValidationError(
+                f"v_threshold must be finite, got {self.v_threshold}"
+            )
         if not (0.0 <= self.tau <= 1.0):
             raise ValidationError(f"tau must lie in [0, 1], got {self.tau}")
 

@@ -9,6 +9,7 @@ Python objects, per the vectorization guidance in the HPC notes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -119,10 +120,12 @@ class Network:
         delay: int = DEFAULT_DELTA,
     ) -> None:
         """Add a directed synapse.  Delay must be an integer ``>= 1``."""
-        if int(delay) != delay or delay < DEFAULT_DELTA:
+        if not math.isfinite(delay) or int(delay) != delay or delay < DEFAULT_DELTA:
             raise ValidationError(
                 f"synapse delay must be an integer >= {DEFAULT_DELTA}, got {delay}"
             )
+        if not math.isfinite(weight):
+            raise ValidationError(f"synapse weight must be finite, got {weight}")
         self._syn_src.append(self.resolve(src))
         self._syn_dst.append(self.resolve(dst))
         self._syn_w.append(float(weight))

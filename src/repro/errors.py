@@ -79,6 +79,23 @@ class ServiceOverloadedError(ReproError, RuntimeError):
         self.queue_depth = int(queue_depth)
 
 
+class StaticCheckError(ReproError, ValueError):
+    """A static-analysis gate rejected a network before simulation.
+
+    Raised by the opt-in ``verify=True`` hooks of the circuit runner and
+    the algorithm drivers, and by
+    :meth:`repro.staticcheck.diagnostics.LintReport.raise_if_errors`, when
+    the :mod:`repro.staticcheck` linter finds error-severity structural
+    violations (paper Definitions 1-3 or engine assumptions).  The full
+    :class:`~repro.staticcheck.diagnostics.LintReport` is attached as
+    :attr:`report`.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report
+
+
 class CircuitError(ReproError, ValueError):
     """A circuit construction received inconsistent wiring or widths."""
 

@@ -117,6 +117,13 @@ class QueryServer:
     result_cache_size / result_cache_ttl_s:
         TTL-LRU result cache dimensions; ``result_cache_size=0`` disables
         caching entirely (every request simulates).
+    lint_admission:
+        When True (the default), every submit runs the
+        :mod:`repro.staticcheck` linter over the resident network it
+        targets (memoized per resident key) and rejects structurally
+        invalid queries synchronously with a
+        :class:`~repro.errors.StaticCheckError` carrying the full lint
+        report — a diagnostic instead of a watchdog timeout.
     clock:
         Monotonic time source, injectable for deterministic queue tests.
     """
@@ -130,6 +137,7 @@ class QueryServer:
         queue_limit: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl_s: float = 60.0,
+        lint_admission: bool = True,
         clock: Callable[[], float] = time.monotonic,
     ):
         if workers < 1:
@@ -149,6 +157,9 @@ class QueryServer:
         self._graphs: Dict[str, WeightedDigraph] = {}
         self._circuits: Dict[str, Tuple[CircuitBuilder, str]] = {}
         self._resident_keys: Dict[str, Tuple] = {}
+        self._lint_admission = bool(lint_admission)
+        #: (resident key, plan family) -> memoized LintReport
+        self._lint_cache: Dict[Tuple, Any] = {}
         self._epoch = 0
         self.registry = MetricsRegistry("service")
         self._reg_lock = threading.Lock()
@@ -227,9 +238,12 @@ class QueryServer:
         """Plan, cache-check, and enqueue ``request``.
 
         Raises synchronously: :class:`~repro.errors.ValidationError` for a
-        request the resident graph cannot answer and
-        :class:`~repro.errors.ServiceOverloadedError` when the admission
-        queue is full.  Everything downstream (deadline expiry, execution
+        request the resident graph cannot answer,
+        :class:`~repro.errors.StaticCheckError` when admission linting is
+        on and the resident network has error-severity structural
+        violations, and :class:`~repro.errors.ServiceOverloadedError` when
+        the admission queue is full.  Everything downstream (deadline
+        expiry, execution
         failure) is reported through the returned ticket's
         :class:`~repro.service.schema.QueryResult` instead.
         """
@@ -262,6 +276,8 @@ class QueryServer:
                 self.registry.counter_inc("service.cache.result.misses")
 
         plan = plan_request(request, self._graphs, self._circuits)
+        if self._lint_admission:
+            self._check_admission(request, plan)
         deadline = None if request.deadline_s is None else now + request.deadline_s
         ticket = QueryTicket(request, plan, admitted_at=now, deadline=deadline)
         try:
@@ -280,6 +296,40 @@ class QueryServer:
     ) -> QueryResult:
         """Submit and block for the answer (the in-process convenience path)."""
         return self.submit(request).result(timeout)
+
+    def _check_admission(self, request: QueryRequest, plan: RequestPlan) -> None:
+        """Reject requests whose resident network fails the static linter.
+
+        The report is memoized per (resident key, plan family) — one lint
+        per resident graph/circuit, not per request — so the steady-state
+        admission cost is a dict lookup.  Circuit residents are linted as
+        feed-forward circuits (entry points = declared input groups);
+        graph residents are linted structurally only, since any vertex
+        neuron may be stimulated by some future query.
+        """
+        family = plan.batch_key[0]
+        key = (self._resident_keys[request.graph_id], family)
+        report = self._lint_cache.get(key)
+        if report is None:
+            if family == "circuit":
+                builder, _ = self._circuits[request.graph_id]
+                report = builder.lint(subject=f"resident circuit {request.graph_id!r}")
+            else:
+                from repro.staticcheck.rules import lint_network
+
+                net = plan.network
+                net = net.compile() if hasattr(net, "compile") else net
+                report = lint_network(
+                    net, subject=f"resident {request.graph_id!r} ({family})"
+                )
+            self._lint_cache[key] = report
+            with self._reg_lock:
+                self.registry.counter_inc("service.lint.checked")
+        if not report.ok:
+            with self._reg_lock:
+                self.registry.counter_inc("service.requests.rejected")
+                self.registry.counter_inc("service.lint.rejections")
+            report.raise_if_errors()
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -419,6 +469,10 @@ class QueryServer:
             "graphs": self.graph_ids(),
             "circuits": sorted(self._circuits),
             "build_cache": default_build_cache.stats(),
+            "lint": {
+                "enabled": self._lint_admission,
+                "residents": {r.subject: r.ok for r in self._lint_cache.values()},
+            },
         }
         if self._result_cache is not None:
             out["result_cache"] = self._result_cache.stats()

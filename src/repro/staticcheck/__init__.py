@@ -1,0 +1,46 @@
+"""Static analysis over compiled spiking networks (lint + certification).
+
+Three layers, all running *before* any spike is simulated:
+
+1. :mod:`~repro.staticcheck.rules` — a structural linter enforcing the
+   paper's Definitions 1-3 and the engines' assumptions (integer delays
+   ``>= delta``, in-range endpoints, reachable outputs, no cycles in
+   feed-forward circuits, no provably-dead or always-hot neurons).
+2. :mod:`~repro.staticcheck.certifier` — a resource-bound certifier that
+   measures each compiled circuit and algorithm network against the
+   closed-form budgets of Theorems 3.1, 5.1, and 5.2, doubling as a CI
+   size-regression gate.
+3. Integration hooks — ``verify=True`` in the circuit runner and the
+   algorithm drivers, lint-on-admission in :mod:`repro.service`, and the
+   ``repro lint`` CLI.
+"""
+
+from repro.staticcheck.certifier import (
+    DEFAULT_GRID,
+    CertEntry,
+    CertificationReport,
+    ResourceBudget,
+    certify_circuit,
+    certify_khop,
+    certify_library,
+    certify_sssp,
+)
+from repro.staticcheck.diagnostics import Diagnostic, LintReport, Severity
+from repro.staticcheck.rules import RULES, lint_circuit, lint_network
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "RULES",
+    "lint_network",
+    "lint_circuit",
+    "ResourceBudget",
+    "CertEntry",
+    "CertificationReport",
+    "DEFAULT_GRID",
+    "certify_circuit",
+    "certify_library",
+    "certify_sssp",
+    "certify_khop",
+]

@@ -1,0 +1,437 @@
+"""Resource-bound certifier: counted sizes vs. the paper's theorem budgets.
+
+Each circuit family and algorithm network of this repository comes with a
+provable resource bound — Theorem 5.1 (wired-OR max: ``O(d·lambda)``
+neurons, ``O(lambda)`` depth), Theorem 5.2 (brute-force max: constant
+depth), the depth-2 carry-lookahead and constant-depth SiU adders, and
+Theorem 3.1 / Section 3 (SSSP: the graph *is* the network — ``n``
+neurons, ``m`` synapses, runtime at most ``(n-1)·U + 1`` ticks).  The
+certifier *measures* each compiled artifact (neurons, synapses, depth,
+planned runtime) and checks the measurement against a closed-form budget
+derived from those theorems, so a future change that silently inflates a
+compiled circuit fails CI as a budget regression, not as a mystery
+slowdown.
+
+Budgets marked ``exact=True`` are exact closed forms of the current
+constructions (the tests pin them with equality); the others are safe
+caps within the theorem's asymptotic class.  Every certified artifact is
+also run through the :mod:`repro.staticcheck.rules` linter, so one
+certification report doubles as the repo-wide structural gate.
+
+Circuit sizes below *include* the input neurons and (where used) the run
+line, matching ``CircuitBuilder.size``; ``d`` is the number of input
+numbers and ``lambda`` the bit width, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.builder import CircuitBuilder
+from repro.errors import StaticCheckError
+from repro.staticcheck.diagnostics import LintReport
+from repro.staticcheck.rules import lint_circuit, lint_network
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.workloads.graph import WeightedDigraph
+
+#: (theorem label, params -> builder, params -> budget)
+FamilySpec = Tuple[
+    str,
+    Callable[[Dict[str, int]], CircuitBuilder],
+    Callable[[Dict[str, int]], "ResourceBudget"],
+]
+
+__all__ = [
+    "ResourceBudget",
+    "CertEntry",
+    "CertificationReport",
+    "CIRCUIT_FAMILIES",
+    "certify_circuit",
+    "certify_library",
+    "certify_sssp",
+    "certify_khop",
+]
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Upper bounds an artifact must not exceed (``None`` = unchecked)."""
+
+    neurons: Optional[int] = None
+    synapses: Optional[int] = None
+    depth: Optional[int] = None
+    runtime: Optional[int] = None
+    #: True when the neuron/synapse bounds are exact closed forms of the
+    #: current construction (equality is pinned by tests), False for caps.
+    exact: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"exact": self.exact}
+        for key in ("neurons", "synapses", "depth", "runtime"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = int(value)
+        return out
+
+
+@dataclass(frozen=True)
+class CertEntry:
+    """One certified artifact: measurement, budget, verdict."""
+
+    kind: str
+    theorem: str
+    params: Tuple[Tuple[str, int], ...]
+    neurons: int
+    synapses: int
+    depth: Optional[int]
+    runtime: Optional[int]
+    budget: ResourceBudget
+    violations: Tuple[str, ...]
+    lint_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.lint_ok
+
+    def label(self) -> str:
+        ps = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({ps})" if ps else self.kind
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "theorem": self.theorem,
+            "params": dict(self.params),
+            "neurons": self.neurons,
+            "synapses": self.synapses,
+            "budget": self.budget.to_dict(),
+            "ok": self.ok,
+            "lint_ok": self.lint_ok,
+        }
+        if self.depth is not None:
+            out["depth"] = self.depth
+        if self.runtime is not None:
+            out["runtime"] = self.runtime
+        if self.violations:
+            out["violations"] = list(self.violations)
+        return out
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        parts = [f"{self.neurons} neurons", f"{self.synapses} synapses"]
+        if self.depth is not None:
+            parts.append(f"depth {self.depth}")
+        if self.runtime is not None:
+            parts.append(f"runtime {self.runtime}")
+        line = f"{self.label()} [{self.theorem}]: {status} — {', '.join(parts)}"
+        for v in self.violations:
+            line += f"\n    budget violation: {v}"
+        if not self.lint_ok:
+            line += "\n    lint: error-severity diagnostics (see lint report)"
+        return line
+
+
+@dataclass
+class CertificationReport:
+    """Machine-readable certification of the whole circuit library."""
+
+    entries: List[CertEntry] = field(default_factory=list)
+    lint_reports: List[LintReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.entries)
+
+    def raise_if_failed(self) -> "CertificationReport":
+        bad = [e for e in self.entries if not e.ok]
+        if bad:
+            names = ", ".join(e.label() for e in bad[:5])
+            more = f" (+{len(bad) - 5} more)" if len(bad) > 5 else ""
+            raise StaticCheckError(
+                f"resource certification failed for {names}{more}", report=self
+            )
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "entries": [e.to_dict() for e in self.entries],
+            "lint": [r.to_dict() for r in self.lint_reports],
+        }
+
+    def render(self) -> str:
+        head = (
+            f"certification: {'ok' if self.ok else 'FAILED'} — "
+            f"{len(self.entries)} artifacts, "
+            f"{sum(1 for e in self.entries if not e.ok)} failing"
+        )
+        return "\n".join([head] + [f"  {e.render()}" for e in self.entries])
+
+
+# --------------------------------------------------------------------------- #
+# Circuit family registry
+# --------------------------------------------------------------------------- #
+
+
+def _build_max(fn: Callable[..., Any]) -> Callable[[Dict[str, int]], CircuitBuilder]:
+    def build(params: Dict[str, int]) -> CircuitBuilder:
+        d, lam = params["d"], params["lam"]
+        b = CircuitBuilder()
+        nums = [b.input_bits(f"x{i}", lam) for i in range(d)]
+        res = fn(b, nums)
+        b.output_bits("out", res.out_bits)
+        return b
+
+    return build
+
+
+def _build_adder(fn: Callable[..., Any]) -> Callable[[Dict[str, int]], CircuitBuilder]:
+    def build(params: Dict[str, int]) -> CircuitBuilder:
+        lam = params["lam"]
+        b = CircuitBuilder()
+        a = b.input_bits("a", lam)
+        c = b.input_bits("b", lam)
+        out = fn(b, a, c)
+        b.output_bits("out", out)
+        return b
+
+    return build
+
+
+def _build_comparator(params: Dict[str, int]) -> CircuitBuilder:
+    from repro.circuits.comparators import comparator_geq
+
+    lam = params["lam"]
+    b = CircuitBuilder()
+    a = b.input_bits("a", lam)
+    c = b.input_bits("b", lam)
+    out = comparator_geq(b, a, c)
+    b.output_bits("out", [out], aligned=False)
+    return b
+
+
+def _budget_wired_or(p: Dict[str, int]) -> ResourceBudget:
+    d, lam = p["d"], p["lam"]
+    return ResourceBudget(
+        neurons=5 * d * lam + 2 * lam + 1,
+        synapses=10 * d * lam,
+        depth=4 * lam + 2,
+        exact=True,
+    )
+
+
+def _budget_brute_force(p: Dict[str, int]) -> ResourceBudget:
+    d, lam = p["d"], p["lam"]
+    return ResourceBudget(
+        neurons=(2 * d + 1) * lam + d * d + 1,
+        synapses=d * (2 * d + 1) * lam + 3 * d * (d - 1) // 2,
+        depth=4,
+        exact=True,
+    )
+
+
+def _budget_cla(p: Dict[str, int]) -> ResourceBudget:
+    lam = p["lam"]
+    return ResourceBudget(
+        neurons=4 * lam + 1, synapses=lam * lam + 5 * lam, depth=2, exact=True
+    )
+
+
+def _budget_siu(p: Dict[str, int]) -> ResourceBudget:
+    lam = p["lam"]
+    # Neuron count is exact; the synapse count has no clean closed form in
+    # this construction, so certify the O(lambda^2) cap instead.
+    return ResourceBudget(
+        neurons=(lam * lam + 13 * lam + 2) // 2,
+        synapses=4 * lam * lam + 8,
+        depth=4,
+        exact=False,
+    )
+
+
+def _budget_ripple(p: Dict[str, int]) -> ResourceBudget:
+    lam = p["lam"]
+    return ResourceBudget(
+        neurons=5 * lam, synapses=8 * lam - 2, depth=lam + 1, exact=True
+    )
+
+
+def _budget_comparator(p: Dict[str, int]) -> ResourceBudget:
+    lam = p["lam"]
+    return ResourceBudget(neurons=2 * lam + 2, synapses=2 * lam + 1, depth=1, exact=True)
+
+
+def _circuit_families() -> Dict[str, FamilySpec]:
+    from repro.circuits.adders import carry_lookahead_adder, ripple_adder, siu_adder
+    from repro.circuits.max_circuits import brute_force_max, wired_or_max
+
+    return {
+        "wired_or_max": ("Thm 5.1", _build_max(wired_or_max), _budget_wired_or),
+        "brute_force_max": ("Thm 5.2", _build_max(brute_force_max), _budget_brute_force),
+        "carry_lookahead_adder": ("Sec 5, depth-2 adder", _build_adder(carry_lookahead_adder), _budget_cla),
+        "siu_adder": ("Sec 5, SiU adder", _build_adder(siu_adder), _budget_siu),
+        "ripple_adder": ("Sec 5, ripple adder", _build_adder(ripple_adder), _budget_ripple),
+        "comparator_geq": ("Sec 5, comparator", _build_comparator, _budget_comparator),
+    }
+
+
+#: kind -> (theorem label, builder, budget formula).  Populated lazily to
+#: avoid import cycles at package-import time.
+CIRCUIT_FAMILIES: Dict[str, FamilySpec] = {}
+
+
+def _families() -> Dict[str, FamilySpec]:
+    if not CIRCUIT_FAMILIES:
+        CIRCUIT_FAMILIES.update(_circuit_families())
+    return CIRCUIT_FAMILIES
+
+
+def _check_budget(
+    neurons: int,
+    synapses: int,
+    depth: Optional[int],
+    runtime: Optional[int],
+    budget: ResourceBudget,
+) -> Tuple[str, ...]:
+    violations = []
+    for label, measured, cap in (
+        ("neurons", neurons, budget.neurons),
+        ("synapses", synapses, budget.synapses),
+        ("depth", depth, budget.depth),
+        ("runtime", runtime, budget.runtime),
+    ):
+        if cap is not None and measured is not None and measured > cap:
+            violations.append(f"{label} {measured} exceeds budget {cap}")
+    return tuple(violations)
+
+
+def certify_circuit(kind: str, **params: int) -> Tuple[CertEntry, LintReport]:
+    """Build one library circuit, measure it, lint it, check its budget."""
+    families = _families()
+    if kind not in families:
+        raise StaticCheckError(
+            f"unknown circuit kind {kind!r}; known: {sorted(families)}"
+        )
+    theorem, build, budget_fn = families[kind]
+    builder = build(params)
+    budget: ResourceBudget = budget_fn(params)
+    net = builder.net.compile()
+    lint = lint_circuit(builder, subject=f"{kind}({params})")
+    depth = builder.depth
+    entry = CertEntry(
+        kind=kind,
+        theorem=theorem,
+        params=tuple(sorted(params.items())),
+        neurons=builder.size,
+        synapses=net.m,
+        depth=depth,
+        runtime=None,
+        budget=budget,
+        violations=_check_budget(builder.size, net.m, depth, None, budget),
+        lint_ok=lint.ok,
+    )
+    return entry, lint
+
+
+def certify_sssp(
+    graph: "WeightedDigraph", *, use_gadgets: bool = False
+) -> Tuple[CertEntry, LintReport]:
+    """Certify the Section-3 SSSP network for ``graph`` against Thm 3.1.
+
+    The graph *is* the network: ``n`` neurons (``2n`` with the Figure-1B
+    one-shot gadgets), one synapse per non-self-loop edge (plus ``3n``
+    gadget synapses), and a worst-case runtime of ``(n-1)·U + 1`` ticks.
+    """
+    from repro.algorithms.sssp_pseudo import sssp_network, sssp_plan
+
+    net, node_ids = sssp_network(graph, use_gadgets=use_gadgets)
+    compiled = net.compile()
+    m_eff = sum(1 for (u, v, _w) in graph.edges() if u != v)
+    n = graph.n
+    budget = ResourceBudget(
+        neurons=2 * n if use_gadgets else n,
+        synapses=m_eff + 3 * n if use_gadgets else m_eff,
+        runtime=(n - 1) * max(1, graph.max_length()) + 1,
+        exact=True,
+    )
+    plan = sssp_plan(graph, 0, use_gadgets=use_gadgets)
+    lint = lint_network(
+        compiled,
+        subject=f"sssp_pseudo(n={n}, gadgets={use_gadgets})",
+        entries=[node_ids[0]],
+    )
+    scale = plan.scale
+    runtime_budget = budget.runtime if scale == 1 else (n - 1) * max(1, graph.max_length()) * scale + 1
+    budget = ResourceBudget(
+        neurons=budget.neurons,
+        synapses=budget.synapses,
+        runtime=runtime_budget,
+        exact=budget.exact,
+    )
+    entry = CertEntry(
+        kind="sssp_pseudo" + ("+gadgets" if use_gadgets else ""),
+        theorem="Thm 3.1 / Sec 3",
+        params=(("n", n), ("m", graph.m), ("U", graph.max_length())),
+        neurons=compiled.n,
+        synapses=compiled.m,
+        depth=None,
+        runtime=plan.max_steps,
+        budget=budget,
+        violations=_check_budget(compiled.n, compiled.m, None, plan.max_steps, budget),
+        lint_ok=lint.ok,
+    )
+    return entry, lint
+
+
+def certify_khop(graph: "WeightedDigraph", k: int) -> Tuple[CertEntry, LintReport]:
+    """Certify the unit-delay k-hop reachability network (Sec 4 variant)."""
+    from repro.algorithms.reach import khop_reach_network, khop_reach_plan
+
+    net, node_ids = khop_reach_network(graph)
+    compiled = net.compile()
+    m_eff = sum(1 for (u, v, _w) in graph.edges() if u != v)
+    n = graph.n
+    budget = ResourceBudget(neurons=n, synapses=m_eff, runtime=int(k), exact=True)
+    plan = khop_reach_plan(graph, 0, k)
+    lint = lint_network(
+        compiled, subject=f"khop_reach(n={n}, k={k})", entries=[node_ids[0]]
+    )
+    entry = CertEntry(
+        kind="khop_reach",
+        theorem="Sec 4, k-hop",
+        params=(("k", int(k)), ("n", n), ("m", graph.m)),
+        neurons=compiled.n,
+        synapses=compiled.m,
+        depth=None,
+        runtime=plan.max_steps,
+        budget=budget,
+        violations=_check_budget(compiled.n, compiled.m, None, plan.max_steps, budget),
+        lint_ok=lint.ok,
+    )
+    return entry, lint
+
+
+#: Default parameter grid certified by ``repro lint`` and CI.
+DEFAULT_GRID: Dict[str, Sequence[Dict[str, int]]] = {
+    "wired_or_max": [{"d": d, "lam": lam} for d in (2, 4) for lam in (2, 4, 6)],
+    "brute_force_max": [{"d": d, "lam": lam} for d in (2, 4) for lam in (2, 4, 6)],
+    "carry_lookahead_adder": [{"lam": lam} for lam in (2, 4, 8)],
+    "siu_adder": [{"lam": lam} for lam in (2, 4, 8)],
+    "ripple_adder": [{"lam": lam} for lam in (2, 4, 8)],
+    "comparator_geq": [{"lam": lam} for lam in (2, 4, 8)],
+}
+
+
+def certify_library(
+    grid: Optional[Dict[str, Sequence[Dict[str, int]]]] = None,
+) -> CertificationReport:
+    """Certify every registered circuit family over a parameter grid."""
+    report = CertificationReport()
+    for kind, param_sets in (grid or DEFAULT_GRID).items():
+        for params in param_sets:
+            entry, lint = certify_circuit(kind, **params)
+            report.entries.append(entry)
+            report.lint_reports.append(lint)
+    return report

@@ -1,0 +1,149 @@
+"""Diagnostic model of the static-analysis subsystem.
+
+A :class:`Diagnostic` is one finding of a lint rule: a stable code (the
+rule catalog of :mod:`repro.staticcheck.rules` and
+``docs/static_analysis.md``), a severity, a human-readable message, and
+the neuron/synapse indices it points at.  A :class:`LintReport` collects
+every finding of one lint pass over one network together with a summary
+of the linted structure; ``report.ok`` is the CI gate ("no error-severity
+diagnostics").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StaticCheckError
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` marks a definite violation of the model contract (paper
+    Definitions 1-3 or an engine assumption) — the network must not be
+    simulated or served.  ``WARNING`` marks structure that is legal but
+    almost certainly unintended (a provably silent internal gate, a
+    duplicated synapse).  ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``neurons`` / ``synapses`` carry the indices the finding points at
+    (synapse indices are positions in the compiled CSR arrays).  Long index
+    lists are truncated by the rules to keep reports readable; ``count``
+    preserves the true number of offenders.
+    """
+
+    code: str
+    rule: str
+    severity: Severity
+    message: str
+    neurons: Tuple[int, ...] = ()
+    synapses: Tuple[int, ...] = ()
+    count: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.neurons:
+            out["neurons"] = list(self.neurons)
+        if self.synapses:
+            out["synapses"] = list(self.synapses)
+        if self.count is not None:
+            out["count"] = self.count
+        return out
+
+    def render(self) -> str:
+        return f"{self.code} [{self.severity.value}] {self.rule}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Every finding of one lint pass over one network.
+
+    ``subject`` names what was linted (a circuit kind, an algorithm
+    network, a served resident); ``neurons`` / ``synapses`` summarize the
+    structure so the report is meaningful on its own in CI artifacts.
+    """
+
+    subject: str
+    neurons: int
+    synapses: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Rule codes that were skipped because their precondition did not hold
+    #: (e.g. reachability analysis without known entry points).
+    skipped: Tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True iff no error-severity diagnostic fired (warnings allowed)."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def raise_if_errors(self) -> "LintReport":
+        """Raise :class:`~repro.errors.StaticCheckError` on any error finding."""
+        errs = self.errors
+        if errs:
+            lines = "; ".join(d.render() for d in errs[:5])
+            more = f" (+{len(errs) - 5} more)" if len(errs) > 5 else ""
+            raise StaticCheckError(
+                f"static check failed for {self.subject}: {lines}{more}",
+                report=self,
+            )
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "neurons": self.neurons,
+            "synapses": self.synapses,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "skipped": list(self.skipped),
+        }
+
+    def render(self) -> str:
+        head = (
+            f"lint {self.subject}: "
+            f"{'ok' if self.ok else 'FAILED'} — "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings "
+            f"({self.neurons} neurons, {self.synapses} synapses)"
+        )
+        lines = [head] + [f"  {d.render()}" for d in self.diagnostics]
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line rendering for the ``repro profile`` footer."""
+        status = "ok" if self.ok else "FAILED"
+        return (
+            f"lint: {status} — {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings ({self.neurons} neurons, "
+            f"{self.synapses} synapses)"
+        )

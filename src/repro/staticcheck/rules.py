@@ -1,0 +1,550 @@
+"""Structural lint rules over compiled spiking networks.
+
+The rules turn the paper's structural contract — Definitions 1-3 (integer
+synapse delays ``>= delta``, programmable reset/threshold/decay,
+designated input/output/terminal neurons) — and the engines' assumptions
+into machine-checked invariants that run *before* any spike is simulated.
+
+Rule catalog (stable codes; see ``docs/static_analysis.md``):
+
+========  ====================  ========  =============================================
+Code      Rule                  Severity  Fires when
+========  ====================  ========  =============================================
+SC101     dangling-synapse      error     a synapse endpoint is outside ``[0, n)``
+SC102     bad-delay             error     a synapse delay is ``< delta`` or non-integer
+SC103     nonfinite-weight      error     a synapse weight is NaN or infinite
+SC104     duplicate-synapse     warning   two synapses share (src, dst, weight, delay)
+SC110     cycle-in-feedforward  error     a declared-feed-forward network has a cycle
+SC120     unreachable-output    error     an output/terminal has no path from any entry
+SC121     unreachable-neuron    warning   a non-entry neuron has no path from any entry
+SC122     isolated-neuron       info      a neuron has no synapses and no designation
+SC130     dead-neuron           warn/err  interval analysis proves the neuron can
+                                          never cross threshold (error on outputs and
+                                          the terminal, warning elsewhere)
+SC131     hot-neuron            warning   the neuron provably fires every tick with no
+                                          input (pacemaker, ``v_reset > v_threshold``)
+SC140     bad-designation       error     an input/output/terminal id is out of range
+SC141     nonfinite-params      error     a neuron's reset/threshold/decay is not
+                                          finite, or decay lies outside ``[0, 1]``
+========  ====================  ========  =============================================
+
+Analyses that need to know where external stimulus can enter
+(reachability SC120-SC122, dead-neuron SC130) use the network's marked
+input neurons by default; algorithm networks that stimulate unmarked
+neurons pass their stimulus ids via ``entries``.  When no entry points
+are known those rules are skipped and recorded in
+:attr:`~repro.staticcheck.diagnostics.LintReport.skipped` — without them
+any neuron could be driven externally, so nothing is provably dead or
+unreachable.
+
+The dead/hot analysis is a sound interval argument over the LIF dynamics
+of :mod:`repro.core.lif`: with per-tick positive synaptic input at most
+``I+`` (the sum of positive incoming weights), the voltage excess over
+``v_reset`` obeys ``e(t) = e(t-1) * (1 - tau) + I+``, whose supremum is
+``I+ / tau`` for ``tau > 0`` and unbounded for a perfect integrator
+(``tau = 0``) with ``I+ > 0``.  A neuron whose supremum voltage
+``v_reset + sup(e)`` never strictly exceeds ``v_threshold`` can never
+fire (Eq. 2 fires on the strict inequality).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.lif import DEFAULT_DELTA
+from repro.core.network import CompiledNetwork, Network
+from repro.staticcheck.diagnostics import Diagnostic, LintReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.circuits.builder import CircuitBuilder
+
+__all__ = ["RULES", "lint_network", "lint_circuit"]
+
+#: code -> (rule name, default severity, one-line summary)
+RULES: Dict[str, Tuple[str, Severity, str]] = {
+    "SC101": ("dangling-synapse", Severity.ERROR, "synapse endpoint out of range"),
+    "SC102": ("bad-delay", Severity.ERROR, f"synapse delay < {DEFAULT_DELTA} or non-integer"),
+    "SC103": ("nonfinite-weight", Severity.ERROR, "synapse weight is NaN or infinite"),
+    "SC104": ("duplicate-synapse", Severity.WARNING, "identical synapse appears twice"),
+    "SC110": ("cycle-in-feedforward", Severity.ERROR, "cycle in a declared-feed-forward network"),
+    "SC120": ("unreachable-output", Severity.ERROR, "output/terminal unreachable from entries"),
+    "SC121": ("unreachable-neuron", Severity.WARNING, "neuron unreachable from entries"),
+    "SC122": ("isolated-neuron", Severity.INFO, "neuron with no synapses and no designation"),
+    "SC130": ("dead-neuron", Severity.WARNING, "membrane potential provably never crosses threshold"),
+    "SC131": ("hot-neuron", Severity.WARNING, "neuron provably fires every tick (pacemaker)"),
+    "SC140": ("bad-designation", Severity.ERROR, "input/output/terminal id out of range"),
+    "SC141": ("nonfinite-params", Severity.ERROR, "neuron parameters not finite or decay out of range"),
+}
+
+#: Cap on how many offender indices a single diagnostic lists.
+_MAX_LISTED = 8
+
+
+def _ids(values: Iterable[int]) -> Tuple[int, ...]:
+    return tuple(int(v) for v in list(values)[:_MAX_LISTED])
+
+
+def _diag(
+    code: str,
+    message: str,
+    *,
+    severity: Optional[Severity] = None,
+    neurons: Iterable[int] = (),
+    synapses: Iterable[int] = (),
+    count: Optional[int] = None,
+) -> Diagnostic:
+    rule, default_sev, _ = RULES[code]
+    return Diagnostic(
+        code=code,
+        rule=rule,
+        severity=severity or default_sev,
+        message=message,
+        neurons=_ids(neurons),
+        synapses=_ids(synapses),
+        count=count,
+    )
+
+
+def _name(net: CompiledNetwork, nid: int) -> str:
+    names = net.names
+    if 0 <= nid < len(names) and names[nid]:
+        return f"{nid} ({names[nid]})"
+    return str(nid)
+
+
+# --------------------------------------------------------------------------- #
+# Individual passes
+# --------------------------------------------------------------------------- #
+
+
+def _check_integrity(net: CompiledNetwork, out: List[Diagnostic]) -> bool:
+    """SC101/SC102/SC103/SC140/SC141: array-level contract of Defs 1-3.
+
+    Returns False when endpoints are corrupt, in which case the graph-based
+    passes are skipped (they would index out of bounds).
+    """
+    n, m = net.n, net.m
+    sound = True
+
+    if m:
+        src_of = np.repeat(np.arange(n), np.diff(net.indptr)) if n else np.empty(0, int)
+        bad_ep = (net.syn_dst < 0) | (net.syn_dst >= n)
+        if src_of.size != m or bad_ep.any():
+            idx = np.flatnonzero(bad_ep) if bad_ep.any() else np.arange(min(m, 1))
+            out.append(
+                _diag(
+                    "SC101",
+                    f"{int(bad_ep.sum())} synapse(s) point at neurons outside [0, {n})",
+                    synapses=idx,
+                    count=int(bad_ep.sum()),
+                )
+            )
+            sound = False
+
+        delays = net.syn_delay
+        if not np.issubdtype(delays.dtype, np.integer):
+            frac = delays != np.floor(delays)
+            if frac.any():
+                idx = np.flatnonzero(frac)
+                out.append(
+                    _diag(
+                        "SC102",
+                        f"{idx.size} synapse delay(s) are non-integer "
+                        f"(Definition 2 requires integer multiples of delta)",
+                        synapses=idx,
+                        count=int(idx.size),
+                    )
+                )
+        low = delays < DEFAULT_DELTA
+        if low.any():
+            idx = np.flatnonzero(low)
+            out.append(
+                _diag(
+                    "SC102",
+                    f"{idx.size} synapse delay(s) below the hardware minimum "
+                    f"delta = {DEFAULT_DELTA} (Section 2.2 prohibits them)",
+                    synapses=idx,
+                    count=int(idx.size),
+                )
+            )
+
+        nonfinite = ~np.isfinite(net.syn_weight)
+        if nonfinite.any():
+            idx = np.flatnonzero(nonfinite)
+            out.append(
+                _diag(
+                    "SC103",
+                    f"{idx.size} synapse weight(s) are NaN or infinite",
+                    synapses=idx,
+                    count=int(idx.size),
+                )
+            )
+
+    for label, arr in (("input", net.inputs), ("output", net.outputs)):
+        arr = np.asarray(arr)
+        if arr.size:
+            bad = (arr < 0) | (arr >= n)
+            if bad.any():
+                out.append(
+                    _diag(
+                        "SC140",
+                        f"{int(bad.sum())} designated {label} neuron id(s) out of "
+                        f"range for n = {n}",
+                        neurons=arr[bad],
+                        count=int(bad.sum()),
+                    )
+                )
+                sound = False
+    if net.terminal is not None and not (0 <= net.terminal < n):
+        out.append(
+            _diag(
+                "SC140",
+                f"terminal neuron id {net.terminal} out of range for n = {n}",
+                neurons=(net.terminal,) if n else (),
+            )
+        )
+        sound = False
+
+    bad_params = (
+        ~np.isfinite(net.v_reset)
+        | ~np.isfinite(net.v_threshold)
+        | ~np.isfinite(net.tau)
+        | (net.tau < 0.0)
+        | (net.tau > 1.0)
+    )
+    if bad_params.any():
+        idx = np.flatnonzero(bad_params)
+        out.append(
+            _diag(
+                "SC141",
+                f"{idx.size} neuron(s) have non-finite reset/threshold/decay "
+                f"or decay outside [0, 1] (Definition 1)",
+                neurons=idx,
+                count=int(idx.size),
+            )
+        )
+    return sound
+
+
+def _check_duplicates(net: CompiledNetwork, out: List[Diagnostic]) -> None:
+    """SC104: byte-identical synapses (same src, dst, weight, delay)."""
+    m = net.m
+    if m < 2:
+        return
+    src_of = np.repeat(np.arange(net.n), np.diff(net.indptr))
+    rows = np.stack(
+        [src_of, net.syn_dst, net.syn_delay, net.syn_weight.view(np.int64)], axis=1
+    )
+    _, first_idx, counts = np.unique(rows, axis=0, return_index=True, return_counts=True)
+    dup_groups = counts > 1
+    if dup_groups.any():
+        n_extra = int((counts[dup_groups] - 1).sum())
+        out.append(
+            _diag(
+                "SC104",
+                f"{n_extra} synapse(s) duplicate another synapse exactly "
+                f"(same source, target, weight, and delay); weights sum, "
+                f"which is rarely intended",
+                synapses=first_idx[dup_groups],
+                count=n_extra,
+            )
+        )
+
+
+def _check_cycles(net: CompiledNetwork, out: List[Diagnostic]) -> None:
+    """SC110: Kahn's algorithm; residual nodes lie on or behind a cycle."""
+    n = net.n
+    indeg = np.bincount(net.syn_dst, minlength=n) if net.m else np.zeros(n, np.int64)
+    indeg = indeg.copy()
+    queue = deque(np.flatnonzero(indeg == 0).tolist())
+    seen = 0
+    while queue:
+        u = queue.popleft()
+        seen += 1
+        sl = net.out_synapses(u)
+        for v in net.syn_dst[sl]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(int(v))
+    if seen < n:
+        residual = np.flatnonzero(indeg > 0)
+        out.append(
+            _diag(
+                "SC110",
+                f"network was declared feed-forward but contains a cycle "
+                f"through {residual.size} neuron(s), e.g. "
+                f"{_name(net, int(residual[0]))}",
+                neurons=residual,
+                count=int(residual.size),
+            )
+        )
+
+
+def _reachable_from(net: CompiledNetwork, entries: np.ndarray) -> np.ndarray:
+    reached = np.zeros(net.n, dtype=bool)
+    reached[entries] = True
+    frontier = entries
+    while frontier.size:
+        syn_idx = net.gather_out_synapses(frontier)
+        dsts = np.unique(net.syn_dst[syn_idx]) if syn_idx.size else np.empty(0, int)
+        new = dsts[~reached[dsts]] if dsts.size else dsts
+        reached[new] = True
+        frontier = new
+    return reached
+
+
+def _check_reachability(
+    net: CompiledNetwork, entries: np.ndarray, out: List[Diagnostic]
+) -> None:
+    """SC120/SC121: outputs and the terminal must be reachable from entries."""
+    reached = _reachable_from(net, entries)
+    designated = set(np.asarray(net.outputs).tolist())
+    if net.terminal is not None:
+        designated.add(int(net.terminal))
+    dead_outputs = sorted(v for v in designated if not reached[v])
+    if dead_outputs:
+        out.append(
+            _diag(
+                "SC120",
+                f"{len(dead_outputs)} output/terminal neuron(s) have no path "
+                f"from any entry point, e.g. {_name(net, dead_outputs[0])} — "
+                f"they can never answer",
+                neurons=dead_outputs,
+                count=len(dead_outputs),
+            )
+        )
+    other = np.flatnonzero(~reached)
+    other = other[~np.isin(other, sorted(designated))] if other.size else other
+    if other.size:
+        out.append(
+            _diag(
+                "SC121",
+                f"{other.size} neuron(s) are unreachable from every entry "
+                f"point and will never participate in a run",
+                neurons=other,
+                count=int(other.size),
+            )
+        )
+
+
+def _check_isolated(
+    net: CompiledNetwork, entries: Optional[np.ndarray], out: List[Diagnostic]
+) -> None:
+    """SC122: neurons with no synapses at all and no designated role."""
+    n = net.n
+    fan_out = np.diff(net.indptr)
+    fan_in = np.bincount(net.syn_dst, minlength=n) if net.m else np.zeros(n, np.int64)
+    isolated = (fan_out == 0) & (fan_in == 0)
+    keep = np.ones(n, dtype=bool)
+    for arr in (net.inputs, net.outputs):
+        keep[np.asarray(arr, dtype=np.int64)] = False
+    if net.terminal is not None:
+        keep[net.terminal] = False
+    if entries is not None and entries.size:
+        keep[entries] = False
+    idx = np.flatnonzero(isolated & keep)
+    if idx.size:
+        out.append(
+            _diag(
+                "SC122",
+                f"{idx.size} neuron(s) have no synapses and no designated "
+                f"role (dead weight in every engine)",
+                neurons=idx,
+                count=int(idx.size),
+            )
+        )
+
+
+def _max_voltage(net: CompiledNetwork) -> np.ndarray:
+    """Supremum of any attainable pre-threshold voltage, per neuron.
+
+    Sound upper bound: assume every positive in-synapse delivers every
+    tick and no inhibition arrives.  ``e(t) = e(t-1)(1-tau) + I+`` has
+    supremum ``I+/tau`` (``tau > 0``) or ``inf`` (``tau = 0``, ``I+ > 0``).
+    """
+    n = net.n
+    i_pos = np.zeros(n, dtype=np.float64)
+    if net.m:
+        pos = net.syn_weight > 0
+        np.add.at(i_pos, net.syn_dst[pos], net.syn_weight[pos])
+    sup = np.full(n, np.nan)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        decaying = net.tau > 0.0
+        sup[decaying] = net.v_reset[decaying] + i_pos[decaying] / net.tau[decaying]
+    integrator = ~decaying
+    sup[integrator & (i_pos > 0)] = np.inf
+    sup[integrator & (i_pos == 0)] = net.v_reset[integrator & (i_pos == 0)]
+    return sup
+
+
+def _check_dead_hot(
+    net: CompiledNetwork, entries: Optional[np.ndarray], out: List[Diagnostic]
+) -> None:
+    """SC130/SC131: interval analysis over weights, decay, and reset."""
+    n = net.n
+    hot = net.v_reset > net.v_threshold
+    if hot.any():
+        idx = np.flatnonzero(hot)
+        out.append(
+            _diag(
+                "SC131",
+                f"{idx.size} pacemaker neuron(s) fire every tick with no "
+                f"input (v_reset > v_threshold); the event engine rejects "
+                f"such networks",
+                neurons=idx,
+                count=int(idx.size),
+            )
+        )
+    if entries is None:
+        return  # any neuron could be driven externally; nothing is provably dead
+    sup = _max_voltage(net)
+    dead = sup <= net.v_threshold
+    dead[entries] = False  # stimulated neurons are forced to fire directly
+    if not dead.any():
+        return
+    designated = np.zeros(n, dtype=bool)
+    designated[np.asarray(net.outputs, dtype=np.int64)] = True
+    if net.terminal is not None:
+        designated[net.terminal] = True
+    dead_out = np.flatnonzero(dead & designated)
+    dead_in = np.flatnonzero(dead & ~designated)
+    if dead_out.size:
+        out.append(
+            _diag(
+                "SC130",
+                f"{dead_out.size} output/terminal neuron(s) can provably "
+                f"never reach threshold (max attainable voltage <= "
+                f"v_threshold), e.g. {_name(net, int(dead_out[0]))}",
+                severity=Severity.ERROR,
+                neurons=dead_out,
+                count=int(dead_out.size),
+            )
+        )
+    if dead_in.size:
+        out.append(
+            _diag(
+                "SC130",
+                f"{dead_in.size} neuron(s) can provably never reach "
+                f"threshold and are structurally silent",
+                neurons=dead_in,
+                count=int(dead_in.size),
+            )
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+
+
+def lint_network(
+    network: Union[Network, CompiledNetwork],
+    *,
+    subject: str = "network",
+    entries: Optional[Sequence[int]] = None,
+    expect_feedforward: bool = False,
+) -> LintReport:
+    """Run every applicable lint rule over ``network``.
+
+    Parameters
+    ----------
+    network:
+        A builder :class:`~repro.core.network.Network` (compiled on the
+        fly) or an already-compiled network.
+    subject:
+        Label for the report (a circuit kind, a resident id, ...).
+    entries:
+        Neuron ids where external stimulus can enter.  Defaults to the
+        network's marked input neurons; pass the stimulus ids for
+        algorithm networks that stimulate unmarked neurons.  When no
+        entry points are known, reachability (SC120-SC122) and
+        dead-neuron (SC130) analysis are skipped (recorded in
+        ``report.skipped``).
+    expect_feedforward:
+        Check SC110 — the caller declares the network to be a
+        feed-forward circuit (as every standalone
+        :class:`~repro.circuits.builder.CircuitBuilder` product is), so
+        any cycle is a construction bug.
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    diagnostics: List[Diagnostic] = []
+    skipped: List[str] = []
+
+    sound = _check_integrity(net, diagnostics)
+    if sound:
+        _check_duplicates(net, diagnostics)
+        if expect_feedforward:
+            _check_cycles(net, diagnostics)
+        else:
+            skipped.append("SC110")
+
+        entry_arr: Optional[np.ndarray] = None
+        if entries is not None:
+            entry_arr = np.unique(np.asarray(list(entries), dtype=np.int64))
+            if entry_arr.size and (
+                (entry_arr < 0).any() or (entry_arr >= net.n).any()
+            ):
+                bad = entry_arr[(entry_arr < 0) | (entry_arr >= net.n)]
+                diagnostics.append(
+                    _diag(
+                        "SC140",
+                        f"{bad.size} entry-point id(s) out of range for "
+                        f"n = {net.n}",
+                        neurons=bad,
+                        count=int(bad.size),
+                    )
+                )
+                entry_arr = None
+        elif np.asarray(net.inputs).size:
+            entry_arr = np.asarray(net.inputs, dtype=np.int64)
+
+        if entry_arr is not None and entry_arr.size:
+            _check_reachability(net, entry_arr, diagnostics)
+        else:
+            skipped.extend(["SC120", "SC121"])
+        _check_isolated(net, entry_arr, diagnostics)
+        _check_dead_hot(net, entry_arr, diagnostics)
+        if entry_arr is None:
+            skipped.append("SC130")
+    else:
+        skipped.extend(["SC104", "SC110", "SC120", "SC121", "SC122", "SC130", "SC131"])
+
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    diagnostics.sort(key=lambda d: (order[d.severity], d.code))
+    return LintReport(
+        subject=subject,
+        neurons=net.n,
+        synapses=net.m,
+        diagnostics=diagnostics,
+        skipped=tuple(dict.fromkeys(skipped)),
+    )
+
+
+def lint_circuit(builder: "CircuitBuilder", *, subject: Optional[str] = None) -> LintReport:
+    """Lint a :class:`~repro.circuits.builder.CircuitBuilder` product.
+
+    Standalone circuits are feed-forward by construction (every gate's
+    offset strictly exceeds its inputs'), so SC110 is armed; entry points
+    are the declared input groups (including the run line).  Builders
+    that extend an existing recurrent network (the gate-level algorithm
+    compilers) should lint the whole network with :func:`lint_network`
+    instead.
+    """
+    entries = [
+        sig.nid for group in builder.input_groups.values() for sig in group
+    ]
+    return lint_network(
+        builder.net,
+        subject=subject or "circuit",
+        entries=entries,
+        expect_feedforward=True,
+    )
+
+
+def is_finite_number(value: float) -> bool:
+    """Shared finiteness predicate for construction-time validation."""
+    return math.isfinite(value)

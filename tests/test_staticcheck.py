@@ -1,0 +1,622 @@
+"""repro.staticcheck: lint rules, mutation coverage, theorem-budget certification.
+
+Three layers of assertions:
+
+1. **Clean bill of health** — every circuit family in :mod:`repro.circuits`
+   and every algorithm-built network lints with zero error-severity
+   diagnostics (warnings are allowed: ``add_constant`` contains
+   intentionally unfireable carry gates for zero constant bits).
+2. **Mutation coverage** — each lint rule class is seeded with a violation
+   (corrupted compiled arrays or a deliberately broken builder graph) and
+   the *exact* diagnostic code must fire.
+3. **Certification** — measured neuron/synapse/depth/runtime counts equal
+   the closed-form theorem budgets where those are exact, and the full
+   library certifies ok.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import (
+    add_constant,
+    carry_lookahead_adder,
+    ripple_adder,
+    siu_adder,
+    subtract_one,
+)
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.comparators import comparator_geq, comparator_gt
+from repro.circuits.max_circuits import (
+    brute_force_max,
+    brute_force_min,
+    masked_max,
+    masked_min,
+    wired_or_max,
+    wired_or_min,
+)
+from repro.circuits.runner import run_circuit
+from repro.core.network import Network
+from repro.errors import StaticCheckError, ValidationError
+from repro.staticcheck import (
+    RULES,
+    Severity,
+    certify_circuit,
+    certify_khop,
+    certify_library,
+    certify_sssp,
+    lint_circuit,
+    lint_network,
+)
+from repro.workloads.generators import gnp_graph
+
+
+def _graph(n=12, p=0.3, seed=3, max_length=5):
+    return gnp_graph(n, p, max_length=max_length, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# 1. Every library circuit and algorithm network lints clean
+# --------------------------------------------------------------------------- #
+
+
+def _two_number_builder(fn, lam=3):
+    b = CircuitBuilder()
+    xs = [b.input_bits(f"x{i}", lam) for i in range(3)]
+    res = fn(b, xs)
+    b.output_bits("out", res.out_bits)
+    return b
+
+
+def _adder_builder(fn, lam=3):
+    b = CircuitBuilder()
+    a = b.input_bits("a", lam)
+    c = b.input_bits("b", lam)
+    out = fn(b, a, c)
+    b.output_bits("out", out)
+    return b
+
+
+def _masked_builder(fn, lam=3):
+    b = CircuitBuilder()
+    xs = [b.input_bits(f"x{i}", lam) for i in range(3)]
+    valids = b.input_bits("valid", 3)
+    res = fn(b, xs, valids)
+    b.output_bits("out", res.out_bits)
+    return b
+
+
+def _comparator_builder(fn, lam=3):
+    b = CircuitBuilder()
+    a = b.input_bits("a", lam)
+    c = b.input_bits("b", lam)
+    out = fn(b, a, c)
+    b.output_bits("out", [out], aligned=False)
+    return b
+
+
+def _add_constant_builder(constant=5, lam=4):
+    b = CircuitBuilder()
+    bits = b.input_bits("x", lam)
+    valid = b.input_bits("valid", 1)[0]
+    out, out_valid = add_constant(b, bits, constant, valid)
+    b.output_bits("out", out)
+    b.output_bits("valid_out", [out_valid])
+    return b
+
+
+def _subtract_one_builder(lam=4):
+    b = CircuitBuilder()
+    bits = b.input_bits("x", lam)
+    valid = b.input_bits("valid", 1)[0]
+    out, out_valid = subtract_one(b, bits, valid)
+    b.output_bits("out", out)
+    b.output_bits("valid_out", [out_valid])
+    return b
+
+
+CIRCUIT_BUILDERS = {
+    "wired_or_max": lambda: _two_number_builder(wired_or_max),
+    "wired_or_min": lambda: _two_number_builder(wired_or_min),
+    "brute_force_max": lambda: _two_number_builder(brute_force_max),
+    "brute_force_min": lambda: _two_number_builder(brute_force_min),
+    "masked_max": lambda: _masked_builder(masked_max),
+    "masked_min": lambda: _masked_builder(masked_min),
+    "carry_lookahead_adder": lambda: _adder_builder(carry_lookahead_adder),
+    "siu_adder": lambda: _adder_builder(siu_adder),
+    "ripple_adder": lambda: _adder_builder(ripple_adder),
+    "comparator_geq": lambda: _comparator_builder(comparator_geq),
+    "comparator_gt": lambda: _comparator_builder(comparator_gt),
+    "add_constant": _add_constant_builder,
+    "subtract_one": _subtract_one_builder,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(CIRCUIT_BUILDERS))
+def test_library_circuit_lints_clean(kind):
+    report = CIRCUIT_BUILDERS[kind]().lint(subject=kind)
+    assert report.ok, report.render()
+    # feed-forward circuits must also be free of cycle diagnostics
+    assert "SC110" not in report.codes()
+
+
+def test_sssp_network_lints_clean():
+    g = _graph()
+    from repro.algorithms.sssp_pseudo import sssp_network
+
+    for use_gadgets in (False, True):
+        net, node_ids = sssp_network(g, use_gadgets=use_gadgets)
+        report = lint_network(
+            net.compile(), subject="sssp", entries=[node_ids[0]]
+        )
+        assert report.ok, report.render()
+
+
+def test_khop_network_lints_clean():
+    g = _graph()
+    from repro.algorithms.reach import khop_reach_network
+
+    net, node_ids = khop_reach_network(g)
+    report = lint_network(net.compile(), subject="khop", entries=[node_ids[0]])
+    assert report.ok, report.render()
+
+
+def test_khop_gate_level_network_lints_clean():
+    # recurrent (clock loop), so no feed-forward expectation and no entries
+    from repro.algorithms.khop_pseudo import compile_khop_pseudo_gate_level
+
+    compiled = compile_khop_pseudo_gate_level(_graph(n=8, p=0.3), 0, 3)
+    report = lint_network(compiled.net.compile(), subject="khop_gate_level")
+    assert report.ok, report.render()
+    assert "SC110" in report.skipped  # cycle rule only runs when declared FF
+
+
+# --------------------------------------------------------------------------- #
+# 2. Mutation tests: every rule class detects its seeded violation
+# --------------------------------------------------------------------------- #
+
+
+def _clean_compiled():
+    """A small healthy circuit, compiled, private to one test (mutable)."""
+    b = _adder_builder(ripple_adder)
+    return b, b.net.compile()
+
+
+def test_mutation_dangling_synapse_sc101():
+    _, c = _clean_compiled()
+    c.syn_dst[0] = c.n + 5
+    report = lint_network(c, subject="mutant")
+    assert "SC101" in report.codes()
+    assert not report.ok
+
+
+def test_mutation_bad_delay_sc102():
+    _, c = _clean_compiled()
+    c.syn_delay[0] = 0
+    report = lint_network(c, subject="mutant")
+    assert "SC102" in report.codes()
+    assert not report.ok
+
+
+def test_mutation_noninteger_delay_sc102():
+    _, c = _clean_compiled()
+    import dataclasses
+
+    c = dataclasses.replace(c, syn_delay=c.syn_delay.astype(np.float64))
+    c.syn_delay[0] = 1.5
+    report = lint_network(c, subject="mutant")
+    assert "SC102" in report.codes()
+
+
+def test_mutation_nonfinite_weight_sc103():
+    _, c = _clean_compiled()
+    c.syn_weight[0] = np.nan
+    report = lint_network(c, subject="mutant")
+    assert "SC103" in report.codes()
+    assert not report.ok
+
+
+def test_mutation_duplicate_synapse_sc104():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron(v_threshold=0.5)
+    net.mark_input(a)
+    net.add_synapse(a, b, weight=1.0, delay=2)
+    net.add_synapse(a, b, weight=1.0, delay=2)  # exact duplicate
+    report = lint_network(net.compile(), subject="mutant")
+    assert "SC104" in report.codes()
+    assert report.ok  # duplicates are a warning, not an error
+
+
+def test_mutation_cycle_in_feedforward_sc110():
+    net = Network()
+    a = net.add_neuron(tau=1.0)
+    b = net.add_neuron(tau=1.0)
+    net.mark_input(a)
+    net.add_synapse(a, b)
+    net.add_synapse(b, a)  # back-edge
+    report = lint_network(net.compile(), subject="mutant", expect_feedforward=True)
+    assert "SC110" in report.codes()
+    assert not report.ok
+    # same network without the feed-forward declaration: rule is skipped
+    relaxed = lint_network(net.compile(), subject="mutant")
+    assert "SC110" not in relaxed.codes()
+
+
+def test_mutation_unreachable_output_sc120():
+    net = Network()
+    a = net.add_neuron()
+    _mid = net.add_neuron()
+    out = net.add_neuron()
+    net.mark_input(a)
+    net.mark_output(out)
+    net.add_synapse(a, _mid)  # nothing ever reaches `out`
+    report = lint_network(net.compile(), subject="mutant")
+    assert "SC120" in report.codes()
+    assert not report.ok
+
+
+def test_mutation_unreachable_neuron_sc121():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron()
+    orphan = net.add_neuron()
+    other = net.add_neuron()
+    net.mark_input(a)
+    net.mark_output(b)
+    net.add_synapse(a, b)
+    net.add_synapse(orphan, other)  # connected to each other, not to entries
+    report = lint_network(net.compile(), subject="mutant")
+    assert "SC121" in report.codes()
+    assert report.ok  # warning severity
+
+
+def test_mutation_isolated_neuron_sc122():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron()
+    net.add_neuron()  # no synapses, no role
+    net.mark_input(a)
+    net.mark_output(b)
+    net.add_synapse(a, b)
+    report = lint_network(net.compile(), subject="mutant")
+    assert "SC122" in report.codes()
+
+
+def test_mutation_dead_output_neuron_sc130_error():
+    b, c = _clean_compiled()
+    # raise one output gate's threshold beyond any attainable voltage
+    out_id = c.outputs[0]
+    c.v_threshold[out_id] = 1e9
+    entries = [s.nid for grp in b.input_groups.values() for s in grp]
+    report = lint_network(c, subject="mutant", entries=entries)
+    diags = [d for d in report.diagnostics if d.code == "SC130"]
+    assert diags and any(d.severity is Severity.ERROR for d in diags)
+    assert not report.ok
+
+
+def test_mutation_dead_internal_neuron_sc130_warning():
+    net = Network()
+    a = net.add_neuron()
+    # memoryless gate (tau=1) with one weight-1 input: sup voltage 1 < 5
+    mid = net.add_neuron(v_threshold=5.0, tau=1.0)
+    out = net.add_neuron()
+    net.mark_input(a)
+    net.mark_output(out)
+    net.add_synapse(a, mid, weight=1.0)
+    net.add_synapse(a, out, weight=1.0)
+    report = lint_network(net.compile(), subject="mutant")
+    diags = [d for d in report.diagnostics if d.code == "SC130"]
+    assert diags and all(d.severity is Severity.WARNING for d in diags)
+    assert report.ok
+
+
+def test_dead_neuron_analysis_skipped_without_entries():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron(v_threshold=5.0)
+    net.add_synapse(a, b, weight=1.0)
+    report = lint_network(net.compile(), subject="no-entries")
+    assert "SC130" in report.skipped
+    assert "SC130" not in report.codes()
+
+
+def test_mutation_hot_neuron_sc131():
+    _, c = _clean_compiled()
+    c.v_reset[1] = 2.0  # above threshold 0.5: pacemaker
+    report = lint_network(c, subject="mutant")
+    assert "SC131" in report.codes()
+
+
+def test_mutation_bad_designation_sc140():
+    _, c = _clean_compiled()
+    c.outputs[0] = c.n + 7
+    report = lint_network(c, subject="mutant")
+    assert "SC140" in report.codes()
+    assert not report.ok
+
+
+def test_mutation_nonfinite_params_sc141():
+    _, c = _clean_compiled()
+    c.tau[0] = 2.0
+    c.v_threshold[1] = np.inf
+    report = lint_network(c, subject="mutant")
+    assert "SC141" in report.codes()
+    assert not report.ok
+
+
+def test_tau_zero_integrator_is_not_dead():
+    # perfect integrator with positive input accumulates without bound
+    net = Network()
+    a = net.add_neuron()
+    acc = net.add_neuron(v_threshold=100.0, tau=0.0)
+    net.mark_input(a)
+    net.mark_output(acc)
+    net.add_synapse(a, acc, weight=1.0)
+    report = lint_network(net.compile(), subject="integrator")
+    assert "SC130" not in report.codes()
+    assert report.ok
+
+
+def test_every_rule_class_has_mutation_coverage():
+    # the catalog's codes, minus none: each seeded above
+    assert set(RULES) == {
+        "SC101", "SC102", "SC103", "SC104", "SC110", "SC120",
+        "SC121", "SC122", "SC130", "SC131", "SC140", "SC141",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 3. Certifier: measured counts equal the paper's theorem budgets
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("d", [2, 3, 5])
+@pytest.mark.parametrize("lam", [2, 4])
+def test_wired_or_max_budget_exact(d, lam):
+    entry, lint = certify_circuit("wired_or_max", d=d, lam=lam)
+    assert entry.ok and lint.ok
+    assert entry.budget.exact
+    assert entry.neurons == 5 * d * lam + 2 * lam + 1 == entry.budget.neurons
+    assert entry.synapses == 10 * d * lam == entry.budget.synapses
+    assert entry.depth == 4 * lam + 2  # O(lambda) time, Thm 5.1
+
+
+@pytest.mark.parametrize("d", [2, 3, 5])
+@pytest.mark.parametrize("lam", [2, 4])
+def test_brute_force_max_budget_exact(d, lam):
+    entry, lint = certify_circuit("brute_force_max", d=d, lam=lam)
+    assert entry.ok and lint.ok
+    assert entry.neurons == (2 * d + 1) * lam + d * d + 1 == entry.budget.neurons
+    assert entry.synapses == d * (2 * d + 1) * lam + 3 * d * (d - 1) // 2
+    assert entry.depth == 4  # constant time, Thm 5.2
+
+
+@pytest.mark.parametrize("lam", [2, 4, 8])
+def test_adder_budgets(lam):
+    cla, _ = certify_circuit("carry_lookahead_adder", lam=lam)
+    assert cla.ok
+    assert cla.neurons == 4 * lam + 1 and cla.depth == 2
+    ripple, _ = certify_circuit("ripple_adder", lam=lam)
+    assert ripple.ok
+    assert ripple.neurons == 5 * lam and ripple.depth == lam + 1
+    siu, _ = certify_circuit("siu_adder", lam=lam)
+    assert siu.ok
+    assert siu.neurons == (lam * lam + 13 * lam + 2) // 2 and siu.depth == 4
+
+
+def test_certify_library_default_grid_passes():
+    report = certify_library()
+    assert report.ok, report.render()
+    assert len(report.entries) >= 20
+    doc = report.to_dict()
+    assert doc["ok"] is True
+    assert all("budget" in e for e in doc["entries"])
+
+
+def test_certify_library_raise_on_violation():
+    from repro.staticcheck import CertificationReport
+
+    report = certify_library({"carry_lookahead_adder": [{"lam": 3}]})
+    assert isinstance(report, CertificationReport)
+    report.raise_if_failed()  # healthy: no raise
+    # forge a violation by shrinking the budget below the measurement
+    import dataclasses
+
+    bad = dataclasses.replace(
+        report.entries[0],
+        violations=("neurons 13 exceeds budget 1",),
+    )
+    report.entries[0] = bad
+    with pytest.raises(StaticCheckError):
+        report.raise_if_failed()
+
+
+def test_certify_sssp_and_khop_budgets():
+    g = _graph()
+    m_eff = sum(1 for (u, v, _w) in g.edges() if u != v)
+    plain, lint = certify_sssp(g)
+    assert plain.ok and lint.ok
+    assert plain.neurons == g.n == plain.budget.neurons
+    assert plain.synapses == m_eff
+    assert plain.runtime == (g.n - 1) * g.max_length() + 1  # Thm 3.1 horizon
+    gadg, _ = certify_sssp(g, use_gadgets=True)
+    assert gadg.ok
+    assert gadg.neurons == 2 * g.n
+    assert gadg.synapses == m_eff + 3 * g.n
+    khop, _ = certify_khop(g, 4)
+    assert khop.ok
+    assert khop.neurons == g.n and khop.runtime == 4
+
+
+def test_certify_unknown_kind_raises():
+    with pytest.raises(StaticCheckError):
+        certify_circuit("nonexistent_circuit")
+
+
+# --------------------------------------------------------------------------- #
+# 4. Integration: verify hooks, service admission, CLI
+# --------------------------------------------------------------------------- #
+
+
+def test_run_circuit_verify_clean_passes():
+    b = _adder_builder(carry_lookahead_adder, lam=3)
+    out = run_circuit(b, {"a": 3, "b": 4}, verify=True)
+    assert out["out"] == 7
+
+
+def test_run_circuit_verify_rejects_broken_circuit():
+    b = _adder_builder(carry_lookahead_adder, lam=3)
+    c = b.net.compile()
+    c.v_threshold[c.outputs[0]] = 1e9  # provably dead output
+    with pytest.raises(StaticCheckError) as exc_info:
+        run_circuit(b, {"a": 1, "b": 1}, verify=True)
+    assert "SC130" in exc_info.value.report.codes()
+
+
+def test_driver_verify_hooks():
+    from repro.algorithms.reach import spiking_khop_reach
+    from repro.algorithms.sssp_pseudo import spiking_sssp_pseudo
+
+    g = _graph()
+    res = spiking_sssp_pseudo(g, 0, verify=True)
+    assert res.dist[0] == 0
+    res = spiking_khop_reach(g, 0, 3, verify=True)
+    assert res.dist[0] == 0
+
+
+def test_service_rejects_broken_resident_circuit():
+    from repro.service import QueryServer
+    from repro.service.schema import QueryRequest
+
+    b = CircuitBuilder()
+    bits = b.input_bits("a", 2)
+    gate = b.or_gate(bits)
+    b.output_bits("out", [gate], aligned=False)
+    b.net.compile().v_threshold[gate.nid] = 1e9  # dead output gate
+
+    with QueryServer(workers=1) as srv:
+        srv.register_circuit("bad", b)
+        with pytest.raises(StaticCheckError) as exc_info:
+            srv.submit(QueryRequest(kind="circuit", graph_id="bad", inputs={"a": 1}))
+        assert "SC130" in exc_info.value.report.codes()
+        # memoized per resident: second submit re-rejects without re-linting
+        with pytest.raises(StaticCheckError):
+            srv.submit(QueryRequest(kind="circuit", graph_id="bad", inputs={"a": 0}))
+        stats = srv.stats()
+        assert stats["metrics"]["counters"]["service.lint.checked"] == 1
+        assert stats["metrics"]["counters"]["service.lint.rejections"] == 2
+        assert stats["lint"]["residents"] == {"resident circuit 'bad'": False}
+
+
+def test_service_admission_lint_can_be_disabled():
+    from repro.service import QueryServer
+    from repro.service.schema import QueryRequest
+
+    b = CircuitBuilder()
+    bits = b.input_bits("a", 2)
+    gate = b.or_gate(bits)
+    b.output_bits("out", [gate], aligned=False)
+    b.net.compile().v_threshold[gate.nid] = 1e9
+
+    with QueryServer(workers=1, lint_admission=False) as srv:
+        srv.register_circuit("bad", b)
+        # admitted; the dead gate simply never fires, output decodes to 0
+        result = srv.serve(
+            QueryRequest(kind="circuit", graph_id="bad", inputs={"a": 1}), timeout=30
+        )
+        assert result.ok and result.outputs == {"out": 0}
+
+
+def test_service_healthy_graph_passes_admission():
+    from repro.service import QueryServer
+    from repro.service.schema import QueryRequest
+
+    g = _graph()
+    with QueryServer(workers=1) as srv:
+        srv.register_graph("g", g)
+        res = srv.serve(QueryRequest(kind="sssp", graph_id="g", source=0), timeout=30)
+        assert res.ok
+        assert srv.stats()["lint"]["residents"]["resident 'g' (sssp)"] is True
+
+
+def test_cli_lint_json(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+    from repro.workloads import write_edge_list
+
+    g = _graph()
+    gpath = tmp_path / "g.edges"
+    write_edge_list(g, str(gpath))
+    out = tmp_path / "report.json"
+    rc = main(["lint", str(gpath), "--json", "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert out.exists()
+    kinds = [e["kind"] for e in doc["entries"]]
+    assert any(k.startswith("sssp_pseudo[") for k in kinds)
+    assert any(k.startswith("khop_reach[") for k in kinds)
+    assert "wired_or_max" in kinds
+
+
+def test_cli_lint_golden_fixtures(capsys):
+    from repro.cli import main
+
+    rc = main(["lint", "--golden", "tests/golden", "--no-circuits", "--json"])
+    assert rc == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert len(doc["entries"]) == 9  # 3 fixtures x (2 sssp variants + khop)
+
+
+def test_cli_profile_prints_lint_summary(capsys):
+    from repro.cli import main
+
+    rc = main(["profile", "sssp", "--n", "24", "--p", "0.2", "--seed", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "build cache:" in out
+    assert "lint: ok" in out
+
+
+# --------------------------------------------------------------------------- #
+# 5. Construction-time validation (satellite)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_network_rejects_nonfinite_weight(bad):
+    net = Network()
+    a, b = net.add_neuron(), net.add_neuron()
+    with pytest.raises(ValidationError):
+        net.add_synapse(a, b, weight=bad)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0, -1, 1.5])
+def test_network_rejects_bad_delay(bad):
+    net = Network()
+    a, b = net.add_neuron(), net.add_neuron()
+    with pytest.raises(ValidationError):
+        net.add_synapse(a, b, delay=bad)
+
+
+@pytest.mark.parametrize("field", ["v_reset", "v_threshold"])
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_neuron_params_reject_nonfinite(field, bad):
+    net = Network()
+    with pytest.raises(ValidationError):
+        net.add_neuron(**{field: bad})
+
+
+def test_lint_report_serialization_roundtrip():
+    b = _adder_builder(ripple_adder)
+    report = b.lint(subject="roundtrip")
+    doc = report.to_dict()
+    assert doc["subject"] == "roundtrip"
+    assert doc["ok"] is True
+    assert isinstance(doc["diagnostics"], list)
+    assert "lint roundtrip: ok" in report.render()
+    assert report.summary().startswith("lint: ok")
