@@ -8,6 +8,7 @@ Examples::
     python -m repro khop graph.edges --source 0 --k 4 --algorithm ttl
     python -m repro approx graph.edges --source 0 --k 4
     python -m repro compare graph.edges --source 0 --k 4 --registers 4
+    python -m repro chaos worker-crash --requests 64 --seed 0
 
 ``compare`` prints a Table-1-style report for the given instance: both
 halves (RAM ops and DISTANCE movement vs neuromorphic ticks, native and
@@ -264,6 +265,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip the served-vs-solo equality check"
     )
     lg.add_argument("--out", default="BENCH_serving.json")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a deterministic fault scenario against the query server",
+    )
+    chaos.add_argument(
+        "scenario",
+        nargs="?",
+        default="worker-crash",
+        help="named scenario (see --list); default: worker-crash",
+    )
+    chaos.add_argument(
+        "graphs",
+        nargs="*",
+        help="graphs to query, as 'id=path' (default: built-in grid + G(n,p) pair)",
+    )
+    chaos.add_argument("--list", action="store_true", help="list scenarios and exit")
+    chaos.add_argument("--requests", type=int, default=64)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workers", type=int, default=None, help="override scenario worker count")
+    chaos.add_argument("--max-batch", type=int, default=4)
+    chaos.add_argument("--linger-ms", type=float, default=5.0)
+    chaos.add_argument(
+        "--no-verify", action="store_true", help="skip the served-vs-solo equality check"
+    )
+    chaos.add_argument("--out", default="BENCH_chaos.json")
 
     return parser
 
@@ -619,6 +646,58 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """``repro chaos``: deterministic recovery harness, writes BENCH_chaos.json."""
+    import json
+
+    from repro.service import SCENARIOS, run_chaos
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name:15s} {SCENARIOS[name]['description']}")
+        return 0
+    graphs = _parse_resident_graphs(args.graphs) if args.graphs else None
+    report = run_chaos(
+        args.scenario,
+        graphs=graphs,
+        n_requests=args.requests,
+        seed=args.seed,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1000.0,
+        verify=not args.no_verify,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    o, sup = report["outcome"], report["supervisor"]
+    print(f"scenario:    {report['scenario']} — {report['description']}")
+    print(
+        f"tickets:     {o['submitted']} submitted, {o['completed']} completed, "
+        f"{o['lost']} lost, {o['degraded']} degraded"
+    )
+    print(
+        f"supervisor:  {sup['crashes']} crashes, {sup['wedged']} wedged, "
+        f"{sup['restarts']} restarts, {sup['requeued']} tickets requeued"
+    )
+    if sup["recovery_max_s"] is not None:
+        print(
+            f"recovery:    mean {sup['recovery_mean_s'] * 1000:.1f} ms, "
+            f"max {sup['recovery_max_s'] * 1000:.1f} ms"
+        )
+    print(
+        f"latency:     p50 {o['latency_p50_s'] * 1000:.1f} ms, "
+        f"p99 {o['latency_p99_s'] * 1000:.1f} ms under fault"
+    )
+    if report["equality"]["checked"]:
+        print(f"equality:    {report['equality']['mismatches']} mismatches vs solo")
+    print(f"wrote {args.out}")
+    if o["lost"] or report["equality"]["mismatches"]:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -639,6 +718,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+
+    if args.command == "chaos":
+        return _cmd_chaos(args)
 
     g = _read_graph(args.graph)
     if not getattr(args, "json", False):

@@ -1,11 +1,21 @@
-"""Exception hierarchy for the ``repro`` package.
+"""Exception hierarchy and stable error taxonomy for the ``repro`` package.
 
 All exceptions raised deliberately by this library derive from
 :class:`ReproError` so callers can catch library failures without also
 swallowing programming errors (``TypeError`` etc.).
+
+The serving layer additionally needs a *wire-stable* classification of
+failures: a client deciding whether to retry cannot parse exception
+messages.  :func:`classify_exception` maps any exception to a short stable
+error code, and :data:`RETRYABLE_ERROR_CODES` names the codes a
+well-behaved client may retry (transient conditions: overload, an open
+circuit breaker, a crashed worker, a queue-deadline timeout).  Codes are
+append-only: never rename or repurpose one, clients depend on them.
 """
 
 from __future__ import annotations
+
+from typing import Tuple
 
 
 class ReproError(Exception):
@@ -79,6 +89,31 @@ class ServiceOverloadedError(ReproError, RuntimeError):
         self.queue_depth = int(queue_depth)
 
 
+class CircuitOpenError(ReproError, RuntimeError):
+    """A circuit breaker is open for this (kind, graph_id); shed fast.
+
+    Raised synchronously by :meth:`repro.service.server.QueryServer.submit`
+    when the rolling error rate of the targeted query family tripped its
+    breaker.  Unlike :class:`ServiceOverloadedError` (the queue is full but
+    healthy), an open breaker means recent requests of this exact shape
+    have been *failing*; :attr:`retry_after_s` is the remaining cool-down
+    before the breaker admits half-open trial requests again.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_s: float = 0.0,
+        kind: str = "",
+        graph_id: str = "",
+    ):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.kind = str(kind)
+        self.graph_id = str(graph_id)
+
+
 class StaticCheckError(ReproError, ValueError):
     """A static-analysis gate rejected a network before simulation.
 
@@ -110,3 +145,48 @@ class EmbeddingError(ReproError, ValueError):
 
 class MachineError(ReproError, RuntimeError):
     """An invalid operation was issued to the DISTANCE machine."""
+
+
+# --------------------------------------------------------------------- #
+# Stable error codes (the serving layer's retry contract)
+# --------------------------------------------------------------------- #
+
+#: Codes a client may retry: the condition is transient and the query is
+#: idempotent-safe to resubmit.  Everything else is permanent — retrying a
+#: deterministic failure (validation, a structural lint rejection, a
+#: reproducible simulation error) reproduces the failure.
+RETRYABLE_ERROR_CODES = frozenset(
+    {"OVERLOADED", "BREAKER_OPEN", "WORKER_CRASH", "WORKER_WEDGED", "TIMEOUT"}
+)
+
+#: isinstance-ordered (most specific first) exception -> code mapping.
+_CODE_TABLE: Tuple[Tuple[type, str], ...] = (
+    (CircuitOpenError, "BREAKER_OPEN"),
+    (ServiceOverloadedError, "OVERLOADED"),
+    (StaticCheckError, "STATICCHECK"),
+    (UnsupportedNetworkError, "UNSUPPORTED"),
+    (WatchdogError, "WATCHDOG"),
+    (SimulationError, "SIMULATION"),
+    (ValidationError, "INVALID"),
+    (CircuitError, "INVALID"),
+    (GraphError, "INVALID"),
+    (EmbeddingError, "INVALID"),
+    (MachineError, "INVALID"),
+    (TimeoutError, "TIMEOUT"),
+    (MemoryError, "RESOURCE"),
+)
+
+
+def classify_exception(exc: BaseException) -> Tuple[str, bool]:
+    """``(stable error code, retryable?)`` for any raised exception.
+
+    The code is what travels in
+    :attr:`repro.service.schema.QueryResult.error_code`; ``retryable``
+    is ``code in RETRYABLE_ERROR_CODES``.  Unrecognized exceptions map to
+    ``INTERNAL`` (permanent): an unknown failure is assumed deterministic,
+    so blind retries do not amplify a bug into a retry storm.
+    """
+    for etype, code in _CODE_TABLE:
+        if isinstance(exc, etype):
+            return code, code in RETRYABLE_ERROR_CODES
+    return "INTERNAL", False

@@ -17,21 +17,34 @@ Layers, bottom up:
   key, stimuli, decode), plus the naive :func:`execute_solo` reference.
 - :mod:`~repro.service.queue` — bounded admission with backpressure and
   linger-based coalescing.
-- :mod:`~repro.service.resultcache` — TTL-LRU cache of served answers.
-- :mod:`~repro.service.server` — :class:`QueryServer`: worker pool,
-  dispatch, telemetry.
-- :mod:`~repro.service.client` — in-process :class:`ServiceClient` facade.
+- :mod:`~repro.service.resultcache` — TTL-LRU cache of served answers,
+  with amortized expiry purging and an optional stale-grace window.
+- :mod:`~repro.service.breaker` — per-``(kind, graph_id)``
+  :class:`CircuitBreaker` (closed/open/half-open on rolling error rate).
+- :mod:`~repro.service.retry` — client-side :class:`RetryPolicy`
+  (jittered exponential backoff over structured error codes).
+- :mod:`~repro.service.server` — :class:`QueryServer`: supervised worker
+  pool, dispatch, degradation ladder, telemetry.
+- :mod:`~repro.service.client` — in-process :class:`ServiceClient` facade
+  with retries and hedged submission.
+- :mod:`~repro.service.chaos` — deterministic fault injection
+  (:class:`ChaosPolicy`) and the ``repro chaos`` recovery harness
+  (the ``BENCH_chaos.json`` artifact).
 - :mod:`~repro.service.loadgen` — closed-loop benchmark behind
   ``repro loadgen`` (the ``BENCH_serving.json`` artifact).
 
-See ``docs/serving.md`` for the architecture and tuning guide.
+See ``docs/serving.md`` for the architecture, tuning, and failure-mode
+guide.
 """
 
 from repro.service.adapters import RequestPlan, execute_solo, plan_request
+from repro.service.breaker import BreakerPolicy, CircuitBreaker
+from repro.service.chaos import SCENARIOS, ChaosPolicy, InjectedWorkerCrash, run_chaos
 from repro.service.client import ServiceClient
 from repro.service.loadgen import generate_requests, results_equal, run_loadgen
 from repro.service.queue import Batch, CoalescingQueue
 from repro.service.resultcache import TTLResultCache
+from repro.service.retry import RetryPolicy
 from repro.service.schema import (
     QUERY_KINDS,
     QueryRequest,
@@ -44,14 +57,20 @@ from repro.service.server import QueryServer, QueryTicket
 
 __all__ = [
     "QUERY_KINDS",
+    "SCENARIOS",
     "Batch",
+    "BreakerPolicy",
+    "ChaosPolicy",
+    "CircuitBreaker",
     "CoalescingQueue",
+    "InjectedWorkerCrash",
     "QueryRequest",
     "QueryResult",
     "QueryServer",
     "QueryStatus",
     "QueryTicket",
     "RequestPlan",
+    "RetryPolicy",
     "ServiceClient",
     "TTLResultCache",
     "execute_solo",
@@ -60,5 +79,6 @@ __all__ = [
     "plan_request",
     "request_from_dict",
     "results_equal",
+    "run_chaos",
     "run_loadgen",
 ]

@@ -1,0 +1,170 @@
+"""Per-query-family circuit breakers for the serving layer.
+
+A :class:`CircuitBreaker` guards one ``(kind, graph_id)`` family of
+requests.  It watches a rolling window of outcomes
+(:class:`~repro.telemetry.metrics.RollingWindow`) and moves through the
+classic three states:
+
+``closed``
+    Normal service.  Every outcome is recorded; once at least
+    ``min_samples`` outcomes are in the window and the windowed error rate
+    reaches ``error_threshold``, the breaker **opens**.
+``open``
+    Fast shedding: :meth:`allow` returns ``False`` without touching the
+    queue, so a failing family cannot occupy batch slots that healthy
+    families need.  After ``open_s`` the breaker becomes half-open.
+``half_open``
+    Up to ``half_open_trials`` probe requests are admitted.  If all of
+    them succeed the breaker closes (window reset); any failure reopens it
+    for another full ``open_s``.
+
+The server raises :class:`~repro.errors.CircuitOpenError` (carrying the
+remaining cool-down as ``retry_after_s``) when :meth:`allow` refuses, so
+clients back off exactly as they do for queue backpressure.  All methods
+are thread-safe; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import RollingWindow
+
+__all__ = ["BreakerPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning of one breaker; shared by every family of a server.
+
+    The defaults are deliberately conservative: half the last ``window``
+    outcomes must fail (with at least ``min_samples`` observed) before any
+    load is shed, so isolated failures and cold starts never trip it.
+    """
+
+    window: int = 32
+    error_threshold: float = 0.5
+    min_samples: int = 8
+    open_s: float = 1.0
+    half_open_trials: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValidationError(f"window must be >= 1, got {self.window}")
+        if not (0.0 < self.error_threshold <= 1.0):
+            raise ValidationError(
+                f"error_threshold must be in (0, 1], got {self.error_threshold}"
+            )
+        if self.min_samples < 1:
+            raise ValidationError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.open_s <= 0:
+            raise ValidationError(f"open_s must be > 0, got {self.open_s}")
+        if self.half_open_trials < 1:
+            raise ValidationError(
+                f"half_open_trials must be >= 1, got {self.half_open_trials}"
+            )
+
+
+class CircuitBreaker:
+    """Rolling-error-rate breaker: closed / open / half-open."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy = BreakerPolicy(),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._window = RollingWindow(policy.window)
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._trials = 0
+        self._trial_successes = 0
+        self.opens = 0  # lifetime count of closed/half-open -> open transitions
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state(self._clock())
+
+    def _probe_state(self, now: float) -> str:
+        """Advance open -> half-open if the cool-down elapsed (lock held)."""
+        if self._state == "open" and now >= self._opened_at + self.policy.open_s:
+            self._state = "half_open"
+            self._trials = 0
+            self._trial_successes = 0
+        return self._state
+
+    def _open(self, now: float) -> None:
+        self._state = "open"
+        self._opened_at = now
+        self.opens += 1
+
+    # ------------------------------------------------------------------ #
+
+    def allow(self) -> bool:
+        """May one request of this family be admitted right now?
+
+        In half-open state each ``True`` consumes one of the probe slots;
+        callers must follow up with :meth:`record` so the probe's outcome
+        decides the next transition.
+        """
+        with self._lock:
+            now = self._clock()
+            state = self._probe_state(now)
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._trials >= self.policy.half_open_trials:
+                return False
+            self._trials += 1
+            return True
+
+    def retry_after_s(self) -> float:
+        """Remaining cool-down of an open breaker (0 when not open)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(self._opened_at + self.policy.open_s - self._clock(), 0.0)
+
+    def record(self, ok: bool) -> None:
+        """Feed one outcome (cache hits excluded; sheds are not outcomes)."""
+        with self._lock:
+            now = self._clock()
+            state = self._probe_state(now)
+            if state == "half_open":
+                if not ok:
+                    self._open(now)
+                    return
+                self._trial_successes += 1
+                if self._trial_successes >= self.policy.half_open_trials:
+                    self._state = "closed"
+                    self._window.reset()
+                return
+            self._window.push(0.0 if ok else 1.0)
+            if (
+                state == "closed"
+                and len(self._window) >= self.policy.min_samples
+                and self._window.mean() >= self.policy.error_threshold
+            ):
+                self._open(now)
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._probe_state(self._clock()),
+                "error_rate": round(self._window.mean(), 4),
+                "samples": len(self._window),
+                "opens": self.opens,
+            }

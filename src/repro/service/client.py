@@ -6,27 +6,86 @@ answer (``sssp``/``khop``/``apsp``/``circuit``) or returns the
 :class:`~repro.service.server.QueryTicket` (the ``submit_*`` variants) so
 callers can fan out many queries and collect results later — the pattern
 that actually exercises coalescing.
+
+The synchronous methods are where the client-side half of the resilience
+contract lives:
+
+* With a :class:`~repro.service.retry.RetryPolicy`, transient failures are
+  retried under jittered exponential backoff: synchronous rejections
+  (:class:`~repro.errors.ServiceOverloadedError`,
+  :class:`~repro.errors.CircuitOpenError` — both carrying a
+  ``retry_after_s`` hint the backoff never undercuts) and ERROR/TIMEOUT
+  results whose structured ``error_code`` the policy declares retryable.
+  Only :attr:`~repro.service.schema.QueryRequest.idempotent` requests are
+  ever resubmitted, and both an attempt cap and a wall-clock budget bound
+  the loop.
+* With ``hedge_after_s``, a synchronous call that has not completed within
+  that delay submits one *hedge* duplicate (idempotent requests only) and
+  returns whichever copy finishes first — the classic tail-latency
+  mitigation: a request stuck behind a slow batch or a crashed worker is
+  answered by its duplicate instead of waiting out recovery.  The loser is
+  left to complete in the background (results are shared, not cancelled).
+
+The ``submit_*`` ticket variants stay raw single-shot submissions; callers
+who fan out manually own their own retry discipline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import time
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.transient import FaultModel
 from repro.core.watchdog import Watchdog
-from repro.service.schema import QueryRequest, QueryResult
+from repro.errors import CircuitOpenError, ServiceOverloadedError, classify_exception
+from repro.service.retry import RetryPolicy
+from repro.service.schema import QueryRequest, QueryResult, QueryStatus
 from repro.service.server import QueryServer, QueryTicket
 
 __all__ = ["ServiceClient"]
 
+#: Polling period while racing a primary ticket against its hedge.
+_HEDGE_POLL_S = 0.001
+
 
 class ServiceClient:
-    """Typed request builders bound to one server."""
+    """Typed request builders bound to one server, with optional resilience.
 
-    def __init__(self, server: QueryServer, *, timeout: Optional[float] = None):
+    Parameters
+    ----------
+    server:
+        The in-process :class:`~repro.service.server.QueryServer`.
+    timeout:
+        Default blocking timeout for the synchronous methods.
+    retry:
+        Optional :class:`~repro.service.retry.RetryPolicy` applied by the
+        synchronous methods; ``None`` means single-shot.
+    hedge_after_s:
+        Optional hedging delay for the synchronous methods; ``None``
+        disables hedging.
+    sleep / clock:
+        Injectable timing (deterministic tests patch these).
+    """
+
+    def __init__(
+        self,
+        server: QueryServer,
+        *,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        hedge_after_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         self.server = server
         #: default blocking timeout for the synchronous methods
         self.timeout = timeout
+        self.retry = retry
+        self.hedge_after_s = hedge_after_s
+        self._sleep = sleep
+        self._clock = clock
+        #: client-side resilience counters (monotonic over the client's life)
+        self.stats: Dict[str, int] = {"attempts": 0, "retries": 0, "hedges": 0, "hedge_wins": 0}
 
     # -- asynchronous (ticket-returning) ------------------------------- #
 
@@ -124,16 +183,97 @@ class ServiceClient:
             )
         )
 
+    # -- resilience core ----------------------------------------------- #
+
+    def call(self, request: QueryRequest) -> QueryResult:
+        """Serve ``request`` under this client's retry/hedging discipline.
+
+        The terminal behavior mirrors single-shot serving: a permanent (or
+        budget-exhausted) ERROR/TIMEOUT result is *returned* for the caller
+        to inspect, while a rejection that never produced a result
+        (overload/open breaker on the last attempt) is *raised*.
+        """
+        policy = self.retry
+        t0 = self._clock()
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats["attempts"] += 1
+            result: Optional[QueryResult] = None
+            error_code: Optional[str] = None
+            hint_s: Optional[float] = None
+            rejection: Optional[BaseException] = None
+            try:
+                result = self._attempt(request)
+            except (ServiceOverloadedError, CircuitOpenError) as exc:
+                rejection = exc
+                error_code, _retryable = classify_exception(exc)
+                hint_s = exc.retry_after_s
+            if result is not None:
+                if result.status is QueryStatus.OK:
+                    return result
+                error_code = result.error_code or (
+                    "TIMEOUT" if result.status is QueryStatus.TIMEOUT else "INTERNAL"
+                )
+            if policy is None or not policy.should_retry(
+                attempt=attempt,
+                elapsed_s=self._clock() - t0,
+                error_code=error_code,
+                idempotent=request.idempotent,
+            ):
+                if result is not None:
+                    return result
+                assert rejection is not None
+                raise rejection
+            self.stats["retries"] += 1
+            self._sleep(policy.backoff_s(attempt, hint_s=hint_s))
+
+    def _attempt(self, request: QueryRequest) -> QueryResult:
+        """One submission, hedged with a duplicate when it runs long."""
+        primary = self.server.submit(request)
+        if self.hedge_after_s is None or not request.idempotent:
+            return primary.result(self.timeout)
+        try:
+            return primary.result(self.hedge_after_s)
+        except TimeoutError:
+            pass
+        self.stats["hedges"] += 1
+        try:
+            hedge = self.server.submit(request)
+        except (ServiceOverloadedError, CircuitOpenError):
+            # No capacity for a duplicate; fall back to waiting the primary.
+            return primary.result(self.timeout)
+        waited = self._clock()
+        while True:
+            if primary.done():
+                return primary.result(0.0)
+            if hedge.done():
+                self.stats["hedge_wins"] += 1
+                return hedge.result(0.0)
+            if (
+                self.timeout is not None
+                and self._clock() - waited >= self.timeout
+            ):
+                raise TimeoutError(
+                    f"request {request.request_id} (and its hedge) not completed "
+                    f"in {self.timeout}s"
+                )
+            self._sleep(_HEDGE_POLL_S)
+
     # -- synchronous --------------------------------------------------- #
 
     def sssp(self, graph_id: str, source: int, **kw) -> QueryResult:
-        return self.submit_sssp(graph_id, source, **kw).result(self.timeout)
+        return self.call(self._request("sssp", graph_id, source=source, **kw))
 
     def khop(self, graph_id: str, source: int, k: int, **kw) -> QueryResult:
-        return self.submit_khop(graph_id, source, k, **kw).result(self.timeout)
+        return self.call(self._request("khop", graph_id, source=source, k=k, **kw))
 
     def apsp(self, graph_id: str, sources: Iterable[int], **kw) -> QueryResult:
-        return self.submit_apsp(graph_id, sources, **kw).result(self.timeout)
+        return self.call(self._request("apsp", graph_id, sources=tuple(sources), **kw))
 
     def circuit(self, circuit_id: str, inputs: Dict[str, int], **kw) -> QueryResult:
-        return self.submit_circuit(circuit_id, inputs, **kw).result(self.timeout)
+        return self.call(self._request("circuit", circuit_id, inputs=dict(inputs), **kw))
+
+    @staticmethod
+    def _request(kind: str, graph_id: str, **kw) -> QueryRequest:
+        return QueryRequest(kind=kind, graph_id=graph_id, **kw)

@@ -306,6 +306,29 @@ def run_loadgen(
     n_ok = sum(1 for r in results if r is not None and r.ok)
     n_err = len(requests) - n_ok
 
+    # Per-query-kind latency/error breakdown: a mixed workload's aggregate
+    # p99 hides which kind is slow or failing.
+    per_kind: Dict[str, Dict[str, object]] = {}
+    for kind in sorted({req.kind for req in requests}):
+        idx = [i for i, req in enumerate(requests) if req.kind == kind]
+        lats = [latencies[i] for i in idx if results[i] is not None]
+        kind_ok = sum(1 for i in idx if results[i] is not None and results[i].ok)
+        error_codes: Dict[str, int] = {}
+        for i in idx:
+            r = results[i]
+            if r is None or r.ok:
+                continue
+            code = r.error_code or "UNKNOWN"
+            error_codes[code] = error_codes.get(code, 0) + 1
+        per_kind[kind] = {
+            "requests": len(idx),
+            "ok": kind_ok,
+            "errors": len(idx) - kind_ok,
+            "error_codes": error_codes,
+            "latency_p50_s": round(_percentile(lats, 0.50), 6),
+            "latency_p99_s": round(_percentile(lats, 0.99), 6),
+        }
+
     mismatches = 0
     naive_report: Optional[Dict[str, object]] = None
     speedup: Optional[float] = None
@@ -369,6 +392,7 @@ def run_loadgen(
             "errors": n_err,
             "overload_retries": retries,
             "statuses": {s: statuses.count(s) for s in sorted(set(statuses))},
+            "per_kind": per_kind,
         },
         "naive": naive_report,
         "speedup": speedup,

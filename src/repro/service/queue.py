@@ -117,11 +117,32 @@ class CoalescingQueue:
             self._depth += n
             self._cond.notify()
 
+    def requeue(self, key: Tuple, ticket) -> None:
+        """Put a recovered in-flight ticket back at the *front* of its group.
+
+        The supervisor's recovery path after a worker crash: the ticket was
+        already admitted once, so this bypasses the ``limit_items`` bound
+        and the closed check (recovery must still work while :meth:`close`
+        is draining).  The admit time is backdated by ``linger_s`` so the
+        group releases immediately instead of lingering a second time.
+        """
+        n = ticket.n_items
+        with self._cond:
+            backdated = self._clock() - self.linger_s
+            self._groups.setdefault(key, []).insert(0, (backdated, ticket))
+            self._depth += n
+            self._cond.notify()
+
     def close(self) -> None:
         """Stop admitting; pending groups drain immediately (no linger)."""
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def drained(self) -> bool:
+        """True once the queue is closed and holds no tickets."""
+        with self._lock:
+            return self._closed and not self._groups
 
     # ------------------------------------------------------------------ #
 

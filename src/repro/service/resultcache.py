@@ -3,8 +3,23 @@
 Keys are ``(resident key, query params, fault fingerprint)`` tuples built
 by the server (see :meth:`repro.service.schema.QueryRequest.cache_params`);
 values are frozen :class:`~repro.service.schema.QueryResult` objects.
-Entries expire ``ttl_s`` seconds after insertion (checked lazily on read)
-and the least-recently-used entry is evicted once ``maxsize`` is exceeded.
+Entries expire ``ttl_s`` seconds after insertion and the
+least-recently-used entry is evicted once ``maxsize`` is exceeded.
+
+Expiry is enforced two ways.  Reads check lazily (:meth:`get` never
+returns an expired value), and — because a key that is never read again
+would otherwise pin its dead entry until LRU pressure happens to reach it
+— every :meth:`put` also runs an **amortized purge**: it probes a bounded
+number of least-recently-used entries and drops the expired ones, so a
+steady insert stream keeps the cache free of unbounded staleness at O(1)
+amortized cost per insert (counted in ``stats()['purges']``).
+
+With a positive ``stale_grace_s``, expired entries linger (invisible to
+:meth:`get`) for that long and are servable through :meth:`get_stale` —
+the first rung of the server's overload degradation ladder: a
+stale-but-marked answer beats a rejection.  Beyond ``ttl_s +
+stale_grace_s`` entries are unconditionally dead.
+
 Thread-safe: one lock around every transition, mirroring
 :class:`~repro.core.cache.BuildCache`.
 """
@@ -20,35 +35,56 @@ from repro.errors import ValidationError
 
 __all__ = ["TTLResultCache"]
 
+#: LRU-front entries probed per insert; bounds the purge cost per put.
+_PURGE_PROBES = 8
+
 
 class TTLResultCache:
-    """Bounded LRU with per-entry time-to-live."""
+    """Bounded LRU with per-entry time-to-live and optional stale grace."""
 
     def __init__(
         self,
         *,
         maxsize: int = 1024,
         ttl_s: float = 60.0,
+        stale_grace_s: float = 0.0,
         clock: Callable[[], float] = time.monotonic,
     ):
         if maxsize < 1:
             raise ValidationError(f"result cache maxsize must be >= 1, got {maxsize}")
         if ttl_s <= 0:
             raise ValidationError(f"result cache ttl_s must be > 0, got {ttl_s}")
+        if stale_grace_s < 0:
+            raise ValidationError(
+                f"result cache stale_grace_s must be >= 0, got {stale_grace_s}"
+            )
         self.maxsize = int(maxsize)
         self.ttl_s = float(ttl_s)
+        self.stale_grace_s = float(stale_grace_s)
         self._clock = clock
         self._lock = threading.Lock()
-        #: key -> (expiry time, value)
+        #: key -> (expiry time, value); expired entries may linger within grace
         self._entries: "OrderedDict[Tuple, Tuple[float, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.stale_hits = 0
         self.expirations = 0
         self.evictions = 0
+        self.purges = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+
+    def _drop_expired(self, key: Tuple, expires: float, now: float) -> bool:
+        """Remove ``key`` if it is past TTL *and* grace (lock held)."""
+        if now >= expires + self.stale_grace_s:
+            del self._entries[key]
+            self.expirations += 1
+            return True
+        return False
 
     def get(self, key: Tuple) -> Optional[Any]:
         """The live entry for ``key`` (refreshed to MRU), else ``None``."""
@@ -58,19 +94,49 @@ class TTLResultCache:
                 self.misses += 1
                 return None
             expires, value = entry
-            if expires <= self._clock():
-                del self._entries[key]
-                self.expirations += 1
+            now = self._clock()
+            if expires <= now:
+                # expired: invisible to fresh reads, kept only within grace
+                self._drop_expired(key, expires, now)
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             return value
 
+    def get_stale(self, key: Tuple) -> Optional[Any]:
+        """An expired-but-in-grace entry for ``key``, else ``None``.
+
+        The degraded-serving read: only consulted when the fresh path is
+        unavailable (overload), so it neither refreshes recency nor counts
+        as a hit/miss — stale serves are tracked separately.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            expires, value = entry
+            now = self._clock()
+            if expires > now:  # still fresh — callers should use get()
+                self.hits += 1
+                return value
+            if now >= expires + self.stale_grace_s:
+                self._drop_expired(key, expires, now)
+                return None
+            self.stale_hits += 1
+            return value
+
     def put(self, key: Tuple, value: Any) -> None:
         with self._lock:
-            self._entries[key] = (self._clock() + self.ttl_s, value)
+            now = self._clock()
+            self._entries[key] = (now + self.ttl_s, value)
             self._entries.move_to_end(key)
+            # amortized purge: probe the LRU front so entries whose keys
+            # are never read again cannot survive past TTL + grace
+            for probe_key in list(self._entries)[:_PURGE_PROBES]:
+                expires, _ = self._entries[probe_key]
+                if probe_key != key and self._drop_expired(probe_key, expires, now):
+                    self.purges += 1
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -85,6 +151,8 @@ class TTLResultCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "stale_hits": self.stale_hits,
                 "expirations": self.expirations,
                 "evictions": self.evictions,
+                "purges": self.purges,
             }

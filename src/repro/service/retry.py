@@ -1,0 +1,112 @@
+"""Client-side retry discipline for served queries.
+
+:class:`RetryPolicy` is the contract half the server publishes through its
+structured errors: backpressure rejections
+(:class:`~repro.errors.ServiceOverloadedError`) and open breakers
+(:class:`~repro.errors.CircuitOpenError`) carry ``retry_after_s``; ERROR
+results carry a stable :attr:`~repro.service.schema.QueryResult.error_code`
+that :data:`~repro.errors.RETRYABLE_ERROR_CODES` splits into transient and
+permanent.  The policy turns those signals into a bounded, jittered
+exponential backoff:
+
+* **idempotent-only** — a request is only ever resubmitted when
+  :attr:`~repro.service.schema.QueryRequest.idempotent` is true (every
+  current query kind is a pure read; future mutation ops opt out);
+* **code-gated** — ERROR/TIMEOUT results retry only when their
+  ``error_code`` is in :attr:`RetryPolicy.retry_codes`; a deterministic
+  failure (validation, simulation bug) is returned immediately;
+* **server-hinted** — the backoff never undercuts the server's
+  ``retry_after_s`` hint, so a shedding server is not hammered;
+* **budget-capped** — both an attempt cap and a wall-clock budget bound
+  the total time a caller can spend retrying one request.
+
+Jitter is *deterministic*: a counter-hash of ``(seed, attempt)`` through
+the same splitmix64 finalizer the transient fault models use, so two runs
+of a seeded workload produce identical backoff schedules — the property
+the chaos harness's reproducibility rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.core.transient import _uniform_hash
+from repro.errors import RETRYABLE_ERROR_CODES, ValidationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered-exponential retry schedule for idempotent queries.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total submission attempts (1 = no retries).
+    base_backoff_s / max_backoff_s:
+        Attempt ``k`` (1-based) backs off
+        ``min(base * 2**(k-1), max)``, then jitter and the server hint
+        are applied.
+    jitter:
+        Symmetric jitter fraction: the backoff is scaled by a
+        deterministic factor in ``[1 - jitter, 1 + jitter]``.
+    budget_s:
+        Wall-clock retry budget measured from the first attempt; once
+        exhausted no further retry is scheduled regardless of attempts
+        left.
+    retry_codes:
+        Error codes eligible for retry (default: the library's
+        :data:`~repro.errors.RETRYABLE_ERROR_CODES`).
+    seed:
+        Jitter seed (counter-hashed per attempt, never a sequential RNG).
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    jitter: float = 0.2
+    budget_s: float = 30.0
+    retry_codes: FrozenSet[str] = field(default_factory=lambda: RETRYABLE_ERROR_CODES)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValidationError("backoff bounds must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.budget_s <= 0:
+            raise ValidationError(f"budget_s must be > 0, got {self.budget_s}")
+
+    # ------------------------------------------------------------------ #
+
+    def backoff_s(self, attempt: int, *, hint_s: Optional[float] = None) -> float:
+        """Sleep before retry number ``attempt`` (1-based, deterministic).
+
+        ``hint_s`` is the server's ``retry_after_s`` when one was given;
+        the returned delay is never below it (jitter only ever extends a
+        hint, so a fleet of clients still de-synchronizes).
+        """
+        base = min(self.base_backoff_s * (2.0 ** max(attempt - 1, 0)), self.max_backoff_s)
+        u = float(_uniform_hash(self.seed, attempt, np.array([0], dtype=np.uint64))[0])
+        jittered = base * (1.0 + self.jitter * (2.0 * u - 1.0))
+        if hint_s is not None and hint_s > 0:
+            jittered = max(jittered, hint_s * (1.0 + self.jitter * u))
+        return max(jittered, 0.0)
+
+    def should_retry(
+        self, *, attempt: int, elapsed_s: float, error_code: Optional[str], idempotent: bool
+    ) -> bool:
+        """May attempt ``attempt`` (just failed with ``error_code``) be retried?"""
+        if not idempotent:
+            return False
+        if attempt >= self.max_attempts:
+            return False
+        if elapsed_s >= self.budget_s:
+            return False
+        return error_code in self.retry_codes

@@ -127,6 +127,18 @@ class QueryRequest:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValidationError(f"deadline_s must be > 0, got {self.deadline_s}")
 
+    @property
+    def idempotent(self) -> bool:
+        """May this request be transparently resubmitted (retry, hedge, requeue)?
+
+        Every current query kind is a pure read over a resident graph or
+        circuit, so re-executing it is always safe.  The property exists
+        as the single gate the retry/hedging/requeue machinery consults —
+        future mutation operations must return ``False`` here and will
+        then never be silently retried.
+        """
+        return True
+
     def cache_params(self) -> Optional[Tuple]:
         """Query-parameter component of the result-cache key, or ``None``.
 
@@ -163,6 +175,16 @@ class QueryResult:
     the request was dispatched in (1 when it ran alone); ``queued_s`` and
     ``service_s`` split the observed latency at dispatch time.  Treat
     results as frozen — cached entries are shared between callers.
+
+    Failures are structured: ``error`` is the human-readable message,
+    ``error_type`` the raising exception class name, and ``error_code`` a
+    stable code from :func:`repro.errors.classify_exception` — the field
+    retry policies branch on (:data:`~repro.errors.RETRYABLE_ERROR_CODES`
+    membership), so clients never parse messages.  ``degraded`` marks an
+    answer served through the overload degradation ladder (a stale cache
+    entry or the approximate SSSP fallback) rather than the full
+    simulation path; ``stale`` additionally marks a cache entry served
+    past its TTL.
     """
 
     request_id: str
@@ -177,7 +199,11 @@ class QueryResult:
     queued_s: float = 0.0
     service_s: float = 0.0
     cached: bool = False
+    degraded: bool = False
+    stale: bool = False
     error: Optional[str] = None
+    error_type: Optional[str] = None
+    error_code: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -194,6 +220,14 @@ class QueryResult:
             "service_s": round(self.service_s, 6),
             "cached": self.cached,
         }
+        if self.degraded:
+            out["degraded"] = True
+        if self.stale:
+            out["stale"] = True
+        if self.error_type is not None:
+            out["error_type"] = self.error_type
+        if self.error_code is not None:
+            out["error_code"] = self.error_code
         if self.dist is not None:
             out["dist"] = self.dist.tolist()
         if self.matrix is not None:

@@ -1,44 +1,86 @@
-"""The concurrent query server: admission, coalescing, dispatch, caching.
+"""The concurrent query server: admission, coalescing, dispatch, resilience.
 
 :class:`QueryServer` owns a :class:`~repro.service.queue.CoalescingQueue`,
-a pool of worker threads, and a :class:`~repro.service.resultcache.TTLResultCache`.
-Callers register graphs/circuits up front (making them *resident*), then
-:meth:`submit` requests; each submit plans the request in the caller's
-thread (so malformed queries fail synchronously), checks the result cache,
-and enqueues a :class:`QueryTicket`.  Workers pull micro-batches of
-compatible tickets and dispatch them through one
+a pool of *supervised* worker threads, and a
+:class:`~repro.service.resultcache.TTLResultCache`.  Callers register
+graphs/circuits up front (making them *resident*), then :meth:`submit`
+requests; each submit plans the request in the caller's thread (so
+malformed queries fail synchronously), checks the result cache, and
+enqueues a :class:`QueryTicket`.  Workers pull micro-batches of compatible
+tickets and dispatch them through one
 :func:`~repro.core.run.simulate_batch` call, so N coalesced requests pay
 one batched sweep instead of N solo simulations while each item's spikes
 remain exactly those of a solo run.
+
+Resilience (the failure contract; see ``docs/serving.md``):
+
+* **Supervision** — a supervisor thread watches per-worker heartbeats.  A
+  worker that dies mid-batch (its loop raised — e.g. a chaos-injected
+  :class:`~repro.service.chaos.InjectedWorkerCrash`) or wedges (no
+  heartbeat for ``wedge_timeout_s`` while holding a batch) is detected;
+  its in-flight tickets are recovered **exactly once** — idempotent
+  tickets are re-enqueued at the front of their group (at most
+  ``max_requeues`` times each), the rest are error-completed with a
+  structured ``WORKER_CRASH``/``WORKER_WEDGED`` code — and a replacement
+  thread is started in the same slot after capped exponential backoff.
+  Exactly-once is enforced by :meth:`QueryTicket.complete`'s atomic claim:
+  a late completion from an abandoned (wedged) worker is a no-op.
+* **Circuit breakers** — each ``(kind, graph_id)`` family is guarded by a
+  :class:`~repro.service.breaker.CircuitBreaker`; once its rolling error
+  rate trips, submits of that family raise
+  :class:`~repro.errors.CircuitOpenError` without touching the queue.
+* **Degradation ladder** — with ``degraded_serving=True``, an admission
+  rejection (queue full) is answered by (1) a stale-but-marked result
+  cache entry within its grace window, then (2) for plain ``sssp``, the
+  Section-7 approximate driver run synchronously in the submitter's
+  thread (``degraded=True`` on the result), before (3) surfacing the
+  :class:`~repro.errors.ServiceOverloadedError`.
+* **Chaos hooks** — an optional
+  :class:`~repro.service.chaos.ChaosPolicy` injects crashes / slow
+  batches / pickup stalls / telemetry clock skew as pure functions of the
+  global batch sequence number, making recovery properties replayable.
 
 Telemetry: workers run each batch under a private
 :class:`~repro.telemetry.metrics.MetricsRegistry` (context variables do not
 propagate into threads, and the registry's dict updates are not atomic),
 then merge it into the server registry under a lock together with the
-serving metrics — queue-depth gauge, batch-occupancy histograms, and
-queue/service/total latency timers.  :meth:`stats` snapshots everything,
-including the build-cache and result-cache counters.
+serving metrics.  :meth:`stats` snapshots everything, including supervisor
+counters/incidents, breaker states, and the cache counters.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.circuits.builder import CircuitBuilder
 from repro.core.cache import default_build_cache
 from repro.core.run import simulate_batch
-from repro.errors import ReproError, ValidationError
+from repro.errors import (
+    CircuitOpenError,
+    ReproError,
+    ServiceOverloadedError,
+    ValidationError,
+    classify_exception,
+)
 from repro.service.adapters import RequestPlan, plan_request
+from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.queue import CoalescingQueue
 from repro.service.resultcache import TTLResultCache
 from repro.service.schema import QueryRequest, QueryResult, QueryStatus
 from repro.telemetry.metrics import MetricsRegistry, use_registry
 from repro.workloads.graph import WeightedDigraph
 
+if TYPE_CHECKING:  # imported lazily at runtime: chaos -> loadgen -> server
+    from repro.service.chaos import ChaosPolicy
+
 __all__ = ["QueryServer", "QueryTicket"]
+
+#: Retained incident-log length (oldest entries are dropped beyond this).
+_MAX_INCIDENTS = 256
 
 
 class QueryTicket:
@@ -47,7 +89,11 @@ class QueryTicket:
     The ticket is the queue's unit of admission (``n_items`` batch items —
     more than one for an apsp slice) and the caller's handle on the answer:
     :meth:`result` blocks until a worker (or the submitter, on a cache hit)
-    completes it.
+    completes it.  Completion is an atomic *claim*: under supervision the
+    same ticket can be visible to a crashed worker's recovery path and to
+    an abandoned-but-still-running worker, and :meth:`complete` guarantees
+    exactly one of them wins (the loser's result is discarded and reported
+    by the ``False`` return, which also gates metrics and cache fills).
     """
 
     __slots__ = (
@@ -56,6 +102,8 @@ class QueryTicket:
         "admitted_at",
         "deadline",
         "dispatched_at",
+        "requeues",
+        "_lock",
         "_event",
         "_result",
     )
@@ -73,6 +121,8 @@ class QueryTicket:
         self.admitted_at = admitted_at
         self.deadline = deadline  # absolute monotonic time, or None
         self.dispatched_at: Optional[float] = None
+        self.requeues = 0  # crash-recovery resubmissions so far
+        self._lock = threading.Lock()
         self._event = threading.Event()
         self._result: Optional[QueryResult] = None
 
@@ -83,9 +133,14 @@ class QueryTicket:
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
 
-    def complete(self, result: QueryResult) -> None:
-        self._result = result
+    def complete(self, result: QueryResult) -> bool:
+        """Atomically claim completion; ``False`` if already completed."""
+        with self._lock:
+            if self._result is not None:
+                return False
+            self._result = result
         self._event.set()
+        return True
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -100,8 +155,41 @@ class QueryTicket:
         return self._result
 
 
+class _WorkerState:
+    """Supervision view of one worker thread (one generation, one slot)."""
+
+    __slots__ = (
+        "slot",
+        "thread",
+        "busy",
+        "heartbeat_at",
+        "inflight",
+        "batches",
+        "started_at",
+        "clean_exit",
+        "crashed",
+        "crash_error",
+        "crash_handled",
+        "abandoned",
+    )
+
+    def __init__(self, slot: int, started_at: float):
+        self.slot = slot
+        self.thread: Optional[threading.Thread] = None
+        self.busy = False
+        self.heartbeat_at = started_at
+        self.inflight: List[QueryTicket] = []
+        self.batches = 0
+        self.started_at = started_at
+        self.clean_exit = False
+        self.crashed = False
+        self.crash_error: Optional[str] = None
+        self.crash_handled = False
+        self.abandoned = False
+
+
 class QueryServer:
-    """Thread-based graph-query server with micro-batch coalescing.
+    """Thread-based graph-query server with coalescing and supervision.
 
     Parameters
     ----------
@@ -113,10 +201,14 @@ class QueryServer:
         ``max_batch`` items or once its oldest request waited ``linger_s``.
     queue_limit:
         Admission bound in batch items; beyond it, submits raise
-        :class:`~repro.errors.ServiceOverloadedError` (backpressure).
-    result_cache_size / result_cache_ttl_s:
+        :class:`~repro.errors.ServiceOverloadedError` (backpressure) — or
+        walk the degradation ladder when ``degraded_serving`` is on.
+    result_cache_size / result_cache_ttl_s / result_cache_stale_grace_s:
         TTL-LRU result cache dimensions; ``result_cache_size=0`` disables
-        caching entirely (every request simulates).
+        caching entirely (every request simulates).  The stale grace
+        defaults to ``5 * ttl`` when degraded serving is on (expired
+        entries stay servable under overload, marked ``stale=True``) and
+        to 0 otherwise.
     lint_admission:
         When True (the default), every submit runs the
         :mod:`repro.staticcheck` linter over the resident network it
@@ -124,6 +216,31 @@ class QueryServer:
         invalid queries synchronously with a
         :class:`~repro.errors.StaticCheckError` carrying the full lint
         report — a diagnostic instead of a watchdog timeout.
+    breaker_policy:
+        Per-``(kind, graph_id)`` circuit-breaker tuning; ``None`` disables
+        breakers.  The default :class:`~repro.service.breaker.BreakerPolicy`
+        needs >= 8 outcomes at >= 50% error rate to trip.
+    degraded_serving:
+        Enables the overload degradation ladder (stale cache -> approx
+        sssp -> reject).  Off by default: plain backpressure semantics.
+    supervise:
+        Run the supervisor thread (heartbeat watching, crash recovery,
+        restarts).  On by default; disable for single-shot tests that
+        want the raw worker pool.
+    wedge_timeout_s:
+        A busy worker whose heartbeat is older than this is declared
+        wedged: abandoned, its tickets recovered, its slot restarted.
+    restart_backoff_s / restart_backoff_max_s / max_restarts:
+        Capped exponential backoff between restarts of one slot, and the
+        per-slot lifetime restart budget.
+    max_requeues:
+        Crash-recovery resubmission budget per ticket; beyond it the
+        ticket is error-completed instead (exactly-once either way).
+    supervise_interval_s:
+        Supervisor scan period (also bounds crash-detection latency).
+    chaos:
+        Optional :class:`~repro.service.chaos.ChaosPolicy`; injections are
+        no-ops when absent.
     clock:
         Monotonic time source, injectable for deterministic queue tests.
     """
@@ -137,11 +254,30 @@ class QueryServer:
         queue_limit: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl_s: float = 60.0,
+        result_cache_stale_grace_s: Optional[float] = None,
         lint_admission: bool = True,
+        breaker_policy: Optional[BreakerPolicy] = BreakerPolicy(),
+        degraded_serving: bool = False,
+        supervise: bool = True,
+        wedge_timeout_s: float = 30.0,
+        restart_backoff_s: float = 0.01,
+        restart_backoff_max_s: float = 1.0,
+        max_restarts: int = 8,
+        max_requeues: int = 2,
+        supervise_interval_s: float = 0.02,
+        chaos: Optional["ChaosPolicy"] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if wedge_timeout_s <= 0:
+            raise ValidationError(f"wedge_timeout_s must be > 0, got {wedge_timeout_s}")
+        if max_restarts < 0 or max_requeues < 0:
+            raise ValidationError("max_restarts and max_requeues must be >= 0")
+        if supervise_interval_s <= 0:
+            raise ValidationError(
+                f"supervise_interval_s must be > 0, got {supervise_interval_s}"
+            )
         self._clock = clock
         self._queue = CoalescingQueue(
             limit_items=queue_limit,
@@ -150,9 +286,17 @@ class QueryServer:
             clock=clock,
         )
         self._result_cache: Optional[TTLResultCache] = None
+        self._degraded_serving = bool(degraded_serving)
         if result_cache_size > 0:
+            if result_cache_stale_grace_s is None:
+                result_cache_stale_grace_s = (
+                    5.0 * result_cache_ttl_s if self._degraded_serving else 0.0
+                )
             self._result_cache = TTLResultCache(
-                maxsize=result_cache_size, ttl_s=result_cache_ttl_s, clock=clock
+                maxsize=result_cache_size,
+                ttl_s=result_cache_ttl_s,
+                stale_grace_s=result_cache_stale_grace_s,
+                clock=clock,
             )
         self._graphs: Dict[str, WeightedDigraph] = {}
         self._circuits: Dict[str, Tuple[CircuitBuilder, str]] = {}
@@ -164,9 +308,38 @@ class QueryServer:
         self.registry = MetricsRegistry("service")
         self._reg_lock = threading.Lock()
         self._n_workers = int(workers)
-        self._threads: List[threading.Thread] = []
         self._started = False
         self._stopped = False
+
+        # breakers
+        self._breaker_policy = breaker_policy
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+
+        # supervision
+        self._supervise = bool(supervise)
+        self._wedge_timeout_s = float(wedge_timeout_s)
+        self._restart_backoff_s = float(restart_backoff_s)
+        self._restart_backoff_max_s = float(restart_backoff_max_s)
+        self._max_restarts = int(max_restarts)
+        self._max_requeues = int(max_requeues)
+        self._supervise_interval_s = float(supervise_interval_s)
+        self._chaos = chaos
+        self._batch_counter = itertools.count(1)  # global dispatch order, 1-based
+        self._sup_lock = threading.Lock()
+        self._sup_stop = threading.Event()
+        self._sup_thread: Optional[threading.Thread] = None
+        self._states: List[_WorkerState] = []
+        self._slot_restarts: List[int] = []
+        self._slot_restart_at: List[Optional[float]] = []
+        self._sup_counts = {
+            "crashes": 0,
+            "restarts": 0,
+            "wedged": 0,
+            "requeued": 0,
+            "error_completed": 0,
+        }
+        self._incidents: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------ #
     # Residents
@@ -199,29 +372,116 @@ class QueryServer:
         if self._started:
             return self
         self._started = True
-        for i in range(self._n_workers):
-            t = threading.Thread(
-                target=self._worker_loop, name=f"repro-service-worker-{i}", daemon=True
+        now = self._clock()
+        with self._sup_lock:
+            for slot in range(self._n_workers):
+                self._slot_restarts.append(0)
+                self._slot_restart_at.append(None)
+                self._states.append(self._spawn_worker_locked(slot, now))
+        if self._supervise:
+            self._sup_thread = threading.Thread(
+                target=self._supervisor_loop, name="repro-service-supervisor", daemon=True
             )
-            t.start()
-            self._threads.append(t)
+            self._sup_thread.start()
         return self
 
+    def _spawn_worker_locked(self, slot: int, now: float) -> _WorkerState:
+        """Create and start a fresh worker generation for ``slot`` (lock held)."""
+        state = _WorkerState(slot, now)
+        gen = self._slot_restarts[slot]
+        t = threading.Thread(
+            target=self._worker_run,
+            args=(state,),
+            name=f"repro-service-worker-{slot}g{gen}",
+            daemon=True,
+        )
+        state.thread = t
+        t.start()
+        return state
+
     def stop(self) -> None:
-        """Close admission, drain pending batches, join the workers."""
+        """Close admission, drain pending batches, stop workers + supervisor.
+
+        The drain guarantee: after ``stop()`` returns, **every** ticket ever
+        accepted by :meth:`submit` has a result — dispatched batches
+        complete normally, queued tickets past their deadline complete as
+        TIMEOUT, and (only if every worker slot exhausts its restart
+        budget mid-drain) stranded tickets are error-completed by the
+        failsafe sweep.  No ``ticket.result()`` call can hang.
+        """
         if not self._started or self._stopped:
             self._stopped = True
             return
         self._stopped = True
         self._queue.close()
-        for t in self._threads:
-            t.join()
+        if self._supervise:
+            # Workers may crash mid-drain and be restarted by the
+            # supervisor; wait until no live worker remains and either the
+            # queue is fully drained or no restart is ever coming.
+            while True:
+                # Scan directly (not just via the supervisor thread): a
+                # worker that crashed an instant ago may be dead with its
+                # in-flight tickets unrecovered, and waiting only on
+                # alive/pending would break out before the supervisor's
+                # next tick notices.  _supervise_once is idempotent and
+                # lock-guarded, so racing the supervisor thread is safe.
+                self._supervise_once()
+                with self._sup_lock:
+                    alive = any(
+                        s.thread is not None and s.thread.is_alive() and not s.abandoned
+                        for s in self._states
+                    )
+                    pending = any(at is not None for at in self._slot_restart_at)
+                if not alive and not pending:
+                    # Pending restarts always spawn (a replacement facing a
+                    # drained queue just exits cleanly), so the restart
+                    # counter is a deterministic function of the fault
+                    # schedule, not of drain timing.
+                    break
+                time.sleep(min(self._supervise_interval_s, 0.005))
+            self._sup_stop.set()
+            if self._sup_thread is not None:
+                self._sup_thread.join()
+        else:
+            for s in list(self._states):
+                if s.thread is not None:
+                    s.thread.join()
+        self._drain_failsafe()
+
+    def _drain_failsafe(self) -> None:
+        """Answer anything still queued once no worker can ever serve it."""
+        while not self._queue.drained():
+            batch = self._queue.next_batch()
+            if batch is None:
+                return
+            now = self._clock()
+            for t in batch.expired:
+                self._complete_timeout(t, now)
+            for t in batch.tickets:
+                self._complete_error(
+                    t,
+                    now,
+                    error="server stopped before the request could be dispatched",
+                    error_code="SHUTDOWN",
+                )
 
     def __enter__(self) -> "QueryServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Breakers
+
+    def _breaker_for(self, kind: str, graph_id: str) -> CircuitBreaker:
+        key = (kind, graph_id)
+        with self._breaker_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self._breaker_policy, clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -235,16 +495,18 @@ class QueryServer:
         return (self._resident_keys[request.graph_id], params)
 
     def submit(self, request: QueryRequest) -> QueryTicket:
-        """Plan, cache-check, and enqueue ``request``.
+        """Plan, cache-check, breaker-check, and enqueue ``request``.
 
         Raises synchronously: :class:`~repro.errors.ValidationError` for a
         request the resident graph cannot answer,
         :class:`~repro.errors.StaticCheckError` when admission linting is
         on and the resident network has error-severity structural
-        violations, and :class:`~repro.errors.ServiceOverloadedError` when
-        the admission queue is full.  Everything downstream (deadline
-        expiry, execution
-        failure) is reported through the returned ticket's
+        violations, :class:`~repro.errors.CircuitOpenError` when the
+        ``(kind, graph_id)`` family's breaker is shedding, and
+        :class:`~repro.errors.ServiceOverloadedError` when the admission
+        queue is full (unless the degradation ladder produced an answer).
+        Everything downstream (deadline expiry, execution failure, worker
+        death) is reported through the returned ticket's
         :class:`~repro.service.schema.QueryResult` instead.
         """
         if not self._started or self._stopped:
@@ -275,6 +537,21 @@ class QueryServer:
             with self._reg_lock:
                 self.registry.counter_inc("service.cache.result.misses")
 
+        # Cache hits above are always served (a healthy answer is a healthy
+        # answer); anything that would *execute* must pass the breaker.
+        if self._breaker_policy is not None:
+            breaker = self._breaker_for(request.kind, request.graph_id)
+            if not breaker.allow():
+                with self._reg_lock:
+                    self.registry.counter_inc("service.requests.rejected")
+                    self.registry.counter_inc("service.breaker.rejections")
+                raise CircuitOpenError(
+                    f"circuit breaker open for ({request.kind}, {request.graph_id})",
+                    retry_after_s=breaker.retry_after_s(),
+                    kind=request.kind,
+                    graph_id=request.graph_id,
+                )
+
         plan = plan_request(request, self._graphs, self._circuits)
         if self._lint_admission:
             self._check_admission(request, plan)
@@ -282,6 +559,14 @@ class QueryServer:
         ticket = QueryTicket(request, plan, admitted_at=now, deadline=deadline)
         try:
             self._queue.offer(plan.batch_key, ticket)
+        except ServiceOverloadedError:
+            if self._degraded_serving:
+                degraded = self._try_degrade(request, cache_key, now)
+                if degraded is not None:
+                    return degraded
+            with self._reg_lock:
+                self.registry.counter_inc("service.requests.rejected")
+            raise
         except Exception:
             with self._reg_lock:
                 self.registry.counter_inc("service.requests.rejected")
@@ -296,6 +581,79 @@ class QueryServer:
     ) -> QueryResult:
         """Submit and block for the answer (the in-process convenience path)."""
         return self.submit(request).result(timeout)
+
+    def _try_degrade(
+        self, request: QueryRequest, cache_key: Optional[Tuple], now: float
+    ) -> Optional[QueryTicket]:
+        """The overload ladder: stale cache, then approx sssp, else ``None``.
+
+        Both rungs answer in the submitter's thread without touching the
+        (full) queue; every answer is marked ``degraded=True`` so callers
+        and the differential harness can tell it from the exact path.
+        """
+        # Rung 1: a stale-but-in-grace cached answer for this exact query.
+        if cache_key is not None:
+            stale = self._result_cache.get_stale(cache_key)
+            if stale is not None:
+                ticket = QueryTicket(request, None, admitted_at=now)
+                ticket.complete(
+                    dataclasses.replace(
+                        stale,
+                        request_id=request.request_id,
+                        cached=True,
+                        stale=True,
+                        degraded=True,
+                        queued_s=0.0,
+                        service_s=0.0,
+                    )
+                )
+                with self._reg_lock:
+                    self.registry.counter_inc("service.requests.accepted")
+                    self.registry.counter_inc("service.requests.completed")
+                    self.registry.counter_inc("service.requests.degraded")
+                    self.registry.counter_inc("service.degraded.stale")
+                return ticket
+        # Rung 2: plain sssp downgrades to the Section-7 (1+eps)-approximate
+        # k-hop driver, run synchronously (the submitter pays, shedding load
+        # from the worker pool).  Only the exact-semantics-free shape is
+        # eligible: no target/faults/watchdog/spike recording.
+        if (
+            request.kind == "sssp"
+            and request.target is None
+            and request.faults is None
+            and request.watchdog is None
+            and not request.record_spikes
+            and request.graph_id in self._graphs
+        ):
+            from repro.algorithms.approx import spiking_khop_approx
+
+            graph = self._graphs[request.graph_id]
+            t0 = self._clock()
+            try:
+                res = spiking_khop_approx(graph, request.source, max(1, graph.n - 1))
+            except Exception:
+                return None  # fall through to the overload rejection
+            ticket = QueryTicket(request, None, admitted_at=now)
+            ticket.complete(
+                QueryResult(
+                    request_id=request.request_id,
+                    kind=request.kind,
+                    status=QueryStatus.OK,
+                    dist=res.dist,
+                    cost=res.cost,
+                    batch_size=1,
+                    queued_s=0.0,
+                    service_s=self._clock() - t0,
+                    degraded=True,
+                )
+            )
+            with self._reg_lock:
+                self.registry.counter_inc("service.requests.accepted")
+                self.registry.counter_inc("service.requests.completed")
+                self.registry.counter_inc("service.requests.degraded")
+                self.registry.counter_inc("service.degraded.approx")
+            return ticket
+        return None
 
     def _check_admission(self, request: QueryRequest, plan: RequestPlan) -> None:
         """Reject requests whose resident network fails the static linter.
@@ -334,34 +692,96 @@ class QueryServer:
     # ------------------------------------------------------------------ #
     # Dispatch
 
-    def _worker_loop(self) -> None:
+    def _worker_run(self, state: _WorkerState) -> None:
+        """Thread target: the loop plus the crash boundary the supervisor sees."""
+        try:
+            self._worker_loop(state)
+            state.clean_exit = True
+        except BaseException as exc:  # includes InjectedWorkerCrash
+            state.crashed = True
+            state.crash_error = f"{type(exc).__name__}: {exc}"
+
+    def _worker_loop(self, state: _WorkerState) -> None:
         while True:
+            if state.abandoned:
+                return
             batch = self._queue.next_batch()
             if batch is None:
                 return
+            seq = next(self._batch_counter)
+            with self._sup_lock:
+                state.busy = True
+                state.heartbeat_at = self._clock()
+                state.inflight = list(batch.tickets) + list(batch.expired)
+                state.batches += 1
+            skew = 0.0
+            if self._chaos is not None:
+                from repro.service.chaos import InjectedWorkerCrash
+
+                stall = self._chaos.stall_s_for(seq)
+                if stall > 0:
+                    time.sleep(stall)
+                if self._chaos.crash(seq):
+                    raise InjectedWorkerCrash(seq)
+                skew = self._chaos.skew_s(seq)
             now = self._clock()
             for ticket in batch.expired:
                 self._complete_timeout(ticket, now)
             if batch.tickets:
-                self._dispatch(batch.tickets)
+                self._dispatch(batch.tickets, seq, skew)
+            with self._sup_lock:
+                state.busy = False
+                state.inflight = []
+                state.heartbeat_at = self._clock()
+            if state.abandoned:
+                return
 
     def _complete_timeout(self, ticket: QueryTicket, now: float) -> None:
-        ticket.complete(
+        claimed = ticket.complete(
             QueryResult(
                 request_id=ticket.request.request_id,
                 kind=ticket.request.kind,
                 status=QueryStatus.TIMEOUT,
                 queued_s=now - ticket.admitted_at,
                 error=f"deadline of {ticket.request.deadline_s}s expired in queue",
+                error_type="TimeoutError",
+                error_code="TIMEOUT",
             )
         )
+        if not claimed:
+            return
         with self._reg_lock:
             self.registry.counter_inc("service.requests.timeout")
             self.registry.timer_observe(
                 "service.latency.total", now - ticket.admitted_at
             )
 
-    def _dispatch(self, tickets: List[QueryTicket]) -> None:
+    def _complete_error(
+        self, ticket: QueryTicket, now: float, *, error: str, error_code: str
+    ) -> bool:
+        """Error-complete one undispatched ticket (recovery/shutdown path)."""
+        claimed = ticket.complete(
+            QueryResult(
+                request_id=ticket.request.request_id,
+                kind=ticket.request.kind,
+                status=QueryStatus.ERROR,
+                queued_s=now - ticket.admitted_at,
+                error=error,
+                error_code=error_code,
+            )
+        )
+        if claimed:
+            with self._reg_lock:
+                self.registry.counter_inc("service.requests.errors")
+                self.registry.timer_observe(
+                    "service.latency.total", now - ticket.admitted_at
+                )
+        return claimed
+
+    def _dispatch(self, tickets: List[QueryTicket], seq: int, skew: float) -> None:
+        tickets = [t for t in tickets if not t.done()]  # requeue duplicates
+        if not tickets:
+            return
         dispatch_t = self._clock()
         plan0 = tickets[0].plan
         stimuli: List[Any] = []
@@ -374,6 +794,8 @@ class QueryServer:
 
         batch_reg = MetricsRegistry("service-batch")
         error: Optional[str] = None
+        error_type: Optional[str] = None
+        error_code: Optional[str] = None
         results: List[Any] = []
         try:
             with use_registry(batch_reg):
@@ -382,21 +804,34 @@ class QueryServer:
                 )
         except Exception as exc:  # answer every rider, never kill the worker
             error = f"{type(exc).__name__}: {exc}"
+            error_type = type(exc).__name__
+            error_code, _retryable = classify_exception(exc)
+        if self._chaos is not None:
+            slow = self._chaos.slow_s_for(seq)
+            if slow > 0:
+                time.sleep(slow)
 
         done_t = self._clock()
+        # Chaos clock skew perturbs the *telemetry* timestamps only; the
+        # clamp keeps latency accounting sane under a lying clock.
+        dispatch_tel = dispatch_t + skew
         offset = 0
         outcomes: List[Tuple[QueryTicket, QueryResult]] = []
         for t in tickets:
             n = t.plan.n_items
+            queued_s = max(0.0, dispatch_tel - t.admitted_at)
+            service_s = max(0.0, done_t - dispatch_tel)
             if error is not None:
                 qr = QueryResult(
                     request_id=t.request.request_id,
                     kind=t.request.kind,
                     status=QueryStatus.ERROR,
                     batch_size=total_items,
-                    queued_s=dispatch_t - t.admitted_at,
-                    service_s=done_t - dispatch_t,
+                    queued_s=queued_s,
+                    service_s=service_s,
                     error=error,
+                    error_type=error_type,
+                    error_code=error_code,
                 )
             else:
                 chunk = results[offset : offset + n]
@@ -413,28 +848,36 @@ class QueryServer:
                         cost=decoded.get("cost"),
                         sims=chunk,
                         batch_size=total_items,
-                        queued_s=dispatch_t - t.admitted_at,
-                        service_s=done_t - dispatch_t,
+                        queued_s=queued_s,
+                        service_s=service_s,
                     )
                 except Exception as exc:
+                    code, _retryable = classify_exception(exc)
                     qr = QueryResult(
                         request_id=t.request.request_id,
                         kind=t.request.kind,
                         status=QueryStatus.ERROR,
                         batch_size=total_items,
-                        queued_s=dispatch_t - t.admitted_at,
-                        service_s=done_t - dispatch_t,
+                        queued_s=queued_s,
+                        service_s=service_s,
                         error=f"{type(exc).__name__}: {exc}",
+                        error_type=type(exc).__name__,
+                        error_code=code,
                     )
             offset += n
             outcomes.append((t, qr))
 
+        claimed: List[Tuple[QueryTicket, QueryResult]] = []
         for t, qr in outcomes:
+            if not t.complete(qr):
+                continue  # an abandoned worker lost the completion race
+            claimed.append((t, qr))
             if qr.ok:
                 key = self._cache_key(t.request)
                 if key is not None:
                     self._result_cache.put(key, qr)
-            t.complete(qr)
+            if self._breaker_policy is not None:
+                self._breaker_for(t.request.kind, t.request.graph_id).record(qr.ok)
 
         with self._reg_lock:
             self.registry.merge(batch_reg)
@@ -444,7 +887,7 @@ class QueryServer:
             self.registry.observe("service.batch.items", total_items)
             self.registry.observe("service.batch.requests", len(tickets))
             self.registry.gauge_set("service.queue.depth", self._queue.depth())
-            for t, qr in outcomes:
+            for t, qr in claimed:
                 self.registry.counter_inc(
                     "service.requests.completed"
                     if qr.ok
@@ -457,11 +900,138 @@ class QueryServer:
                 )
 
     # ------------------------------------------------------------------ #
+    # Supervision
+
+    def _supervisor_loop(self) -> None:
+        while not self._sup_stop.wait(self._supervise_interval_s):
+            try:
+                self._supervise_once()
+            except Exception:
+                # The watcher must outlive anything it watches; a scan
+                # failure is dropped and the next tick retries.
+                pass
+
+    def _supervise_once(self) -> None:
+        now = self._clock()
+        with self._sup_lock:
+            for slot in range(self._n_workers):
+                restart_at = self._slot_restart_at[slot]
+                if restart_at is not None:
+                    if now >= restart_at:
+                        self._slot_restart_at[slot] = None
+                        self._slot_restarts[slot] += 1
+                        self._sup_counts["restarts"] += 1
+                        self._incident("restart", slot, now)
+                        self._states[slot] = self._spawn_worker_locked(slot, now)
+                    continue
+                state = self._states[slot]
+                thread = state.thread
+                if thread is None:
+                    continue
+                if not thread.is_alive():
+                    if state.clean_exit or state.crash_handled:
+                        continue
+                    state.crash_handled = True
+                    self._sup_counts["crashes"] += 1
+                    self._incident("crash", slot, now, error=state.crash_error)
+                    self._recover_inflight(state, now, error_code="WORKER_CRASH")
+                    self._schedule_restart(slot, now)
+                elif (
+                    state.busy
+                    and not state.abandoned
+                    and now - state.heartbeat_at >= self._wedge_timeout_s
+                ):
+                    # Wedged: abandon the thread (it exits at its next loop
+                    # top — or loses every completion race if it ever
+                    # finishes the stuck batch) and refill the slot.
+                    state.abandoned = True
+                    self._sup_counts["wedged"] += 1
+                    self._incident("wedge", slot, now)
+                    self._recover_inflight(state, now, error_code="WORKER_WEDGED")
+                    self._schedule_restart(slot, now)
+
+    def _schedule_restart(self, slot: int, now: float) -> None:
+        """Queue a capped-exponential-backoff restart for ``slot`` (lock held)."""
+        restarts = self._slot_restarts[slot]
+        if restarts >= self._max_restarts:
+            return  # slot's restart budget is spent; stop() failsafe covers it
+        backoff = min(
+            self._restart_backoff_s * (2.0 ** restarts), self._restart_backoff_max_s
+        )
+        self._slot_restart_at[slot] = now + backoff
+
+    def _recover_inflight(
+        self, state: _WorkerState, now: float, *, error_code: str
+    ) -> None:
+        """Settle a dead/abandoned worker's tickets exactly once (lock held).
+
+        Idempotent tickets inside their requeue budget go back to the front
+        of their queue group; the rest are error-completed with a
+        structured, retryable code.  Tickets the worker already answered
+        (or that a wedged worker answers later) are skipped by the
+        completion claim.
+        """
+        tickets, state.inflight = state.inflight, []
+        for ticket in tickets:
+            if ticket.done():
+                continue
+            if ticket.expired(now):
+                self._complete_timeout(ticket, now)
+                continue
+            if (
+                ticket.plan is not None
+                and ticket.request.idempotent
+                and ticket.requeues < self._max_requeues
+            ):
+                ticket.requeues += 1
+                self._sup_counts["requeued"] += 1
+                self._queue.requeue(ticket.plan.batch_key, ticket)
+            else:
+                cause = "died" if error_code == "WORKER_CRASH" else "wedged"
+                if self._complete_error(
+                    ticket,
+                    now,
+                    error=(
+                        f"worker {state.slot} {cause} mid-batch and the request's "
+                        f"requeue budget is spent"
+                    ),
+                    error_code=error_code,
+                ):
+                    self._sup_counts["error_completed"] += 1
+
+    def _incident(
+        self, event: str, slot: int, now: float, *, error: Optional[str] = None
+    ) -> None:
+        doc: Dict[str, object] = {"t": now, "event": event, "worker": slot}
+        if error:
+            doc["error"] = error
+        self._incidents.append(doc)
+        if len(self._incidents) > _MAX_INCIDENTS:
+            del self._incidents[: len(self._incidents) - _MAX_INCIDENTS]
+
+    # ------------------------------------------------------------------ #
 
     def stats(self) -> Dict[str, object]:
-        """Serving metrics, queue depth, and cache counters in one snapshot."""
+        """Serving metrics, queue depth, supervision, breakers, and caches."""
         with self._reg_lock:
             snap = self.registry.snapshot()
+        now = self._clock()
+        with self._sup_lock:
+            sup: Dict[str, object] = dict(self._sup_counts)
+            sup["enabled"] = self._supervise
+            sup["incidents"] = [dict(ev) for ev in self._incidents]
+            sup["workers"] = [
+                {
+                    "slot": s.slot,
+                    "alive": bool(s.thread is not None and s.thread.is_alive()),
+                    "busy": s.busy,
+                    "abandoned": s.abandoned,
+                    "restarts": self._slot_restarts[s.slot],
+                    "batches": s.batches,
+                    "age_s": round(now - s.started_at, 6),
+                }
+                for s in self._states
+            ]
         out: Dict[str, object] = {
             "metrics": snap,
             "queue_depth": self._queue.depth(),
@@ -469,11 +1039,17 @@ class QueryServer:
             "graphs": self.graph_ids(),
             "circuits": sorted(self._circuits),
             "build_cache": default_build_cache.stats(),
+            "supervisor": sup,
             "lint": {
                 "enabled": self._lint_admission,
                 "residents": {r.subject: r.ok for r in self._lint_cache.values()},
             },
         }
+        with self._breaker_lock:
+            out["breakers"] = {
+                f"{kind}:{graph_id}": b.snapshot()
+                for (kind, graph_id), b in sorted(self._breakers.items())
+            }
         if self._result_cache is not None:
             out["result_cache"] = self._result_cache.stats()
         return out

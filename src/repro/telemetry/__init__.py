@@ -24,6 +24,7 @@ See ``docs/telemetry.md`` for the full schema and overhead guarantees.
 
 from repro.telemetry.metrics import (
     MetricsRegistry,
+    RollingWindow,
     active_registry,
     counter_inc,
     gauge_set,
@@ -37,6 +38,7 @@ from repro.telemetry.profiler import PhaseStat, Profiler, ProfileReport
 
 __all__ = [
     "MetricsRegistry",
+    "RollingWindow",
     "active_registry",
     "use_registry",
     "counter_inc",

@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "MetricsRegistry",
+    "RollingWindow",
     "active_registry",
     "use_registry",
     "counter_inc",
@@ -87,6 +88,55 @@ def _series_summary(values: List[float]) -> Dict[str, float]:
         "p50": float(ordered[n // 2]),
         "p95": float(ordered[min(n - 1, (n * 95) // 100)]),
     }
+
+
+class RollingWindow:
+    """Fixed-capacity ring of float observations with O(1) mean.
+
+    The building block for *rolling-rate* decisions (the serving layer's
+    circuit breakers feed it 1.0 per failure and 0.0 per success and read
+    :meth:`mean` as the windowed error rate).  Unlike a histogram it
+    forgets: only the last ``capacity`` observations contribute, so a
+    burst of old failures cannot pin a rate high forever.  Not
+    thread-safe; callers serialize access (the breaker holds its own lock).
+    """
+
+    __slots__ = ("capacity", "_values", "_next", "_count", "_total")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"RollingWindow capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._values: List[float] = []
+        self._next = 0
+        self._count = 0
+        self._total = 0.0
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if self._count < self.capacity:
+            self._values.append(value)
+            self._count += 1
+        else:
+            self._total -= self._values[self._next]
+            self._values[self._next] = value
+        self._total += value
+        self._next = (self._next + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        """Mean of the retained observations (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return self._total / self._count
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._next = 0
+        self._count = 0
+        self._total = 0.0
 
 
 class MetricsRegistry:

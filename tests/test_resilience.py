@@ -1,0 +1,704 @@
+"""Tests of the resilience layer: supervision, breakers, retries, chaos.
+
+The load-bearing assertions mirror the chaos harness's acceptance
+criteria: a worker killed mid-batch at a fixed seed loses zero tickets,
+restarts exactly once, and every recovered answer is byte-identical to a
+solo run.  Everything else — breaker transitions, retry schedules, the
+degradation ladder, stale-cache serving — is pinned with deterministic
+clocks or scripted servers so no assertion rides on thread timing.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    RETRYABLE_ERROR_CODES,
+    CircuitOpenError,
+    ServiceOverloadedError,
+    SimulationError,
+    ValidationError,
+    classify_exception,
+)
+from repro.service import (
+    SCENARIOS,
+    BreakerPolicy,
+    ChaosPolicy,
+    CircuitBreaker,
+    CoalescingQueue,
+    InjectedWorkerCrash,
+    QueryRequest,
+    QueryResult,
+    QueryServer,
+    QueryStatus,
+    QueryTicket,
+    RetryPolicy,
+    ServiceClient,
+    TTLResultCache,
+    run_chaos,
+)
+from repro.workloads import gnp_graph
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(20, 0.25, max_length=7, seed=11, ensure_source_reaches=True)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _req(kind="sssp", graph_id="g", **kw):
+    kw.setdefault("source", 0)
+    return QueryRequest(kind=kind, graph_id=graph_id, **kw)
+
+
+def _done_ticket(request, *, status=QueryStatus.OK, error_code=None):
+    t = QueryTicket(request, None, admitted_at=0.0)
+    t.complete(
+        QueryResult(
+            request_id=request.request_id,
+            kind=request.kind,
+            status=status,
+            error="scripted failure" if status is not QueryStatus.OK else None,
+            error_code=error_code,
+        )
+    )
+    return t
+
+
+class ScriptedServer:
+    """A stand-in server whose submit() plays back a list of outcomes.
+
+    Each outcome is either an exception instance (raised) or a callable
+    taking the request and returning a ticket.
+    """
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.submits = 0
+
+    def submit(self, request):
+        self.submits += 1
+        nxt = self.outcomes.pop(0)
+        if isinstance(nxt, BaseException):
+            raise nxt
+        return nxt(request)
+
+
+# ----------------------------------------------------------- error codes #
+
+
+class TestErrorTaxonomy:
+    def test_classification_table(self):
+        assert classify_exception(ServiceOverloadedError("full")) == ("OVERLOADED", True)
+        assert classify_exception(CircuitOpenError("open")) == ("BREAKER_OPEN", True)
+        assert classify_exception(TimeoutError("slow")) == ("TIMEOUT", True)
+        assert classify_exception(ValidationError("bad")) == ("INVALID", False)
+        assert classify_exception(SimulationError("sim")) == ("SIMULATION", False)
+        assert classify_exception(RuntimeError("??")) == ("INTERNAL", False)
+
+    def test_retryable_codes_are_transient_only(self):
+        assert "INVALID" not in RETRYABLE_ERROR_CODES
+        assert "SIMULATION" not in RETRYABLE_ERROR_CODES
+        assert {"OVERLOADED", "BREAKER_OPEN", "WORKER_CRASH", "TIMEOUT"} <= RETRYABLE_ERROR_CODES
+
+    def test_queue_timeout_result_is_structured(self, graph):
+        srv = QueryServer(workers=1, max_batch=64, linger_s=0.5, result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            r = srv.submit(_req(deadline_s=0.02)).result(30)
+        assert r.status is QueryStatus.TIMEOUT
+        assert r.error_code == "TIMEOUT"
+        assert r.error_type == "TimeoutError"
+        doc = r.to_dict()
+        assert doc["error_code"] == "TIMEOUT" and doc["error_type"] == "TimeoutError"
+
+
+# ----------------------------------------------------------- result cache #
+
+
+class TestResultCacheStaleness:
+    def test_amortized_purge_on_put(self):
+        clock = FakeClock()
+        cache = TTLResultCache(maxsize=64, ttl_s=1.0, clock=clock)
+        for i in range(4):
+            cache.put(("old", i), i)
+        clock.t = 5.0  # all four are far past TTL (no grace)
+        cache.put(("new",), 99)
+        stats = cache.stats()
+        assert stats["entries"] == 1  # the purge evicted the dead entries
+        assert stats["purges"] == 4
+        assert cache.get(("new",)) == 99
+
+    def test_get_never_returns_expired_within_grace(self):
+        clock = FakeClock()
+        cache = TTLResultCache(maxsize=8, ttl_s=1.0, stale_grace_s=10.0, clock=clock)
+        cache.put(("k",), "v")
+        clock.t = 2.0  # expired, inside grace
+        assert cache.get(("k",)) is None
+        assert cache.get_stale(("k",)) == "v"
+        assert cache.stats()["stale_hits"] == 1
+
+    def test_stale_entries_die_past_grace(self):
+        clock = FakeClock()
+        cache = TTLResultCache(maxsize=8, ttl_s=1.0, stale_grace_s=2.0, clock=clock)
+        cache.put(("k",), "v")
+        clock.t = 4.0  # past ttl + grace
+        assert cache.get_stale(("k",)) is None
+        assert len(cache) == 0
+
+    def test_fresh_entry_via_get_stale_counts_as_hit(self):
+        clock = FakeClock()
+        cache = TTLResultCache(maxsize=8, ttl_s=5.0, stale_grace_s=2.0, clock=clock)
+        cache.put(("k",), "v")
+        assert cache.get_stale(("k",)) == "v"
+        assert cache.stats()["hits"] == 1 and cache.stats()["stale_hits"] == 0
+
+    def test_stale_grace_validated(self):
+        with pytest.raises(ValidationError):
+            TTLResultCache(stale_grace_s=-1.0)
+
+
+# ----------------------------------------------------------------- queue #
+
+
+class _FakeTicket:
+    def __init__(self, n_items=1):
+        self.n_items = n_items
+        self.deadline = None
+
+    def expired(self, now):
+        return False
+
+
+class TestQueueRequeue:
+    def test_requeue_goes_to_front_and_releases_immediately(self):
+        clock = FakeClock()
+        q = CoalescingQueue(limit_items=4, max_batch=8, linger_s=5.0, clock=clock)
+        first, recovered = _FakeTicket(), _FakeTicket()
+        q.offer(("k",), first)
+        q.requeue(("k",), recovered)
+        # the requeued ticket's backdated admit time forces release despite
+        # the long linger, and it sits ahead of the earlier offer
+        batch = q.next_batch()
+        assert batch.tickets[0] is recovered
+        assert batch.tickets[1] is first
+
+    def test_requeue_bypasses_limit_and_close(self):
+        q = CoalescingQueue(limit_items=1, max_batch=8, linger_s=0.0)
+        q.offer(("k",), _FakeTicket())
+        with pytest.raises(ServiceOverloadedError):
+            q.offer(("k",), _FakeTicket())
+        q.close()
+        q.requeue(("k",), _FakeTicket())  # neither limit nor closed rejects
+        assert q.depth() == 2
+        assert not q.drained()
+        batch = q.next_batch()
+        assert len(batch.tickets) == 2
+        assert q.next_batch() is None
+        assert q.drained()
+
+
+# ---------------------------------------------------------------- ticket #
+
+
+class TestTicketClaim:
+    def test_completion_is_exactly_once(self):
+        t = QueryTicket(_req(), None, admitted_at=0.0)
+        winner = QueryResult(request_id="a", kind="sssp", status=QueryStatus.OK)
+        loser = QueryResult(request_id="a", kind="sssp", status=QueryStatus.ERROR)
+        assert t.complete(winner) is True
+        assert t.complete(loser) is False
+        assert t.result(0) is winner
+
+
+# --------------------------------------------------------------- breaker #
+
+
+class TestCircuitBreaker:
+    def make(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("window", 8)
+        kw.setdefault("min_samples", 4)
+        kw.setdefault("error_threshold", 0.5)
+        kw.setdefault("open_s", 1.0)
+        kw.setdefault("half_open_trials", 2)
+        return CircuitBreaker(BreakerPolicy(**kw), clock=clock), clock
+
+    def test_opens_at_threshold_with_min_samples(self):
+        b, _ = self.make()
+        b.record(False)
+        b.record(False)
+        b.record(False)
+        assert b.state == "closed"  # below min_samples despite 100% errors
+        b.record(False)
+        assert b.state == "open"
+        assert not b.allow()
+        assert b.opens == 1
+
+    def test_half_open_probes_then_closes(self):
+        b, clock = self.make()
+        for _ in range(4):
+            b.record(False)
+        assert b.state == "open"
+        assert 0 < b.retry_after_s() <= 1.0
+        clock.t = 1.5
+        assert b.state == "half_open"
+        assert b.allow() and b.allow()  # the two probe slots
+        assert not b.allow()  # no third probe
+        b.record(True)
+        b.record(True)
+        assert b.state == "closed"
+        assert b.snapshot()["samples"] == 0  # window reset on close
+
+    def test_half_open_failure_reopens(self):
+        b, clock = self.make()
+        for _ in range(4):
+            b.record(False)
+        clock.t = 1.5
+        assert b.allow()
+        b.record(False)
+        assert b.state == "open"
+        assert b.opens == 2
+        assert b.retry_after_s() > 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            BreakerPolicy(window=0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(error_threshold=0.0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(open_s=0.0)
+
+    def test_server_sheds_when_breaker_open(self, graph):
+        srv = QueryServer(workers=1, result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            # trip the (sssp, g) family directly: 8 failures >= min_samples
+            breaker = srv._breaker_for("sssp", "g")
+            for _ in range(8):
+                breaker.record(False)
+            with pytest.raises(CircuitOpenError) as exc:
+                srv.submit(_req())
+            assert exc.value.kind == "sssp" and exc.value.graph_id == "g"
+            assert exc.value.retry_after_s > 0
+            assert classify_exception(exc.value) == ("BREAKER_OPEN", True)
+            # an unrelated family is unaffected
+            assert srv.submit(_req(kind="khop", k=4, source=1)).result(30).ok
+        stats = srv.stats()
+        assert stats["breakers"]["sssp:g"]["state"] == "open"
+        assert stats["breakers"]["sssp:g"]["opens"] == 1
+        counters = stats["metrics"]["counters"]
+        assert counters["service.breaker.rejections"] == 1
+
+
+# ----------------------------------------------------------------- retry #
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        p = RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.5, jitter=0.2, seed=7)
+        again = RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.5, jitter=0.2, seed=7)
+        for attempt in range(1, 8):
+            assert p.backoff_s(attempt) == again.backoff_s(attempt)
+            assert p.backoff_s(attempt) <= 0.5 * 1.2
+        # exponential growth before the cap (jitter bounded by 20%)
+        assert p.backoff_s(2) >= 0.2 * 0.8
+        assert p.backoff_s(1) <= 0.1 * 1.2
+
+    def test_backoff_never_undercuts_server_hint(self):
+        p = RetryPolicy(base_backoff_s=0.001, jitter=0.5, seed=3)
+        assert p.backoff_s(1, hint_s=0.25) >= 0.25
+
+    def test_should_retry_gating(self):
+        p = RetryPolicy(max_attempts=3, budget_s=10.0)
+        ok = dict(attempt=1, elapsed_s=0.0, error_code="OVERLOADED", idempotent=True)
+        assert p.should_retry(**ok)
+        assert not p.should_retry(**{**ok, "idempotent": False})
+        assert not p.should_retry(**{**ok, "error_code": "INVALID"})
+        assert not p.should_retry(**{**ok, "error_code": None})
+        assert not p.should_retry(**{**ok, "attempt": 3})
+        assert not p.should_retry(**{**ok, "elapsed_s": 10.0})
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(budget_s=0.0)
+
+
+class TestClientRetry:
+    def fast_client(self, server, **kw):
+        kw.setdefault(
+            "retry", RetryPolicy(max_attempts=5, base_backoff_s=0.0, max_backoff_s=0.0)
+        )
+        return ServiceClient(server, timeout=30.0, sleep=lambda s: None, **kw)
+
+    def test_retries_through_overload(self):
+        req = _req()
+        stub = ScriptedServer(
+            [
+                ServiceOverloadedError("full", retry_after_s=0.001),
+                ServiceOverloadedError("full", retry_after_s=0.001),
+                _done_ticket,
+            ]
+        )
+        cli = self.fast_client(stub)
+        assert cli.call(req).ok
+        assert cli.stats["retries"] == 2
+        assert cli.stats["attempts"] == 3
+
+    def test_raises_when_budget_exhausted(self):
+        stub = ScriptedServer([ServiceOverloadedError("full") for _ in range(9)])
+        cli = self.fast_client(stub, retry=RetryPolicy(max_attempts=2, base_backoff_s=0.0))
+        with pytest.raises(ServiceOverloadedError):
+            cli.call(_req())
+        assert stub.submits == 2
+
+    def test_retries_retryable_error_result(self):
+        stub = ScriptedServer(
+            [
+                lambda r: _done_ticket(r, status=QueryStatus.ERROR, error_code="WORKER_CRASH"),
+                _done_ticket,
+            ]
+        )
+        cli = self.fast_client(stub)
+        assert cli.call(_req()).ok
+        assert cli.stats["retries"] == 1
+
+    def test_permanent_error_returned_without_retry(self):
+        stub = ScriptedServer(
+            [lambda r: _done_ticket(r, status=QueryStatus.ERROR, error_code="INVALID")]
+        )
+        cli = self.fast_client(stub)
+        r = cli.call(_req())
+        assert r.status is QueryStatus.ERROR
+        assert stub.submits == 1 and cli.stats["retries"] == 0
+
+    def test_no_policy_means_single_shot(self):
+        stub = ScriptedServer([ServiceOverloadedError("full")])
+        cli = ServiceClient(stub, retry=None)
+        with pytest.raises(ServiceOverloadedError):
+            cli.call(_req())
+        assert stub.submits == 1
+
+    def test_end_to_end_retry_against_real_backpressure(self, graph):
+        srv = QueryServer(
+            workers=1, max_batch=64, linger_s=0.02, queue_limit=2, result_cache_size=0
+        )
+        srv.register_graph("g", graph)
+        with srv:
+            cli = ServiceClient(
+                srv,
+                timeout=30.0,
+                retry=RetryPolicy(max_attempts=8, base_backoff_s=0.01, seed=1),
+            )
+            results = [cli.sssp("g", s % graph.n) for s in range(6)]
+        assert all(r.ok for r in results)
+
+
+class TestHedging:
+    def test_hedge_wins_when_primary_stalls(self):
+        req = _req()
+        stuck = QueryTicket(req, None, admitted_at=0.0)  # never completes
+        stub = ScriptedServer([lambda r: stuck, _done_ticket])
+        cli = ServiceClient(stub, timeout=5.0, hedge_after_s=0.005)
+        r = cli.call(req)
+        assert r.ok
+        assert cli.stats["hedges"] == 1
+        assert cli.stats["hedge_wins"] == 1
+
+    def test_no_hedge_when_primary_is_fast(self):
+        stub = ScriptedServer([_done_ticket])
+        cli = ServiceClient(stub, timeout=5.0, hedge_after_s=0.5)
+        assert cli.call(_req()).ok
+        assert cli.stats["hedges"] == 0
+
+    def test_hedge_rejection_falls_back_to_primary(self, graph):
+        req = _req()
+        slow = QueryTicket(req, None, admitted_at=0.0)
+        stub = ScriptedServer([lambda r: slow, ServiceOverloadedError("full")])
+
+        def complete_soon():
+            slow.complete(
+                QueryResult(request_id=req.request_id, kind="sssp", status=QueryStatus.OK)
+            )
+
+        import threading
+
+        timer = threading.Timer(0.05, complete_soon)
+        timer.start()
+        cli = ServiceClient(stub, timeout=5.0, hedge_after_s=0.005)
+        assert cli.call(req).ok
+        timer.join()
+
+
+# ------------------------------------------------------------ chaos unit #
+
+
+class TestChaosPolicy:
+    def test_decisions_are_pure_functions_of_seq(self):
+        p = ChaosPolicy(seed=3, crash_p=0.5, slow_p=0.5, slow_s=0.1, clock_skew_s=0.02)
+        q = ChaosPolicy(seed=3, crash_p=0.5, slow_p=0.5, slow_s=0.1, clock_skew_s=0.02)
+        for seq in range(1, 50):
+            assert p.crash(seq) == q.crash(seq)
+            assert p.slow_s_for(seq) == q.slow_s_for(seq)
+            assert abs(p.skew_s(seq)) <= 0.02
+        other = ChaosPolicy(seed=4, crash_p=0.5)
+        assert any(p.crash(s) != other.crash(s) for s in range(1, 200))
+
+    def test_explicit_batches_always_fire(self):
+        p = ChaosPolicy(crash_batches=(2,), slow_batches=(3,), slow_s=0.25)
+        assert p.crash(2) and not p.crash(1)
+        assert p.slow_s_for(3) == 0.25 and p.slow_s_for(2) == 0.0
+        assert p.any_active()
+        assert not ChaosPolicy().any_active()
+
+    def test_injected_crash_bypasses_exception_guards(self):
+        # the dispatch path's `except Exception` must never swallow it
+        assert issubclass(InjectedWorkerCrash, BaseException)
+        assert not issubclass(InjectedWorkerCrash, Exception)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            ChaosPolicy(crash_p=1.5)
+        with pytest.raises(ValidationError):
+            ChaosPolicy(slow_s=-1.0)
+
+
+# ----------------------------------------------------------- supervision #
+
+
+class TestSupervision:
+    def test_worker_crash_acceptance(self):
+        """The PR's acceptance scenario: kill 1 of 4 workers mid-batch."""
+        report = run_chaos("worker-crash", n_requests=32, seed=0)
+        out, sup = report["outcome"], report["supervisor"]
+        assert out["lost"] == 0
+        assert out["completed"] == 32
+        assert out["statuses"] == {"ok": 32}
+        assert sup["crashes"] == 1
+        assert sup["restarts"] == 1
+        assert sup["requeued"] >= 1
+        assert report["equality"]["mismatches"] == 0
+        assert report["schema"] == "repro.chaos.bench/v1"
+
+    def test_chaos_report_is_deterministic(self):
+        a = run_chaos("worker-crash", n_requests=24, seed=5)
+        b = run_chaos("worker-crash", n_requests=24, seed=5)
+        keys = ("crashes", "restarts", "wedged", "requeued")
+        assert {k: a["supervisor"][k] for k in keys} == {
+            k: b["supervisor"][k] for k in keys
+        }
+        assert a["outcome"]["statuses"] == b["outcome"]["statuses"]
+
+    def test_wedged_worker_recovery(self):
+        report = run_chaos("wedged-worker", n_requests=16, seed=0)
+        out, sup = report["outcome"], report["supervisor"]
+        assert out["lost"] == 0
+        assert sup["wedged"] == 1
+        assert sup["restarts"] == 1
+        assert report["equality"]["mismatches"] == 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError):
+            run_chaos("nonexistent")
+
+    def test_scenarios_have_descriptions(self):
+        for name, spec in SCENARIOS.items():
+            assert spec["description"], name
+            assert spec["workers"] >= 1, name
+
+    def test_supervisor_stats_shape(self, graph):
+        srv = QueryServer(workers=2, result_cache_size=0)
+        srv.register_graph("g", graph)
+        with srv:
+            assert srv.submit(_req()).result(30).ok
+            sup = srv.stats()["supervisor"]
+        assert sup["enabled"] is True
+        assert sup["crashes"] == 0 and sup["restarts"] == 0
+        assert len(sup["workers"]) == 2
+        assert all(w["restarts"] == 0 for w in sup["workers"])
+
+    def test_stop_drains_through_a_crash(self, graph):
+        """Satellite (c) under fault: no ticket.result() may hang after stop."""
+        srv = QueryServer(
+            workers=2,
+            max_batch=4,
+            linger_s=0.001,
+            queue_limit=4096,
+            result_cache_size=0,
+            chaos=ChaosPolicy(crash_batches=(1,)),
+        )
+        srv.register_graph("g", graph)
+        srv.start()
+        tickets = [srv.submit(_req(source=s % graph.n)) for s in range(8)]
+        srv.stop()
+        results = [t.result(10) for t in tickets]  # raises TimeoutError on a hang
+        assert all(r.ok for r in results)
+        assert srv.stats()["supervisor"]["crashes"] == 1
+
+    def test_stop_drains_without_supervision(self, graph):
+        srv = QueryServer(
+            workers=1, max_batch=64, linger_s=5.0, result_cache_size=0, supervise=False
+        )
+        srv.register_graph("g", graph)
+        srv.start()
+        tickets = [srv.submit(_req(source=s)) for s in range(4)]
+        srv.stop()
+        assert all(t.result(10).ok for t in tickets)
+
+    def test_recovered_results_match_solo(self, graph):
+        """Byte-identical recovery, asserted directly on a crashing server."""
+        from repro.service import execute_solo, plan_request, results_equal
+
+        srv = QueryServer(
+            workers=2,
+            max_batch=4,
+            linger_s=0.001,
+            queue_limit=4096,
+            result_cache_size=0,
+            chaos=ChaosPolicy(crash_batches=(2,)),
+        )
+        srv.register_graph("g", graph)
+        requests = [_req(source=s % graph.n) for s in range(12)]
+        with srv:
+            results = [srv.submit(r).result(30) for r in requests]
+        assert all(r.ok for r in results)
+        for req, r in zip(requests, results):
+            solo = execute_solo(plan_request(req, {"g": graph}, {}))
+            assert results_equal(r, solo)
+
+
+# ------------------------------------------------------------ degradation #
+
+
+class TestDegradationLadder:
+    def overloaded_server(self, graph, **kw):
+        # max_batch larger than anything submitted + a huge linger keeps the
+        # queue full deterministically: nothing releases during the test
+        srv = QueryServer(
+            workers=1,
+            max_batch=64,
+            linger_s=10.0,
+            queue_limit=1,
+            result_cache_size=32,
+            breaker_policy=None,
+            **kw,
+        )
+        srv.register_graph("g", graph)
+        return srv
+
+    def test_ladder_off_by_default_raises(self, graph):
+        srv = self.overloaded_server(graph)
+        with srv:
+            srv.submit(_req(source=1))
+            with pytest.raises(ServiceOverloadedError):
+                srv.submit(_req(source=2))
+
+    def test_sssp_downgrades_to_approx(self, graph):
+        from repro.algorithms import spiking_khop_approx
+
+        srv = self.overloaded_server(graph, degraded_serving=True)
+        with srv:
+            srv.submit(_req(source=1))  # fills the queue
+            r = srv.submit(_req(source=2)).result(1)
+        assert r.ok and r.degraded and not r.stale
+        expected = spiking_khop_approx(graph, 2, graph.n - 1)
+        assert np.array_equal(r.dist, expected.dist)
+        counters = srv.stats()["metrics"]["counters"]
+        assert counters["service.degraded.approx"] == 1
+
+    def test_stale_cache_served_before_approx(self, graph):
+        srv = self.overloaded_server(graph, degraded_serving=True)
+        with srv:
+            # seed the cache by hand (the worker is lingering), then expire
+            # the entry into its grace window
+            fresh = QueryResult(request_id="seed", kind="sssp", status=QueryStatus.OK)
+            key = srv._cache_key(_req(source=3))
+            srv._result_cache.put(key, fresh)
+            with srv._result_cache._lock:
+                expires, value = srv._result_cache._entries[key]
+                srv._result_cache._entries[key] = (time.monotonic() - 1.0, value)
+            srv.submit(_req(source=1))  # fills the queue
+            r = srv.submit(_req(source=3)).result(1)
+        assert r.ok and r.degraded and r.stale and r.cached
+        assert srv.stats()["result_cache"]["stale_hits"] == 1
+        assert srv.stats()["metrics"]["counters"]["service.degraded.stale"] == 1
+
+    def test_non_sssp_kinds_fall_through_to_rejection(self, graph):
+        srv = self.overloaded_server(graph, degraded_serving=True)
+        with srv:
+            srv.submit(_req(source=1))
+            with pytest.raises(ServiceOverloadedError):
+                srv.submit(_req(kind="khop", source=2, k=4))
+
+    def test_degraded_serving_enables_stale_grace_default(self, graph):
+        srv = QueryServer(degraded_serving=True, result_cache_ttl_s=2.0)
+        assert srv._result_cache.stale_grace_s == 10.0
+        srv2 = QueryServer(result_cache_ttl_s=2.0)
+        assert srv2._result_cache.stale_grace_s == 0.0
+
+
+# ------------------------------------------------------------------- cli #
+
+
+class TestChaosCLI:
+    def test_chaos_cli_writes_bench(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_chaos.json"
+        rc = main(["chaos", "worker-crash", "--requests", "16", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.chaos.bench/v1"
+        assert report["outcome"]["lost"] == 0
+        assert report["supervisor"]["crashes"] == 1
+
+    def test_chaos_cli_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--list"]) == 0
+        listed = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in listed
+
+
+# --------------------------------------------------------------- loadgen #
+
+
+class TestLoadgenPerKind:
+    def test_per_kind_breakdown_present(self, graph):
+        from repro.service import run_loadgen
+
+        report = run_loadgen(
+            {"g": graph},
+            n_requests=30,
+            clients=4,
+            depth=8,
+            workers=1,
+            max_batch=16,
+            linger_s=0.005,
+            seed=3,
+            skip_naive=True,
+            verify=False,
+        )
+        per_kind = report["serving"]["per_kind"]
+        assert set(per_kind) <= {"sssp", "khop", "apsp"}
+        assert sum(v["requests"] for v in per_kind.values()) == 30
+        for v in per_kind.values():
+            assert v["ok"] + v["errors"] == v["requests"]
+            assert v["latency_p99_s"] >= v["latency_p50_s"] >= 0.0
