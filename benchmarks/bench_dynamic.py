@@ -1,0 +1,68 @@
+"""Dynamic-graph benchmark CLI: the ``BENCH_dynamic.json`` artifact.
+
+Runs :func:`repro.dynamic.bench.run_dynamic_bench` — the incremental
+recompile vs full-rebuild microbenchmark plus a mixed read/write stream
+replay through a live :class:`~repro.service.server.QueryServer` — and
+writes the document to ``--out``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --quick --ops 500 \
+        --out BENCH_dynamic.json
+
+Exits nonzero if the stream replay reports any errors or if incremental
+verification failed (every timed incremental network is checked
+array-identical to its from-scratch rebuild before its timing counts).
+The CI ``dynamic-smoke`` job additionally asserts the headline reweight
+speedup (>= 5x at n >= 1000) from the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized instances")
+    parser.add_argument("--ops", type=int, default=500, help="stream length")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_dynamic.json")
+    args = parser.parse_args(argv)
+
+    from repro.dynamic.bench import run_dynamic_bench
+
+    t0 = time.perf_counter()
+    doc = run_dynamic_bench(quick=args.quick, n_ops=args.ops, seed=args.seed)
+    doc["metadata"] = {"timestamp": time.time(), "wall_s": round(time.perf_counter() - t0, 3)}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    for rec in doc["recompile"]:
+        print(
+            f"n={rec['n']:5d} m={rec['m']:6d}  reweight {rec['reweight']['speedup']}x  "
+            f"add_edge {rec['add_edge']['speedup']}x  "
+            f"(verified {rec['verified_networks']} networks)",
+            file=sys.stderr,
+        )
+    stream = doc["stream"]
+    print(
+        f"stream: {stream['ops']} ops, {stream['errors']} errors, "
+        f"read p99 {stream['reads']['p99_s'] * 1e3:.2f} ms, "
+        f"write p99 {stream['writes']['p99_s'] * 1e3:.2f} ms",
+        file=sys.stderr,
+    )
+    print(f"wrote {args.out}", file=sys.stderr)
+    if stream["errors"]:
+        print("FAIL: stream replay reported errors", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

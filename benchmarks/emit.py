@@ -223,12 +223,32 @@ def main(argv: List[str] | None = None) -> int:
         choices=[n for n, _ in BENCHES],
         help="run only this bench (repeatable; default: all)",
     )
+    parser.add_argument(
+        "--dynamic-out",
+        default="BENCH_dynamic.json",
+        help="where the dynamic-graph bench document goes (full runs only)",
+    )
     args = parser.parse_args(argv)
     doc = run_suite(args.quick, names=args.bench)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
     print(f"wrote {len(doc['benches'])} bench records to {args.out}", file=sys.stderr)
+    if args.bench is None:
+        # the dynamic suite rides along on unfiltered runs only, so
+        # `--bench circuit_max`-style single-bench invocations stay cheap
+        from repro.dynamic.bench import run_dynamic_bench
+
+        dyn = run_dynamic_bench(quick=args.quick)
+        dyn["metadata"] = {"timestamp": time.time()}
+        with open(args.dynamic_out, "w", encoding="utf-8") as fh:
+            json.dump(dyn, fh, indent=2)
+            fh.write("\n")
+        print(
+            f"wrote dynamic bench (reweight speedup "
+            f"{dyn['headline_speedup']}x) to {args.dynamic_out}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -264,7 +264,31 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument(
         "--no-verify", action="store_true", help="skip the served-vs-solo equality check"
     )
+    lg.add_argument(
+        "--ops",
+        default=None,
+        metavar="STREAM.jsonl",
+        help="replay a repro.dynamic.stream op log instead of the closed loop "
+        "(graphs become dynamic residents; reports per-op-type p50/p99)",
+    )
     lg.add_argument("--out", default="BENCH_serving.json")
+
+    st = sub.add_parser(
+        "stream",
+        help="generate a replayable mixed read/write op stream (JSONL)",
+    )
+    st.add_argument(
+        "graphs",
+        nargs="*",
+        help="graphs to target, as 'id=path' (default: built-in grid + G(n,p) pair)",
+    )
+    st.add_argument("--ops", type=int, default=500, help="number of ops")
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument(
+        "--write-fraction", type=float, default=0.25, help="fraction of ops that mutate"
+    )
+    st.add_argument("--skew", type=float, default=1.2, help="Zipf exponent for read keys")
+    st.add_argument("--out", required=True, help="output JSONL path")
 
     chaos = sub.add_parser(
         "chaos",
@@ -386,7 +410,8 @@ def _cmd_profile(args) -> int:
     print()
     print(
         f"build cache: {bc['entries']} entries, {bc['hits']} hits, "
-        f"{bc['misses']} misses, {bc['evictions']} evictions"
+        f"{bc['misses']} misses, {bc['evictions']} evictions, "
+        f"{bc['invalidations']} invalidations, {bc['seeds']} seeds"
     )
 
     # lint the network the profiled algorithm just compiled (a build-cache
@@ -600,6 +625,8 @@ def _cmd_loadgen(args) -> int:
             "grid": grid_graph(10, 10, max_length=7, seed=2),
             "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
         }
+    if args.ops is not None:
+        return _loadgen_replay_ops(args, graphs)
     fault_spec = None
     if args.drop_p:
         fault_spec = {"drop_p": args.drop_p, "seed": args.fault_seed}
@@ -643,6 +670,66 @@ def _cmd_loadgen(args) -> int:
     print(f"wrote {args.out}")
     if s["errors"] or report["equality"]["mismatches"]:
         return 1
+    return 0
+
+
+def _loadgen_replay_ops(args, graphs) -> int:
+    """``repro loadgen --ops``: replay a recorded op stream on dynamic residents."""
+    import json
+
+    from repro.dynamic.stream import read_stream, run_stream_replay
+
+    ops = read_stream(args.ops)
+    report = run_stream_replay(
+        graphs,
+        ops,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1000.0,
+        queue_limit=args.queue_limit,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"replayed {report['ops']} ops: {report['completed']} completed, "
+          f"{report['errors']} errors")
+    for op_type, row in report["per_type"].items():
+        print(
+            f"  {op_type:12s} {row['count']:5d} ops  "
+            f"p50 {row['p50_s'] * 1000:7.2f} ms  p99 {row['p99_s'] * 1000:7.2f} ms"
+        )
+    for gid, version in sorted(report["final_versions"].items()):
+        print(f"  {gid}: final version {version}")
+    print(f"wrote {args.out}")
+    return 1 if report["errors"] else 0
+
+
+def _cmd_stream(args) -> int:
+    """``repro stream``: generate a replayable JSONL op stream."""
+    from repro.dynamic.stream import generate_stream, write_stream
+
+    if args.graphs:
+        graphs = _parse_resident_graphs(args.graphs)
+    else:
+        graphs = {
+            "grid": grid_graph(10, 10, max_length=7, seed=2),
+            "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
+        }
+    ops = generate_stream(
+        graphs,
+        args.ops,
+        seed=args.seed,
+        write_fraction=args.write_fraction,
+        skew=args.skew,
+    )
+    n = write_stream(ops, args.out)
+    from collections import Counter
+
+    counts = Counter(op["type"] for op in ops)
+    mix = ", ".join(f"{t}={c}" for t, c in sorted(counts.items()))
+    print(f"wrote {n} ops over {len(graphs)} graphs to {args.out}")
+    print(f"mix: {mix}")
     return 0
 
 
@@ -718,6 +805,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+
+    if args.command == "stream":
+        return _cmd_stream(args)
 
     if args.command == "chaos":
         return _cmd_chaos(args)

@@ -72,10 +72,16 @@ class BuildCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
+        self.seeds = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries
 
     def get_or_build(self, key: Tuple, build: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``key``, building it on a miss.
@@ -104,6 +110,66 @@ class BuildCache:
                 counter_inc("cache.build.evictions", 1)
             return value
 
+    def put(self, key: Tuple, value: Any) -> None:
+        """Insert (or overwrite) an entry directly, as most-recently-used.
+
+        The seeding path of the incremental recompiler
+        (:mod:`repro.dynamic.recompile`): a network patched forward from a
+        previous graph version is stored under the new version's key so the
+        next :func:`get_or_build` of that key hits instead of rebuilding.
+        """
+        if value is None:
+            raise ValidationError("build cache cannot store None")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.seeds += 1
+            counter_inc("cache.build.seeds", 1)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                counter_inc("cache.build.evictions", 1)
+
+    def invalidate(self, structure_key: str) -> int:
+        """Drop every entry whose key tuple contains ``structure_key``.
+
+        This is the *partial* invalidation used when one graph mutates:
+        only entries built from that exact graph version (its structure
+        key appears as a component of their cache keys) are dropped;
+        entries of every other graph survive untouched.  Returns the
+        number of entries removed (also counted in ``invalidations``).
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if structure_key in k]
+            for k in doomed:
+                del self._entries[k]
+            self.invalidations += len(doomed)
+            if doomed:
+                counter_inc("cache.build.invalidations", len(doomed))
+            return len(doomed)
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop entries where any string key component starts with ``prefix``.
+
+        Dynamic graphs use versioned structure keys of the form
+        ``dyn:<graph uid>:v<version>:<content hash>``, so
+        ``invalidate_prefix("dyn:<graph uid>:")`` drops every cached build
+        of every version of one mutable graph at once (e.g. when it is
+        deregistered), without touching other residents.
+        """
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if any(isinstance(part, str) and part.startswith(prefix) for part in k)
+            ]
+            for k in doomed:
+                del self._entries[k]
+            self.invalidations += len(doomed)
+            if doomed:
+                counter_inc("cache.build.invalidations", len(doomed))
+            return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -115,6 +181,8 @@ class BuildCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "seeds": self.seeds,
             }
 
 

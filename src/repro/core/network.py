@@ -187,6 +187,25 @@ class CompiledNetwork:
         return int(self.syn_dst.size)
 
     @property
+    def n_neurons(self) -> int:
+        return int(self.n)
+
+    @property
+    def n_synapses(self) -> int:
+        return self.m
+
+    def compile(self) -> "CompiledNetwork":
+        """Already compiled; returns ``self``.
+
+        Makes :class:`CompiledNetwork` a drop-in wherever a
+        :class:`Network` builder is accepted (``net.compile()`` call sites,
+        ``plan.net.n_neurons`` accounting), which is what lets the
+        incremental recompiler of :mod:`repro.dynamic` seed the build cache
+        with patched compiled networks directly.
+        """
+        return self
+
+    @property
     def max_delay(self) -> int:
         return int(self.syn_delay.max()) if self.m else DEFAULT_DELTA
 

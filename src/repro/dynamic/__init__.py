@@ -1,0 +1,56 @@
+"""Dynamic graphs: mutations, incremental recompilation, op-stream workloads.
+
+Everything else in the reproduction is build-once/query-many; this package
+makes graphs *mutable* while keeping every downstream consumer (the solo
+algorithm drivers, the build cache, the serving layer) correct:
+
+:mod:`repro.dynamic.graph`
+    :class:`~repro.dynamic.graph.MutableGraph` — add/remove node/edge and
+    reweight over incrementally maintained CSR arrays, with a monotonically
+    increasing version and **versioned structure keys**
+    (``dyn:<uid>:v<version>:<content hash>``) so each version caches and
+    invalidates independently.
+:mod:`repro.dynamic.recompile`
+    :class:`~repro.dynamic.recompile.IncrementalRecompiler` — patches the
+    compiled Section-3 SSSP / unit-delay k-hop networks forward across
+    mutations instead of rebuilding them through the ``O(m)``-Python-calls
+    builder, seeds :data:`~repro.core.cache.default_build_cache` under the
+    new version's key, and invalidates exactly the old version's entries.
+:mod:`repro.dynamic.stream`
+    Replayable JSONL op streams (skewed mixed read/write workloads) plus
+    the generator and the server replay driver behind
+    ``repro stream`` / ``repro loadgen --ops``.
+:mod:`repro.dynamic.bench`
+    The ``BENCH_dynamic.json`` benchmark: incremental-recompile vs
+    full-rebuild speedup and read latency under write load.
+
+Mutation requests flow through :class:`~repro.service.server.QueryServer`
+as first-class query kinds (``add_edge``, ``reweight``, ...); see
+``docs/dynamic_graphs.md`` for the mutation semantics and the
+version/consistency model.
+"""
+
+from repro.dynamic.graph import MutableGraph
+from repro.dynamic.recompile import IncrementalRecompiler, RecompileReport
+from repro.dynamic.stream import (
+    OP_TYPES,
+    generate_stream,
+    op_to_request,
+    read_stream,
+    replay_stream,
+    run_stream_replay,
+    write_stream,
+)
+
+__all__ = [
+    "MutableGraph",
+    "IncrementalRecompiler",
+    "RecompileReport",
+    "OP_TYPES",
+    "generate_stream",
+    "op_to_request",
+    "read_stream",
+    "replay_stream",
+    "run_stream_replay",
+    "write_stream",
+]

@@ -1,0 +1,238 @@
+"""Dynamic-graph benchmark: incremental recompile vs full rebuild.
+
+Two measurements behind ``BENCH_dynamic.json``:
+
+- **Recompile microbenchmark** (:func:`bench_recompile`): on a random
+  sparse graph, apply one mutation and time
+  :meth:`~repro.dynamic.recompile.IncrementalRecompiler.refresh` against
+  the non-incremental baseline — rebuilding the Section-3 network from
+  scratch through the Python builder (one ``add_neuron`` per vertex, one
+  ``add_synapse`` per edge, then ``compile()``), which is exactly what a
+  static deployment pays on every graph change.  Single-edge reweights go
+  through the ``O(m)`` array-patch path and the headline claim is a
+  ``>= 5x`` speedup at ``n >= 1000``; topology mutations go through the
+  vectorized direct compile, which is also reported.  Every timed
+  incremental network is verified array-identical to the from-scratch
+  build before its timing counts.
+
+- **Stream replay** (:func:`run_stream_bench`): a seeded mixed read/write
+  stream replayed through a live :class:`~repro.service.server.QueryServer`
+  via :func:`~repro.dynamic.stream.run_stream_replay`, reporting read
+  latency percentiles under write load and the recompiler counters that
+  prove the incremental path served the writes.
+
+:func:`run_dynamic_bench` bundles both into the artifact document; the
+``benchmarks/bench_dynamic.py`` CLI and ``benchmarks/emit.py`` write it to
+``BENCH_dynamic.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cache import BuildCache
+from repro.core.network import CompiledNetwork, Network
+from repro.dynamic.graph import MutableGraph
+from repro.dynamic.recompile import FAMILIES, IncrementalRecompiler, compile_vertex_network
+from repro.dynamic.stream import generate_stream, run_stream_replay
+from repro.errors import ValidationError
+from repro.workloads.generators import gnp_graph, grid_graph
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_recompile",
+    "run_dynamic_bench",
+    "run_stream_bench",
+]
+
+BENCH_SCHEMA = "repro.dynamic.bench/v1"
+
+
+def _full_build(snap: WeightedDigraph, *, unit_delay: bool) -> CompiledNetwork:
+    """The non-incremental baseline: Python builder + compile, uncached.
+
+    Mirrors :func:`~repro.algorithms.sssp_pseudo.sssp_network` /
+    :func:`~repro.algorithms.reach.khop_reach_network` construction
+    exactly (ungadgeted), but never touches the build cache — this is the
+    cost a static deployment pays for every mutation.
+    """
+    net = Network()
+    node_ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(snap.n)]
+    for u, v, w in snap.edges():
+        if u == v:
+            continue
+        net.add_synapse(node_ids[u], node_ids[v], weight=1.0, delay=1 if unit_delay else int(w))
+    return net.compile()
+
+
+def _networks_equal(a: CompiledNetwork, b: CompiledNetwork) -> bool:
+    if a.n != b.n:
+        return False
+    for field in ("v_reset", "v_threshold", "tau", "indptr", "syn_dst", "syn_weight", "syn_delay"):
+        if not np.array_equal(getattr(a, field), getattr(b, field)):
+            return False
+    return bool(np.array_equal(a.one_shot, b.one_shot))
+
+
+def _median_s(samples: List[float]) -> float:
+    return float(statistics.median(samples)) if samples else 0.0
+
+
+def bench_recompile(
+    n: int,
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    p: Optional[float] = None,
+    max_length: int = 10,
+) -> Dict[str, Any]:
+    """Time single-mutation incremental refresh vs from-scratch rebuild.
+
+    Returns per-mutation-class medians and the verified headline speedup
+    (``rebuild_median / incremental_median``) for the reweight (weight
+    patch) and add-edge (vectorized recompile) paths.  Raises
+    :class:`~repro.errors.ValidationError` if any incremental network
+    differs from its from-scratch build — the benchmark never reports a
+    speedup for a wrong answer.
+    """
+    if n < 2:
+        raise ValidationError(f"bench_recompile needs n >= 2, got {n}")
+    if trials < 1:
+        raise ValidationError(f"trials must be >= 1, got {trials}")
+    rng = np.random.default_rng(seed)
+    base = gnp_graph(n, p if p is not None else min(1.0, 8.0 / n),
+                     max_length=max_length, seed=seed)
+    graph = MutableGraph(base, uid=f"bench{n}")
+    rec = IncrementalRecompiler(graph, cache=BuildCache(maxsize=8))
+    rec.prime()
+
+    reweight_inc: List[float] = []
+    reweight_full: List[float] = []
+    addedge_inc: List[float] = []
+    addedge_full: List[float] = []
+    verified = 0
+
+    def _verify(snap: WeightedDigraph) -> None:
+        nonlocal verified
+        for family, unit in (("sssp", False), ("khop", True)):
+            net, _ids = rec.network(family)
+            if not _networks_equal(net, compile_vertex_network(snap, unit_delay=unit)):
+                raise ValidationError(
+                    f"incremental {family} network diverged from rebuild at n={n}"
+                )
+            verified += 1
+
+    for _trial in range(trials):
+        # --- reweight: the O(m) array-patch path -----------------------
+        edges = list(graph.edges())
+        u, v, w = edges[int(rng.integers(len(edges)))]
+        new_w = 1 + (int(w) % max_length)  # guaranteed != w only if max_length > 1
+        t0 = time.perf_counter()
+        graph.reweight(int(u), int(v), new_w)
+        rec.refresh()
+        reweight_inc.append(time.perf_counter() - t0)
+        snap = graph.snapshot()
+        t0 = time.perf_counter()
+        full = _full_build(snap, unit_delay=False)
+        reweight_full.append(time.perf_counter() - t0)
+        net, _ids = rec.network("sssp")
+        if not _networks_equal(net, full):
+            raise ValidationError(f"reweight patch diverged from rebuild at n={n}")
+        _verify(snap)
+
+        # --- add_edge: the vectorized direct-compile path --------------
+        pair: Optional[Tuple[int, int]] = None
+        for _attempt in range(64):
+            a = int(rng.integers(n))
+            b = int(rng.integers(n))
+            if a != b and not graph.is_removed(a) and not graph.is_removed(b) \
+                    and not graph.has_edge(a, b):
+                pair = (a, b)
+                break
+        if pair is not None:
+            t0 = time.perf_counter()
+            graph.add_edge(pair[0], pair[1], int(rng.integers(1, max_length + 1)))
+            rec.refresh()
+            addedge_inc.append(time.perf_counter() - t0)
+            snap = graph.snapshot()
+            t0 = time.perf_counter()
+            full = _full_build(snap, unit_delay=False)
+            addedge_full.append(time.perf_counter() - t0)
+            net, _ids = rec.network("sssp")
+            if not _networks_equal(net, full):
+                raise ValidationError(f"add_edge recompile diverged from rebuild at n={n}")
+            _verify(snap)
+
+    rw_inc, rw_full = _median_s(reweight_inc), _median_s(reweight_full)
+    ae_inc, ae_full = _median_s(addedge_inc), _median_s(addedge_full)
+    return {
+        "n": n,
+        "m": graph.m,
+        "trials": trials,
+        "verified_networks": verified,
+        "reweight": {
+            "incremental_median_s": round(rw_inc, 6),
+            "rebuild_median_s": round(rw_full, 6),
+            "speedup": round(rw_full / rw_inc, 2) if rw_inc > 0 else float("inf"),
+        },
+        "add_edge": {
+            "incremental_median_s": round(ae_inc, 6),
+            "rebuild_median_s": round(ae_full, 6),
+            "speedup": round(ae_full / ae_inc, 2) if ae_inc > 0 else float("inf"),
+        },
+        "recompiler": rec.stats(),
+    }
+
+
+def run_stream_bench(
+    *,
+    n_ops: int = 500,
+    seed: int = 0,
+    write_fraction: float = 0.25,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Replay a seeded mixed stream on the standard loadgen graph pair."""
+    graphs = {
+        "grid": grid_graph(10, 10, max_length=7, seed=2),
+        "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
+    }
+    ops = generate_stream(
+        graphs, n_ops, seed=seed, write_fraction=write_fraction
+    )
+    report = run_stream_replay(graphs, ops, workers=workers)
+    report["config"] = {
+        "n_ops": n_ops,
+        "seed": seed,
+        "write_fraction": write_fraction,
+        "workers": workers,
+        "graphs": {gid: {"n": g.n, "m": g.m} for gid, g in sorted(graphs.items())},
+    }
+    return report
+
+
+def run_dynamic_bench(
+    *,
+    quick: bool = False,
+    n_ops: int = 500,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """The full ``BENCH_dynamic.json`` document."""
+    sizes = [1000] if quick else [300, 1000, 2000]
+    recompile = [
+        bench_recompile(n, trials=3 if quick else 5, seed=seed) for n in sizes
+    ]
+    stream = run_stream_bench(n_ops=n_ops, seed=seed)
+    headline = next((r for r in recompile if r["n"] >= 1000), recompile[-1])
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {"quick": quick, "sizes": sizes, "n_ops": n_ops, "seed": seed},
+        "families": list(FAMILIES),
+        "recompile": recompile,
+        "headline_speedup": headline["reweight"]["speedup"],
+        "stream": stream,
+    }

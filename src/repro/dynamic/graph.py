@@ -1,0 +1,372 @@
+"""Mutable graphs with versioned structure keys and cheap delta tracking.
+
+:class:`MutableGraph` wraps the CSR layout of
+:class:`~repro.workloads.graph.WeightedDigraph` with in-place mutations
+(``add_node`` / ``remove_node`` / ``add_edge`` / ``remove_edge`` /
+``reweight``).  Every mutation bumps an integer ``version``; the immutable
+:meth:`snapshot` of a version carries a **versioned structure key**
+
+    ``dyn:<uid>:v<version>:<content hash>``
+
+so every downstream cache key derived from ``structure_key()`` — build-cache
+keys, serving batch keys, resident keys, result-cache keys — automatically
+scopes to one ``(graph, version)`` pair.  Invalidation is then surgical:
+:meth:`~repro.core.cache.BuildCache.invalidate` with one version's key drops
+exactly that version's builds, and
+:meth:`~repro.core.cache.BuildCache.invalidate_prefix` with ``dyn:<uid>:``
+drops all versions of one graph while other residents survive.
+
+Semantics (documented in ``docs/dynamic_graphs.md``):
+
+* **No parallel edges.**  ``add_edge`` on an existing ``(u, v)`` pair raises;
+  use :meth:`reweight`.  (The immutable base class tolerates parallel edges,
+  but mutation-by-endpoint needs each pair to be unique to be well defined.)
+* **Self-loops allowed** — both network builders mask them out, matching the
+  immutable pipeline.
+* **Tombstoned removal.**  ``remove_node`` strips the vertex's incident edges
+  and marks the id dead; ids are never reused and ``n`` never shrinks, so
+  vertex ids in recorded op streams stay stable across replays.  Reads that
+  name a removed vertex still get the well-defined isolated-vertex answer.
+* **Delta tracking.**  The graph records the last version at which topology
+  (edge set / vertex slots) changed vs. weights alone, letting the
+  incremental recompiler choose a delay-array patch over a structural
+  recompile.
+
+Thread safety: all mutations and snapshot reads serialize on ``lock`` (an
+``RLock``); holders can group a mutation + recompile + snapshot into one
+atomic step, which is how the serving layer keeps concurrent readers on
+un-torn versions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.cache import structure_fingerprint
+from repro.errors import GraphError
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["MutableGraph"]
+
+_UIDS = itertools.count()
+
+
+def _fresh_uid() -> str:
+    """Deterministic per-process uid (no wall clock / randomness)."""
+    return f"g{next(_UIDS)}"
+
+
+class MutableGraph:
+    """A weighted digraph supporting in-place mutation with versioning.
+
+    Parameters
+    ----------
+    base:
+        Either a :class:`~repro.workloads.graph.WeightedDigraph` to copy
+        (must not contain parallel edges), or an integer vertex count for
+        an initially edge-free graph, or ``None`` for an empty graph.
+    uid:
+        Stable identifier used in versioned structure keys.  Defaults to a
+        process-unique counter-based id; pass an explicit uid when replay
+        determinism across processes matters.
+    """
+
+    def __init__(
+        self,
+        base: Union[WeightedDigraph, int, None] = None,
+        *,
+        uid: Optional[str] = None,
+    ) -> None:
+        if base is None:
+            n = 0
+            tails = np.empty(0, dtype=np.int64)
+            heads = np.empty(0, dtype=np.int64)
+            lengths = np.empty(0, dtype=np.int64)
+        elif isinstance(base, WeightedDigraph):
+            n = base.n
+            tails = base.tails.copy()
+            heads = base.heads.copy()
+            lengths = base.lengths.copy()
+            if tails.size:
+                pairs = tails * np.int64(max(n, 1)) + heads
+                if np.unique(pairs).size != pairs.size:
+                    raise GraphError(
+                        "MutableGraph requires a base without parallel edges"
+                    )
+        elif isinstance(base, (int, np.integer)):
+            n = int(base)
+            if n < 0:
+                raise GraphError(f"vertex count must be nonnegative, got {n}")
+            tails = np.empty(0, dtype=np.int64)
+            heads = np.empty(0, dtype=np.int64)
+            lengths = np.empty(0, dtype=np.int64)
+        else:  # pragma: no cover - defensive
+            raise GraphError(f"unsupported MutableGraph base: {type(base).__name__}")
+
+        self.uid: str = uid if uid is not None else _fresh_uid()
+        self.lock = threading.RLock()
+        self._n = int(n)
+        # CSR arrays, sorted by tail (stable; insertion order within a tail
+        # row), mirroring WeightedDigraph's layout exactly so snapshots are
+        # identity re-sorts.
+        self._tails = tails
+        self._heads = heads
+        self._lengths = lengths
+        self._indptr = np.zeros(self._n + 1, dtype=np.int64)
+        if tails.size:
+            np.add.at(self._indptr, self._tails + 1, 1)
+            np.cumsum(self._indptr, out=self._indptr)
+        self._removed: Set[int] = set()
+        self.version: int = 0
+        # Last version at which topology (edge set / vertex slots) changed
+        # vs. only weights changed — the recompiler's delta signal.
+        self._topology_version: int = 0
+        self._weights_version: int = 0
+        self._snapshot: Optional[WeightedDigraph] = None
+        self._snapshot_version: int = -1
+        self._ops: Dict[str, int] = {
+            "add_node": 0,
+            "remove_node": 0,
+            "add_edge": 0,
+            "remove_edge": 0,
+            "reweight": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Vertex slot count, *including* tombstoned (removed) vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        with self.lock:
+            return int(self._tails.size)
+
+    @property
+    def topology_version(self) -> int:
+        """Last version at which the edge set or vertex slots changed."""
+        return self._topology_version
+
+    @property
+    def weights_version(self) -> int:
+        """Last version at which only an edge weight changed."""
+        return self._weights_version
+
+    def live_vertices(self) -> List[int]:
+        """Vertex ids that have not been removed, ascending."""
+        with self.lock:
+            return [v for v in range(self._n) if v not in self._removed]
+
+    def is_removed(self, v: int) -> bool:
+        with self.lock:
+            return v in self._removed
+
+    def has_edge(self, u: int, v: int) -> bool:
+        with self.lock:
+            return self._find_edge(u, v) >= 0
+
+    def edge_weight(self, u: int, v: int) -> int:
+        with self.lock:
+            pos = self._find_edge(u, v)
+            if pos < 0:
+                raise GraphError(f"no edge ({u}, {v})")
+            return int(self._lengths[pos])
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(tail, head, length)`` triples in CSR order."""
+        with self.lock:
+            tails = self._tails.tolist()
+            heads = self._heads.tolist()
+            lengths = self._lengths.tolist()
+        return iter(list(zip(tails, heads, lengths)))
+
+    def stats(self) -> Dict[str, int]:
+        """Mutation counts plus current version / size."""
+        with self.lock:
+            out = dict(self._ops)
+            out["version"] = self.version
+            out["n"] = self._n
+            out["m"] = int(self._tails.size)
+            out["removed"] = len(self._removed)
+            return out
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+
+    def add_node(self) -> int:
+        """Append a fresh isolated vertex; returns its id."""
+        with self.lock:
+            nid = self._n
+            self._n += 1
+            self._indptr = np.append(self._indptr, self._indptr[-1])
+            self._bump(topology=True)
+            self._ops["add_node"] += 1
+            return nid
+
+    def remove_node(self, v: int) -> int:
+        """Tombstone ``v`` and strip its incident edges.
+
+        Returns the number of edges removed.  The id slot persists (ids are
+        never reused); the vertex simply becomes isolated and dead to
+        further mutation.
+        """
+        with self.lock:
+            self._check_vertex(v)
+            mask = (self._tails != v) & (self._heads != v)
+            dropped = int(self._tails.size - int(mask.sum()))
+            if dropped:
+                self._tails = self._tails[mask]
+                self._heads = self._heads[mask]
+                self._lengths = self._lengths[mask]
+                self._rebuild_indptr()
+            self._removed.add(int(v))
+            self._bump(topology=True)
+            self._ops["remove_node"] += 1
+            return dropped
+
+    def add_edge(self, u: int, v: int, weight: int) -> None:
+        """Insert edge ``(u, v)`` with positive integer ``weight``.
+
+        Raises :class:`~repro.errors.GraphError` if the edge already exists
+        (no parallel edges) or an endpoint is out of range / removed.
+        """
+        with self.lock:
+            self._check_vertex(u)
+            self._check_vertex(v)
+            w = self._check_weight(weight)
+            if self._find_edge(u, v) >= 0:
+                raise GraphError(f"edge ({u}, {v}) already exists; use reweight")
+            # Insert at the end of u's CSR row: stays tail-sorted with
+            # insertion order preserved within the row, which is exactly the
+            # order WeightedDigraph's stable argsort would produce.
+            pos = int(self._indptr[u + 1])
+            self._tails = np.insert(self._tails, pos, u)
+            self._heads = np.insert(self._heads, pos, v)
+            self._lengths = np.insert(self._lengths, pos, w)
+            self._indptr[u + 1 :] += 1
+            self._bump(topology=True)
+            self._ops["add_edge"] += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)``; raises if absent."""
+        with self.lock:
+            self._check_vertex(u)
+            self._check_vertex(v)
+            pos = self._find_edge(u, v)
+            if pos < 0:
+                raise GraphError(f"no edge ({u}, {v})")
+            self._tails = np.delete(self._tails, pos)
+            self._heads = np.delete(self._heads, pos)
+            self._lengths = np.delete(self._lengths, pos)
+            self._indptr[u + 1 :] -= 1
+            self._bump(topology=True)
+            self._ops["remove_edge"] += 1
+
+    def reweight(self, u: int, v: int, weight: int) -> None:
+        """Set the weight of existing edge ``(u, v)`` (weights-only delta).
+
+        In-place on the graph's own ``lengths`` array — snapshots hold
+        fancy-indexed copies, so published versions are never mutated.
+        """
+        with self.lock:
+            self._check_vertex(u)
+            self._check_vertex(v)
+            w = self._check_weight(weight)
+            pos = self._find_edge(u, v)
+            if pos < 0:
+                raise GraphError(f"no edge ({u}, {v})")
+            self._lengths[pos] = w
+            self._bump(topology=False)
+            self._ops["reweight"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Snapshots and keys
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> WeightedDigraph:
+        """Immutable :class:`WeightedDigraph` of the current version, cached.
+
+        The snapshot's ``structure_key()`` is the versioned key
+        ``dyn:<uid>:v<version>:<content hash>`` rather than the bare content
+        fingerprint, so builds and results cached from it are scoped to this
+        graph *and* this version.
+        """
+        with self.lock:
+            if self._snapshot is None or self._snapshot_version != self.version:
+                snap = WeightedDigraph.from_arrays(
+                    self._n, self._tails, self._heads, self._lengths
+                )
+                # Pre-seed the lazy key cache with the versioned key; every
+                # structure_key() call on this snapshot returns it.
+                snap._key = self.structure_key()
+                self._snapshot = snap
+                self._snapshot_version = self.version
+            return self._snapshot
+
+    def structure_key(self) -> str:
+        """Versioned structure key of the current state."""
+        with self.lock:
+            content = structure_fingerprint(
+                self._n, self._tails, self._heads, self._lengths
+            )
+            return f"dyn:{self.uid}:v{self.version}:{content}"
+
+    def key_prefix(self) -> str:
+        """Prefix shared by every version's key (for whole-graph eviction)."""
+        return f"dyn:{self.uid}:"
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, *, topology: bool) -> None:
+        self.version += 1
+        if topology:
+            self._topology_version = self.version
+        else:
+            self._weights_version = self.version
+        self._snapshot = None
+        self._snapshot_version = -1
+
+    def _check_vertex(self, v: int) -> None:
+        if not isinstance(v, (int, np.integer)):
+            raise GraphError(f"vertex id must be an integer, got {v!r}")
+        if not (0 <= v < self._n):
+            raise GraphError(f"vertex {v} out of range [0, {self._n})")
+        if v in self._removed:
+            raise GraphError(f"vertex {v} has been removed")
+
+    @staticmethod
+    def _check_weight(weight: int) -> int:
+        if not isinstance(weight, (int, np.integer)) or isinstance(weight, bool):
+            raise GraphError(f"edge weight must be a positive integer, got {weight!r}")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be a positive integer, got {weight}")
+        return int(weight)
+
+    def _find_edge(self, u: int, v: int) -> int:
+        lo = int(self._indptr[u])
+        hi = int(self._indptr[u + 1])
+        hits = np.nonzero(self._heads[lo:hi] == v)[0]
+        return lo + int(hits[0]) if hits.size else -1
+
+    def _rebuild_indptr(self) -> None:
+        self._indptr = np.zeros(self._n + 1, dtype=np.int64)
+        if self._tails.size:
+            np.add.at(self._indptr, self._tails + 1, 1)
+        np.cumsum(self._indptr, out=self._indptr)
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableGraph(uid={self.uid!r}, n={self._n}, m={self._tails.size}, "
+            f"version={self.version})"
+        )

@@ -1,0 +1,289 @@
+"""Incremental recompilation of compiled networks across graph mutations.
+
+The Section-3 construction maps the graph onto the network so directly (one
+neuron per vertex, one synapse per non-self-loop edge, delay = edge length)
+that most mutations touch only a sliver of the compiled arrays.  Rebuilding
+through :class:`~repro.core.network.Network` costs ``O(n + m)`` *Python
+calls* (``add_neuron`` / ``add_synapse`` object churn) — the exact overhead
+the build cache exists to avoid — while the compiled form can be patched
+with a handful of vectorized array operations:
+
+* **weights-only delta** (``reweight``): the SSSP network's only
+  weight-dependent array is ``syn_delay``; a new
+  :class:`~repro.core.network.CompiledNetwork` is created sharing every
+  other array with the previous version, with ``syn_delay`` re-sliced from
+  the new CSR ``lengths``.  The unit-delay k-hop network does not depend on
+  weights at all, so its previous compilation is *reused as-is* — only its
+  cache key moves forward.
+* **topology delta** (add/remove node/edge): the whole network is compiled
+  directly from the CSR arrays with vectorized NumPy (mask self-loops,
+  bincount/cumsum the indptr) — no builder objects, no per-edge Python
+  calls.  Output is array-for-array identical to
+  :meth:`CompiledNetwork._from_builder` on the equivalent builder, which is
+  what the Hypothesis differential harness in ``tests/test_dynamic.py``
+  pins (spike-for-spike identity against from-scratch rebuilds).
+
+After patching, the recompiler **seeds** the build cache under the new
+version's structure key (:meth:`BuildCache.put`) and **invalidates** the old
+version's entries (:meth:`BuildCache.invalidate`), so the read path —
+:func:`~repro.algorithms.sssp_pseudo.sssp_plan` /
+:func:`~repro.algorithms.reach.khop_reach_plan` — transparently hits the
+patched network with zero changes to the algorithm drivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.cache import BuildCache, default_build_cache
+from repro.core.network import CompiledNetwork
+from repro.dynamic.graph import MutableGraph
+from repro.errors import ValidationError
+from repro.telemetry.metrics import counter_inc
+from repro.workloads.graph import WeightedDigraph
+
+__all__ = ["IncrementalRecompiler", "RecompileReport", "compile_vertex_network"]
+
+#: Query families the recompiler maintains: the Section-3 SSSP network
+#: (non-gadget level) and the unit-delay k-hop reachability network.  The
+#: gadget-expanded SSSP level is not patched incrementally (its per-vertex
+#: latch gadgets break the 1:1 vertex/neuron mapping); gadget queries fall
+#: back to the ordinary cached-build path.
+FAMILIES: Tuple[str, ...] = ("sssp", "khop")
+
+
+def compile_vertex_network(
+    graph: WeightedDigraph, *, unit_delay: bool
+) -> CompiledNetwork:
+    """Compile the Section-3 vertex network straight from CSR arrays.
+
+    Vectorized equivalent of the builders in
+    :func:`~repro.algorithms.sssp_pseudo.sssp_network` (``unit_delay=False``)
+    and :func:`~repro.algorithms.reach.khop_reach_network`
+    (``unit_delay=True``): one one-shot neuron ``v{i}`` per vertex,
+    self-loops masked, weight 1.0, delay = edge length (or 1).  Produces
+    arrays identical to ``Network.compile()`` on the equivalent builder.
+    """
+    n = graph.n
+    mask = graph.tails != graph.heads
+    src = graph.tails[mask]
+    syn_dst = graph.heads[mask]
+    if unit_delay:
+        syn_delay = np.ones(src.size, dtype=np.int64)
+    else:
+        syn_delay = graph.lengths[mask]
+    syn_weight = np.ones(src.size, dtype=np.float64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if src.size:
+        np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CompiledNetwork(
+        n=n,
+        v_reset=np.zeros(n, dtype=np.float64),
+        v_threshold=np.full(n, 0.5, dtype=np.float64),
+        tau=np.zeros(n, dtype=np.float64),
+        one_shot=np.ones(n, dtype=bool),
+        indptr=indptr,
+        syn_dst=syn_dst,
+        syn_weight=syn_weight,
+        syn_delay=syn_delay,
+        inputs=np.empty(0, dtype=np.int64),
+        outputs=np.empty(0, dtype=np.int64),
+        terminal=None,
+        names=tuple(f"v{v}" for v in range(n)),
+    )
+
+
+@dataclass
+class _FamilyState:
+    """Last compiled artifact of one family, pinned to a graph version."""
+
+    version: int
+    key: str
+    net: CompiledNetwork
+    node_ids: List[int]
+
+
+@dataclass
+class RecompileReport:
+    """What one :meth:`IncrementalRecompiler.refresh` did."""
+
+    graph_version: int
+    #: family -> one of "unchanged", "reused", "patched_weights", "recompiled"
+    families: Dict[str, str] = field(default_factory=dict)
+    cache_seeded: int = 0
+    cache_invalidated: int = 0
+
+
+class IncrementalRecompiler:
+    """Keeps compiled SSSP/k-hop networks of one mutable graph up to date.
+
+    One recompiler per :class:`~repro.dynamic.graph.MutableGraph`.  Callers
+    mutate the graph, then call :meth:`refresh` (typically while holding
+    ``graph.lock`` so mutation + recompile + snapshot publish as one atomic
+    step).  ``refresh`` advances each tracked family to the current version
+    by the cheapest sound route and moves the build-cache entries from the
+    old version's structure key to the new one.
+    """
+
+    def __init__(
+        self, graph: MutableGraph, *, cache: Optional[BuildCache] = None
+    ) -> None:
+        self._graph = graph
+        self._cache = default_build_cache if cache is None else cache
+        self._state: Dict[str, _FamilyState] = {}
+        self.full_builds = 0
+        self.weight_patches = 0
+        self.vector_recompiles = 0
+        self.reuses = 0
+        self.cache_seeded = 0
+        self.cache_invalidated = 0
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> MutableGraph:
+        return self._graph
+
+    def network(self, family: str) -> Tuple[CompiledNetwork, List[int]]:
+        """The compiled network + vertex->neuron ids of ``family``, current.
+
+        Tracks the family from this call on (subsequent :meth:`refresh`
+        calls keep it in sync).
+        """
+        with self._graph.lock:
+            self._ensure(family)
+            st = self._state[family]
+            if st.version != self._graph.version:
+                self.refresh()
+                st = self._state[family]
+            return st.net, list(st.node_ids)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "families": len(self._state),
+            "full_builds": self.full_builds,
+            "weight_patches": self.weight_patches,
+            "vector_recompiles": self.vector_recompiles,
+            "reuses": self.reuses,
+            "cache_seeded": self.cache_seeded,
+            "cache_invalidated": self.cache_invalidated,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Refresh
+    # ------------------------------------------------------------------ #
+
+    def prime(self) -> None:
+        """Track and build every family at the current version."""
+        with self._graph.lock:
+            for family in FAMILIES:
+                self._ensure(family)
+
+    def refresh(self) -> RecompileReport:
+        """Advance every tracked family to the graph's current version.
+
+        Chooses per family: nothing (already current), pure reuse (k-hop
+        across a weights-only delta), a ``syn_delay`` patch (SSSP across a
+        weights-only delta), or a vectorized structural recompile.  Seeds
+        the build cache under the new version's key and invalidates the old
+        version's entries, returning counts in the report.
+        """
+        with self._graph.lock:
+            version = self._graph.version
+            report = RecompileReport(graph_version=version)
+            if not self._state:
+                return report
+            snap = self._graph.snapshot()
+            new_key = snap.structure_key()
+            old_keys: Set[str] = set()
+            for family, st in self._state.items():
+                if st.version == version:
+                    report.families[family] = "unchanged"
+                    continue
+                topo_dirty = self._graph.topology_version > st.version
+                weight_dirty = self._graph.weights_version > st.version
+                if topo_dirty:
+                    net = compile_vertex_network(snap, unit_delay=(family == "khop"))
+                    node_ids = list(range(snap.n))
+                    mode = "recompiled"
+                    self.vector_recompiles += 1
+                    counter_inc("dynamic.recompile.vectorized", 1)
+                elif weight_dirty and family == "sssp":
+                    net = self._patch_delays(st.net, snap)
+                    node_ids = st.node_ids
+                    mode = "patched_weights"
+                    self.weight_patches += 1
+                    counter_inc("dynamic.recompile.weight_patches", 1)
+                else:
+                    # weights-only delta and the family ignores weights
+                    # (khop): the old compilation is still exact.
+                    net = st.net
+                    node_ids = st.node_ids
+                    mode = "reused"
+                    self.reuses += 1
+                    counter_inc("dynamic.recompile.reuses", 1)
+                old_keys.add(st.key)
+                self._seed(family, new_key, net, node_ids)
+                report.cache_seeded += 1
+                self._state[family] = _FamilyState(
+                    version=version, key=new_key, net=net, node_ids=node_ids
+                )
+                report.families[family] = mode
+            for old_key in old_keys:
+                dropped = self._cache.invalidate(old_key)
+                report.cache_invalidated += dropped
+                self.cache_invalidated += dropped
+            self.cache_seeded += report.cache_seeded
+            return report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _ensure(self, family: str) -> None:
+        if family not in FAMILIES:
+            raise ValidationError(
+                f"unknown recompile family {family!r}; expected one of {FAMILIES}"
+            )
+        if family in self._state:
+            return
+        snap = self._graph.snapshot()
+        net = compile_vertex_network(snap, unit_delay=(family == "khop"))
+        node_ids = list(range(snap.n))
+        key = snap.structure_key()
+        self._seed(family, key, net, node_ids)
+        self.cache_seeded += 1
+        self.full_builds += 1
+        counter_inc("dynamic.recompile.full_builds", 1)
+        self._state[family] = _FamilyState(
+            version=self._graph.version, key=key, net=net, node_ids=node_ids
+        )
+
+    def _seed(
+        self, family: str, key: str, net: CompiledNetwork, node_ids: List[int]
+    ) -> None:
+        if family == "sssp":
+            cache_key: Tuple[object, ...] = ("sssp_pseudo", False, key)
+        else:
+            cache_key = ("khop_reach", key)
+        self._cache.put(cache_key, (net, node_ids))
+        counter_inc("dynamic.cache.seeded", 1)
+
+    @staticmethod
+    def _patch_delays(net: CompiledNetwork, snap: WeightedDigraph) -> CompiledNetwork:
+        """New compilation sharing everything but ``syn_delay`` (reweight)."""
+        mask = snap.tails != snap.heads
+        syn_delay = snap.lengths[mask]
+        if syn_delay.size != net.m:  # pragma: no cover - guarded by delta tracking
+            raise ValidationError(
+                "weights-only patch requires unchanged topology "
+                f"({syn_delay.size} edges vs {net.m} synapses)"
+            )
+        return dataclasses.replace(net, syn_delay=syn_delay)

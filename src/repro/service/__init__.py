@@ -46,6 +46,7 @@ from repro.service.queue import Batch, CoalescingQueue
 from repro.service.resultcache import TTLResultCache
 from repro.service.retry import RetryPolicy
 from repro.service.schema import (
+    MUTATION_KINDS,
     QUERY_KINDS,
     QueryRequest,
     QueryResult,
@@ -56,6 +57,7 @@ from repro.service.schema import (
 from repro.service.server import QueryServer, QueryTicket
 
 __all__ = [
+    "MUTATION_KINDS",
     "QUERY_KINDS",
     "SCENARIOS",
     "Batch",

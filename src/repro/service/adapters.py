@@ -56,6 +56,12 @@ class RequestPlan:
     ``batch_key``, so only identically-configured plans coalesce.
     ``decode`` maps this request's slice of the batch results to
     ``{"dist" | "matrix" | "outputs": ..., "cost": CostReport}``.
+
+    ``mutation=True`` marks a write plan (graph mutation): it has no
+    stimuli or network, is dispatched by
+    :meth:`~repro.service.server.QueryServer._dispatch_mutations` instead
+    of the batched engine, and its group is offered *serial* so writes on
+    one graph never run concurrently.
     """
 
     batch_key: Tuple
@@ -64,10 +70,12 @@ class RequestPlan:
     faults: List[Optional[FaultModel]]
     sim_kwargs: Dict[str, Any]
     decode: Callable[[List[SimulationResult]], Dict[str, Any]]
+    mutation: bool = False
 
     @property
     def n_items(self) -> int:
-        return len(self.stimuli)
+        """Batch items this plan occupies (mutations count as one)."""
+        return max(1, len(self.stimuli))
 
 
 def _watchdog_key(request: QueryRequest) -> Optional[Tuple]:

@@ -16,6 +16,14 @@ Tickets whose deadline expires while queued are never dispatched; they are
 handed back in :attr:`Batch.expired` so the worker can answer them with
 ``TIMEOUT`` without paying for a simulation.
 
+Groups offered with ``serial=True`` (graph mutations) additionally dispatch
+**one batch at a time**: while a serial group's batch is in flight, the
+group is invisible to :meth:`next_batch` until the dispatching worker calls
+:meth:`release`.  Within a batch, tickets stay in admission order, so writes
+on one graph apply in the order they were submitted; reads admitted between
+two writes batch under the earlier version's key and therefore observe a
+coherent version.
+
 The queue is a plain condition-variable monitor; workers call
 :meth:`next_batch` directly (no separate scheduler thread), so a ready
 batch is picked up by whichever worker is free first.
@@ -87,6 +95,10 @@ class CoalescingQueue:
         self._groups: Dict[Tuple, List[Tuple[float, object]]] = {}
         self._depth = 0
         self._closed = False
+        #: keys whose groups dispatch one batch at a time (mutations)
+        self._serial: set = set()
+        #: serial keys with a batch currently in flight
+        self._inflight: set = set()
 
     # ------------------------------------------------------------------ #
 
@@ -95,13 +107,18 @@ class CoalescingQueue:
         with self._lock:
             return self._depth
 
-    def offer(self, key: Tuple, ticket) -> None:
+    def offer(self, key: Tuple, ticket, *, serial: bool = False) -> None:
         """Admit ``ticket`` under ``key`` or reject with backpressure.
 
         Rejection raises :class:`~repro.errors.ServiceOverloadedError`
         carrying ``retry_after_s`` — the linger bound, i.e. the longest a
         present batch can take to start draining — so clients can back off
         precisely instead of guessing.
+
+        ``serial=True`` marks the group as dispatch-one-batch-at-a-time:
+        once a batch of the group is handed to a worker, the group stays
+        parked until that worker calls :meth:`release` — the mechanism that
+        serializes writes per graph.
         """
         n = ticket.n_items
         with self._cond:
@@ -113,9 +130,22 @@ class CoalescingQueue:
                     retry_after_s=max(self.linger_s, 0.001),
                     queue_depth=self._depth,
                 )
+            if serial:
+                self._serial.add(key)
             self._groups.setdefault(key, []).append((self._clock(), ticket))
             self._depth += n
             self._cond.notify()
+
+    def release(self, key: Tuple) -> None:
+        """Mark a serial group's in-flight batch finished (idempotent).
+
+        Workers call this after dispatching a batch (success, crash
+        recovery, or wedge recovery); for non-serial keys it is a no-op.
+        """
+        with self._cond:
+            if key in self._inflight:
+                self._inflight.discard(key)
+                self._cond.notify_all()
 
     def requeue(self, key: Tuple, ticket) -> None:
         """Put a recovered in-flight ticket back at the *front* of its group.
@@ -185,6 +215,8 @@ class CoalescingQueue:
                 ready_key: Optional[Tuple] = None
                 next_wake: Optional[float] = None
                 for key, entries in self._groups.items():
+                    if key in self._inflight:
+                        continue  # serial group with a batch in flight
                     items = sum(t.n_items for _, t in entries)
                     oldest = entries[0][0]
                     release_at = oldest + self.linger_s
@@ -200,6 +232,8 @@ class CoalescingQueue:
                 if ready_key is not None:
                     batch = self._pop_group(ready_key, now)
                     if batch.tickets or batch.expired:
+                        if ready_key in self._serial and batch.tickets:
+                            self._inflight.add(ready_key)
                         return batch
                     continue  # group was entirely consumed by expiry races
                 if self._closed and not self._groups:

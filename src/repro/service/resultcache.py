@@ -71,6 +71,7 @@ class TTLResultCache:
         self.expirations = 0
         self.evictions = 0
         self.purges = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -141,6 +142,23 @@ class TTLResultCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def invalidate(self, resident_key: Any) -> int:
+        """Drop every entry cached under ``resident_key`` (partial flush).
+
+        Cache keys lead with the resident key ``("graph", structure_key)``,
+        and dynamic graphs use *versioned* structure keys — so when a graph
+        mutates, the server invalidates exactly the superseded version's
+        results while every other resident's entries (and the grace-window
+        stale entries it still wants for degraded serving) survive.
+        Returns the number of entries removed.
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if k and k[0] == resident_key]
+            for k in doomed:
+                del self._entries[k]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -155,4 +173,5 @@ class TTLResultCache:
                 "expirations": self.expirations,
                 "evictions": self.evictions,
                 "purges": self.purges,
+                "invalidations": self.invalidations,
             }

@@ -19,6 +19,18 @@ Four query kinds are served:
 ``circuit``
     One evaluation of a registered threshold-gate circuit.
 
+Dynamic (mutable) graphs additionally accept five **mutation kinds** —
+``add_node`` / ``remove_node`` / ``add_edge`` / ``remove_edge`` /
+``reweight`` — that change the resident graph itself.  Mutations are
+serialized per graph through the coalescing queue (writes on one graph
+never interleave with each other), are never cached, retried, or hedged
+(:attr:`QueryRequest.idempotent` is ``False``), and their results carry
+the post-mutation :attr:`QueryResult.graph_version`.  Read results on a
+dynamic graph carry the version their plan was pinned to.  The JSONL
+op-stream front end (:mod:`repro.dynamic.stream`) spells these
+``{"type": "ADD_EDGE", ...}``; :func:`repro.dynamic.stream.op_to_request`
+maps op records onto this schema.
+
 Validation is structural (field presence, ranges that do not need the
 graph); graph-dependent checks (unknown resident, out-of-range source,
 unknown input group) happen at plan time in :mod:`repro.service.adapters`,
@@ -46,11 +58,22 @@ __all__ = [
     "QueryResult",
     "QueryStatus",
     "QUERY_KINDS",
+    "MUTATION_KINDS",
     "request_from_dict",
     "fault_from_spec",
 ]
 
 QUERY_KINDS: Tuple[str, ...] = ("sssp", "khop", "apsp", "circuit")
+
+#: Write kinds accepted only for graphs registered as *dynamic*
+#: (:meth:`repro.service.server.QueryServer.register_dynamic_graph`).
+MUTATION_KINDS: Tuple[str, ...] = (
+    "add_node",
+    "remove_node",
+    "add_edge",
+    "remove_edge",
+    "reweight",
+)
 
 _ids = itertools.count(1)
 
@@ -91,6 +114,9 @@ class QueryRequest:
     k: Optional[int] = None
     sources: Optional[Tuple[int, ...]] = None
     inputs: Optional[Dict[str, int]] = None
+    u: Optional[int] = None
+    v: Optional[int] = None
+    weight: Optional[int] = None
     use_gadgets: bool = False
     engine: str = "auto"
     record_spikes: bool = False
@@ -100,12 +126,16 @@ class QueryRequest:
     request_id: str = field(default_factory=_next_request_id)
 
     def __post_init__(self) -> None:
-        if self.kind not in QUERY_KINDS:
+        if self.kind not in QUERY_KINDS and self.kind not in MUTATION_KINDS:
             raise ValidationError(
-                f"unknown query kind {self.kind!r}; expected one of {QUERY_KINDS}"
+                f"unknown query kind {self.kind!r}; expected one of "
+                f"{QUERY_KINDS + MUTATION_KINDS}"
             )
         if self.engine not in ("auto", "dense", "event"):
             raise ValidationError(f"unknown engine {self.engine!r}")
+        if self.kind in MUTATION_KINDS:
+            self._validate_mutation()
+            return
         if self.kind in ("sssp", "khop"):
             if self.source is None:
                 raise ValidationError(f"{self.kind} query requires a source")
@@ -127,25 +157,53 @@ class QueryRequest:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValidationError(f"deadline_s must be > 0, got {self.deadline_s}")
 
+    def _validate_mutation(self) -> None:
+        if self.faults is not None or self.watchdog is not None or self.record_spikes:
+            raise ValidationError(
+                f"{self.kind} is a mutation; faults/watchdog/record_spikes "
+                "do not apply"
+            )
+        if self.kind in ("add_edge", "remove_edge", "reweight"):
+            if self.u is None or self.v is None:
+                raise ValidationError(f"{self.kind} requires endpoints u and v")
+            self.u = int(self.u)
+            self.v = int(self.v)
+        if self.kind in ("add_edge", "reweight"):
+            if self.weight is None or int(self.weight) <= 0:
+                raise ValidationError(
+                    f"{self.kind} requires a positive integer weight"
+                )
+            self.weight = int(self.weight)
+        if self.kind == "remove_node":
+            if self.u is None:
+                raise ValidationError("remove_node requires u")
+            self.u = int(self.u)
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValidationError(f"deadline_s must be > 0, got {self.deadline_s}")
+
     @property
     def idempotent(self) -> bool:
         """May this request be transparently resubmitted (retry, hedge, requeue)?
 
-        Every current query kind is a pure read over a resident graph or
-        circuit, so re-executing it is always safe.  The property exists
-        as the single gate the retry/hedging/requeue machinery consults —
-        future mutation operations must return ``False`` here and will
-        then never be silently retried.
+        Query kinds are pure reads over a resident graph or circuit, so
+        re-executing them is always safe.  Mutation kinds are **not**
+        idempotent (``add_node`` applied twice adds two nodes) and are
+        never silently retried, hedged, or requeued after a worker crash —
+        a crashed mutation is answered with an error instead.
         """
-        return True
+        return self.kind not in MUTATION_KINDS
 
     def cache_params(self) -> Optional[Tuple]:
         """Query-parameter component of the result-cache key, or ``None``.
 
-        ``None`` marks the request uncacheable: it records spikes (large
-        payloads the cache should not pin), carries a watchdog (stateful
-        runs), or uses a fault model without a deterministic fingerprint.
+        ``None`` marks the request uncacheable: it is a mutation (writes
+        are executed exactly once, never answered from cache), it records
+        spikes (large payloads the cache should not pin), carries a
+        watchdog (stateful runs), or uses a fault model without a
+        deterministic fingerprint.
         """
+        if self.kind in MUTATION_KINDS:
+            return None
         if self.record_spikes or self.watchdog is not None:
             return None
         fault_key: Optional[Tuple] = ()
@@ -204,6 +262,11 @@ class QueryResult:
     error: Optional[str] = None
     error_type: Optional[str] = None
     error_code: Optional[str] = None
+    #: For requests against a dynamic graph: the graph version the answer
+    #: corresponds to (reads: the version the plan was pinned to;
+    #: mutations: the version the write produced).  ``None`` for static
+    #: residents.
+    graph_version: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -234,6 +297,8 @@ class QueryResult:
             out["matrix"] = self.matrix.tolist()
         if self.outputs is not None:
             out["outputs"] = dict(self.outputs)
+        if self.graph_version is not None:
+            out["graph_version"] = self.graph_version
         if self.cost is not None:
             out["cost"] = self.cost.to_dict()
         if self.error is not None:
@@ -267,6 +332,7 @@ def request_from_dict(doc: Mapping[str, object]) -> QueryRequest:
     """Parse one JSONL request document into a :class:`QueryRequest`."""
     known = {
         "kind", "graph_id", "source", "target", "k", "sources", "inputs",
+        "u", "v", "weight",
         "use_gadgets", "engine", "record_spikes", "fault", "deadline_s",
         "request_id",
     }
@@ -286,6 +352,9 @@ def request_from_dict(doc: Mapping[str, object]) -> QueryRequest:
         k=doc.get("k"),
         sources=tuple(doc["sources"]) if doc.get("sources") else None,
         inputs=dict(doc["inputs"]) if doc.get("inputs") else None,
+        u=doc.get("u"),
+        v=doc.get("v"),
+        weight=doc.get("weight"),
         use_gadgets=bool(doc.get("use_gadgets", False)),
         engine=str(doc.get("engine", "auto")),
         record_spikes=bool(doc.get("record_spikes", False)),

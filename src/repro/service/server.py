@@ -70,11 +70,13 @@ from repro.service.adapters import RequestPlan, plan_request
 from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.queue import CoalescingQueue
 from repro.service.resultcache import TTLResultCache
-from repro.service.schema import QueryRequest, QueryResult, QueryStatus
+from repro.service.schema import MUTATION_KINDS, QueryRequest, QueryResult, QueryStatus
 from repro.telemetry.metrics import MetricsRegistry, use_registry
 from repro.workloads.graph import WeightedDigraph
 
 if TYPE_CHECKING:  # imported lazily at runtime: chaos -> loadgen -> server
+    from repro.dynamic.graph import MutableGraph
+    from repro.dynamic.recompile import IncrementalRecompiler
     from repro.service.chaos import ChaosPolicy
 
 __all__ = ["QueryServer", "QueryTicket"]
@@ -103,6 +105,8 @@ class QueryTicket:
         "deadline",
         "dispatched_at",
         "requeues",
+        "cache_key",
+        "graph_version",
         "_lock",
         "_event",
         "_result",
@@ -122,6 +126,15 @@ class QueryTicket:
         self.deadline = deadline  # absolute monotonic time, or None
         self.dispatched_at: Optional[float] = None
         self.requeues = 0  # crash-recovery resubmissions so far
+        # Result-cache key, resolved once at submit time against the
+        # resident version the plan was built from.  The dispatcher fills
+        # the cache under this stashed key — never a recomputed one — so a
+        # mutation landing between plan and fill cannot poison the *new*
+        # version's cache with a result computed on the old version.
+        self.cache_key: Optional[Tuple] = None
+        # Dynamic-graph version the plan is pinned to (None for static
+        # residents); surfaced on results as ``graph_version``.
+        self.graph_version: Optional[int] = None
         self._lock = threading.Lock()
         self._event = threading.Event()
         self._result: Optional[QueryResult] = None
@@ -301,6 +314,15 @@ class QueryServer:
         self._graphs: Dict[str, WeightedDigraph] = {}
         self._circuits: Dict[str, Tuple[CircuitBuilder, str]] = {}
         self._resident_keys: Dict[str, Tuple] = {}
+        # Dynamic residents: the mutable graph, its recompiler, and the
+        # version the published snapshot corresponds to (None = static).
+        # _resident_lock makes (snapshot, resident key, version) reads and
+        # swaps atomic, so a submit never pairs one version's snapshot with
+        # another version's cache key.
+        self._dynamic: Dict[str, "MutableGraph"] = {}
+        self._recompilers: Dict[str, "IncrementalRecompiler"] = {}
+        self._graph_versions: Dict[str, Optional[int]] = {}
+        self._resident_lock = threading.Lock()
         self._lint_admission = bool(lint_admission)
         #: (resident key, plan family) -> memoized LintReport
         self._lint_cache: Dict[Tuple, Any] = {}
@@ -345,9 +367,46 @@ class QueryServer:
     # Residents
 
     def register_graph(self, graph_id: str, graph: WeightedDigraph) -> str:
-        """Make ``graph`` queryable as ``graph_id``; returns the id."""
-        self._graphs[graph_id] = graph
-        self._resident_keys[graph_id] = ("graph", graph.structure_key())
+        """Make ``graph`` queryable as ``graph_id`` (static); returns the id."""
+        with self._resident_lock:
+            self._graphs[graph_id] = graph
+            self._resident_keys[graph_id] = ("graph", graph.structure_key())
+            self._graph_versions[graph_id] = None
+        return graph_id
+
+    def register_dynamic_graph(
+        self, graph_id: str, graph: "WeightedDigraph | MutableGraph"
+    ) -> str:
+        """Make ``graph`` resident as a *mutable* graph; returns the id.
+
+        Accepts a :class:`~repro.dynamic.graph.MutableGraph` or a plain
+        :class:`~repro.workloads.graph.WeightedDigraph` (wrapped; it must
+        then contain no parallel edges).  Mutation kinds are accepted only
+        for graphs registered through this method.  An
+        :class:`~repro.dynamic.recompile.IncrementalRecompiler` is primed
+        for the SSSP and k-hop families, so the very first read already
+        hits a seeded build-cache entry and every later mutation advances
+        the compiled networks incrementally.
+        """
+        from repro.dynamic.graph import MutableGraph
+        from repro.dynamic.recompile import IncrementalRecompiler
+
+        if isinstance(graph, WeightedDigraph):
+            graph = MutableGraph(graph)
+        if not isinstance(graph, MutableGraph):
+            raise ValidationError(
+                f"register_dynamic_graph needs a MutableGraph or WeightedDigraph, "
+                f"got {type(graph).__name__}"
+            )
+        recompiler = IncrementalRecompiler(graph)
+        recompiler.prime()
+        snap = graph.snapshot()
+        with self._resident_lock:
+            self._dynamic[graph_id] = graph
+            self._recompilers[graph_id] = recompiler
+            self._graphs[graph_id] = snap
+            self._resident_keys[graph_id] = ("graph", snap.structure_key())
+            self._graph_versions[graph_id] = graph.version
         return graph_id
 
     def register_circuit(self, circuit_id: str, builder: CircuitBuilder) -> str:
@@ -486,13 +545,15 @@ class QueryServer:
     # ------------------------------------------------------------------ #
     # Submission
 
-    def _cache_key(self, request: QueryRequest) -> Optional[Tuple]:
+    def _cache_key(
+        self, request: QueryRequest, resident_key: Tuple
+    ) -> Optional[Tuple]:
         if self._result_cache is None:
             return None
         params = request.cache_params()
         if params is None:
             return None
-        return (self._resident_keys[request.graph_id], params)
+        return (resident_key, params)
 
     def submit(self, request: QueryRequest) -> QueryTicket:
         """Plan, cache-check, breaker-check, and enqueue ``request``.
@@ -511,11 +572,17 @@ class QueryServer:
         """
         if not self._started or self._stopped:
             raise ReproError("QueryServer is not running; use 'with QueryServer(...)'")
-        if request.graph_id not in self._resident_keys:
-            raise ValidationError(f"unknown graph or circuit {request.graph_id!r}")
+        with self._resident_lock:
+            if request.graph_id not in self._resident_keys:
+                raise ValidationError(
+                    f"unknown graph or circuit {request.graph_id!r}"
+                )
+            resident_key = self._resident_keys[request.graph_id]
+            graph = self._graphs.get(request.graph_id)
+            graph_version = self._graph_versions.get(request.graph_id)
 
         now = self._clock()
-        cache_key = self._cache_key(request)
+        cache_key = self._cache_key(request, resident_key)
         if cache_key is not None:
             hit = self._result_cache.get(cache_key)
             if hit is not None:
@@ -552,13 +619,42 @@ class QueryServer:
                     graph_id=request.graph_id,
                 )
 
-        plan = plan_request(request, self._graphs, self._circuits)
-        if self._lint_admission:
-            self._check_admission(request, plan)
+        serial = False
+        if request.kind in MUTATION_KINDS:
+            if request.graph_id not in self._dynamic:
+                raise ValidationError(
+                    f"{request.kind} requires a dynamic graph; "
+                    f"{request.graph_id!r} was not registered with "
+                    "register_dynamic_graph"
+                )
+            # Writes on one graph share one serial batch key, so they apply
+            # strictly in admission order and never run concurrently.
+            plan = RequestPlan(
+                batch_key=("mutate", request.graph_id),
+                network=None,
+                stimuli=[],
+                faults=[],
+                sim_kwargs={},
+                decode=lambda results: {},
+                mutation=True,
+            )
+            serial = True
+        else:
+            # Plan against the snapshot resolved atomically with the
+            # resident key above, so the (plan, cache key, version) triple
+            # is coherent even while mutations race this submit.
+            graphs_view = (
+                {request.graph_id: graph} if graph is not None else {}
+            )
+            plan = plan_request(request, graphs_view, self._circuits)
+            if self._lint_admission:
+                self._check_admission(request, plan, resident_key)
         deadline = None if request.deadline_s is None else now + request.deadline_s
         ticket = QueryTicket(request, plan, admitted_at=now, deadline=deadline)
+        ticket.cache_key = cache_key
+        ticket.graph_version = graph_version
         try:
-            self._queue.offer(plan.batch_key, ticket)
+            self._queue.offer(plan.batch_key, ticket, serial=serial)
         except ServiceOverloadedError:
             if self._degraded_serving:
                 degraded = self._try_degrade(request, cache_key, now)
@@ -655,7 +751,9 @@ class QueryServer:
             return ticket
         return None
 
-    def _check_admission(self, request: QueryRequest, plan: RequestPlan) -> None:
+    def _check_admission(
+        self, request: QueryRequest, plan: RequestPlan, resident_key: Tuple
+    ) -> None:
         """Reject requests whose resident network fails the static linter.
 
         The report is memoized per (resident key, plan family) — one lint
@@ -666,7 +764,7 @@ class QueryServer:
         neuron may be stimulated by some future query.
         """
         family = plan.batch_key[0]
-        key = (self._resident_keys[request.graph_id], family)
+        key = (resident_key, family)
         report = self._lint_cache.get(key)
         if report is None:
             if family == "circuit":
@@ -714,21 +812,28 @@ class QueryServer:
                 state.heartbeat_at = self._clock()
                 state.inflight = list(batch.tickets) + list(batch.expired)
                 state.batches += 1
-            skew = 0.0
-            if self._chaos is not None:
-                from repro.service.chaos import InjectedWorkerCrash
+            try:
+                skew = 0.0
+                if self._chaos is not None:
+                    from repro.service.chaos import InjectedWorkerCrash
 
-                stall = self._chaos.stall_s_for(seq)
-                if stall > 0:
-                    time.sleep(stall)
-                if self._chaos.crash(seq):
-                    raise InjectedWorkerCrash(seq)
-                skew = self._chaos.skew_s(seq)
-            now = self._clock()
-            for ticket in batch.expired:
-                self._complete_timeout(ticket, now)
-            if batch.tickets:
-                self._dispatch(batch.tickets, seq, skew)
+                    stall = self._chaos.stall_s_for(seq)
+                    if stall > 0:
+                        time.sleep(stall)
+                    if self._chaos.crash(seq):
+                        raise InjectedWorkerCrash(seq)
+                    skew = self._chaos.skew_s(seq)
+                now = self._clock()
+                for ticket in batch.expired:
+                    self._complete_timeout(ticket, now)
+                if batch.tickets:
+                    self._dispatch(batch.tickets, seq, skew)
+            finally:
+                # Serial (mutation) groups are parked while their batch is
+                # in flight; release on every exit path — success, chaos
+                # crash (the exception keeps propagating), anything — so a
+                # dead worker can never strand a graph's write stream.
+                self._queue.release(batch.key)
             with self._sup_lock:
                 state.busy = False
                 state.inflight = []
@@ -781,6 +886,9 @@ class QueryServer:
     def _dispatch(self, tickets: List[QueryTicket], seq: int, skew: float) -> None:
         tickets = [t for t in tickets if not t.done()]  # requeue duplicates
         if not tickets:
+            return
+        if tickets[0].plan is not None and tickets[0].plan.mutation:
+            self._dispatch_mutations(tickets, skew)
             return
         dispatch_t = self._clock()
         plan0 = tickets[0].plan
@@ -850,6 +958,7 @@ class QueryServer:
                         batch_size=total_items,
                         queued_s=queued_s,
                         service_s=service_s,
+                        graph_version=t.graph_version,
                     )
                 except Exception as exc:
                     code, _retryable = classify_exception(exc)
@@ -872,10 +981,10 @@ class QueryServer:
             if not t.complete(qr):
                 continue  # an abandoned worker lost the completion race
             claimed.append((t, qr))
-            if qr.ok:
-                key = self._cache_key(t.request)
-                if key is not None:
-                    self._result_cache.put(key, qr)
+            if qr.ok and t.cache_key is not None:
+                # The submit-time key: pins the fill to the resident
+                # version the plan was built from (see QueryTicket).
+                self._result_cache.put(t.cache_key, qr)
             if self._breaker_policy is not None:
                 self._breaker_for(t.request.kind, t.request.graph_id).record(qr.ok)
 
@@ -898,6 +1007,114 @@ class QueryServer:
                 self.registry.timer_observe(
                     "service.latency.total", qr.queued_s + qr.service_s
                 )
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+
+    def _dispatch_mutations(self, tickets: List[QueryTicket], skew: float) -> None:
+        """Apply a serial batch of writes to one dynamic graph, in order.
+
+        Each ticket is applied individually (mutation + incremental
+        recompile + snapshot publish as one atomic step under the graph's
+        lock), so a failed write leaves the graph exactly as the previous
+        write left it and later writes in the batch still apply.  Results
+        carry the post-apply ``graph_version``.
+        """
+        total = len(tickets)
+        for t in tickets:
+            start = self._clock()
+            t.dispatched_at = start
+            queued_s = max(0.0, (start + skew) - t.admitted_at)
+            try:
+                outputs, version = self._apply_mutation(t.request)
+                qr = QueryResult(
+                    request_id=t.request.request_id,
+                    kind=t.request.kind,
+                    status=QueryStatus.OK,
+                    outputs=outputs,
+                    batch_size=total,
+                    queued_s=queued_s,
+                    service_s=max(0.0, self._clock() - start),
+                    graph_version=version,
+                )
+            except Exception as exc:
+                code, _retryable = classify_exception(exc)
+                qr = QueryResult(
+                    request_id=t.request.request_id,
+                    kind=t.request.kind,
+                    status=QueryStatus.ERROR,
+                    batch_size=total,
+                    queued_s=queued_s,
+                    service_s=max(0.0, self._clock() - start),
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    error_code=code,
+                )
+            if not t.complete(qr):
+                continue
+            if self._breaker_policy is not None:
+                self._breaker_for(t.request.kind, t.request.graph_id).record(qr.ok)
+            with self._reg_lock:
+                self.registry.counter_inc(
+                    "service.requests.completed" if qr.ok else "service.requests.errors"
+                )
+                self.registry.counter_inc("service.mutations.applied" if qr.ok else "service.mutations.failed")
+                self.registry.timer_observe("service.latency.queue", qr.queued_s)
+                self.registry.timer_observe("service.latency.service", qr.service_s)
+                self.registry.timer_observe(
+                    "service.latency.total", qr.queued_s + qr.service_s
+                )
+        with self._reg_lock:
+            self.registry.counter_inc("service.batches")
+            self.registry.counter_inc("service.batches.mutation")
+            self.registry.gauge_set("service.queue.depth", self._queue.depth())
+
+    def _apply_mutation(
+        self, request: QueryRequest
+    ) -> Tuple[Dict[str, int], int]:
+        """Apply one write; returns ``(outputs, new graph version)``.
+
+        Mutation + incremental recompile + snapshot happen under the
+        graph's lock; the resident view (snapshot, resident key, version)
+        swaps atomically under ``_resident_lock``; then exactly the
+        superseded version's result-cache and lint-memo entries are
+        dropped.  Build-cache movement (seed new key, invalidate old) is
+        done inside :meth:`IncrementalRecompiler.refresh`.
+        """
+        gid = request.graph_id
+        graph = self._dynamic[gid]
+        recompiler = self._recompilers[gid]
+        kind = request.kind
+        with graph.lock:
+            if kind == "add_node":
+                node = graph.add_node()
+                outputs = {"node": node}
+            elif kind == "remove_node":
+                dropped = graph.remove_node(request.u)
+                outputs = {"node": int(request.u), "removed_edges": dropped}
+            elif kind == "add_edge":
+                graph.add_edge(request.u, request.v, request.weight)
+                outputs = {"u": int(request.u), "v": int(request.v), "weight": int(request.weight)}
+            elif kind == "remove_edge":
+                graph.remove_edge(request.u, request.v)
+                outputs = {"u": int(request.u), "v": int(request.v)}
+            else:  # reweight — the only remaining MUTATION_KIND
+                graph.reweight(request.u, request.v, request.weight)
+                outputs = {"u": int(request.u), "v": int(request.v), "weight": int(request.weight)}
+            recompiler.refresh()
+            snap = graph.snapshot()
+            version = graph.version
+        with self._resident_lock:
+            old_resident = self._resident_keys[gid]
+            self._graphs[gid] = snap
+            self._resident_keys[gid] = ("graph", snap.structure_key())
+            self._graph_versions[gid] = version
+        # Partial invalidation: only the superseded version's entries go.
+        if self._result_cache is not None:
+            self._result_cache.invalidate(old_resident)
+        for key in [k for k in self._lint_cache if k[0] == old_resident]:
+            self._lint_cache.pop(key, None)
+        return outputs, version
 
     # ------------------------------------------------------------------ #
     # Supervision
@@ -972,6 +1189,17 @@ class QueryServer:
         completion claim.
         """
         tickets, state.inflight = state.inflight, []
+        # Un-park the serial groups the dead/wedged worker was holding so
+        # the graph's write stream keeps moving.  (For a *wedged* worker
+        # that later comes back to life, its own finally-release could
+        # momentarily un-park a successor's in-flight batch; per-mutation
+        # state stays consistent regardless because every apply runs under
+        # the graph's own lock.)
+        released = set()
+        for ticket in tickets:
+            if ticket.plan is not None and ticket.plan.batch_key not in released:
+                released.add(ticket.plan.batch_key)
+                self._queue.release(ticket.plan.batch_key)
         for ticket in tickets:
             if ticket.done():
                 continue
@@ -1052,4 +1280,17 @@ class QueryServer:
             }
         if self._result_cache is not None:
             out["result_cache"] = self._result_cache.stats()
+        with self._resident_lock:
+            dynamic_ids = sorted(self._dynamic)
+        if dynamic_ids:
+            dynamic: Dict[str, object] = {}
+            for gid in dynamic_ids:
+                graph = self._dynamic[gid]
+                dynamic[gid] = {
+                    "uid": graph.uid,
+                    "version": graph.version,
+                    "ops": graph.stats(),
+                    "recompile": self._recompilers[gid].stats(),
+                }
+            out["dynamic"] = dynamic
         return out

@@ -218,6 +218,15 @@ class WeightedDigraph:
         Two graphs share a key iff their CSR edge arrays are identical —
         the invariant the :mod:`repro.core.cache` build cache relies on to
         reuse compiled networks across queries of the same graph.
+
+        Edge **weights are part of the fingerprint** (the ``lengths``
+        array hashes alongside the topology): the Section-3 SSSP network
+        encodes each edge length as a synapse *delay*, so two graphs that
+        differ in a single weight compile to different networks and must
+        never share a :class:`~repro.core.cache.BuildCache` entry.  A
+        single reweight therefore changes the structure key, which is what
+        lets the dynamic layer (:mod:`repro.dynamic`) scope cache
+        invalidation to exactly the mutated version.
         """
         if self._key is None:
             from repro.core.cache import structure_fingerprint

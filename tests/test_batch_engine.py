@@ -166,7 +166,14 @@ def test_build_cache_hit_miss_and_lru_eviction():
 
     assert cache.get_or_build(("a",), make("a")) == "a"
     assert cache.get_or_build(("a",), make("a")) == "a"  # hit
-    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+    assert cache.stats() == {
+        "entries": 1,
+        "hits": 1,
+        "misses": 1,
+        "evictions": 0,
+        "invalidations": 0,
+        "seeds": 0,
+    }
     cache.get_or_build(("b",), make("b"))
     cache.get_or_build(("a",), make("a"))  # refresh "a" to MRU
     cache.get_or_build(("c",), make("c"))  # evicts LRU = "b"

@@ -1,0 +1,676 @@
+"""Tests for repro.dynamic: mutable graphs, incremental recompilation,
+op streams, and the serving layer's first-class mutations.
+
+The load-bearing piece is the Hypothesis differential harness: after any
+mutation sequence, the incrementally recompiled networks must be
+spike-for-spike identical to a from-scratch rebuild — same rasters, same
+stop metadata, same decoded distances — and the build cache must hold
+exactly the current version's entries while unrelated graphs survive.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import BuildCache, default_build_cache
+from repro.core.network import Network
+from repro.core.run import simulate
+from repro.dynamic.graph import MutableGraph
+from repro.dynamic.recompile import IncrementalRecompiler, compile_vertex_network
+from repro.dynamic.stream import (
+    OP_TYPES,
+    generate_stream,
+    op_to_request,
+    read_stream,
+    run_stream_replay,
+    write_stream,
+)
+from repro.errors import GraphError, ValidationError
+from repro.service import MUTATION_KINDS, QueryRequest, QueryServer
+from repro.service.resultcache import TTLResultCache
+from repro.workloads.generators import gnp_graph, grid_graph
+from repro.workloads.graph import WeightedDigraph
+from tests.conftest import ref_sssp
+
+NET_FIELDS = (
+    "v_reset",
+    "v_threshold",
+    "tau",
+    "one_shot",
+    "indptr",
+    "syn_dst",
+    "syn_weight",
+    "syn_delay",
+)
+
+
+def build_from_scratch(snap: WeightedDigraph, *, unit_delay: bool):
+    """The non-incremental reference: Python builder + compile."""
+    net = Network()
+    ids = [net.add_neuron(f"v{v}", one_shot=True) for v in range(snap.n)]
+    for u, v, w in snap.edges():
+        if u == v:
+            continue
+        net.add_synapse(ids[u], ids[v], weight=1.0, delay=1 if unit_delay else int(w))
+    return net.compile()
+
+
+def assert_networks_identical(a, b) -> None:
+    assert a.n == b.n
+    for field in NET_FIELDS:
+        assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+
+def assert_same_simulation(net_a, net_b, stimulus, max_steps: int) -> None:
+    """Both networks produce identical rasters and stop metadata."""
+    ra = simulate(net_a, stimulus, max_steps=max_steps, record_spikes=True, engine="dense")
+    rb = simulate(net_b, stimulus, max_steps=max_steps, record_spikes=True, engine="dense")
+    assert np.array_equal(ra.first_spike, rb.first_spike)
+    assert np.array_equal(ra.spike_counts, rb.spike_counts)
+    assert ra.final_tick == rb.final_tick
+    assert ra.stop_reason == rb.stop_reason
+    assert sorted(ra.spike_events) == sorted(rb.spike_events)
+    for t in ra.spike_events:
+        assert np.array_equal(ra.spike_events[t], rb.spike_events[t]), t
+
+
+# --------------------------------------------------------------------- #
+# MutableGraph semantics
+# --------------------------------------------------------------------- #
+
+
+class TestMutableGraph:
+    def test_wraps_base_and_mutates(self):
+        g = MutableGraph(3)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        assert g.m == 2 and g.version == 2
+        assert g.edge_weight(0, 1) == 2
+        g.reweight(0, 1, 5)
+        assert g.edge_weight(0, 1) == 5
+        g.remove_edge(1, 2)
+        assert g.m == 1
+        nid = g.add_node()
+        assert nid == 3 and g.n == 4
+
+    def test_no_parallel_edges(self):
+        g = MutableGraph(2)
+        g.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 4)
+
+    def test_rejects_parallel_edge_base(self):
+        base = WeightedDigraph.from_arrays(
+            2, np.array([0, 0]), np.array([1, 1]), np.array([1, 2])
+        )
+        with pytest.raises(GraphError):
+            MutableGraph(base)
+
+    def test_weight_validation(self):
+        g = MutableGraph(2)
+        for bad in (0, -1, 1.5, True, "2"):
+            with pytest.raises(GraphError):
+                g.add_edge(0, 1, bad)
+
+    def test_tombstoned_remove_node(self):
+        g = MutableGraph(3)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 1)
+        dropped = g.remove_node(1)
+        assert dropped == 2 and g.m == 0
+        assert g.is_removed(1) and g.n == 3  # the slot persists
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 1)  # dead endpoint
+        assert g.live_vertices() == [0, 2]
+        assert g.add_node() == 3  # ids never reused
+
+    def test_versions_and_delta_tracking(self):
+        g = MutableGraph(3)
+        g.add_edge(0, 1, 2)
+        assert g.topology_version == g.version
+        g.reweight(0, 1, 3)
+        assert g.weights_version == g.version
+        assert g.topology_version < g.version
+
+    def test_snapshot_matches_state_and_is_cached(self):
+        base = gnp_graph(12, 0.3, max_length=5, seed=4)
+        g = MutableGraph(base)
+        assert g.snapshot() is g.snapshot()
+        snap0 = g.snapshot()
+        assert sorted(snap0.edges()) == sorted(base.edges())
+        u, v, w = next(iter(g.edges()))
+        g.reweight(u, v, (w % 5) + 1)
+        snap1 = g.snapshot()
+        assert snap1 is not snap0
+        assert snap0.structure_key() != snap1.structure_key()
+
+    def test_versioned_keys(self):
+        g = MutableGraph(2, uid="t")
+        k0 = g.structure_key()
+        assert k0.startswith("dyn:t:v0:")
+        g.add_edge(0, 1, 1)
+        assert g.structure_key().startswith("dyn:t:v1:")
+        assert g.key_prefix() == "dyn:t:"
+        assert g.snapshot().structure_key() == g.structure_key()
+
+
+# --------------------------------------------------------------------- #
+# Satellite 1: weights are part of the structure fingerprint
+# --------------------------------------------------------------------- #
+
+
+class TestStructureKeyWeights:
+    def test_one_weight_difference_never_shares_cache_entry(self):
+        tails = np.array([0, 1, 2])
+        heads = np.array([1, 2, 0])
+        a = WeightedDigraph.from_arrays(3, tails, heads, np.array([1, 2, 3]))
+        b = WeightedDigraph.from_arrays(3, tails, heads, np.array([1, 2, 4]))
+        assert a.structure_key() != b.structure_key()
+        cache = BuildCache(maxsize=8)
+        built = []
+
+        def make_build(tag):
+            def build():
+                built.append(tag)
+                return tag
+
+            return build
+
+        va = cache.get_or_build(("sssp_pseudo", False, a.structure_key()), make_build("a"))
+        vb = cache.get_or_build(("sssp_pseudo", False, b.structure_key()), make_build("b"))
+        assert (va, vb) == ("a", "b")
+        assert built == ["a", "b"]  # second graph built fresh: no key collision
+
+
+# --------------------------------------------------------------------- #
+# Satellite 2: BuildCache invalidation API
+# --------------------------------------------------------------------- #
+
+
+class TestBuildCacheAPI:
+    def test_put_contains_invalidate(self):
+        cache = BuildCache(maxsize=8)
+        cache.put(("sssp_pseudo", False, "dyn:g:v0:abc"), "net0")
+        cache.put(("khop_reach", "dyn:g:v0:abc"), "net0k")
+        cache.put(("sssp_pseudo", False, "other"), "netx")
+        assert ("sssp_pseudo", False, "dyn:g:v0:abc") in cache
+        assert cache.invalidate("dyn:g:v0:abc") == 2
+        assert ("sssp_pseudo", False, "dyn:g:v0:abc") not in cache
+        assert ("sssp_pseudo", False, "other") in cache
+        stats = cache.stats()
+        assert stats["invalidations"] == 2
+        assert stats["seeds"] == 3
+
+    def test_invalidate_prefix_scopes_to_one_graph(self):
+        cache = BuildCache(maxsize=8)
+        for v in range(3):
+            cache.put(("sssp_pseudo", False, f"dyn:a:v{v}:x"), v)
+        cache.put(("sssp_pseudo", False, "dyn:b:v0:y"), "keep")
+        assert cache.invalidate_prefix("dyn:a:") == 3
+        assert ("sssp_pseudo", False, "dyn:b:v0:y") in cache
+        assert len(cache) == 1
+
+
+# --------------------------------------------------------------------- #
+# Tentpole: Hypothesis differential — incremental == from-scratch
+# --------------------------------------------------------------------- #
+
+
+def _random_mutation(data, g: MutableGraph) -> str:
+    live = g.live_vertices()
+    edges = list(g.edges())
+    choices = ["add_node"]
+    if edges:
+        choices += ["reweight", "remove_edge"]
+    missing = [
+        (u, v)
+        for u in live
+        for v in live
+        if u != v and not g.has_edge(u, v)
+    ]
+    if missing:
+        choices.append("add_edge")
+    if len(live) > 2:
+        choices.append("remove_node")
+    op = data.draw(st.sampled_from(choices), label="op")
+    if op == "add_node":
+        g.add_node()
+    elif op == "add_edge":
+        u, v = data.draw(st.sampled_from(missing), label="edge")
+        g.add_edge(u, v, data.draw(st.integers(1, 4), label="w"))
+    elif op == "reweight":
+        u, v, _w = data.draw(st.sampled_from(edges), label="edge")
+        g.reweight(int(u), int(v), data.draw(st.integers(1, 4), label="w"))
+    elif op == "remove_edge":
+        u, v, _w = data.draw(st.sampled_from(edges), label="edge")
+        g.remove_edge(int(u), int(v))
+    else:
+        g.remove_node(data.draw(st.sampled_from(live), label="v"))
+    return op
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(2, 6))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=min(len(pairs), 10))
+    )
+    weights = draw(
+        st.lists(st.integers(1, 4), min_size=len(edges), max_size=len(edges))
+    )
+    tails = np.asarray([u for u, _ in edges], dtype=np.int64)
+    heads = np.asarray([v for _, v in edges], dtype=np.int64)
+    return WeightedDigraph.from_arrays(n, tails, heads, np.asarray(weights, dtype=np.int64))
+
+
+class TestIncrementalDifferential:
+    @settings(
+        max_examples=120,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(base=small_graphs(), data=st.data())
+    def test_incremental_equals_rebuild_spike_for_spike(self, base, data):
+        cache = BuildCache(maxsize=32)
+        g = MutableGraph(base, uid="hyp")
+        rec = IncrementalRecompiler(g, cache=cache)
+        rec.prime()
+        # an unrelated resident that must survive every invalidation
+        cache.put(("sssp_pseudo", False, "unrelated"), "survivor")
+
+        n_mutations = data.draw(st.integers(1, 4), label="n_mutations")
+        for _ in range(n_mutations):
+            old_key = g.structure_key()
+            _random_mutation(data, g)
+            rec.refresh()
+            new_key = g.structure_key()
+            snap = g.snapshot()
+
+            # networks identical to a from-scratch rebuild, both families
+            for family, unit in (("sssp", False), ("khop", True)):
+                net, node_ids = rec.network(family)
+                ref = build_from_scratch(snap, unit_delay=unit)
+                assert_networks_identical(net, ref)
+                assert node_ids == list(range(snap.n))
+            # ...and spike-for-spike under a real dense simulation
+            source = data.draw(
+                st.sampled_from(g.live_vertices() or [0]), label="source"
+            )
+            horizon = (snap.n - 1) * max(1, snap.max_length()) + 1
+            net, _ = rec.network("sssp")
+            assert_same_simulation(
+                net, build_from_scratch(snap, unit_delay=False), [source], horizon
+            )
+
+            # cache exactness: the new version's entries are present, the
+            # superseded version's are gone, the unrelated resident lives
+            assert ("sssp_pseudo", False, new_key) in cache
+            assert ("khop_reach", new_key) in cache
+            assert ("sssp_pseudo", False, old_key) not in cache
+            assert ("khop_reach", old_key) not in cache
+            assert ("sssp_pseudo", False, "unrelated") in cache
+        assert cache.stats()["invalidations"] >= 2 * n_mutations
+
+    def test_decoded_distances_match_dijkstra_after_mutations(self):
+        from repro.algorithms.sssp_pseudo import sssp_plan, sssp_decode
+
+        base = gnp_graph(20, 0.2, max_length=5, seed=6)
+        g = MutableGraph(base)
+        rec = IncrementalRecompiler(g, cache=BuildCache(maxsize=8))
+        rec.prime()
+        g.add_edge(*next((u, v) for u in range(20) for v in range(20)
+                         if u != v and not g.has_edge(u, v)), 2)
+        u, v, w = next(iter(g.edges()))
+        g.reweight(int(u), int(v), (int(w) % 5) + 1)
+        rec.refresh()
+        snap = g.snapshot()
+        plan = sssp_plan(snap, 0)
+        res = simulate(
+            plan.net,
+            list(plan.stimulus),
+            max_steps=plan.max_steps,
+            terminal=plan.terminal,
+            stop_when_quiescent=True,
+        )
+        assert np.array_equal(sssp_decode(plan, res).dist, ref_sssp(snap, 0))
+
+
+# --------------------------------------------------------------------- #
+# Recompiler modes and default-cache seeding
+# --------------------------------------------------------------------- #
+
+
+class TestRecompilerModes:
+    def test_vectorized_compile_matches_builder(self):
+        g = gnp_graph(40, 0.1, max_length=6, seed=12)
+        for unit in (False, True):
+            assert_networks_identical(
+                compile_vertex_network(g, unit_delay=unit),
+                build_from_scratch(g, unit_delay=unit),
+            )
+
+    def test_weight_patch_vs_topology_recompile(self):
+        base = gnp_graph(30, 0.1, max_length=6, seed=9)
+        g = MutableGraph(base)
+        rec = IncrementalRecompiler(g, cache=BuildCache(maxsize=8))
+        rec.prime()
+        u, v, w = next(iter(g.edges()))
+        g.reweight(int(u), int(v), (int(w) % 6) + 1)
+        report = rec.refresh()
+        assert report.families == {"sssp": "patched_weights", "khop": "reused"}
+        g.add_node()
+        report = rec.refresh()
+        assert report.families == {"sssp": "recompiled", "khop": "recompiled"}
+        assert report.graph_version == g.version
+        stats = rec.stats()
+        assert stats["weight_patches"] == 1
+        assert stats["vector_recompiles"] == 2
+        assert stats["reuses"] == 1
+
+    def test_seeds_default_cache_for_plan_functions(self):
+        from repro.algorithms.sssp_pseudo import sssp_network
+
+        base = gnp_graph(15, 0.2, max_length=4, seed=10)
+        g = MutableGraph(base)
+        rec = IncrementalRecompiler(g)  # default_build_cache
+        try:
+            rec.prime()
+            g.reweight(*[(int(u), int(v)) for u, v, _ in g.edges()][0], 3)
+            rec.refresh()
+            snap = g.snapshot()
+            before = default_build_cache.stats()["hits"]
+            net, node_ids = sssp_network(snap)  # must hit the seeded entry
+            assert default_build_cache.stats()["hits"] == before + 1
+            inc_net, inc_ids = rec.network("sssp")
+            assert net is inc_net and list(node_ids) == inc_ids
+        finally:
+            default_build_cache.invalidate_prefix(g.key_prefix())
+
+    def test_unknown_family_raises(self):
+        rec = IncrementalRecompiler(MutableGraph(2), cache=BuildCache(maxsize=4))
+        with pytest.raises(ValidationError):
+            rec.network("apsp")
+
+
+# --------------------------------------------------------------------- #
+# Serving-layer mutations
+# --------------------------------------------------------------------- #
+
+
+def _result(server, request, timeout=60.0):
+    return server.submit(request).result(timeout)
+
+
+class TestServerMutations:
+    def test_mutations_apply_and_version_surfaces(self):
+        g = grid_graph(4, 4, max_length=3, seed=0)
+        with QueryServer(workers=2) as server:
+            server.register_dynamic_graph("g", g)
+            r0 = _result(server, QueryRequest(kind="sssp", graph_id="g", source=0))
+            assert r0.ok and r0.graph_version == 0
+            assert np.array_equal(r0.dist, ref_sssp(g, 0))
+
+            mut = _result(
+                server, QueryRequest(kind="reweight", graph_id="g", u=0, v=1, weight=3)
+            )
+            assert mut.ok and mut.graph_version == 1
+            assert mut.outputs == {"u": 0, "v": 1, "weight": 3}
+
+            r1 = _result(server, QueryRequest(kind="sssp", graph_id="g", source=0))
+            assert r1.ok and r1.graph_version == 1
+            mutated = MutableGraph(g)
+            mutated.reweight(0, 1, 3)
+            assert np.array_equal(r1.dist, ref_sssp(mutated.snapshot(), 0))
+
+    def test_add_and_remove_through_server(self):
+        with QueryServer(workers=1) as server:
+            server.register_dynamic_graph("g", grid_graph(3, 3, max_length=2, seed=1))
+            added = _result(server, QueryRequest(kind="add_node", graph_id="g"))
+            assert added.ok and added.outputs["node"] == 9
+            linked = _result(
+                server, QueryRequest(kind="add_edge", graph_id="g", u=0, v=9, weight=1)
+            )
+            assert linked.ok
+            r = _result(server, QueryRequest(kind="sssp", graph_id="g", source=0))
+            assert r.ok and int(r.dist[9]) == 1
+            removed = _result(server, QueryRequest(kind="remove_node", graph_id="g", u=9))
+            assert removed.ok and removed.outputs["removed_edges"] == 1
+            r2 = _result(server, QueryRequest(kind="sssp", graph_id="g", source=0))
+            assert r2.ok and int(r2.dist[9]) == -1  # isolated tombstone
+
+    def test_mutation_on_static_graph_rejected(self):
+        with QueryServer(workers=1) as server:
+            server.register_graph("s", grid_graph(3, 3, max_length=2, seed=1))
+            with pytest.raises(ValidationError, match="register_dynamic_graph"):
+                server.submit(QueryRequest(kind="reweight", graph_id="s", u=0, v=1, weight=2))
+
+    def test_invalid_mutation_errors_do_not_wedge_writes(self):
+        with QueryServer(workers=1) as server:
+            server.register_dynamic_graph("g", grid_graph(3, 3, max_length=2, seed=1))
+            bad = _result(
+                server, QueryRequest(kind="add_edge", graph_id="g", u=0, v=1, weight=5)
+            )  # edge exists
+            assert not bad.ok and bad.error_code is not None
+            ok = _result(
+                server, QueryRequest(kind="reweight", graph_id="g", u=0, v=1, weight=2)
+            )  # the serial stream keeps flowing after the failure
+            assert ok.ok and ok.graph_version == 1
+
+    def test_result_cache_invalidated_for_superseded_version_only(self):
+        with QueryServer(workers=1) as server:
+            server.register_dynamic_graph("g", grid_graph(3, 3, max_length=2, seed=1))
+            server.register_graph("other", grid_graph(3, 3, max_length=2, seed=5))
+            q = QueryRequest(kind="sssp", graph_id="g", source=0)
+            _result(server, q)
+            _result(server, QueryRequest(kind="sssp", graph_id="other", source=0))
+            hit = _result(server, q)
+            assert hit.cached
+            _result(server, QueryRequest(kind="reweight", graph_id="g", u=0, v=1, weight=2))
+            post = _result(server, q)
+            assert not post.cached  # old version's entry was dropped
+            other_hit = _result(server, QueryRequest(kind="sssp", graph_id="other", source=0))
+            assert other_hit.cached  # unrelated resident survived
+            assert server.stats()["result_cache"]["invalidations"] >= 1
+            assert "g" in server.stats()["dynamic"]
+
+    def test_mutations_not_idempotent_not_cached(self):
+        req = QueryRequest(kind="reweight", graph_id="g", u=0, v=1, weight=2)
+        assert not req.idempotent
+        assert req.cache_params() is None
+
+
+class TestSchemaMutations:
+    def test_mutation_kinds_validate(self):
+        for kind in MUTATION_KINDS:
+            assert kind in ("add_node", "remove_node", "add_edge", "remove_edge", "reweight")
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="add_edge", graph_id="g", u=0)  # missing v
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="add_edge", graph_id="g", u=0, v=1)  # missing weight
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="reweight", graph_id="g", u=0, v=1, weight=0)
+        with pytest.raises(ValidationError):
+            QueryRequest(kind="remove_node", graph_id="g")  # missing u
+        ok = QueryRequest(kind="add_node", graph_id="g")
+        assert ok.kind == "add_node"
+
+    def test_mutations_reject_read_only_options(self):
+        from repro.core.transient import SpikeDrop
+
+        with pytest.raises(ValidationError):
+            QueryRequest(
+                kind="reweight",
+                graph_id="g",
+                u=0,
+                v=1,
+                weight=2,
+                faults=SpikeDrop(p=0.5, seed=1),
+            )
+
+    def test_roundtrip_through_dict(self):
+        from repro.service import request_from_dict
+
+        req = request_from_dict(
+            {"kind": "add_edge", "graph_id": "g", "u": 1, "v": 2, "weight": 3}
+        )
+        assert (req.u, req.v, req.weight) == (1, 2, 3)
+
+
+# --------------------------------------------------------------------- #
+# Satellite 3: concurrent reads racing a mutation are never torn
+# --------------------------------------------------------------------- #
+
+
+class TestConcurrency:
+    def test_reads_observe_pre_or_post_mutation_version(self):
+        base = gnp_graph(24, 0.15, max_length=5, seed=3)
+        shadow = MutableGraph(base)
+        expected = {0: ref_sssp(shadow.snapshot(), 0)}
+        u, v, w = next(iter(shadow.edges()))
+        new_w = (int(w) % 5) + 1
+        shadow.reweight(int(u), int(v), new_w)
+        expected[1] = ref_sssp(shadow.snapshot(), 0)
+
+        with QueryServer(workers=4, result_cache_size=0) as server:
+            server.register_dynamic_graph("g", base)
+            results = []
+            errors = []
+
+            def reader():
+                try:
+                    for _ in range(6):
+                        results.append(
+                            _result(server, QueryRequest(kind="sssp", graph_id="g", source=0))
+                        )
+                except Exception as exc:  # pragma: no cover - fail loudly below
+                    errors.append(exc)
+
+            def writer():
+                try:
+                    results.append(
+                        _result(
+                            server,
+                            QueryRequest(
+                                kind="reweight", graph_id="g",
+                                u=int(u), v=int(v), weight=new_w,
+                            ),
+                        )
+                    )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            threads.append(threading.Thread(target=writer))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            assert not errors
+            for r in results:
+                assert r.ok
+                if r.dist is None:
+                    continue  # the mutation ack
+                # every read is internally consistent with its version —
+                # pre- or post-mutation, never a torn mixture
+                assert r.graph_version in expected
+                assert np.array_equal(r.dist, expected[r.graph_version]), r.graph_version
+
+    def test_writes_serialize_per_graph(self):
+        with QueryServer(workers=4) as server:
+            server.register_dynamic_graph("g", MutableGraph(2, uid="serial"))
+            tickets = [
+                server.submit(QueryRequest(kind="add_node", graph_id="g"))
+                for _ in range(8)
+            ]
+            nodes = [t.result(60.0).outputs["node"] for t in tickets]
+            assert nodes == list(range(2, 10))  # applied strictly in order
+
+
+# --------------------------------------------------------------------- #
+# Op streams
+# --------------------------------------------------------------------- #
+
+
+class TestStream:
+    GRAPHS = {
+        "grid": grid_graph(4, 4, max_length=3, seed=2),
+        "gnp": gnp_graph(24, 0.12, max_length=5, seed=1),
+    }
+
+    def test_deterministic_and_roundtrips(self, tmp_path):
+        ops = generate_stream(self.GRAPHS, 90, seed=7, write_fraction=0.3)
+        assert ops == generate_stream(self.GRAPHS, 90, seed=7, write_fraction=0.3)
+        assert [op["op"] for op in ops] == list(range(90))
+        assert {op["type"] for op in ops} <= set(OP_TYPES)
+        path = tmp_path / "s.jsonl"
+        assert write_stream(ops, str(path)) == 90
+        assert read_stream(str(path)) == ops
+
+    def test_contains_reads_and_writes(self):
+        ops = generate_stream(self.GRAPHS, 120, seed=0, write_fraction=0.3)
+        kinds = {op["type"] for op in ops}
+        assert "READ_SSSP" in kinds
+        assert kinds & {"ADD_EDGE", "REWEIGHT", "REMOVE_EDGE"}
+
+    def test_op_to_request(self):
+        req = op_to_request(
+            {"type": "REWEIGHT", "graph": "g", "params": {"u": 1, "v": 2, "weight": 3}}
+        )
+        assert req.kind == "reweight" and (req.u, req.v, req.weight) == (1, 2, 3)
+        req = op_to_request({"type": "READ_KHOP", "graph": "g", "params": {"source": 0, "k": 4}})
+        assert req.kind == "khop" and req.k == 4
+        with pytest.raises(ValidationError):
+            op_to_request({"type": "NOPE", "graph": "g", "params": {}})
+
+    def test_read_stream_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "NOPE", "graph": "g"}\n')
+        with pytest.raises(ValidationError):
+            read_stream(str(path))
+        path.write_text("not json\n")
+        with pytest.raises(ValidationError):
+            read_stream(str(path))
+
+    def test_replay_zero_errors_and_incremental_path_exercised(self):
+        ops = generate_stream(self.GRAPHS, 120, seed=0, write_fraction=0.3)
+        report = run_stream_replay(self.GRAPHS, ops, workers=2)
+        assert report["errors"] == 0, report["error_details"]
+        assert report["completed"] == len(ops)
+        assert set(report["final_versions"]) == {"grid", "gnp"}
+        recompiles = sum(
+            d["recompile"]["weight_patches"] + d["recompile"]["vector_recompiles"]
+            for d in report["dynamic"].values()
+        )
+        assert recompiles > 0  # writes went through the incremental path
+        for row in report["per_type"].values():
+            assert row["p99_s"] >= row["p50_s"] >= 0.0
+
+    def test_replay_rejects_unknown_graphs(self):
+        with pytest.raises(ValidationError, match="unregistered"):
+            run_stream_replay(
+                self.GRAPHS,
+                [{"op": 0, "type": "READ_SSSP", "graph": "nope", "params": {"source": 0}}],
+            )
+
+
+# --------------------------------------------------------------------- #
+# Result-cache partial invalidation primitive
+# --------------------------------------------------------------------- #
+
+
+class TestResultCacheInvalidate:
+    def test_invalidate_drops_only_one_resident(self):
+        cache = TTLResultCache(maxsize=8, ttl_s=60.0)
+        cache.put((("graph", "a"), "x"), 1)
+        cache.put((("graph", "a"), "y"), 2)
+        cache.put((("graph", "b"), "x"), 3)
+        assert cache.invalidate(("graph", "a")) == 2
+        assert cache.get((("graph", "a"), "x")) is None
+        assert cache.get((("graph", "b"), "x")) == 3
+        assert cache.stats()["invalidations"] == 2

@@ -626,7 +626,7 @@ class TestDegradationLadder:
             # seed the cache by hand (the worker is lingering), then expire
             # the entry into its grace window
             fresh = QueryResult(request_id="seed", kind="sssp", status=QueryStatus.OK)
-            key = srv._cache_key(_req(source=3))
+            key = srv._cache_key(_req(source=3), srv._resident_keys["g"])
             srv._result_cache.put(key, fresh)
             with srv._result_cache._lock:
                 expires, value = srv._result_cache._entries[key]
