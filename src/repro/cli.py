@@ -178,7 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--source", type=int, default=0)
     prof.add_argument("--k", type=int, default=4)
-    prof.add_argument("--engine", choices=("event", "dense"), default="event")
+    prof.add_argument(
+        "--engine", choices=("event", "dense", "sparse"), default="event"
+    )
     prof.add_argument("--registers", type=int, default=4)
     prof.add_argument("--n", type=int, default=200, help="generated-graph size")
     prof.add_argument("--p", type=float, default=0.05, help="generated-graph density")

@@ -44,7 +44,14 @@ from repro.core.batch import simulate_dense_batch
 from repro.core.cache import BuildCache, default_build_cache, structure_fingerprint
 from repro.core.engine import simulate_dense
 from repro.core.event_engine import simulate_event_driven
-from repro.core.run import simulate, simulate_batch
+from repro.core.run import ENGINES, simulate, simulate_batch
+from repro.core.sparse import (
+    SparseCompiledNetwork,
+    network_density,
+    prefers_sparse,
+    simulate_sparse,
+    sparse_compile,
+)
 from repro.core.transient import (
     FaultModel,
     SpikeDrop,
@@ -70,6 +77,12 @@ __all__ = [
     "simulate_dense",
     "simulate_dense_batch",
     "simulate_event_driven",
+    "simulate_sparse",
+    "sparse_compile",
+    "SparseCompiledNetwork",
+    "network_density",
+    "prefers_sparse",
+    "ENGINES",
     "BuildCache",
     "default_build_cache",
     "structure_fingerprint",

@@ -152,10 +152,18 @@ class Network:
     # Compilation
     # ------------------------------------------------------------------ #
 
-    def compile(self) -> "CompiledNetwork":
-        """Freeze into contiguous arrays; cached until the builder mutates."""
+    def compile(self, *, sparse: bool = False) -> "CompiledNetwork":
+        """Freeze into contiguous arrays; cached until the builder mutates.
+
+        With ``sparse=True`` the per-delay CSR artifact of
+        :mod:`repro.core.sparse` is built (and memoized on the compiled
+        network) as well, so the first sparse-engine run pays no compile
+        cost.
+        """
         if self._compiled is None:
             self._compiled = CompiledNetwork._from_builder(self)
+        if sparse:
+            self._compiled.to_sparse()
         return self._compiled
 
 
@@ -194,16 +202,37 @@ class CompiledNetwork:
     def n_synapses(self) -> int:
         return self.m
 
-    def compile(self) -> "CompiledNetwork":
+    def compile(self, *, sparse: bool = False) -> "CompiledNetwork":
         """Already compiled; returns ``self``.
 
         Makes :class:`CompiledNetwork` a drop-in wherever a
         :class:`Network` builder is accepted (``net.compile()`` call sites,
         ``plan.net.n_neurons`` accounting), which is what lets the
         incremental recompiler of :mod:`repro.dynamic` seed the build cache
-        with patched compiled networks directly.
+        with patched compiled networks directly.  ``sparse=True``
+        additionally builds (and memoizes) the per-delay CSR artifact.
         """
+        if sparse:
+            self.to_sparse()
         return self
+
+    def to_sparse(self):
+        """The per-delay CSR artifact of this network (built on demand).
+
+        Delegates to :func:`repro.core.sparse.sparse_compile`, which
+        memoizes the result on this instance; see
+        :class:`repro.core.sparse.SparseCompiledNetwork`.
+        """
+        from repro.core.sparse import sparse_compile
+
+        return sparse_compile(self)
+
+    @property
+    def density(self) -> float:
+        """Synapse density ``m / n^2`` (0.0 for an empty network)."""
+        if self.n == 0:
+            return 0.0
+        return self.m / float(self.n) / float(self.n)
 
     @property
     def max_delay(self) -> int:

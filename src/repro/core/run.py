@@ -10,20 +10,55 @@ from repro.core.engine import StimulusSpec, simulate_dense
 from repro.core.event_engine import simulate_event_driven
 from repro.core.network import CompiledNetwork, Network
 from repro.core.result import SimulationResult
+from repro.core.sparse import prefers_sparse, simulate_sparse
 from repro.core.transient import FaultModel
 from repro.core.watchdog import Watchdog
 from repro.errors import ValidationError
 from repro.telemetry.hooks import EngineHooks
 
-__all__ = ["simulate", "simulate_batch", "DEFAULT_MAX_STEPS"]
+__all__ = ["simulate", "simulate_batch", "DEFAULT_MAX_STEPS", "ENGINES"]
 
 #: Default tick budget; generous enough for every test/bench workload while
 #: still bounding accidental runaway networks.
 DEFAULT_MAX_STEPS: int = 1_000_000
 
 #: Above this maximum synaptic delay the auto-dispatcher assumes the network
-#: is delay-encoded (Sections 3–4 algorithms) and picks the event engine.
+#: is delay-encoded (Sections 3–4 algorithms) and picks an activity-driven
+#: engine (sparse for large low-density networks, event otherwise).
 _EVENT_DELAY_CUTOFF: int = 64
+
+#: Every engine name :func:`simulate` / :func:`simulate_batch` accept.  An
+#: unknown name raises :class:`~repro.errors.ValidationError` (error code
+#: ``INVALID``) listing these.
+ENGINES: tuple = ("auto", "dense", "event", "sparse")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+
+
+def _auto_long_delay_engine(net: CompiledNetwork, batched: bool) -> str:
+    """Engine choice for delay-encoded (long-delay) networks.
+
+    Pacemakers force dense (with a warning); large low-density networks go
+    sparse; everything else goes event.
+    """
+    if net.has_pacemakers:
+        fallback = "the batched dense engine" if batched else "the dense engine"
+        warnings.warn(
+            "network has long delays (event-engine territory) but "
+            "contains pacemaker neurons, which the event engine does "
+            f"not support; falling back to {fallback}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "dense"
+    if prefers_sparse(net):
+        return "sparse"
+    return "event"
 
 
 def simulate(
@@ -41,15 +76,20 @@ def simulate(
     hooks: Optional[EngineHooks] = None,
     engine: str = "auto",
 ) -> SimulationResult:
-    """Simulate an SNN, dispatching to the dense or event-driven engine.
+    """Simulate an SNN, dispatching to a concrete engine.
 
-    ``engine`` may be ``"auto"`` (default), ``"dense"``, or ``"event"``.
-    Auto picks dense for networks with voltage probes (the event engine does
-    not support them) and otherwise chooses by maximum synaptic delay: long
-    programmed delays signal a delay-encoded algorithm whose quiet ticks the
-    event engine skips.  If the delay heuristic picks the event engine but
-    the network contains pacemaker neurons (which the event engine rejects),
-    auto falls back to the dense engine with a warning instead of raising.
+    ``engine`` may be ``"auto"`` (default), ``"dense"``, ``"event"``, or
+    ``"sparse"``; any other name raises a structured
+    :class:`~repro.errors.ValidationError` (error code ``INVALID``).  Auto
+    picks dense for networks with voltage probes (the other engines do not
+    support them) and otherwise chooses by maximum synaptic delay: long
+    programmed delays signal a delay-encoded algorithm whose quiet ticks an
+    activity-driven engine skips.  Among those, large low-density networks
+    (:func:`~repro.core.sparse.prefers_sparse`, thresholds
+    ``SPARSE_AUTO_MIN_NEURONS`` / ``SPARSE_DENSITY_THRESHOLD``) run on the
+    sparse CSR core and the rest on the event engine; if the network
+    contains pacemaker neurons (which both reject), auto falls back to the
+    dense engine with a warning instead of raising.
 
     ``faults``, ``watchdog``, and telemetry ``hooks`` are forwarded to
     whichever engine runs; the engines observe identical fault, watchdog,
@@ -57,22 +97,13 @@ def simulate(
     dense engine, which raises
     :class:`~repro.errors.ValidationError` for out-of-range ids.
     """
+    _check_engine(engine)
     net = network.compile() if isinstance(network, Network) else network
     if engine == "auto":
         if probe_voltages is not None:
             engine = "dense"
         elif net.max_delay > _EVENT_DELAY_CUTOFF:
-            if net.has_pacemakers:
-                warnings.warn(
-                    "network has long delays (event-engine territory) but "
-                    "contains pacemaker neurons, which the event engine does "
-                    "not support; falling back to the dense engine",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                engine = "dense"
-            else:
-                engine = "event"
+            engine = _auto_long_delay_engine(net, batched=False)
         else:
             engine = "dense"
     if engine == "dense":
@@ -89,21 +120,32 @@ def simulate(
             watchdog=watchdog,
             hooks=hooks,
         )
-    if engine == "event":
-        if probe_voltages is not None:
-            raise ValidationError("voltage probes require the dense engine")
-        return simulate_event_driven(
+    if probe_voltages is not None:
+        raise ValidationError("voltage probes require the dense engine")
+    if engine == "sparse":
+        return simulate_sparse(
             net,
             stimulus,
             max_steps=max_steps,
             terminal=terminal,
             watch=watch,
+            stop_when_quiescent=stop_when_quiescent,
             record_spikes=record_spikes,
             faults=faults,
             watchdog=watchdog,
             hooks=hooks,
         )
-    raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")
+    return simulate_event_driven(
+        net,
+        stimulus,
+        max_steps=max_steps,
+        terminal=terminal,
+        watch=watch,
+        record_spikes=record_spikes,
+        faults=faults,
+        watchdog=watchdog,
+        hooks=hooks,
+    )
 
 
 def simulate_batch(
@@ -130,15 +172,17 @@ def simulate_batch(
     identical to B independent :func:`simulate` calls.
 
     ``engine`` may be ``"auto"`` (default), ``"dense"`` (the batched dense
-    engine), or ``"event"`` (the event engine, per item).  Auto applies the
-    same heuristic as :func:`simulate`: long programmed delays signal a
-    delay-encoded algorithm whose quiet ticks the event engine skips, so
-    those batches run item by item on the event engine; everything else
-    steps all items in lockstep on the batched dense engine.  Requests the
-    batched dense engine cannot express — voltage probes or a ``watchdog``
-    — fall back to per-item :func:`simulate` dispatch, preserving exact
-    solo semantics at sequential speed.
+    engine), ``"event"``, or ``"sparse"`` (each per item).  Auto applies
+    the same heuristic as :func:`simulate`: long programmed delays signal a
+    delay-encoded algorithm whose quiet ticks an activity-driven engine
+    skips, so those batches run item by item on the sparse core (large
+    low-density networks) or the event engine; everything else steps all
+    items in lockstep on the batched dense engine.  Requests the batched
+    dense engine cannot express — voltage probes or a ``watchdog`` — fall
+    back to per-item :func:`simulate` dispatch, preserving exact solo
+    semantics at sequential speed.
     """
+    _check_engine(engine)
     net = network.compile() if isinstance(network, Network) else network
     B = len(stimuli)
     fault_list = _per_item(faults, B, FaultModel, "faults")
@@ -167,17 +211,7 @@ def simulate_batch(
 
     if engine == "auto":
         if net.max_delay > _EVENT_DELAY_CUTOFF:
-            if net.has_pacemakers:
-                warnings.warn(
-                    "network has long delays (event-engine territory) but "
-                    "contains pacemaker neurons, which the event engine does "
-                    "not support; falling back to the batched dense engine",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                engine = "dense"
-            else:
-                engine = "event"
+            engine = _auto_long_delay_engine(net, batched=True)
         else:
             engine = "dense"
     if engine == "dense":
@@ -192,18 +226,31 @@ def simulate_batch(
             faults=fault_list,
             hooks=hook_list,
         )
-    if engine == "event":
+    if engine == "sparse":
         return [
-            simulate_event_driven(
+            simulate_sparse(
                 net,
                 stimuli[b],
                 max_steps=max_steps,
                 terminal=terminal,
                 watch=watch,
+                stop_when_quiescent=stop_when_quiescent,
                 record_spikes=record_spikes,
                 faults=fault_list[b],
                 hooks=hook_list[b],
             )
             for b in range(B)
         ]
-    raise ValidationError(f"unknown engine {engine!r}; use 'auto', 'dense', or 'event'")
+    return [
+        simulate_event_driven(
+            net,
+            stimuli[b],
+            max_steps=max_steps,
+            terminal=terminal,
+            watch=watch,
+            record_spikes=record_spikes,
+            faults=fault_list[b],
+            hooks=hook_list[b],
+        )
+        for b in range(B)
+    ]

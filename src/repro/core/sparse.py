@@ -1,0 +1,586 @@
+"""Sparse CSR simulation core for large delay-encoded networks.
+
+The dense engine keeps a ``(max_delay + 1, n)`` circular delivery buffer and
+touches every neuron every tick — ``O(n)`` work and ``O(n * max_delay)``
+memory even when almost nothing spikes.  The event engine skips quiet ticks
+but pays pure-Python heap churn per delivery.  This module is the third
+point in that design space: compile the synapse table once into **per-delay
+CSR slices** (`scipy.sparse` matrices, one per distinct delay) and simulate
+by **vectorized gather/scatter over only the ticks that carry activity**.
+
+Compile-time artifact (:func:`sparse_compile` →
+:class:`SparseCompiledNetwork`):
+
+* synapses are stably sorted by delay, preserving the dense engine's
+  (source asc, CSR position asc) order *within* each delay bucket;
+* each bucket holds a compact ``(S_k, n)`` ``scipy.sparse.csr_matrix``
+  (rows = only the sources that have synapses of that delay) plus the
+  global synapse ids aligned with its data — faults hash global synapse
+  ids, so counter-seeded fault realizations match the dense engine exactly;
+* a per-synapse bucket label lets one tick's scatter group the fired
+  neurons' out-synapses by delay with a single radix sort, visiting only
+  the delay buckets actually reached that tick.
+
+Run time (:func:`simulate_sparse`): a ring buffer of ``max_delay + 1``
+chunk lists holds in-flight deliveries as ``(dst, weight)`` array pairs; a
+heap of arrival ticks plus the stimulus / forced-fault schedules yields the
+next *active* tick, and everything between active ticks is closed
+analytically (voltage decay, quiescence detection).  Peak memory is
+``O(n + m + in-flight deliveries)`` — no ``(max_delay + 1, n)`` buffer and
+never a dense ``(n, n)`` matrix, which is what lets SSSP networks reach
+``n = 10^5`` (see ``docs/sparse_engine.md`` and the memory-regression
+test).
+
+Semantics are identical to :func:`repro.core.engine.simulate_dense` —
+spike-for-spike, including stop metadata (``final_tick`` / ``stop_reason``
+follow the dense engine's tick-by-tick rules, unlike the event engine's
+last-event convention), fault realizations, and hook totals — up to the
+same fractional-``tau`` float-associativity caveat as the event engine.
+Restrictions: no pacemaker neurons and no voltage probes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.cache import BuildCache
+from repro.core.engine import StimulusSpec, _normalize_stimulus
+from repro.core.network import CompiledNetwork, Network
+from repro.core.result import SimulationResult, StopReason
+from repro.core.transient import FaultModel
+from repro.core.watchdog import Watchdog, WatchdogState
+from repro.errors import (
+    NonQuiescenceError,
+    RunawaySpikesError,
+    UnsupportedNetworkError,
+    ValidationError,
+)
+from repro.telemetry.hooks import EngineHooks
+from repro.telemetry.metrics import counter_inc
+
+__all__ = [
+    "SPARSE_AUTO_MIN_NEURONS",
+    "SPARSE_DENSITY_THRESHOLD",
+    "DelayBucket",
+    "SparseCompiledNetwork",
+    "network_density",
+    "prefers_sparse",
+    "sparse_compile",
+    "simulate_sparse",
+]
+
+#: Below this neuron count the auto-dispatcher never picks the sparse
+#: engine: small networks fit the dense buffers comfortably and the dense
+#: per-tick loop has less per-call overhead.  Configurable at runtime
+#: (tests and benchmarks lower it to exercise the sparse path on small
+#: instances).
+SPARSE_AUTO_MIN_NEURONS: int = 2048
+
+#: Maximum synapse density ``m / n^2`` at which the auto-dispatcher
+#: considers a network sparse.  Graph-algorithm networks sit far below
+#: this (SSSP at n=10^4 with average degree 6 has density 6e-4); circuit
+#: networks with broadcast fan-out sit above it and stay on dense.
+SPARSE_DENSITY_THRESHOLD: float = 0.05
+
+_MEMO_ATTR = "_sparse_artifact"
+
+
+@dataclass(frozen=True, eq=False)
+class DelayBucket:
+    """All synapses sharing one delay, as a compact CSR slice.
+
+    ``matrix`` is a ``(len(srcs), n)`` :class:`scipy.sparse.csr_matrix`
+    whose row ``i`` holds the synapses of source neuron ``srcs[i]`` with
+    this delay, in the dense engine's CSR order.  ``syn`` carries the
+    global synapse index (position in ``CompiledNetwork.syn_*``) of each
+    stored entry, aligned with ``matrix.data`` — the handle fault models
+    hash.  ``indptr`` is an int64 copy of ``matrix.indptr`` so the hot
+    gather never touches scipy's (possibly int32) pointer array.
+    """
+
+    delay: int
+    srcs: np.ndarray
+    matrix: "sp.csr_matrix"
+    syn: np.ndarray
+    indptr: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.syn.size)
+
+
+@dataclass(frozen=True, eq=False)
+class SparseCompiledNetwork:
+    """Per-delay CSR bucketing of one :class:`CompiledNetwork`.
+
+    ``delays`` is ascending and unique; ``buckets[k]`` holds the synapses
+    with delay ``delays[k]`` as a compact CSR slice.
+    """
+
+    net: CompiledNetwork
+    delays: np.ndarray
+    buckets: Tuple[DelayBucket, ...]
+    #: per-synapse bucket label (position of each synapse's delay in
+    #: ``delays``), aligned with the compiled network's CSR synapse
+    #: arrays.  The hot scatter stable-sorts a tick's gathered synapses
+    #: by this small-integer key (radix sort) to group them by delay in
+    #: the dense engine's (delay asc, source asc, CSR position asc)
+    #: accumulation order.
+    syn_bucket: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.net.n)
+
+    @property
+    def nnz(self) -> int:
+        return int(sum(b.nnz for b in self.buckets))
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+
+def network_density(net: CompiledNetwork) -> float:
+    """Synapse density ``m / n^2`` (0.0 for an empty network)."""
+    return float(net.density)
+
+
+def prefers_sparse(net: CompiledNetwork) -> bool:
+    """Whether the auto-dispatcher should run this network sparsely.
+
+    True for large (``n >= SPARSE_AUTO_MIN_NEURONS``), low-density
+    (``m / n^2 <= SPARSE_DENSITY_THRESHOLD``) networks without pacemakers.
+    Both thresholds are module-level and may be reconfigured.
+    """
+    return (
+        net.n >= SPARSE_AUTO_MIN_NEURONS
+        and not net.has_pacemakers
+        and network_density(net) <= SPARSE_DENSITY_THRESHOLD
+    )
+
+
+def sparse_compile(
+    network: Union[Network, CompiledNetwork],
+    *,
+    cache: Optional["BuildCache"] = None,
+    structure_key: Optional[str] = None,
+) -> SparseCompiledNetwork:
+    """Bucket a network's synapses by delay into CSR slices.
+
+    The artifact is memoized on the :class:`CompiledNetwork` instance, so
+    repeated simulations (and build-cache hits returning the same compiled
+    object) pay the bucketing cost once.  When ``cache`` (a
+    :class:`~repro.core.cache.BuildCache`) and ``structure_key`` are given,
+    the artifact is additionally published under ``("sparse_csr",
+    structure_key)`` so structure-keyed invalidation drops it together with
+    the compiled network it belongs to.
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    memo = getattr(net, _MEMO_ATTR, None)
+    if isinstance(memo, SparseCompiledNetwork) and memo.net is net:
+        if cache is not None and structure_key is not None:
+            cache.put(("sparse_csr", structure_key), memo)
+        return memo
+    art = _build_artifact(net)
+    setattr(net, _MEMO_ATTR, art)
+    counter_inc("engine.sparse.compiles", 1)
+    if cache is not None and structure_key is not None:
+        cache.put(("sparse_csr", structure_key), art)
+    return art
+
+
+def _build_artifact(net: CompiledNetwork) -> SparseCompiledNetwork:
+    n, m = net.n, net.m
+    out_counts = np.diff(net.indptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), out_counts)
+    # stable sort by delay: within each bucket the original (source asc,
+    # CSR position asc) order survives, which is exactly the order the
+    # dense engine's np.add.at scatter visits same-delay synapses in
+    order = np.argsort(net.syn_delay, kind="stable")
+    d_sorted = net.syn_delay[order]
+    delays, starts = np.unique(d_sorted, return_index=True)
+    bounds = np.append(starts, m)
+    dst_sorted = net.syn_dst[order]
+    w_sorted = net.syn_weight[order]
+    src_sorted = src[order]
+
+    buckets: List[DelayBucket] = []
+    for k in range(int(delays.size)):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        srcs_k, counts_k = np.unique(src_sorted[lo:hi], return_counts=True)
+        indptr_k = np.zeros(srcs_k.size + 1, dtype=np.int64)
+        np.cumsum(counts_k, out=indptr_k[1:])
+        matrix = sp.csr_matrix(
+            (w_sorted[lo:hi], dst_sorted[lo:hi], indptr_k),
+            shape=(int(srcs_k.size), n),
+        )
+        buckets.append(
+            DelayBucket(
+                delay=int(delays[k]),
+                srcs=srcs_k,
+                matrix=matrix,
+                syn=order[lo:hi],
+                indptr=np.asarray(matrix.indptr, dtype=np.int64),
+            )
+        )
+
+    syn_bucket = np.searchsorted(delays, net.syn_delay) if m else np.empty(
+        0, dtype=np.int64
+    )
+    return SparseCompiledNetwork(
+        net=net,
+        delays=delays,
+        buckets=tuple(buckets),
+        syn_bucket=np.asarray(syn_bucket, dtype=np.int64),
+    )
+
+
+def repatch_sparse(old_net: CompiledNetwork, new_net: CompiledNetwork) -> bool:
+    """Carry a sparse artifact across an incremental recompile.
+
+    If ``old_net`` had been sparse-compiled, eagerly re-bucket ``new_net``
+    (whose ``syn_delay`` may differ after a weight patch) so the patched
+    network comes out with its CSR artifact already attached instead of
+    the artifact being dropped and lazily rebuilt on first use.  Returns
+    whether a re-bucketing happened.  When the two networks share the very
+    same delay array (pure reuse), the rebuild is skipped by the instance
+    memo if ``old_net is new_net``.
+    """
+    if old_net is new_net:
+        return False
+    if not isinstance(getattr(old_net, _MEMO_ATTR, None), SparseCompiledNetwork):
+        return False
+    sparse_compile(new_net)
+    counter_inc("engine.sparse.repatches", 1)
+    return True
+
+
+def simulate_sparse(
+    network: Union[Network, CompiledNetwork],
+    stimulus: Optional[StimulusSpec] = None,
+    *,
+    max_steps: int,
+    terminal: Optional[int] = None,
+    watch: Optional[Iterable[int]] = None,
+    stop_when_quiescent: bool = True,
+    record_spikes: bool = False,
+    faults: Optional[FaultModel] = None,
+    watchdog: Optional[Watchdog] = None,
+    hooks: Optional[EngineHooks] = None,
+) -> SimulationResult:
+    """Simulate a network on the sparse CSR core.
+
+    Same parameters and result semantics as
+    :func:`repro.core.engine.simulate_dense` (without voltage probes, which
+    require per-tick state).  Unlike the event engine, stop metadata —
+    ``final_tick`` and ``stop_reason``, including ``stop_when_quiescent=
+    False`` running out the tick budget — follows the dense engine's rules
+    exactly, so results compare equal field-for-field.
+
+    Restrictions (validated up front): no pacemaker neurons
+    (``v_reset > v_threshold``) — they fire without incoming events,
+    defeating activity-driven laziness; use the dense engine.
+    """
+    net = network.compile() if isinstance(network, Network) else network
+    if max_steps < 0:
+        raise ValidationError(f"max_steps must be >= 0, got {max_steps}")
+    if net.has_pacemakers:
+        raise UnsupportedNetworkError(
+            "network contains pacemaker neurons (v_reset > v_threshold); "
+            "use the dense engine"
+        )
+    art = sparse_compile(net)
+    n = net.n
+    term = terminal if terminal is not None else net.terminal
+    watch_mask = None
+    watch_remaining = 0
+    if watch is not None:
+        watch_mask = np.zeros(n, dtype=bool)
+        watch_mask[np.asarray(list(watch), dtype=np.int64)] = True
+        watch_remaining = int(watch_mask.sum())
+
+    stim = _normalize_stimulus(stimulus)
+    for sids in stim.values():
+        if sids.size and (sids.min() < 0 or sids.max() >= n):
+            raise ValidationError("stimulus neuron id out of range")
+    stim_later = sorted(ts for ts in stim if ts >= 1)
+    stim_pos = 0
+
+    D = net.max_delay
+    n_slots = D + 1
+    # ring buffer of in-flight deliveries: one chunk list per arrival slot;
+    # every delay is in [1, D], so at any moment a slot holds chunks for at
+    # most one arrival tick, and the heap names the non-empty slots' ticks
+    pending: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(n_slots)]
+    arrival_heap: List[int] = []
+    acc = np.zeros(n, dtype=np.float64)
+
+    v = net.v_reset.copy()
+    last_update = np.zeros(n, dtype=np.int64)
+    fired_ever = np.zeros(n, dtype=bool)
+    first_spike = np.full(n, -1, dtype=np.int64)
+    spike_counts = np.zeros(n, dtype=np.int64)
+    any_one_shot = bool(net.one_shot.any())
+    decay_keep = 1.0 - net.tau
+    has_decay = net.has_decay
+    spike_events: Optional[Dict[int, np.ndarray]] = {} if record_spikes else None
+    empty_ids = np.empty(0, dtype=np.int64)
+
+    rf = faults.bind(net, max_steps) if faults is not None else None
+    next_forced = rf.next_forced_tick(-1) if rf is not None else None
+    wd = WatchdogState(watchdog, n, net.names) if watchdog is not None else None
+    diagnostic: Optional[object] = None
+    if hooks is not None:
+        hooks.on_run_start(n, max_steps, "sparse")
+
+    def register_spikes(ids: np.ndarray, t: int) -> None:
+        nonlocal watch_remaining
+        newly = ids[~fired_ever[ids]]
+        first_spike[newly] = t
+        if watch_mask is not None and newly.size:
+            watch_remaining -= int(watch_mask[newly].sum())
+        fired_ever[ids] = True
+        spike_counts[ids] += 1
+        if spike_events is not None and ids.size:
+            spike_events[t] = ids.copy()
+        if hooks is not None and ids.size:
+            hooks.on_spikes(t, ids)
+
+    # hot-loop locals: one attribute lookup per run, not per tick
+    delays_arr = art.delays
+    syn_bucket = art.syn_bucket
+    syn_dst = net.syn_dst
+    syn_weight = net.syn_weight
+    gather_out = net.gather_out_synapses
+    zero1 = np.zeros(1, dtype=np.int64)
+
+    def scatter(ids: np.ndarray, t: int) -> None:
+        """Schedule all out-deliveries of ``ids`` (sorted asc) fired at ``t``.
+
+        Gathers the fired set's out-synapses in the dense engine's
+        (source asc, CSR position asc) order, then stable-sorts them by
+        compile-time bucket label — a radix sort over small integers — so
+        each delay group comes out in exactly the order the dense engine's
+        ``np.add.at`` scatter visits same-delay synapses in.
+        """
+        gsyn = gather_out(ids)
+        if gsyn.size == 0:
+            return
+        gb = syn_bucket[gsyn]
+        if gsyn.size > 1:
+            order = np.argsort(gb, kind="stable")
+            gsyn = gsyn[order]
+            gb = gb[order]
+        dst = syn_dst[gsyn]
+        w = syn_weight[gsyn]
+        dropped = 0
+        if rf is not None:
+            # one call over the whole tick, like the dense engine's scatter;
+            # decisions hash global synapse ids, so order is irrelevant
+            keep = rf.keep_deliveries(t, gsyn)
+            if not keep.all():
+                dropped = int(gsyn.size - keep.sum())
+                gsyn = gsyn[keep]
+                dst = dst[keep]
+                w = w[keep]
+                gb = gb[keep]
+            if gsyn.size:
+                w = rf.deliver_weights(t, gsyn, w)
+        if hooks is not None:
+            hooks.on_deliveries(t, int(dst.size), dropped)
+        if dst.size == 0:
+            return
+        cuts = np.flatnonzero(gb[1:] != gb[:-1]) + 1
+        gstarts = np.concatenate((zero1, cuts))
+        arrives = delays_arr[gb[gstarts]] + t
+        # tolist() converts once in C; per-group int() calls would dominate
+        # when a tick's deliveries span many distinct delays
+        bounds_l = np.append(gstarts, gb.size).tolist()
+        arrives_l = arrives.tolist()
+        slots_l = (arrives % n_slots).tolist()
+        lo = bounds_l[0]
+        for j, hi in enumerate(bounds_l[1:]):
+            slot = slots_l[j]
+            if not pending[slot]:
+                heapq.heappush(arrival_heap, arrives_l[j])
+            pending[slot].append((dst[lo:hi], w[lo:hi]))
+            lo = hi
+
+    # ---- tick 0: induced input spikes ---------------------------------- #
+    ids0 = stim.get(0, empty_ids)
+    if rf is not None and next_forced == 0:
+        forced0 = rf.forced_at(0)
+        if hooks is not None and forced0.size:
+            hooks.on_fault_forced(0, forced0)
+        ids0 = np.union1d(ids0, forced0)
+        next_forced = rf.next_forced_tick(0)
+    if rf is not None and ids0.size:
+        sup0 = rf.suppressed(0, ids0)
+        if sup0.any():
+            if hooks is not None:
+                hooks.on_fault_suppressed(0, ids0[sup0])
+            ids0 = ids0[~sup0]
+    if ids0.size:
+        register_spikes(ids0, 0)
+        scatter(ids0, 0)
+    final_tick = 0
+    stop_reason: Optional[StopReason] = None
+    if wd is not None:
+        assert watchdog is not None
+        report = wd.observe(0, ids0)
+        if report is not None:
+            if watchdog.raise_on_trip:
+                raise RunawaySpikesError(report.describe(), report)
+            stop_reason = StopReason.RUNAWAY
+            diagnostic = report
+    if stop_reason is not None:
+        pass
+    elif term is not None and ids0.size and fired_ever[term]:
+        stop_reason = StopReason.TERMINAL
+    elif watch_mask is not None and watch_remaining == 0:
+        stop_reason = StopReason.WATCH_SET
+
+    # first tick at which the dense engine could observe quiescence: it
+    # checks at every processed tick, so after activity at tick T the
+    # earliest quiet tick is T + 1 (and tick 1 when nothing ever fires)
+    quiesce_at = 1
+
+    # ---- main loop: jump from active tick to active tick ---------------- #
+    while stop_reason is None:
+        t_next: Optional[int] = arrival_heap[0] if arrival_heap else None
+        if stim_pos < len(stim_later):
+            ts = stim_later[stim_pos]
+            t_next = ts if t_next is None else min(t_next, ts)
+        if next_forced is not None:
+            t_next = next_forced if t_next is None else min(t_next, next_forced)
+        if t_next is None:
+            # nothing is in flight and nothing is scheduled: the dense
+            # engine would tick quietly from here on
+            if not stop_when_quiescent or quiesce_at > max_steps:
+                stop_reason = StopReason.MAX_STEPS
+                final_tick = max_steps
+            else:
+                stop_reason = StopReason.QUIESCENT
+                final_tick = quiesce_at
+            break
+        if t_next > max_steps:
+            stop_reason = StopReason.MAX_STEPS
+            final_tick = max_steps
+            break
+        t = t_next
+        final_tick = t
+        if arrival_heap and arrival_heap[0] == t:
+            heapq.heappop(arrival_heap)
+
+        # consume this tick's deliveries and evaluate thresholds
+        fired_input = empty_ids
+        slot = t % n_slots
+        chunks = pending[slot]
+        if chunks:
+            pending[slot] = []
+            if len(chunks) == 1:
+                dst_all, w_all = chunks[0]
+            else:
+                dst_all = np.concatenate([c[0] for c in chunks])
+                w_all = np.concatenate([c[1] for c in chunks])
+            np.add.at(acc, dst_all, w_all)
+            if dst_all.size > 1:
+                ds = np.sort(dst_all)
+                umask = np.empty(ds.size, dtype=bool)
+                umask[0] = True
+                np.not_equal(ds[1:], ds[:-1], out=umask[1:])
+                arrived = ds[umask]
+            else:
+                arrived = dst_all
+            syn_in = acc[arrived]
+            acc[arrived] = 0.0
+            if has_decay:
+                dt = t - last_update[arrived]
+                keep = decay_keep[arrived]
+                decayable = (dt > 0) & (keep != 1.0)
+                if decayable.any():
+                    reset_a = net.v_reset[arrived]
+                    va = v[arrived]
+                    v[arrived] = np.where(
+                        decayable, reset_a + (va - reset_a) * keep**dt, va
+                    )
+            vhat = v[arrived] + syn_in
+            fire_m = vhat > net.v_threshold[arrived]
+            if any_one_shot:
+                fire_m &= ~(net.one_shot[arrived] & fired_ever[arrived])
+            fired_input = arrived[fire_m]
+            v[arrived] = np.where(fire_m, net.v_reset[arrived], vhat)
+            last_update[arrived] = t
+
+        # induced spikes this tick fire unconditionally
+        ids = fired_input
+        if stim_pos < len(stim_later) and stim_later[stim_pos] == t:
+            ids_stim = stim[t]
+            stim_pos += 1
+            if ids_stim.size:
+                ids = np.union1d(ids, ids_stim)
+        if rf is not None and next_forced == t:
+            forced = rf.forced_at(t)
+            if hooks is not None and forced.size:
+                hooks.on_fault_forced(t, forced)
+            if forced.size:
+                ids = np.union1d(ids, forced)
+            next_forced = rf.next_forced_tick(t)
+        if ids.size:
+            v[ids] = net.v_reset[ids]
+            last_update[ids] = t
+        if rf is not None and ids.size:
+            # suppressed spikes are "fired but lost": the voltage reset
+            # stands, but nothing is recorded and nothing propagates
+            sup = rf.suppressed(t, ids)
+            if sup.any():
+                if hooks is not None:
+                    hooks.on_fault_suppressed(t, ids[sup])
+                ids = ids[~sup]
+        if ids.size:
+            register_spikes(ids, t)
+            scatter(ids, t)
+        quiesce_at = t + 1 if ids.size else t
+
+        # stop checks, in the dense engine's order
+        if wd is not None:
+            assert watchdog is not None
+            report = wd.observe(t, ids)
+            if report is not None:
+                if watchdog.raise_on_trip:
+                    raise RunawaySpikesError(report.describe(), report)
+                stop_reason = StopReason.RUNAWAY
+                diagnostic = report
+                continue
+        if term is not None and fired_ever[term]:
+            stop_reason = StopReason.TERMINAL
+        elif watch_mask is not None and watch_remaining == 0:
+            stop_reason = StopReason.WATCH_SET
+
+    if wd is not None and stop_reason is StopReason.MAX_STEPS:
+        assert watchdog is not None
+        report = wd.non_quiescence(final_tick)
+        if report is not None:
+            if watchdog.raise_on_trip:
+                raise NonQuiescenceError(report.describe(), report)
+            diagnostic = report
+
+    if hooks is not None:
+        hooks.on_stop(int(final_tick), stop_reason, diagnostic)
+    counter_inc("engine.runs", 1)
+    counter_inc("engine.spikes", int(spike_counts.sum()))
+    counter_inc("engine.ticks", int(final_tick))
+    return SimulationResult(
+        first_spike=first_spike,
+        spike_counts=spike_counts,
+        final_tick=int(final_tick),
+        stop_reason=stop_reason,
+        spike_events=spike_events,
+        diagnostic=diagnostic,
+    )

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.cache import BuildCache, default_build_cache
 from repro.core.network import CompiledNetwork
+from repro.core.sparse import repatch_sparse, sparse_compile
 from repro.dynamic.graph import MutableGraph
 from repro.errors import ValidationError
 from repro.telemetry.metrics import counter_inc
@@ -140,6 +141,7 @@ class IncrementalRecompiler:
         self.weight_patches = 0
         self.vector_recompiles = 0
         self.reuses = 0
+        self.sparse_rebuckets = 0
         self.cache_seeded = 0
         self.cache_invalidated = 0
 
@@ -172,6 +174,7 @@ class IncrementalRecompiler:
             "weight_patches": self.weight_patches,
             "vector_recompiles": self.vector_recompiles,
             "reuses": self.reuses,
+            "sparse_rebuckets": self.sparse_rebuckets,
             "cache_seeded": self.cache_seeded,
             "cache_invalidated": self.cache_invalidated,
         }
@@ -229,6 +232,12 @@ class IncrementalRecompiler:
                     mode = "reused"
                     self.reuses += 1
                     counter_inc("dynamic.recompile.reuses", 1)
+                if mode != "reused" and repatch_sparse(st.net, net):
+                    # the previous version ran on the sparse engine: carry
+                    # the CSR artifact forward so the next run pays no
+                    # lazy re-bucketing, instead of dropping it with the
+                    # invalidated cache entries
+                    self.sparse_rebuckets += 1
                 old_keys.add(st.key)
                 self._seed(family, new_key, net, node_ids)
                 report.cache_seeded += 1
@@ -274,6 +283,10 @@ class IncrementalRecompiler:
         else:
             cache_key = ("khop_reach", key)
         self._cache.put(cache_key, (net, node_ids))
+        if getattr(net, "_sparse_artifact", None) is not None:
+            # publish the per-delay CSR artifact under the same structure
+            # key so invalidation drops it together with the network
+            sparse_compile(net, cache=self._cache, structure_key=key)
         counter_inc("dynamic.cache.seeded", 1)
 
     @staticmethod

@@ -3,8 +3,8 @@
 :func:`~repro.core.batch.simulate_dense_batch` promises per-item results
 *identical* to B independent solo runs.  Hypothesis drives randomized
 networks, per-item stimulus schedules, and per-item transient-fault
-models, and asserts spike-for-spike equality against both reference
-executions:
+models (strategies shared via ``tests/differential.py``), and asserts
+spike-for-spike equality against both reference executions:
 
 * **sequential dense** — exact equality on everything, including stop
   reason, final tick, and full recorded rasters;
@@ -19,106 +19,16 @@ stream (spike, delivery, and fault-event totals).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core import (
-    Network,
-    SpikeDrop,
-    SpuriousSpikes,
-    StuckAtFiring,
-    StuckAtSilent,
-    compose,
-    simulate_dense,
-    simulate_event_driven,
-)
+from repro.core import simulate_dense, simulate_event_driven
 from repro.core.batch import simulate_dense_batch
 from repro.telemetry import TraceRecorder
-
-MAX_STEPS = 60
-
-
-@st.composite
-def batch_cases(draw):
-    """A random network plus B per-item stimulus schedules and stop config."""
-    n = draw(st.integers(min_value=2, max_value=10))
-    net = Network()
-    for _ in range(n):
-        net.add_neuron(
-            v_threshold=draw(st.sampled_from([0.5, 1.5, 2.5])),
-            tau=draw(st.sampled_from([0.0, 1.0])),
-            one_shot=draw(st.booleans()),
-        )
-    m = draw(st.integers(min_value=0, max_value=3 * n))
-    for _ in range(m):
-        net.add_synapse(
-            draw(st.integers(min_value=0, max_value=n - 1)),
-            draw(st.integers(min_value=0, max_value=n - 1)),
-            weight=draw(st.sampled_from([-2.0, -1.0, 1.0, 2.0])),
-            delay=draw(st.integers(min_value=1, max_value=6)),
-        )
-    B = draw(st.integers(min_value=1, max_value=5))
-    stimuli = []
-    for _ in range(B):
-        if draw(st.booleans()):
-            # multi-tick schedule: {tick: ids}
-            sched = {}
-            for _ in range(draw(st.integers(min_value=1, max_value=3))):
-                tick = draw(st.integers(min_value=0, max_value=8))
-                ids = sched.setdefault(tick, set())
-                for _ in range(draw(st.integers(min_value=1, max_value=2))):
-                    ids.add(draw(st.integers(min_value=0, max_value=n - 1)))
-            stimuli.append({t: sorted(ids) for t, ids in sched.items()})
-        else:
-            stimuli.append(
-                sorted(
-                    {
-                        draw(st.integers(min_value=0, max_value=n - 1))
-                        for _ in range(draw(st.integers(min_value=1, max_value=3)))
-                    }
-                )
-            )
-    terminal = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=n - 1)))
-    watch = list(range(n)) if draw(st.booleans()) else None
-    return net, stimuli, terminal, watch
-
-
-@st.composite
-def fault_model(draw, n):
-    """A composite of seeded transient fault processes for ``n`` neurons.
-
-    WeightDrift is excluded for the same reason as in the engine
-    equivalence suite: drifted float weights make summation order visible.
-    """
-    parts = []
-    if draw(st.booleans()):
-        parts.append(
-            SpikeDrop(draw(st.sampled_from([0.1, 0.3, 0.6])), seed=draw(st.integers(0, 99)))
-        )
-    if draw(st.booleans()):
-        parts.append(
-            SpuriousSpikes(draw(st.sampled_from([0.01, 0.05])), seed=draw(st.integers(0, 99)))
-        )
-    if draw(st.booleans()):
-        nid = draw(st.integers(min_value=0, max_value=n - 1))
-        start = draw(st.integers(min_value=0, max_value=20))
-        length = draw(st.integers(min_value=1, max_value=15))
-        cls = StuckAtSilent if draw(st.booleans()) else StuckAtFiring
-        parts.append(cls([(nid, start, start + length)]))
-    if not parts:
-        parts.append(SpikeDrop(0.2, seed=draw(st.integers(0, 99))))
-    return compose(*parts)
-
-
-def assert_identical(batch_res, solo_res, *, label):
-    """Full equality: distances, counts, rasters, and stop metadata."""
-    assert batch_res.first_spike.tolist() == solo_res.first_spike.tolist(), label
-    assert batch_res.spike_counts.tolist() == solo_res.spike_counts.tolist(), label
-    assert batch_res.stop_reason == solo_res.stop_reason, label
-    assert batch_res.final_tick == solo_res.final_tick, label
-    if batch_res.spike_events is not None or solo_res.spike_events is not None:
-        b_ev = batch_res.spike_events or {}
-        s_ev = solo_res.spike_events or {}
-        assert sorted(b_ev) == sorted(s_ev), label
-        for t in b_ev:
-            assert sorted(b_ev[t].tolist()) == sorted(s_ev[t].tolist()), f"{label} tick {t}"
+from tests.differential import (
+    MAX_STEPS,
+    assert_identical,
+    assert_same_raster_upto,
+    batch_cases,
+    fault_models,
+)
 
 
 @given(batch_cases())
@@ -174,15 +84,7 @@ def test_batched_matches_event_driven(case):
             compiled, stim, max_steps=MAX_STEPS, terminal=terminal, watch=watch,
             record_spikes=True,
         )
-        assert batch[b].first_spike.tolist() == ev.first_spike.tolist()
-        assert batch[b].spike_counts.tolist() == ev.spike_counts.tolist()
-        horizon = min(batch[b].final_tick, ev.final_tick)
-        for t in range(horizon + 1):
-            d = batch[b].spike_events.get(t)
-            e = ev.spike_events.get(t)
-            d_ids = [] if d is None else sorted(d.tolist())
-            e_ids = [] if e is None else sorted(e.tolist())
-            assert d_ids == e_ids, f"item {b} tick {t}"
+        assert_same_raster_upto(batch[b], ev, label=f"item {b}")
 
 
 @given(batch_cases(), st.data())
@@ -192,7 +94,7 @@ def test_batched_matches_sequential_dense_under_faults(case, data):
     faults each item's solo run would (counter-based RNG makes fault
     decisions pure in (seed, tick, entity))."""
     net, stimuli, terminal, watch = case
-    models = [data.draw(fault_model(n=net.n_neurons)) for _ in stimuli]
+    models = [data.draw(fault_models(n=net.n_neurons)) for _ in stimuli]
     compiled = net.compile()
     batch = simulate_dense_batch(
         compiled, stimuli, max_steps=MAX_STEPS, terminal=terminal, watch=watch,
@@ -212,7 +114,7 @@ def test_batched_hook_totals_match_solo_runs(case, data):
     """Per-item hooks see exactly the solo event stream: spike, delivery,
     and fault-event totals all agree with independent dense runs."""
     net, stimuli, _terminal, _watch = case
-    models = [data.draw(fault_model(n=net.n_neurons)) for _ in stimuli]
+    models = [data.draw(fault_models(n=net.n_neurons)) for _ in stimuli]
     compiled = net.compile()
     recorders = [TraceRecorder() for _ in stimuli]
     simulate_dense_batch(

@@ -42,3 +42,4 @@ def test_every_registered_bench_is_callable():
     names = [n for n, _ in emit.BENCHES]
     assert len(names) == len(set(names))
     assert "sssp_dense" in names and "matvec_nga" in names
+    assert "sssp_sparse_large" in names

@@ -36,17 +36,7 @@ from repro.service.resultcache import TTLResultCache
 from repro.workloads.generators import gnp_graph, grid_graph
 from repro.workloads.graph import WeightedDigraph
 from tests.conftest import ref_sssp
-
-NET_FIELDS = (
-    "v_reset",
-    "v_threshold",
-    "tau",
-    "one_shot",
-    "indptr",
-    "syn_dst",
-    "syn_weight",
-    "syn_delay",
-)
+from tests.differential import assert_networks_identical, assert_same_simulation
 
 
 def build_from_scratch(snap: WeightedDigraph, *, unit_delay: bool):
@@ -58,25 +48,6 @@ def build_from_scratch(snap: WeightedDigraph, *, unit_delay: bool):
             continue
         net.add_synapse(ids[u], ids[v], weight=1.0, delay=1 if unit_delay else int(w))
     return net.compile()
-
-
-def assert_networks_identical(a, b) -> None:
-    assert a.n == b.n
-    for field in NET_FIELDS:
-        assert np.array_equal(getattr(a, field), getattr(b, field)), field
-
-
-def assert_same_simulation(net_a, net_b, stimulus, max_steps: int) -> None:
-    """Both networks produce identical rasters and stop metadata."""
-    ra = simulate(net_a, stimulus, max_steps=max_steps, record_spikes=True, engine="dense")
-    rb = simulate(net_b, stimulus, max_steps=max_steps, record_spikes=True, engine="dense")
-    assert np.array_equal(ra.first_spike, rb.first_spike)
-    assert np.array_equal(ra.spike_counts, rb.spike_counts)
-    assert ra.final_tick == rb.final_tick
-    assert ra.stop_reason == rb.stop_reason
-    assert sorted(ra.spike_events) == sorted(rb.spike_events)
-    for t in ra.spike_events:
-        assert np.array_equal(ra.spike_events[t], rb.spike_events[t]), t
 
 
 # --------------------------------------------------------------------- #
@@ -396,6 +367,50 @@ class TestRecompilerModes:
         rec = IncrementalRecompiler(MutableGraph(2), cache=BuildCache(maxsize=4))
         with pytest.raises(ValidationError):
             rec.network("apsp")
+
+    def test_sparse_artifact_carried_across_patches(self):
+        """A network that ran on the sparse engine keeps its CSR artifact
+        across weight patches and topology recompiles: ``refresh`` rebuilds
+        the delay buckets for the new version (``sparse_rebuckets``) and
+        republishes them under the new structure key, so the next sparse run
+        pays no lazy re-bucketing and invalidation stays version-exact."""
+        from repro.core.sparse import sparse_compile
+
+        base = gnp_graph(30, 0.1, max_length=6, seed=9)
+        g = MutableGraph(base)
+        cache = BuildCache(maxsize=8)
+        rec = IncrementalRecompiler(g, cache=cache)
+        rec.prime()
+        net, _ = rec.network("sssp")
+        sparse_compile(net)  # as if a prior run went through the sparse engine
+
+        u, v, w = next(iter(g.edges()))
+        g.reweight(int(u), int(v), (int(w) % 6) + 1)
+        report = rec.refresh()
+        assert report.families["sssp"] == "patched_weights"
+        assert rec.stats()["sparse_rebuckets"] == 1
+        patched, _ = rec.network("sssp")
+        art = getattr(patched, "_sparse_artifact", None)
+        assert art is not None and art.net is patched
+        key = g.snapshot().structure_key()
+        assert ("sparse_csr", key) in cache
+
+        g.add_node()
+        rec.refresh()
+        assert rec.stats()["sparse_rebuckets"] == 2
+        assert ("sparse_csr", key) not in cache  # old version invalidated
+        assert ("sparse_csr", g.snapshot().structure_key()) in cache
+
+    def test_sparse_artifact_not_built_for_dense_only_networks(self):
+        """No sparse run ever happened: refresh must not eagerly bucket."""
+        g = MutableGraph(gnp_graph(20, 0.15, max_length=5, seed=4))
+        rec = IncrementalRecompiler(g, cache=BuildCache(maxsize=8))
+        rec.prime()
+        g.add_node()
+        rec.refresh()
+        assert rec.stats()["sparse_rebuckets"] == 0
+        net, _ = rec.network("sssp")
+        assert getattr(net, "_sparse_artifact", None) is None
 
 
 # --------------------------------------------------------------------- #

@@ -3,50 +3,19 @@
 Both engines implement the same Definition-2 semantics; on any network the
 event engine supports (no pacemakers) they must produce identical spike
 trains.  Hypothesis drives randomized network topologies, parameters, and
-stimuli.
+stimuli via the shared strategy library in ``tests/differential.py``.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core import (
-    Network,
-    SpikeDrop,
-    SpuriousSpikes,
-    StuckAtFiring,
-    StuckAtSilent,
-    compose,
-    simulate_dense,
-    simulate_event_driven,
-)
+from repro.core import Network, simulate_dense, simulate_event_driven
 from repro.core.session import DenseSession
 from repro.telemetry import TraceRecorder
-
-
-@st.composite
-def random_networks(draw):
-    n = draw(st.integers(min_value=2, max_value=12))
-    net = Network()
-    for _ in range(n):
-        net.add_neuron(
-            v_threshold=draw(
-                st.sampled_from([0.5, 1.5, 2.5])
-            ),
-            tau=draw(st.sampled_from([0.0, 1.0])),
-            one_shot=draw(st.booleans()),
-        )
-    m = draw(st.integers(min_value=0, max_value=3 * n))
-    for _ in range(m):
-        src = draw(st.integers(min_value=0, max_value=n - 1))
-        dst = draw(st.integers(min_value=0, max_value=n - 1))
-        w = draw(st.sampled_from([-2.0, -1.0, 1.0, 2.0]))
-        d = draw(st.integers(min_value=1, max_value=6))
-        net.add_synapse(src, dst, weight=w, delay=d)
-    stim_count = draw(st.integers(min_value=1, max_value=min(3, n)))
-    stim = sorted(
-        {draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(stim_count)}
-    )
-    return net, stim
+from tests.differential import (
+    assert_same_raster_upto,
+    fault_models,
+    random_networks,
+)
 
 
 @given(random_networks())
@@ -57,41 +26,7 @@ def test_engines_agree_on_integer_tau_networks(case):
     r_dense = simulate_dense(net, stim, max_steps=60, stop_when_quiescent=True,
                              record_spikes=True)
     r_event = simulate_event_driven(net, stim, max_steps=60, record_spikes=True)
-    assert r_dense.first_spike.tolist() == r_event.first_spike.tolist()
-    # compare full spike trains up to the common horizon
-    horizon = min(r_dense.final_tick, r_event.final_tick)
-    for t in range(horizon + 1):
-        d = r_dense.spike_events.get(t)
-        e = r_event.spike_events.get(t)
-        d_ids = [] if d is None else sorted(d.tolist())
-        e_ids = [] if e is None else sorted(e.tolist())
-        assert d_ids == e_ids, f"tick {t}: dense {d_ids} vs event {e_ids}"
-
-
-@st.composite
-def random_fault_models(draw, n):
-    """A composite of 1-3 transient fault processes valid for ``n`` neurons.
-
-    WeightDrift is excluded: drifted weights are inexact floats whose
-    summation order differs between engines, so its equivalence is asserted
-    separately on single-delivery topologies (test_transient).
-    """
-    parts = []
-    if draw(st.booleans()):
-        parts.append(SpikeDrop(draw(st.sampled_from([0.1, 0.3, 0.6])), seed=draw(st.integers(0, 99))))
-    if draw(st.booleans()):
-        parts.append(
-            SpuriousSpikes(draw(st.sampled_from([0.01, 0.05])), seed=draw(st.integers(0, 99)))
-        )
-    if draw(st.booleans()):
-        nid = draw(st.integers(min_value=0, max_value=n - 1))
-        start = draw(st.integers(min_value=0, max_value=20))
-        length = draw(st.integers(min_value=1, max_value=15))
-        cls = StuckAtSilent if draw(st.booleans()) else StuckAtFiring
-        parts.append(cls([(nid, start, start + length)]))
-    if not parts:
-        parts.append(SpikeDrop(0.2, seed=draw(st.integers(0, 99))))
-    return compose(*parts)
+    assert_same_raster_upto(r_dense, r_event)
 
 
 @given(random_networks(), st.data())
@@ -99,20 +34,12 @@ def random_fault_models(draw, n):
 def test_engines_agree_under_transient_faults(case, data):
     """The tentpole invariant: both engines observe identical fault semantics."""
     net, stim = case
-    faults = data.draw(random_fault_models(n=net.n_neurons))
+    faults = data.draw(fault_models(n=net.n_neurons))
     r_dense = simulate_dense(net, stim, max_steps=60, stop_when_quiescent=True,
                              record_spikes=True, faults=faults)
     r_event = simulate_event_driven(net, stim, max_steps=60, record_spikes=True,
                                     faults=faults)
-    assert r_dense.first_spike.tolist() == r_event.first_spike.tolist()
-    assert r_dense.spike_counts.tolist() == r_event.spike_counts.tolist()
-    horizon = min(r_dense.final_tick, r_event.final_tick)
-    for t in range(horizon + 1):
-        d = r_dense.spike_events.get(t)
-        e = r_event.spike_events.get(t)
-        d_ids = [] if d is None else sorted(d.tolist())
-        e_ids = [] if e is None else sorted(e.tolist())
-        assert d_ids == e_ids, f"tick {t}: dense {d_ids} vs event {e_ids}"
+    assert_same_raster_upto(r_dense, r_event)
 
 
 @given(random_networks(), st.data())
@@ -122,7 +49,7 @@ def test_all_three_engines_report_identical_hook_totals(case, data):
     fault-event totals through the telemetry hook API."""
     net, stim = case
     max_steps = 40
-    seed_model = data.draw(random_fault_models(n=net.n_neurons))
+    seed_model = data.draw(fault_models(n=net.n_neurons))
 
     dense_rec = TraceRecorder()
     r_dense = simulate_dense(net, stim, max_steps=max_steps,

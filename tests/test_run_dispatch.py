@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.core import Network, simulate
-from repro.core.run import _EVENT_DELAY_CUTOFF
-from repro.errors import ValidationError
+from repro.core import Network, simulate, simulate_batch
+from repro.core.run import ENGINES, _EVENT_DELAY_CUTOFF
+from repro.core.sparse import SPARSE_AUTO_MIN_NEURONS
+from repro.errors import ValidationError, classify_exception
 
 
 def make_net(delay=1, pacemaker=False):
@@ -71,8 +72,81 @@ class TestAutoDispatch:
         with pytest.raises(ValidationError):
             simulate(net, [a], max_steps=5, engine="warp")
 
-    @pytest.mark.parametrize("engine", ["dense", "event"])
+    def test_unknown_engine_error_is_structured(self):
+        """The dispatch error carries the stable INVALID code (permanent,
+        not retryable) and names every accepted engine."""
+        net, a, _ = make_net()
+        with pytest.raises(ValidationError) as exc:
+            simulate(net, [a], max_steps=5, engine="warp")
+        code, retryable = classify_exception(exc.value)
+        assert code == "INVALID"
+        assert not retryable
+        msg = str(exc.value)
+        assert "'warp'" in msg
+        for engine in ENGINES:
+            assert engine in msg
+
+    def test_unknown_engine_rejected_in_batch(self):
+        net, a, _ = make_net()
+        with pytest.raises(ValidationError) as exc:
+            simulate_batch(net, [[a]], max_steps=5, engine="warp")
+        assert classify_exception(exc.value)[0] == "INVALID"
+
+    @pytest.mark.parametrize("engine", ["dense", "event", "sparse"])
     def test_explicit_engines_work(self, engine):
         net, a, b = make_net(delay=3)
         r = simulate(net, [a], max_steps=10, engine=engine)
         assert r.first_spike[b] == 3
+
+    def test_explicit_sparse_with_probes_rejected(self):
+        net, a, b = make_net()
+        with pytest.raises(ValidationError):
+            simulate(net, [a], max_steps=5, engine="sparse", probe_voltages=[b])
+
+
+def big_sparse_net(delay: int, pacemaker: bool = False):
+    """A network past both sparse-auto thresholds: n >= the neuron floor
+    and density far below the cutoff (a handful of synapses over n^2)."""
+    net = Network()
+    if pacemaker:
+        net.add_neuron(v_reset=2.0, v_threshold=0.5, tau=1.0)
+    for _ in range(SPARSE_AUTO_MIN_NEURONS):
+        net.add_neuron()
+    net.add_synapse(0, 1, delay=delay)
+    net.add_synapse(1, 2, delay=2)
+    return net
+
+
+class TestSparseAutoDispatch:
+    def test_auto_picks_sparse_for_large_low_density_long_delay_net(self):
+        compiled = big_sparse_net(delay=_EVENT_DELAY_CUTOFF + 1).compile()
+        r = simulate(compiled, [0], max_steps=_EVENT_DELAY_CUTOFF + 10)
+        assert r.first_spike[1] == _EVENT_DELAY_CUTOFF + 1
+        assert r.first_spike[2] == _EVENT_DELAY_CUTOFF + 3
+        # the sparse core memoizes its CSR artifact on the compiled network,
+        # so its presence is direct evidence the sparse path ran
+        assert getattr(compiled, "_sparse_artifact", None) is not None
+
+    def test_auto_keeps_event_for_small_long_delay_net(self):
+        net, a, b = make_net(delay=_EVENT_DELAY_CUTOFF + 1)
+        compiled = net.compile()
+        r = simulate(compiled, [a], max_steps=1000)
+        assert r.first_spike[b] == _EVENT_DELAY_CUTOFF + 1
+        assert getattr(compiled, "_sparse_artifact", None) is None
+
+    def test_auto_pacemaker_still_falls_back_to_dense(self):
+        compiled = big_sparse_net(
+            delay=_EVENT_DELAY_CUTOFF + 1, pacemaker=True
+        ).compile()
+        with pytest.warns(RuntimeWarning, match="pacemaker"):
+            simulate(compiled, None, max_steps=3, stop_when_quiescent=False)
+        assert getattr(compiled, "_sparse_artifact", None) is None
+
+    def test_batch_auto_picks_sparse_per_item(self):
+        compiled = big_sparse_net(delay=_EVENT_DELAY_CUTOFF + 1).compile()
+        rs = simulate_batch(
+            compiled, [[0], [1]], max_steps=_EVENT_DELAY_CUTOFF + 10
+        )
+        assert rs[0].first_spike[1] == _EVENT_DELAY_CUTOFF + 1
+        assert rs[1].first_spike[2] == 2
+        assert getattr(compiled, "_sparse_artifact", None) is not None

@@ -1,0 +1,63 @@
+"""Memory regression: sparse compilation must stay O(n + m).
+
+The whole point of the sparse CSR core is running networks whose dense
+(n, n) weight matrix would not fit in memory: at n = 50 000 a float64
+dense matrix is 20 GB, and even a boolean adjacency mask is 2.5 GB.
+These tests compile a 50k-neuron SSSP network under ``tracemalloc`` and
+pin the peak allocation far below any dense materialization, so a future
+"helpful" densification anywhere in the compile path fails loudly.
+"""
+
+import tracemalloc
+
+from repro.algorithms import sssp_network
+from repro.workloads import path_graph
+
+#: Generous O(n + m) budget: measured peak is ~5 MB; the smallest dense
+#: (n, n) artifact (a boolean mask) would be 2.5 GB.  Anything past this
+#: means something materialized a superlinear intermediate.
+PEAK_BUDGET_BYTES = 64 * 1024 * 1024
+
+N_VERTICES = 50_000
+
+
+def test_sparse_compile_50k_never_materializes_dense():
+    g = path_graph(N_VERTICES, max_length=4, seed=1)
+    net, _ids = sssp_network(g)
+    tracemalloc.start()
+    try:
+        compiled = net.compile(sparse=True)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert compiled.n == N_VERTICES
+    art = getattr(compiled, "_sparse_artifact", None)
+    assert art is not None and art.nnz == compiled.m
+    assert peak < PEAK_BUDGET_BYTES, (
+        f"sparse compile peaked at {peak / 1e6:.1f} MB for n={compiled.n}, "
+        f"m={compiled.m}; something materialized a dense intermediate"
+    )
+
+
+def test_sparse_simulation_memory_stays_linear():
+    """Running the compiled network sparse must likewise avoid any (n, n)
+    or (steps, n) materialization: the ring buffer holds only in-flight
+    deliveries."""
+    from repro.core import simulate
+
+    g = path_graph(N_VERTICES, max_length=4, seed=1)
+    net, ids = sssp_network(g)
+    compiled = net.compile(sparse=True)
+    tracemalloc.start()
+    try:
+        r = simulate(
+            compiled, [ids[0]], engine="sparse", max_steps=4 * N_VERTICES,
+            watch=ids,
+        )
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert r.spike_counts.sum() == N_VERTICES  # every vertex reached once
+    assert peak < PEAK_BUDGET_BYTES, (
+        f"sparse simulation peaked at {peak / 1e6:.1f} MB"
+    )

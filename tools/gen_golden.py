@@ -19,12 +19,17 @@ import json
 from pathlib import Path
 
 from repro.algorithms import spiking_khop_poly, spiking_sssp_pseudo, sssp_network
-from repro.core import simulate
+from repro.core import simulate, simulate_batch
 from repro.workloads import WeightedDigraph, gnp_graph
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 SCHEMA = "repro.golden/v1"
+
+#: Every execution path a raster fixture must replay identically on.  The
+#: golden suite parametrizes over this same list (``tests/test_golden.py``
+#: imports it), so adding an engine here automatically extends the suite.
+ENGINE_PATHS = ("dense", "event", "batch", "sparse")
 
 #: The fixed 6-vertex graph of tests/conftest.py (known distances).
 SMALL_EDGES = [
@@ -52,18 +57,49 @@ def _cost_payload(cost) -> dict:
     return out
 
 
+def replay_sssp(
+    net, ids, source: int, horizon: int, engine: str
+):
+    """Run one fixture's SSSP network on the named execution path.
+
+    ``engine`` is one of :data:`ENGINE_PATHS`; ``"batch"`` means a
+    single-item batched dense run, the rest dispatch through
+    :func:`repro.core.simulate`.
+    """
+    if engine == "batch":
+        return simulate_batch(
+            net, [[ids[source]]], engine="dense", max_steps=horizon,
+            watch=ids, record_spikes=True,
+        )[0]
+    return simulate(
+        net, [ids[source]], engine=engine, max_steps=horizon,
+        watch=ids, record_spikes=True,
+    )
+
+
+def _raster_of(sim) -> dict:
+    return {
+        str(t): sorted(int(i) for i in ids_t)
+        for t, ids_t in sorted(sim.spike_events.items())
+    }
+
+
 def sssp_fixture(name: str, g: WeightedDigraph, source: int) -> dict:
     r = spiking_sssp_pseudo(g, source)
     net, ids = sssp_network(g)
     horizon = (g.n - 1) * max(1, g.max_length()) + 1
-    sim = simulate(
-        net, [ids[source]], engine="dense", max_steps=horizon, watch=ids,
-        record_spikes=True,
-    )
-    raster = {
-        str(t): sorted(int(i) for i in ids_t)
-        for t, ids_t in sorted(sim.spike_events.items())
-    }
+    sim = replay_sssp(net, ids, source, horizon, "dense")
+    raster = _raster_of(sim)
+    # Self-check before freezing: every execution path must already agree
+    # with the dense raster (the event engine's final tick legitimately
+    # differs; dense-semantics paths must match it exactly).
+    for engine in ENGINE_PATHS:
+        if engine == "dense":
+            continue
+        other = replay_sssp(net, ids, source, horizon, engine)
+        assert _raster_of(other) == raster, f"{name}: {engine} raster drift"
+        if engine != "event":
+            assert other.final_tick == sim.final_tick, f"{name}: {engine}"
     return {
         "schema": SCHEMA,
         "name": name,
@@ -72,6 +108,7 @@ def sssp_fixture(name: str, g: WeightedDigraph, source: int) -> dict:
         "source": source,
         "dist": r.dist.tolist(),
         "cost": _cost_payload(r.cost),
+        "engines": list(ENGINE_PATHS),
         "final_tick": sim.final_tick,
         "raster": raster,
     }
