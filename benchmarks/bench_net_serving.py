@@ -1,0 +1,144 @@
+"""Network-serving benchmark CLI: the netbench ``BENCH_serving.json`` rows.
+
+Boots a real socket server in-process (no separate daemon to manage),
+drives the seeded mixed workload over TCP with
+:func:`repro.service.net.bench.run_net_loadgen`, runs the thread-pool vs
+process-pool vs sharded comparison of
+:func:`repro.service.net.bench.run_pool_comparison`, and writes one
+``repro.serving.netbench/v1`` document to ``--out``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_net_serving.py --requests 200 \
+        --out BENCH_serving.json
+
+Exits nonzero on any wire error, lost response, or equality mismatch —
+the socket hop and the pool tiers must not change a single distance.
+The CI ``net-serve-smoke`` job exercises the same paths against a real
+subprocess server (including an injected worker-process kill); this CLI
+is the local, single-command equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--depth", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--process-workers", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument("--out", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    from repro.service import QueryServer
+    from repro.service.net import (
+        NET_BENCH_SCHEMA,
+        NetServer,
+        ProcessWorkerPool,
+        run_net_loadgen,
+        run_pool_comparison,
+    )
+    from repro.workloads import gnp_graph, grid_graph
+
+    graphs = {
+        "grid": grid_graph(10, 10, max_length=7, seed=2),
+        "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
+    }
+    pool = ProcessWorkerPool(workers=args.process_workers)
+    server = QueryServer(workers=2, max_batch=16, linger_s=0.002, process_pool=pool)
+    for gid, g in graphs.items():
+        if args.shards > 1:
+            server.register_sharded_graph(gid, g, min(args.shards, g.n))
+        else:
+            server.register_graph(gid, g)
+    server.start()
+
+    box: Dict[str, object] = {}
+    started = threading.Event()
+
+    def runner() -> None:
+        async def main_loop() -> None:
+            net = NetServer(server, host="127.0.0.1", port=0)
+            await net.start()
+            box["net"], box["loop"] = net, asyncio.get_running_loop()
+            started.set()
+            await net.run(install_signal_handlers=False)
+
+        asyncio.run(main_loop())
+
+    thread = threading.Thread(target=runner, name="bench-net-loop", daemon=True)
+    thread.start()
+    if not started.wait(60):
+        print("FAIL: socket server did not start", file=sys.stderr)
+        return 1
+    net = box["net"]
+    loop = box["loop"]
+    t0 = time.time()
+    try:
+        net_report = run_net_loadgen(
+            "127.0.0.1",
+            net.port,  # type: ignore[attr-defined]
+            graphs,
+            n_requests=args.requests,
+            connections=args.connections,
+            depth=args.depth,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    finally:
+        while thread.is_alive():
+            loop.call_soon_threadsafe(net.request_shutdown)  # type: ignore[attr-defined]
+            thread.join(0.1)
+        pool.close()
+
+    pools_report = run_pool_comparison(verify=not args.no_verify)
+
+    doc = {
+        "schema": NET_BENCH_SCHEMA,
+        "generated_unix": round(t0, 3),
+        "net": net_report,
+        "pools": pools_report,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"net: {net_report['ok']}/{net_report['requests']} ok, "
+        f"{net_report['coalesced_answers']} coalesced, "
+        f"p50 {net_report['latency_p50_s']}s"
+    )
+    rows = pools_report["rows"]
+    print(
+        f"pools: thread {rows['thread_pool']['throughput_rps']} rps, "
+        f"process {rows['process_pool']['throughput_rps']} rps "
+        f"({rows['process_pool']['speedup_vs_thread']}x), "
+        f"sharded {rows['sharded']['throughput_rps']} rps "
+        f"on {pools_report['cpu_count']} cpus"
+    )
+    print(f"wrote {args.out}")
+
+    failed = (
+        net_report["errors"] != 0
+        or net_report["lost"] != 0
+        or net_report["equality"]["mismatches"] != 0
+        or pools_report["equality"]["mismatches"] != 0
+    )
+    if failed:
+        print("FAIL: wire serving diverged from solo runs", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

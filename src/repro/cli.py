@@ -221,8 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "graphs",
-        nargs="+",
-        help="graphs to make resident, as 'id=path' (or bare paths, id = stem)",
+        nargs="*",
+        help="graphs to make resident, as 'id=path' (or bare paths, id = stem; "
+        "default: built-in grid + G(n,p) pair)",
     )
     serve.add_argument(
         "--requests",
@@ -233,6 +234,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=16)
     serve.add_argument("--linger-ms", type=float, default=2.0)
     serve.add_argument("--queue-limit", type=int, default=256)
+    serve.add_argument(
+        "--net",
+        action="store_true",
+        help="serve over a TCP socket (JSONL frames) instead of a request file",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="--net bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="--net bind port (0 = pick a free port)"
+    )
+    serve.add_argument(
+        "--process-workers",
+        type=int,
+        default=0,
+        help="run N worker processes holding resident networks (0 = threads only)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition resident graphs into K shards routed by the fixpoint router",
+    )
+    serve.add_argument(
+        "--chaos-kill-batch",
+        type=int,
+        default=None,
+        metavar="SEQ",
+        help="SIGKILL the worker process serving batch #SEQ (recovery smoke tests)",
+    )
     serve.add_argument(
         "--stats", action="store_true", help="print server stats JSON to stderr on exit"
     )
@@ -272,6 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="STREAM.jsonl",
         help="replay a repro.dynamic.stream op log instead of the closed loop "
         "(graphs become dynamic residents; reports per-op-type p50/p99)",
+    )
+    lg.add_argument(
+        "--net",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive the workload over a socket against a running "
+        "'repro serve --net' (graphs must match the server's residents)",
+    )
+    lg.add_argument(
+        "--connections", type=int, default=4, help="--net client connections"
+    )
+    lg.add_argument(
+        "--compare-pools",
+        action="store_true",
+        help="add thread-pool vs process-pool vs sharded rows to the report",
     )
     lg.add_argument("--out", default="BENCH_serving.json")
 
@@ -562,56 +606,182 @@ def _parse_mix(text: str) -> dict:
     return mix
 
 
-def _cmd_serve(args) -> int:
-    """``repro serve``: answer JSONL queries from a file or stdin."""
-    import json
+def _default_service_graphs() -> dict:
+    """The built-in resident pair shared by serve/loadgen/stream defaults."""
+    return {
+        "grid": grid_graph(10, 10, max_length=7, seed=2),
+        "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
+    }
 
-    from repro.errors import ReproError
-    from repro.service import QueryServer, request_from_dict
 
-    graphs = _parse_resident_graphs(args.graphs)
+def _build_query_server(args, graphs):
+    """Construct the QueryServer (+ optional process pool) the serve modes share.
+
+    Returns ``(server, pool)``; the caller owns closing the pool.
+    """
+    from repro.service import QueryServer
+
+    pool = None
+    chaos = None
+    if args.process_workers > 0:
+        from repro.service.net import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(workers=args.process_workers)
+        if args.chaos_kill_batch is not None:
+            from repro.service.chaos import ChaosPolicy
+
+            chaos = ChaosPolicy(kill_batches=(int(args.chaos_kill_batch),))
     server = QueryServer(
         workers=args.workers,
         max_batch=args.max_batch,
         linger_s=args.linger_ms / 1000.0,
         queue_limit=args.queue_limit,
+        process_pool=pool,
+        chaos=chaos,
     )
     for gid, g in graphs.items():
-        server.register_graph(gid, g)
+        if args.shards > 1:
+            server.register_sharded_graph(gid, g, min(args.shards, g.n))
+        else:
+            server.register_graph(gid, g)
+    return server, pool
 
-    if args.requests == "-":
-        lines = sys.stdin.readlines()
-    else:
-        with open(args.requests, encoding="utf-8") as fh:
-            lines = fh.readlines()
+
+class _ServeInterrupt(BaseException):
+    """Raised by the serve signal handler to break out of the submit loop.
+
+    BaseException so the rider-protecting ``except Exception`` guards in
+    the submit path cannot swallow a delivered SIGINT/SIGTERM.
+    """
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: answer JSONL queries from a file, stdin, or a socket.
+
+    Exit-code contract (both modes): 0 on success, 1 if any request
+    failed, ``128 + signum`` after a graceful SIGINT/SIGTERM drain —
+    every request admitted before the signal still gets its answer line.
+    """
+    import json
+    import signal
+
+    graphs = (
+        _parse_resident_graphs(args.graphs)
+        if args.graphs
+        else _default_service_graphs()
+    )
+    if args.net:
+        return _cmd_serve_net(args, graphs)
+
+    from repro.errors import ReproError
+    from repro.service import request_from_dict
+
+    server, pool = _build_query_server(args, graphs)
+
+    caught = [0]
+
+    def _flag_handler(signum, frame) -> None:
+        caught[0] = signum
+
+    def _raise_handler(signum, frame) -> None:
+        caught[0] = signum
+        # Later signals during the drain only re-flag; the drain finishes.
+        signal.signal(signal.SIGINT, _flag_handler)
+        signal.signal(signal.SIGTERM, _flag_handler)
+        raise _ServeInterrupt()
+
+    previous = {
+        sig: signal.signal(sig, _raise_handler)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
 
     failures = 0
-    with server:
-        # submit everything first so concurrent requests can coalesce,
-        # then collect in input order
-        pending = []
-        for lineno, line in enumerate(lines, 1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                ticket = server.submit(request_from_dict(json.loads(line)))
-            except (ReproError, json.JSONDecodeError) as exc:
-                pending.append((lineno, None, f"{type(exc).__name__}: {exc}"))
-                continue
-            pending.append((lineno, ticket, None))
-        for lineno, ticket, error in pending:
-            if ticket is None:
-                failures += 1
-                print(json.dumps({"line": lineno, "status": "rejected", "error": error}))
-                continue
-            result = ticket.result(timeout=300.0)
-            if not result.ok:
-                failures += 1
-            print(json.dumps(result.to_dict()))
+    try:
+        if args.requests == "-":
+            fh = sys.stdin
+            close_fh = False
+        else:
+            fh = open(args.requests, encoding="utf-8")
+            close_fh = True
+        try:
+            with server:
+                # submit everything first so concurrent requests can
+                # coalesce, then collect in input order; a signal breaks
+                # the submit loop and drains what was already admitted
+                pending = []
+                try:
+                    for lineno, line in enumerate(fh, 1):
+                        line = line.strip()
+                        if not line or line.startswith("#"):
+                            continue
+                        try:
+                            ticket = server.submit(
+                                request_from_dict(json.loads(line))
+                            )
+                        except (ReproError, json.JSONDecodeError) as exc:
+                            pending.append(
+                                (lineno, None, f"{type(exc).__name__}: {exc}")
+                            )
+                            continue
+                        pending.append((lineno, ticket, None))
+                except _ServeInterrupt:
+                    pass
+                for lineno, ticket, error in pending:
+                    if ticket is None:
+                        failures += 1
+                        print(
+                            json.dumps(
+                                {"line": lineno, "status": "rejected", "error": error}
+                            )
+                        )
+                        continue
+                    result = ticket.result(timeout=300.0)
+                    if not result.ok:
+                        failures += 1
+                    print(json.dumps(result.to_dict()))
+        finally:
+            if close_fh:
+                fh.close()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        if pool is not None:
+            pool.close()
     if args.stats:
         print(json.dumps(server.stats()["metrics"], indent=2), file=sys.stderr)
+    if caught[0]:
+        return 128 + caught[0]
     return 1 if failures else 0
+
+
+def _cmd_serve_net(args, graphs) -> int:
+    """``repro serve --net``: asyncio JSONL socket front end."""
+    import asyncio
+    import json
+
+    from repro.service.net import NetServer
+
+    server, pool = _build_query_server(args, graphs)
+    server.start()
+    net = NetServer(server, host=args.host, port=args.port)
+
+    async def _run() -> int:
+        await net.start()
+        # The parse-friendly startup line: tests and the CI smoke read the
+        # bound port (0 = ephemeral) from here.
+        print(f"listening on {net.host}:{net.port}", flush=True)
+        return await net.run()
+
+    try:
+        signum = asyncio.run(_run())
+    finally:
+        if pool is not None:
+            pool.close()
+    if args.stats:
+        stats = dict(net.stats())
+        stats["server"] = server.stats()["metrics"]
+        print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 128 + signum if signum else 0
 
 
 def _cmd_loadgen(args) -> int:
@@ -623,12 +793,11 @@ def _cmd_loadgen(args) -> int:
     if args.graphs:
         graphs = _parse_resident_graphs(args.graphs)
     else:
-        graphs = {
-            "grid": grid_graph(10, 10, max_length=7, seed=2),
-            "gnp": gnp_graph(96, 0.05, max_length=9, seed=1),
-        }
+        graphs = _default_service_graphs()
     if args.ops is not None:
         return _loadgen_replay_ops(args, graphs)
+    if args.net is not None or args.compare_pools:
+        return _loadgen_net(args, graphs)
     fault_spec = None
     if args.drop_p:
         fault_spec = {"drop_p": args.drop_p, "seed": args.fault_seed}
@@ -673,6 +842,64 @@ def _cmd_loadgen(args) -> int:
     if s["errors"] or report["equality"]["mismatches"]:
         return 1
     return 0
+
+
+def _loadgen_net(args, graphs) -> int:
+    """``repro loadgen --net`` / ``--compare-pools``: the netbench report."""
+    import json
+
+    from repro.service.net.bench import (
+        NET_BENCH_SCHEMA,
+        run_net_loadgen,
+        run_pool_comparison,
+    )
+
+    report: dict = {"schema": NET_BENCH_SCHEMA, "net": None, "pools": None}
+    failed = False
+    if args.net is not None:
+        host, _, port = args.net.rpartition(":")
+        net_report = run_net_loadgen(
+            host or "127.0.0.1",
+            int(port),
+            graphs,
+            n_requests=args.requests,
+            connections=args.connections,
+            depth=args.depth,
+            seed=args.seed,
+            mix=_parse_mix(args.mix),
+            verify=not args.no_verify,
+        )
+        report["net"] = net_report
+        print(
+            f"net {net_report['target']}: {net_report['ok']} ok / "
+            f"{net_report['requests']} requests at "
+            f"{net_report['throughput_rps']} req/s "
+            f"(p50 {net_report['latency_p50_s'] * 1000:.1f} ms, "
+            f"p99 {net_report['latency_p99_s'] * 1000:.1f} ms, "
+            f"{net_report['coalesced_answers']} coalesced answers)"
+        )
+        failed = bool(
+            net_report["errors"] or net_report["equality"]["mismatches"]
+        )
+    if args.compare_pools:
+        pools = run_pool_comparison(verify=not args.no_verify)
+        report["pools"] = pools
+        for name, row in pools["rows"].items():
+            extra = ""
+            if "speedup_vs_thread" in row:
+                extra = f"  ({row['speedup_vs_thread']}x vs threads)"
+            print(
+                f"{name:13s} {row['throughput_rps']:>8} req/s  "
+                f"p50 {row['latency_p50_s'] * 1000:7.1f} ms  "
+                f"p99 {row['latency_p99_s'] * 1000:7.1f} ms{extra}"
+            )
+        print(f"cpu_count: {pools['cpu_count']}")
+        failed = failed or bool(pools["equality"]["mismatches"])
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 1 if failed else 0
 
 
 def _loadgen_replay_ops(args, graphs) -> int:

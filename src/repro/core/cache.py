@@ -170,6 +170,25 @@ class BuildCache:
                 counter_inc("cache.build.invalidations", len(doomed))
             return len(doomed)
 
+    def export_entries(self, structure_key: str) -> list:
+        """Snapshot ``(key, value)`` pairs whose key mentions ``structure_key``.
+
+        The process-pool handoff path: the parent exports the compiled
+        artifacts it already built for a resident graph and ships them to
+        worker processes, which :meth:`seed_entries` them so their first
+        query skips the ``O(m)`` rebuild.  Values are returned as-is —
+        callers are responsible for shipping picklable artifacts (compiled
+        networks pickle; builder closures do not).
+        """
+        with self._lock:
+            return [(k, v) for k, v in self._entries.items() if structure_key in k]
+
+    def seed_entries(self, entries: list) -> int:
+        """Seed many ``(key, value)`` pairs (a worker-side cache warmup)."""
+        for key, value in entries:
+            self.put(tuple(key), value)
+        return len(entries)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -216,6 +216,22 @@ class CompiledNetwork:
             self.to_sparse()
         return self
 
+    def __getstate__(self) -> dict:
+        """Pickle without the memoized sparse artifact.
+
+        The per-delay CSR artifact (:meth:`to_sparse`) is a derived cache
+        stashed on the instance; shipping it to a worker process would
+        multiply pipe traffic for a structure the receiver can rebuild on
+        first use.  Dropping it keeps compiled-network handoff slim and
+        leaves the unpickled copy semantically identical.
+        """
+        state = dict(self.__dict__)
+        state.pop("_sparse_artifact", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def to_sparse(self):
         """The per-delay CSR artifact of this network (built on demand).
 

@@ -147,6 +147,25 @@ class MachineError(ReproError, RuntimeError):
     """An invalid operation was issued to the DISTANCE machine."""
 
 
+class RemoteWorkerError(ReproError, RuntimeError):
+    """A worker process failed a simulation job and reported the failure.
+
+    The process-pool tier (:mod:`repro.service.net.procpool`) runs
+    simulations in child processes; an exception raised there cannot always
+    be pickled back intact, so the worker ships ``(type name, message,
+    stable error code)`` and the parent re-raises this carrier.
+    :func:`classify_exception` forwards :attr:`error_code` verbatim, which
+    keeps the wire-visible code identical to an in-process failure.
+    """
+
+    def __init__(
+        self, message: str, *, error_code: str = "INTERNAL", remote_type: str = ""
+    ):
+        super().__init__(message)
+        self.error_code = str(error_code)
+        self.remote_type = str(remote_type)
+
+
 # --------------------------------------------------------------------- #
 # Stable error codes (the serving layer's retry contract)
 # --------------------------------------------------------------------- #
@@ -186,6 +205,8 @@ def classify_exception(exc: BaseException) -> Tuple[str, bool]:
     ``INTERNAL`` (permanent): an unknown failure is assumed deterministic,
     so blind retries do not amplify a bug into a retry storm.
     """
+    if isinstance(exc, RemoteWorkerError):
+        return exc.error_code, exc.error_code in RETRYABLE_ERROR_CODES
     for etype, code in _CODE_TABLE:
         if isinstance(exc, etype):
             return code, code in RETRYABLE_ERROR_CODES

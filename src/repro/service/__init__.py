@@ -32,9 +32,12 @@ Layers, bottom up:
   (the ``BENCH_chaos.json`` artifact).
 - :mod:`~repro.service.loadgen` — closed-loop benchmark behind
   ``repro loadgen`` (the ``BENCH_serving.json`` artifact).
+- :mod:`~repro.service.net` — the deployable tier: JSONL socket front end
+  (``repro serve --net``), process-pool workers with resident compiled
+  networks, and the fixpoint shard router for huge graphs.
 
 See ``docs/serving.md`` for the architecture, tuning, and failure-mode
-guide.
+guide (including the network protocol).
 """
 
 from repro.service.adapters import RequestPlan, execute_solo, plan_request
@@ -53,6 +56,7 @@ from repro.service.schema import (
     QueryStatus,
     fault_from_spec,
     request_from_dict,
+    request_to_dict,
 )
 from repro.service.server import QueryServer, QueryTicket
 
@@ -80,6 +84,7 @@ __all__ = [
     "generate_requests",
     "plan_request",
     "request_from_dict",
+    "request_to_dict",
     "results_equal",
     "run_chaos",
     "run_loadgen",

@@ -62,6 +62,14 @@ class RequestPlan:
     :meth:`~repro.service.server.QueryServer._dispatch_mutations` instead
     of the batched engine, and its group is offered *serial* so writes on
     one graph never run concurrently.
+
+    ``runner`` (when set) marks a *self-executing* plan — the sharded
+    fan-out path of :mod:`repro.service.net.shard`: instead of the shared
+    ``simulate_batch`` call, the dispatcher invokes
+    ``runner(process_pool)`` and builds the result from the decoded dict
+    it returns.  Runner plans never coalesce (their batch keys are
+    per-request) and are idempotent, so the supervisor's crash-requeue
+    semantics apply to them unchanged.
     """
 
     batch_key: Tuple
@@ -71,6 +79,7 @@ class RequestPlan:
     sim_kwargs: Dict[str, Any]
     decode: Callable[[List[SimulationResult]], Dict[str, Any]]
     mutation: bool = False
+    runner: Optional[Callable[[Any], Dict[str, Any]]] = None
 
     @property
     def n_items(self) -> int:

@@ -45,7 +45,7 @@ __all__ = ["ChaosPolicy", "InjectedWorkerCrash", "SCENARIOS", "run_chaos"]
 BENCH_SCHEMA = "repro.chaos.bench/v1"
 
 # Hash channels: one independent decision stream per fault type.
-_CH_CRASH, _CH_SLOW, _CH_STALL, _CH_SKEW = 1, 2, 3, 4
+_CH_CRASH, _CH_SLOW, _CH_STALL, _CH_SKEW, _CH_KILL = 1, 2, 3, 4, 5
 
 
 class InjectedWorkerCrash(BaseException):
@@ -75,6 +75,8 @@ class ChaosPolicy:
     additive skew (in ``[-amp, +amp]``) applied to the worker's latency
     timestamps only — results must survive a lying telemetry clock, but
     correctness-relevant decisions (deadlines, TTLs) keep the true clock.
+    ``kill``: when the server runs a process pool, the worker *process*
+    serving the batch is SIGKILLed mid-batch (see :meth:`kill_process`).
     """
 
     seed: int = 0
@@ -87,9 +89,11 @@ class ChaosPolicy:
     stall_p: float = 0.0
     stall_s: float = 0.02
     clock_skew_s: float = 0.0
+    kill_batches: Tuple[int, ...] = ()
+    kill_p: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("crash_p", "slow_p", "stall_p"):
+        for name in ("crash_p", "slow_p", "stall_p", "kill_p"):
             v = getattr(self, name)
             if not (0.0 <= v <= 1.0):
                 raise ValidationError(f"{name} must be in [0, 1], got {v}")
@@ -125,6 +129,19 @@ class ChaosPolicy:
             return self.stall_s
         return 0.0
 
+    def kill_process(self, seq: int) -> bool:
+        """Is the worker *process* serving batch ``seq`` SIGKILLed mid-batch?
+
+        Consumed by the dispatcher only when the server holds a process
+        pool: the pool's next :meth:`execute` SIGKILLs its checked-out
+        worker before shipping the batch, raising
+        :class:`~repro.service.net.procpool.WorkerProcessDied` — the
+        process-tier analogue of :meth:`crash`.
+        """
+        if seq in self.kill_batches:
+            return True
+        return self.kill_p > 0.0 and self._u(_CH_KILL, seq) < self.kill_p
+
     def skew_s(self, seq: int) -> float:
         """Telemetry-clock skew for batch ``seq``, in ``[-amp, +amp]``."""
         if self.clock_skew_s == 0.0:
@@ -140,6 +157,8 @@ class ChaosPolicy:
             or self.stall_batches
             or self.stall_p
             or self.clock_skew_s
+            or self.kill_batches
+            or self.kill_p
         )
 
 
@@ -182,6 +201,12 @@ SCENARIOS: Dict[str, Dict[str, Any]] = {
         "description": "±20 ms telemetry clock skew per batch",
         "workers": 2,
         "chaos": {"clock_skew_s": 0.02},
+    },
+    "worker-process-kill": {
+        "description": "SIGKILL 1 of 2 worker processes mid-batch (batch #2); zero losses",
+        "workers": 2,
+        "processes": 2,
+        "chaos": {"kill_batches": (2,)},
     },
 }
 
@@ -231,6 +256,15 @@ def run_chaos(
     graphs = dict(graphs) if graphs else _default_graphs()
     requests = generate_requests(graphs, n_requests, seed=seed)
 
+    # Scenarios with a "processes" count run the process-pool tier so the
+    # kill channel has real worker processes to SIGKILL.
+    n_processes = int(spec.get("processes", 0))
+    pool = None
+    if n_processes > 0:
+        from repro.service.net.procpool import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(workers=n_processes)
+
     server = QueryServer(
         workers=n_workers,
         max_batch=max_batch,
@@ -238,6 +272,7 @@ def run_chaos(
         queue_limit=65536,  # the harness measures recovery, not backpressure
         result_cache_size=0,  # every answer simulates: the differential oracle
         chaos=policy,
+        process_pool=pool,
         **server_kw,
     )
     for gid, g in graphs.items():
@@ -246,16 +281,21 @@ def run_chaos(
     t0 = time.monotonic()
     results: List[Optional[QueryResult]] = [None] * len(requests)
     lost = 0
-    with server:
-        tickets = [server.submit(req) for req in requests]
-        for i, ticket in enumerate(tickets):
-            try:
-                results[i] = ticket.result(result_timeout_s)
-            except TimeoutError:
-                lost += 1
-    wall_s = time.monotonic() - t0
+    try:
+        with server:
+            tickets = [server.submit(req) for req in requests]
+            for i, ticket in enumerate(tickets):
+                try:
+                    results[i] = ticket.result(result_timeout_s)
+                except TimeoutError:
+                    lost += 1
+        wall_s = time.monotonic() - t0
 
-    stats = server.stats()
+        stats = server.stats()
+        pool_stats = pool.stats() if pool is not None else None
+    finally:
+        if pool is not None:
+            pool.close()
     sup = stats["supervisor"]
     latencies = [r.queued_s + r.service_s for r in results if r is not None]
     n_ok = sum(1 for r in results if r is not None and r.ok)
@@ -283,6 +323,7 @@ def run_chaos(
         "config": {
             "n_requests": len(requests),
             "workers": n_workers,
+            "processes": n_processes,
             "max_batch": max_batch,
             "linger_s": linger_s,
             "seed": seed,
@@ -310,6 +351,8 @@ def run_chaos(
         },
         "equality": {"checked": bool(verify), "mismatches": mismatches},
     }
+    if pool_stats is not None:
+        report["process_pool"] = pool_stats
     return report
 
 

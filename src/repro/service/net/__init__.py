@@ -1,0 +1,70 @@
+"""Multi-process sharded serving with a real socket front end.
+
+The in-process serving layer (:mod:`repro.service.server`) batches and
+supervises queries behind a Python API.  This package turns it into a
+deployable service tier:
+
+- :mod:`repro.service.net.framing` — newline-delimited JSON wire framing
+  with a hard frame-size bound and structured ``INVALID`` error payloads.
+- :mod:`repro.service.net.server` — an asyncio socket front end feeding
+  the existing :class:`~repro.service.server.QueryServer` (request ids,
+  out-of-order responses, graceful drain on ``SIGTERM``).
+- :mod:`repro.service.net.client` — a blocking multiplexing client used
+  by ``repro loadgen --net`` and the differential tests.
+- :mod:`repro.service.net.procpool` — a spawn-based process-pool worker
+  tier holding resident compiled networks, with heartbeats and respawn so
+  the thread-level supervisor semantics carry over across process death.
+- :mod:`repro.service.net.shard` — contiguous vertex partitioning plus a
+  fixpoint shard router that fans one sssp/khop query out across shard
+  subnetworks and merges per-shard telemetry into one cost report.
+- :mod:`repro.service.net.bench` — socket loadgen and the thread-pool vs
+  process-pool vs sharded benchmark rows of ``BENCH_serving.json``.
+
+The whole package is fully type-annotated and part of the strict-mypy set.
+"""
+
+from repro.service.net.bench import (
+    NET_BENCH_SCHEMA,
+    run_net_loadgen,
+    run_pool_comparison,
+)
+from repro.service.net.client import NetClient, wait_for_port
+from repro.service.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    error_payload,
+)
+from repro.service.net.procpool import ProcessWorkerPool, WorkerProcessDied
+from repro.service.net.server import NetServer
+from repro.service.net.shard import (
+    ShardedGraph,
+    ShardQueryResult,
+    partition_graph,
+    plan_sharded_request,
+    sharded_khop,
+    sharded_sssp,
+)
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "NET_BENCH_SCHEMA",
+    "FrameError",
+    "NetClient",
+    "NetServer",
+    "ProcessWorkerPool",
+    "ShardQueryResult",
+    "ShardedGraph",
+    "WorkerProcessDied",
+    "encode_frame",
+    "error_payload",
+    "partition_graph",
+    "plan_sharded_request",
+    "run_net_loadgen",
+    "run_pool_comparison",
+    "sharded_khop",
+    "sharded_sssp",
+    "wait_for_port",
+]

@@ -1,0 +1,176 @@
+"""Blocking JSONL socket client with request-id multiplexing.
+
+One :class:`NetClient` owns one TCP connection.  A background reader
+thread decodes response frames and files them by ``request_id``, so any
+number of caller threads can :meth:`submit` requests and :meth:`result`
+them later — deep pipelining over a single connection, matching the
+server's out-of-order response writes.  Used by ``repro loadgen --net``,
+the differential tests, and anything else that wants to talk to a
+:class:`~repro.service.net.server.NetServer` without an event loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.service.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+__all__ = ["NetClient", "wait_for_port"]
+
+
+class NetClient:
+    """Blocking multiplexed client for the JSONL serving protocol."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout_s: float = 10.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection(
+            (host, int(port)), timeout=connect_timeout_s
+        )
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition(threading.Lock())
+        self._results: Dict[str, Dict[str, Any]] = {}
+        self._anonymous: List[Dict[str, Any]] = []
+        self._eof = False
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._seq = itertools.count()
+        self._reader = threading.Thread(
+            target=self._read_loop, name="net-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------ #
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                data = self._sock.recv(65536)
+                if not data:
+                    break
+                docs = self._decoder.feed(data)
+                with self._cond:
+                    for item in docs:
+                        if isinstance(item, FrameError):  # pragma: no cover
+                            self._anonymous.append(item.payload())
+                            continue
+                        rid = item.get("request_id")
+                        if isinstance(rid, str):
+                            self._results[rid] = item
+                        else:
+                            self._anonymous.append(item)
+                    self._cond.notify_all()
+        except OSError:
+            pass
+        finally:
+            with self._cond:
+                self._eof = True
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, doc: Dict[str, Any]) -> str:
+        """Send one request frame; returns its (possibly assigned) id."""
+        doc = dict(doc)
+        rid = doc.get("request_id")
+        if not isinstance(rid, str) or not rid:
+            rid = f"c{next(self._seq)}"
+            doc["request_id"] = rid
+        data = encode_frame(doc)
+        with self._send_lock:
+            self._sock.sendall(data)
+        return rid
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (framing-edge-case tests: partial/oversized)."""
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def result(self, request_id: str, *, timeout_s: float = 60.0) -> Dict[str, Any]:
+        """Block until the response for ``request_id`` arrives."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while request_id not in self._results:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no response for {request_id!r} within {timeout_s}s"
+                    )
+                if self._eof and request_id not in self._results:
+                    raise ConnectionError(
+                        f"connection closed before {request_id!r} was answered"
+                    )
+                self._cond.wait(min(remaining, 0.25))
+            return self._results.pop(request_id)
+
+    def call(self, doc: Dict[str, Any], *, timeout_s: float = 60.0) -> Dict[str, Any]:
+        """Submit one request and block for its response."""
+        return self.result(self.submit(doc), timeout_s=timeout_s)
+
+    def pop_anonymous(self, *, timeout_s: float = 10.0) -> Dict[str, Any]:
+        """Next response without a usable ``request_id`` (frame errors)."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while not self._anonymous:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no anonymous response within {timeout_s}s"
+                    )
+                self._cond.wait(min(remaining, 0.25))
+            return self._anonymous.pop(0)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._eof
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def wait_for_port(
+    host: str, port: int, *, timeout_s: float = 30.0
+) -> None:
+    """Poll until a TCP listener answers (subprocess-startup helper)."""
+    deadline = time.monotonic() + timeout_s
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, int(port)), timeout=1.0):
+                return
+        except OSError as exc:
+            last = exc
+            time.sleep(0.1)
+    raise ValidationError(
+        f"no listener on {host}:{port} within {timeout_s}s ({last})"
+    )

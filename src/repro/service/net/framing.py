@@ -1,0 +1,159 @@
+"""Newline-delimited JSON wire framing for the socket serving front end.
+
+One request or response per line, UTF-8, ``\\n``-terminated.  The framing
+layer is deliberately dumb: it splits the byte stream into frames, bounds
+frame size, and turns malformed input into *structured* error values
+(:class:`FrameError`) instead of exceptions, so a hostile or buggy client
+can never crash a reader task.  Error payloads reuse the stable error-code
+taxonomy of :mod:`repro.errors` (malformed frames are always ``INVALID``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ValidationError, classify_exception
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+    "error_payload",
+]
+
+#: Default hard bound on one frame (1 MiB).  A request document is a few
+#: hundred bytes; anything near the bound is a protocol violation, not a
+#: big query.
+DEFAULT_MAX_FRAME_BYTES: int = 1 << 20
+
+
+def encode_frame(doc: Dict[str, Any]) -> bytes:
+    """Serialize one document as a compact, key-sorted JSONL frame.
+
+    Key-sorted so that byte-identical results encode to byte-identical
+    frames — the differential tests compare raw wire bytes.
+    """
+    return json.dumps(doc, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def error_payload(
+    exc: BaseException, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """Structured error response for ``exc``, reusing the stable taxonomy."""
+    code, retryable = classify_exception(exc)
+    doc: Dict[str, Any] = {
+        "status": "error",
+        "request_id": request_id,
+        "error_code": code,
+        "error": str(exc),
+        "error_type": type(exc).__name__,
+        "retryable": retryable,
+    }
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        doc["retry_after_s"] = float(retry_after)
+    return doc
+
+
+@dataclass(frozen=True)
+class FrameError:
+    """A malformed inbound frame, reported without killing the connection.
+
+    ``request_id`` is best-effort: it is only present when the frame parsed
+    far enough to recover one (it never does today, but the field keeps the
+    response shape uniform with :func:`error_payload`).
+    """
+
+    message: str
+    request_id: Optional[str] = None
+    code: str = "INVALID"
+
+    def payload(self) -> Dict[str, Any]:
+        """The structured error document written back to the client."""
+        return {
+            "status": "error",
+            "request_id": self.request_id,
+            "error_code": self.code,
+            "error": self.message,
+            "error_type": "FrameError",
+            "retryable": False,
+        }
+
+
+class FrameDecoder:
+    """Incremental JSONL decoder with a hard per-frame size bound.
+
+    Feed it raw socket reads; it buffers partial lines across calls and
+    yields, in arrival order, either parsed ``dict`` documents or
+    :class:`FrameError` values for malformed input (bad JSON, non-object
+    frames, oversized frames).  An oversized frame is reported exactly once
+    and the remainder of that line is discarded, so the decoder resyncs on
+    the next newline instead of poisoning the connection.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 2:
+            raise ValidationError(
+                f"max_frame_bytes must be >= 2, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buf = bytearray()
+        self._discarding = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a newline (0 when between frames)."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Union[Dict[str, Any], FrameError]]:
+        """Consume ``data``; return every complete frame it finished."""
+        out: List[Union[Dict[str, Any], FrameError]] = []
+        self._buf += data
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx < 0:
+                if self._discarding:
+                    self._buf.clear()
+                elif len(self._buf) > self.max_frame_bytes:
+                    out.append(
+                        FrameError(
+                            "frame exceeds max_frame_bytes="
+                            f"{self.max_frame_bytes}"
+                        )
+                    )
+                    self._discarding = True
+                    self._buf.clear()
+                break
+            line = bytes(self._buf[:idx])
+            del self._buf[: idx + 1]
+            if self._discarding:
+                # tail of an oversized frame whose error was already emitted
+                self._discarding = False
+                continue
+            if not line.strip():
+                continue
+            if len(line) > self.max_frame_bytes:
+                out.append(
+                    FrameError(
+                        f"frame of {len(line)} bytes exceeds "
+                        f"max_frame_bytes={self.max_frame_bytes}"
+                    )
+                )
+                continue
+            out.append(self._parse(line))
+        return out
+
+    @staticmethod
+    def _parse(line: bytes) -> Union[Dict[str, Any], FrameError]:
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return FrameError(f"malformed JSON frame: {exc}")
+        if not isinstance(doc, dict):
+            return FrameError(
+                f"frame must be a JSON object, got {type(doc).__name__}"
+            )
+        return doc

@@ -1,0 +1,465 @@
+"""Spawn-based process-pool worker tier with resident compiled networks.
+
+The thread workers of :class:`repro.service.server.QueryServer` are
+GIL-bound: a CPU-heavy batch on one thread stalls every other.  This module
+adds a tier of **worker processes** beneath them — each dispatcher thread
+checks a process out of the pool, ships it a coalesced batch over a pipe,
+and blocks (GIL released) until the results come back.  Worker processes
+hold *resident* compiled networks keyed by the batch's structure-derived
+key, so a hot graph crosses the pipe once and every later batch sends only
+stimuli.
+
+Crash semantics are the load-bearing part.  A worker process that dies (or
+hangs past ``exec_timeout_s``) mid-job is respawned and the in-flight job
+surfaces as :class:`WorkerProcessDied` — deliberately a ``BaseException``
+subclass so it escapes the dispatch path's ``except Exception`` batch
+guard, kills the owning dispatcher *thread*, and thereby hands recovery to
+the existing thread-level supervisor: crash detection, backoff restart, and
+exactly-once ticket requeue all carry over across process death unchanged.
+Idle-process death is caught by :meth:`ProcessWorkerPool.heartbeat`, which
+the supervisor drives on its cadence.
+
+The pool uses the ``spawn`` start method (fork is unsafe under the
+server's threads) with a module-level entry point, so it works from any
+parent — CLI, pytest, or an embedding application.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import Any, Dict, List, NoReturn, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.cache import default_build_cache
+from repro.core.network import CompiledNetwork, Network
+from repro.core.result import SimulationResult
+from repro.core.run import simulate_batch
+from repro.errors import RemoteWorkerError, ValidationError, classify_exception
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+__all__ = ["ExecJob", "ProcessWorkerPool", "WorkerProcessDied"]
+
+#: A network-identity key: the structure-derived prefix of a batch key.
+NetKey = Tuple[Any, ...]
+
+#: One remote simulation job: ``(results, raw metrics)`` comes back.
+ExecJob = Dict[str, Any]
+
+
+class WorkerProcessDied(BaseException):
+    """A worker process died or hung past its deadline mid-job.
+
+    Deliberately a ``BaseException`` subclass (mirroring the chaos
+    harness's ``InjectedWorkerCrash``): it must bypass the serving layer's
+    per-batch ``except Exception`` guard so that process death is handled
+    by the supervisor's crash path — dispatcher-thread restart plus
+    idempotent ticket requeue — rather than answered as a per-ticket
+    error.  The pool has already respawned the process by the time this
+    propagates.
+    """
+
+    def __init__(self, message: str, *, pid: Optional[int] = None):
+        super().__init__(message)
+        self.pid = pid
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker-process entry point (module-level: ``spawn`` re-imports it).
+
+    Serves a strict request/reply loop over ``conn``; replies are sent in
+    request order, which is what lets the parent use fire-and-forget
+    messages (seeds, pings) with deferred ack draining.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    resident: Dict[NetKey, CompiledNetwork] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        op = str(msg[0])
+        if op == "stop":
+            try:
+                conn.send(("ok", "bye"))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass
+            return
+        if op == "ping":
+            conn.send(("pong", msg[1], os.getpid(), len(resident)))
+            continue
+        if op == "seed":
+            try:
+                count = default_build_cache.seed_entries(list(msg[1]))
+                conn.send(("ok", count))
+            except Exception as exc:
+                code, _ = classify_exception(exc)
+                conn.send(("err", (type(exc).__name__, str(exc), code)))
+            continue
+        if op == "exec":
+            conn.send(_execute_job(resident, msg[1]))
+            continue
+        conn.send(("err", ("ValidationError", f"unknown op {op!r}", "INVALID")))
+
+
+def _execute_job(
+    resident: Dict[NetKey, CompiledNetwork], job: ExecJob
+) -> Tuple[str, Any]:
+    """Run one simulation batch; never raises (errors travel as tuples)."""
+    try:
+        key: NetKey = tuple(job["net_key"])
+        shipped = job.get("net")
+        if shipped is not None:
+            resident[key] = (
+                shipped.compile() if isinstance(shipped, Network) else shipped
+            )
+        network = resident.get(key)
+        if network is None:
+            raise ValidationError(f"no resident network for key {key!r}")
+        reg = MetricsRegistry("procpool-worker")
+        with use_registry(reg):
+            results = simulate_batch(
+                network,
+                job["stimuli"],
+                faults=job.get("faults"),
+                **job["sim_kwargs"],
+            )
+        reg.counter_inc("service.proc.batches", 1)
+        return ("ok", (results, reg.export_raw()))
+    except Exception as exc:
+        code, _ = classify_exception(exc)
+        return ("err", (type(exc).__name__, str(exc), code))
+
+
+class _Worker:
+    """Parent-side handle for one worker process (guarded by the pool lock)."""
+
+    __slots__ = ("proc", "conn", "resident", "busy", "pending_acks")
+
+    def __init__(self, proc: BaseProcess, conn: Connection):
+        self.proc = proc
+        self.conn = conn
+        self.resident: Set[NetKey] = set()
+        self.busy = False
+        self.pending_acks = 0
+
+
+class ProcessWorkerPool:
+    """Fixed-size pool of spawn-started simulation worker processes.
+
+    Thread-safe: the serving layer's dispatcher threads concurrently check
+    workers out (:meth:`execute` blocks while all are busy), and the
+    supervisor thread drives :meth:`heartbeat`.  A checked-out worker is
+    owned exclusively by one thread, so each pipe ever has one reader.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        exec_timeout_s: float = 120.0,
+        heartbeat_interval_s: float = 1.0,
+    ):
+        if workers < 1:
+            raise ValidationError(f"pool needs >= 1 worker, got {workers}")
+        self.size = int(workers)
+        self.exec_timeout_s = float(exec_timeout_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self._ctx = get_context("spawn")
+        self._cond = threading.Condition(threading.Lock())
+        self._closed = False
+        self._kill_next = False
+        self._seeds: List[Tuple[Any, Any]] = []
+        self._last_heartbeat = 0.0
+        self.restarts = 0
+        self.jobs = 0
+        self.kills = 0
+        self._workers: List[_Worker] = [self._spawn() for _ in range(self.size)]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        if self._seeds:
+            try:
+                worker.conn.send(("seed", list(self._seeds)))
+                worker.pending_acks += 1
+            except (OSError, BrokenPipeError):  # pragma: no cover - spawn race
+                pass
+        return worker
+
+    def prewarm(self, entries: Sequence[Tuple[Any, Any]]) -> None:
+        """Seed every worker's build cache with picklable ``(key, value)``
+        entries (compiled-network handoff); replayed into respawns too."""
+        picklable = [(tuple(k), v) for k, v in entries]
+        with self._cond:
+            self._seeds.extend(picklable)
+            for worker in self._workers:
+                if worker.busy:
+                    continue
+                try:
+                    worker.conn.send(("seed", picklable))
+                    worker.pending_acks += 1
+                except (OSError, BrokenPipeError):
+                    continue
+
+    def close(self) -> None:
+        """Stop every worker process (politely, then forcefully)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            self._cond.notify_all()
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in workers:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+
+    def heartbeat(self, *, force: bool = False) -> None:
+        """Probe idle workers; respawn any that died while unattended.
+
+        Called by the serving layer's supervisor thread on its cadence
+        (rate-limited here to ``heartbeat_interval_s``).  Busy workers are
+        not probed — their owning dispatcher thread detects death through
+        the in-flight job itself.
+        """
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                return
+            if not force and now - self._last_heartbeat < self.heartbeat_interval_s:
+                return
+            self._last_heartbeat = now
+            for idx, worker in enumerate(self._workers):
+                if worker.busy:
+                    continue
+                if not worker.proc.is_alive():
+                    self._respawn_locked(idx)
+                    continue
+                try:
+                    worker.conn.send(("ping", self.jobs))
+                    worker.pending_acks += 1
+                except (OSError, BrokenPipeError):
+                    self._respawn_locked(idx)
+
+    def chaos_kill_next(self) -> None:
+        """Arm the chaos hook: SIGKILL the worker serving the next job."""
+        with self._cond:
+            self._kill_next = True
+
+    def _respawn_locked(self, idx: int) -> None:
+        old = self._workers[idx]
+        if old.proc.is_alive():  # pragma: no cover - defensive
+            old.proc.kill()
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._closed:
+            return
+        self._workers[idx] = self._spawn()
+        self.restarts += 1
+        self._cond.notify_all()
+
+    def _fail_worker(self, idx: int, worker: _Worker, reason: str) -> NoReturn:
+        """Respawn a dead/hung checked-out worker and surface the crash."""
+        pid = worker.proc.pid
+        with self._cond:
+            if self._workers[idx] is worker:
+                self._respawn_locked(idx)
+        raise WorkerProcessDied(
+            f"worker process {pid} died mid-job: {reason}", pid=pid
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _checkout(self) -> Tuple[int, _Worker]:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ValidationError("process pool is closed")
+                for idx, worker in enumerate(self._workers):
+                    if worker.busy:
+                        continue
+                    if not worker.proc.is_alive():
+                        self._respawn_locked(idx)
+                        worker = self._workers[idx]
+                    worker.busy = True
+                    return idx, worker
+                self._cond.wait(0.25)
+
+    def _checkin(self, idx: int, worker: _Worker) -> None:
+        with self._cond:
+            if self._workers[idx] is worker:
+                worker.busy = False
+                self._cond.notify_all()
+
+    def _recv_reply(self, idx: int, worker: _Worker) -> Tuple[str, Any]:
+        deadline = time.monotonic() + self.exec_timeout_s
+        drained = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._fail_worker(
+                    idx, worker, f"no reply within {self.exec_timeout_s}s"
+                )
+            try:
+                if not worker.conn.poll(min(remaining, 0.25)):
+                    continue
+                reply = worker.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self._fail_worker(idx, worker, f"pipe closed ({type(exc).__name__})")
+            if worker.pending_acks > drained:
+                drained += 1  # stale ack from a seed/ping fire-and-forget
+                continue
+            worker.pending_acks -= drained
+            return (str(reply[0]), reply[1])
+
+    def execute(
+        self,
+        net_key: NetKey,
+        network: Union[Network, CompiledNetwork],
+        stimuli: Sequence[Any],
+        faults: Any,
+        sim_kwargs: Dict[str, Any],
+        *,
+        kill_mid_batch: bool = False,
+    ) -> Tuple[List[SimulationResult], Dict[str, object]]:
+        """Run one batch on some worker process; returns results + metrics.
+
+        Ships the compiled network only when the chosen worker does not
+        already hold ``net_key`` resident.  Raises
+        :class:`~repro.errors.RemoteWorkerError` for failures *inside* the
+        simulation (classified, per-ticket) and :class:`WorkerProcessDied`
+        when the process itself is lost (supervisor-level recovery).
+        """
+        with self._cond:
+            if self._kill_next:
+                self._kill_next = False
+                kill_mid_batch = True
+        idx, worker = self._checkout()
+        try:
+            shipped: Optional[CompiledNetwork] = None
+            if net_key not in worker.resident:
+                shipped = (
+                    network.compile() if isinstance(network, Network) else network
+                )
+            job: ExecJob = {
+                "net_key": net_key,
+                "net": shipped,
+                "stimuli": list(stimuli),
+                "faults": faults,
+                "sim_kwargs": dict(sim_kwargs),
+            }
+            if kill_mid_batch and worker.proc.pid is not None:
+                self.kills += 1
+                os.kill(worker.proc.pid, signal.SIGKILL)
+                worker.proc.join(timeout=5.0)
+            try:
+                worker.conn.send(("exec", job))
+            except (OSError, BrokenPipeError, ValueError) as exc:
+                self._fail_worker(idx, worker, f"send failed ({type(exc).__name__})")
+            status, payload = self._recv_reply(idx, worker)
+            if status == "err":
+                remote_type, message, code = payload
+                raise RemoteWorkerError(
+                    f"worker pid={worker.proc.pid} {remote_type}: {message}",
+                    error_code=str(code),
+                    remote_type=str(remote_type),
+                )
+            if shipped is not None:
+                worker.resident.add(net_key)
+            with self._cond:
+                self.jobs += 1
+            results, raw_metrics = payload
+            return list(results), dict(raw_metrics)
+        finally:
+            self._checkin(idx, worker)
+
+    def execute_many(
+        self, jobs: Sequence[ExecJob]
+    ) -> List[Tuple[List[SimulationResult], Dict[str, object]]]:
+        """Fan a list of jobs out across the pool; results in job order.
+
+        Used by the shard router: each round's per-shard runs are
+        independent, so they ride separate worker processes concurrently.
+        The first failure (including :class:`WorkerProcessDied`) is
+        re-raised after all threads join.
+        """
+        if len(jobs) <= 1 or self.size == 1:
+            return [self.execute(**job) for job in jobs]
+        results: List[Optional[Tuple[List[SimulationResult], Dict[str, object]]]] = [
+            None
+        ] * len(jobs)
+        failures: List[BaseException] = []
+
+        def _run(i: int, job: ExecJob) -> None:
+            try:
+                results[i] = self.execute(**job)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=_run, args=(i, job), daemon=True)
+            for i, job in enumerate(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            raise failures[0]
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        with self._cond:
+            alive = sum(1 for w in self._workers if w.proc.is_alive())
+            return {
+                "workers": self.size,
+                "alive": alive,
+                "restarts": self.restarts,
+                "jobs": self.jobs,
+                "kills": self.kills,
+                "resident_networks": sum(len(w.resident) for w in self._workers),
+                "pids": [w.proc.pid for w in self._workers],
+            }

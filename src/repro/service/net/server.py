@@ -1,0 +1,282 @@
+"""Asyncio JSONL socket front end over :class:`~repro.service.server.QueryServer`.
+
+One TCP connection carries many concurrent requests: each inbound frame is
+a request document (see :func:`repro.service.schema.request_from_dict`),
+each outbound frame a result or structured error document keyed by
+``request_id``.  Responses are written **as they complete** — out of order
+relative to submission — which is what lets one connection pipeline deeply
+enough to fill the coalescing window.
+
+The event loop never blocks on a query: frames are parsed on the loop,
+then handed to a bounded thread-pool executor that performs the blocking
+``submit``/``ticket.result`` dance against the in-process
+:class:`~repro.service.server.QueryServer` (whose own dispatcher threads —
+and optionally the process-pool tier beneath them — do the simulation
+work).  Malformed frames become :class:`~repro.service.net.framing.FrameError`
+payloads; a client that disconnects mid-request costs nothing — its
+tickets still settle in the query server (exactly-once, no leak) and only
+the response writes are suppressed.
+
+Graceful drain: on ``SIGTERM``/``SIGINT`` (or :meth:`NetServer.shutdown`)
+the listener closes, frames still arriving on open connections are
+rejected with a structured ``SHUTDOWN`` error, in-flight requests are
+answered, and only then does the query server stop.  :meth:`NetServer.run`
+returns the delivering signal number so CLI wrappers can honor the
+``128 + signum`` exit-code contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set
+
+from repro.service.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    error_payload,
+)
+from repro.service.schema import request_from_dict
+from repro.service.server import QueryServer
+
+__all__ = ["NetServer"]
+
+
+class NetServer:
+    """Socket front end feeding an (already started) :class:`QueryServer`.
+
+    Parameters
+    ----------
+    server:
+        The query server that owns batching, supervision, caching, and the
+        optional process-pool/shard tiers.  The net server does not start
+        or stop it except during :meth:`shutdown` (``stop_server=True``).
+    host, port:
+        Bind address; ``port=0`` picks a free port (read :attr:`port`
+        after :meth:`start`).
+    executor_threads:
+        Concurrency bound on blocking submit/await work; effectively the
+        per-server in-flight request window.
+    result_timeout_s:
+        Upper bound one request may spend queued + in service before the
+        front end answers with a ``TIMEOUT`` error.
+    """
+
+    def __init__(
+        self,
+        server: QueryServer,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        executor_threads: int = 32,
+        result_timeout_s: float = 300.0,
+        drain_timeout_s: float = 30.0,
+    ):
+        self.server = server
+        self.host = host
+        self.port = int(port)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.result_timeout_s = float(result_timeout_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(executor_threads), thread_name_prefix="net-serve"
+        )
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._inflight: Set["asyncio.Task[None]"] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._signum = 0
+        self.frames_in = 0
+        self.frame_errors = 0
+        self.responses = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._listener is not None:
+            return
+        self._listener = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        sockets = self._listener.sockets or []
+        for sock in sockets:
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                self.port = int(sock.getsockname()[1])
+                break
+
+    async def run(self, *, install_signal_handlers: bool = True) -> int:
+        """Serve until a signal (or :meth:`request_shutdown`); returns the
+        delivering signal number (0 for a programmatic shutdown)."""
+        await self.start()
+        self._stop_event = asyncio.Event()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, self._on_signal, sig)
+        await self._stop_event.wait()
+        await self.shutdown()
+        return self._signum
+
+    def _on_signal(self, signum: int) -> None:
+        self._signum = int(signum)
+        self._stop_event.set()
+
+    def request_shutdown(self) -> None:
+        """Programmatic equivalent of a signal (usable cross-thread via
+        ``loop.call_soon_threadsafe``)."""
+        event = getattr(self, "_stop_event", None)
+        if event is not None:
+            event.set()
+
+    async def shutdown(self, *, stop_server: bool = True) -> None:
+        """Graceful drain: refuse new work, answer in-flight, then stop."""
+        self._draining = True
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        if self._inflight:
+            await asyncio.wait(
+                set(self._inflight), timeout=self.drain_timeout_s
+            )
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(set(self._conn_tasks), timeout=5.0)
+        if stop_server:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.server.stop)
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    # Per-connection protocol
+    # ------------------------------------------------------------------ #
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        decoder = FrameDecoder(self.max_frame_bytes)
+        write_lock = asyncio.Lock()
+        conn_inflight: Set["asyncio.Task[None]"] = set()
+        try:
+            while True:
+                try:
+                    data = await reader.read(65536)
+                except (ConnectionResetError, OSError):
+                    break
+                if not data:
+                    break
+                for item in decoder.feed(data):
+                    self.frames_in += 1
+                    if isinstance(item, FrameError):
+                        self.frame_errors += 1
+                        await self._write(writer, write_lock, item.payload())
+                        continue
+                    if self._draining:
+                        await self._write(
+                            writer, write_lock, _shutdown_payload(item)
+                        )
+                        continue
+                    serve = asyncio.ensure_future(
+                        self._serve_one(item, writer, write_lock)
+                    )
+                    conn_inflight.add(serve)
+                    self._inflight.add(serve)
+                    serve.add_done_callback(conn_inflight.discard)
+                    serve.add_done_callback(self._inflight.discard)
+        finally:
+            # Mid-request disconnect: the tickets settle regardless (the
+            # query server owns them); only response writes are dropped.
+            if conn_inflight:
+                await asyncio.gather(*conn_inflight, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_one(
+        self,
+        doc: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, self._execute_blocking, doc
+            )
+        except Exception as exc:  # defensive: _execute_blocking shields
+            payload = error_payload(exc, _request_id_of(doc))
+        await self._write(writer, write_lock, payload)
+
+    def _execute_blocking(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit + await one request on an executor thread; never raises."""
+        rid = _request_id_of(doc)
+        try:
+            request = request_from_dict(doc)
+            ticket = self.server.submit(request)
+            result = ticket.result(timeout=self.result_timeout_s)
+            return result.to_dict()
+        except Exception as exc:
+            return error_payload(exc, rid)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Dict[str, Any],
+    ) -> None:
+        frame = encode_frame(payload)
+        async with write_lock:
+            try:
+                writer.write(frame)
+                await writer.drain()
+                self.responses += 1
+            except (ConnectionResetError, BrokenPipeError, RuntimeError, OSError):
+                pass  # peer is gone; the ticket already settled
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "frames_in": self.frames_in,
+            "frame_errors": self.frame_errors,
+            "responses": self.responses,
+            "inflight": len(self._inflight),
+            "connections": len(self._writers),
+            "draining": self._draining,
+        }
+
+
+def _request_id_of(doc: Dict[str, Any]) -> Optional[str]:
+    rid = doc.get("request_id")
+    return str(rid) if rid is not None else None
+
+
+def _shutdown_payload(doc: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "status": "error",
+        "request_id": _request_id_of(doc),
+        "error_code": "SHUTDOWN",
+        "error": "server is draining; connection will close",
+        "error_type": "ShutdownError",
+        "retryable": False,
+    }

@@ -1,0 +1,409 @@
+"""Graph sharding: partition a huge graph and route one query across shards.
+
+A graph too large (or too hot) for one worker is split into ``K`` shards of
+contiguous vertex ranges.  Each shard compiles its *local* subgraph into
+the usual Section-3 delay-encoded network; edges crossing a shard boundary
+are kept aside as relaxation lists.  A single sssp/khop query then runs as
+a **fixpoint over shard-local spiking runs**: every round re-stimulates the
+dirty shards with their currently-known tentative distances as *spike-time
+offsets* (the stimulus mapping form ``{tick: [neuron ids]}``), reads first
+spikes back as candidate distances, and relaxes the cross edges — exactly
+Bellman-Ford at shard granularity, with the intra-shard work done by the
+SNN.  Offsets make the merge exact: a neuron's first spike in round ``r``
+is ``min over seeds (dist[seed] + local distance)``, so tentative values
+only ever decrease toward the true distance, and the loop terminates after
+at most one round per boundary crossing on a shortest path.
+
+Per-shard runs can fan out across the process pool
+(:class:`~repro.service.net.procpool.ProcessWorkerPool`); their telemetry
+registries and model costs are merged into one
+:class:`~repro.core.cost.CostReport` so a sharded query reports the same
+shape of accounting as a solo one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostReport
+from repro.core.network import CompiledNetwork
+from repro.core.result import SimulationResult
+from repro.core.run import simulate
+from repro.errors import ValidationError
+from repro.service.net.procpool import ExecJob, ProcessWorkerPool
+from repro.telemetry.metrics import counter_inc, merge_raw_into_active
+from repro.workloads.graph import WeightedDigraph
+
+if TYPE_CHECKING:  # lazy at runtime: adapters is imported by the server
+    from repro.service.adapters import RequestPlan
+    from repro.service.schema import QueryRequest
+
+__all__ = [
+    "Shard",
+    "ShardedGraph",
+    "ShardQueryResult",
+    "partition_graph",
+    "plan_sharded_request",
+    "sharded_khop",
+    "sharded_sssp",
+]
+
+#: Tentative-distance infinity; far above any true distance (``n * U``)
+#: yet safely below int64 overflow when an edge weight is added.
+_INF: int = 1 << 62
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous vertex range with its local subgraph and cross edges.
+
+    ``cross_src`` holds *local* source ids, ``cross_dst`` *global* target
+    ids — a cross edge is relaxed in the parent against the global
+    tentative-distance array, never simulated.
+    """
+
+    index: int
+    base: int
+    graph: WeightedDigraph
+    cross_src: np.ndarray
+    cross_dst: np.ndarray
+    cross_w: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+
+@dataclass(frozen=True)
+class ShardedGraph:
+    """A graph partitioned into ``k`` contiguous vertex-range shards."""
+
+    graph: WeightedDigraph
+    shards: Tuple[Shard, ...]
+    shard_size: int
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def k(self) -> int:
+        return len(self.shards)
+
+    @property
+    def cross_edges(self) -> int:
+        return int(sum(s.cross_dst.size for s in self.shards))
+
+    def shard_of(self, v: int) -> int:
+        return min(int(v) // self.shard_size, self.k - 1)
+
+
+@dataclass(frozen=True)
+class ShardQueryResult:
+    """Merged outcome of one sharded query: exact distances + one report."""
+
+    dist: np.ndarray
+    cost: CostReport
+    rounds: int
+    local_runs: int
+
+
+def partition_graph(graph: WeightedDigraph, k: int) -> ShardedGraph:
+    """Split ``graph`` into ``k`` shards of contiguous vertex ranges."""
+    if k < 1:
+        raise ValidationError(f"shard count must be >= 1, got {k}")
+    if graph.n == 0:
+        raise ValidationError("cannot shard an empty graph")
+    if k > graph.n:
+        raise ValidationError(
+            f"shard count {k} exceeds vertex count {graph.n}"
+        )
+    size = -(-graph.n // k)  # ceil division
+    tails = graph.tails
+    heads = graph.heads
+    lengths = graph.lengths
+    src_shard = np.minimum(tails // size, k - 1)
+    dst_shard = np.minimum(heads // size, k - 1)
+    shards: List[Shard] = []
+    for s in range(k):
+        base = s * size
+        hi = min(base + size, graph.n)
+        mine = src_shard == s
+        local = mine & (dst_shard == s)
+        cross = mine & (dst_shard != s)
+        shards.append(
+            Shard(
+                index=s,
+                base=base,
+                graph=WeightedDigraph.from_arrays(
+                    hi - base,
+                    tails[local] - base,
+                    heads[local] - base,
+                    lengths[local],
+                ),
+                cross_src=np.ascontiguousarray(tails[cross] - base),
+                cross_dst=np.ascontiguousarray(heads[cross]),
+                cross_w=np.ascontiguousarray(lengths[cross]),
+            )
+        )
+    return ShardedGraph(graph=graph, shards=tuple(shards), shard_size=size)
+
+
+def _shard_networks(
+    sharded: ShardedGraph, kind: str
+) -> List[Tuple[Any, List[int]]]:
+    """(network, node_ids) per shard, via the shared build cache."""
+    from repro.algorithms.reach import khop_reach_network
+    from repro.algorithms.sssp_pseudo import sssp_network
+
+    if kind == "sssp":
+        return [sssp_network(s.graph, use_gadgets=False) for s in sharded.shards]
+    return [khop_reach_network(s.graph) for s in sharded.shards]
+
+
+def _run_local(
+    pool: Optional[ProcessWorkerPool],
+    jobs: List[ExecJob],
+) -> List[SimulationResult]:
+    """One fixpoint round's shard-local runs (pool fan-out or in-process)."""
+    if pool is not None:
+        out: List[SimulationResult] = []
+        for results, raw in pool.execute_many(jobs):
+            merge_raw_into_active(raw)
+            out.extend(results)
+        return out
+    solo: List[SimulationResult] = []
+    for job in jobs:
+        net = job["network"]
+        (stimulus,) = job["stimuli"]
+        solo.append(simulate(net, stimulus, **job["sim_kwargs"]))
+    return solo
+
+
+def _fixpoint(
+    sharded: ShardedGraph,
+    source: int,
+    *,
+    kind: str,
+    max_steps: int,
+    engine: str,
+    hop_limit: Optional[int],
+    pool: Optional[ProcessWorkerPool],
+) -> ShardQueryResult:
+    """Bellman-Ford at shard granularity with SNN shard-local relaxation."""
+    n = sharded.n
+    if not (0 <= source < n):
+        raise ValidationError(f"source {source} out of range for n={n}")
+    nets = _shard_networks(sharded, kind)
+    dist = np.full(n, _INF, dtype=np.int64)
+    dist[source] = 0
+    dirty: Set[int] = {sharded.shard_of(source)}
+    rounds = 0
+    local_runs = 0
+    spike_count = 0
+    while dirty:
+        rounds += 1
+        run_order = sorted(dirty)
+        jobs: List[ExecJob] = []
+        ran: List[int] = []
+        for s in run_order:
+            shard = sharded.shards[s]
+            net, node_ids = nets[s]
+            seg = dist[shard.base : shard.base + shard.n]
+            seeded = np.nonzero(
+                (seg < _INF) if hop_limit is None else (seg < hop_limit)
+            )[0]
+            if seeded.size == 0:
+                continue
+            stimulus: Dict[int, List[int]] = {}
+            for local_v in seeded:
+                stimulus.setdefault(int(seg[local_v]), []).append(
+                    int(node_ids[int(local_v)])
+                )
+            compiled: CompiledNetwork = net.compile()
+            jobs.append(
+                {
+                    # structure-keyed, not (k, s)-keyed: two sharded graphs
+                    # sharing a pool must never collide on a resident slot
+                    "net_key": ("shard", kind, shard.graph.structure_key()),
+                    "network": compiled,
+                    "stimuli": [stimulus],
+                    "faults": None,
+                    "sim_kwargs": {
+                        "max_steps": max_steps,
+                        "engine": engine,
+                        "stop_when_quiescent": True,
+                    },
+                }
+            )
+            ran.append(s)
+        results = _run_local(pool, jobs)
+        local_runs += len(results)
+        for s, res in zip(ran, results):
+            shard = sharded.shards[s]
+            _net, node_ids = nets[s]
+            first = res.first_spike[np.asarray(node_ids, dtype=np.int64)]
+            cand = np.where(first >= 0, first, _INF)
+            seg = dist[shard.base : shard.base + shard.n]
+            np.minimum(seg, cand, out=seg)
+            spike_count += res.total_spikes
+        # relax every cross edge against the updated tentative distances
+        next_dirty: Set[int] = set()
+        for shard in sharded.shards:
+            if shard.cross_dst.size == 0:
+                continue
+            du = dist[shard.base + shard.cross_src]
+            weight = (
+                shard.cross_w
+                if hop_limit is None
+                else np.ones_like(shard.cross_w)
+            )
+            cand = np.where(du < _INF, du + weight, _INF)
+            if hop_limit is not None:
+                cand = np.where(cand <= hop_limit, cand, _INF)
+            better = cand < dist[shard.cross_dst]
+            if not bool(better.any()):
+                continue
+            targets = shard.cross_dst[better]
+            np.minimum.at(dist, targets, cand[better])
+            for t in np.unique(
+                np.minimum(targets // sharded.shard_size, sharded.k - 1)
+            ):
+                next_dirty.add(int(t))
+        dirty = next_dirty
+    counter_inc("shard.queries", 1)
+    counter_inc("shard.rounds", rounds)
+    counter_inc("shard.local_runs", local_runs)
+    reached = dist[dist < _INF]
+    out = np.where(dist < _INF, dist, -1).astype(np.int64)
+    neuron_count = sum(net.compile().n_neurons for net, _ids in nets)
+    synapse_count = sum(net.compile().n_synapses for net, _ids in nets)
+    cost = CostReport(
+        algorithm=f"sharded_{kind}",
+        simulated_ticks=int(reached.max()) if reached.size else 0,
+        loading_ticks=sharded.graph.m,
+        neuron_count=int(neuron_count),
+        synapse_count=int(synapse_count),
+        spike_count=int(spike_count),
+        rounds=rounds,
+        extras={
+            "shards": float(sharded.k),
+            "cross_edges": float(sharded.cross_edges),
+            "local_runs": float(local_runs),
+        },
+    )
+    return ShardQueryResult(
+        dist=out, cost=cost, rounds=rounds, local_runs=local_runs
+    )
+
+
+def sharded_sssp(
+    sharded: ShardedGraph,
+    source: int,
+    *,
+    engine: str = "event",
+    pool: Optional[ProcessWorkerPool] = None,
+) -> ShardQueryResult:
+    """Exact single-source shortest paths on a sharded graph.
+
+    Distances agree exactly with the solo
+    :func:`~repro.algorithms.sssp_pseudo.spiking_sssp_pseudo` run on the
+    unsharded graph (``-1`` for unreachable).  The default engine is the
+    activity-driven event engine: seed offsets reach ``O(nU)``, whose quiet
+    ticks a dense sweep would step through one by one.
+    """
+    horizon = sharded.n * max(1, sharded.graph.max_length()) + 1
+    return _fixpoint(
+        sharded,
+        source,
+        kind="sssp",
+        max_steps=horizon,
+        engine=engine,
+        hop_limit=None,
+        pool=pool,
+    )
+
+
+#: Uniquifies runner batch keys so sharded plans never coalesce (each is
+#: a whole multi-round fan-out, not a batchable single simulation).
+_RUNNER_SEQ = itertools.count()
+
+
+def plan_sharded_request(
+    request: "QueryRequest", sharded: ShardedGraph
+) -> "RequestPlan":
+    """Build the self-executing :class:`~repro.service.adapters.RequestPlan`
+    that routes ``request`` through the shard router.
+
+    The plan's ``runner`` receives the server's process pool (or ``None``)
+    at dispatch time, so the same plan serves pooled and in-process
+    servers.  Only :func:`repro.service.server._sharded_eligible` shapes
+    reach this; validation here covers what the router itself requires.
+    """
+    from repro.service.adapters import RequestPlan
+
+    source = int(request.source) if request.source is not None else -1
+    if not (0 <= source < sharded.n):
+        raise ValidationError(
+            f"source {request.source} out of range for sharded graph "
+            f"{request.graph_id!r} (n={sharded.n})"
+        )
+    if request.kind == "khop":
+        hops = int(request.k)
+
+        def runner(pool: Optional[ProcessWorkerPool]) -> Dict[str, Any]:
+            res = sharded_khop(sharded, source, hops, pool=pool)
+            return {"dist": res.dist, "cost": res.cost}
+
+    else:
+
+        def runner(pool: Optional[ProcessWorkerPool]) -> Dict[str, Any]:
+            res = sharded_sssp(sharded, source, pool=pool)
+            return {"dist": res.dist, "cost": res.cost}
+
+    return RequestPlan(
+        batch_key=(
+            "sharded",
+            request.kind,
+            request.graph_id,
+            next(_RUNNER_SEQ),
+        ),
+        network=None,
+        stimuli=[],
+        faults=[],
+        sim_kwargs={},
+        decode=lambda results: {},
+        runner=runner,
+    )
+
+
+def sharded_khop(
+    sharded: ShardedGraph,
+    source: int,
+    k: int,
+    *,
+    engine: str = "auto",
+    pool: Optional[ProcessWorkerPool] = None,
+) -> ShardQueryResult:
+    """Exact k-hop reachability (hop counts, ``-1`` beyond ``k`` hops).
+
+    The unit-delay reach network is hop-budget-independent, so the same
+    shard networks serve every ``k``; offsets carry the hops already spent
+    and ``max_steps=k`` bounds the remainder, which keeps the sharded
+    answer exactly equal to the solo one.
+    """
+    if k < 0:
+        raise ValidationError(f"hop budget must be >= 0, got {k}")
+    return _fixpoint(
+        sharded,
+        source,
+        kind="khop",
+        max_steps=int(k),
+        engine=engine,
+        hop_limit=int(k),
+        pool=pool,
+    )

@@ -60,6 +60,7 @@ __all__ = [
     "QUERY_KINDS",
     "MUTATION_KINDS",
     "request_from_dict",
+    "request_to_dict",
     "fault_from_spec",
 ]
 
@@ -364,3 +365,47 @@ def request_from_dict(doc: Mapping[str, object]) -> QueryRequest:
     if doc.get("request_id"):
         kwargs["request_id"] = str(doc["request_id"])
     return QueryRequest(**kwargs)
+
+
+def request_to_dict(
+    request: QueryRequest, *, fault_spec: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Render a request as the wire document :func:`request_from_dict` parses.
+
+    The inverse for every JSON-able field.  ``faults`` and ``watchdog``
+    are in-process objects with no canonical wire form, so a request
+    carrying either is rejected unless the caller passes the original
+    ``fault_spec`` it was built from (round-tripped as the ``fault``
+    field); watchdogs never cross the wire.  Used by the socket load
+    generator and the differential tests to replay in-process workloads
+    against a :class:`~repro.service.net.server.NetServer`.
+    """
+    if request.watchdog is not None:
+        raise ValidationError("watchdog-carrying requests have no wire form")
+    if request.faults is not None and fault_spec is None:
+        raise ValidationError(
+            "request carries an in-process fault model; pass fault_spec to "
+            "round-trip it over the wire"
+        )
+    doc: Dict[str, object] = {
+        "kind": request.kind,
+        "graph_id": request.graph_id,
+        "request_id": request.request_id,
+    }
+    for name in ("source", "target", "k", "u", "v", "weight", "deadline_s"):
+        value = getattr(request, name)
+        if value is not None:
+            doc[name] = value
+    if request.sources is not None:
+        doc["sources"] = list(request.sources)
+    if request.inputs is not None:
+        doc["inputs"] = dict(request.inputs)
+    if request.use_gadgets:
+        doc["use_gadgets"] = True
+    if request.engine != "auto":
+        doc["engine"] = request.engine
+    if request.record_spikes:
+        doc["record_spikes"] = True
+    if fault_spec:
+        doc["fault"] = dict(fault_spec)
+    return doc

@@ -85,6 +85,23 @@ __all__ = ["QueryServer", "QueryTicket"]
 _MAX_INCIDENTS = 256
 
 
+def _sharded_eligible(request: QueryRequest) -> bool:
+    """Request shapes the shard router serves exactly.
+
+    Everything else (targets, faults, watchdogs, spike recording, gadget
+    encodings, apsp slices) falls back to the whole-graph resident that
+    :meth:`QueryServer.register_sharded_graph` also installs.
+    """
+    return (
+        request.kind in ("sssp", "khop")
+        and request.target is None
+        and request.faults is None
+        and request.watchdog is None
+        and not request.record_spikes
+        and not request.use_gadgets
+    )
+
+
 class QueryTicket:
     """One in-flight request: plan, deadline, and a completion event.
 
@@ -254,6 +271,13 @@ class QueryServer:
     chaos:
         Optional :class:`~repro.service.chaos.ChaosPolicy`; injections are
         no-ops when absent.
+    process_pool:
+        Optional :class:`~repro.service.net.procpool.ProcessWorkerPool`.
+        When set, sssp/khop-family batches execute in worker *processes*
+        (resident compiled networks cached per worker, telemetry merged
+        back raw) and sharded fan-outs run their shard-local simulations
+        there too.  The pool is borrowed: the server heartbeats it from
+        the supervisor but never closes it.
     clock:
         Monotonic time source, injectable for deterministic queue tests.
     """
@@ -279,6 +303,7 @@ class QueryServer:
         max_requeues: int = 2,
         supervise_interval_s: float = 0.02,
         chaos: Optional["ChaosPolicy"] = None,
+        process_pool: Optional[Any] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if workers < 1:
@@ -322,6 +347,11 @@ class QueryServer:
         self._dynamic: Dict[str, "MutableGraph"] = {}
         self._recompilers: Dict[str, "IncrementalRecompiler"] = {}
         self._graph_versions: Dict[str, Optional[int]] = {}
+        # Sharded residents (ShardedGraph, duck-typed to keep the import
+        # lazy: repro.service.net imports this module).  The process pool
+        # is likewise duck-typed and *borrowed* — callers own its lifecycle.
+        self._sharded: Dict[str, Any] = {}
+        self._process_pool = process_pool
         self._resident_lock = threading.Lock()
         self._lint_admission = bool(lint_admission)
         #: (resident key, plan family) -> memoized LintReport
@@ -407,6 +437,29 @@ class QueryServer:
             self._graphs[graph_id] = snap
             self._resident_keys[graph_id] = ("graph", snap.structure_key())
             self._graph_versions[graph_id] = graph.version
+        return graph_id
+
+    def register_sharded_graph(
+        self, graph_id: str, graph: WeightedDigraph, shards: int
+    ) -> str:
+        """Make ``graph`` resident *sharded* across ``shards`` partitions.
+
+        Plain shard-eligible ``sssp``/``khop`` queries fan out across the
+        shard subnetworks via the fixpoint router
+        (:mod:`repro.service.net.shard`) — in the process pool when the
+        server holds one, in-process otherwise.  Every other request shape
+        (apsp slices, targets, faults, spike recording, circuits) falls
+        back transparently to the whole-graph resident, which is also
+        registered under the same id.
+        """
+        from repro.service.net.shard import partition_graph
+
+        sharded = partition_graph(graph, shards)
+        with self._resident_lock:
+            self._graphs[graph_id] = graph
+            self._resident_keys[graph_id] = ("graph", graph.structure_key())
+            self._graph_versions[graph_id] = None
+            self._sharded[graph_id] = sharded
         return graph_id
 
     def register_circuit(self, circuit_id: str, builder: CircuitBuilder) -> str:
@@ -580,6 +633,7 @@ class QueryServer:
             resident_key = self._resident_keys[request.graph_id]
             graph = self._graphs.get(request.graph_id)
             graph_version = self._graph_versions.get(request.graph_id)
+            sharded = self._sharded.get(request.graph_id)
 
         now = self._clock()
         cache_key = self._cache_key(request, resident_key)
@@ -639,6 +693,14 @@ class QueryServer:
                 mutation=True,
             )
             serial = True
+        elif sharded is not None and _sharded_eligible(request):
+            # Shard-eligible reads route through the fixpoint shard router
+            # as self-executing runner plans.  The shard subnetworks are
+            # the same build-cache-backed constructions the whole-graph
+            # plan would lint, so admission linting is skipped here.
+            from repro.service.net.shard import plan_sharded_request
+
+            plan = plan_sharded_request(request, sharded)
         else:
             # Plan against the snapshot resolved atomically with the
             # resident key above, so the (plan, cache key, version) triple
@@ -890,6 +952,9 @@ class QueryServer:
         if tickets[0].plan is not None and tickets[0].plan.mutation:
             self._dispatch_mutations(tickets, skew)
             return
+        if tickets[0].plan is not None and tickets[0].plan.runner is not None:
+            self._dispatch_runners(tickets, seq, skew)
+            return
         dispatch_t = self._clock()
         plan0 = tickets[0].plan
         stimuli: List[Any] = []
@@ -905,11 +970,32 @@ class QueryServer:
         error_type: Optional[str] = None
         error_code: Optional[str] = None
         results: List[Any] = []
+        pool = self._process_pool
+        use_pool = pool is not None and plan0.batch_key[0] in ("sssp", "khop")
         try:
             with use_registry(batch_reg):
-                results = simulate_batch(
-                    plan0.network, stimuli, faults=faults, **plan0.sim_kwargs
-                )
+                if use_pool:
+                    # Ship the batch to a worker process holding the
+                    # resident compiled network for this structure key.
+                    # A WorkerProcessDied (BaseException) escapes this
+                    # handler, crashes this worker thread, and hands the
+                    # tickets to the supervisor's exactly-once recovery —
+                    # the pool has already respawned the process.
+                    if self._chaos is not None and self._chaos.kill_process(seq):
+                        pool.chaos_kill_next()
+                    net_key = (
+                        plan0.batch_key[:3]
+                        if plan0.batch_key[0] == "sssp"
+                        else plan0.batch_key[:2]
+                    )
+                    results, raw = pool.execute(
+                        net_key, plan0.network, stimuli, faults, plan0.sim_kwargs
+                    )
+                    batch_reg.merge_raw(raw)
+                else:
+                    results = simulate_batch(
+                        plan0.network, stimuli, faults=faults, **plan0.sim_kwargs
+                    )
         except Exception as exc:  # answer every rider, never kill the worker
             error = f"{type(exc).__name__}: {exc}"
             error_type = type(exc).__name__
@@ -995,6 +1081,94 @@ class QueryServer:
                 self.registry.counter_inc("service.batches.coalesced")
             self.registry.observe("service.batch.items", total_items)
             self.registry.observe("service.batch.requests", len(tickets))
+            self.registry.gauge_set("service.queue.depth", self._queue.depth())
+            for t, qr in claimed:
+                self.registry.counter_inc(
+                    "service.requests.completed"
+                    if qr.ok
+                    else "service.requests.errors"
+                )
+                self.registry.timer_observe("service.latency.queue", qr.queued_s)
+                self.registry.timer_observe("service.latency.service", qr.service_s)
+                self.registry.timer_observe(
+                    "service.latency.total", qr.queued_s + qr.service_s
+                )
+
+    def _dispatch_runners(
+        self, tickets: List[QueryTicket], seq: int, skew: float
+    ) -> None:
+        """Execute self-running plans (sharded fan-outs), one per ticket.
+
+        Runner batch keys are per-request, so a batch normally holds one
+        ticket; the loop form keeps the invariants (atomic claim, cache
+        fill, breaker record, telemetry) identical to :meth:`_dispatch`
+        regardless.  A :class:`~repro.service.net.procpool.WorkerProcessDied`
+        escaping the runner crashes this worker thread and routes the
+        tickets through the supervisor's exactly-once recovery, exactly as
+        for pooled batches.
+        """
+        pool = self._process_pool
+        if (
+            pool is not None
+            and self._chaos is not None
+            and self._chaos.kill_process(seq)
+        ):
+            pool.chaos_kill_next()
+        total = len(tickets)
+        batch_reg = MetricsRegistry("service-batch")
+        outcomes: List[Tuple[QueryTicket, QueryResult]] = []
+        for t in tickets:
+            dispatch_t = self._clock()
+            t.dispatched_at = dispatch_t
+            queued_s = max(0.0, (dispatch_t + skew) - t.admitted_at)
+            try:
+                with use_registry(batch_reg):
+                    decoded = t.plan.runner(pool)
+                qr = QueryResult(
+                    request_id=t.request.request_id,
+                    kind=t.request.kind,
+                    status=QueryStatus.OK,
+                    dist=decoded.get("dist"),
+                    matrix=decoded.get("matrix"),
+                    cost=decoded.get("cost"),
+                    batch_size=total,
+                    queued_s=queued_s,
+                    service_s=max(0.0, self._clock() - dispatch_t),
+                    graph_version=t.graph_version,
+                )
+            except Exception as exc:
+                code, _retryable = classify_exception(exc)
+                qr = QueryResult(
+                    request_id=t.request.request_id,
+                    kind=t.request.kind,
+                    status=QueryStatus.ERROR,
+                    batch_size=total,
+                    queued_s=queued_s,
+                    service_s=max(0.0, self._clock() - dispatch_t),
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    error_code=code,
+                )
+            outcomes.append((t, qr))
+        if self._chaos is not None:
+            slow = self._chaos.slow_s_for(seq)
+            if slow > 0:
+                time.sleep(slow)
+
+        claimed: List[Tuple[QueryTicket, QueryResult]] = []
+        for t, qr in outcomes:
+            if not t.complete(qr):
+                continue
+            claimed.append((t, qr))
+            if qr.ok and t.cache_key is not None:
+                self._result_cache.put(t.cache_key, qr)
+            if self._breaker_policy is not None:
+                self._breaker_for(t.request.kind, t.request.graph_id).record(qr.ok)
+
+        with self._reg_lock:
+            self.registry.merge(batch_reg)
+            self.registry.counter_inc("service.batches")
+            self.registry.counter_inc("service.batches.sharded", len(tickets))
             self.registry.gauge_set("service.queue.depth", self._queue.depth())
             for t, qr in claimed:
                 self.registry.counter_inc(
@@ -1129,6 +1303,14 @@ class QueryServer:
                 pass
 
     def _supervise_once(self) -> None:
+        pool = self._process_pool
+        if pool is not None:
+            try:
+                # Rate-limited inside the pool: respawns idle workers that
+                # died between batches, pings the rest.
+                pool.heartbeat()
+            except Exception:
+                pass
         now = self._clock()
         with self._sup_lock:
             for slot in range(self._n_workers):
@@ -1280,6 +1462,15 @@ class QueryServer:
             }
         if self._result_cache is not None:
             out["result_cache"] = self._result_cache.stats()
+        if self._process_pool is not None:
+            out["process_pool"] = self._process_pool.stats()
+        with self._resident_lock:
+            sharded_view = {
+                gid: {"shards": sg.k, "n": sg.n, "cross_edges": sg.cross_edges}
+                for gid, sg in sorted(self._sharded.items())
+            }
+        if sharded_view:
+            out["sharded"] = sharded_view
         with self._resident_lock:
             dynamic_ids = sorted(self._dynamic)
         if dynamic_ids:

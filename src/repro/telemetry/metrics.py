@@ -33,6 +33,7 @@ __all__ = [
     "use_registry",
     "counter_inc",
     "gauge_set",
+    "merge_raw_into_active",
     "observe",
     "timer",
 ]
@@ -192,6 +193,42 @@ class MetricsRegistry:
         for k, vs in other._timers.items():
             self._timers.setdefault(k, []).extend(vs)
 
+    def export_raw(self) -> Dict[str, object]:
+        """Lossless, picklable dump for cross-process transport.
+
+        Unlike :meth:`snapshot` (which summarizes histogram/timer series),
+        this keeps every raw observation so a parent process can
+        :meth:`merge_raw` a worker's registry and still compute exact
+        percentiles.  The format is plain dicts/lists of floats — safe to
+        send over a ``multiprocessing`` pipe or as JSON.
+        """
+        return {
+            "name": self.name,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: list(v) for k, v in self._histograms.items()},
+            "timers": {k: list(v) for k, v in self._timers.items()},
+        }
+
+    def merge_raw(self, raw: Dict[str, object]) -> None:
+        """Fold an :meth:`export_raw` dump (e.g. from a worker process) in."""
+        counters = raw.get("counters", {})
+        if isinstance(counters, dict):
+            for k, v in counters.items():
+                self.counter_inc(str(k), float(v))
+        gauges = raw.get("gauges", {})
+        if isinstance(gauges, dict):
+            for k, v in gauges.items():
+                self.gauge_set(str(k), float(v))
+        for field, store in (
+            ("histograms", self._histograms),
+            ("timers", self._timers),
+        ):
+            series = raw.get(field, {})
+            if isinstance(series, dict):
+                for k, vs in series.items():
+                    store.setdefault(str(k), []).extend(float(v) for v in vs)
+
     def reset(self) -> None:
         self.counters.clear()
         self.gauges.clear()
@@ -253,6 +290,14 @@ def observe(name: str, value: float) -> None:
     reg = _ACTIVE.get()
     if reg is not None:
         reg.observe(name, value)
+
+
+def merge_raw_into_active(raw: Dict[str, object]) -> None:
+    """Fold an :meth:`MetricsRegistry.export_raw` dump into the active
+    registry; no-op when none is active (cross-process merge helper)."""
+    reg = _ACTIVE.get()
+    if reg is not None:
+        reg.merge_raw(raw)
 
 
 def timer(name: str):

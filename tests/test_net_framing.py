@@ -1,0 +1,131 @@
+"""Tests of the JSONL wire framing: partial reads, bounds, resync.
+
+The decoder is the only code between raw socket bytes and the serving
+layer, so every malformed shape must come out as a *value* (a
+:class:`FrameError` with a stable error code), never an exception — a
+hostile or buggy client cannot crash a reader task.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceOverloadedError, ValidationError
+from repro.service.net import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    error_payload,
+)
+
+
+class TestEncode:
+    def test_round_trip(self):
+        doc = {"kind": "sssp", "graph_id": "g", "source": 3, "request_id": "r1"}
+        frame = encode_frame(doc)
+        assert frame.endswith(b"\n")
+        assert json.loads(frame) == doc
+
+    def test_deterministic_key_order(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_default_bound_is_sane(self):
+        assert DEFAULT_MAX_FRAME_BYTES >= 1 << 20
+
+
+class TestDecoder:
+    def test_single_frame(self):
+        dec = FrameDecoder()
+        out = dec.feed(b'{"x": 1}\n')
+        assert out == [{"x": 1}]
+
+    def test_partial_reads_reassemble(self):
+        """A frame split at arbitrary byte boundaries decodes exactly once."""
+        frame = encode_frame({"kind": "sssp", "graph_id": "g", "source": 0})
+        for cut in range(1, len(frame) - 1):
+            dec = FrameDecoder()
+            assert dec.feed(frame[:cut]) == []
+            out = dec.feed(frame[cut:])
+            assert out == [json.loads(frame)], f"split at {cut}"
+
+    def test_many_frames_in_one_read(self):
+        dec = FrameDecoder()
+        blob = b"".join(encode_frame({"i": i}) for i in range(5))
+        assert dec.feed(blob) == [{"i": i} for i in range(5)]
+
+    def test_blank_lines_skipped(self):
+        dec = FrameDecoder()
+        assert dec.feed(b"\n  \n{\"x\": 1}\n\n") == [{"x": 1}]
+
+    def test_bad_json_is_structured_invalid(self):
+        dec = FrameDecoder()
+        (err,) = dec.feed(b"{nope\n")
+        assert isinstance(err, FrameError)
+        payload = err.payload()
+        assert payload["status"] == "error"
+        assert payload["error_code"] == "INVALID"
+
+    def test_non_object_frame_rejected(self):
+        dec = FrameDecoder()
+        (err,) = dec.feed(b"[1, 2, 3]\n")
+        assert isinstance(err, FrameError)
+        assert err.payload()["error_code"] == "INVALID"
+
+    def test_oversized_frame_bounded_and_resyncs(self):
+        """An oversized frame errors once, then the stream recovers."""
+        dec = FrameDecoder(max_frame_bytes=64)
+        big = b'{"pad": "' + b"x" * 200 + b'"}\n'
+        out = dec.feed(big + b'{"ok": true}\n')
+        assert len(out) == 2
+        assert isinstance(out[0], FrameError)
+        assert out[0].payload()["error_code"] == "INVALID"
+        assert out[1] == {"ok": True}
+
+    def test_oversized_detected_before_newline_arrives(self):
+        """The bound trips on buffered bytes, not only at frame end."""
+        dec = FrameDecoder(max_frame_bytes=64)
+        assert any(
+            isinstance(x, FrameError) for x in dec.feed(b"y" * 100)
+        ) or any(isinstance(x, FrameError) for x in dec.feed(b"y" * 100))
+        # tail of the oversized frame is swallowed; next frame decodes
+        assert dec.feed(b"tail\n") == []
+        assert dec.feed(b'{"ok": 1}\n') == [{"ok": 1}]
+
+    def test_decoder_never_raises_on_fuzz(self):
+        dec = FrameDecoder(max_frame_bytes=128)
+        chunks = [
+            b"\x00\xff\xfe garbage",
+            b"\n{broken",
+            b"}\n" + b"A" * 400,
+            b"\n" + encode_frame({"fine": 1}),
+        ]
+        decoded = []
+        for chunk in chunks:
+            decoded.extend(dec.feed(chunk))
+        assert {"fine": 1} in decoded
+
+
+class TestErrorPayload:
+    def test_reuses_error_taxonomy(self):
+        p = error_payload(ValidationError("bad source"), "r9")
+        assert p["status"] == "error"
+        assert p["request_id"] == "r9"
+        assert p["error_code"] == "INVALID"
+        assert p["error_type"] == "ValidationError"
+        assert p["retryable"] is False
+
+    def test_retryable_codes_marked(self):
+        p = error_payload(ServiceOverloadedError("queue full"), None)
+        assert p["error_code"] == "OVERLOADED"
+        assert p["retryable"] is True
+
+    def test_unknown_exception_is_internal(self):
+        p = error_payload(RuntimeError("?"), None)
+        assert p["error_code"] == "INTERNAL"
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

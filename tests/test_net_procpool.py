@@ -1,0 +1,214 @@
+"""Tests of the process-pool worker tier and its chaos scenario.
+
+The contract under test is exactly the thread-tier supervisor contract
+lifted across a process boundary: batches run in worker processes with
+resident compiled networks, results are byte-identical to in-process
+simulation, a SIGKILLed worker surfaces as :class:`WorkerProcessDied`
+(``BaseException`` — it must sail past ``except Exception`` so the
+thread-level supervisor sees the crash), the pool respawns before the
+dispatcher retries, and the chaos harness proves zero lost tickets.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp_pseudo import sssp_network
+from repro.core.run import simulate, simulate_batch
+from repro.errors import RETRYABLE_ERROR_CODES, RemoteWorkerError
+from repro.service import SCENARIOS, QueryRequest, QueryServer, run_chaos
+from repro.service.net import ProcessWorkerPool, WorkerProcessDied
+from repro.service.net.bench import run_pool_comparison
+from repro.workloads import gnp_graph
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(24, 0.2, max_length=7, seed=11, ensure_source_reaches=True)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessWorkerPool(workers=2) as p:
+        yield p
+
+
+def _sssp_job(graph, sources):
+    net, node_ids = sssp_network(graph)
+    stimuli = [{0: [node_ids[s]]} for s in sources]
+    kwargs = {
+        "max_steps": graph.n * graph.max_length() + 1,
+        "engine": "event",
+        "stop_when_quiescent": True,
+    }
+    return net, stimuli, kwargs
+
+
+class TestParity:
+    def test_batch_matches_in_process(self, graph, pool):
+        net, stimuli, kwargs = _sssp_job(graph, [0, 3, 7])
+        remote, raw = pool.execute(("t", "parity"), net, stimuli, None, kwargs)
+        local = simulate_batch(net, stimuli, faults=None, **kwargs)
+        assert len(remote) == len(local)
+        for r, s in zip(remote, local):
+            np.testing.assert_array_equal(r.first_spike, s.first_spike)
+            np.testing.assert_array_equal(r.spike_counts, s.spike_counts)
+            assert r.final_tick == s.final_tick
+            assert r.stop_reason == s.stop_reason
+        assert raw  # per-batch metrics came back with the results
+
+    def test_network_stays_resident(self, graph, pool):
+        net, stimuli, kwargs = _sssp_job(graph, [1])
+        before = pool.stats()["resident_networks"]
+        pool.execute(("t", "resident"), net, stimuli, None, kwargs)
+        pool.execute(("t", "resident"), net, stimuli, None, kwargs)
+        after = pool.stats()["resident_networks"]
+        assert after >= before + 1
+
+    def test_execute_many_in_job_order(self, graph, pool):
+        net, _, kwargs = _sssp_job(graph, [0])
+        _, node_ids = sssp_network(graph)
+        jobs = [
+            {
+                "net_key": ("t", "many"),
+                "network": net,
+                "stimuli": [{0: [node_ids[s]]}],
+                "faults": None,
+                "sim_kwargs": kwargs,
+            }
+            for s in (0, 2, 5)
+        ]
+        out = pool.execute_many(jobs)
+        assert len(out) == 3
+        solo = [
+            simulate(net, j["stimuli"][0], **kwargs) for j in jobs
+        ]
+        for (remote, _), s in zip(out, solo):
+            np.testing.assert_array_equal(remote[0].first_spike, s.first_spike)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_batch_raises_and_respawns(self, graph):
+        with ProcessWorkerPool(workers=1) as p:
+            net, stimuli, kwargs = _sssp_job(graph, [0])
+            p.execute(("t", "warm"), net, stimuli, None, kwargs)
+            with pytest.raises(WorkerProcessDied):
+                p.execute(
+                    ("t", "warm"), net, stimuli, None, kwargs, kill_mid_batch=True
+                )
+            stats = p.stats()
+            assert stats["restarts"] == 1
+            assert stats["alive"] == 1
+            # the respawned worker serves again (network re-shipped)
+            results, _ = p.execute(("t", "warm"), net, stimuli, None, kwargs)
+            solo = simulate(net, stimuli[0], **kwargs)
+            np.testing.assert_array_equal(results[0].first_spike, solo.first_spike)
+
+    def test_worker_process_died_escapes_except_exception(self):
+        assert issubclass(WorkerProcessDied, BaseException)
+        assert not issubclass(WorkerProcessDied, Exception)
+
+    def test_heartbeat_respawns_idle_death(self, graph):
+        with ProcessWorkerPool(workers=1) as p:
+            net, stimuli, kwargs = _sssp_job(graph, [0])
+            p.execute(("t", "hb"), net, stimuli, None, kwargs)
+            pid = p.stats()["pids"][0]
+            os.kill(pid, 9)
+            deadline = time.monotonic() + 10.0
+            while p.stats()["alive"] and time.monotonic() < deadline:
+                time.sleep(0.02)
+            p.heartbeat(force=True)
+            stats = p.stats()
+            assert stats["restarts"] == 1 and stats["alive"] == 1
+            p.execute(("t", "hb"), net, stimuli, None, kwargs)
+
+    def test_remote_error_carries_classified_code(self, graph, pool):
+        net, stimuli, _ = _sssp_job(graph, [0])
+        with pytest.raises(RemoteWorkerError) as exc_info:
+            pool.execute(
+                ("t", "bad"), net, stimuli, None, {"max_steps": -5}
+            )
+        assert exc_info.value.error_code == "INVALID"
+
+    def test_chaos_kill_next_arms_one_kill(self, graph):
+        with ProcessWorkerPool(workers=1) as p:
+            net, stimuli, kwargs = _sssp_job(graph, [0])
+            p.chaos_kill_next()
+            with pytest.raises(WorkerProcessDied):
+                p.execute(("t", "armed"), net, stimuli, None, kwargs)
+            assert p.stats()["kills"] == 1
+            p.execute(("t", "armed"), net, stimuli, None, kwargs)
+
+
+class TestServerIntegration:
+    def test_pool_backed_server_matches_plain(self, graph):
+        reqs = [
+            QueryRequest(kind="sssp", graph_id="g", source=s) for s in (0, 3, 7)
+        ]
+
+        def serve(pool):
+            server = QueryServer(
+                workers=2, max_batch=8, linger_s=0.005, process_pool=pool
+            )
+            server.register_graph("g", graph)
+            with server:
+                return [server.submit(r).result(timeout=60) for r in reqs]
+
+        plain = serve(None)
+        with ProcessWorkerPool(workers=2) as pool:
+            pooled = serve(pool)
+            assert pool.stats()["jobs"] >= 1
+        for a, b in zip(plain, pooled):
+            assert a.ok and b.ok
+            np.testing.assert_array_equal(a.dist, b.dist)
+
+    def test_worker_crash_error_code_is_retryable(self):
+        assert "WORKER_CRASH" in RETRYABLE_ERROR_CODES
+
+
+class TestChaosScenario:
+    def test_worker_process_kill_scenario_listed(self):
+        spec = SCENARIOS["worker-process-kill"]
+        assert spec["processes"] == 2
+        assert spec["chaos"]["kill_batches"] == (2,)
+
+    def test_worker_process_kill_zero_losses(self):
+        report = run_chaos("worker-process-kill", n_requests=32, seed=0)
+        assert report["outcome"]["lost"] == 0
+        assert report["outcome"]["ok"] == 32
+        assert report["equality"]["mismatches"] == 0
+        assert report["process_pool"]["kills"] == 1
+        assert report["process_pool"]["restarts"] == 1
+        assert report["config"]["processes"] == 2
+
+
+class TestPoolComparison:
+    def test_rows_and_equality(self):
+        report = run_pool_comparison(
+            n_sources=8, slice_width=4, process_workers=2, shards=2, verify=True
+        )
+        rows = report["rows"]
+        assert set(rows) == {"thread_pool", "process_pool", "sharded"}
+        assert report["equality"]["mismatches"] == 0
+        assert report["cpu_count"] == os.cpu_count()
+        assert rows["process_pool"]["ok"] == rows["thread_pool"]["ok"]
+        assert rows["sharded"]["ok"] == 8
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="process-vs-thread speedup needs >= 2 CPUs",
+    )
+    def test_process_pool_speedup_on_real_cpus(self):
+        report = run_pool_comparison(verify=False)
+        speedup = report["rows"]["process_pool"]["speedup_vs_thread"]
+        assert speedup is not None and speedup >= 2.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

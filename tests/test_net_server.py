@@ -1,0 +1,287 @@
+"""Tests of the socket front end: wire differential, framing, signals.
+
+The load-bearing assertion is the wire differential: every answer served
+over a real TCP socket — through JSONL framing, the asyncio loop, the
+executor, the coalescing queue, and back — must match a solo in-process
+run of the same query.  The signal tests run the actual CLI in a
+subprocess and pin the exit-code contract (``128 + signum``) plus the
+graceful-drain guarantee (accepted requests are answered, not dropped).
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.dijkstra import dijkstra
+from repro.service import QueryRequest, QueryServer
+from repro.service.net import NetClient, NetServer, encode_frame
+from repro.service.net.bench import run_net_loadgen
+from repro.workloads import gnp_graph, grid_graph
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "grid": grid_graph(6, 6, max_length=5, seed=2),
+        "gnp": gnp_graph(30, 0.15, max_length=7, seed=4, ensure_source_reaches=True),
+    }
+
+
+@contextmanager
+def serving(graphs, **server_kw):
+    """A QueryServer + NetServer on a free port, run on a background loop."""
+    server_kw.setdefault("workers", 2)
+    server_kw.setdefault("max_batch", 8)
+    server_kw.setdefault("linger_s", 0.005)
+    qs = QueryServer(**server_kw)
+    for gid, g in graphs.items():
+        qs.register_graph(gid, g)
+    qs.start()
+    box = {}
+    started = threading.Event()
+
+    def runner():
+        async def main():
+            net = NetServer(qs, host="127.0.0.1", port=0)
+            await net.start()
+            box["net"] = net
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await net.run(install_signal_handlers=False)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, name="net-test-loop", daemon=True)
+    thread.start()
+    assert started.wait(30), "net server failed to start"
+    try:
+        yield box["net"]
+    finally:
+        # run() may not have created its stop event yet; retry until the
+        # loop thread actually exits (shutdown also stops the QueryServer).
+        deadline = time.monotonic() + 30
+        while thread.is_alive() and time.monotonic() < deadline:
+            try:
+                box["loop"].call_soon_threadsafe(box["net"].request_shutdown)
+            except RuntimeError:
+                break
+            thread.join(0.1)
+        thread.join(10)
+        assert not thread.is_alive(), "net server failed to shut down"
+
+
+class TestWireDifferential:
+    def test_loadgen_over_socket_matches_solo(self, graphs):
+        """The tentpole differential: 60 mixed queries over TCP, each
+        verified against an in-process solo run; batching must show."""
+        with serving(graphs) as net:
+            report = run_net_loadgen(
+                "127.0.0.1",
+                net.port,
+                graphs,
+                n_requests=60,
+                connections=3,
+                depth=12,
+                seed=1,
+                verify=True,
+            )
+        assert report["ok"] == 60
+        assert report["lost"] == 0
+        assert report["equality"]["mismatches"] == 0
+        assert report["coalesced_answers"] > 0
+
+    def test_single_query_dist_exact(self, graphs):
+        expect, _ = dijkstra(graphs["grid"], 0)
+        with serving(graphs) as net:
+            with NetClient("127.0.0.1", net.port) as c:
+                r = c.call({"kind": "sssp", "graph_id": "grid", "source": 0})
+        assert r["status"] == "ok"
+        np.testing.assert_array_equal(np.asarray(r["dist"]), expect)
+
+    def test_sharded_resident_served_over_socket(self, graphs):
+        qs = QueryServer(workers=2, max_batch=4, linger_s=0.002)
+        g = graphs["gnp"]
+        qs.register_sharded_graph("gnp", g, 3)
+        qs.start()
+        expect, _ = dijkstra(g, 0)
+        box = {}
+        started = threading.Event()
+
+        def runner():
+            async def main():
+                net = NetServer(qs, port=0)
+                await net.start()
+                box["net"], box["loop"] = net, asyncio.get_running_loop()
+                started.set()
+                await net.run(install_signal_handlers=False)
+
+            asyncio.run(main())
+
+        t = threading.Thread(target=runner, daemon=True)
+        t.start()
+        assert started.wait(30)
+        try:
+            with NetClient("127.0.0.1", box["net"].port) as c:
+                r = c.call({"kind": "sssp", "graph_id": "gnp", "source": 0})
+            assert r["status"] == "ok"
+            np.testing.assert_array_equal(np.asarray(r["dist"]), expect)
+        finally:
+            while t.is_alive():
+                box["loop"].call_soon_threadsafe(box["net"].request_shutdown)
+                t.join(0.1)
+
+
+class TestProtocol:
+    def test_out_of_order_interleaved_responses(self, graphs):
+        """A slow apsp pipelined behind fast sssps: answers come back by
+        request id, not submission order, on one connection."""
+        with serving(graphs) as net:
+            with NetClient("127.0.0.1", net.port) as c:
+                slow = c.submit(
+                    {
+                        "kind": "apsp",
+                        "graph_id": "gnp",
+                        "sources": list(range(12)),
+                    }
+                )
+                fast = [
+                    c.submit({"kind": "sssp", "graph_id": "grid", "source": s})
+                    for s in range(6)
+                ]
+                for rid in fast:
+                    r = c.result(rid, timeout_s=60)
+                    assert r["status"] == "ok" and r["request_id"] == rid
+                r = c.result(slow, timeout_s=60)
+                assert r["status"] == "ok" and len(r["matrix"]) == 12
+
+    def test_malformed_frame_answered_not_fatal(self, graphs):
+        with serving(graphs) as net:
+            with NetClient("127.0.0.1", net.port) as c:
+                c.send_raw(b"{this is not json\n")
+                err = c.pop_anonymous(timeout_s=30)
+                assert err["status"] == "error"
+                assert err["error_code"] == "INVALID"
+                # the connection survives and still serves
+                r = c.call({"kind": "sssp", "graph_id": "grid", "source": 1})
+                assert r["status"] == "ok"
+
+    def test_oversized_frame_bounded_then_resyncs(self, graphs):
+        with serving(graphs) as net:
+            with NetClient("127.0.0.1", net.port) as c:
+                pad = "x" * (net.max_frame_bytes + 100)
+                c.send_raw(
+                    json.dumps({"kind": "sssp", "pad": pad}).encode() + b"\n"
+                )
+                err = c.pop_anonymous(timeout_s=30)
+                assert err["error_code"] == "INVALID"
+                r = c.call({"kind": "sssp", "graph_id": "grid", "source": 2})
+                assert r["status"] == "ok"
+
+    def test_unknown_graph_is_structured_error(self, graphs):
+        with serving(graphs) as net:
+            with NetClient("127.0.0.1", net.port) as c:
+                r = c.call({"kind": "sssp", "graph_id": "nope", "source": 0})
+        assert r["status"] == "error"
+        assert r["error_code"] == "INVALID"
+
+    def test_mid_request_disconnect_settles_tickets(self, graphs):
+        """A client that vanishes mid-request leaks nothing: its tickets
+        settle server-side and the listener keeps serving others."""
+        with serving(graphs) as net:
+            sock = socket.create_connection(("127.0.0.1", net.port))
+            frame = encode_frame(
+                {"kind": "apsp", "graph_id": "gnp", "sources": list(range(10))}
+            )
+            sock.sendall(frame)
+            sock.close()  # gone before the answer exists
+            deadline = time.monotonic() + 60
+            while net.stats()["inflight"] and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert net.stats()["inflight"] == 0
+            with NetClient("127.0.0.1", net.port) as c:
+                r = c.call({"kind": "sssp", "graph_id": "grid", "source": 0})
+                assert r["status"] == "ok"
+
+
+def _spawn_cli(args, **kw):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+        **kw,
+    )
+
+
+def _read_listening_port(proc, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("listening on "):
+            _, _, port = line.strip().rpartition(":")
+            return int(port)
+    raise AssertionError("serve --net never printed its listening line")
+
+
+class TestSignalContract:
+    """Regression tests for the serve exit-code contract: 128 + signum."""
+
+    def test_net_serve_sigterm_exits_143(self):
+        proc = _spawn_cli(["serve", "--net", "--port", "0", "--workers", "2"])
+        try:
+            port = _read_listening_port(proc)
+            with NetClient("127.0.0.1", port) as c:
+                r = c.call({"kind": "sssp", "graph_id": "grid", "source": 0})
+                assert r["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=60)
+            assert proc.returncode == 128 + signal.SIGTERM
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+    def test_stdin_serve_sigint_drains_and_exits_130(self):
+        proc = _spawn_cli(["serve", "--requests", "-"], stdin=subprocess.PIPE)
+        try:
+            for s in range(3):
+                doc = {"kind": "sssp", "graph_id": "grid", "source": s}
+                proc.stdin.write(json.dumps(doc) + "\n")
+            proc.stdin.flush()
+            time.sleep(2.5)  # let the server accept + answer the stream
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 128 + signal.SIGINT
+            answered = [json.loads(x) for x in out.splitlines() if x.strip()]
+            assert len(answered) == 3  # graceful drain: nothing dropped
+            assert all(a["status"] == "ok" for a in answered)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

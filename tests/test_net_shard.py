@@ -1,0 +1,192 @@
+"""Tests of graph sharding: partition invariants and fixpoint exactness.
+
+The shard router must be invisible in the answers: a sharded sssp/khop is
+checked for *exact* distance agreement with the classical references on
+every graph tried, including a 10⁴-vertex instance — approximation is not
+on the menu, the fixpoint either converges to the true distances or the
+tier is broken.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import ref_sssp
+from repro.baselines.dijkstra import dijkstra
+from repro.errors import ValidationError
+from repro.service import QueryRequest, QueryServer
+from repro.service.net import (
+    partition_graph,
+    plan_sharded_request,
+    sharded_khop,
+    sharded_sssp,
+)
+from repro.workloads import gnp_graph, grid_graph
+
+
+def ref_hops(graph, source, k):
+    """BFS hop distances capped at ``k`` (the khop reach metric)."""
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    for hop in range(1, k + 1):
+        nxt = []
+        for u in frontier:
+            heads, _ = graph.out_edges(u)
+            for v in heads.tolist():
+                if dist[v] < 0:
+                    dist[v] = hop
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(60, 0.08, max_length=9, seed=3, ensure_source_reaches=True)
+
+
+@pytest.fixture(scope="module")
+def sharded(graph):
+    return partition_graph(graph, 4)
+
+
+class TestPartition:
+    def test_vertices_covered_once(self, graph, sharded):
+        seen = np.zeros(graph.n, dtype=bool)
+        for shard in sharded.shards:
+            span = np.arange(shard.base, shard.base + shard.n)
+            assert not seen[span].any()
+            seen[span] = True
+        assert seen.all()
+
+    def test_edges_partitioned_by_head(self, graph, sharded):
+        local = sum(s.graph.m for s in sharded.shards)
+        assert local + sharded.cross_edges == graph.m
+
+    def test_cross_edges_are_local_src_global_dst(self, sharded):
+        for shard in sharded.shards:
+            if shard.cross_src.size == 0:
+                continue
+            assert (shard.cross_src >= 0).all()
+            assert (shard.cross_src < shard.n).all()
+            outside = (shard.cross_dst < shard.base) | (
+                shard.cross_dst >= shard.base + shard.n
+            )
+            assert outside.all()
+
+    def test_more_shards_than_vertices_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            partition_graph(graph, graph.n + 1)
+        with pytest.raises(ValidationError):
+            partition_graph(graph, 0)
+
+    def test_single_shard_degenerates_to_whole_graph(self, graph):
+        sg = partition_graph(graph, 1)
+        assert sg.k == 1
+        assert sg.cross_edges == 0
+        assert sg.shards[0].graph.m == graph.m
+
+
+class TestFixpointExactness:
+    def test_sssp_matches_dijkstra(self, graph, sharded):
+        for source in (0, 7, graph.n - 1):
+            res = sharded_sssp(sharded, source)
+            expect, _ = dijkstra(graph, source)
+            np.testing.assert_array_equal(res.dist, expect)
+            assert res.cost.extras["shards"] == 4
+
+    def test_sssp_matches_networkx(self, graph, sharded):
+        res = sharded_sssp(sharded, 0)
+        np.testing.assert_array_equal(res.dist, ref_sssp(graph, 0))
+
+    def test_khop_matches_bfs_hops(self, graph, sharded):
+        for k in (0, 1, 3, 6):
+            res = sharded_khop(sharded, 0, k)
+            np.testing.assert_array_equal(res.dist, ref_hops(graph, 0, k))
+
+    def test_grid_graph_many_shard_counts(self):
+        g = grid_graph(8, 8, max_length=5, seed=1)
+        expect, _ = dijkstra(g, 0)
+        for k in (1, 2, 3, 5):
+            res = sharded_sssp(partition_graph(g, k), 0)
+            np.testing.assert_array_equal(res.dist, expect)
+
+    def test_large_graph_exact(self):
+        """The acceptance-criterion instance: n = 10⁴, exact agreement."""
+        g = gnp_graph(10_000, 0.0004, max_length=9, seed=13)
+        sg = partition_graph(g, 4)
+        res = sharded_sssp(sg, 0)
+        expect, _ = dijkstra(g, 0)
+        np.testing.assert_array_equal(res.dist, expect)
+
+    def test_cost_report_merges_shard_telemetry(self, sharded):
+        res = sharded_sssp(sharded, 0)
+        assert res.cost.algorithm == "sharded_sssp"
+        assert res.cost.extras["cross_edges"] == sharded.cross_edges
+        assert res.cost.extras["local_runs"] >= sharded.k
+        assert res.rounds >= 1
+
+
+class TestShardedPlans:
+    def test_bad_source_rejected(self, sharded):
+        req = QueryRequest(kind="sssp", graph_id="g", source=sharded.n + 5)
+        with pytest.raises(ValidationError):
+            plan_sharded_request(req, sharded)
+
+    def test_runner_plans_never_coalesce(self, sharded):
+        req = QueryRequest(kind="sssp", graph_id="g", source=0)
+        a = plan_sharded_request(req, sharded)
+        b = plan_sharded_request(req, sharded)
+        assert a.runner is not None and b.runner is not None
+        assert a.batch_key != b.batch_key
+
+    def test_served_sharded_matches_solo(self, graph):
+        server = QueryServer(workers=2, max_batch=4, linger_s=0.002)
+        server.register_sharded_graph("g", graph, 4)
+        expect, _ = dijkstra(graph, 0)
+        with server:
+            res = server.submit(
+                QueryRequest(kind="sssp", graph_id="g", source=0)
+            ).result(timeout=60)
+            assert res.ok
+            np.testing.assert_array_equal(res.dist, expect)
+            stats = server.stats()
+        assert stats["sharded"]["g"]["shards"] == 4
+
+    def test_two_sharded_graphs_share_one_pool_without_collision(self, graph):
+        """Regression: resident shard networks are structure-keyed, so two
+        sharded graphs served through one process pool must never reuse
+        each other's worker-resident networks."""
+        from repro.service.net import ProcessWorkerPool
+
+        other = grid_graph(9, 9, max_length=5, seed=2)
+        with ProcessWorkerPool(workers=2) as pool:
+            server = QueryServer(
+                workers=2, max_batch=4, linger_s=0.002, process_pool=pool
+            )
+            server.register_sharded_graph("a", graph, 4)
+            server.register_sharded_graph("b", other, 4)
+            with server:
+                for gid, g in (("a", graph), ("b", other)):
+                    res = server.submit(
+                        QueryRequest(kind="sssp", graph_id=gid, source=0)
+                    ).result(timeout=120)
+                    assert res.ok, res.error
+                    expect, _ = dijkstra(g, 0)
+                    np.testing.assert_array_equal(res.dist, expect)
+
+    def test_ineligible_shapes_fall_back_to_whole_graph(self, graph):
+        """Targeted sssp can't shard; it must still be served (resident)."""
+        server = QueryServer(workers=2, max_batch=4, linger_s=0.002)
+        server.register_sharded_graph("g", graph, 4)
+        expect, _ = dijkstra(graph, 0)
+        with server:
+            res = server.submit(
+                QueryRequest(kind="sssp", graph_id="g", source=0, target=5)
+            ).result(timeout=60)
+            assert res.ok
+            assert res.dist[5] == expect[5]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
