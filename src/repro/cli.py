@@ -214,6 +214,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the circuit-library certification grid",
     )
+    lint.add_argument(
+        "--temporal",
+        action="store_true",
+        help="also print per-network spike-time intervals and quiescence bounds",
+    )
+
+    cert = sub.add_parser(
+        "certify",
+        help="certify theorem budgets (size + runtime) and emit certify_report.json",
+    )
+    cert.add_argument(
+        "graphs",
+        nargs="*",
+        help="edge-list files to certify as compiled Section-3 / k-hop networks",
+    )
+    cert.add_argument(
+        "--golden",
+        default=None,
+        help="directory of golden fixtures whose embedded graphs (and pinned "
+        "budgets) to certify against",
+    )
+    cert.add_argument("--k", type=int, default=4, help="k for k-hop certification")
+    cert.add_argument(
+        "--json", action="store_true", help="emit one JSON document (for CI)"
+    )
+    cert.add_argument("--out", default=None, help="also write the JSON report here")
+    cert.add_argument(
+        "--no-circuits",
+        action="store_true",
+        help="skip the circuit-library certification grid",
+    )
+    cert.add_argument(
+        "--temporal",
+        action="store_true",
+        help="also print per-network spike-time intervals and quiescence bounds",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -474,6 +510,13 @@ def _cmd_profile(args) -> int:
         )
         print(lint.summary())
 
+        from repro.staticcheck.temporal import analyze_temporal
+
+        analysis = analyze_temporal(
+            net.compile(), stimulus=[node_ids[args.source]]
+        )
+        print(analysis.summary())
+
     # DISTANCE-model comparison: data-movement cost of the conventional
     # baseline vs the neuromorphic totals (native and embedding-charged)
     if args.algorithm in ("khop", "khop_poly", "approx"):
@@ -529,22 +572,24 @@ def _cmd_lint(args) -> int:
 
     named_graphs: List = []
     for path in args.graphs:
-        named_graphs.append((path, _read_graph(path)))
+        named_graphs.append((path, _read_graph(path), None))
     if args.golden:
         for name in sorted(os.listdir(args.golden)):
             if not name.endswith(".json"):
                 continue
             with open(os.path.join(args.golden, name), encoding="utf-8") as fh:
-                doc = json.load(fh)
-            gspec = doc.get("graph")
+                fixture = json.load(fh)
+            gspec = fixture.get("graph")
             if not isinstance(gspec, dict) or "edges" not in gspec:
                 continue
             g = WeightedDigraph(
                 int(gspec["n"]), [tuple(e) for e in gspec["edges"]]
             )
-            named_graphs.append((f"{args.golden}/{name}", g))
+            named_graphs.append((f"{args.golden}/{name}", g, fixture))
 
-    for label, g in named_graphs:
+    budget_diffs: List[str] = []
+    temporal_summaries: List[dict] = []
+    for label, g, fixture in named_graphs:
         for use_gadgets in (False, True):
             entry, lint = certify_sssp(g, use_gadgets=use_gadgets)
             entry = _relabel_entry(entry, f"{entry.kind}[{label}]")
@@ -554,8 +599,37 @@ def _cmd_lint(args) -> int:
         entry = _relabel_entry(entry, f"{entry.kind}[{label}]")
         report.entries.append(entry)
         report.lint_reports.append(lint)
+        # Golden-pinned runtime budgets: a settle/quiescence/runtime drift
+        # fails this gate exactly like a size regression.
+        if fixture is not None and isinstance(fixture.get("budgets"), dict):
+            pinned = fixture["budgets"]
+            fresh = _budget_payload(g, int(pinned.get("k", args.k)))
+            for kind in sorted(set(pinned) | set(fresh)):
+                if kind == "k":
+                    continue
+                if pinned.get(kind) != fresh.get(kind):
+                    budget_diffs.append(
+                        f"{label}: {kind} budgets drifted\n"
+                        f"    pinned: {json.dumps(pinned.get(kind), sort_keys=True)}\n"
+                        f"    now:    {json.dumps(fresh.get(kind), sort_keys=True)}"
+                    )
+        if getattr(args, "temporal", False):
+            from repro.algorithms.sssp_pseudo import sssp_network
+            from repro.staticcheck.temporal import analyze_temporal
+
+            net, node_ids = sssp_network(g)
+            analysis = analyze_temporal(
+                net.compile(), stimulus=list(node_ids)
+            )
+            temporal_summaries.append(
+                {"subject": f"sssp[{label}]", **analysis.to_dict()}
+            )
 
     doc = report.to_dict()
+    if budget_diffs:
+        doc["budget_regressions"] = budget_diffs
+    if temporal_summaries:
+        doc["temporal"] = temporal_summaries
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
@@ -564,13 +638,54 @@ def _cmd_lint(args) -> int:
         print(json.dumps(doc))
     else:
         print(report.render())
+        for summary in temporal_summaries:
+            print(
+                f"temporal {summary['subject']}: "
+                f"{summary['live']}/{summary['neurons']} live, "
+                f"last spike <= {summary['last_spike_bound']}, "
+                f"quiescent by {summary['quiescence_bound']}"
+                if summary["bounded"]
+                else f"temporal {summary['subject']}: "
+                f"{summary['unbounded']} neuron(s) with no certified bound"
+            )
+        for diff in budget_diffs:
+            print(f"golden budget regression: {diff}")
         bad_lints = [r for r in report.lint_reports if not r.ok]
         for r in bad_lints:
             print()
             print(r.render())
         if args.out:
             print(f"wrote certification report to {args.out}")
-    return 0 if report.ok else 1
+    return 0 if report.ok and not budget_diffs else 1
+
+
+def _budget_payload(g, k: int) -> dict:
+    """The certifier measurements golden fixtures pin for one graph.
+
+    Shared by ``tools/gen_golden.py`` (which embeds it in each fixture)
+    and ``repro lint --golden`` / ``repro certify --golden`` (which
+    recompute and diff it), so a settle/quiescence/runtime regression
+    fails the same gate as a raster drift.
+    """
+    from repro.staticcheck.certifier import certify_khop, certify_sssp
+
+    def entry_payload(e) -> dict:
+        return {
+            "neurons": e.neurons,
+            "synapses": e.synapses,
+            "runtime": e.runtime,
+            "settle": e.settle,
+            "quiescence": e.quiescence,
+            "budget": e.budget.to_dict(),
+        }
+
+    out: dict = {"k": int(k)}
+    for use_gadgets in (False, True):
+        entry, _ = certify_sssp(g, use_gadgets=use_gadgets)
+        out[entry.kind] = entry_payload(entry)
+    entry, _ = certify_khop(g, k)
+    out[entry.kind] = entry_payload(entry)
+    return out
 
 
 def _relabel_entry(entry, kind: str):
@@ -1027,6 +1142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
 
     if args.command == "lint":
+        return _cmd_lint(args)
+
+    if args.command == "certify":
         return _cmd_lint(args)
 
     if args.command == "serve":

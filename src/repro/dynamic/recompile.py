@@ -44,6 +44,7 @@ from repro.core.network import CompiledNetwork
 from repro.core.sparse import repatch_sparse, sparse_compile
 from repro.dynamic.graph import MutableGraph
 from repro.errors import ValidationError
+from repro.staticcheck.temporal import TemporalAnalysis, analyze_temporal, repropagate
 from repro.telemetry.metrics import counter_inc
 from repro.workloads.graph import WeightedDigraph
 
@@ -107,6 +108,10 @@ class _FamilyState:
     key: str
     net: CompiledNetwork
     node_ids: List[int]
+    #: Spike-time intervals for the worst-case (any-vertex) stimulus; kept
+    #: current across refreshes once :meth:`IncrementalRecompiler.temporal`
+    #: has been called for the family.  ``None`` = never requested.
+    temporal: Optional[TemporalAnalysis] = None
 
 
 @dataclass
@@ -142,6 +147,8 @@ class IncrementalRecompiler:
         self.vector_recompiles = 0
         self.reuses = 0
         self.sparse_rebuckets = 0
+        self.temporal_repropagations = 0
+        self.temporal_reanalyses = 0
         self.cache_seeded = 0
         self.cache_invalidated = 0
 
@@ -175,6 +182,8 @@ class IncrementalRecompiler:
             "vector_recompiles": self.vector_recompiles,
             "reuses": self.reuses,
             "sparse_rebuckets": self.sparse_rebuckets,
+            "temporal_repropagations": self.temporal_repropagations,
+            "temporal_reanalyses": self.temporal_reanalyses,
             "cache_seeded": self.cache_seeded,
             "cache_invalidated": self.cache_invalidated,
         }
@@ -238,11 +247,16 @@ class IncrementalRecompiler:
                     # lazy re-bucketing, instead of dropping it with the
                     # invalidated cache entries
                     self.sparse_rebuckets += 1
+                temporal = self._advance_temporal(st, net, mode)
                 old_keys.add(st.key)
                 self._seed(family, new_key, net, node_ids)
                 report.cache_seeded += 1
                 self._state[family] = _FamilyState(
-                    version=version, key=new_key, net=net, node_ids=node_ids
+                    version=version,
+                    key=new_key,
+                    net=net,
+                    node_ids=node_ids,
+                    temporal=temporal,
                 )
                 report.families[family] = mode
             for old_key in old_keys:
@@ -288,6 +302,52 @@ class IncrementalRecompiler:
             # key so invalidation drops it together with the network
             sparse_compile(net, cache=self._cache, structure_key=key)
         counter_inc("dynamic.cache.seeded", 1)
+
+    def _advance_temporal(
+        self, st: _FamilyState, net: CompiledNetwork, mode: str
+    ) -> Optional[TemporalAnalysis]:
+        """Carry the family's temporal analysis across one refresh.
+
+        A weights-only delta re-propagates intervals only through the
+        affected delay cone (:func:`~repro.staticcheck.temporal.repropagate`
+        from the changed synapses); a structural recompile re-analyzes from
+        scratch.  Differentially tested equal to from-scratch in
+        ``tests/test_dynamic.py``.
+        """
+        if st.temporal is None:
+            return None
+        if mode == "reused":
+            return st.temporal
+        if mode == "patched_weights":
+            changed = np.flatnonzero(st.net.syn_delay != net.syn_delay)
+            self.temporal_repropagations += 1
+            counter_inc("dynamic.recompile.temporal_repropagated", 1)
+            return repropagate(st.temporal, net, changed)
+        self.temporal_reanalyses += 1
+        counter_inc("dynamic.recompile.temporal_reanalyzed", 1)
+        return analyze_temporal(net, stimulus=list(range(net.n)))
+
+    def temporal(self, family: str) -> TemporalAnalysis:
+        """Current spike-time intervals of ``family``'s compiled network.
+
+        The analysis assumes the worst-case stimulus (any vertex driven at
+        tick 0), matching the admission bound of
+        :class:`~repro.service.server.QueryServer`.  Computed lazily on
+        first call, then maintained incrementally by :meth:`refresh`.
+        """
+        with self._graph.lock:
+            self._ensure(family)
+            st = self._state[family]
+            if st.version != self._graph.version:
+                self.refresh()
+                st = self._state[family]
+            if st.temporal is None:
+                st.temporal = analyze_temporal(
+                    st.net, stimulus=list(range(st.net.n))
+                )
+                self.temporal_reanalyses += 1
+                counter_inc("dynamic.recompile.temporal_reanalyzed", 1)
+            return st.temporal
 
     @staticmethod
     def _patch_delays(net: CompiledNetwork, snap: WeightedDigraph) -> CompiledNetwork:

@@ -131,6 +131,31 @@ class StaticCheckError(ReproError, ValueError):
         self.report = report
 
 
+class TemporalBudgetError(StaticCheckError):
+    """A request's certified runtime bound does not fit its deadline.
+
+    Raised synchronously at admission by
+    :meth:`repro.service.server.QueryServer.submit` when the temporal
+    analysis (:mod:`repro.staticcheck.temporal`) proves the planned run
+    needs more ticks than the request's ``deadline_s`` allows at the
+    server's configured tick rate — the simulator is never started.
+    :attr:`certified_ticks` is the provable worst-case run length;
+    :attr:`budget_ticks` is what the deadline affords.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        certified_ticks: int = 0,
+        budget_ticks: int = 0,
+        report: object = None,
+    ):
+        super().__init__(message, report=report)
+        self.certified_ticks = int(certified_ticks)
+        self.budget_ticks = int(budget_ticks)
+
+
 class CircuitError(ReproError, ValueError):
     """A circuit construction received inconsistent wiring or widths."""
 
@@ -182,6 +207,7 @@ RETRYABLE_ERROR_CODES = frozenset(
 _CODE_TABLE: Tuple[Tuple[type, str], ...] = (
     (CircuitOpenError, "BREAKER_OPEN"),
     (ServiceOverloadedError, "OVERLOADED"),
+    (TemporalBudgetError, "TEMPORAL_BUDGET"),
     (StaticCheckError, "STATICCHECK"),
     (UnsupportedNetworkError, "UNSUPPORTED"),
     (WatchdogError, "WATCHDOG"),

@@ -63,6 +63,7 @@ from repro.errors import (
     CircuitOpenError,
     ReproError,
     ServiceOverloadedError,
+    TemporalBudgetError,
     ValidationError,
     classify_exception,
 )
@@ -246,6 +247,24 @@ class QueryServer:
         invalid queries synchronously with a
         :class:`~repro.errors.StaticCheckError` carrying the full lint
         report — a diagnostic instead of a watchdog timeout.
+    temporal_admission:
+        When True (the default), every simulating submit also consults
+        the temporal abstract interpretation
+        (:mod:`repro.staticcheck.temporal`, memoized per resident): the
+        planned tick horizon is clamped to the certified quiescence
+        bound (the engine provably stops by then, so the clamp never
+        changes an answer — it only prevents burning a huge ``max_steps``
+        budget on a network that settled long before), and with a
+        configured ``tick_rate`` a request whose certified run length
+        cannot fit its ``deadline_s`` is rejected synchronously with a
+        :class:`~repro.errors.TemporalBudgetError` — without running the
+        simulator.  Fault-carrying requests skip the temporal gate:
+        injected spikes break the causal model the bound is proved in.
+    tick_rate:
+        Simulated ticks per wall-clock second used to convert
+        ``deadline_s`` into a tick budget for the static rejection above.
+        ``None`` (default) disables deadline conversion; clamping still
+        applies.
     breaker_policy:
         Per-``(kind, graph_id)`` circuit-breaker tuning; ``None`` disables
         breakers.  The default :class:`~repro.service.breaker.BreakerPolicy`
@@ -293,6 +312,8 @@ class QueryServer:
         result_cache_ttl_s: float = 60.0,
         result_cache_stale_grace_s: Optional[float] = None,
         lint_admission: bool = True,
+        temporal_admission: bool = True,
+        tick_rate: Optional[float] = None,
         breaker_policy: Optional[BreakerPolicy] = BreakerPolicy(),
         degraded_serving: bool = False,
         supervise: bool = True,
@@ -356,6 +377,14 @@ class QueryServer:
         self._lint_admission = bool(lint_admission)
         #: (resident key, plan family) -> memoized LintReport
         self._lint_cache: Dict[Tuple, Any] = {}
+        if tick_rate is not None and tick_rate <= 0:
+            raise ValidationError(f"tick_rate must be > 0, got {tick_rate}")
+        self._temporal_admission = bool(temporal_admission)
+        self._tick_rate = None if tick_rate is None else float(tick_rate)
+        #: (resident key, plan family) -> certified quiescence tick, or None
+        #: when the temporal analysis cannot bound the resident (pacemakers,
+        #: uncapped excitatory cycles).
+        self._temporal_cache: Dict[Tuple, Optional[int]] = {}
         self._epoch = 0
         self.registry = MetricsRegistry("service")
         self._reg_lock = threading.Lock()
@@ -711,6 +740,8 @@ class QueryServer:
             plan = plan_request(request, graphs_view, self._circuits)
             if self._lint_admission:
                 self._check_admission(request, plan, resident_key)
+            if self._temporal_admission:
+                self._check_temporal(request, plan, resident_key)
         deadline = None if request.deadline_s is None else now + request.deadline_s
         ticket = QueryTicket(request, plan, admitted_at=now, deadline=deadline)
         ticket.cache_key = cache_key
@@ -848,6 +879,83 @@ class QueryServer:
                 self.registry.counter_inc("service.requests.rejected")
                 self.registry.counter_inc("service.lint.rejections")
             report.raise_if_errors()
+
+    def _certified_bound(self, plan: RequestPlan) -> Optional[int]:
+        """Worst-case quiescence tick of the plan's resident, or ``None``.
+
+        The analysis stimulates *every* neuron at tick 0 — a superset of
+        any stimulus a request of this family can carry, and the temporal
+        lattice is monotone in the stimulus set, so one memoized bound is
+        sound for the whole resident.
+        """
+        from repro.staticcheck.temporal import analyze_temporal
+
+        net = plan.network
+        if net is None:
+            return None
+        net = net.compile() if hasattr(net, "compile") else net
+        try:
+            analysis = analyze_temporal(net, stimulus=list(range(net.n)))
+        except Exception:
+            return None
+        if not analysis.bounded:
+            return None
+        return analysis.quiescence_bound
+
+    def _check_temporal(
+        self, request: QueryRequest, plan: RequestPlan, resident_key: Tuple
+    ) -> None:
+        """Static time-budget admission: clamp horizons, reject deadlines.
+
+        Runs after the structural lint.  The certified bound is memoized
+        per (resident key, plan family) exactly like the lint report, so
+        the steady-state cost is a dict lookup.  Fault-carrying requests
+        are exempt: injected spikes violate the causation lemma the bound
+        rests on.
+        """
+        if plan.mutation or plan.runner is not None:
+            return
+        if request.faults is not None:
+            return
+        family = plan.batch_key[0]
+        key = (resident_key, family)
+        if key in self._temporal_cache:
+            bound = self._temporal_cache[key]
+        else:
+            bound = self._certified_bound(plan)
+            self._temporal_cache[key] = bound
+            with self._reg_lock:
+                self.registry.counter_inc("service.temporal.analyzed")
+        if bound is None:
+            return
+        max_steps = plan.sim_kwargs.get("max_steps")
+        if (
+            plan.sim_kwargs.get("stop_when_quiescent")
+            and max_steps is not None
+            and max_steps > bound
+        ):
+            # Sound: the engine provably reports QUIESCENT by `bound`, so
+            # truncating the budget there cannot change any result.  Plans
+            # sharing this batch key share the resident, hence the clamp.
+            plan.sim_kwargs["max_steps"] = bound
+            with self._reg_lock:
+                self.registry.counter_inc("service.temporal.clamped")
+        if request.deadline_s is None or self._tick_rate is None:
+            return
+        predicted = bound if max_steps is None else min(bound, int(max_steps))
+        budget_ticks = int(request.deadline_s * self._tick_rate)
+        if predicted > budget_ticks:
+            with self._reg_lock:
+                self.registry.counter_inc("service.requests.rejected")
+                self.registry.counter_inc("service.temporal.rejections")
+            raise TemporalBudgetError(
+                f"certified run length of {predicted} ticks exceeds the "
+                f"{budget_ticks}-tick budget of deadline_s="
+                f"{request.deadline_s} at {self._tick_rate} ticks/s; "
+                "rejected without simulating",
+                certified_ticks=predicted,
+                budget_ticks=budget_ticks,
+            )
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -1288,6 +1396,8 @@ class QueryServer:
             self._result_cache.invalidate(old_resident)
         for key in [k for k in self._lint_cache if k[0] == old_resident]:
             self._lint_cache.pop(key, None)
+        for key in [k for k in self._temporal_cache if k[0] == old_resident]:
+            self._temporal_cache.pop(key, None)
         return outputs, version
 
     # ------------------------------------------------------------------ #
@@ -1453,6 +1563,16 @@ class QueryServer:
             "lint": {
                 "enabled": self._lint_admission,
                 "residents": {r.subject: r.ok for r in self._lint_cache.values()},
+            },
+            "temporal": {
+                "enabled": self._temporal_admission,
+                "tick_rate": self._tick_rate,
+                "bounds": {
+                    "/".join(str(p) for p in key): bound
+                    for key, bound in sorted(
+                        self._temporal_cache.items(), key=lambda kv: str(kv[0])
+                    )
+                },
             },
         }
         with self._breaker_lock:

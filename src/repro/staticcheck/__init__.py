@@ -15,6 +15,11 @@ Three layers, all running *before* any spike is simulated:
    ``repro lint`` CLI.
 """
 
+from repro.staticcheck.artifacts import (
+    ARTIFACT_RULES,
+    verify_shard_partition,
+    verify_sparse_artifact,
+)
 from repro.staticcheck.certifier import (
     DEFAULT_GRID,
     CertEntry,
@@ -27,6 +32,12 @@ from repro.staticcheck.certifier import (
 )
 from repro.staticcheck.diagnostics import Diagnostic, LintReport, Severity
 from repro.staticcheck.rules import RULES, lint_circuit, lint_network
+from repro.staticcheck.temporal import (
+    NO_SPIKE,
+    TemporalAnalysis,
+    analyze_temporal,
+    repropagate,
+)
 
 __all__ = [
     "Severity",
@@ -43,4 +54,11 @@ __all__ = [
     "certify_library",
     "certify_sssp",
     "certify_khop",
+    "NO_SPIKE",
+    "TemporalAnalysis",
+    "analyze_temporal",
+    "repropagate",
+    "ARTIFACT_RULES",
+    "verify_sparse_artifact",
+    "verify_shard_partition",
 ]

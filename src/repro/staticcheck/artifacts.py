@@ -1,0 +1,461 @@
+"""Artifact verifiers: every compiled representation is lint-gated.
+
+The SC1xx rules check the *dense* compile.  Since PRs 7-9 the engines also
+consume two derived representations — the per-delay CSR slices of
+:mod:`repro.core.sparse` and the shard router's partition of
+:mod:`repro.service.net.shard` — whose invariants the simulators rely on
+silently (delivery order, fault identity, cross-edge relaxation).  These
+verifiers cross-check each derived artifact against the dense compile it
+claims to represent, so a bucketing or partitioning bug fails lint instead
+of surfacing as a wrong raster three layers up.
+
+Rule catalog (stable codes, continuing the SC1xx table):
+
+========  =====================  ========  ====================================
+Code      Rule                   Severity  Fires when
+========  =====================  ========  ====================================
+SC150     bucket-delays          error     artifact delays are not the sorted
+                                           distinct synapse delays
+SC151     syn-id-partition       error     bucket synapse ids do not partition
+                                           ``[0, m)``
+SC152     bucket-label           error     ``syn_bucket`` disagrees with
+                                           ``searchsorted(delays, syn_delay)``
+SC153     bucket-content         error     a bucket row's targets/weights/order
+                                           disagree with the dense CSR arrays
+SC154     bucket-shape           error     matrix shape/indptr inconsistent
+SC155     stale-artifact         error     the artifact's network is not the
+                                           network being verified
+SC160     shard-range            error     shard vertex ranges do not tile
+                                           ``[0, n)`` contiguously
+SC161     edge-partition         error     graph edges are not exactly
+                                           partitioned into local + cross
+SC162     cross-edge             error     a cross edge has bad endpoints,
+                                           nonpositive weight, or stays local
+SC163     shard-net              error     a shard's compiled network disagrees
+                                           with its local subgraph (or two
+                                           different subgraphs collide on one
+                                           structure key)
+========  =====================  ========  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.network import CompiledNetwork
+from repro.core.sparse import SparseCompiledNetwork, sparse_compile
+from repro.staticcheck.diagnostics import Diagnostic, LintReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.service.net.shard import ShardedGraph
+
+__all__ = [
+    "ARTIFACT_RULES",
+    "verify_sparse_artifact",
+    "verify_shard_partition",
+]
+
+#: code -> (rule name, default severity, one-line summary)
+ARTIFACT_RULES: Dict[str, Tuple[str, Severity, str]] = {
+    "SC150": ("bucket-delays", Severity.ERROR, "artifact delays wrong or unsorted"),
+    "SC151": ("syn-id-partition", Severity.ERROR, "bucket syn ids do not partition [0, m)"),
+    "SC152": ("bucket-label", Severity.ERROR, "syn_bucket disagrees with delays"),
+    "SC153": ("bucket-content", Severity.ERROR, "bucket rows disagree with dense CSR"),
+    "SC154": ("bucket-shape", Severity.ERROR, "bucket matrix shape/indptr inconsistent"),
+    "SC155": ("stale-artifact", Severity.ERROR, "artifact bound to a different network"),
+    "SC160": ("shard-range", Severity.ERROR, "shard ranges do not tile [0, n)"),
+    "SC161": ("edge-partition", Severity.ERROR, "edges not partitioned local + cross"),
+    "SC162": ("cross-edge", Severity.ERROR, "cross edge inconsistent"),
+    "SC163": ("shard-net", Severity.ERROR, "shard network disagrees with subgraph"),
+}
+
+_MAX_LISTED = 8
+
+
+def _diag(
+    code: str,
+    message: str,
+    *,
+    neurons: Iterable[int] = (),
+    synapses: Iterable[int] = (),
+    count: Optional[int] = None,
+) -> Diagnostic:
+    rule, severity, _ = ARTIFACT_RULES[code]
+    return Diagnostic(
+        code=code,
+        rule=rule,
+        severity=severity,
+        message=message,
+        neurons=tuple(int(v) for v in list(neurons)[:_MAX_LISTED]),
+        synapses=tuple(int(v) for v in list(synapses)[:_MAX_LISTED]),
+        count=count,
+    )
+
+
+def _report(subject: str, net_n: int, net_m: int, out: List[Diagnostic]) -> LintReport:
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    out.sort(key=lambda d: (order[d.severity], d.code))
+    return LintReport(
+        subject=subject, neurons=net_n, synapses=net_m, diagnostics=out, skipped=()
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sparse CSR artifact (SC15x)
+# --------------------------------------------------------------------------- #
+
+
+def verify_sparse_artifact(
+    network: Union[CompiledNetwork, SparseCompiledNetwork],
+    *,
+    subject: str = "sparse_artifact",
+    against: Optional[CompiledNetwork] = None,
+) -> LintReport:
+    """Cross-check a per-delay CSR artifact against its dense compile.
+
+    Accepts either the :class:`~repro.core.sparse.SparseCompiledNetwork`
+    itself or a :class:`~repro.core.network.CompiledNetwork` (whose
+    memoized artifact is used, building it on demand).  Verifies the
+    invariants :func:`~repro.core.sparse.simulate_sparse` silently relies
+    on: ascending unique bucket delays, global-synapse-id partition,
+    per-synapse bucket labels, within-bucket (source asc, CSR position
+    asc) delivery order, and exact weight/target agreement with the dense
+    CSR arrays — the properties that make sparse runs spike-for-spike and
+    fault-for-fault identical to dense ones.
+
+    ``against`` optionally names the compiled network the caller *believes*
+    the artifact represents (e.g. the incremental recompiler's current
+    resident).  Identity disagreement is SC155 — a memo carried across a
+    recompile — and the content checks then run against ``against``, so a
+    stale-but-lucky artifact still has to match the live arrays.
+    """
+    if isinstance(network, SparseCompiledNetwork):
+        art = network
+        net = art.net if against is None else against
+    else:
+        net = network if against is None else against
+        art = sparse_compile(network)
+    out: List[Diagnostic] = []
+    n, m = net.n, net.m
+
+    if art.net is not net:
+        out.append(
+            _diag(
+                "SC155",
+                "artifact's network is a different object than the network "
+                "under verification; the memo was carried across a recompile "
+                "incorrectly",
+            )
+        )
+
+    # SC150: delays ascending, unique, and exactly the distinct delays
+    delays = np.asarray(art.delays)
+    expect = np.unique(net.syn_delay) if m else np.empty(0, np.int64)
+    if delays.size != expect.size or (delays.size and not np.array_equal(delays, expect)):
+        out.append(
+            _diag(
+                "SC150",
+                f"artifact delay table {delays.tolist()[:8]} does not equal "
+                f"the sorted distinct synapse delays ({expect.size} expected)",
+                count=int(delays.size),
+            )
+        )
+    bad_bucket_delay = [
+        k for k, b in enumerate(art.buckets)
+        if k >= delays.size or int(b.delay) != int(delays[k])
+    ]
+    if len(art.buckets) != delays.size or bad_bucket_delay:
+        out.append(
+            _diag(
+                "SC150",
+                f"{len(art.buckets)} bucket(s) for {delays.size} delay(s), or "
+                f"bucket delay out of order",
+                count=len(art.buckets),
+            )
+        )
+        return _report(subject, n, m, out)  # downstream checks would misindex
+
+    # SC151: bucket syn ids partition [0, m)
+    all_syn = (
+        np.concatenate([b.syn for b in art.buckets])
+        if art.buckets
+        else np.empty(0, np.int64)
+    )
+    if all_syn.size != m or (
+        m and not np.array_equal(np.sort(all_syn), np.arange(m))
+    ):
+        seen = np.zeros(m, dtype=np.int64)
+        valid = all_syn[(all_syn >= 0) & (all_syn < m)]
+        np.add.at(seen, valid, 1)
+        missing = np.flatnonzero(seen == 0)
+        dupes = np.flatnonzero(seen > 1)
+        out.append(
+            _diag(
+                "SC151",
+                f"bucket synapse ids do not partition [0, {m}): "
+                f"{missing.size} missing, {dupes.size} duplicated, "
+                f"{all_syn.size - valid.size} out of range",
+                synapses=np.concatenate([missing[:4], dupes[:4]]),
+                count=int(missing.size + dupes.size),
+            )
+        )
+        return _report(subject, n, m, out)
+
+    # SC152: per-synapse bucket label and per-bucket delay membership
+    expect_label = (
+        np.searchsorted(delays, net.syn_delay) if m else np.empty(0, np.int64)
+    )
+    if art.syn_bucket.size != m or (
+        m and not np.array_equal(art.syn_bucket, expect_label)
+    ):
+        bad = (
+            np.flatnonzero(art.syn_bucket != expect_label)
+            if art.syn_bucket.size == m
+            else np.arange(min(m, 1))
+        )
+        out.append(
+            _diag(
+                "SC152",
+                f"{bad.size} synapse bucket label(s) disagree with "
+                f"searchsorted(delays, syn_delay)",
+                synapses=bad,
+                count=int(bad.size),
+            )
+        )
+    src_of = (
+        np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
+        if m
+        else np.empty(0, np.int64)
+    )
+    for k, b in enumerate(art.buckets):
+        if m and (net.syn_delay[b.syn] != b.delay).any():
+            bad = b.syn[net.syn_delay[b.syn] != b.delay]
+            out.append(
+                _diag(
+                    "SC152",
+                    f"bucket {k} (delay {b.delay}) contains {bad.size} "
+                    f"synapse(s) of a different delay",
+                    synapses=bad,
+                    count=int(bad.size),
+                )
+            )
+
+        # SC154: shape/indptr consistency
+        rows = int(b.srcs.size)
+        if b.matrix.shape != (rows, n) or b.indptr.size != rows + 1 or not (
+            np.array_equal(np.asarray(b.matrix.indptr, dtype=np.int64), b.indptr)
+        ):
+            out.append(
+                _diag(
+                    "SC154",
+                    f"bucket {k}: matrix shape {b.matrix.shape} / indptr "
+                    f"len {b.indptr.size} inconsistent with {rows} source "
+                    f"row(s) over n = {n}",
+                )
+            )
+            continue
+        if b.syn.size != int(b.indptr[-1]):
+            out.append(
+                _diag(
+                    "SC154",
+                    f"bucket {k}: {b.syn.size} synapse id(s) but indptr "
+                    f"counts {int(b.indptr[-1])} stored entries",
+                )
+            )
+            continue
+
+        # SC153: row sources, targets, weights, and delivery order
+        if not b.syn.size:
+            continue
+        srcs_sorted = bool(np.all(np.diff(b.srcs) > 0))
+        row_src = np.repeat(b.srcs, np.diff(b.indptr))
+        order_ok = bool(np.all(np.diff(b.syn) > 0))  # (source asc, CSR pos asc)
+        src_ok = np.array_equal(src_of[b.syn], row_src)
+        dst_ok = np.array_equal(
+            np.asarray(b.matrix.indices, dtype=np.int64), net.syn_dst[b.syn]
+        )
+        w_ok = np.array_equal(np.asarray(b.matrix.data), net.syn_weight[b.syn])
+        if not (srcs_sorted and order_ok and src_ok and dst_ok and w_ok):
+            broken = [
+                lbl
+                for lbl, ok in (
+                    ("source rows", srcs_sorted and src_ok),
+                    ("delivery order", order_ok),
+                    ("targets", dst_ok),
+                    ("weights", w_ok),
+                )
+                if not ok
+            ]
+            out.append(
+                _diag(
+                    "SC153",
+                    f"bucket {k} (delay {b.delay}) disagrees with the dense "
+                    f"CSR arrays: {', '.join(broken)}",
+                    synapses=b.syn[:_MAX_LISTED],
+                )
+            )
+
+    return _report(subject, n, m, out)
+
+
+# --------------------------------------------------------------------------- #
+# Shard-router partition (SC16x)
+# --------------------------------------------------------------------------- #
+
+
+def verify_shard_partition(
+    sharded: "ShardedGraph",
+    *,
+    kind: str = "sssp",
+    subject: str = "shard_partition",
+    check_networks: bool = True,
+) -> LintReport:
+    """Verify a shard router partition against its source graph.
+
+    Checks contiguous range coverage of ``[0, n)`` (SC160), that every
+    edge of the source graph appears exactly once as shard-local or cross
+    (SC161), cross-edge endpoint/weight consistency (SC162), and — with
+    ``check_networks`` — that each shard's compiled network agrees with
+    its local subgraph and that equal structure keys only ever alias
+    equal subgraphs (SC163, the resident-collision contract of the
+    process pool).
+    """
+    out: List[Diagnostic] = []
+    g = sharded.graph
+    n = g.n
+
+    # SC160: contiguous tiling of [0, n)
+    size = sharded.shard_size
+    expect_size = -(-n // sharded.k) if sharded.k else 0
+    covered = 0
+    bad_ranges = []
+    for s, shard in enumerate(sharded.shards):
+        base = s * size
+        hi = min(base + size, n) if s < sharded.k - 1 else n
+        if shard.index != s or shard.base != base or shard.n != hi - base:
+            bad_ranges.append(s)
+        covered += shard.n
+    if size != expect_size or covered != n or bad_ranges:
+        out.append(
+            _diag(
+                "SC160",
+                f"shard ranges do not tile [0, {n}) contiguously "
+                f"(shard_size {size}, expected {expect_size}; covered "
+                f"{covered} of {n}; bad shards {bad_ranges[:4]})",
+                count=len(bad_ranges),
+            )
+        )
+        return _report(subject, n, g.m, out)
+
+    # SC162: cross-edge endpoint/weight consistency
+    for shard in sharded.shards:
+        cs, cd, cw = shard.cross_src, shard.cross_dst, shard.cross_w
+        bad = np.zeros(cs.size, dtype=bool)
+        bad |= (cs < 0) | (cs >= shard.n)
+        bad |= (cd < 0) | (cd >= n)
+        bad |= cw < 1
+        if cd.size:
+            stays = np.array([sharded.shard_of(int(v)) == shard.index for v in cd])
+            bad |= stays
+        if bad.any():
+            out.append(
+                _diag(
+                    "SC162",
+                    f"shard {shard.index}: {int(bad.sum())} cross edge(s) "
+                    f"with out-of-range endpoints, nonpositive weight, or a "
+                    f"target inside the shard's own range",
+                    count=int(bad.sum()),
+                )
+            )
+
+    # SC161: exact edge partition (multiset equality with the source graph)
+    parts = []
+    for shard in sharded.shards:
+        lg = shard.graph
+        parts.append(
+            np.stack(
+                [lg.tails + shard.base, lg.heads + shard.base, lg.lengths], axis=1
+            ).astype(np.int64)
+            if lg.m
+            else np.empty((0, 3), np.int64)
+        )
+        parts.append(
+            np.stack(
+                [shard.cross_src + shard.base, shard.cross_dst, shard.cross_w],
+                axis=1,
+            ).astype(np.int64)
+            if shard.cross_dst.size
+            else np.empty((0, 3), np.int64)
+        )
+    mine = np.concatenate(parts) if parts else np.empty((0, 3), np.int64)
+    theirs = np.stack([g.tails, g.heads, g.lengths], axis=1).astype(np.int64)
+    if mine.shape != theirs.shape or not np.array_equal(
+        mine[np.lexsort(mine.T[::-1])], theirs[np.lexsort(theirs.T[::-1])]
+    ):
+        out.append(
+            _diag(
+                "SC161",
+                f"shard-local + cross edges ({mine.shape[0]}) are not an "
+                f"exact partition of the {g.m} source edges",
+                count=int(abs(mine.shape[0] - g.m)),
+            )
+        )
+
+    # SC163: shard networks agree with their subgraphs; structure keys
+    # never alias two different subgraphs
+    if check_networks:
+        from repro.algorithms.reach import khop_reach_network
+        from repro.algorithms.sssp_pseudo import sssp_network
+        from repro.staticcheck.rules import lint_network
+
+        by_key: Dict[str, Tuple[int, int]] = {}
+        for shard in sharded.shards:
+            lg = shard.graph
+            net, node_ids = (
+                sssp_network(lg, use_gadgets=False)
+                if kind == "sssp"
+                else khop_reach_network(lg)
+            )
+            compiled = net.compile()
+            sub = lint_network(
+                compiled,
+                subject=f"{subject}/shard{shard.index}",
+                entries=list(node_ids),
+            )
+            if not sub.ok:
+                out.append(
+                    _diag(
+                        "SC163",
+                        f"shard {shard.index}: compiled {kind} network fails "
+                        f"structural lint ({len(sub.errors)} error(s): "
+                        f"{sub.errors[0].render()})",
+                        count=len(sub.errors),
+                    )
+                )
+            m_local = int(sum(1 for (u, v, _w) in lg.edges() if u != v))
+            if compiled.n != lg.n or compiled.m != m_local or len(node_ids) != lg.n:
+                out.append(
+                    _diag(
+                        "SC163",
+                        f"shard {shard.index}: compiled {kind} network has "
+                        f"{compiled.n} neurons / {compiled.m} synapses but the "
+                        f"local subgraph has {lg.n} vertices / {m_local} "
+                        f"non-self-loop edges",
+                    )
+                )
+            key = lg.structure_key()
+            sig = (lg.n, int(compiled.m))
+            if key in by_key and by_key[key] != sig:
+                out.append(
+                    _diag(
+                        "SC163",
+                        f"structure key {key!r} aliases two different shard "
+                        f"subgraphs ({by_key[key]} vs {sig}); resident slots "
+                        f"in the worker pool would collide",
+                    )
+                )
+            by_key[key] = sig
+
+    return _report(subject, n, g.m, out)

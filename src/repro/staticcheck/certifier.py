@@ -57,22 +57,36 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ResourceBudget:
-    """Upper bounds an artifact must not exceed (``None`` = unchecked)."""
+    """Upper bounds an artifact must not exceed (``None`` = unchecked).
+
+    ``settle`` bounds the last certified spike tick (the temporal
+    analysis' ``last_spike_bound``); ``quiescence`` bounds the tick at
+    which the engine provably reports QUIESCENT (last spike plus the
+    maximum delay still in flight).  ``unbounded=True`` inverts the
+    temporal check: the construction is *expected* to never quiesce (the
+    Figure-1B one-shot gadget latches fire forever once set), and a
+    bounded analysis means the construction silently changed.
+    """
 
     neurons: Optional[int] = None
     synapses: Optional[int] = None
     depth: Optional[int] = None
     runtime: Optional[int] = None
+    settle: Optional[int] = None
+    quiescence: Optional[int] = None
+    unbounded: bool = False
     #: True when the neuron/synapse bounds are exact closed forms of the
     #: current construction (equality is pinned by tests), False for caps.
     exact: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {"exact": self.exact}
-        for key in ("neurons", "synapses", "depth", "runtime"):
+        for key in ("neurons", "synapses", "depth", "runtime", "settle", "quiescence"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = int(value)
+        if self.unbounded:
+            out["unbounded"] = True
         return out
 
 
@@ -90,6 +104,11 @@ class CertEntry:
     budget: ResourceBudget
     violations: Tuple[str, ...]
     lint_ok: bool
+    #: Certified last-spike tick from the temporal analysis (None when the
+    #: analysis proves the network never quiesces, or was not run).
+    settle: Optional[int] = None
+    #: Certified quiescence tick (settle + max in-flight delay).
+    quiescence: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -114,6 +133,12 @@ class CertEntry:
             out["depth"] = self.depth
         if self.runtime is not None:
             out["runtime"] = self.runtime
+        if self.settle is not None:
+            out["settle"] = self.settle
+        if self.quiescence is not None:
+            out["quiescence"] = self.quiescence
+        if self.budget.unbounded:
+            out["unbounded"] = True
         if self.violations:
             out["violations"] = list(self.violations)
         return out
@@ -125,6 +150,10 @@ class CertEntry:
             parts.append(f"depth {self.depth}")
         if self.runtime is not None:
             parts.append(f"runtime {self.runtime}")
+        if self.quiescence is not None:
+            parts.append(f"settle {self.settle}, quiescent by {self.quiescence}")
+        elif self.budget.unbounded:
+            parts.append("non-quiescent by design")
         line = f"{self.label()} [{self.theorem}]: {status} — {', '.join(parts)}"
         for v in self.violations:
             line += f"\n    budget violation: {v}"
@@ -218,6 +247,8 @@ def _budget_wired_or(p: Dict[str, int]) -> ResourceBudget:
         neurons=5 * d * lam + 2 * lam + 1,
         synapses=10 * d * lam,
         depth=4 * lam + 2,
+        settle=4 * lam + 2,
+        quiescence=8 * lam + 3,
         exact=True,
     )
 
@@ -228,6 +259,8 @@ def _budget_brute_force(p: Dict[str, int]) -> ResourceBudget:
         neurons=(2 * d + 1) * lam + d * d + 1,
         synapses=d * (2 * d + 1) * lam + 3 * d * (d - 1) // 2,
         depth=4,
+        settle=4,
+        quiescence=7,
         exact=True,
     )
 
@@ -235,7 +268,12 @@ def _budget_brute_force(p: Dict[str, int]) -> ResourceBudget:
 def _budget_cla(p: Dict[str, int]) -> ResourceBudget:
     lam = p["lam"]
     return ResourceBudget(
-        neurons=4 * lam + 1, synapses=lam * lam + 5 * lam, depth=2, exact=True
+        neurons=4 * lam + 1,
+        synapses=lam * lam + 5 * lam,
+        depth=2,
+        settle=2,
+        quiescence=4,
+        exact=True,
     )
 
 
@@ -247,6 +285,8 @@ def _budget_siu(p: Dict[str, int]) -> ResourceBudget:
         neurons=(lam * lam + 13 * lam + 2) // 2,
         synapses=4 * lam * lam + 8,
         depth=4,
+        settle=4,
+        quiescence=8,
         exact=False,
     )
 
@@ -254,13 +294,25 @@ def _budget_siu(p: Dict[str, int]) -> ResourceBudget:
 def _budget_ripple(p: Dict[str, int]) -> ResourceBudget:
     lam = p["lam"]
     return ResourceBudget(
-        neurons=5 * lam, synapses=8 * lam - 2, depth=lam + 1, exact=True
+        neurons=5 * lam,
+        synapses=8 * lam - 2,
+        depth=lam + 1,
+        settle=lam + 1,
+        quiescence=2 * lam + 2,
+        exact=True,
     )
 
 
 def _budget_comparator(p: Dict[str, int]) -> ResourceBudget:
     lam = p["lam"]
-    return ResourceBudget(neurons=2 * lam + 2, synapses=2 * lam + 1, depth=1, exact=True)
+    return ResourceBudget(
+        neurons=2 * lam + 2,
+        synapses=2 * lam + 1,
+        depth=1,
+        settle=1,
+        quiescence=2,
+        exact=True,
+    )
 
 
 def _circuit_families() -> Dict[str, FamilySpec]:
@@ -294,6 +346,10 @@ def _check_budget(
     depth: Optional[int],
     runtime: Optional[int],
     budget: ResourceBudget,
+    *,
+    settle: Optional[int] = None,
+    quiescence: Optional[int] = None,
+    bounded: Optional[bool] = None,
 ) -> Tuple[str, ...]:
     violations = []
     for label, measured, cap in (
@@ -301,10 +357,37 @@ def _check_budget(
         ("synapses", synapses, budget.synapses),
         ("depth", depth, budget.depth),
         ("runtime", runtime, budget.runtime),
+        ("settle", settle, budget.settle),
+        ("quiescence", quiescence, budget.quiescence),
     ):
         if cap is not None and measured is not None and measured > cap:
             violations.append(f"{label} {measured} exceeds budget {cap}")
+    if bounded is not None:
+        if budget.unbounded and bounded:
+            violations.append(
+                "temporal analysis certifies quiescence but the construction "
+                "is pinned non-quiescent (gadget latches changed?)"
+            )
+        if not budget.unbounded and not bounded and (
+            budget.settle is not None or budget.quiescence is not None
+        ):
+            violations.append(
+                "temporal analysis cannot certify quiescence but the budget "
+                "requires a finite bound"
+            )
     return tuple(violations)
+
+
+def _measure_temporal(
+    net: Any, entries: Sequence[int]
+) -> Tuple[Optional[int], Optional[int], bool]:
+    """(settle, quiescence, bounded) of ``net`` stimulated at ``entries``."""
+    from repro.staticcheck.temporal import analyze_temporal
+
+    analysis = analyze_temporal(net, stimulus=list(entries))
+    if not analysis.bounded:
+        return None, None, False
+    return analysis.last_spike_bound, analysis.quiescence_bound, True
 
 
 def certify_circuit(kind: str, **params: int) -> Tuple[CertEntry, LintReport]:
@@ -320,6 +403,10 @@ def certify_circuit(kind: str, **params: int) -> Tuple[CertEntry, LintReport]:
     net = builder.net.compile()
     lint = lint_circuit(builder, subject=f"{kind}({params})")
     depth = builder.depth
+    entries = [
+        sig.nid for group in builder.input_groups.values() for sig in group
+    ]
+    settle, quiescence, bounded = _measure_temporal(net, entries)
     entry = CertEntry(
         kind=kind,
         theorem=theorem,
@@ -329,8 +416,19 @@ def certify_circuit(kind: str, **params: int) -> Tuple[CertEntry, LintReport]:
         depth=depth,
         runtime=None,
         budget=budget,
-        violations=_check_budget(builder.size, net.m, depth, None, budget),
+        violations=_check_budget(
+            builder.size,
+            net.m,
+            depth,
+            None,
+            budget,
+            settle=settle,
+            quiescence=quiescence,
+            bounded=bounded,
+        ),
         lint_ok=lint.ok,
+        settle=settle,
+        quiescence=quiescence,
     )
     return entry, lint
 
@@ -364,12 +462,23 @@ def certify_sssp(
     )
     scale = plan.scale
     runtime_budget = budget.runtime if scale == 1 else (n - 1) * max(1, graph.max_length()) * scale + 1
+    # Temporal budgets (Thm 3.1): every spike happens by (n-1)·U·scale —
+    # the chain bound telescopes over at most n-1 one-shot hops of delay
+    # at most U·scale — and the longest in-flight delay adds one more
+    # U·scale, so the engine is provably QUIESCENT by n·U·scale.  The
+    # gadget variant is pinned *non-quiescent*: its one-shot latches
+    # self-excite forever once set (Figure 1B), by construction.
+    u_scaled = max(1, graph.max_length()) * scale
     budget = ResourceBudget(
         neurons=budget.neurons,
         synapses=budget.synapses,
         runtime=runtime_budget,
+        settle=None if use_gadgets else (n - 1) * u_scaled,
+        quiescence=None if use_gadgets else n * u_scaled,
+        unbounded=use_gadgets,
         exact=budget.exact,
     )
+    settle, quiescence, bounded = _measure_temporal(compiled, [node_ids[0]])
     entry = CertEntry(
         kind="sssp_pseudo" + ("+gadgets" if use_gadgets else ""),
         theorem="Thm 3.1 / Sec 3",
@@ -379,8 +488,19 @@ def certify_sssp(
         depth=None,
         runtime=plan.max_steps,
         budget=budget,
-        violations=_check_budget(compiled.n, compiled.m, None, plan.max_steps, budget),
+        violations=_check_budget(
+            compiled.n,
+            compiled.m,
+            None,
+            plan.max_steps,
+            budget,
+            settle=settle,
+            quiescence=quiescence,
+            bounded=bounded,
+        ),
         lint_ok=lint.ok,
+        settle=settle,
+        quiescence=quiescence,
     )
     return entry, lint
 
@@ -393,11 +513,22 @@ def certify_khop(graph: "WeightedDigraph", k: int) -> Tuple[CertEntry, LintRepor
     compiled = net.compile()
     m_eff = sum(1 for (u, v, _w) in graph.edges() if u != v)
     n = graph.n
-    budget = ResourceBudget(neurons=n, synapses=m_eff, runtime=int(k), exact=True)
+    # Unit delays, one-shot neurons: every spike happens by hop n-1, so
+    # the network quiesces by tick n regardless of k (the planned horizon
+    # k deliberately truncates earlier when k < n - 1).
+    budget = ResourceBudget(
+        neurons=n,
+        synapses=m_eff,
+        runtime=int(k),
+        settle=max(1, n - 1),
+        quiescence=n,
+        exact=True,
+    )
     plan = khop_reach_plan(graph, 0, k)
     lint = lint_network(
         compiled, subject=f"khop_reach(n={n}, k={k})", entries=[node_ids[0]]
     )
+    settle, quiescence, bounded = _measure_temporal(compiled, [node_ids[0]])
     entry = CertEntry(
         kind="khop_reach",
         theorem="Sec 4, k-hop",
@@ -407,8 +538,19 @@ def certify_khop(graph: "WeightedDigraph", k: int) -> Tuple[CertEntry, LintRepor
         depth=None,
         runtime=plan.max_steps,
         budget=budget,
-        violations=_check_budget(compiled.n, compiled.m, None, plan.max_steps, budget),
+        violations=_check_budget(
+            compiled.n,
+            compiled.m,
+            None,
+            plan.max_steps,
+            budget,
+            settle=settle,
+            quiescence=quiescence,
+            bounded=bounded,
+        ),
         lint_ok=lint.ok,
+        settle=settle,
+        quiescence=quiescence,
     )
     return entry, lint
 

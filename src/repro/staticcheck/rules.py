@@ -470,6 +470,30 @@ def lint_network(
         :class:`~repro.circuits.builder.CircuitBuilder` product is), so
         any cycle is a construction bug.
     """
+    from repro.core.sparse import SparseCompiledNetwork
+
+    if isinstance(network, SparseCompiledNetwork):
+        # Sparse-compiled networks share the dense CSR arrays; run the
+        # structural rules on the underlying compile and append the
+        # artifact cross-check so bucketing bugs fail the same gate.
+        from repro.staticcheck.artifacts import verify_sparse_artifact
+
+        report = lint_network(
+            network.net,
+            subject=subject,
+            entries=entries,
+            expect_feedforward=expect_feedforward,
+        )
+        art = verify_sparse_artifact(network, subject=subject)
+        report.diagnostics.extend(art.diagnostics)
+        return report
+    if hasattr(network, "shards") and hasattr(network, "shard_of"):
+        # Duck-typed ShardedGraph (repro.service.net.shard): verify the
+        # partition, then lint every shard's compiled network.
+        from repro.staticcheck.artifacts import verify_shard_partition
+
+        return verify_shard_partition(network, subject=subject)
+
     net = network.compile() if isinstance(network, Network) else network
     diagnostics: List[Diagnostic] = []
     skipped: List[str] = []

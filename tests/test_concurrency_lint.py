@@ -1,0 +1,179 @@
+"""Self-test of the SC2xx lock-discipline lint (tools/concurrency_lint.py).
+
+A lint that silently matches nothing is worse than no lint, so every rule
+is exercised positively (a seeded violation must be found) and negatively
+(the idioms the serving layer legitimately uses must stay clean), plus the
+repo gate itself: the real ``repro.service`` tree must lint clean.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import concurrency_lint as cl  # noqa: E402
+
+
+def _lint_src(tmp_path, source):
+    f = tmp_path / "mod.py"
+    f.write_text(textwrap.dedent(source))
+    return cl.lint_file(f)
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+def test_sc201_result_under_lock(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        def bad(self, ticket):
+            with self._lock:
+                return ticket.result(5)
+        """,
+    )
+    assert _codes(findings) == ["SC201"]
+
+
+def test_sc202_submit_under_lock(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        def bad(self, job):
+            with self._state_lock:
+                self.pool.submit(job)
+        """,
+    )
+    assert _codes(findings) == ["SC202"]
+
+
+def test_sc203_blocking_io_under_lock(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        def bad(self, data):
+            with self._send_lock:
+                self._sock.sendall(data)
+                self._sock.recv(4096)
+        """,
+    )
+    assert _codes(findings) == ["SC203", "SC203"]
+
+
+def test_sc204_nested_plain_lock(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+        """,
+    )
+    assert _codes(findings) == ["SC204"]
+
+
+def test_sc204_exempts_module_rlocks(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def fine(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+        """,
+    )
+    assert findings == []
+
+
+def test_sc205_sleep_under_lock_is_warning(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        import time
+
+        def dubious(self):
+            with self._lock:
+                time.sleep(0.1)
+        """,
+    )
+    assert _codes(findings) == ["SC205"]
+    assert findings[0].severity == "warning"
+
+
+def test_nested_function_escapes_lexical_lock(tmp_path):
+    # a closure defined under a lock runs later, without the lock held
+    findings = _lint_src(
+        tmp_path,
+        """
+        def fine(self, pool, job):
+            with self._lock:
+                cb = lambda: pool.submit(job)
+            return cb
+        """,
+    )
+    assert findings == []
+
+
+def test_release_before_blocking_is_clean(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        def fine(self, ticket):
+            with self._lock:
+                state = self._state
+            return ticket.result(5)
+        """,
+    )
+    assert findings == []
+
+
+def test_allow_comment_suppresses_named_code(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        def documented(self, data):
+            with self._send_lock:
+                self._sock.sendall(data)  # sc2xx: allow sc203
+        """,
+    )
+    assert findings == []
+
+
+def test_allow_comment_does_not_cover_other_codes(tmp_path):
+    findings = _lint_src(
+        tmp_path,
+        """
+        def bad(self, ticket):
+            with self._lock:
+                ticket.result(5)  # sc2xx: allow sc203
+        """,
+    )
+    assert _codes(findings) == ["SC201"]
+
+
+def test_service_tree_lints_clean():
+    rc = cl.main([str(cl.DEFAULT_PATHS[0])])
+    assert rc == 0
+
+
+@pytest.mark.parametrize("code", sorted(cl.RULES))
+def test_every_rule_has_catalog_entry(code):
+    rule, severity = cl.RULES[code]
+    assert rule and severity in ("error", "warning")

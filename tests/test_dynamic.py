@@ -689,3 +689,66 @@ class TestResultCacheInvalidate:
         assert cache.get((("graph", "a"), "x")) is None
         assert cache.get((("graph", "b"), "x")) == 3
         assert cache.stats()["invalidations"] == 2
+
+
+# --------------------------------------------------------------------- #
+# Temporal analysis carried across refreshes
+# --------------------------------------------------------------------- #
+
+
+class TestRecompilerTemporal:
+    def _seeded(self, n=12, seed=6):
+        g = MutableGraph(gnp_graph(n, 0.3, max_length=4, seed=seed))
+        rec = IncrementalRecompiler(g, cache=BuildCache(maxsize=8))
+        rec.prime()
+        return g, rec
+
+    def _scratch(self, rec, family):
+        from repro.staticcheck import analyze_temporal
+
+        net, _ids = rec.network(family)
+        return analyze_temporal(net, stimulus=list(range(net.n)))
+
+    def _assert_same(self, a, b):
+        assert np.array_equal(a.live, b.live)
+        assert np.array_equal(a.earliest, b.earliest)
+        assert np.array_equal(a.latest, b.latest)
+
+    def test_lazy_bound_matches_scratch(self):
+        _g, rec = self._seeded()
+        for family in ("sssp", "khop"):
+            self._assert_same(rec.temporal(family), self._scratch(rec, family))
+
+    def test_reweight_takes_cone_repropagation_path(self):
+        g, rec = self._seeded()
+        before = rec.temporal("sssp")
+        assert before is not None
+        u, v, w = next(iter(g.edges()))
+        g.reweight(int(u), int(v), (int(w) % 4) + 1)
+        rec.refresh()
+        assert rec.temporal_repropagations >= 1
+        self._assert_same(rec.temporal("sssp"), self._scratch(rec, "sssp"))
+
+    def test_structural_change_reanalyzes_from_scratch(self):
+        g, rec = self._seeded()
+        rec.temporal("sssp")
+        reprops = rec.temporal_repropagations
+        live = g.live_vertices()
+        u, v = next(
+            (a, b) for a in live for b in live if a != b and not g.has_edge(a, b)
+        )
+        g.add_edge(u, v, 2)
+        rec.refresh()
+        assert rec.temporal_repropagations == reprops  # not the cone path
+        assert rec.temporal_reanalyses >= 1
+        self._assert_same(rec.temporal("sssp"), self._scratch(rec, "sssp"))
+
+    def test_stats_expose_temporal_counters(self):
+        g, rec = self._seeded()
+        rec.temporal("sssp")
+        u, v, w = next(iter(g.edges()))
+        g.reweight(int(u), int(v), (int(w) % 4) + 1)
+        rec.refresh()
+        s = rec.stats()
+        assert s["temporal_reanalyses"] >= 1
+        assert s["temporal_repropagations"] >= 1

@@ -1,0 +1,136 @@
+"""Static time-budget admission: the temporal gate of QueryServer.
+
+A request whose *certified* worst-case run length cannot fit its deadline
+must be rejected synchronously at submit, with a structured
+:class:`~repro.errors.TemporalBudgetError` and without ever starting a
+simulator.  Requests that do fit must be answered identically to a solo
+run, the bound must be memoized per resident, fault-carrying requests are
+exempt (injected spikes break the causation lemma), and quiescent-stop
+horizons are clamped down to the certified bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.transient import SpikeDrop
+from repro.errors import TemporalBudgetError, classify_exception
+from repro.service import (
+    QueryRequest,
+    QueryServer,
+    ServiceClient,
+    execute_solo,
+    plan_request,
+)
+from repro.workloads import gnp_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_graph(20, 0.25, max_length=7, seed=11, ensure_source_reaches=True)
+
+
+def make_server(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("linger_s", 0.005)
+    kw.setdefault("result_cache_size", 0)
+    return QueryServer(**kw)
+
+
+def test_over_budget_request_rejected_statically(graph):
+    srv = make_server(tick_rate=10.0)  # 0.5 s deadline -> 5-tick budget
+    srv.register_graph("g", graph)
+    with srv:
+        with pytest.raises(TemporalBudgetError) as exc_info:
+            srv.submit(
+                QueryRequest(kind="sssp", graph_id="g", source=0, deadline_s=0.5)
+            )
+        err = exc_info.value
+        assert err.certified_ticks > err.budget_ticks == 5
+        assert classify_exception(err) == ("TEMPORAL_BUDGET", False)
+        stats = srv.stats()
+    counters = stats["metrics"]["counters"]
+    # rejected at admission: nothing was simulated or even dispatched
+    assert counters.get("service.temporal.rejections") == 1
+    assert counters.get("service.requests.completed", 0) == 0
+    assert counters.get("service.batches.dispatched", 0) == 0
+
+
+def test_within_budget_request_matches_solo(graph):
+    srv = make_server(tick_rate=1e6)  # generous budget: everything fits
+    srv.register_graph("g", graph)
+    with srv:
+        cli = ServiceClient(srv)
+        res = cli.submit_sssp("g", 0, deadline_s=30.0).result(60)
+        assert res.ok, res.error
+        solo = execute_solo(
+            plan_request(
+                QueryRequest(kind="sssp", graph_id="g", source=0), {"g": graph}, {}
+            )
+        )
+        assert np.array_equal(res.dist, solo["dist"])
+        stats = srv.stats()
+    temporal = stats["temporal"]
+    assert temporal["enabled"] and temporal["tick_rate"] == 1e6
+    assert any(b is not None for b in temporal["bounds"].values())
+
+
+def test_bound_memoized_per_resident(graph):
+    srv = make_server(tick_rate=1e6)
+    srv.register_graph("g", graph)
+    with srv:
+        cli = ServiceClient(srv)
+        for s in (0, 1, 2):  # same resident family, three sources
+            assert cli.submit_sssp("g", s, deadline_s=30.0).result(60).ok
+        counters = srv.stats()["metrics"]["counters"]
+    assert counters.get("service.temporal.analyzed") == 1
+
+
+def test_fault_requests_skip_the_gate(graph):
+    # the same deadline that rejects a clean request admits a faulty one:
+    # injected spikes break the causation lemma, so no static claim holds
+    srv = make_server(tick_rate=10.0)
+    srv.register_graph("g", graph)
+    with srv:
+        req = QueryRequest(
+            kind="sssp",
+            graph_id="g",
+            source=0,
+            deadline_s=0.5,
+            faults=SpikeDrop(0.0, seed=1),
+        )
+        ticket = srv.submit(req)  # no TemporalBudgetError
+        res = ticket.result(60)
+    assert res.ok or res.error_code == "TIMEOUT"
+
+
+def test_gate_can_be_disabled(graph):
+    srv = make_server(tick_rate=10.0, temporal_admission=False)
+    srv.register_graph("g", graph)
+    with srv:
+        ticket = srv.submit(
+            QueryRequest(kind="sssp", graph_id="g", source=0, deadline_s=0.5)
+        )
+        res = ticket.result(60)
+        stats = srv.stats()
+    assert not stats["temporal"]["enabled"]
+    assert stats["metrics"]["counters"].get("service.temporal.analyzed", 0) == 0
+    # without the static gate the deadline is enforced dynamically instead
+    assert res.ok or res.error_code == "TIMEOUT"
+
+
+def test_no_deadline_means_no_rejection(graph):
+    # tick_rate set, but an undeadlined request only gets the clamp path
+    srv = make_server(tick_rate=10.0)
+    srv.register_graph("g", graph)
+    with srv:
+        cli = ServiceClient(srv)
+        res = cli.submit_sssp("g", 0).result(60)
+    assert res.ok, res.error
+
+
+def test_tick_rate_validation():
+    with pytest.raises(Exception):
+        make_server(tick_rate=0.0)
+    with pytest.raises(Exception):
+        make_server(tick_rate=-5.0)

@@ -1,0 +1,337 @@
+"""Lint over derived artifacts: sparse-compiled networks and shard routers.
+
+Satellite coverage for the SC15x/SC16x artifact verifiers and for
+:func:`lint_network`'s acceptance of non-dense network forms:
+
+1. **SC1xx on sparse** — one regression test per structural rule, each
+   seeding its violation in a *sparse-compiled* circuit and asserting the
+   exact code still fires (the dense-array rules must see through the
+   artifact wrapper).
+2. **SC15x mutation** — each sparse-artifact invariant is corrupted in
+   isolation and must be caught by :func:`verify_sparse_artifact`.
+3. **SC16x mutation** — shard partitions, clean and corrupted, through
+   :func:`verify_shard_partition` and the ``lint_network`` delegation.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.network import Network
+from repro.core.sparse import sparse_compile
+from repro.service.net.shard import partition_graph
+from repro.staticcheck import (
+    ARTIFACT_RULES,
+    Severity,
+    lint_network,
+    verify_shard_partition,
+    verify_sparse_artifact,
+)
+from repro.workloads.generators import gnp_graph
+
+
+def _circuit_net():
+    """A small healthy multi-delay network (compiled, arrays mutable)."""
+    net = Network()
+    ids = [net.add_neuron(v_threshold=0.5, tau=1.0) for _ in range(6)]
+    net.mark_input(ids[0])
+    net.mark_output(ids[5])
+    for i in range(5):
+        net.add_synapse(ids[i], ids[i + 1], weight=1.0, delay=1 + (i % 3))
+    net.add_synapse(ids[0], ids[3], weight=2.0, delay=2)
+    net.add_synapse(ids[1], ids[4], weight=1.0, delay=4)
+    return net
+
+
+def _sparse(net=None):
+    c = (net or _circuit_net()).compile()
+    return c, sparse_compile(c)
+
+
+# --------------------------------------------------------------------------- #
+# 1. The 12 structural rules fire through a sparse-compiled network
+# --------------------------------------------------------------------------- #
+
+
+def test_sparse_sc101_dangling_synapse():
+    c, art = _sparse()
+    c.syn_dst[0] = c.n + 5  # after sparse_compile: artifact now stale too
+    report = lint_network(art, subject="mutant")
+    assert "SC101" in report.codes() and not report.ok
+
+
+def test_sparse_sc102_bad_delay():
+    c, art = _sparse()
+    c.syn_delay[0] = 0
+    report = lint_network(art, subject="mutant")
+    assert "SC102" in report.codes() and not report.ok
+
+
+def test_sparse_sc103_nonfinite_weight():
+    c, art = _sparse()
+    c.syn_weight[0] = np.nan
+    report = lint_network(art, subject="mutant")
+    assert "SC103" in report.codes() and not report.ok
+
+
+def test_sparse_sc104_duplicate_synapse():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron(v_threshold=0.5)
+    net.mark_input(a)
+    net.add_synapse(a, b, weight=1.0, delay=2)
+    net.add_synapse(a, b, weight=1.0, delay=2)
+    _, art = _sparse(net)
+    report = lint_network(art, subject="mutant")
+    assert "SC104" in report.codes()
+    assert report.ok  # warning severity; artifact itself is consistent
+
+
+def test_sparse_sc110_cycle_in_feedforward():
+    net = Network()
+    a = net.add_neuron(tau=1.0)
+    b = net.add_neuron(tau=1.0)
+    net.mark_input(a)
+    net.add_synapse(a, b)
+    net.add_synapse(b, a)
+    _, art = _sparse(net)
+    report = lint_network(art, subject="mutant", expect_feedforward=True)
+    assert "SC110" in report.codes() and not report.ok
+
+
+def test_sparse_sc120_unreachable_output():
+    net = Network()
+    a = net.add_neuron()
+    mid = net.add_neuron()
+    out = net.add_neuron()
+    net.mark_input(a)
+    net.mark_output(out)
+    net.add_synapse(a, mid)
+    _, art = _sparse(net)
+    report = lint_network(art, subject="mutant")
+    assert "SC120" in report.codes() and not report.ok
+
+
+def test_sparse_sc121_unreachable_neuron():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron()
+    orphan = net.add_neuron()
+    other = net.add_neuron()
+    net.mark_input(a)
+    net.mark_output(b)
+    net.add_synapse(a, b)
+    net.add_synapse(orphan, other)
+    _, art = _sparse(net)
+    report = lint_network(art, subject="mutant")
+    assert "SC121" in report.codes() and report.ok
+
+
+def test_sparse_sc122_isolated_neuron():
+    net = Network()
+    a = net.add_neuron()
+    b = net.add_neuron()
+    net.add_neuron()  # isolated
+    net.mark_input(a)
+    net.mark_output(b)
+    net.add_synapse(a, b)
+    _, art = _sparse(net)
+    report = lint_network(art, subject="mutant")
+    assert "SC122" in report.codes()
+
+
+def test_sparse_sc130_dead_neuron():
+    net = Network()
+    a = net.add_neuron()
+    mid = net.add_neuron(v_threshold=5.0, tau=1.0)
+    out = net.add_neuron()
+    net.mark_input(a)
+    net.mark_output(out)
+    net.add_synapse(a, mid, weight=1.0)
+    net.add_synapse(a, out, weight=1.0)
+    _, art = _sparse(net)
+    report = lint_network(art, subject="mutant")
+    assert "SC130" in report.codes()
+
+
+def test_sparse_sc131_hot_neuron():
+    c, art = _sparse()
+    c.v_reset[1] = 2.0  # pacemaker
+    report = lint_network(art, subject="mutant")
+    assert "SC131" in report.codes()
+
+
+def test_sparse_sc140_bad_designation():
+    c, art = _sparse()
+    c.outputs[0] = c.n + 7
+    report = lint_network(art, subject="mutant")
+    assert "SC140" in report.codes() and not report.ok
+
+
+def test_sparse_sc141_nonfinite_params():
+    c, art = _sparse()
+    c.tau[0] = 2.0
+    report = lint_network(art, subject="mutant")
+    assert "SC141" in report.codes() and not report.ok
+
+
+def test_clean_sparse_network_lints_clean():
+    _, art = _sparse()
+    report = lint_network(art, subject="clean", entries=[0])
+    assert report.ok, report.render()
+    assert not any(code.startswith("SC15") for code in report.codes())
+
+
+# --------------------------------------------------------------------------- #
+# 2. SC15x: sparse-artifact invariant mutations
+# --------------------------------------------------------------------------- #
+
+
+def test_artifact_clean_passes_both_entry_points():
+    c, art = _sparse()
+    assert verify_sparse_artifact(art).ok
+    assert verify_sparse_artifact(c).ok  # builds the artifact on demand
+
+
+def test_artifact_sc150_delay_table():
+    c, art = _sparse()
+    bad = dataclasses.replace(art, delays=art.delays[::-1].copy())
+    report = verify_sparse_artifact(bad)
+    assert "SC150" in report.codes() and not report.ok
+
+
+def test_artifact_sc151_syn_partition():
+    c, art = _sparse()
+    b0 = art.buckets[0]
+    syn = b0.syn.copy()
+    syn[0] = syn[-1] if syn.size > 1 else c.m - 1  # duplicate / drop an id
+    bad_bucket = dataclasses.replace(b0, syn=syn)
+    bad = dataclasses.replace(art, buckets=(bad_bucket,) + art.buckets[1:])
+    report = verify_sparse_artifact(bad)
+    assert "SC151" in report.codes() and not report.ok
+
+
+def test_artifact_sc152_bucket_label():
+    c, art = _sparse()
+    labels = art.syn_bucket.copy()
+    labels[0] = (labels[0] + 1) % len(art.buckets)
+    bad = dataclasses.replace(art, syn_bucket=labels)
+    report = verify_sparse_artifact(bad)
+    assert "SC152" in report.codes() and not report.ok
+
+
+def test_artifact_sc153_bucket_content():
+    c, art = _sparse()
+    k = next(i for i, b in enumerate(art.buckets) if b.nnz)
+    b = art.buckets[k]
+    mat = b.matrix.copy()
+    mat.data[0] += 1.0  # weight no longer matches the dense CSR
+    bad_bucket = dataclasses.replace(b, matrix=mat)
+    bad = dataclasses.replace(
+        art, buckets=art.buckets[:k] + (bad_bucket,) + art.buckets[k + 1 :]
+    )
+    report = verify_sparse_artifact(bad)
+    assert "SC153" in report.codes() and not report.ok
+
+
+def test_artifact_sc154_indptr_shape():
+    c, art = _sparse()
+    k = next(i for i, b in enumerate(art.buckets) if b.nnz)
+    b = art.buckets[k]
+    bad_bucket = dataclasses.replace(b, indptr=b.indptr[:-1].copy())
+    bad = dataclasses.replace(
+        art, buckets=art.buckets[:k] + (bad_bucket,) + art.buckets[k + 1 :]
+    )
+    report = verify_sparse_artifact(bad)
+    assert "SC154" in report.codes() and not report.ok
+
+
+def test_artifact_sc155_stale_network():
+    c, art = _sparse()
+    other = _circuit_net().compile()  # structurally equal, different object
+    report = verify_sparse_artifact(art, against=other)
+    assert "SC155" in report.codes() and not report.ok
+    # and a structurally diverged recompile also fails on content
+    other.syn_weight[0] += 1.0
+    diverged = verify_sparse_artifact(art, against=other)
+    assert "SC155" in diverged.codes() and "SC153" in diverged.codes()
+
+
+def test_artifact_rules_all_error_severity():
+    assert set(ARTIFACT_RULES) == {
+        "SC150", "SC151", "SC152", "SC153", "SC154", "SC155",
+        "SC160", "SC161", "SC162", "SC163",
+    }
+    assert all(sev is Severity.ERROR for _, sev, _ in ARTIFACT_RULES.values())
+
+
+# --------------------------------------------------------------------------- #
+# 3. SC16x: shard-router partition
+# --------------------------------------------------------------------------- #
+
+
+def _sharded(n=24, k=3, seed=4):
+    return partition_graph(gnp_graph(n, 0.25, max_length=5, seed=seed), k)
+
+
+@pytest.mark.parametrize("kind", ["sssp", "khop"])
+def test_shard_partition_clean(kind):
+    report = verify_shard_partition(_sharded(), kind=kind)
+    assert report.ok, report.render()
+
+
+def test_lint_network_accepts_sharded_graph():
+    report = lint_network(_sharded(), subject="router")
+    assert report.ok, report.render()
+
+
+def test_shard_sc160_bad_tiling():
+    s = _sharded()
+    shards = list(s.shards)
+    shards[1] = dataclasses.replace(shards[1], base=shards[1].base + 1)
+    bad = dataclasses.replace(s, shards=tuple(shards))
+    report = verify_shard_partition(bad)
+    assert "SC160" in report.codes() and not report.ok
+
+
+def test_shard_sc161_dropped_cross_edge():
+    s = _sharded()
+    victim = next(sh for sh in s.shards if sh.cross_dst.size)
+    idx = victim.index
+    shards = list(s.shards)
+    shards[idx] = dataclasses.replace(
+        victim,
+        cross_src=victim.cross_src[1:],
+        cross_dst=victim.cross_dst[1:],
+        cross_w=victim.cross_w[1:],
+    )
+    bad = dataclasses.replace(s, shards=tuple(shards))
+    report = verify_shard_partition(bad, check_networks=False)
+    assert "SC161" in report.codes() and not report.ok
+
+
+def test_shard_sc162_cross_edge_stays_local():
+    s = _sharded()
+    victim = next(sh for sh in s.shards if sh.cross_dst.size)
+    idx = victim.index
+    cd = victim.cross_dst.copy()
+    cd[0] = victim.base  # target inside the shard's own range
+    shards = list(s.shards)
+    shards[idx] = dataclasses.replace(victim, cross_dst=cd)
+    bad = dataclasses.replace(s, shards=tuple(shards))
+    report = verify_shard_partition(bad, check_networks=False)
+    assert "SC162" in report.codes() and not report.ok
+
+
+def test_shard_sc163_subgraph_mismatch():
+    s = _sharded()
+    victim = s.shards[0]
+    # swap shard 0's subgraph for a smaller one: compiled net disagrees
+    smaller = gnp_graph(victim.n - 1, 0.3, max_length=5, seed=9)
+    shards = list(s.shards)
+    shards[0] = dataclasses.replace(victim, graph=smaller)
+    bad = dataclasses.replace(s, shards=tuple(shards))
+    report = verify_shard_partition(bad)
+    assert not report.ok
+    assert "SC163" in report.codes() or "SC160" in report.codes()

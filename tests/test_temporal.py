@@ -1,0 +1,283 @@
+"""repro.staticcheck.temporal: spike-time intervals, quiescence bounds, pins.
+
+Four layers:
+
+1. **Exact small cases** — hand-built chains, cycles, pacemakers, and dead
+   neurons where the sound interval is computable by inspection, checked
+   against both the analysis and an actual dense run.
+2. **Incremental re-analysis** — :func:`repropagate` after weight patches
+   must agree array-for-array with a from-scratch :func:`analyze_temporal`.
+3. **Certifier integration** — every circuit family's measured settle time
+   equals its closed-form budget; the SSSP/k-hop drivers certify with
+   their runtime bounds; the gadget variant is pinned non-quiescent.
+4. **Golden budget gate** — corrupting a pinned budget inside a golden
+   fixture makes ``repro lint --golden`` fail with a budget regression.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate_dense
+from repro.core.network import Network
+from repro.errors import ValidationError
+from repro.staticcheck import (
+    NO_SPIKE,
+    analyze_temporal,
+    certify_khop,
+    certify_library,
+    certify_sssp,
+    repropagate,
+)
+from repro.workloads.generators import gnp_graph
+
+
+def _chain(delays=(2, 3)):
+    """0 -> 1 -> ... with unit weights; every neuron fires exactly once."""
+    net = Network()
+    ids = [net.add_neuron(v_threshold=0.5, tau=1.0) for _ in range(len(delays) + 1)]
+    net.mark_input(ids[0])
+    for i, d in enumerate(delays):
+        net.add_synapse(ids[i], ids[i + 1], weight=1.0, delay=d)
+    return net
+
+
+# --------------------------------------------------------------------------- #
+# 1. Exact small cases
+# --------------------------------------------------------------------------- #
+
+
+def test_chain_intervals_are_exact():
+    net = _chain((2, 3))
+    ta = analyze_temporal(net, stimulus=[0])
+    assert ta.live.all()
+    assert ta.earliest.tolist() == [0, 2, 5]
+    assert ta.latest.tolist() == [0.0, 2.0, 5.0]
+    assert ta.last_spike_bound == 5
+    assert ta.quiescence_bound == 5 + 3  # + max_delay
+    res = simulate_dense(net, [0], max_steps=20)
+    assert res.first_spike.tolist() == [0, 2, 5]
+    assert res.final_tick <= ta.quiescence_bound
+
+
+def test_silent_network_quiesces_at_one():
+    net = Network()
+    net.add_neuron(v_threshold=0.5)
+    net.add_neuron(v_threshold=0.5)
+    ta = analyze_temporal(net)  # no stimulus, no pacemaker: nothing fires
+    assert ta.live_count == 0
+    assert ta.last_spike_bound == NO_SPIKE
+    assert ta.quiescence_bound == 1
+    assert ta.interval(0) is None
+
+
+def test_inhibited_neuron_is_dead():
+    net = Network()
+    a = net.add_neuron(v_threshold=0.5, tau=1.0)
+    b = net.add_neuron(v_threshold=0.5, tau=1.0)
+    net.add_synapse(a, b, weight=-2.0, delay=1)  # only inhibition reaches b
+    ta = analyze_temporal(net, stimulus=[a])
+    assert bool(ta.live[a]) and not bool(ta.live[b])
+    assert ta.earliest[b] == NO_SPIKE and ta.latest[b] == float(NO_SPIKE)
+    assert ta.quiescence_bound == 1  # a's forced spike, then silence
+
+
+def test_pacemaker_is_unbounded_from_tick_one():
+    net = Network()
+    p = net.add_neuron(v_threshold=0.5, v_reset=1.0)  # fires every tick
+    t = net.add_neuron(v_threshold=0.5, tau=1.0)
+    net.add_synapse(p, t, weight=1.0, delay=4)
+    ta = analyze_temporal(net)
+    assert ta.earliest[p] == 1 and ta.earliest[t] == 5
+    assert not ta.bounded and ta.quiescence_bound is None
+    assert ta.interval(t) == (5, None)
+    assert "unbounded" in ta.summary()
+
+
+def test_one_shot_cycle_is_bounded():
+    net = Network()
+    a = net.add_neuron(v_threshold=0.5, tau=1.0, one_shot=True)
+    b = net.add_neuron(v_threshold=0.5, tau=1.0, one_shot=True)
+    net.add_synapse(a, b, weight=1.0, delay=2)
+    net.add_synapse(b, a, weight=1.0, delay=2)
+    ta = analyze_temporal(net, stimulus=[a])
+    # capsum = 2, max internal delay 2: the causal chain entering at tick 0
+    # can linger at most (2 - 1) * 2 ticks.
+    assert ta.bounded
+    assert ta.last_spike_bound == 2
+    res = simulate_dense(net, [a], max_steps=20, record_spikes=True)
+    assert res.final_tick <= ta.quiescence_bound
+
+
+def test_uncapped_cycle_is_unbounded_and_caps_tighten_it():
+    net = Network()
+    a = net.add_neuron(v_threshold=0.5, tau=1.0)
+    b = net.add_neuron(v_threshold=0.5, tau=1.0)
+    net.add_synapse(a, b, weight=1.0, delay=1)
+    net.add_synapse(b, a, weight=1.0, delay=1)
+    free = analyze_temporal(net, stimulus=[a])
+    assert not free.bounded and free.unbounded_count == 2
+    capped = analyze_temporal(net, stimulus=[a], spike_caps={a: 1, b: 1})
+    assert capped.bounded
+    assert capped.last_spike_bound == 1
+
+
+def test_multi_wave_stimulus_shifts_latest():
+    net = _chain((2,))
+    ta = analyze_temporal(net, stimulus={0: [0], 7: [0]})
+    assert ta.earliest.tolist() == [0, 2]
+    assert ta.latest.tolist() == [7.0, 9.0]
+    assert ta.quiescence_bound == 9 + 2
+
+
+def test_to_dict_and_validation():
+    net = _chain((2,))
+    ta = analyze_temporal(net, stimulus=[0])
+    d = ta.to_dict()
+    assert d["neurons"] == 2 and d["live"] == 2 and d["bounded"] is True
+    assert d["quiescence_bound"] == ta.quiescence_bound
+    with pytest.raises(ValidationError):
+        ta.interval(99)
+    with pytest.raises(ValidationError):
+        analyze_temporal(net, stimulus=[41])
+    with pytest.raises(ValidationError):
+        analyze_temporal(net, stimulus=[0], spike_caps={0: 0})
+
+
+# --------------------------------------------------------------------------- #
+# 2. Incremental re-analysis == from scratch
+# --------------------------------------------------------------------------- #
+
+
+def _mesh(seed=7, n=30):
+    rng = np.random.default_rng(seed)
+    net = Network()
+    for _ in range(n):
+        net.add_neuron(
+            v_threshold=float(rng.choice([0.5, 1.5])),
+            tau=float(rng.choice([0.0, 1.0])),
+            one_shot=bool(rng.random() < 0.5),
+        )
+    for _ in range(3 * n):
+        net.add_synapse(
+            int(rng.integers(n)),
+            int(rng.integers(n)),
+            weight=float(rng.choice([-1.0, 1.0, 2.0])),
+            delay=int(rng.integers(1, 6)),
+        )
+    return net
+
+
+def _assert_same(a, b):
+    assert np.array_equal(a.live, b.live)
+    assert np.array_equal(a.earliest, b.earliest)
+    assert np.array_equal(a.latest, b.latest)
+
+
+@pytest.mark.parametrize("seed", [3, 7, 11])
+def test_repropagate_matches_scratch_after_weight_patch(seed):
+    net = _mesh(seed=seed)
+    c0 = net.compile()
+    prev = analyze_temporal(c0, stimulus=[0, 1])
+    rng = np.random.default_rng(seed + 1)
+    changed = rng.choice(c0.m, size=5, replace=False)
+    c1 = c0.clone() if hasattr(c0, "clone") else None
+    if c1 is None:
+        import copy
+
+        c1 = copy.deepcopy(c0)
+    c1.syn_weight[changed] *= -1.0  # flip excitation/inhibition
+    inc = repropagate(prev, c1, changed)
+    scratch = analyze_temporal(c1, stimulus=[0, 1])
+    _assert_same(inc, scratch)
+
+
+def test_repropagate_empty_patch_is_identity():
+    net = _chain((2, 3))
+    prev = analyze_temporal(net, stimulus=[0])
+    inc = repropagate(prev, net.compile(), [])
+    _assert_same(inc, prev)
+
+
+def test_repropagate_rejects_topology_change():
+    net = _chain((2, 3))
+    prev = analyze_temporal(net, stimulus=[0])
+    bigger = _chain((2, 3, 4))
+    with pytest.raises(ValidationError):
+        repropagate(prev, bigger, [0])
+    with pytest.raises(ValidationError):
+        repropagate(prev, net.compile(), [999])
+
+
+# --------------------------------------------------------------------------- #
+# 3. Certifier integration: settle/quiescence pins
+# --------------------------------------------------------------------------- #
+
+
+def test_certify_library_pins_settle_and_quiescence():
+    report = certify_library()
+    assert report.ok, report.render()
+    timed = [e for e in report.entries if e.settle is not None]
+    assert timed, "no entry carries a measured settle time"
+    for e in timed:
+        if e.budget.settle is not None:
+            assert e.settle == e.budget.settle, e.render()
+        if e.budget.quiescence is not None:
+            assert e.quiescence == e.budget.quiescence, e.render()
+
+
+def test_certify_sssp_runtime_budget():
+    g = gnp_graph(16, 0.3, max_length=5, seed=2)
+    entry, lint = certify_sssp(g, use_gadgets=False)
+    assert lint.ok
+    assert entry.ok, entry.render()
+    assert entry.budget.settle is not None
+    assert entry.settle is not None and entry.settle <= entry.budget.settle
+    assert entry.quiescence is not None
+    assert entry.quiescence <= entry.budget.quiescence
+
+
+def test_certify_sssp_gadgets_pinned_non_quiescent():
+    g = gnp_graph(10, 0.3, max_length=4, seed=5)
+    entry, _lint = certify_sssp(g, use_gadgets=True)
+    assert entry.ok, entry.render()
+    assert entry.budget.unbounded
+    assert entry.quiescence is None
+    assert "non-quiescent" in entry.render()
+
+
+def test_certify_khop_horizon_budget():
+    g = gnp_graph(14, 0.3, max_length=4, seed=8)
+    entry, lint = certify_khop(g, 3)
+    assert lint.ok
+    assert entry.ok, entry.render()
+    assert entry.settle is not None
+    assert entry.settle <= entry.budget.settle == max(1, g.n - 1)
+    assert entry.budget.quiescence == g.n
+
+
+# --------------------------------------------------------------------------- #
+# 4. Golden budget regression gate
+# --------------------------------------------------------------------------- #
+
+
+def test_golden_budget_regression_fails_lint(tmp_path):
+    from repro.cli import main
+
+    src = json.loads(
+        open("tests/golden/sssp_small.json", encoding="utf-8").read()
+    )
+    # intact copy passes
+    good = tmp_path / "good"
+    good.mkdir()
+    (good / "sssp_small.json").write_text(json.dumps(src))
+    assert main(["lint", "--golden", str(good), "--no-circuits"]) == 0
+
+    # corrupt one pinned runtime budget: the gate must fail
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    mutated = json.loads(json.dumps(src))
+    mutated["budgets"]["sssp_pseudo"]["runtime"] += 1
+    (bad / "sssp_small.json").write_text(json.dumps(mutated))
+    assert main(["lint", "--golden", str(bad), "--no-circuits"]) == 1

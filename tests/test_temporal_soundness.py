@@ -1,0 +1,94 @@
+"""Property harness: temporal intervals are sound for the real engines.
+
+The contract of :func:`repro.staticcheck.analyze_temporal` is *soundness*,
+not tightness: for any fault-free run of any engine,
+
+* a neuron that fires is marked live,
+* every observed spike tick falls inside ``[earliest, latest]``,
+* a quiescence-stopped run never runs past the certified bound.
+
+This harness hammers that contract with the shared random-network strategy
+(recurrent topologies, inhibition, one-shot neurons, mixed delays) on both
+the dense reference engine and the sparse CSR core.  Derandomized in CI
+via the ``ci`` Hypothesis profile in ``conftest.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.engine import simulate_dense
+from repro.core.result import StopReason
+from repro.core.sparse import simulate_sparse
+from repro.staticcheck import analyze_temporal
+
+from .differential import random_networks
+
+#: Tick budget: large enough that bounded examples reach quiescence (the
+#: strategy's worst case is far below this), small enough that unbounded
+#: oscillators stay cheap.
+MAX_STEPS = 80
+
+N_EXAMPLES = 150
+
+
+def _check_soundness(net, stim, simulate):
+    compiled = net.compile()
+    ta = analyze_temporal(compiled, stimulus=stim)
+    res = simulate(
+        compiled,
+        stim,
+        max_steps=MAX_STEPS,
+        record_spikes=True,
+        stop_when_quiescent=True,
+    )
+
+    # every observed spike lies inside its neuron's static interval
+    for tick, ids in (res.spike_events or {}).items():
+        for nid in ids.tolist():
+            assert ta.live[nid], (
+                f"neuron {nid} fired at tick {tick} but is statically dead"
+            )
+            lo, hi = ta.earliest[nid], ta.latest[nid]
+            assert lo <= tick, f"neuron {nid}: spike at {tick} before earliest {lo}"
+            assert tick <= hi, f"neuron {nid}: spike at {tick} after latest {hi}"
+
+    # spike counts respect the one_shot cap the latest pass relies on
+    caused = res.spike_counts - np.isin(
+        np.arange(compiled.n), np.asarray(stim)
+    ).astype(np.int64)
+    assert (caused[compiled.one_shot] <= 1).all()
+
+    # a provably-quiescent network actually quiesces within the bound
+    q = ta.quiescence_bound
+    if q is not None and q <= MAX_STEPS:
+        assert res.stop_reason is not StopReason.MAX_STEPS
+        assert res.final_tick <= q, (
+            f"run ended at tick {res.final_tick}, certified bound {q}"
+        )
+    return ta, res
+
+
+@settings(max_examples=N_EXAMPLES)
+@given(case=random_networks())
+def test_intervals_sound_on_dense_engine(case):
+    net, stim = case
+    _check_soundness(net, stim, simulate_dense)
+
+
+@settings(max_examples=N_EXAMPLES)
+@given(case=random_networks(max_delay=9))
+def test_intervals_sound_on_sparse_engine(case):
+    net, stim = case
+    _check_soundness(net, stim, simulate_sparse)
+
+
+@settings(max_examples=60)
+@given(case=random_networks())
+def test_dense_and_sparse_agree_inside_one_analysis(case):
+    """One analysis covers both engines: identical rasters, one bound."""
+    net, stim = case
+    ta_dense, res_dense = _check_soundness(net, stim, simulate_dense)
+    ta_sparse, res_sparse = _check_soundness(net, stim, simulate_sparse)
+    assert np.array_equal(ta_dense.live, ta_sparse.live)
+    assert np.array_equal(res_dense.first_spike, res_sparse.first_spike)
+    assert np.array_equal(res_dense.spike_counts, res_sparse.spike_counts)

@@ -1,0 +1,285 @@
+"""Lock-discipline AST lint for the serving layer (rules SC2xx).
+
+The resilience contract of ``repro.service`` depends on a handful of
+lock-ordering disciplines that nothing enforced mechanically: the
+exactly-once completion claim must never wait on a ticket *while holding*
+a server lock (a crashed worker's recovery path takes the same locks), a
+worker submission or blocking socket call under a lock serializes the
+whole pool behind one caller, and acquiring a plain ``threading.Lock``
+reentrantly deadlocks outright.  This tool walks the AST of the serving
+modules and flags those patterns before they become a wedged-pool
+incident.
+
+Rule catalog (stable codes, continuing the SC table into the 2xx block):
+
+========  =======================  ========  ==================================
+Code      Rule                     Severity  Fires when
+========  =======================  ========  ==================================
+SC201     lock-across-result       error     ``<x>.result(...)`` is called while
+                                             a ``with <lock>`` block is open
+SC202     lock-across-submit       error     work is submitted to a pool/queue
+                                             (``.submit/.offer/.map``) under a
+                                             held lock
+SC203     lock-across-blocking-io  error     a blocking socket/stream call
+                                             (``recv/accept/connect/sendall/
+                                             readline/makefile``) under a held
+                                             lock
+SC204     nested-lock-acquire      error     the same lock expression is
+                                             acquired inside its own ``with``
+                                             block and is not a known RLock
+SC205     sleep-under-lock         warning   ``time.sleep`` under a held lock
+========  =======================  ========  ==================================
+
+"Lock" is recognized heuristically: a ``with`` context expression whose
+dotted source name ends in ``lock`` (``self._lock``, ``self._reg_lock``,
+``graph.lock`` ...), the repo's naming convention.  Locks created as
+``threading.RLock()`` anywhere in the scanned module are treated as
+reentrant and exempt from SC204; so are attributes listed in
+``KNOWN_REENTRANT``.  A call can silence one finding with a trailing
+``# sc2xx: allow[-CODE]`` comment on its line (used where waiting under
+the lock *is* the documented design, e.g. a condition-variable wait).
+
+Usage::
+
+    python tools/concurrency_lint.py [paths...]   # default: src/repro/service
+
+Exit status 1 on any error-severity finding, which is what makes it a CI
+gate (see ``.github/workflows/ci.yml``, lint job).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = [REPO_ROOT / "src" / "repro" / "service"]
+
+#: Attribute names known to hold ``threading.RLock`` instances even when the
+#: assignment lives in a module outside the scan set.
+KNOWN_REENTRANT: Set[str] = {"lock"}  # MutableGraph.lock is an RLock
+
+#: Method names that submit work to a pool or queue (SC202).
+SUBMIT_METHODS = {"submit", "offer", "map", "apply_async", "put"}
+
+#: Method names that block on a socket or stream peer (SC203).
+BLOCKING_IO_METHODS = {
+    "recv",
+    "recv_into",
+    "accept",
+    "connect",
+    "sendall",
+    "readline",
+    "makefile",
+    "create_connection",
+}
+
+RULES: Dict[str, Tuple[str, str]] = {
+    "SC201": ("lock-across-result", "error"),
+    "SC202": ("lock-across-submit", "error"),
+    "SC203": ("lock-across-blocking-io", "error"),
+    "SC204": ("nested-lock-acquire", "error"),
+    "SC205": ("sleep-under-lock", "warning"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    code: str
+    path: Path
+    line: int
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.code][1]
+
+    def render(self) -> str:
+        rule, severity = RULES[self.code]
+        rel = self.path.relative_to(REPO_ROOT) if self.path.is_absolute() else self.path
+        return f"{rel}:{self.line}: {self.code} [{severity}] {rule}: {self.message}"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``self._reg_lock`` -> "self._reg_lock"; None for non-dotted exprs."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _is_lock_expr(node: ast.AST) -> Optional[str]:
+    name = _dotted(node)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    return name if leaf.lower().endswith("lock") else None
+
+
+def _rlock_attrs(tree: ast.Module) -> Set[str]:
+    """Attribute/name leaves assigned ``threading.RLock()`` in this module."""
+    out: Set[str] = set(KNOWN_REENTRANT)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and (_dotted(value.func) or "").rsplit(".", 1)[-1] == "RLock"
+        ):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            name = _dotted(target)
+            if name:
+                out.add(name.rsplit(".", 1)[-1])
+    return out
+
+
+def _allowed(source_lines: List[str], lineno: int, code: str) -> bool:
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    line = source_lines[lineno - 1]
+    marker = "# sc2xx: allow"
+    idx = line.find(marker)
+    if idx < 0:
+        return False
+    rest = line[idx + len(marker) :].strip().lower()
+    return rest == "" or code.lower() in rest
+
+
+class _LockWalker(ast.NodeVisitor):
+    """Tracks the stack of held lock expressions while walking one module."""
+
+    def __init__(self, path: Path, source_lines: List[str], rlocks: Set[str]):
+        self.path = path
+        self.lines = source_lines
+        self.rlocks = rlocks
+        self.held: List[str] = []
+        self.findings: List[Finding] = []
+
+    # -- helpers ------------------------------------------------------- #
+
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if _allowed(self.lines, lineno, code):
+            return
+        self.findings.append(Finding(code, self.path, lineno, message))
+
+    # -- scope boundaries: a nested def/lambda runs later, not under the
+    #    lock that is merely *lexically* enclosing its definition -------- #
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_new_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_new_scope(node)
+
+    def _visit_new_scope(self, node: ast.AST) -> None:
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    # -- the core: with-blocks and calls -------------------------------- #
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            # `with lock:` or `with lock.acquire_timeout(...)`-style guards
+            lock_name = _is_lock_expr(expr)
+            if lock_name is None and isinstance(expr, ast.Call):
+                lock_name = _is_lock_expr(expr.func)
+            if lock_name is None:
+                continue
+            leaf = lock_name.rsplit(".", 1)[-1]
+            if lock_name in self.held and leaf not in self.rlocks:
+                self._emit(
+                    "SC204",
+                    expr,
+                    f"lock {lock_name!r} acquired while already held "
+                    "(deadlock unless it is an RLock)",
+                )
+            acquired.append(lock_name)
+        self.held.extend(acquired)
+        self.generic_visit(node)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            name = _dotted(node.func) or ""
+            leaf = name.rsplit(".", 1)[-1]
+            held = ", ".join(sorted(set(self.held)))
+            if leaf == "result":
+                self._emit(
+                    "SC201",
+                    node,
+                    f"{name or 'ticket.result'}() awaited while holding "
+                    f"{held}; a recovery path completing the ticket may "
+                    "need that lock",
+                )
+            elif leaf in SUBMIT_METHODS:
+                self._emit(
+                    "SC202",
+                    node,
+                    f"{name}() submits work while holding {held}; the pool "
+                    "serializes behind this caller",
+                )
+            elif leaf in BLOCKING_IO_METHODS:
+                self._emit(
+                    "SC203",
+                    node,
+                    f"{name}() can block on a peer while holding {held}",
+                )
+            elif name in ("time.sleep", "sleep"):
+                self._emit(
+                    "SC205", node, f"sleeping while holding {held}"
+                )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    walker = _LockWalker(path, source.splitlines(), _rlock_attrs(tree))
+    walker.visit(tree)
+    return walker.findings
+
+
+def iter_files(paths: List[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [Path(a) for a in argv] or DEFAULT_PATHS
+    findings: List[Finding] = []
+    n_files = 0
+    for f in iter_files(paths):
+        n_files += 1
+        findings.extend(lint_file(f))
+    for finding in findings:
+        print(finding.render())
+    errors = [f for f in findings if f.severity == "error"]
+    print(
+        f"concurrency lint: {n_files} files, {len(findings)} findings, "
+        f"{len(errors)} errors"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,11 @@
 Each fixture freezes one algorithm run on a fixed seeded input: the graph
 (as an explicit edge list, so fixtures do not depend on generator
 stability), the answer, the :class:`~repro.core.cost.CostReport` fields,
-and — for the SNN-level SSSP runs — the full spike raster.  The golden
+and — for the SNN-level SSSP runs — the full spike raster.  Every fixture
+also pins the certifier's size *and* runtime budgets (settle/quiescence
+from the temporal analysis) for its graph; ``repro lint --golden`` /
+``repro certify --golden`` recompute and diff them, so a timing
+regression fails the same gate as a raster drift.  The golden
 suite (``tests/test_golden.py``) replays every fixture on every engine and
 compares spike for spike, catching any semantic drift in the engines or
 the algorithm drivers.
@@ -19,6 +23,7 @@ import json
 from pathlib import Path
 
 from repro.algorithms import spiking_khop_poly, spiking_sssp_pseudo, sssp_network
+from repro.cli import _budget_payload
 from repro.core import simulate, simulate_batch
 from repro.workloads import WeightedDigraph, gnp_graph
 
@@ -111,6 +116,7 @@ def sssp_fixture(name: str, g: WeightedDigraph, source: int) -> dict:
         "engines": list(ENGINE_PATHS),
         "final_tick": sim.final_tick,
         "raster": raster,
+        "budgets": _budget_payload(g, 3),
     }
 
 
@@ -125,6 +131,7 @@ def khop_fixture(name: str, g: WeightedDigraph, source: int, k: int) -> dict:
         "k": k,
         "dist": r.dist.tolist(),
         "cost": _cost_payload(r.cost),
+        "budgets": _budget_payload(g, k),
     }
 
 
